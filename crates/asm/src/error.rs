@@ -1,0 +1,79 @@
+//! Error types of the `uops-asm` crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing microbenchmark code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// A looked-up instruction variant does not exist in the catalog.
+    UnknownVariant {
+        /// Mnemonic that was looked up.
+        mnemonic: String,
+        /// Variant string that was looked up.
+        variant: String,
+    },
+    /// The register pool has no free register of the requested class.
+    OutOfRegisters {
+        /// The register class that could not be satisfied.
+        class: String,
+    },
+    /// The number of operands supplied does not match the descriptor.
+    OperandCount {
+        /// Full name of the instruction.
+        instruction: String,
+        /// Number of operands the descriptor expects.
+        expected: usize,
+        /// Number of operands that were supplied.
+        actual: usize,
+    },
+    /// No suitable chain or dependency-breaking instruction could be found.
+    NoSuitableInstruction {
+        /// Description of what was being searched for.
+        purpose: String,
+    },
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UnknownVariant { mnemonic, variant } => {
+                write!(f, "unknown instruction variant: {mnemonic} ({variant})")
+            }
+            AsmError::OutOfRegisters { class } => {
+                write!(f, "no free register of class {class}")
+            }
+            AsmError::OperandCount { instruction, expected, actual } => {
+                write!(f, "{instruction}: expected {expected} operands, got {actual}")
+            }
+            AsmError::NoSuitableInstruction { purpose } => {
+                write!(f, "no suitable instruction found for {purpose}")
+            }
+        }
+    }
+}
+
+impl Error for AsmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = AsmError::UnknownVariant { mnemonic: "FOO".into(), variant: "R64".into() };
+        assert!(e.to_string().contains("FOO"));
+        let e = AsmError::OutOfRegisters { class: "XMM".into() };
+        assert!(e.to_string().contains("XMM"));
+        let e = AsmError::OperandCount { instruction: "ADD".into(), expected: 2, actual: 1 };
+        assert!(e.to_string().contains("expected 2"));
+        let e = AsmError::NoSuitableInstruction { purpose: "chain".into() };
+        assert!(e.to_string().contains("chain"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<AsmError>();
+    }
+}

@@ -1,0 +1,42 @@
+//! # uops-asm
+//!
+//! Assembler-code generation for the uops.info microbenchmarks.
+//!
+//! The crate turns instruction *descriptors* from [`uops_isa`] into concrete
+//! instruction *instances* with bound operands ([`Inst`]), manages register
+//! and scratch-memory allocation ([`RegisterPool`]), and assembles instances
+//! into [`CodeSequence`]s that the measurement backends execute.
+//!
+//! ## Example
+//!
+//! ```rust
+//! use std::collections::BTreeMap;
+//! use uops_asm::{variant_arc, CodeSequence, Inst, RegisterPool};
+//! use uops_isa::Catalog;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let catalog = Catalog::intel_core();
+//! let add = variant_arc(&catalog, "ADD", "R64, R64")?;
+//! let mut pool = RegisterPool::new();
+//! let inst = Inst::bind(&add, &BTreeMap::new(), &mut pool)?;
+//! let mut seq = CodeSequence::new();
+//! seq.push(inst);
+//! assert_eq!(seq.len(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod error;
+pub mod inst;
+pub mod operand;
+pub mod pool;
+pub mod sequence;
+
+pub use error::AsmError;
+pub use inst::{mem_width_of, variant_arc, Inst};
+pub use operand::{MemCell, MemOperand, Op, Resource};
+pub use pool::RegisterPool;
+pub use sequence::CodeSequence;

@@ -1,0 +1,275 @@
+//! Register and scratch-memory allocation for microbenchmark construction.
+//!
+//! The benchmark generator must choose operand registers "such that no
+//! additional dependencies are introduced" (§5.2). The [`RegisterPool`] hands
+//! out architecturally distinct registers, keeps track of which registers are
+//! already in use, and reserves a small set of registers that the measurement
+//! harness needs for itself (the paper reserves two registers for the saved
+//! state and the performance-counter data, §6.2; this pool additionally
+//! reserves the stack pointer, the base pointer, and the scratch-memory base
+//! register).
+
+use std::collections::BTreeSet;
+
+use uops_isa::{gpr, RegClass, RegFile, Register, Width};
+
+use crate::error::AsmError;
+use crate::operand::MemOperand;
+
+/// Allocator for architectural registers and scratch-memory cells.
+#[derive(Debug, Clone)]
+pub struct RegisterPool {
+    /// Registers that must never be handed out (by file and index).
+    reserved: BTreeSet<(RegFile, u8)>,
+    /// Registers currently allocated.
+    allocated: BTreeSet<(RegFile, u8)>,
+    /// Base register of the scratch memory area.
+    mem_base: Register,
+    /// Next free displacement in the scratch memory area.
+    next_disp: i32,
+    /// Stride between distinct scratch cells, in bytes.
+    cell_stride: i32,
+}
+
+impl Default for RegisterPool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RegisterPool {
+    /// The default scratch-memory base register (`R14`).
+    #[must_use]
+    pub fn default_mem_base() -> Register {
+        Register::gpr(14, Width::W64)
+    }
+
+    /// Creates a pool with the default reservations: `RSP`, `RBP`, `R14`
+    /// (scratch-memory base) and `R15` (reserved for the measurement
+    /// harness).
+    #[must_use]
+    pub fn new() -> RegisterPool {
+        let mut reserved = BTreeSet::new();
+        reserved.insert((RegFile::Gpr, gpr::RSP));
+        reserved.insert((RegFile::Gpr, gpr::RBP));
+        reserved.insert((RegFile::Gpr, 14));
+        reserved.insert((RegFile::Gpr, 15));
+        RegisterPool {
+            reserved,
+            allocated: BTreeSet::new(),
+            mem_base: Self::default_mem_base(),
+            next_disp: 0,
+            cell_stride: 64,
+        }
+    }
+
+    /// Additionally reserves a register so it will not be handed out.
+    pub fn reserve(&mut self, reg: Register) {
+        self.reserved.insert((reg.file, reg.index));
+    }
+
+    /// Marks a register as allocated (e.g. because an assignment already uses
+    /// it), so subsequent allocations will not return it.
+    pub fn mark_used(&mut self, reg: Register) {
+        self.allocated.insert((reg.file, reg.index));
+    }
+
+    /// Returns `true` if the register is currently allocated or reserved.
+    #[must_use]
+    pub fn is_taken(&self, reg: Register) -> bool {
+        let key = (reg.file, reg.index);
+        self.reserved.contains(&key) || self.allocated.contains(&key)
+    }
+
+    /// Allocates a register of the given class.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError::OutOfRegisters`] if no register of the class is
+    /// available.
+    pub fn alloc(&mut self, class: RegClass) -> Result<Register, AsmError> {
+        self.alloc_excluding(class, &[])
+    }
+
+    /// Allocates a register of the given class that does not alias any of the
+    /// registers in `exclude`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError::OutOfRegisters`] if no suitable register is
+    /// available.
+    pub fn alloc_excluding(
+        &mut self,
+        class: RegClass,
+        exclude: &[Register],
+    ) -> Result<Register, AsmError> {
+        let count = class.file.count();
+        // Prefer higher-numbered GPRs to avoid the architecturally special
+        // low registers (RAX/RCX/RDX are implicit operands of many
+        // instructions).
+        let order: Vec<u8> = match class.file {
+            RegFile::Gpr => vec![3, 6, 7, 8, 9, 10, 11, 12, 13, 1, 2, 0, 5, 4, 14, 15],
+            _ => (0..count).collect(),
+        };
+        for idx in order {
+            if idx >= count {
+                continue;
+            }
+            let key = (class.file, idx);
+            if self.reserved.contains(&key) || self.allocated.contains(&key) {
+                continue;
+            }
+            if exclude.iter().any(|r| r.file == class.file && r.index == idx) {
+                continue;
+            }
+            self.allocated.insert(key);
+            return Ok(Register { file: class.file, index: idx, width: class.width });
+        }
+        Err(AsmError::OutOfRegisters { class: class.to_string() })
+    }
+
+    /// Releases a previously allocated register.
+    pub fn release(&mut self, reg: Register) {
+        self.allocated.remove(&(reg.file, reg.index));
+    }
+
+    /// Releases all allocated registers and resets the scratch-memory
+    /// displacement counter. Reservations are kept.
+    pub fn reset(&mut self) {
+        self.allocated.clear();
+        self.next_disp = 0;
+    }
+
+    /// The base register of the scratch memory area.
+    #[must_use]
+    pub fn memory_base(&self) -> Register {
+        self.mem_base
+    }
+
+    /// Changes the scratch-memory base register (it is reserved
+    /// automatically).
+    pub fn set_memory_base(&mut self, reg: Register) {
+        self.mem_base = reg;
+        self.reserve(reg);
+    }
+
+    /// Returns a fresh scratch-memory cell of the given width. Each call
+    /// returns a distinct cell (cells are spaced one cache line apart).
+    pub fn fresh_mem(&mut self, width: Width) -> MemOperand {
+        let disp = self.next_disp;
+        self.next_disp += self.cell_stride;
+        MemOperand::new(self.mem_base, disp, width)
+    }
+
+    /// Returns the scratch-memory cell at a specific displacement (useful
+    /// when several instructions must touch the *same* cell).
+    #[must_use]
+    pub fn mem_at(&self, disp: i32, width: Width) -> MemOperand {
+        MemOperand::new(self.mem_base, disp, width)
+    }
+
+    /// Number of currently allocated registers.
+    #[must_use]
+    pub fn allocated_count(&self) -> usize {
+        self.allocated.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocations_are_distinct() {
+        let mut pool = RegisterPool::new();
+        let a = pool.alloc(RegClass::gpr(Width::W64)).unwrap();
+        let b = pool.alloc(RegClass::gpr(Width::W64)).unwrap();
+        let c = pool.alloc(RegClass::gpr(Width::W32)).unwrap();
+        assert!(!a.aliases(b));
+        assert!(!a.aliases(c));
+        assert!(!b.aliases(c));
+    }
+
+    #[test]
+    fn reserved_registers_are_never_allocated() {
+        let mut pool = RegisterPool::new();
+        let mut allocated = Vec::new();
+        while let Ok(r) = pool.alloc(RegClass::gpr(Width::W64)) {
+            allocated.push(r);
+        }
+        for r in &allocated {
+            assert_ne!(r.index, gpr::RSP, "RSP must never be allocated");
+            assert_ne!(r.index, gpr::RBP, "RBP must never be allocated");
+            assert_ne!(r.index, 14, "R14 (memory base) must never be allocated");
+            assert_ne!(r.index, 15, "R15 (harness) must never be allocated");
+        }
+        // 16 GPRs minus 4 reserved.
+        assert_eq!(allocated.len(), 12);
+    }
+
+    #[test]
+    fn out_of_registers_error() {
+        let mut pool = RegisterPool::new();
+        for _ in 0..8 {
+            pool.alloc(RegClass::mmx()).unwrap();
+        }
+        let err = pool.alloc(RegClass::mmx()).unwrap_err();
+        assert!(matches!(err, AsmError::OutOfRegisters { .. }));
+    }
+
+    #[test]
+    fn release_and_reset() {
+        let mut pool = RegisterPool::new();
+        let a = pool.alloc(RegClass::gpr(Width::W64)).unwrap();
+        assert_eq!(pool.allocated_count(), 1);
+        pool.release(a);
+        assert_eq!(pool.allocated_count(), 0);
+        let _ = pool.alloc(RegClass::vec(Width::W128)).unwrap();
+        pool.reset();
+        assert_eq!(pool.allocated_count(), 0);
+        let m = pool.fresh_mem(Width::W64);
+        assert_eq!(m.disp, 0, "reset must rewind the displacement counter");
+    }
+
+    #[test]
+    fn exclusion_is_respected() {
+        let mut pool = RegisterPool::new();
+        let rbx = Register::gpr(gpr::RBX, Width::W64);
+        let r = pool.alloc_excluding(RegClass::gpr(Width::W64), &[rbx]).unwrap();
+        assert!(!r.aliases(rbx));
+    }
+
+    #[test]
+    fn fresh_mem_cells_are_distinct() {
+        let mut pool = RegisterPool::new();
+        let a = pool.fresh_mem(Width::W64);
+        let b = pool.fresh_mem(Width::W64);
+        assert_ne!(a.cell(), b.cell());
+        assert_eq!(a.base, pool.memory_base());
+        let fixed = pool.mem_at(0, Width::W32);
+        assert_eq!(fixed.cell(), a.cell(), "mem_at(0) aliases the first fresh cell");
+    }
+
+    #[test]
+    fn mark_used_blocks_allocation() {
+        let mut pool = RegisterPool::new();
+        let rbx = Register::gpr(gpr::RBX, Width::W64);
+        pool.mark_used(rbx);
+        assert!(pool.is_taken(rbx));
+        let next = pool.alloc(RegClass::gpr(Width::W64)).unwrap();
+        assert!(!next.aliases(rbx));
+    }
+
+    #[test]
+    fn custom_memory_base_is_reserved() {
+        let mut pool = RegisterPool::new();
+        let rdi = Register::gpr(gpr::RDI, Width::W64);
+        pool.set_memory_base(rdi);
+        assert_eq!(pool.memory_base(), rdi);
+        let mut allocated = Vec::new();
+        while let Ok(r) = pool.alloc(RegClass::gpr(Width::W64)) {
+            allocated.push(r);
+        }
+        assert!(allocated.iter().all(|r| !r.aliases(rdi)));
+    }
+}

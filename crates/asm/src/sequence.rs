@@ -1,0 +1,253 @@
+//! Code sequences: ordered lists of instruction instances forming the body of
+//! a microbenchmark.
+
+use std::fmt;
+
+use crate::inst::Inst;
+use crate::operand::Resource;
+
+/// An ordered sequence of instruction instances.
+///
+/// A code sequence is what the measurement harness executes (the `AsmCode`
+/// of Algorithm 2 in the paper): the sequence is unrolled a configurable
+/// number of times and wrapped in the measurement prologue/epilogue by the
+/// backend.
+#[derive(Debug, Clone, Default)]
+pub struct CodeSequence {
+    instructions: Vec<Inst>,
+}
+
+impl CodeSequence {
+    /// Creates an empty sequence.
+    #[must_use]
+    pub fn new() -> CodeSequence {
+        CodeSequence::default()
+    }
+
+    /// Creates a sequence from a list of instructions.
+    #[must_use]
+    pub fn from_instructions(instructions: Vec<Inst>) -> CodeSequence {
+        CodeSequence { instructions }
+    }
+
+    /// Appends an instruction.
+    pub fn push(&mut self, inst: Inst) {
+        self.instructions.push(inst);
+    }
+
+    /// Appends all instructions of another sequence.
+    pub fn extend_from(&mut self, other: &CodeSequence) {
+        self.instructions.extend(other.instructions.iter().cloned());
+    }
+
+    /// Returns a new sequence consisting of `n` copies of this sequence.
+    #[must_use]
+    pub fn repeat(&self, n: usize) -> CodeSequence {
+        let mut out = Vec::with_capacity(self.instructions.len() * n);
+        for _ in 0..n {
+            out.extend(self.instructions.iter().cloned());
+        }
+        CodeSequence { instructions: out }
+    }
+
+    /// The number of instructions in the sequence.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.instructions.len()
+    }
+
+    /// Returns `true` if the sequence contains no instructions.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.instructions.is_empty()
+    }
+
+    /// The instructions of the sequence.
+    #[must_use]
+    pub fn instructions(&self) -> &[Inst] {
+        &self.instructions
+    }
+
+    /// Iterates over the instructions.
+    pub fn iter(&self) -> impl Iterator<Item = &Inst> {
+        self.instructions.iter()
+    }
+
+    /// Counts how many instructions use the given mnemonic.
+    #[must_use]
+    pub fn count_mnemonic(&self, mnemonic: &str) -> usize {
+        self.instructions.iter().filter(|i| i.mnemonic() == mnemonic).count()
+    }
+
+    /// Returns `true` if instruction `j` has a read-after-write dependency on
+    /// instruction `i` (with `i < j`), considering registers, flags, and
+    /// memory cells.
+    #[must_use]
+    pub fn has_raw_dependency(&self, i: usize, j: usize) -> bool {
+        if i >= j || j >= self.instructions.len() {
+            return false;
+        }
+        self.instructions[j].depends_on(&self.instructions[i])
+    }
+
+    /// Returns `true` if consecutive instructions form a dependency chain
+    /// (each instruction reads something the immediately preceding
+    /// instruction writes).
+    #[must_use]
+    pub fn is_dependency_chain(&self) -> bool {
+        self.instructions.windows(2).all(|w| w[1].depends_on(&w[0]))
+    }
+
+    /// Returns `true` if *no* instruction depends on any earlier instruction
+    /// in the sequence (ignoring resources in `ignored`). This is the
+    /// independence requirement of the throughput microbenchmarks (§5.3.1);
+    /// `ignored` is typically the set of resources for which independence is
+    /// impossible (implicit operands that are both read and written).
+    #[must_use]
+    pub fn is_independent(&self, ignored: &[Resource]) -> bool {
+        for j in 1..self.instructions.len() {
+            let reads = self.instructions[j].reads();
+            for i in 0..j {
+                let writes = self.instructions[i].writes();
+                if reads.iter().any(|r| !ignored.contains(r) && writes.contains(r)) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// All resources written anywhere in the sequence.
+    #[must_use]
+    pub fn written_resources(&self) -> Vec<Resource> {
+        let mut out: Vec<Resource> = Vec::new();
+        for inst in &self.instructions {
+            for r in inst.writes() {
+                if !out.contains(&r) {
+                    out.push(r);
+                }
+            }
+        }
+        out
+    }
+
+    /// A multi-line Intel-syntax listing of the sequence.
+    #[must_use]
+    pub fn listing(&self) -> String {
+        let mut out = String::new();
+        for inst in &self.instructions {
+            out.push_str(&inst.to_intel_syntax());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for CodeSequence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.listing())
+    }
+}
+
+impl FromIterator<Inst> for CodeSequence {
+    fn from_iter<T: IntoIterator<Item = Inst>>(iter: T) -> CodeSequence {
+        CodeSequence { instructions: iter.into_iter().collect() }
+    }
+}
+
+impl<'a> IntoIterator for &'a CodeSequence {
+    type Item = &'a Inst;
+    type IntoIter = std::slice::Iter<'a, Inst>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.instructions.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::variant_arc;
+    use crate::operand::Op;
+    use crate::pool::RegisterPool;
+    use std::collections::BTreeMap;
+    use uops_isa::{gpr, Catalog, Register, Width};
+
+    fn movsx_chain(len: usize) -> CodeSequence {
+        // MOVSX RBX, CX ; MOVSX RCX, BX ; ... a classic latency chain.
+        let c = Catalog::intel_core();
+        let desc = variant_arc(&c, "MOVSX", "R64, R16").unwrap();
+        let mut pool = RegisterPool::new();
+        let a = Register::gpr(gpr::RBX, Width::W64);
+        let b = Register::gpr(gpr::RCX, Width::W64);
+        let mut seq = CodeSequence::new();
+        for i in 0..len {
+            let (dst, src) = if i % 2 == 0 { (a, b) } else { (b, a) };
+            let mut assign = BTreeMap::new();
+            assign.insert(0, Op::Reg(dst));
+            assign.insert(1, Op::Reg(src.with_width(Width::W16)));
+            seq.push(crate::inst::Inst::bind(&desc, &assign, &mut pool).unwrap());
+        }
+        seq
+    }
+
+    #[test]
+    fn chain_is_detected() {
+        let seq = movsx_chain(6);
+        assert_eq!(seq.len(), 6);
+        assert!(seq.is_dependency_chain());
+        assert!(!seq.is_independent(&[]));
+        assert!(seq.has_raw_dependency(0, 1));
+        assert!(!seq.has_raw_dependency(1, 0));
+    }
+
+    #[test]
+    fn repeat_multiplies_length() {
+        let seq = movsx_chain(2);
+        let repeated = seq.repeat(10);
+        assert_eq!(repeated.len(), 20);
+        assert_eq!(repeated.count_mnemonic("MOVSX"), 20);
+    }
+
+    #[test]
+    fn independent_sequence_is_recognized() {
+        let c = Catalog::intel_core();
+        let desc = variant_arc(&c, "MOVSX", "R64, R16").unwrap();
+        let mut pool = RegisterPool::new();
+        let mut seq = CodeSequence::new();
+        for _ in 0..4 {
+            let dst = pool.alloc(uops_isa::RegClass::gpr(Width::W64)).unwrap();
+            let src = pool.alloc(uops_isa::RegClass::gpr(Width::W16)).unwrap();
+            let mut assign = BTreeMap::new();
+            assign.insert(0, Op::Reg(dst));
+            assign.insert(1, Op::Reg(src));
+            seq.push(crate::inst::Inst::bind(&desc, &assign, &mut pool).unwrap());
+        }
+        assert!(seq.is_independent(&[]));
+        assert!(!seq.is_dependency_chain());
+    }
+
+    #[test]
+    fn listing_contains_all_instructions() {
+        let seq = movsx_chain(3);
+        let listing = seq.listing();
+        assert_eq!(listing.lines().count(), 3);
+        assert!(listing.lines().all(|l| l.starts_with("MOVSX ")));
+        assert_eq!(seq.to_string(), listing);
+    }
+
+    #[test]
+    fn written_resources_are_deduplicated() {
+        let seq = movsx_chain(4);
+        let written = seq.written_resources();
+        // Only RBX and RCX are written, regardless of the chain length.
+        assert_eq!(written.len(), 2);
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let seq = movsx_chain(5);
+        let collected: CodeSequence = seq.iter().cloned().collect();
+        assert_eq!(collected.len(), 5);
+    }
+}

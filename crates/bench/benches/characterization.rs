@@ -1,0 +1,67 @@
+//! Criterion benchmarks of the inference algorithms themselves: latency
+//! inference (§5.2), port-usage inference (Algorithm 1), and the complete
+//! per-variant characterization — the building blocks whose cost determines
+//! the tool's total run time (§7.1 reports 50–110 minutes per machine).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use uops_core::{
+    infer_port_usage, BlockingInstructions, CharacterizationEngine, EngineConfig, LatencyAnalyzer,
+    VectorWorld,
+};
+use uops_isa::Catalog;
+use uops_measure::{MeasurementConfig, SimBackend};
+use uops_uarch::MicroArch;
+
+fn bench_characterization(c: &mut Criterion) {
+    let catalog = Catalog::intel_core();
+    let arch = MicroArch::Skylake;
+    let backend = SimBackend::new(arch);
+    let config = MeasurementConfig::fast();
+    let mut group = c.benchmark_group("characterization");
+    group.sample_size(10).measurement_time(Duration::from_secs(5));
+
+    // Latency inference for a scalar and a vector instruction.
+    let analyzer = LatencyAnalyzer::new(&backend, &catalog, config).unwrap();
+    for (mnemonic, variant) in [("ADC", "R64, R64"), ("AESDEC", "XMM, XMM")] {
+        let desc = Arc::new(catalog.find_variant(mnemonic, variant).unwrap().clone());
+        group.bench_function(format!("latency/{mnemonic}"), |b| {
+            b.iter(|| analyzer.infer(&desc).unwrap())
+        });
+    }
+
+    // Port-usage inference (Algorithm 1), excluding the one-off blocking
+    // discovery.
+    let blocking =
+        BlockingInstructions::find(&backend, &catalog, &config, VectorWorld::Sse).unwrap();
+    for (mnemonic, variant) in [("ADC", "R64, R64"), ("MOVQ2DQ", "XMM, MM")] {
+        let desc = Arc::new(catalog.find_variant(mnemonic, variant).unwrap().clone());
+        group.bench_function(format!("port_usage/{mnemonic}"), |b| {
+            b.iter(|| infer_port_usage(&backend, &blocking, &desc, 8, &config).unwrap())
+        });
+    }
+
+    // Full per-variant characterization through the engine (setup cached).
+    let engine = CharacterizationEngine::with_config(&catalog, arch, EngineConfig::fast());
+    let desc = catalog.find_variant("ADD", "R64, R64").unwrap();
+    // Warm the engine's cached blocking instructions outside the timing loop.
+    let _ = engine.characterize_variant(&backend, desc).unwrap();
+    group.bench_function("full_variant/ADD", |b| {
+        b.iter(|| engine.characterize_variant(&backend, desc).unwrap())
+    });
+
+    // Blocking-instruction discovery itself (the per-architecture setup cost).
+    group.bench_function("blocking_discovery", |b| {
+        b.iter(|| {
+            BlockingInstructions::find(&backend, &catalog, &config, VectorWorld::Sse).unwrap()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_characterization);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion benchmarks of the throughput LP solver (§5.3.2): the exact
+//! subset-enumeration solver vs. the binary-search + max-flow solver, on the
+//! port usages that actually occur in the characterization results.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use uops_lp::{min_max_load, min_max_load_by_flow, PortUsageMap};
+
+fn usages() -> Vec<(&'static str, PortUsageMap)> {
+    let mk = |entries: &[(&[u8], f64)]| -> PortUsageMap {
+        entries
+            .iter()
+            .map(|(ports, count)| (ports.iter().fold(0u16, |m, p| m | (1 << p)), *count))
+            .collect()
+    };
+    vec![
+        ("alu_1uop", mk(&[(&[0, 1, 5, 6], 1.0)])),
+        ("adc_haswell", mk(&[(&[0, 1, 5, 6], 1.0), (&[0, 6], 1.0)])),
+        ("vhaddpd_skylake", mk(&[(&[0, 1], 1.0), (&[5], 2.0)])),
+        (
+            "store_heavy",
+            mk(&[(&[2, 3], 2.0), (&[2, 3, 7], 2.0), (&[4], 2.0), (&[0, 1, 5, 6], 3.0)]),
+        ),
+        (
+            "dense",
+            mk(&[
+                (&[0], 1.0),
+                (&[1], 1.0),
+                (&[0, 1], 2.0),
+                (&[0, 1, 5], 3.0),
+                (&[0, 1, 5, 6], 4.0),
+                (&[2, 3], 2.0),
+            ]),
+        ),
+    ]
+}
+
+fn bench_lp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lp_solver");
+    group.sample_size(50).measurement_time(Duration::from_secs(3));
+    for (name, usage) in usages() {
+        group.bench_function(format!("exact/{name}"), |b| b.iter(|| min_max_load(&usage, 0xff)));
+        group.bench_function(format!("flow/{name}"), |b| {
+            b.iter(|| min_max_load_by_flow(&usage, 0xff))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lp);
+criterion_main!(benches);

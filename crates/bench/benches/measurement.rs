@@ -1,0 +1,42 @@
+//! Criterion benchmarks of the measurement harness (§6.2 / Algorithm 2): the
+//! warm-up + two-unroll + differencing protocol for a single instruction and
+//! for an 8-instruction sequence.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use uops_asm::{variant_arc, CodeSequence, Inst, RegisterPool};
+use uops_isa::Catalog;
+use uops_measure::{measure, MeasurementConfig, RunContext, SimBackend};
+use uops_uarch::MicroArch;
+
+fn bench_measurement(c: &mut Criterion) {
+    let catalog = Catalog::intel_core();
+    let backend = SimBackend::new(MicroArch::Skylake);
+    let mut group = c.benchmark_group("measurement");
+    group.sample_size(20).measurement_time(Duration::from_secs(3));
+
+    let desc = variant_arc(&catalog, "ADD", "R64, R64").unwrap();
+    let mut pool = RegisterPool::new();
+    let single: CodeSequence =
+        std::iter::once(Inst::bind(&desc, &BTreeMap::new(), &mut pool).unwrap()).collect();
+    let mut pool = RegisterPool::new();
+    let eight: CodeSequence =
+        uops_core::codegen::independent_copies(&desc, 8, &mut pool).unwrap().into_iter().collect();
+
+    for (name, config) in [("paper", MeasurementConfig::paper()), ("fast", MeasurementConfig::fast())]
+    {
+        group.bench_function(format!("single_instruction_{name}"), |b| {
+            b.iter(|| measure(&backend, &single, &config, RunContext::default()))
+        });
+        group.bench_function(format!("eight_instructions_{name}"), |b| {
+            b.iter(|| measure(&backend, &eight, &config, RunContext::default()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_measurement);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Criterion benchmarks of the pipeline simulator: dependent chains and
+//! independent sequences of various lengths on a 6-port and an 8-port
+//! microarchitecture.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use uops_asm::{variant_arc, CodeSequence, Inst, Op, RegisterPool};
+use uops_isa::{gpr, Catalog, Register, Width};
+use uops_pipeline::Pipeline;
+use uops_uarch::MicroArch;
+
+fn dependent_chain(catalog: &Catalog, len: usize) -> CodeSequence {
+    let desc = variant_arc(catalog, "MOVSX", "R64, R16").unwrap();
+    let a = Register::gpr(gpr::RBX, Width::W64);
+    let b = Register::gpr(gpr::RCX, Width::W64);
+    let mut pool = RegisterPool::new();
+    let mut seq = CodeSequence::new();
+    for i in 0..len {
+        let (dst, src) = if i % 2 == 0 { (a, b) } else { (b, a) };
+        let mut assign = BTreeMap::new();
+        assign.insert(0, Op::Reg(dst));
+        assign.insert(1, Op::Reg(src.with_width(Width::W16)));
+        seq.push(Inst::bind(&desc, &assign, &mut pool).unwrap());
+    }
+    seq
+}
+
+fn independent_alu(catalog: &Catalog, len: usize) -> CodeSequence {
+    let desc = variant_arc(catalog, "ADD", "R64, R64").unwrap();
+    let mut pool = RegisterPool::new();
+    uops_core::codegen::independent_copies(&desc, len, &mut pool).unwrap().into_iter().collect()
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let catalog = Catalog::intel_core();
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(20).measurement_time(Duration::from_secs(3));
+
+    for &len in &[64usize, 512] {
+        let chain = dependent_chain(&catalog, len);
+        let independent = independent_alu(&catalog, len);
+        for arch in [MicroArch::Nehalem, MicroArch::Skylake] {
+            let sim = Pipeline::new(arch);
+            group.bench_with_input(
+                BenchmarkId::new(format!("dependent_chain_{}", arch.name()), len),
+                &chain,
+                |b, seq| b.iter(|| sim.execute(seq)),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("independent_alu_{}", arch.name()), len),
+                &independent,
+                |b, seq| b.iter(|| sim.execute(seq)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

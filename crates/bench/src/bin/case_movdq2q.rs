@@ -1,0 +1,50 @@
+//! §7.3.4 — MOVDQ2Q.
+//!
+//! On Haswell the measured usage is 1*p5 + 1*p015 (IACA 2.1 agrees; IACA
+//! 2.2–3.0 and LLVM report 1*p01 + 1*p015; Fog reports 1*p01 + 1*p5). On
+//! Sandy Bridge the measured usage is 1*p015 + 1*p5 while Fog reports
+//! 2*p015.
+//!
+//! Run with `cargo run --release -p uops-bench --bin case_movdq2q`.
+
+use uops_bench::{experiment_setup, Table};
+use uops_iaca::{IacaAnalyzer, IacaVersion};
+use uops_isa::Catalog;
+use uops_uarch::MicroArch;
+
+fn main() {
+    let catalog = Catalog::intel_core();
+    let desc = catalog.find_variant("MOVDQ2Q", "MM, XMM").unwrap();
+
+    let mut table =
+        Table::new(&["uarch", "Algorithm 1", "naive (isolation)", "IACA 2.1", "IACA (latest)"]);
+    for arch in [MicroArch::SandyBridge, MicroArch::Haswell] {
+        let (backend, engine) = experiment_setup(&catalog, arch);
+        let profile = engine.characterize_variant(&backend, desc).expect("characterization");
+        let naive = profile
+            .naive_port_usage
+            .as_ref()
+            .map(|n| n.interpretation.to_string())
+            .unwrap_or_else(|| "-".to_string());
+        let iaca_of = |version: IacaVersion| {
+            IacaAnalyzer::new(arch, version)
+                .and_then(|a| a.analyze_instruction(desc))
+                .map(|d| d.port_usage_string())
+                .unwrap_or_else(|| "-".to_string())
+        };
+        let latest = *IacaVersion::supporting(arch).last().unwrap();
+        table.row(&[
+            arch.name().to_string(),
+            profile.port_usage.to_string(),
+            naive,
+            iaca_of(IacaVersion::V21),
+            iaca_of(latest),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "paper reference: Haswell measured 1*p5 + 1*p015 (IACA 2.1 agrees, later versions\n\
+         and LLVM say 1*p01 + 1*p015, Fog says 1*p01 + 1*p5); Sandy Bridge measured\n\
+         1*p015 + 1*p5 (Fog: 2*p015)."
+    );
+}

@@ -1,0 +1,42 @@
+//! §7.3.3 — MOVQ2DQ.
+//!
+//! Agner Fog's tables report one µop on port 0 and one µop on ports 1/5 on
+//! Skylake (the conclusion the run-in-isolation heuristic suggests); IACA and
+//! LLVM report two µops on port 5. Algorithm 1 shows that the second µop can
+//! actually use ports 0, 1, and 5: with blocking instructions for ports 1 and
+//! 5, all µops of MOVQ2DQ execute on port 0.
+//!
+//! Run with `cargo run --release -p uops-bench --bin case_movq2dq`.
+
+use uops_bench::{experiment_setup, Table};
+use uops_iaca::{IacaAnalyzer, IacaVersion};
+use uops_isa::Catalog;
+use uops_uarch::MicroArch;
+
+fn main() {
+    let catalog = Catalog::intel_core();
+    let desc = catalog.find_variant("MOVQ2DQ", "XMM, MM").unwrap();
+
+    let mut table = Table::new(&["uarch", "Algorithm 1", "naive (isolation)", "IACA"]);
+    for arch in [MicroArch::SandyBridge, MicroArch::Haswell, MicroArch::Skylake] {
+        let (backend, engine) = experiment_setup(&catalog, arch);
+        let profile = engine.characterize_variant(&backend, desc).expect("characterization");
+        let naive = profile
+            .naive_port_usage
+            .as_ref()
+            .map(|n| n.interpretation.to_string())
+            .unwrap_or_else(|| "-".to_string());
+        let iaca = IacaVersion::supporting(arch)
+            .last()
+            .and_then(|v| IacaAnalyzer::new(arch, *v))
+            .and_then(|a| a.analyze_instruction(desc))
+            .map(|d| d.port_usage_string())
+            .unwrap_or_else(|| "-".to_string());
+        table.row(&[arch.name().to_string(), profile.port_usage.to_string(), naive, iaca]);
+    }
+    println!("{}", table.render());
+    println!(
+        "paper reference (Skylake): measured 1*p0 + 1*p015; Fog concludes 1*p0 + 1*p15;\n\
+         IACA and LLVM claim both µops can only use port 5."
+    );
+}

@@ -1,0 +1,50 @@
+//! §5.1 — the two motivating examples for Algorithm 1.
+//!
+//! * PBLENDVB on Nehalem: a port usage of 2*p05 produces exactly the same
+//!   run-in-isolation measurements as 1*p0 + 1*p5, but behaves very
+//!   differently when run together with an instruction that can only use
+//!   port 0.
+//! * ADC on Haswell: 0.5 µops on each of ports 0, 1, 5, and 6 suggests
+//!   2*p0156, whereas the actual usage is 1*p0156 + 1*p06.
+//!
+//! Run with `cargo run --release -p uops-bench --bin case_port_pitfalls`.
+
+use uops_bench::{experiment_setup, Table};
+use uops_isa::Catalog;
+use uops_uarch::MicroArch;
+
+fn main() {
+    let catalog = Catalog::intel_core();
+    let cases = [
+        ("PBLENDVB", "XMM, XMM", MicroArch::Nehalem, "2*p05", "1*p0+1*p5"),
+        ("ADC", "R64, R64", MicroArch::Haswell, "1*p06+1*p0156", "2*p0156"),
+    ];
+
+    let mut table = Table::new(&[
+        "instruction",
+        "uarch",
+        "Algorithm 1",
+        "naive conclusion",
+        "paper (Algorithm 1)",
+        "paper (naive)",
+    ]);
+    for (mnemonic, variant, arch, paper_true, paper_naive) in cases {
+        let desc = catalog.find_variant(mnemonic, variant).unwrap();
+        let (backend, engine) = experiment_setup(&catalog, arch);
+        let profile = engine.characterize_variant(&backend, desc).expect("characterization");
+        let naive = profile
+            .naive_port_usage
+            .as_ref()
+            .map(|n| n.interpretation.to_string())
+            .unwrap_or_else(|| "-".to_string());
+        table.row(&[
+            format!("{mnemonic} ({variant})"),
+            arch.name().to_string(),
+            profile.port_usage.to_string(),
+            naive,
+            paper_true.to_string(),
+            paper_naive.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+}

@@ -1,0 +1,186 @@
+//! # uops-bench
+//!
+//! The experiment harness that regenerates the tables and figures of the
+//! paper's evaluation (§7). Each experiment is a binary under `src/bin/`:
+//!
+//! | binary | experiment |
+//! |---|---|
+//! | `table1` | Table 1: variants per microarchitecture and agreement with IACA |
+//! | `iaca_discrepancies` | §7.2: classes of IACA errors |
+//! | `case_aes` | §7.3.1: AES instruction latencies across generations |
+//! | `case_shld` | §7.3.2: SHLD latencies and the same-register effect |
+//! | `case_movq2dq` | §7.3.3: MOVQ2DQ port usage |
+//! | `case_movdq2q` | §7.3.4: MOVDQ2Q port usage |
+//! | `case_multilatency` | §7.3.5: instructions with multiple latencies |
+//! | `case_zero_idioms` | §7.3.6: undocumented dependency-breaking idioms |
+//! | `case_port_pitfalls` | §5.1: naive vs. Algorithm 1 port usage |
+//!
+//! The `benches/` directory contains Criterion benchmarks of the library
+//! itself (simulator, measurement harness, LP solver, characterization).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::sync::Arc;
+
+use uops_core::{CharacterizationEngine, CharacterizationReport, EngineConfig, LatencyAnalyzer};
+use uops_iaca::MeasuredInstruction;
+use uops_isa::{Catalog, InstructionDesc};
+use uops_measure::{MeasurementConfig, SimBackend};
+use uops_uarch::MicroArch;
+
+/// Creates the engine/backend pair used by all experiments.
+#[must_use]
+pub fn experiment_setup(
+    catalog: &Catalog,
+    arch: MicroArch,
+) -> (SimBackend, CharacterizationEngine<'_>) {
+    let backend = SimBackend::new(arch);
+    let engine = CharacterizationEngine::with_config(catalog, arch, EngineConfig::fast());
+    (backend, engine)
+}
+
+/// Creates a latency analyzer with the fast measurement configuration.
+///
+/// # Panics
+///
+/// Panics if the chain-instruction calibration fails (which would indicate a
+/// broken catalog).
+#[must_use]
+pub fn latency_analyzer<'a>(
+    backend: &'a SimBackend,
+    catalog: &'a Catalog,
+) -> LatencyAnalyzer<'a, SimBackend> {
+    LatencyAnalyzer::new(backend, catalog, MeasurementConfig::fast())
+        .expect("chain-instruction calibration")
+}
+
+/// Converts a characterization report into the comparison records used by
+/// the IACA agreement statistics.
+#[must_use]
+pub fn to_measured_instructions(
+    catalog: &Catalog,
+    report: &CharacterizationReport,
+) -> Vec<(MeasuredInstruction, InstructionDesc)> {
+    report
+        .profiles
+        .iter()
+        .filter_map(|p| {
+            let desc = catalog.try_get(p.uid)?;
+            Some((
+                MeasuredInstruction::new(desc, p.uop_count, p.port_usage.entries().to_vec()),
+                desc.clone(),
+            ))
+        })
+        .collect()
+}
+
+/// The latency map of a single variant, measured on a given
+/// microarchitecture (helper shared by the case-study binaries).
+///
+/// # Panics
+///
+/// Panics if the variant does not exist in the catalog.
+#[must_use]
+pub fn latency_of(
+    catalog: &Catalog,
+    arch: MicroArch,
+    mnemonic: &str,
+    variant: &str,
+) -> Option<uops_core::LatencyMap> {
+    let desc = catalog
+        .find_variant(mnemonic, variant)
+        .unwrap_or_else(|| panic!("missing catalog variant {mnemonic} ({variant})"));
+    if !arch.supports(desc.extension) {
+        return None;
+    }
+    let backend = SimBackend::new(arch);
+    let analyzer = latency_analyzer(&backend, catalog);
+    analyzer.infer(&Arc::new(desc.clone())).ok()
+}
+
+/// Formats a floating-point cycle count the way the experiment tables print
+/// it (two decimals, or "-" for missing values).
+#[must_use]
+pub fn fmt_cycles(value: Option<f64>) -> String {
+    value.map(|v| format!("{v:.2}")).unwrap_or_else(|| "-".to_string())
+}
+
+/// Simple markdown-style table printer used by the experiment binaries.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    #[must_use]
+    pub fn new(header: &[&str]) -> Table {
+        Table { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Adds a row (must have the same number of cells as the header).
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Renders the table.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let padded: Vec<String> =
+                cells.iter().zip(widths).map(|(c, w)| format!("{c:<w$}", w = w)).collect();
+            format!("| {} |\n", padded.join(" | "))
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        out.push_str(&fmt_row(&sep, &widths));
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_markdown() {
+        let mut t = Table::new(&["uarch", "value"]);
+        t.row(&["Skylake".to_string(), "1".to_string()]);
+        t.row(&["Nehalem".to_string(), "22".to_string()]);
+        let rendered = t.render();
+        assert!(rendered.contains("| uarch   | value |"));
+        assert_eq!(rendered.lines().count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn mismatched_rows_panic() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["only one".to_string()]);
+    }
+
+    #[test]
+    fn latency_of_returns_none_for_unsupported_arch() {
+        let catalog = Catalog::intel_core();
+        assert!(latency_of(&catalog, MicroArch::Nehalem, "VADDPS", "XMM, XMM, XMM").is_none());
+    }
+
+    #[test]
+    fn fmt_cycles_formats() {
+        assert_eq!(fmt_cycles(Some(1.234)), "1.23");
+        assert_eq!(fmt_cycles(None), "-");
+    }
+}

@@ -1,0 +1,347 @@
+//! Discovery of blocking instructions (§5.1.1).
+//!
+//! A *blocking instruction* for a set of ports `P` is an instruction whose
+//! µops can use all the ports in `P`, but no other port that has the same
+//! functional unit as a port in `P`. Blocking instructions are used by
+//! Algorithm 1 to determine whether the µops of another instruction can only
+//! execute on a given port combination.
+//!
+//! Blocking instructions are found automatically: all 1-µop instructions are
+//! grouped by the ports they use when run in isolation, and from each group
+//! the instruction with the highest throughput is chosen. The store-data and
+//! store-address port combinations have no 1-µop instruction; for them a
+//! `MOV` from a general-purpose register to memory is used. To avoid SSE–AVX
+//! transition penalties, separate sets are maintained for SSE and for AVX
+//! instructions.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use uops_asm::{CodeSequence, Inst, RegisterPool};
+use uops_isa::{Catalog, Extension, InstructionDesc};
+use uops_measure::{measure, measure_single, MeasurementBackend, MeasurementConfig, RunContext};
+use uops_uarch::PortSet;
+
+use crate::codegen::{independent_copies, instantiate};
+use crate::error::CoreError;
+
+/// Which vector-instruction family a benchmark belongs to, for the purpose of
+/// avoiding SSE–AVX transition penalties (§5.1.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum VectorWorld {
+    /// Use SSE blocking instructions (no VEX-encoded instructions).
+    #[default]
+    Sse,
+    /// Use AVX blocking instructions (no legacy-SSE vector instructions).
+    Avx,
+}
+
+impl VectorWorld {
+    /// The world an instruction belongs to (instructions that use no vector
+    /// registers are compatible with both; they default to SSE).
+    #[must_use]
+    pub fn of(desc: &InstructionDesc) -> VectorWorld {
+        if desc.extension.is_avx_family() {
+            VectorWorld::Avx
+        } else {
+            VectorWorld::Sse
+        }
+    }
+
+    /// Returns `true` if an instruction of the given extension may be used as
+    /// a blocking instruction in this world.
+    #[must_use]
+    pub fn admits(self, extension: Extension) -> bool {
+        match self {
+            VectorWorld::Sse => !extension.is_avx_family(),
+            VectorWorld::Avx => !extension.is_sse_family(),
+        }
+    }
+}
+
+/// The blocking instruction chosen for one port combination.
+#[derive(Debug, Clone)]
+pub struct BlockingEntry {
+    /// The instruction variant.
+    pub desc: Arc<InstructionDesc>,
+    /// The ports the instruction's µop uses.
+    pub ports: PortSet,
+    /// Measured reciprocal throughput (cycles per instruction) of a sequence
+    /// of independent copies; lower is better.
+    pub cycles_per_instruction: f64,
+    /// Number of µops the instruction contributes to its port combination
+    /// per copy (1 for ordinary blocking instructions, 1 for the store `MOV`
+    /// on each store combination).
+    pub uops_per_copy: u32,
+}
+
+/// The set of blocking instructions discovered for one microarchitecture and
+/// one vector world.
+#[derive(Debug, Clone, Default)]
+pub struct BlockingInstructions {
+    entries: BTreeMap<PortSet, BlockingEntry>,
+    world: VectorWorld,
+}
+
+impl BlockingInstructions {
+    /// Discovers blocking instructions on the given backend.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the catalog lacks the `MOV` store variant needed
+    /// for the store-port combinations.
+    pub fn find<B: MeasurementBackend + ?Sized>(
+        backend: &B,
+        catalog: &Catalog,
+        config: &MeasurementConfig,
+        world: VectorWorld,
+    ) -> Result<BlockingInstructions, CoreError> {
+        let arch = backend.arch();
+        let uarch_cfg = backend.config();
+        let ctx = RunContext::default();
+        let mut entries: BTreeMap<PortSet, BlockingEntry> = BTreeMap::new();
+
+        for desc in catalog.iter() {
+            if !desc.attrs.blocking_candidate()
+                || desc.attrs.locked
+                || desc.attrs.rep_prefix
+                || desc.attrs.uses_divider
+                || !arch.supports(desc.extension)
+                || !world.admits(desc.extension)
+                || desc.writes_memory()
+            {
+                continue;
+            }
+            let arc = Arc::new(desc.clone());
+            let mut pool = RegisterPool::new();
+            let inst = match instantiate(&arc, &mut pool) {
+                Ok(i) => i,
+                Err(_) => continue,
+            };
+            // Run the instruction in isolation to obtain its µop count and
+            // the ports it uses.
+            let isolated = measure_single(backend, inst, config, ctx);
+            if (isolated.uops_total - 1.0).abs() > 0.2 {
+                continue; // not a 1-µop instruction
+            }
+            let ports: PortSet =
+                (0..uarch_cfg.port_count).filter(|&p| isolated.port(p) > 0.12).collect();
+            if ports.is_empty() {
+                continue;
+            }
+
+            // Measure the throughput of a sequence of independent copies to
+            // choose the fastest blocking instruction per group.
+            let mut pool = RegisterPool::new();
+            let copies = match independent_copies(&arc, 8, &mut pool) {
+                Ok(c) => c,
+                Err(_) => continue,
+            };
+            let seq: CodeSequence = copies.into_iter().collect();
+            let m = measure(backend, &seq, config, ctx);
+            let cycles_per_instruction = m.cycles / 8.0;
+
+            let candidate = BlockingEntry {
+                desc: Arc::clone(&arc),
+                ports,
+                cycles_per_instruction,
+                uops_per_copy: 1,
+            };
+            match entries.get(&ports) {
+                Some(existing) if existing.cycles_per_instruction <= cycles_per_instruction => {}
+                _ => {
+                    entries.insert(ports, candidate);
+                }
+            }
+        }
+
+        // Store ports: use MOV from a general-purpose register to memory.
+        let store_mov = catalog
+            .find_variant("MOV", "M64, R64")
+            .cloned()
+            .map(Arc::new)
+            .ok_or_else(|| CoreError::MissingInstruction {
+                mnemonic: "MOV".to_string(),
+                variant: "M64, R64".to_string(),
+            })?;
+        for combo in uarch_cfg.store_port_combinations() {
+            entries.entry(combo).or_insert_with(|| BlockingEntry {
+                desc: Arc::clone(&store_mov),
+                ports: combo,
+                cycles_per_instruction: 1.0,
+                uops_per_copy: 1,
+            });
+        }
+
+        Ok(BlockingInstructions { entries, world })
+    }
+
+    /// The vector world these blocking instructions belong to.
+    #[must_use]
+    pub fn world(&self) -> VectorWorld {
+        self.world
+    }
+
+    /// The blocking entry for a port combination, if one was found.
+    #[must_use]
+    pub fn entry(&self, ports: PortSet) -> Option<&BlockingEntry> {
+        self.entries.get(&ports)
+    }
+
+    /// All port combinations for which a blocking instruction is available.
+    #[must_use]
+    pub fn covered_combinations(&self) -> Vec<PortSet> {
+        self.entries.keys().copied().collect()
+    }
+
+    /// The number of covered combinations.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if no blocking instructions were found.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Builds `count` copies of the blocking instruction for `ports`, using
+    /// registers from `pool` (which should already have the registers of the
+    /// instruction under test marked as used).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if no blocking instruction covers `ports` or the pool
+    /// cannot supply registers.
+    pub fn blocking_code(
+        &self,
+        ports: PortSet,
+        count: usize,
+        pool: &mut RegisterPool,
+    ) -> Result<Vec<Inst>, CoreError> {
+        let entry = self
+            .entry(ports)
+            .ok_or(CoreError::NoBlockingInstruction { ports })?;
+        independent_copies(&entry.desc, count, pool).map_err(CoreError::from)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uops_measure::SimBackend;
+    use uops_uarch::{MicroArch, UarchConfig};
+
+    fn find(arch: MicroArch, world: VectorWorld) -> BlockingInstructions {
+        let backend = SimBackend::new(arch);
+        let catalog = Catalog::intel_core();
+        BlockingInstructions::find(&backend, &catalog, &MeasurementConfig::fast(), world)
+            .expect("blocking discovery")
+    }
+
+    #[test]
+    fn skylake_blocking_instructions_cover_key_combinations() {
+        let blocking = find(MicroArch::Skylake, VectorWorld::Sse);
+        let cfg = UarchConfig::for_arch(MicroArch::Skylake);
+        // The combinations needed for the case studies must be covered.
+        for combo in [
+            cfg.int_alu,              // p0156
+            cfg.int_shift,            // p06
+            cfg.vec_alu,              // p015
+            cfg.vec_shuffle,          // p5
+            cfg.load,                 // p23
+            cfg.store_data,           // p4
+            cfg.store_addr,           // p237
+            PortSet::of(&[0]),        // p0 (AES / divider port)
+            cfg.int_mul,              // p1
+        ] {
+            assert!(
+                blocking.entry(combo).is_some(),
+                "no blocking instruction for {combo} on Skylake; covered: {:?}",
+                blocking.covered_combinations()
+            );
+        }
+    }
+
+    #[test]
+    fn blocking_instructions_are_single_uop_and_candidates() {
+        let blocking = find(MicroArch::Haswell, VectorWorld::Sse);
+        let cfg = UarchConfig::for_arch(MicroArch::Haswell);
+        for combo in blocking.covered_combinations() {
+            let entry = blocking.entry(combo).unwrap();
+            assert!(entry.cycles_per_instruction > 0.0);
+            assert!(entry.desc.attrs.blocking_candidate() || entry.desc.writes_memory());
+            assert!(combo.is_subset_of(cfg.all_ports()));
+        }
+    }
+
+    #[test]
+    fn store_combination_uses_mov_to_memory() {
+        let blocking = find(MicroArch::Skylake, VectorWorld::Sse);
+        let cfg = UarchConfig::for_arch(MicroArch::Skylake);
+        let entry = blocking.entry(cfg.store_data).expect("store data combo covered");
+        assert_eq!(entry.desc.mnemonic, "MOV");
+        assert!(entry.desc.writes_memory());
+    }
+
+    #[test]
+    fn sse_world_excludes_avx_and_vice_versa() {
+        let sse = find(MicroArch::Skylake, VectorWorld::Sse);
+        for combo in sse.covered_combinations() {
+            let e = sse.entry(combo).unwrap();
+            assert!(
+                !e.desc.extension.is_avx_family(),
+                "SSE world contains AVX instruction {}",
+                e.desc.full_name()
+            );
+        }
+        let avx = find(MicroArch::Skylake, VectorWorld::Avx);
+        for combo in avx.covered_combinations() {
+            let e = avx.entry(combo).unwrap();
+            assert!(
+                !e.desc.extension.is_sse_family(),
+                "AVX world contains SSE instruction {}",
+                e.desc.full_name()
+            );
+        }
+    }
+
+    #[test]
+    fn nehalem_has_a_port0_only_blocking_instruction() {
+        // Needed to distinguish 2*p05 from 1*p0 + 1*p5 for PBLENDVB (§5.1).
+        let blocking = find(MicroArch::Nehalem, VectorWorld::Sse);
+        assert!(
+            blocking.entry(PortSet::of(&[0])).is_some(),
+            "covered: {:?}",
+            blocking.covered_combinations()
+        );
+        assert!(blocking.entry(PortSet::of(&[5])).is_some());
+    }
+
+    #[test]
+    fn blocking_code_generates_requested_count() {
+        let blocking = find(MicroArch::Skylake, VectorWorld::Sse);
+        let cfg = UarchConfig::for_arch(MicroArch::Skylake);
+        let mut pool = RegisterPool::new();
+        let code = blocking.blocking_code(cfg.vec_shuffle, 24, &mut pool).unwrap();
+        assert_eq!(code.len(), 24);
+        let missing = blocking.blocking_code(PortSet::of(&[9]), 4, &mut pool);
+        assert!(missing.is_err());
+    }
+
+    #[test]
+    fn vector_world_classification() {
+        let catalog = Catalog::intel_core();
+        let paddd = catalog.find_variant("PADDD", "XMM, XMM").unwrap();
+        let vpaddd = catalog.find_variant("VPADDD", "XMM, XMM, XMM").unwrap();
+        let add = catalog.find_variant("ADD", "R64, R64").unwrap();
+        assert_eq!(VectorWorld::of(paddd), VectorWorld::Sse);
+        assert_eq!(VectorWorld::of(vpaddd), VectorWorld::Avx);
+        assert_eq!(VectorWorld::of(add), VectorWorld::Sse);
+        assert!(VectorWorld::Sse.admits(Extension::Base));
+        assert!(!VectorWorld::Sse.admits(Extension::Avx2));
+        assert!(VectorWorld::Avx.admits(Extension::Base));
+        assert!(!VectorWorld::Avx.admits(Extension::Sse2));
+    }
+}

@@ -1,0 +1,460 @@
+//! The characterization engine: orchestrates blocking-instruction discovery,
+//! latency, port-usage and throughput inference for individual instruction
+//! variants or the whole catalog.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use uops_isa::{Catalog, InstructionDesc};
+use uops_measure::{MeasurementBackend, MeasurementConfig};
+use uops_uarch::MicroArch;
+
+use crate::blocking::{BlockingInstructions, VectorWorld};
+use crate::error::CoreError;
+use crate::latency::{ChainCalibration, LatencyAnalyzer, LatencyMap};
+use crate::port_usage::{infer_port_usage, isolation_profile, PortUsage};
+use crate::prior::{naive_port_usage, NaivePortUsage};
+use crate::throughput::{measure_throughput, throughput_from_port_usage, Throughput};
+
+/// Configuration of the characterization engine.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EngineConfig {
+    /// The measurement configuration used for all microbenchmarks.
+    pub measurement: MeasurementConfig,
+    /// Maximum latency assumed for Algorithm 1 if the latency could not be
+    /// measured.
+    pub default_max_latency: u32,
+    /// Also run the prior-work baseline (naive port usage) for comparison.
+    pub include_naive_baseline: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            measurement: MeasurementConfig::default(),
+            default_max_latency: 12,
+            include_naive_baseline: true,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// A configuration tuned for large catalog sweeps.
+    #[must_use]
+    pub fn fast() -> EngineConfig {
+        EngineConfig { measurement: MeasurementConfig::fast(), ..EngineConfig::default() }
+    }
+}
+
+/// The complete characterization of one instruction variant on one
+/// microarchitecture — the information the tool publishes in its
+/// machine-readable output (§6.4).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InstructionProfile {
+    /// Catalog uid of the variant.
+    pub uid: usize,
+    /// The mnemonic.
+    pub mnemonic: String,
+    /// The variant string (explicit operand types).
+    pub variant: String,
+    /// The ISA extension.
+    pub extension: String,
+    /// The microarchitecture the profile was measured on.
+    pub arch: MicroArch,
+    /// Number of µops (from the isolation measurement).
+    pub uop_count: u32,
+    /// Port usage inferred by Algorithm 1.
+    pub port_usage: PortUsage,
+    /// Port usage concluded by the prior-work methodology, if requested.
+    pub naive_port_usage: Option<NaivePortUsage>,
+    /// Latency for every measured operand pair.
+    pub latency: LatencyMap,
+    /// Measured and computed throughput.
+    pub throughput: Throughput,
+}
+
+impl InstructionProfile {
+    /// The number of µops.
+    #[must_use]
+    pub fn uop_count(&self) -> u32 {
+        self.uop_count
+    }
+
+    /// The classical single-value latency (maximum over operand pairs).
+    #[must_use]
+    pub fn latency_single_value(&self) -> Option<f64> {
+        self.latency.single_value()
+    }
+}
+
+/// The result of characterizing (a part of) the catalog.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CharacterizationReport {
+    /// The microarchitecture.
+    pub arch: Option<MicroArch>,
+    /// Successfully characterized variants.
+    pub profiles: Vec<InstructionProfile>,
+    /// Variants that were skipped, with the reason.
+    pub skipped: Vec<(String, String)>,
+    /// Wall-clock duration of the run.
+    pub duration: Duration,
+}
+
+impl CharacterizationReport {
+    /// The number of characterized variants.
+    #[must_use]
+    pub fn characterized_count(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// Looks up a profile by mnemonic and variant string.
+    #[must_use]
+    pub fn find(&self, mnemonic: &str, variant: &str) -> Option<&InstructionProfile> {
+        self.profiles.iter().find(|p| p.mnemonic == mnemonic && p.variant == variant)
+    }
+}
+
+/// Cached per-backend state (blocking instructions and chain calibration).
+struct Setup {
+    blocking_sse: BlockingInstructions,
+    blocking_avx: BlockingInstructions,
+    calibration: ChainCalibration,
+}
+
+/// The characterization engine for one catalog and one microarchitecture.
+pub struct CharacterizationEngine<'a> {
+    catalog: &'a Catalog,
+    arch: MicroArch,
+    config: EngineConfig,
+    setup: Mutex<Option<Arc<Setup>>>,
+}
+
+impl<'a> CharacterizationEngine<'a> {
+    /// Creates an engine with the default configuration.
+    #[must_use]
+    pub fn new(catalog: &'a Catalog, arch: MicroArch) -> CharacterizationEngine<'a> {
+        CharacterizationEngine::with_config(catalog, arch, EngineConfig::default())
+    }
+
+    /// Creates an engine with an explicit configuration.
+    #[must_use]
+    pub fn with_config(
+        catalog: &'a Catalog,
+        arch: MicroArch,
+        config: EngineConfig,
+    ) -> CharacterizationEngine<'a> {
+        CharacterizationEngine { catalog, arch, config, setup: Mutex::new(None) }
+    }
+
+    /// The engine's configuration.
+    #[must_use]
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The catalog used by the engine.
+    #[must_use]
+    pub fn catalog(&self) -> &Catalog {
+        self.catalog
+    }
+
+    /// Returns `true` if the variant can be characterized on this engine's
+    /// microarchitecture (supported extension, not a system/REP instruction).
+    #[must_use]
+    pub fn supports(&self, desc: &InstructionDesc) -> Option<String> {
+        if !self.arch.supports(desc.extension) {
+            return Some(format!("extension {} not available on {}", desc.extension, self.arch));
+        }
+        if desc.attrs.system {
+            return Some("system instruction".to_string());
+        }
+        if desc.attrs.serializing {
+            return Some("serializing instruction".to_string());
+        }
+        if desc.attrs.rep_prefix {
+            return Some("REP prefix (variable µop count)".to_string());
+        }
+        None
+    }
+
+    fn setup<B: MeasurementBackend + ?Sized>(&self, backend: &B) -> Result<Arc<Setup>, CoreError> {
+        let mut guard = self.setup.lock();
+        if let Some(setup) = guard.as_ref() {
+            return Ok(Arc::clone(setup));
+        }
+        let blocking_sse = BlockingInstructions::find(
+            backend,
+            self.catalog,
+            &self.config.measurement,
+            VectorWorld::Sse,
+        )?;
+        let blocking_avx = BlockingInstructions::find(
+            backend,
+            self.catalog,
+            &self.config.measurement,
+            VectorWorld::Avx,
+        )?;
+        let analyzer = LatencyAnalyzer::new(backend, self.catalog, self.config.measurement)?;
+        let setup = Arc::new(Setup {
+            blocking_sse,
+            blocking_avx,
+            calibration: analyzer.calibration(),
+        });
+        *guard = Some(Arc::clone(&setup));
+        Ok(setup)
+    }
+
+    /// Characterizes a single instruction variant.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the variant is not supported on this
+    /// microarchitecture or a microbenchmark could not be constructed.
+    pub fn characterize_variant<B: MeasurementBackend + ?Sized>(
+        &self,
+        backend: &B,
+        desc: &InstructionDesc,
+    ) -> Result<InstructionProfile, CoreError> {
+        if let Some(reason) = self.supports(desc) {
+            return Err(CoreError::Unsupported { instruction: desc.full_name(), reason });
+        }
+        let setup = self.setup(backend)?;
+        let arc = Arc::new(desc.clone());
+
+        // Isolation profile: µop count and (optionally) the naive baseline.
+        let isolation = isolation_profile(backend, &arc, &self.config.measurement)?;
+        let uop_count = isolation.rounded_uops();
+        let naive = if self.config.include_naive_baseline {
+            naive_port_usage(backend, &arc, &self.config.measurement).ok()
+        } else {
+            None
+        };
+
+        // Latency.
+        let analyzer = LatencyAnalyzer::with_calibration(
+            backend,
+            self.catalog,
+            self.config.measurement,
+            setup.calibration,
+        );
+        let latency = analyzer.infer(&arc).unwrap_or_default();
+        let max_latency = if latency.is_empty() {
+            self.config.default_max_latency
+        } else {
+            latency.max_latency_cycles().min(24)
+        };
+
+        // Port usage (Algorithm 1), using the blocking set matching the
+        // instruction's vector world.
+        let blocking = match VectorWorld::of(desc) {
+            VectorWorld::Sse => &setup.blocking_sse,
+            VectorWorld::Avx => &setup.blocking_avx,
+        };
+        let port_usage =
+            infer_port_usage(backend, blocking, &arc, max_latency, &self.config.measurement)?;
+
+        // Throughput: measured and, where possible, computed from the port
+        // usage.
+        let mut throughput =
+            measure_throughput(backend, self.catalog, &arc, &self.config.measurement)?;
+        throughput.from_port_usage =
+            throughput_from_port_usage(&port_usage, desc, backend.config().port_count);
+
+        Ok(InstructionProfile {
+            uid: desc.uid,
+            mnemonic: desc.mnemonic.clone(),
+            variant: desc.variant(),
+            extension: desc.extension.to_string(),
+            arch: self.arch,
+            uop_count,
+            port_usage,
+            naive_port_usage: naive,
+            latency,
+            throughput,
+        })
+    }
+
+    /// Characterizes every supported variant in the catalog (variants for
+    /// which `filter` returns `true`).
+    pub fn characterize_matching<B, F>(&self, backend: &B, mut filter: F) -> CharacterizationReport
+    where
+        B: MeasurementBackend + ?Sized,
+        F: FnMut(&InstructionDesc) -> bool,
+    {
+        let start = Instant::now();
+        let mut report = CharacterizationReport { arch: Some(self.arch), ..Default::default() };
+        for desc in self.catalog.iter() {
+            if !filter(desc) {
+                continue;
+            }
+            if let Some(reason) = self.supports(desc) {
+                report.skipped.push((desc.full_name(), reason));
+                continue;
+            }
+            match self.characterize_variant(backend, desc) {
+                Ok(profile) => report.profiles.push(profile),
+                Err(e) => report.skipped.push((desc.full_name(), e.to_string())),
+            }
+        }
+        report.duration = start.elapsed();
+        report
+    }
+
+    /// Characterizes the entire catalog.
+    pub fn characterize_all<B: MeasurementBackend + ?Sized>(
+        &self,
+        backend: &B,
+    ) -> CharacterizationReport {
+        self.characterize_matching(backend, |_| true)
+    }
+
+    /// Scans for dependency-breaking idioms (§7.3.6): instructions with two
+    /// identical register source operands whose same-register latency chain
+    /// collapses (the result does not depend on the source).
+    ///
+    /// Returns the uids of the detected idioms.
+    pub fn zero_idiom_scan<B: MeasurementBackend + ?Sized>(
+        &self,
+        backend: &B,
+        candidates: impl Iterator<Item = &'a InstructionDesc>,
+    ) -> Result<Vec<usize>, CoreError> {
+        let setup = self.setup(backend)?;
+        let analyzer = LatencyAnalyzer::with_calibration(
+            backend,
+            self.catalog,
+            self.config.measurement,
+            setup.calibration,
+        );
+        let mut found = Vec::new();
+        for desc in candidates {
+            if self.supports(desc).is_some() {
+                continue;
+            }
+            let arc = Arc::new(desc.clone());
+            let Ok(map) = analyzer.infer(&arc) else { continue };
+            // The instruction is dependency-breaking if the same-register
+            // measurement of some register pair shows (almost) no latency
+            // even though the distinct-register latency is at least a cycle.
+            let breaking = map.iter().any(|(_, v)| {
+                v.same_register_cycles.map(|s| s < 0.6 && v.cycles >= 0.6).unwrap_or(false)
+            });
+            if breaking {
+                found.push(desc.uid);
+            }
+        }
+        Ok(found)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uops_measure::SimBackend;
+    use uops_uarch::PortSet;
+
+    #[test]
+    fn characterize_add_on_skylake() {
+        let catalog = Catalog::intel_core();
+        let backend = SimBackend::new(MicroArch::Skylake);
+        let engine = CharacterizationEngine::with_config(
+            &catalog,
+            MicroArch::Skylake,
+            EngineConfig::fast(),
+        );
+        let desc = catalog.find_variant("ADD", "R64, R64").unwrap();
+        let profile = engine.characterize_variant(&backend, desc).unwrap();
+        assert_eq!(profile.uop_count(), 1);
+        assert_eq!(profile.port_usage.to_string(), "1*p0156");
+        assert!((profile.latency_single_value().unwrap() - 1.0).abs() < 0.4);
+        assert!(profile.throughput.measured <= 0.5);
+        let computed = profile.throughput.from_port_usage.unwrap();
+        assert!((computed - 0.25).abs() < 1e-9);
+        assert!(profile.naive_port_usage.is_some());
+    }
+
+    #[test]
+    fn characterize_movq2dq_case_study() {
+        let catalog = Catalog::intel_core();
+        let backend = SimBackend::new(MicroArch::Skylake);
+        let engine = CharacterizationEngine::with_config(
+            &catalog,
+            MicroArch::Skylake,
+            EngineConfig::fast(),
+        );
+        let desc = catalog.find_variant("MOVQ2DQ", "XMM, MM").unwrap();
+        let profile = engine.characterize_variant(&backend, desc).unwrap();
+        assert_eq!(profile.uop_count(), 2);
+        assert_eq!(profile.port_usage.uops_for(PortSet::of(&[0])), 1);
+        assert_eq!(profile.port_usage.uops_for(PortSet::of(&[0, 1, 5])), 1);
+        // The naive interpretation differs (it sees 1 µop on port 0 and half
+        // a µop on each of ports 1 and 5).
+        let naive = profile.naive_port_usage.unwrap();
+        assert_ne!(naive.interpretation, profile.port_usage);
+    }
+
+    #[test]
+    fn unsupported_variants_are_rejected() {
+        let catalog = Catalog::intel_core();
+        let backend = SimBackend::new(MicroArch::Nehalem);
+        let engine = CharacterizationEngine::with_config(
+            &catalog,
+            MicroArch::Nehalem,
+            EngineConfig::fast(),
+        );
+        // AVX does not exist on Nehalem.
+        let desc = catalog.find_variant("VADDPS", "XMM, XMM, XMM").unwrap();
+        assert!(engine.characterize_variant(&backend, desc).is_err());
+        // System instructions are always rejected.
+        let desc = catalog.find_variant("RDMSR", "").unwrap();
+        assert!(engine.supports(desc).is_some());
+    }
+
+    #[test]
+    fn characterize_matching_produces_report() {
+        let catalog = Catalog::intel_core();
+        let backend = SimBackend::new(MicroArch::Haswell);
+        let engine = CharacterizationEngine::with_config(
+            &catalog,
+            MicroArch::Haswell,
+            EngineConfig::fast(),
+        );
+        let report = engine.characterize_matching(&backend, |d| {
+            d.mnemonic == "ADC" && d.variant() == "R64, R64"
+                || d.mnemonic == "PBLENDVB" && d.variant() == "XMM, XMM"
+        });
+        assert_eq!(report.characterized_count(), 2);
+        assert!(report.find("ADC", "R64, R64").is_some());
+        let adc = report.find("ADC", "R64, R64").unwrap();
+        assert_eq!(adc.port_usage.uops_for(PortSet::of(&[0, 6])), 1);
+        assert!(report.duration > Duration::from_millis(0));
+    }
+
+    #[test]
+    fn zero_idiom_scan_detects_pcmpgt() {
+        // §7.3.6: PCMPGT is dependency-breaking even though undocumented;
+        // PADDD is not.
+        let catalog = Catalog::intel_core();
+        let backend = SimBackend::new(MicroArch::Skylake);
+        let engine = CharacterizationEngine::with_config(
+            &catalog,
+            MicroArch::Skylake,
+            EngineConfig::fast(),
+        );
+        let candidates: Vec<&InstructionDesc> = catalog
+            .iter()
+            .filter(|d| {
+                (d.mnemonic == "PCMPGTD" || d.mnemonic == "PADDD") && d.variant() == "XMM, XMM"
+            })
+            .collect();
+        let found = engine
+            .zero_idiom_scan(&backend, candidates.iter().copied())
+            .unwrap();
+        let pcmpgtd = catalog.find_variant("PCMPGTD", "XMM, XMM").unwrap().uid;
+        let paddd = catalog.find_variant("PADDD", "XMM, XMM").unwrap().uid;
+        assert!(found.contains(&pcmpgtd), "PCMPGTD must be detected as dependency-breaking");
+        assert!(!found.contains(&paddd), "PADDD must not be detected as dependency-breaking");
+    }
+}

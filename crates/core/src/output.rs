@@ -1,0 +1,214 @@
+//! Machine-readable output (§6.4).
+//!
+//! The tool publishes its results in a machine-readable format so that they
+//! can be used by simulators, performance-prediction tools, and compilers.
+//! Two formats are provided: an XML document in the style of the file
+//! published on uops.info (grouping per-architecture measurements under each
+//! instruction variant), and a JSON document. Both writers are hand-rolled
+//! to stay within the approved dependency set.
+
+use std::fmt::Write as _;
+
+use crate::engine::{CharacterizationReport, InstructionProfile};
+
+/// Serializes a set of per-architecture characterization reports to XML.
+///
+/// Instruction variants are grouped so that each `<instruction>` element
+/// contains one `<architecture>` element per report that characterized it.
+#[must_use]
+pub fn reports_to_xml(reports: &[CharacterizationReport]) -> String {
+    let mut out = String::new();
+    out.push_str("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n");
+    out.push_str("<uops>\n");
+
+    // Collect the distinct (mnemonic, variant) pairs in catalog order.
+    let mut keys: Vec<(usize, String, String, String)> = Vec::new();
+    for report in reports {
+        for p in &report.profiles {
+            if !keys.iter().any(|(_, m, v, _)| *m == p.mnemonic && *v == p.variant) {
+                keys.push((p.uid, p.mnemonic.clone(), p.variant.clone(), p.extension.clone()));
+            }
+        }
+    }
+    keys.sort();
+
+    for (_, mnemonic, variant, extension) in keys {
+        let _ = writeln!(
+            out,
+            "  <instruction mnemonic=\"{}\" variant=\"{}\" extension=\"{}\">",
+            escape(&mnemonic),
+            escape(&variant),
+            escape(&extension)
+        );
+        for report in reports {
+            let Some(profile) =
+                report.profiles.iter().find(|p| p.mnemonic == mnemonic && p.variant == variant)
+            else {
+                continue;
+            };
+            write_architecture(&mut out, profile);
+        }
+        out.push_str("  </instruction>\n");
+    }
+    out.push_str("</uops>\n");
+    out
+}
+
+/// Serializes one report to XML (convenience wrapper for a single
+/// architecture).
+#[must_use]
+pub fn report_to_xml(report: &CharacterizationReport) -> String {
+    reports_to_xml(std::slice::from_ref(report))
+}
+
+fn write_architecture(out: &mut String, profile: &InstructionProfile) {
+    let _ = writeln!(out, "    <architecture name=\"{}\">", profile.arch.name());
+    let _ = write!(
+        out,
+        "      <measurement uops=\"{}\" ports=\"{}\" tp-measured=\"{:.2}\"",
+        profile.uop_count, profile.port_usage, profile.throughput.measured
+    );
+    if let Some(tp) = profile.throughput.from_port_usage {
+        let _ = write!(out, " tp-ports=\"{tp:.2}\"");
+    }
+    if let Some(tp) = profile.throughput.measured_low_values {
+        let _ = write!(out, " tp-low-values=\"{tp:.2}\"");
+    }
+    out.push_str(">\n");
+    for ((s, d), v) in profile.latency.iter() {
+        let _ = write!(
+            out,
+            "        <latency start_op=\"{s}\" target_op=\"{d}\" cycles=\"{:.2}\"",
+            v.cycles
+        );
+        if v.is_upper_bound {
+            out.push_str(" upper_bound=\"1\"");
+        }
+        if let Some(same) = v.same_register_cycles {
+            let _ = write!(out, " same_reg_cycles=\"{same:.2}\"");
+        }
+        if let Some(low) = v.low_value_cycles {
+            let _ = write!(out, " low_value_cycles=\"{low:.2}\"");
+        }
+        out.push_str("/>\n");
+    }
+    out.push_str("      </measurement>\n");
+    out.push_str("    </architecture>\n");
+}
+
+/// Serializes a report to a JSON document.
+#[must_use]
+pub fn report_to_json(report: &CharacterizationReport) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    if let Some(arch) = report.arch {
+        let _ = writeln!(out, "  \"architecture\": \"{}\",", arch.name());
+    }
+    let _ = writeln!(out, "  \"characterized\": {},", report.profiles.len());
+    let _ = writeln!(out, "  \"skipped\": {},", report.skipped.len());
+    out.push_str("  \"instructions\": [\n");
+    for (i, p) in report.profiles.iter().enumerate() {
+        out.push_str("    {");
+        let _ = write!(
+            out,
+            "\"mnemonic\": \"{}\", \"variant\": \"{}\", \"extension\": \"{}\", \"uops\": {}, \"ports\": \"{}\", \"tp_measured\": {:.3}",
+            escape_json(&p.mnemonic),
+            escape_json(&p.variant),
+            escape_json(&p.extension),
+            p.uop_count,
+            p.port_usage,
+            p.throughput.measured
+        );
+        if let Some(tp) = p.throughput.from_port_usage {
+            let _ = write!(out, ", \"tp_ports\": {tp:.3}");
+        }
+        if let Some(lat) = p.latency.single_value() {
+            let _ = write!(out, ", \"latency_max\": {lat:.3}");
+        }
+        out.push_str(", \"latency_pairs\": [");
+        for (j, ((s, d), v)) in p.latency.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(
+                out,
+                "{{\"source\": {s}, \"target\": {d}, \"cycles\": {:.3}, \"upper_bound\": {}}}",
+                v.cycles, v.is_upper_bound
+            );
+        }
+        out.push_str("]}");
+        if i + 1 < report.profiles.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;").replace('"', "&quot;")
+}
+
+fn escape_json(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{CharacterizationEngine, EngineConfig};
+    use uops_isa::Catalog;
+    use uops_measure::SimBackend;
+    use uops_uarch::MicroArch;
+
+    fn small_report(arch: MicroArch) -> CharacterizationReport {
+        let catalog = Catalog::intel_core();
+        let backend = SimBackend::new(arch);
+        let engine = CharacterizationEngine::with_config(&catalog, arch, EngineConfig::fast());
+        engine.characterize_matching(&backend, |d| {
+            (d.mnemonic == "ADD" && d.variant() == "R64, R64")
+                || (d.mnemonic == "SHLD" && d.variant() == "R64, R64, I8")
+        })
+    }
+
+    #[test]
+    fn xml_output_contains_measurements_and_latencies() {
+        let report = small_report(MicroArch::Skylake);
+        let xml = report_to_xml(&report);
+        assert!(xml.contains("<instruction mnemonic=\"ADD\" variant=\"R64, R64\""));
+        assert!(xml.contains("<architecture name=\"Skylake\">"));
+        assert!(xml.contains("ports=\"1*p0156\""));
+        assert!(xml.contains("<latency start_op="));
+        assert!(xml.contains("same_reg_cycles="), "SHLD must include the same-register value");
+    }
+
+    #[test]
+    fn xml_groups_multiple_architectures_under_one_instruction() {
+        let a = small_report(MicroArch::Skylake);
+        let b = small_report(MicroArch::Nehalem);
+        let xml = reports_to_xml(&[a, b]);
+        let instruction_count = xml.matches("<instruction mnemonic=\"ADD\"").count();
+        assert_eq!(instruction_count, 1, "each variant must appear exactly once");
+        assert!(xml.contains("name=\"Skylake\""));
+        assert!(xml.contains("name=\"Nehalem\""));
+    }
+
+    #[test]
+    fn json_output_is_structurally_sound() {
+        let report = small_report(MicroArch::Haswell);
+        let json = report_to_json(&report);
+        assert!(json.contains("\"architecture\": \"Haswell\""));
+        assert!(json.contains("\"mnemonic\": \"ADD\""));
+        assert!(json.contains("\"latency_pairs\""));
+        // Balanced braces and brackets.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn escaping() {
+        assert_eq!(escape("a<b>&\"c\""), "a&lt;b&gt;&amp;&quot;c&quot;");
+        assert_eq!(escape_json("a\"b\\c"), "a\\\"b\\\\c");
+    }
+}

@@ -1,0 +1,453 @@
+//! The IACA-analogue static analyzer.
+//!
+//! Intel IACA is a closed-source tool that statically predicts the throughput
+//! and port usage of loop kernels (§2.1, §6.3). This module provides a
+//! functional stand-in: a static, version-dependent instruction database that
+//! is *deliberately imperfect* in the ways the paper documents (§7.2) —
+//! missing load µops, spurious store µops, variant-insensitive µop counts,
+//! per-version differences, ignored flag and memory dependencies — so that
+//! the hardware-vs-IACA comparison of Table 1 can be reproduced in structure.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use uops_asm::{CodeSequence, Inst, RegisterPool};
+use uops_isa::InstructionDesc;
+use uops_uarch::{characterize, MicroArch, PortSet, TruthOptions, UarchConfig};
+
+use crate::version::IacaVersion;
+
+/// IACA's view of one instruction variant.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IacaInstructionData {
+    /// Total number of µops IACA reports for the instruction.
+    pub uop_count: u32,
+    /// Port usage as reported in the detailed (per-port) view.
+    pub port_usage: Vec<(PortSet, u32)>,
+    /// IACA sometimes reports a total µop count that does not match the sum
+    /// of the per-port view (e.g. VHADDPD on Skylake, §7.2).
+    pub per_port_sum_mismatch: bool,
+    /// The throughput IACA predicts for the instruction in isolation
+    /// (ignoring all implicit dependencies, §7.2).
+    pub throughput: f64,
+}
+
+impl IacaInstructionData {
+    /// The number of µops in the per-port view.
+    #[must_use]
+    pub fn per_port_uop_sum(&self) -> u32 {
+        self.port_usage.iter().map(|(_, n)| n).sum()
+    }
+
+    /// The port usage in the paper's notation.
+    #[must_use]
+    pub fn port_usage_string(&self) -> String {
+        if self.port_usage.is_empty() {
+            return "0".to_string();
+        }
+        self.port_usage.iter().map(|(p, n)| format!("{n}*{p}")).collect::<Vec<_>>().join("+")
+    }
+}
+
+/// IACA's analysis of a loop kernel.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IacaReport {
+    /// Predicted block throughput (cycles per loop iteration).
+    pub block_throughput: f64,
+    /// Aggregated µops per port combination over the whole kernel.
+    pub port_usage: Vec<(PortSet, u32)>,
+    /// Total µop count over the kernel.
+    pub total_uops: u32,
+}
+
+/// The static analyzer for one microarchitecture and one IACA version.
+#[derive(Debug, Clone)]
+pub struct IacaAnalyzer {
+    version: IacaVersion,
+    arch: MicroArch,
+    cfg: UarchConfig,
+}
+
+impl IacaAnalyzer {
+    /// Creates an analyzer; returns `None` if the version does not support
+    /// the microarchitecture.
+    #[must_use]
+    pub fn new(arch: MicroArch, version: IacaVersion) -> Option<IacaAnalyzer> {
+        if !version.supports(arch) {
+            return None;
+        }
+        Some(IacaAnalyzer { version, arch, cfg: UarchConfig::for_arch(arch) })
+    }
+
+    /// The analyzer's version.
+    #[must_use]
+    pub fn version(&self) -> IacaVersion {
+        self.version
+    }
+
+    /// The analyzed microarchitecture.
+    #[must_use]
+    pub fn arch(&self) -> MicroArch {
+        self.arch
+    }
+
+    /// Returns IACA's data for an instruction variant, or `None` if IACA does
+    /// not support the instruction.
+    #[must_use]
+    pub fn analyze_instruction(&self, desc: &InstructionDesc) -> Option<IacaInstructionData> {
+        if desc.attrs.system || !self.arch.supports(desc.extension) {
+            return None;
+        }
+        // A few percent of the instruction set is simply absent from IACA's
+        // database (deterministically chosen per version).
+        if hash(&[&desc.mnemonic, &desc.variant(), self.version.name()]) % 100 < 3 {
+            return None;
+        }
+
+        // Start from the microarchitectural model IACA's authors would have
+        // had access to (our ground truth), then apply the documented error
+        // classes.
+        let mut pool = RegisterPool::new();
+        let arc = std::sync::Arc::new(desc.clone());
+        let inst = Inst::bind(&arc, &BTreeMap::new(), &mut pool).ok()?;
+        let truth = characterize(&inst, &self.cfg, TruthOptions::default());
+        let mut usage: BTreeMap<PortSet, u32> = BTreeMap::new();
+        for (ports, count) in truth.port_usage() {
+            *usage.entry(ports).or_insert(0) += count;
+        }
+        let mut uop_count = truth.uop_count() as u32;
+        let mut per_port_sum_mismatch = false;
+
+        self.apply_error_classes(desc, &mut usage, &mut uop_count, &mut per_port_sum_mismatch);
+        self.apply_generic_noise(desc, &mut usage, &mut uop_count);
+
+        let port_usage: Vec<(PortSet, u32)> = usage.into_iter().filter(|(_, n)| *n > 0).collect();
+        let throughput = self.throughput_of(&port_usage);
+        Some(IacaInstructionData { uop_count, port_usage, per_port_sum_mismatch, throughput })
+    }
+
+    /// Analyzes a code sequence as the body of a loop, the way IACA does:
+    /// dependencies between instructions (including memory and status-flag
+    /// dependencies) are ignored; only port pressure counts.
+    #[must_use]
+    pub fn analyze_sequence(&self, code: &CodeSequence) -> IacaReport {
+        let mut usage: BTreeMap<PortSet, u32> = BTreeMap::new();
+        let mut total = 0u32;
+        for inst in code.iter() {
+            if let Some(data) = self.analyze_instruction(inst.desc()) {
+                total += data.uop_count;
+                for (ports, count) in data.port_usage {
+                    *usage.entry(ports).or_insert(0) += count;
+                }
+            }
+        }
+        let port_usage: Vec<(PortSet, u32)> = usage.into_iter().collect();
+        let block_throughput = self.throughput_of(&port_usage).max(total as f64 / 4.0);
+        IacaReport { block_throughput, port_usage, total_uops: total }
+    }
+
+    fn throughput_of(&self, usage: &[(PortSet, u32)]) -> f64 {
+        if usage.is_empty() {
+            return 0.25;
+        }
+        let mut map = uops_lp::PortUsageMap::new();
+        for (ports, count) in usage {
+            let mask = ports.iter().fold(0u16, |m, p| m | (1 << p));
+            *map.entry(mask).or_insert(0.0) += f64::from(*count);
+        }
+        let all: u16 = (0..self.cfg.port_count).fold(0, |m, p| m | (1 << p));
+        uops_lp::min_max_load(&map, all)
+    }
+
+    /// The specific, documented error classes of §7.2.
+    fn apply_error_classes(
+        &self,
+        desc: &InstructionDesc,
+        usage: &mut BTreeMap<PortSet, u32>,
+        uop_count: &mut u32,
+        per_port_sum_mismatch: &mut bool,
+    ) {
+        use MicroArch as M;
+        let mnemonic = desc.mnemonic.as_str();
+        let pre_sandy = matches!(self.arch, M::Nehalem | M::Westmere);
+
+        // Missing load µop: IMUL with a memory operand on Nehalem.
+        if pre_sandy && mnemonic == "IMUL" && desc.reads_memory() {
+            if let Some(count) = usage.get_mut(&self.cfg.load) {
+                *uop_count = uop_count.saturating_sub(*count);
+                *count = 0;
+            }
+        }
+
+        // Spurious store µops: TEST with a memory operand on Nehalem.
+        if pre_sandy && mnemonic == "TEST" && desc.has_memory_operand() && !desc.writes_memory() {
+            *usage.entry(self.cfg.store_addr).or_insert(0) += 1;
+            *usage.entry(self.cfg.store_data).or_insert(0) += 1;
+            *uop_count += 2;
+        }
+
+        // Variant-insensitive µop counts: BSWAP R32 on Skylake reported like
+        // the 64-bit variant (2 µops).
+        if self.arch.at_least(M::Skylake)
+            && mnemonic == "BSWAP"
+            && desc.variant() == "R32"
+            && *uop_count == 1
+        {
+            *uop_count = 2;
+            *usage.entry(self.cfg.int_shift).or_insert(0) += 1;
+        }
+
+        // Per-port sum mismatch: VHADDPD on Skylake shows only one µop in the
+        // detailed view even though the total is three.
+        if self.arch.at_least(M::Skylake) && mnemonic == "VHADDPD" {
+            *per_port_sum_mismatch = true;
+            usage.retain(|ports, _| *ports == self.cfg.fp_add);
+            for count in usage.values_mut() {
+                *count = 1;
+            }
+        }
+
+        // Version differences: VMINPS on Skylake uses p015 in IACA 2.3 but
+        // p01 in 3.0 (and on the hardware).
+        if self.arch.at_least(M::Skylake)
+            && mnemonic.starts_with("VMIN")
+            && self.version == IacaVersion::V23
+        {
+            let total: u32 = usage.values().sum();
+            usage.clear();
+            usage.insert(self.cfg.vec_alu, total);
+        }
+
+        // Version differences: SAHF on Haswell uses p06 on the hardware and
+        // in IACA 2.1, but p0156 in later versions.
+        if self.arch == M::Haswell && mnemonic == "SAHF" && self.version != IacaVersion::V21 {
+            let total: u32 = usage.values().sum();
+            usage.clear();
+            usage.insert(self.cfg.int_alu, total.max(1));
+        }
+
+        // MOVQ2DQ on Skylake: both µops are reported on port 5 only.
+        if self.arch.at_least(M::Skylake) && mnemonic == "MOVQ2DQ" {
+            let total: u32 = usage.values().sum();
+            usage.clear();
+            usage.insert(self.cfg.vec_shuffle, total.max(2));
+        }
+
+        // MOVDQ2Q on Haswell: IACA 2.1 matches the hardware; later versions
+        // report 1*p01 + 1*p015.
+        if self.arch == M::Haswell && mnemonic == "MOVDQ2Q" && self.version != IacaVersion::V21 {
+            usage.clear();
+            usage.insert(PortSet::of(&[0, 1]), 1);
+            usage.insert(PortSet::of(&[0, 1, 5]), 1);
+        }
+
+        // LOCK-prefixed instructions: IACA reports a different µop count than
+        // the measurements in most cases.
+        if desc.attrs.locked {
+            *uop_count += 6;
+        }
+        // REP-prefixed instructions have a variable µop count; IACA reports a
+        // fixed (and usually different) number.
+        if desc.attrs.rep_prefix {
+            *uop_count = 20;
+        }
+    }
+
+    /// Deterministic pseudo-random perturbations standing in for the many
+    /// small undocumented inaccuracies of IACA's tables, so that the
+    /// aggregate agreement with the measurements lands in the range reported
+    /// in Table 1 (≈ 85–90% of variants with matching µop counts; ≈ 91–98%
+    /// matching port usage among those).
+    fn apply_generic_noise(
+        &self,
+        desc: &InstructionDesc,
+        usage: &mut BTreeMap<PortSet, u32>,
+        uop_count: &mut u32,
+    ) {
+        let h = hash(&[&desc.mnemonic, &desc.variant(), self.arch.name()]);
+        // ~7% of variants: wrong µop count.
+        if h % 100 < 7 {
+            *uop_count += 1;
+            *usage.entry(self.cfg.int_alu).or_insert(0) += 1;
+            return;
+        }
+        // ~4% of variants: same µop count but a coarser port assignment
+        // (version-dependent for half of them).
+        let version_salt =
+            if h % 2 == 0 { 0 } else { u64::from(self.version as u8 as u64) };
+        let h2 = hash(&[&desc.mnemonic, &desc.variant(), self.arch.name(), &version_salt.to_string()]);
+        if h2 % 100 < 4 {
+            if let Some((&ports, &count)) = usage.iter().next() {
+                if ports != self.cfg.int_alu && ports != self.cfg.store_data {
+                    usage.remove(&ports);
+                    *usage.entry(self.cfg.vec_shuffle).or_insert(0) += count;
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for IacaAnalyzer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} for {}", self.version, self.arch)
+    }
+}
+
+/// A small FNV-style hash for deterministic pseudo-random decisions.
+fn hash(parts: &[&str]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for part in parts {
+        for b in part.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h ^= 0xff;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uops_isa::Catalog;
+
+    fn analyzer(arch: MicroArch, version: IacaVersion) -> IacaAnalyzer {
+        IacaAnalyzer::new(arch, version).expect("supported combination")
+    }
+
+    #[test]
+    fn unsupported_combinations_are_rejected() {
+        assert!(IacaAnalyzer::new(MicroArch::KabyLake, IacaVersion::V30).is_none());
+        assert!(IacaAnalyzer::new(MicroArch::Skylake, IacaVersion::V21).is_none());
+        assert!(IacaAnalyzer::new(MicroArch::Skylake, IacaVersion::V30).is_some());
+    }
+
+    #[test]
+    fn simple_instructions_match_the_truth() {
+        let catalog = Catalog::intel_core();
+        let a = analyzer(MicroArch::Skylake, IacaVersion::V30);
+        let add = catalog.find_variant("ADD", "R64, R64").unwrap();
+        let data = a.analyze_instruction(add).expect("ADD is supported");
+        assert_eq!(data.uop_count, 1);
+        assert_eq!(data.port_usage_string(), "1*p0156");
+        assert!((data.throughput - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cmc_throughput_ignores_the_flag_dependency() {
+        // §7.2: IACA reports 0.25 cycles for CMC even though the carry-flag
+        // dependency makes 1 cycle the true throughput.
+        let catalog = Catalog::intel_core();
+        let a = analyzer(MicroArch::Skylake, IacaVersion::V30);
+        let cmc = catalog.find_variant("CMC", "").unwrap();
+        let data = a.analyze_instruction(cmc).expect("CMC supported");
+        assert!(data.throughput <= 0.3, "IACA throughput = {}", data.throughput);
+    }
+
+    #[test]
+    fn store_load_sequence_ignores_memory_dependency() {
+        // §7.2: mov [RAX], RBX; mov RBX, [RAX] is reported at 1 cycle.
+        let catalog = Catalog::intel_core();
+        let store = uops_asm::variant_arc(&catalog, "MOV", "M64, R64").unwrap();
+        let load = uops_asm::variant_arc(&catalog, "MOV", "R64, M64").unwrap();
+        let mut pool = RegisterPool::new();
+        let mut seq = CodeSequence::new();
+        seq.push(Inst::bind(&store, &BTreeMap::new(), &mut pool).unwrap());
+        seq.push(Inst::bind(&load, &BTreeMap::new(), &mut pool).unwrap());
+        let a = analyzer(MicroArch::Skylake, IacaVersion::V30);
+        let report = a.analyze_sequence(&seq);
+        assert!(report.block_throughput <= 1.5, "IACA block throughput = {}", report.block_throughput);
+        assert!(report.total_uops >= 3);
+    }
+
+    #[test]
+    fn bswap_32_bit_variant_is_misreported_on_skylake() {
+        let catalog = Catalog::intel_core();
+        let a = analyzer(MicroArch::Skylake, IacaVersion::V30);
+        let b32 = catalog.find_variant("BSWAP", "R32").unwrap();
+        let b64 = catalog.find_variant("BSWAP", "R64").unwrap();
+        assert_eq!(a.analyze_instruction(b32).unwrap().uop_count, 2, "IACA reports 2 µops for BSWAP R32");
+        assert_eq!(a.analyze_instruction(b64).unwrap().uop_count, 2);
+    }
+
+    #[test]
+    fn vhaddpd_per_port_view_is_inconsistent_on_skylake() {
+        let catalog = Catalog::intel_core();
+        let a = analyzer(MicroArch::Skylake, IacaVersion::V30);
+        let v = catalog.find_variant("VHADDPD", "XMM, XMM, XMM").unwrap();
+        let data = a.analyze_instruction(v).unwrap();
+        assert!(data.per_port_sum_mismatch);
+        assert_eq!(data.uop_count, 3);
+        assert!(data.per_port_uop_sum() < data.uop_count);
+    }
+
+    #[test]
+    fn vminps_differs_between_versions_on_skylake() {
+        let catalog = Catalog::intel_core();
+        let v = catalog.find_variant("VMINPS", "XMM, XMM, XMM").unwrap();
+        let v23 = analyzer(MicroArch::Skylake, IacaVersion::V23).analyze_instruction(v).unwrap();
+        let v30 = analyzer(MicroArch::Skylake, IacaVersion::V30).analyze_instruction(v).unwrap();
+        assert_ne!(v23.port_usage, v30.port_usage);
+        assert_eq!(v30.port_usage_string(), "1*p01", "IACA 3.0 matches the hardware");
+        assert_eq!(v23.port_usage_string(), "1*p015");
+    }
+
+    #[test]
+    fn sahf_differs_between_versions_on_haswell() {
+        let catalog = Catalog::intel_core();
+        let sahf = catalog.find_variant("SAHF", "").unwrap();
+        let v21 = analyzer(MicroArch::Haswell, IacaVersion::V21).analyze_instruction(sahf).unwrap();
+        let v23 = analyzer(MicroArch::Haswell, IacaVersion::V23).analyze_instruction(sahf).unwrap();
+        assert_eq!(v21.port_usage_string(), "1*p06", "IACA 2.1 matches the hardware");
+        assert_eq!(v23.port_usage_string(), "1*p0156");
+    }
+
+    #[test]
+    fn movq2dq_and_movdq2q_errors() {
+        let catalog = Catalog::intel_core();
+        let movq2dq = catalog.find_variant("MOVQ2DQ", "XMM, MM").unwrap();
+        let skl = analyzer(MicroArch::Skylake, IacaVersion::V30).analyze_instruction(movq2dq).unwrap();
+        assert_eq!(skl.port_usage_string(), "2*p5");
+        let movdq2q = catalog.find_variant("MOVDQ2Q", "MM, XMM").unwrap();
+        let hsw21 = analyzer(MicroArch::Haswell, IacaVersion::V21).analyze_instruction(movdq2q).unwrap();
+        let hsw30 = analyzer(MicroArch::Haswell, IacaVersion::V30).analyze_instruction(movdq2q).unwrap();
+        assert_ne!(hsw21.port_usage, hsw30.port_usage);
+    }
+
+    #[test]
+    fn imul_memory_load_uop_is_missing_on_nehalem() {
+        let catalog = Catalog::intel_core();
+        let imul = catalog.find_variant("IMUL", "R64, M64").unwrap();
+        let a = analyzer(MicroArch::Nehalem, IacaVersion::V21);
+        let data = a.analyze_instruction(imul).unwrap();
+        let cfg = UarchConfig::for_arch(MicroArch::Nehalem);
+        assert_eq!(
+            data.port_usage.iter().find(|(p, _)| *p == cfg.load).map(|(_, n)| *n).unwrap_or(0),
+            0,
+            "the load µop must be missing: {}",
+            data.port_usage_string()
+        );
+    }
+
+    #[test]
+    fn test_with_memory_operand_gains_spurious_store_uops_on_nehalem() {
+        let catalog = Catalog::intel_core();
+        let test_mem = catalog.find_variant("TEST", "M64, R64").unwrap();
+        let a = analyzer(MicroArch::Nehalem, IacaVersion::V21);
+        let data = a.analyze_instruction(test_mem).unwrap();
+        let cfg = UarchConfig::for_arch(MicroArch::Nehalem);
+        assert!(data.port_usage.iter().any(|(p, _)| *p == cfg.store_data));
+    }
+
+    #[test]
+    fn analysis_is_deterministic() {
+        let catalog = Catalog::intel_core();
+        let a = analyzer(MicroArch::Broadwell, IacaVersion::V30);
+        for desc in catalog.iter().take(200) {
+            assert_eq!(a.analyze_instruction(desc), a.analyze_instruction(desc));
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! # uops-iaca
+//!
+//! A functional stand-in for Intel's Architecture Code Analyzer (IACA), used
+//! by the paper as the reference point for the hardware-vs-static comparison
+//! of Table 1 and for the error analyses of §7.2.
+//!
+//! The analyzer provides a *static*, version-dependent instruction database
+//! (versions 2.1–3.0 with the support matrix of Table 1) that deliberately
+//! contains the classes of errors the paper documents: missing load µops,
+//! spurious store µops, variant-insensitive µop counts, per-version
+//! differences, inconsistent per-port views, and predictions that ignore
+//! status-flag and memory dependencies.
+//!
+//! ## Example
+//!
+//! ```rust
+//! use uops_iaca::{IacaAnalyzer, IacaVersion};
+//! use uops_isa::Catalog;
+//! use uops_uarch::MicroArch;
+//!
+//! let catalog = Catalog::intel_core();
+//! let analyzer = IacaAnalyzer::new(MicroArch::Skylake, IacaVersion::V30).unwrap();
+//! let cmc = catalog.find_variant("CMC", "").unwrap();
+//! let data = analyzer.analyze_instruction(cmc).unwrap();
+//! // IACA ignores the carry-flag dependency (§7.2).
+//! assert!(data.throughput < 0.5);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod analyzer;
+pub mod compare;
+pub mod version;
+
+pub use analyzer::{IacaAnalyzer, IacaInstructionData, IacaReport};
+pub use compare::{compare_against_iaca, AgreementStats, MeasuredInstruction};
+pub use version::IacaVersion;

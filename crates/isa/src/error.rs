@@ -1,0 +1,63 @@
+//! Error types of the `uops-isa` crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when parsing or validating instruction-set descriptions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IsaError {
+    /// A parse error in the XML catalog representation.
+    Parse {
+        /// 1-based line number where the error occurred (0 if unknown).
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// A referenced instruction variant does not exist in the catalog.
+    UnknownVariant {
+        /// The mnemonic that was looked up.
+        mnemonic: String,
+        /// The variant string that was looked up.
+        variant: String,
+    },
+}
+
+impl fmt::Display for IsaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IsaError::Parse { line, message } => {
+                if *line == 0 {
+                    write!(f, "parse error: {message}")
+                } else {
+                    write!(f, "parse error at line {line}: {message}")
+                }
+            }
+            IsaError::UnknownVariant { mnemonic, variant } => {
+                write!(f, "unknown instruction variant: {mnemonic} ({variant})")
+            }
+        }
+    }
+}
+
+impl Error for IsaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = IsaError::Parse { line: 3, message: "bad tag".into() };
+        assert_eq!(e.to_string(), "parse error at line 3: bad tag");
+        let e = IsaError::Parse { line: 0, message: "bad tag".into() };
+        assert_eq!(e.to_string(), "parse error: bad tag");
+        let e = IsaError::UnknownVariant { mnemonic: "FOO".into(), variant: "R64".into() };
+        assert_eq!(e.to_string(), "unknown instruction variant: FOO (R64)");
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<IsaError>();
+    }
+}

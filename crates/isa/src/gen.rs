@@ -1,0 +1,1833 @@
+//! Catalog generation: programmatic expansion of the x86 instruction set into
+//! instruction variants.
+//!
+//! This module is the analogue of parsing Intel XED's configuration files
+//! (§6.1 of the paper): it produces, for every supported mnemonic, one
+//! [`InstructionDesc`] per operand form (register/memory/immediate operands at
+//! every supported width), including implicit operands such as status flags,
+//! shift counts in `CL`, or the implicit `XMM0` operand of `BLENDV`-style
+//! instructions.
+
+use crate::catalog::Catalog;
+use crate::descriptor::{DescBuilder, InstructionDesc};
+use crate::extension::{Category, Extension};
+use crate::flags::FlagSet;
+use crate::operand::shorthand::*;
+use crate::operand::{OperandDesc, OperandKind};
+use crate::register::{gpr, Register, Width};
+
+use Category as C;
+use Extension as E;
+use Width::*;
+
+/// The standard general-purpose widths used for most integer instructions.
+const GPR_WIDTHS: [Width; 4] = [W8, W16, W32, W64];
+/// Widths for instructions that have no 8-bit form.
+const GPR_WIDE: [Width; 3] = [W16, W32, W64];
+
+/// The sixteen condition codes used by `Jcc`, `CMOVcc` and `SETcc`.
+/// Each entry is the suffix together with the flags the condition reads.
+fn condition_codes() -> Vec<(&'static str, FlagSet)> {
+    use crate::flags::Flag::*;
+    vec![
+        ("O", FlagSet::single(Of)),
+        ("NO", FlagSet::single(Of)),
+        ("B", FlagSet::single(Cf)),
+        ("NB", FlagSet::single(Cf)),
+        ("Z", FlagSet::single(Zf)),
+        ("NZ", FlagSet::single(Zf)),
+        ("BE", FlagSet::from_flags([Cf, Zf])),
+        ("NBE", FlagSet::from_flags([Cf, Zf])),
+        ("S", FlagSet::single(Sf)),
+        ("NS", FlagSet::single(Sf)),
+        ("P", FlagSet::single(Pf)),
+        ("NP", FlagSet::single(Pf)),
+        ("L", FlagSet::from_flags([Sf, Of])),
+        ("NL", FlagSet::from_flags([Sf, Of])),
+        ("LE", FlagSet::from_flags([Zf, Sf, Of])),
+        ("NLE", FlagSet::from_flags([Zf, Sf, Of])),
+    ]
+}
+
+/// Immediate width used for an operand of width `w` (x86 immediates are at
+/// most 32 bits wide except for `MOV r64, imm64`).
+fn imm_for(w: Width) -> Width {
+    match w {
+        W8 => W8,
+        W16 => W16,
+        _ => W32,
+    }
+}
+
+struct Gen<'a> {
+    catalog: &'a mut Catalog,
+}
+
+impl<'a> Gen<'a> {
+    fn add(&mut self, desc: InstructionDesc) {
+        self.catalog.add(desc);
+    }
+
+    fn builder(&self, mnemonic: &str, cat: Category, ext: Extension) -> DescBuilder {
+        DescBuilder::new(mnemonic, cat, ext)
+    }
+
+    // ----------------------------------------------------------------------
+    // Integer instruction forms
+    // ----------------------------------------------------------------------
+
+    /// Standard two-operand ALU instruction (ADD/SUB/AND/...): forms
+    /// `(R, R)`, `(R, M)`, `(M, R)`, `(R, I)`, `(M, I)` for each width.
+    #[allow(clippy::too_many_arguments)]
+    fn alu2(
+        &mut self,
+        mnemonic: &str,
+        cat: Category,
+        reads: FlagSet,
+        writes: FlagSet,
+        first_is_rw: bool,
+        zero_idiom: bool,
+        widths: &[Width],
+    ) {
+        for &w in widths {
+            let dst = |kind| {
+                if first_is_rw {
+                    OperandDesc::read_write(kind)
+                } else {
+                    OperandDesc::read(kind)
+                }
+            };
+            let forms: Vec<Vec<OperandDesc>> = vec![
+                vec![dst(r(w)), OperandDesc::read(r(w))],
+                vec![dst(r(w)), OperandDesc::read(mem(w))],
+                vec![dst(mem(w)), OperandDesc::read(r(w))],
+                vec![dst(r(w)), OperandDesc::read(imm(imm_for(w)))],
+                vec![dst(mem(w)), OperandDesc::read(imm(imm_for(w)))],
+            ];
+            for ops in forms {
+                let desc = self
+                    .builder(mnemonic, cat, E::Base)
+                    .operands(ops)
+                    .reads_flags(reads)
+                    .writes_flags(writes)
+                    .with_attrs(|a| a.zero_idiom = zero_idiom)
+                    .build();
+                self.add(desc);
+            }
+        }
+    }
+
+    /// Unary read-modify-write instruction (INC/DEC/NEG/NOT): `(R)`, `(M)`.
+    fn unary(&mut self, mnemonic: &str, cat: Category, writes: FlagSet, widths: &[Width]) {
+        for &w in widths {
+            for kind in [r(w), mem(w)] {
+                let desc = self
+                    .builder(mnemonic, cat, E::Base)
+                    .operand(OperandDesc::read_write(kind))
+                    .writes_flags(writes)
+                    .build();
+                self.add(desc);
+            }
+        }
+    }
+
+    /// Shift or rotate: `(R, I8)`, `(R, CL)`, `(M, I8)`, `(M, CL)`.
+    fn shift(&mut self, mnemonic: &str, cat: Category, reads: FlagSet, widths: &[Width]) {
+        let cl = OperandKind::FixedReg(Register::gpr(gpr::RCX, W8));
+        for &w in widths {
+            for dst in [r(w), mem(w)] {
+                for count in [imm(W8), cl] {
+                    let desc = self
+                        .builder(mnemonic, cat, E::Base)
+                        .operand(OperandDesc::read_write(dst))
+                        .operand(OperandDesc::read(count))
+                        .reads_flags(reads)
+                        .writes_flags(FlagSet::ALL)
+                        .build();
+                    self.add(desc);
+                }
+            }
+        }
+    }
+
+    /// Double-precision shift (SHLD/SHRD):
+    /// `(R, R, I8)`, `(R, R, CL)`, `(M, R, I8)`, `(M, R, CL)`.
+    fn double_shift(&mut self, mnemonic: &str) {
+        let cl = OperandKind::FixedReg(Register::gpr(gpr::RCX, W8));
+        for &w in &GPR_WIDE {
+            for dst in [r(w), mem(w)] {
+                for count in [imm(W8), cl] {
+                    let desc = self
+                        .builder(mnemonic, C::DoubleShift, E::Base)
+                        .operand(OperandDesc::read_write(dst))
+                        .operand(OperandDesc::read(r(w)))
+                        .operand(OperandDesc::read(count))
+                        .writes_flags(FlagSet::ALL)
+                        .build();
+                    self.add(desc);
+                }
+            }
+        }
+    }
+
+    /// Data moves: `MOV` with all its forms.
+    fn mov(&mut self) {
+        for &w in &GPR_WIDTHS {
+            let forms: Vec<(Vec<OperandDesc>, bool)> = vec![
+                // (operands, may_be_zero_latency)
+                (vec![OperandDesc::write(r(w)), OperandDesc::read(r(w))], w == W32 || w == W64),
+                (vec![OperandDesc::write(r(w)), OperandDesc::read(mem(w))], false),
+                (vec![OperandDesc::write(mem(w)), OperandDesc::read(r(w))], false),
+                (vec![OperandDesc::write(r(w)), OperandDesc::read(imm(if w == W64 { W64 } else { imm_for(w) }))], false),
+                (vec![OperandDesc::write(mem(w)), OperandDesc::read(imm(imm_for(w)))], false),
+            ];
+            for (ops, zl) in forms {
+                let desc = self
+                    .builder("MOV", C::Mov, E::Base)
+                    .operands(ops)
+                    .with_attrs(|a| a.may_be_zero_latency = zl)
+                    .build();
+                self.add(desc);
+            }
+        }
+    }
+
+    /// Sign- and zero-extending moves (MOVSX/MOVZX/MOVSXD).
+    fn movx(&mut self) {
+        let combos: &[(Width, Width)] = &[(W16, W8), (W32, W8), (W32, W16), (W64, W8), (W64, W16)];
+        for &(dw, sw) in combos {
+            for (mnemonic, zl) in [("MOVSX", false), ("MOVZX", dw == W32 || dw == W64)] {
+                for src in [r(sw), mem(sw)] {
+                    let desc = self
+                        .builder(mnemonic, C::MovExtend, E::Base)
+                        .operand(OperandDesc::write(r(dw)))
+                        .operand(OperandDesc::read(src))
+                        .with_attrs(|a| a.may_be_zero_latency = zl && !matches!(src, OperandKind::Mem(_)))
+                        .build();
+                    self.add(desc);
+                }
+            }
+        }
+        for src in [r(W32), mem(W32)] {
+            let desc = self
+                .builder("MOVSXD", C::MovExtend, E::Base)
+                .operand(OperandDesc::write(r(W64)))
+                .operand(OperandDesc::read(src))
+                .build();
+            self.add(desc);
+        }
+    }
+
+    /// Conditional moves.
+    fn cmov(&mut self) {
+        for (cc, reads) in condition_codes() {
+            for &w in &GPR_WIDE {
+                for src in [r(w), mem(w)] {
+                    let desc = self
+                        .builder(&format!("CMOV{cc}"), C::CMov, E::Base)
+                        .operand(OperandDesc::read_write(r(w)))
+                        .operand(OperandDesc::read(src))
+                        .reads_flags(reads)
+                        .build();
+                    self.add(desc);
+                }
+            }
+        }
+    }
+
+    /// SETcc.
+    fn setcc(&mut self) {
+        for (cc, reads) in condition_codes() {
+            for dst in [r(W8), mem(W8)] {
+                let desc = self
+                    .builder(&format!("SET{cc}"), C::SetCC, E::Base)
+                    .operand(OperandDesc::write(dst))
+                    .reads_flags(reads)
+                    .build();
+                self.add(desc);
+            }
+        }
+    }
+
+    /// Conditional branches (relative immediate target).
+    fn jcc(&mut self) {
+        for (cc, reads) in condition_codes() {
+            let desc = self
+                .builder(&format!("J{cc}"), C::Branch, E::Base)
+                .operand(OperandDesc::read(imm(W32)))
+                .reads_flags(reads)
+                .build();
+            self.add(desc);
+        }
+    }
+
+    /// Multiplication and division with implicit RAX/RDX operands, plus the
+    /// 2- and 3-operand forms of IMUL.
+    fn mul_div(&mut self) {
+        for &w in &GPR_WIDTHS {
+            for (mnemonic, cat) in [
+                ("MUL", C::IntMul),
+                ("IMUL", C::IntMul),
+                ("DIV", C::IntDiv),
+                ("IDIV", C::IntDiv),
+            ] {
+                for src in [r(w), mem(w)] {
+                    let rax = OperandKind::FixedReg(Register::gpr(gpr::RAX, w));
+                    let rdx = OperandKind::FixedReg(Register::gpr(gpr::RDX, w));
+                    let mut b = self
+                        .builder(mnemonic, cat, E::Base)
+                        .operand(OperandDesc::read(src))
+                        .operand(OperandDesc::read_write(rax).implicit());
+                    // 8-bit forms use AH:AL instead of RDX:RAX; we model the
+                    // second implicit operand only for wider forms.
+                    if w != W8 {
+                        b = b.operand(OperandDesc::read_write(rdx).implicit());
+                    }
+                    let desc = b.writes_flags(FlagSet::ALL).build();
+                    self.add(desc);
+                }
+            }
+        }
+        // IMUL r, r/m and IMUL r, r/m, imm.
+        for &w in &GPR_WIDE {
+            for src in [r(w), mem(w)] {
+                let desc = self
+                    .builder("IMUL", C::IntMul, E::Base)
+                    .operand(OperandDesc::read_write(r(w)))
+                    .operand(OperandDesc::read(src))
+                    .writes_flags(FlagSet::ALL)
+                    .build();
+                self.add(desc);
+                let desc3 = self
+                    .builder("IMUL", C::IntMul, E::Base)
+                    .operand(OperandDesc::write(r(w)))
+                    .operand(OperandDesc::read(src))
+                    .operand(OperandDesc::read(imm(imm_for(w))))
+                    .writes_flags(FlagSet::ALL)
+                    .build();
+                self.add(desc3);
+            }
+        }
+    }
+
+    /// Bit scan / count instructions.
+    fn bitscan(&mut self) {
+        for (mnemonic, ext) in [
+            ("BSF", E::Base),
+            ("BSR", E::Base),
+            ("TZCNT", E::Bmi1),
+            ("LZCNT", E::Bmi1),
+            ("POPCNT", E::Popcnt),
+        ] {
+            for &w in &GPR_WIDE {
+                for src in [r(w), mem(w)] {
+                    let desc = self
+                        .builder(mnemonic, C::BitScan, ext)
+                        .operand(OperandDesc::write(r(w)))
+                        .operand(OperandDesc::read(src))
+                        .writes_flags(FlagSet::ALL)
+                        .build();
+                    self.add(desc);
+                }
+            }
+        }
+        // Bit test instructions.
+        for (mnemonic, modifies) in [("BT", false), ("BTS", true), ("BTR", true), ("BTC", true)] {
+            for &w in &GPR_WIDE {
+                for bit in [r(w), imm(W8)] {
+                    let first = if modifies {
+                        OperandDesc::read_write(r(w))
+                    } else {
+                        OperandDesc::read(r(w))
+                    };
+                    let desc = self
+                        .builder(mnemonic, C::BitScan, E::Base)
+                        .operand(first)
+                        .operand(OperandDesc::read(bit))
+                        .writes_flags(FlagSet::CF)
+                        .build();
+                    self.add(desc);
+                }
+            }
+        }
+    }
+
+    /// BMI1/BMI2 bit-field instructions.
+    fn bmi(&mut self) {
+        let widths = [W32, W64];
+        // Three-operand VEX-encoded GPR instructions.
+        for (mnemonic, ext, writes_flags) in [
+            ("ANDN", E::Bmi1, true),
+            ("BEXTR", E::Bmi1, true),
+            ("BZHI", E::Bmi2, true),
+            ("PDEP", E::Bmi2, false),
+            ("PEXT", E::Bmi2, false),
+            ("SARX", E::Bmi2, false),
+            ("SHLX", E::Bmi2, false),
+            ("SHRX", E::Bmi2, false),
+        ] {
+            for &w in &widths {
+                for src in [r(w), mem(w)] {
+                    let mut b = self
+                        .builder(mnemonic, C::BitField, ext)
+                        .operand(OperandDesc::write(r(w)))
+                        .operand(OperandDesc::read(src))
+                        .operand(OperandDesc::read(r(w)));
+                    if writes_flags {
+                        b = b.writes_flags(FlagSet::ALL);
+                    }
+                    self.add(b.build());
+                }
+            }
+        }
+        // Two-operand BMI1 instructions.
+        for mnemonic in ["BLSI", "BLSMSK", "BLSR"] {
+            for &w in &widths {
+                for src in [r(w), mem(w)] {
+                    let desc = self
+                        .builder(mnemonic, C::BitField, E::Bmi1)
+                        .operand(OperandDesc::write(r(w)))
+                        .operand(OperandDesc::read(src))
+                        .writes_flags(FlagSet::ALL)
+                        .build();
+                    self.add(desc);
+                }
+            }
+        }
+        // RORX (immediate rotate without flags) and MULX.
+        for &w in &widths {
+            for src in [r(w), mem(w)] {
+                let desc = self
+                    .builder("RORX", C::BitField, E::Bmi2)
+                    .operand(OperandDesc::write(r(w)))
+                    .operand(OperandDesc::read(src))
+                    .operand(OperandDesc::read(imm(W8)))
+                    .build();
+                self.add(desc);
+                let rdx = OperandKind::FixedReg(Register::gpr(gpr::RDX, w));
+                let desc = self
+                    .builder("MULX", C::IntMul, E::Bmi2)
+                    .operand(OperandDesc::write(r(w)))
+                    .operand(OperandDesc::write(r(w)))
+                    .operand(OperandDesc::read(src))
+                    .operand(OperandDesc::read(rdx).implicit())
+                    .build();
+                self.add(desc);
+            }
+        }
+        // ADX.
+        for mnemonic in ["ADCX", "ADOX"] {
+            for &w in &widths {
+                for src in [r(w), mem(w)] {
+                    let flag = if mnemonic == "ADCX" {
+                        FlagSet::CF
+                    } else {
+                        FlagSet::single(crate::flags::Flag::Of)
+                    };
+                    let desc = self
+                        .builder(mnemonic, C::IntAluCarry, E::Adx)
+                        .operand(OperandDesc::read_write(r(w)))
+                        .operand(OperandDesc::read(src))
+                        .reads_flags(flag)
+                        .writes_flags(flag)
+                        .build();
+                    self.add(desc);
+                }
+            }
+        }
+    }
+
+    /// Miscellaneous base instructions: LEA, XCHG, XADD, BSWAP, MOVBE, CRC32,
+    /// PUSH/POP, NOP, flag manipulation, branches, string ops, and a few
+    /// system/serializing instructions.
+    fn misc_base(&mut self) {
+        // LEA: the memory operand is only used for address generation.
+        for &w in &GPR_WIDE {
+            let agen = OperandDesc { kind: mem(W64), read: false, write: false, implicit: false };
+            let desc = self
+                .builder("LEA", C::Lea, E::Base)
+                .operand(OperandDesc::write(r(w)))
+                .operand(agen)
+                .build();
+            self.add(desc);
+        }
+        // XCHG and XADD.
+        for &w in &GPR_WIDTHS {
+            for (a, b) in [(r(w), r(w)), (r(w), mem(w)), (mem(w), r(w))] {
+                let desc = self
+                    .builder("XCHG", C::Xchg, E::Base)
+                    .operand(OperandDesc::read_write(a))
+                    .operand(OperandDesc::read_write(b))
+                    .build();
+                self.add(desc);
+            }
+            for dst in [r(w), mem(w)] {
+                let desc = self
+                    .builder("XADD", C::Xadd, E::Base)
+                    .operand(OperandDesc::read_write(dst))
+                    .operand(OperandDesc::read_write(r(w)))
+                    .writes_flags(FlagSet::ALL)
+                    .build();
+                self.add(desc);
+            }
+        }
+        // BSWAP.
+        for &w in &[W32, W64] {
+            let desc = self
+                .builder("BSWAP", C::Bswap, E::Base)
+                .operand(OperandDesc::read_write(r(w)))
+                .build();
+            self.add(desc);
+        }
+        // MOVBE.
+        for &w in &GPR_WIDE {
+            for (dst, src) in [(r(w), mem(w)), (mem(w), r(w))] {
+                let desc = self
+                    .builder("MOVBE", C::Mov, E::Movbe)
+                    .operand(OperandDesc::write(dst))
+                    .operand(OperandDesc::read(src))
+                    .build();
+                self.add(desc);
+            }
+        }
+        // CRC32.
+        for &w in &GPR_WIDTHS {
+            for src in [r(w), mem(w)] {
+                let dw = if w == W64 { W64 } else { W32 };
+                let desc = self
+                    .builder("CRC32", C::Crc32, E::Sse42)
+                    .operand(OperandDesc::read_write(r(dw)))
+                    .operand(OperandDesc::read(src))
+                    .build();
+                self.add(desc);
+            }
+        }
+        // PUSH / POP.
+        for &w in &[W16, W64] {
+            for kind in [r(w), mem(w)] {
+                let rsp = OperandKind::FixedReg(Register::gpr(gpr::RSP, W64));
+                let desc = self
+                    .builder("PUSH", C::Stack, E::Base)
+                    .operand(OperandDesc::read(kind))
+                    .operand(OperandDesc::read_write(rsp).implicit())
+                    .build();
+                self.add(desc);
+                let desc = self
+                    .builder("POP", C::Stack, E::Base)
+                    .operand(OperandDesc::write(kind))
+                    .operand(OperandDesc::read_write(rsp).implicit())
+                    .build();
+                self.add(desc);
+            }
+        }
+        // NOP (eliminated in the reorder buffer).
+        let desc = self
+            .builder("NOP", C::Nop, E::Base)
+            .with_attrs(|a| a.may_be_zero_latency = true)
+            .build();
+        self.add(desc);
+        for &w in &[W16, W32] {
+            let desc = self
+                .builder("NOP", C::Nop, E::Base)
+                .operand(OperandDesc::read(r(w)))
+                .with_attrs(|a| a.may_be_zero_latency = true)
+                .build();
+            self.add(desc);
+        }
+        // Flag manipulation.
+        let cf = FlagSet::CF;
+        for (mnemonic, reads, writes) in [
+            ("CMC", cf, cf),
+            ("STC", FlagSet::EMPTY, cf),
+            ("CLC", FlagSet::EMPTY, cf),
+        ] {
+            let desc = self
+                .builder(mnemonic, C::FlagOp, E::Base)
+                .reads_flags(reads)
+                .writes_flags(writes)
+                .build();
+            self.add(desc);
+        }
+        // SAHF / LAHF use AH.
+        let ah = OperandKind::FixedReg(Register::gpr(gpr::RAX, W8));
+        let desc = self
+            .builder("SAHF", C::FlagOp, E::Base)
+            .operand(OperandDesc::read(ah).implicit())
+            .writes_flags(FlagSet::ALL_EXCEPT_AF | FlagSet::single(crate::flags::Flag::Af))
+            .build();
+        self.add(desc);
+        let desc = self
+            .builder("LAHF", C::FlagOp, E::Base)
+            .operand(OperandDesc::write(ah).implicit())
+            .reads_flags(FlagSet::ALL)
+            .build();
+        self.add(desc);
+        // Unconditional control flow.
+        for kind in [imm(W32), r(W64), mem(W64)] {
+            let desc = self
+                .builder("JMP", C::Branch, E::Base)
+                .operand(OperandDesc::read(kind))
+                .build();
+            self.add(desc);
+        }
+        let rsp = OperandKind::FixedReg(Register::gpr(gpr::RSP, W64));
+        let desc = self
+            .builder("CALL", C::CallRet, E::Base)
+            .operand(OperandDesc::read(imm(W32)))
+            .operand(OperandDesc::read_write(rsp).implicit())
+            .build();
+        self.add(desc);
+        let desc = self
+            .builder("RET", C::CallRet, E::Base)
+            .operand(OperandDesc::read_write(rsp).implicit())
+            .build();
+        self.add(desc);
+        // String operations, with and without REP prefix.
+        for (mnemonic, rep) in [
+            ("MOVSB", false),
+            ("MOVSQ", false),
+            ("STOSB", false),
+            ("STOSQ", false),
+            ("LODSB", false),
+            ("REP MOVSB", true),
+            ("REP STOSB", true),
+        ] {
+            let rsi = OperandKind::FixedReg(Register::gpr(gpr::RSI, W64));
+            let rdi = OperandKind::FixedReg(Register::gpr(gpr::RDI, W64));
+            let desc = self
+                .builder(mnemonic, C::StringOp, E::Base)
+                .operand(OperandDesc::read_write(rsi).implicit())
+                .operand(OperandDesc::read_write(rdi).implicit())
+                .with_attrs(|a| a.rep_prefix = rep)
+                .build();
+            self.add(desc);
+        }
+        // PAUSE.
+        let desc = self
+            .builder("PAUSE", C::Nop, E::Base)
+            .with_attrs(|a| a.pause = true)
+            .build();
+        self.add(desc);
+        // Serializing / system instructions (not characterized by user-mode
+        // backends, but present in the catalog).
+        let desc = self
+            .builder("CPUID", C::System, E::Base)
+            .with_attrs(|a| {
+                a.system = false;
+                a.serializing = true;
+            })
+            .build();
+        self.add(desc);
+        let desc = self
+            .builder("LFENCE", C::System, E::Sse2)
+            .with_attrs(|a| a.serializing = true)
+            .build();
+        self.add(desc);
+        let desc = self
+            .builder("MFENCE", C::System, E::Sse2)
+            .with_attrs(|a| a.serializing = true)
+            .build();
+        self.add(desc);
+        let desc = self
+            .builder("RDTSC", C::System, E::Base)
+            .with_attrs(|a| a.system = false)
+            .build();
+        self.add(desc);
+        for mnemonic in ["RDMSR", "WRMSR", "HLT", "INVD", "LGDT"] {
+            let desc = self
+                .builder(mnemonic, C::System, E::Base)
+                .with_attrs(|a| a.system = true)
+                .build();
+            self.add(desc);
+        }
+        // A handful of LOCK-prefixed read-modify-write forms.
+        for mnemonic in ["LOCK ADD", "LOCK XADD", "LOCK CMPXCHG"] {
+            for &w in &[W32, W64] {
+                let desc = self
+                    .builder(mnemonic, C::IntAlu, E::Base)
+                    .operand(OperandDesc::read_write(mem(w)))
+                    .operand(OperandDesc::read(r(w)))
+                    .writes_flags(FlagSet::ALL)
+                    .with_attrs(|a| a.locked = true)
+                    .build();
+                self.add(desc);
+            }
+        }
+    }
+
+    // ----------------------------------------------------------------------
+    // Vector instruction forms
+    // ----------------------------------------------------------------------
+
+    /// Legacy-SSE two-operand form: `(XMM rw, XMM r)`, `(XMM rw, M128 r)`.
+    fn sse2op(&mut self, mnemonic: &str, cat: Category, ext: Extension, zero_idiom: bool) {
+        for src in [xmm(), mem(W128)] {
+            let desc = self
+                .builder(mnemonic, cat, ext)
+                .operand(OperandDesc::read_write(xmm()))
+                .operand(OperandDesc::read(src))
+                .with_attrs(|a| a.zero_idiom = zero_idiom && matches!(src, OperandKind::Reg(_)))
+                .build();
+            self.add(desc);
+        }
+    }
+
+    /// Legacy-SSE two-operand form with an extra immediate.
+    fn sse2op_imm(&mut self, mnemonic: &str, cat: Category, ext: Extension) {
+        for src in [xmm(), mem(W128)] {
+            let desc = self
+                .builder(mnemonic, cat, ext)
+                .operand(OperandDesc::read_write(xmm()))
+                .operand(OperandDesc::read(src))
+                .operand(OperandDesc::read(imm(W8)))
+                .build();
+            self.add(desc);
+        }
+    }
+
+    /// SSE form where the destination is write-only (shuffles with immediate,
+    /// PSHUFD-style): `(XMM w, XMM r, I8)`, `(XMM w, M128 r, I8)`.
+    fn sse_shuf_imm(&mut self, mnemonic: &str, cat: Category, ext: Extension) {
+        for src in [xmm(), mem(W128)] {
+            let desc = self
+                .builder(mnemonic, cat, ext)
+                .operand(OperandDesc::write(xmm()))
+                .operand(OperandDesc::read(src))
+                .operand(OperandDesc::read(imm(W8)))
+                .build();
+            self.add(desc);
+        }
+    }
+
+    /// VEX-encoded three-operand form at both 128 and 256 bits:
+    /// `(XMM w, XMM r, XMM/M128 r)` and `(YMM w, YMM r, YMM/M256 r)`.
+    fn avx3op(&mut self, mnemonic: &str, cat: Category, ext: Extension, ymm_form: bool) {
+        for src in [xmm(), mem(W128)] {
+            let desc = self
+                .builder(mnemonic, cat, ext)
+                .operand(OperandDesc::write(xmm()))
+                .operand(OperandDesc::read(xmm()))
+                .operand(OperandDesc::read(src))
+                .build();
+            self.add(desc);
+        }
+        if ymm_form {
+            for src in [ymm(), mem(W256)] {
+                let desc = self
+                    .builder(mnemonic, cat, ext)
+                    .operand(OperandDesc::write(ymm()))
+                    .operand(OperandDesc::read(ymm()))
+                    .operand(OperandDesc::read(src))
+                    .build();
+                self.add(desc);
+            }
+        }
+    }
+
+    /// VEX three-operand form plus immediate.
+    fn avx3op_imm(&mut self, mnemonic: &str, cat: Category, ext: Extension, ymm_form: bool) {
+        for src in [xmm(), mem(W128)] {
+            let desc = self
+                .builder(mnemonic, cat, ext)
+                .operand(OperandDesc::write(xmm()))
+                .operand(OperandDesc::read(xmm()))
+                .operand(OperandDesc::read(src))
+                .operand(OperandDesc::read(imm(W8)))
+                .build();
+            self.add(desc);
+        }
+        if ymm_form {
+            for src in [ymm(), mem(W256)] {
+                let desc = self
+                    .builder(mnemonic, cat, ext)
+                    .operand(OperandDesc::write(ymm()))
+                    .operand(OperandDesc::read(ymm()))
+                    .operand(OperandDesc::read(src))
+                    .operand(OperandDesc::read(imm(W8)))
+                    .build();
+                self.add(desc);
+            }
+        }
+    }
+
+    /// MMX two-operand form.
+    fn mmx2op(&mut self, mnemonic: &str, cat: Category, zero_idiom: bool) {
+        for src in [mm(), mem(W64)] {
+            let desc = self
+                .builder(mnemonic, cat, E::Mmx)
+                .operand(OperandDesc::read_write(mm()))
+                .operand(OperandDesc::read(src))
+                .with_attrs(|a| a.zero_idiom = zero_idiom && matches!(src, OperandKind::Reg(_)))
+                .build();
+            self.add(desc);
+        }
+    }
+
+    /// The packed-integer instruction family, generated for MMX (64-bit),
+    /// SSE2 (128-bit) and, where `avx2` is true, AVX/AVX2 VEX forms.
+    fn packed_int_family(&mut self) {
+        // (base mnemonic, category, zero idiom with same source registers)
+        let ops: &[(&str, Category, bool)] = &[
+            ("PADDB", C::VecIntAlu, false),
+            ("PADDW", C::VecIntAlu, false),
+            ("PADDD", C::VecIntAlu, false),
+            ("PADDQ", C::VecIntAlu, false),
+            ("PSUBB", C::VecIntAlu, true),
+            ("PSUBW", C::VecIntAlu, true),
+            ("PSUBD", C::VecIntAlu, true),
+            ("PSUBQ", C::VecIntAlu, true),
+            ("PADDSB", C::VecIntAlu, false),
+            ("PADDSW", C::VecIntAlu, false),
+            ("PADDUSB", C::VecIntAlu, false),
+            ("PADDUSW", C::VecIntAlu, false),
+            ("PSUBSB", C::VecIntAlu, true),
+            ("PSUBSW", C::VecIntAlu, true),
+            ("PSUBUSB", C::VecIntAlu, true),
+            ("PSUBUSW", C::VecIntAlu, true),
+            ("PAND", C::VecIntAlu, false),
+            ("PANDN", C::VecIntAlu, false),
+            ("POR", C::VecIntAlu, false),
+            ("PXOR", C::VecIntAlu, true),
+            ("PCMPEQB", C::VecIntCmp, true),
+            ("PCMPEQW", C::VecIntCmp, true),
+            ("PCMPEQD", C::VecIntCmp, true),
+            ("PCMPGTB", C::VecIntCmp, false),
+            ("PCMPGTW", C::VecIntCmp, false),
+            ("PCMPGTD", C::VecIntCmp, false),
+            ("PMULLW", C::VecIntMul, false),
+            ("PMULHW", C::VecIntMul, false),
+            ("PMULHUW", C::VecIntMul, false),
+            ("PMULUDQ", C::VecIntMul, false),
+            ("PMADDWD", C::VecIntMul, false),
+            ("PAVGB", C::VecIntAlu, false),
+            ("PAVGW", C::VecIntAlu, false),
+            ("PMINUB", C::VecIntAlu, false),
+            ("PMAXUB", C::VecIntAlu, false),
+            ("PMINSW", C::VecIntAlu, false),
+            ("PMAXSW", C::VecIntAlu, false),
+            ("PSADBW", C::VecIntMul, false),
+            ("PUNPCKLBW", C::VecShuffle, false),
+            ("PUNPCKLWD", C::VecShuffle, false),
+            ("PUNPCKLDQ", C::VecShuffle, false),
+            ("PUNPCKHBW", C::VecShuffle, false),
+            ("PUNPCKHWD", C::VecShuffle, false),
+            ("PUNPCKHDQ", C::VecShuffle, false),
+            ("PACKSSWB", C::VecShuffle, false),
+            ("PACKSSDW", C::VecShuffle, false),
+            ("PACKUSWB", C::VecShuffle, false),
+        ];
+        for &(mnemonic, cat, zi) in ops {
+            self.mmx2op(mnemonic, cat, zi);
+            self.sse2op(mnemonic, cat, E::Sse2, zi);
+            self.avx3op(&format!("V{mnemonic}"), cat, E::Avx2, true);
+        }
+        // SSE2-only packed ops (no MMX form).
+        for (mnemonic, cat, zi) in [
+            ("PUNPCKLQDQ", C::VecShuffle, false),
+            ("PUNPCKHQDQ", C::VecShuffle, false),
+            ("PCMPEQQ", C::VecIntCmp, true),
+            ("PCMPGTQ", C::VecIntCmp, false),
+        ] {
+            self.sse2op(mnemonic, cat, if mnemonic.ends_with('Q') { E::Sse41 } else { E::Sse2 }, zi);
+            self.avx3op(&format!("V{mnemonic}"), cat, E::Avx2, true);
+        }
+        // Vector shifts: register/memory/immediate count forms.
+        for mnemonic in ["PSLLW", "PSLLD", "PSLLQ", "PSRLW", "PSRLD", "PSRLQ", "PSRAW", "PSRAD"] {
+            self.mmx2op(mnemonic, C::VecShift, false);
+            self.sse2op(mnemonic, C::VecShift, E::Sse2, false);
+            // Immediate-count form.
+            let desc = self
+                .builder(mnemonic, C::VecShift, E::Sse2)
+                .operand(OperandDesc::read_write(xmm()))
+                .operand(OperandDesc::read(imm(W8)))
+                .build();
+            self.add(desc);
+            // AVX forms: count in an XMM register or immediate.
+            self.avx3op(&format!("V{mnemonic}"), C::VecShift, E::Avx2, true);
+            let desc = self
+                .builder(&format!("V{mnemonic}"), C::VecShift, E::Avx2)
+                .operand(OperandDesc::write(xmm()))
+                .operand(OperandDesc::read(xmm()))
+                .operand(OperandDesc::read(imm(W8)))
+                .build();
+            self.add(desc);
+        }
+        // Byte shifts (SSE2 only, immediate only).
+        for mnemonic in ["PSLLDQ", "PSRLDQ"] {
+            let desc = self
+                .builder(mnemonic, C::VecShift, E::Sse2)
+                .operand(OperandDesc::read_write(xmm()))
+                .operand(OperandDesc::read(imm(W8)))
+                .build();
+            self.add(desc);
+        }
+    }
+
+    /// SSSE3 / SSE4.1 / SSE4.2 packed instructions.
+    fn ssse3_sse4(&mut self) {
+        for (mnemonic, cat) in [
+            ("PSHUFB", C::VecShuffle),
+            ("PHADDW", C::VecHorizontal),
+            ("PHADDD", C::VecHorizontal),
+            ("PHADDSW", C::VecHorizontal),
+            ("PHSUBW", C::VecHorizontal),
+            ("PHSUBD", C::VecHorizontal),
+            ("PHSUBSW", C::VecHorizontal),
+            ("PABSB", C::VecIntAlu),
+            ("PABSW", C::VecIntAlu),
+            ("PABSD", C::VecIntAlu),
+            ("PSIGNB", C::VecIntAlu),
+            ("PSIGNW", C::VecIntAlu),
+            ("PSIGND", C::VecIntAlu),
+            ("PMULHRSW", C::VecIntMul),
+            ("PMADDUBSW", C::VecIntMul),
+        ] {
+            self.sse2op(mnemonic, cat, E::Ssse3, false);
+            self.avx3op(&format!("V{mnemonic}"), cat, E::Avx2, true);
+        }
+        self.sse2op_imm("PALIGNR", C::VecShuffle, E::Ssse3);
+        self.avx3op_imm("VPALIGNR", C::VecShuffle, E::Avx2, true);
+
+        for (mnemonic, cat) in [
+            ("PMULLD", C::VecIntMul),
+            ("PMULDQ", C::VecIntMul),
+            ("PMINSB", C::VecIntAlu),
+            ("PMAXSB", C::VecIntAlu),
+            ("PMINSD", C::VecIntAlu),
+            ("PMAXSD", C::VecIntAlu),
+            ("PMINUW", C::VecIntAlu),
+            ("PMAXUW", C::VecIntAlu),
+            ("PMINUD", C::VecIntAlu),
+            ("PMAXUD", C::VecIntAlu),
+            ("PACKUSDW", C::VecShuffle),
+        ] {
+            self.sse2op(mnemonic, cat, E::Sse41, false);
+            self.avx3op(&format!("V{mnemonic}"), cat, E::Avx2, true);
+        }
+        self.sse2op_imm("PBLENDW", C::VecBlend, E::Sse41);
+        self.avx3op_imm("VPBLENDW", C::VecBlend, E::Avx2, true);
+        self.sse2op_imm("MPSADBW", C::VecHorizontal, E::Sse41);
+        self.avx3op_imm("VMPSADBW", C::VecHorizontal, E::Avx2, true);
+
+        // Variable blends with the implicit XMM0 operand (SSE4.1) and the
+        // explicit fourth operand (AVX).
+        let xmm0 = OperandKind::FixedReg(Register::vec(0, W128));
+        for mnemonic in ["PBLENDVB", "BLENDVPS", "BLENDVPD"] {
+            let cat = if mnemonic == "PBLENDVB" { C::VecBlend } else { C::VecBlend };
+            for src in [xmm(), mem(W128)] {
+                let desc = self
+                    .builder(mnemonic, cat, E::Sse41)
+                    .operand(OperandDesc::read_write(xmm()))
+                    .operand(OperandDesc::read(src))
+                    .operand(OperandDesc::read(xmm0).implicit())
+                    .build();
+                self.add(desc);
+            }
+        }
+        for mnemonic in ["VPBLENDVB", "VBLENDVPS", "VBLENDVPD"] {
+            for (dst, src_w) in [(xmm(), W128), (ymm(), W256)] {
+                for src in [dst, mem(src_w)] {
+                    let desc = self
+                        .builder(mnemonic, C::VecBlend, E::Avx)
+                        .operand(OperandDesc::write(dst))
+                        .operand(OperandDesc::read(dst))
+                        .operand(OperandDesc::read(src))
+                        .operand(OperandDesc::read(dst))
+                        .build();
+                    self.add(desc);
+                }
+            }
+        }
+
+        // PMOVSX / PMOVZX.
+        for suffix in ["BW", "BD", "BQ", "WD", "WQ", "DQ"] {
+            for prefix in ["PMOVSX", "PMOVZX"] {
+                let mnemonic = format!("{prefix}{suffix}");
+                for src in [xmm(), mem(W64)] {
+                    let desc = self
+                        .builder(&mnemonic, C::VecConvert, E::Sse41)
+                        .operand(OperandDesc::write(xmm()))
+                        .operand(OperandDesc::read(src))
+                        .build();
+                    self.add(desc);
+                }
+            }
+        }
+        // PTEST and PHMINPOSUW.
+        for src in [xmm(), mem(W128)] {
+            let desc = self
+                .builder("PTEST", C::VecIntCmp, E::Sse41)
+                .operand(OperandDesc::read(xmm()))
+                .operand(OperandDesc::read(src))
+                .writes_flags(FlagSet::ALL)
+                .build();
+            self.add(desc);
+            let desc = self
+                .builder("PHMINPOSUW", C::VecHorizontal, E::Sse41)
+                .operand(OperandDesc::write(xmm()))
+                .operand(OperandDesc::read(src))
+                .build();
+            self.add(desc);
+        }
+        // Insert/extract.
+        for (mnemonic, w) in [("PEXTRB", W8), ("PEXTRW", W16), ("PEXTRD", W32), ("PEXTRQ", W64)] {
+            let gw = if w == W64 { W64 } else { W32 };
+            let desc = self
+                .builder(mnemonic, C::VecInsertExtract, E::Sse41)
+                .operand(OperandDesc::write(r(gw)))
+                .operand(OperandDesc::read(xmm()))
+                .operand(OperandDesc::read(imm(W8)))
+                .build();
+            self.add(desc);
+        }
+        for (mnemonic, w) in [("PINSRB", W8), ("PINSRW", W16), ("PINSRD", W32), ("PINSRQ", W64)] {
+            let gw = if w == W64 { W64 } else { W32 };
+            for src in [r(gw), mem(w)] {
+                let desc = self
+                    .builder(mnemonic, C::VecInsertExtract, E::Sse41)
+                    .operand(OperandDesc::read_write(xmm()))
+                    .operand(OperandDesc::read(src))
+                    .operand(OperandDesc::read(imm(W8)))
+                    .build();
+                self.add(desc);
+            }
+        }
+        // String compare instructions (SSE4.2): implicit outputs in ECX/flags.
+        for mnemonic in ["PCMPISTRI", "PCMPESTRI"] {
+            let ecx = OperandKind::FixedReg(Register::gpr(gpr::RCX, W32));
+            let desc = self
+                .builder(mnemonic, C::VecHorizontal, E::Sse42)
+                .operand(OperandDesc::read(xmm()))
+                .operand(OperandDesc::read(xmm()))
+                .operand(OperandDesc::read(imm(W8)))
+                .operand(OperandDesc::write(ecx).implicit())
+                .writes_flags(FlagSet::ALL)
+                .build();
+            self.add(desc);
+        }
+    }
+
+    /// SSE / SSE2 floating-point instructions (packed and scalar), plus their
+    /// AVX forms.
+    fn fp_family(&mut self) {
+        // Packed and scalar arithmetic.
+        let arith: &[(&str, Category)] = &[
+            ("ADD", C::VecFpAdd),
+            ("SUB", C::VecFpAdd),
+            ("MUL", C::VecFpMul),
+            ("DIV", C::VecFpDiv),
+            ("MIN", C::VecFpAdd),
+            ("MAX", C::VecFpAdd),
+        ];
+        for &(op, cat) in arith {
+            for suffix in ["PS", "PD", "SS", "SD"] {
+                let ext = if suffix.ends_with('S') && suffix.starts_with('P') { E::Sse } else { E::Sse2 };
+                let mnemonic = format!("{op}{suffix}");
+                self.sse2op(&mnemonic, cat, ext, false);
+                let ymm_form = suffix.starts_with('P');
+                self.avx3op(&format!("V{mnemonic}"), cat, E::Avx, ymm_form);
+            }
+        }
+        // Square root and reciprocal (unary, write-only destination).
+        for (mnemonic, cat, ext) in [
+            ("SQRTPS", C::VecFpDiv, E::Sse),
+            ("SQRTPD", C::VecFpDiv, E::Sse2),
+            ("SQRTSS", C::VecFpDiv, E::Sse),
+            ("SQRTSD", C::VecFpDiv, E::Sse2),
+            ("RCPPS", C::VecFpMul, E::Sse),
+            ("RSQRTPS", C::VecFpMul, E::Sse),
+        ] {
+            for src in [xmm(), mem(W128)] {
+                let desc = self
+                    .builder(mnemonic, cat, ext)
+                    .operand(OperandDesc::write(xmm()))
+                    .operand(OperandDesc::read(src))
+                    .build();
+                self.add(desc);
+            }
+            for src in [xmm(), mem(W128)] {
+                let desc = self
+                    .builder(&format!("V{mnemonic}"), cat, E::Avx)
+                    .operand(OperandDesc::write(xmm()))
+                    .operand(OperandDesc::read(src))
+                    .build();
+                self.add(desc);
+            }
+        }
+        // FP logic.
+        for op in ["AND", "ANDN", "OR", "XOR"] {
+            for suffix in ["PS", "PD"] {
+                let ext = if suffix == "PS" { E::Sse } else { E::Sse2 };
+                let zi = op == "XOR";
+                self.sse2op(&format!("{op}{suffix}"), C::VecFpLogic, ext, zi);
+                self.avx3op(&format!("V{op}{suffix}"), C::VecFpLogic, E::Avx, true);
+            }
+        }
+        // Compares.
+        for suffix in ["PS", "PD", "SS", "SD"] {
+            let ext = if suffix.contains('S') && suffix.starts_with('P') { E::Sse } else { E::Sse2 };
+            self.sse2op_imm(&format!("CMP{suffix}"), C::VecFpAdd, ext);
+            self.avx3op_imm(&format!("VCMP{suffix}"), C::VecFpAdd, E::Avx, suffix.starts_with('P'));
+        }
+        for mnemonic in ["COMISS", "COMISD", "UCOMISS", "UCOMISD"] {
+            for src in [xmm(), mem(W64)] {
+                let desc = self
+                    .builder(mnemonic, C::VecFpAdd, if mnemonic.ends_with("SS") { E::Sse } else { E::Sse2 })
+                    .operand(OperandDesc::read(xmm()))
+                    .operand(OperandDesc::read(src))
+                    .writes_flags(FlagSet::ALL)
+                    .build();
+                self.add(desc);
+            }
+        }
+        // Shuffles and unpacks.
+        for suffix in ["PS", "PD"] {
+            let ext = if suffix == "PS" { E::Sse } else { E::Sse2 };
+            self.sse2op_imm(&format!("SHUF{suffix}"), C::VecShuffle, ext);
+            self.avx3op_imm(&format!("VSHUF{suffix}"), C::VecShuffle, E::Avx, true);
+            for op in ["UNPCKL", "UNPCKH"] {
+                self.sse2op(&format!("{op}{suffix}"), C::VecShuffle, ext, false);
+                self.avx3op(&format!("V{op}{suffix}"), C::VecShuffle, E::Avx, true);
+            }
+        }
+        // Horizontal adds and dot products.
+        for mnemonic in ["HADDPS", "HADDPD", "HSUBPS", "HSUBPD"] {
+            self.sse2op(mnemonic, C::VecHorizontal, E::Sse3, false);
+            self.avx3op(&format!("V{mnemonic}"), C::VecHorizontal, E::Avx, true);
+        }
+        self.sse2op_imm("DPPS", C::VecHorizontal, E::Sse41);
+        self.sse2op_imm("DPPD", C::VecHorizontal, E::Sse41);
+        self.sse2op_imm("ROUNDPS", C::VecFpAdd, E::Sse41);
+        self.sse2op_imm("ROUNDPD", C::VecFpAdd, E::Sse41);
+        self.sse2op_imm("ROUNDSS", C::VecFpAdd, E::Sse41);
+        self.sse2op_imm("ROUNDSD", C::VecFpAdd, E::Sse41);
+        self.sse_shuf_imm("INSERTPS", C::VecShuffle, E::Sse41);
+
+        // Conversions.
+        for (mnemonic, dst_kind, src_kinds) in [
+            ("CVTDQ2PS", xmm(), [xmm(), mem(W128)]),
+            ("CVTPS2DQ", xmm(), [xmm(), mem(W128)]),
+            ("CVTTPS2DQ", xmm(), [xmm(), mem(W128)]),
+            ("CVTDQ2PD", xmm(), [xmm(), mem(W64)]),
+            ("CVTPD2DQ", xmm(), [xmm(), mem(W128)]),
+            ("CVTPS2PD", xmm(), [xmm(), mem(W64)]),
+            ("CVTPD2PS", xmm(), [xmm(), mem(W128)]),
+            ("CVTSS2SD", xmm(), [xmm(), mem(W32)]),
+            ("CVTSD2SS", xmm(), [xmm(), mem(W64)]),
+        ] {
+            for src in src_kinds {
+                let desc = self
+                    .builder(mnemonic, C::VecConvert, E::Sse2)
+                    .operand(OperandDesc::write(dst_kind))
+                    .operand(OperandDesc::read(src))
+                    .build();
+                self.add(desc);
+            }
+        }
+        // Conversions between GPRs and XMM.
+        for (mnemonic, gw) in [("CVTSI2SS", W32), ("CVTSI2SS", W64), ("CVTSI2SD", W32), ("CVTSI2SD", W64)] {
+            for src in [r(gw), mem(gw)] {
+                let desc = self
+                    .builder(mnemonic, C::VecConvert, E::Sse2)
+                    .operand(OperandDesc::read_write(xmm()))
+                    .operand(OperandDesc::read(src))
+                    .build();
+                self.add(desc);
+            }
+        }
+        for (mnemonic, gw) in [("CVTSS2SI", W32), ("CVTSS2SI", W64), ("CVTSD2SI", W32), ("CVTSD2SI", W64), ("CVTTSS2SI", W32), ("CVTTSD2SI", W64)] {
+            for src in [xmm(), mem(W64)] {
+                let desc = self
+                    .builder(mnemonic, C::VecConvert, E::Sse2)
+                    .operand(OperandDesc::write(r(gw)))
+                    .operand(OperandDesc::read(src))
+                    .build();
+                self.add(desc);
+            }
+        }
+
+        // FMA (three-operand, destination read+written).
+        for variant in ["132", "213", "231"] {
+            for suffix in ["PS", "PD", "SS", "SD"] {
+                for op in ["VFMADD", "VFMSUB", "VFNMADD"] {
+                    let mnemonic = format!("{op}{variant}{suffix}");
+                    for src in [xmm(), mem(W128)] {
+                        let desc = self
+                            .builder(&mnemonic, C::VecFma, E::Fma)
+                            .operand(OperandDesc::read_write(xmm()))
+                            .operand(OperandDesc::read(xmm()))
+                            .operand(OperandDesc::read(src))
+                            .build();
+                        self.add(desc);
+                    }
+                    if suffix.starts_with('P') {
+                        for src in [ymm(), mem(W256)] {
+                            let desc = self
+                                .builder(&mnemonic, C::VecFma, E::Fma)
+                                .operand(OperandDesc::read_write(ymm()))
+                                .operand(OperandDesc::read(ymm()))
+                                .operand(OperandDesc::read(src))
+                                .build();
+                            self.add(desc);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Data movement within and between register files, including the
+    /// MOVQ2DQ/MOVDQ2Q case-study instructions.
+    fn vector_moves(&mut self) {
+        // Register/memory vector moves.
+        for (mnemonic, ext) in [
+            ("MOVAPS", E::Sse),
+            ("MOVUPS", E::Sse),
+            ("MOVAPD", E::Sse2),
+            ("MOVUPD", E::Sse2),
+            ("MOVDQA", E::Sse2),
+            ("MOVDQU", E::Sse2),
+        ] {
+            // reg <- reg (may be eliminated), reg <- mem, mem <- reg.
+            let desc = self
+                .builder(mnemonic, C::VecMov, ext)
+                .operand(OperandDesc::write(xmm()))
+                .operand(OperandDesc::read(xmm()))
+                .with_attrs(|a| a.may_be_zero_latency = true)
+                .build();
+            self.add(desc);
+            for (dst, src) in [(xmm(), mem(W128)), (mem(W128), xmm())] {
+                let desc = self
+                    .builder(mnemonic, C::VecMov, ext)
+                    .operand(OperandDesc::write(dst))
+                    .operand(OperandDesc::read(src))
+                    .build();
+                self.add(desc);
+            }
+            // VEX forms at 128 and 256 bits.
+            let v = format!("V{mnemonic}");
+            for (dst, src, zl) in [
+                (xmm(), xmm(), true),
+                (xmm(), mem(W128), false),
+                (mem(W128), xmm(), false),
+                (ymm(), ymm(), true),
+                (ymm(), mem(W256), false),
+                (mem(W256), ymm(), false),
+            ] {
+                let desc = self
+                    .builder(&v, C::VecMov, E::Avx)
+                    .operand(OperandDesc::write(dst))
+                    .operand(OperandDesc::read(src))
+                    .with_attrs(|a| a.may_be_zero_latency = zl)
+                    .build();
+                self.add(desc);
+            }
+        }
+        // Scalar FP moves.
+        for (mnemonic, w) in [("MOVSS", W32), ("MOVSD", W64)] {
+            let desc = self
+                .builder(mnemonic, C::VecMov, if w == W32 { E::Sse } else { E::Sse2 })
+                .operand(OperandDesc::read_write(xmm()))
+                .operand(OperandDesc::read(xmm()))
+                .build();
+            self.add(desc);
+            for (dst, src) in [(xmm(), mem(w)), (mem(w), xmm())] {
+                let desc = self
+                    .builder(mnemonic, C::VecMov, if w == W32 { E::Sse } else { E::Sse2 })
+                    .operand(OperandDesc::write(dst))
+                    .operand(OperandDesc::read(src))
+                    .build();
+                self.add(desc);
+            }
+        }
+        // MOVD / MOVQ between GPRs, XMM and memory.
+        for (mnemonic, gw) in [("MOVD", W32), ("MOVQ", W64)] {
+            for (dst, src) in [
+                (xmm(), r(gw)),
+                (r(gw), xmm()),
+                (xmm(), mem(gw)),
+                (mem(gw), xmm()),
+            ] {
+                let desc = self
+                    .builder(mnemonic, C::VecMovCross, E::Sse2)
+                    .operand(OperandDesc::write(dst))
+                    .operand(OperandDesc::read(src))
+                    .build();
+                self.add(desc);
+            }
+            // MMX forms.
+            for (dst, src) in [(mm(), r(gw)), (r(gw), mm()), (mm(), mem(gw)), (mem(gw), mm())] {
+                let desc = self
+                    .builder(mnemonic, C::VecMovCross, E::Mmx)
+                    .operand(OperandDesc::write(dst))
+                    .operand(OperandDesc::read(src))
+                    .build();
+                self.add(desc);
+            }
+        }
+        // MOVQ xmm, xmm.
+        let desc = self
+            .builder("MOVQ", C::VecMov, E::Sse2)
+            .operand(OperandDesc::write(xmm()))
+            .operand(OperandDesc::read(xmm()))
+            .build();
+        self.add(desc);
+        // The case-study instructions: MOVQ2DQ (xmm <- mm) and MOVDQ2Q (mm <- xmm).
+        let desc = self
+            .builder("MOVQ2DQ", C::VecMovCross, E::Sse2)
+            .operand(OperandDesc::write(xmm()))
+            .operand(OperandDesc::read(mm()))
+            .build();
+        self.add(desc);
+        let desc = self
+            .builder("MOVDQ2Q", C::VecMovCross, E::Sse2)
+            .operand(OperandDesc::write(mm()))
+            .operand(OperandDesc::read(xmm()))
+            .build();
+        self.add(desc);
+        // MOVMSK-style extractions.
+        for (mnemonic, ext) in [("MOVMSKPS", E::Sse), ("MOVMSKPD", E::Sse2), ("PMOVMSKB", E::Sse2)] {
+            let desc = self
+                .builder(mnemonic, C::VecMovCross, ext)
+                .operand(OperandDesc::write(r(W32)))
+                .operand(OperandDesc::read(xmm()))
+                .build();
+            self.add(desc);
+        }
+        // Shuffles with write-only destination.
+        self.sse_shuf_imm("PSHUFD", C::VecShuffle, E::Sse2);
+        self.sse_shuf_imm("PSHUFLW", C::VecShuffle, E::Sse2);
+        self.sse_shuf_imm("PSHUFHW", C::VecShuffle, E::Sse2);
+        self.sse_shuf_imm("VPSHUFD", C::VecShuffle, E::Avx2);
+        // MMX shuffle.
+        for src in [mm(), mem(W64)] {
+            let desc = self
+                .builder("PSHUFW", C::VecShuffle, E::Mmx)
+                .operand(OperandDesc::write(mm()))
+                .operand(OperandDesc::read(src))
+                .operand(OperandDesc::read(imm(W8)))
+                .build();
+            self.add(desc);
+        }
+        // AVX permutes and broadcasts.
+        self.avx3op_imm("VPERM2F128", C::VecShuffle, E::Avx, true);
+        self.avx3op_imm("VPERM2I128", C::VecShuffle, E::Avx2, true);
+        for (mnemonic, src_w) in [("VBROADCASTSS", W32), ("VBROADCASTSD", W64)] {
+            for dst in [xmm(), ymm()] {
+                if mnemonic == "VBROADCASTSD" && dst == xmm() {
+                    continue;
+                }
+                for src in [xmm(), mem(src_w)] {
+                    let desc = self
+                        .builder(mnemonic, C::VecShuffle, E::Avx)
+                        .operand(OperandDesc::write(dst))
+                        .operand(OperandDesc::read(src))
+                        .build();
+                    self.add(desc);
+                }
+            }
+        }
+        for mnemonic in ["VPERMQ", "VPERMPD"] {
+            for src in [ymm(), mem(W256)] {
+                let desc = self
+                    .builder(mnemonic, C::VecShuffle, E::Avx2)
+                    .operand(OperandDesc::write(ymm()))
+                    .operand(OperandDesc::read(src))
+                    .operand(OperandDesc::read(imm(W8)))
+                    .build();
+                self.add(desc);
+            }
+        }
+        // VEXTRACTF128/VINSERTF128.
+        for src in [ymm()] {
+            let desc = self
+                .builder("VEXTRACTF128", C::VecInsertExtract, E::Avx)
+                .operand(OperandDesc::write(xmm()))
+                .operand(OperandDesc::read(src))
+                .operand(OperandDesc::read(imm(W8)))
+                .build();
+            self.add(desc);
+        }
+        for src in [xmm(), mem(W128)] {
+            let desc = self
+                .builder("VINSERTF128", C::VecInsertExtract, E::Avx)
+                .operand(OperandDesc::write(ymm()))
+                .operand(OperandDesc::read(ymm()))
+                .operand(OperandDesc::read(src))
+                .operand(OperandDesc::read(imm(W8)))
+                .build();
+            self.add(desc);
+        }
+        // VZEROUPPER / VZEROALL.
+        for mnemonic in ["VZEROUPPER", "VZEROALL"] {
+            let desc = self.builder(mnemonic, C::VecMov, E::Avx).build();
+            self.add(desc);
+        }
+        // Non-temporal and aligned stores from vector registers.
+        for (mnemonic, ext) in [("MOVNTDQ", E::Sse2), ("MOVNTPS", E::Sse)] {
+            let desc = self
+                .builder(mnemonic, C::VecMov, ext)
+                .operand(OperandDesc::write(mem(W128)))
+                .operand(OperandDesc::read(xmm()))
+                .build();
+            self.add(desc);
+        }
+    }
+
+    /// AES-NI and carry-less multiplication (the §7.3.1 case study).
+    fn aes_clmul(&mut self) {
+        for mnemonic in ["AESDEC", "AESDECLAST", "AESENC", "AESENCLAST"] {
+            self.sse2op(mnemonic, C::AesOp, E::Aes, false);
+            self.avx3op(&format!("V{mnemonic}"), C::AesOp, E::Avx, false);
+        }
+        for src in [xmm(), mem(W128)] {
+            let desc = self
+                .builder("AESIMC", C::AesOp, E::Aes)
+                .operand(OperandDesc::write(xmm()))
+                .operand(OperandDesc::read(src))
+                .build();
+            self.add(desc);
+            let desc = self
+                .builder("AESKEYGENASSIST", C::AesOp, E::Aes)
+                .operand(OperandDesc::write(xmm()))
+                .operand(OperandDesc::read(src))
+                .operand(OperandDesc::read(imm(W8)))
+                .build();
+            self.add(desc);
+        }
+        self.sse2op_imm("PCLMULQDQ", C::ClmulOp, E::Pclmulqdq);
+        self.avx3op_imm("VPCLMULQDQ", C::ClmulOp, E::Avx, false);
+    }
+
+    fn base_integer(&mut self) {
+        let all = FlagSet::ALL;
+        let none = FlagSet::EMPTY;
+        let cf = FlagSet::CF;
+        self.alu2("ADD", C::IntAlu, none, all, true, false, &GPR_WIDTHS);
+        self.alu2("SUB", C::IntAlu, none, all, true, true, &GPR_WIDTHS);
+        self.alu2("AND", C::IntAlu, none, all, true, false, &GPR_WIDTHS);
+        self.alu2("OR", C::IntAlu, none, all, true, false, &GPR_WIDTHS);
+        self.alu2("XOR", C::IntAlu, none, all, true, true, &GPR_WIDTHS);
+        self.alu2("CMP", C::IntAlu, none, all, false, false, &GPR_WIDTHS);
+        self.alu2("TEST", C::IntAlu, none, FlagSet::ALL_EXCEPT_AF, false, false, &GPR_WIDTHS);
+        self.alu2("ADC", C::IntAluCarry, cf, all, true, false, &GPR_WIDTHS);
+        self.alu2("SBB", C::IntAluCarry, cf, all, true, false, &GPR_WIDTHS);
+        self.unary("INC", C::IncDec, FlagSet::ALL_EXCEPT_CF, &GPR_WIDTHS);
+        self.unary("DEC", C::IncDec, FlagSet::ALL_EXCEPT_CF, &GPR_WIDTHS);
+        self.unary("NEG", C::NegNot, all, &GPR_WIDTHS);
+        self.unary("NOT", C::NegNot, none, &GPR_WIDTHS);
+        self.shift("SHL", C::Shift, none, &GPR_WIDTHS);
+        self.shift("SHR", C::Shift, none, &GPR_WIDTHS);
+        self.shift("SAR", C::Shift, none, &GPR_WIDTHS);
+        self.shift("ROL", C::Rotate, none, &GPR_WIDTHS);
+        self.shift("ROR", C::Rotate, none, &GPR_WIDTHS);
+        self.shift("RCL", C::Rotate, cf, &GPR_WIDTHS);
+        self.shift("RCR", C::Rotate, cf, &GPR_WIDTHS);
+        self.double_shift("SHLD");
+        self.double_shift("SHRD");
+        self.mov();
+        self.movx();
+        self.cmov();
+        self.setcc();
+        self.jcc();
+        self.mul_div();
+        self.bitscan();
+        self.bmi();
+        self.misc_base();
+    }
+}
+
+/// Populates `catalog` with the full Intel Core instruction catalog.
+pub fn populate(catalog: &mut Catalog) {
+    let mut g = Gen { catalog };
+    g.base_integer();
+    g.packed_int_family();
+    g.ssse3_sse4();
+    g.fp_family();
+    g.vector_moves();
+    g.aes_clmul();
+    g.extras();
+}
+
+impl<'a> Gen<'a> {
+    /// Additional instruction groups: sign-extension idioms, compare-and-
+    /// exchange, non-temporal stores, SSE3 duplication moves, AVX scalar and
+    /// integer moves, broadcasts, 128-bit lane insert/extract, conversions,
+    /// and rounding — bringing the catalog closer to the coverage of the
+    /// paper's tool.
+    fn extras(&mut self) {
+        // Sign-extension idioms with implicit RAX/RDX operands.
+        for (mnemonic, w) in [("CBW", W16), ("CWDE", W32), ("CDQE", W64)] {
+            let rax = OperandKind::FixedReg(Register::gpr(gpr::RAX, w));
+            let desc = self
+                .builder(mnemonic, C::MovExtend, E::Base)
+                .operand(OperandDesc::read_write(rax).implicit())
+                .build();
+            self.add(desc);
+        }
+        for (mnemonic, w) in [("CWD", W16), ("CDQ", W32), ("CQO", W64)] {
+            let rax = OperandKind::FixedReg(Register::gpr(gpr::RAX, w));
+            let rdx = OperandKind::FixedReg(Register::gpr(gpr::RDX, w));
+            let desc = self
+                .builder(mnemonic, C::MovExtend, E::Base)
+                .operand(OperandDesc::read(rax).implicit())
+                .operand(OperandDesc::write(rdx).implicit())
+                .build();
+            self.add(desc);
+        }
+        // Compare-and-exchange (non-LOCK forms).
+        for &w in &GPR_WIDTHS {
+            for dst in [r(w), mem(w)] {
+                let rax = OperandKind::FixedReg(Register::gpr(gpr::RAX, w));
+                let desc = self
+                    .builder("CMPXCHG", C::Xchg, E::Base)
+                    .operand(OperandDesc::read_write(dst))
+                    .operand(OperandDesc::read(r(w)))
+                    .operand(OperandDesc::read_write(rax).implicit())
+                    .writes_flags(FlagSet::ALL)
+                    .build();
+                self.add(desc);
+            }
+        }
+        // Non-temporal integer store.
+        for &w in &[W32, W64] {
+            let desc = self
+                .builder("MOVNTI", C::Mov, E::Sse2)
+                .operand(OperandDesc::write(mem(w)))
+                .operand(OperandDesc::read(r(w)))
+                .build();
+            self.add(desc);
+        }
+        // SSE3 duplication moves and LDDQU.
+        for (mnemonic, src_w) in [("MOVDDUP", W64), ("MOVSHDUP", W128), ("MOVSLDUP", W128)] {
+            for src in [xmm(), mem(src_w)] {
+                let desc = self
+                    .builder(mnemonic, C::VecShuffle, E::Sse3)
+                    .operand(OperandDesc::write(xmm()))
+                    .operand(OperandDesc::read(src))
+                    .build();
+                self.add(desc);
+            }
+        }
+        let desc = self
+            .builder("LDDQU", C::VecMov, E::Sse3)
+            .operand(OperandDesc::write(xmm()))
+            .operand(OperandDesc::read(mem(W128)))
+            .build();
+        self.add(desc);
+        // ADDSUB (SSE3) and horizontal min/max style ops.
+        for suffix in ["PS", "PD"] {
+            self.sse2op(&format!("ADDSUB{suffix}"), C::VecFpAdd, E::Sse3, false);
+            self.avx3op(&format!("VADDSUB{suffix}"), C::VecFpAdd, E::Avx, true);
+        }
+        // Partial-register high/low packed moves.
+        for mnemonic in ["MOVHPS", "MOVLPS", "MOVHPD", "MOVLPD"] {
+            let ext = if mnemonic.ends_with("PS") { E::Sse } else { E::Sse2 };
+            let desc = self
+                .builder(mnemonic, C::VecMov, ext)
+                .operand(OperandDesc::read_write(xmm()))
+                .operand(OperandDesc::read(mem(W64)))
+                .build();
+            self.add(desc);
+            let desc = self
+                .builder(mnemonic, C::VecMov, ext)
+                .operand(OperandDesc::write(mem(W64)))
+                .operand(OperandDesc::read(xmm()))
+                .build();
+            self.add(desc);
+        }
+        for mnemonic in ["MOVLHPS", "MOVHLPS"] {
+            let desc = self
+                .builder(mnemonic, C::VecShuffle, E::Sse)
+                .operand(OperandDesc::read_write(xmm()))
+                .operand(OperandDesc::read(xmm()))
+                .build();
+            self.add(desc);
+        }
+        // AVX scalar/integer moves, broadcasts and lane operations.
+        for (mnemonic, gw) in [("VMOVD", W32), ("VMOVQ", W64)] {
+            for (dst, src) in [(xmm(), r(gw)), (r(gw), xmm()), (xmm(), mem(gw)), (mem(gw), xmm())] {
+                let desc = self
+                    .builder(mnemonic, C::VecMovCross, E::Avx)
+                    .operand(OperandDesc::write(dst))
+                    .operand(OperandDesc::read(src))
+                    .build();
+                self.add(desc);
+            }
+        }
+        for (mnemonic, src_w) in [
+            ("VPBROADCASTB", W8),
+            ("VPBROADCASTW", W16),
+            ("VPBROADCASTD", W32),
+            ("VPBROADCASTQ", W64),
+        ] {
+            for dst in [xmm(), ymm()] {
+                for src in [xmm(), mem(src_w)] {
+                    let desc = self
+                        .builder(mnemonic, C::VecShuffle, E::Avx2)
+                        .operand(OperandDesc::write(dst))
+                        .operand(OperandDesc::read(src))
+                        .build();
+                    self.add(desc);
+                }
+            }
+        }
+        for (mnemonic, write_lane) in [("VINSERTI128", true), ("VEXTRACTI128", false)] {
+            if write_lane {
+                for src in [xmm(), mem(W128)] {
+                    let desc = self
+                        .builder(mnemonic, C::VecInsertExtract, E::Avx2)
+                        .operand(OperandDesc::write(ymm()))
+                        .operand(OperandDesc::read(ymm()))
+                        .operand(OperandDesc::read(src))
+                        .operand(OperandDesc::read(imm(W8)))
+                        .build();
+                    self.add(desc);
+                }
+            } else {
+                for dst in [xmm(), mem(W128)] {
+                    let desc = self
+                        .builder(mnemonic, C::VecInsertExtract, E::Avx2)
+                        .operand(OperandDesc::write(dst))
+                        .operand(OperandDesc::read(ymm()))
+                        .operand(OperandDesc::read(imm(W8)))
+                        .build();
+                    self.add(desc);
+                }
+            }
+        }
+        // AVX conversions and rounding.
+        for (mnemonic, dst, srcs) in [
+            ("VCVTDQ2PS", ymm(), [ymm(), mem(W256)]),
+            ("VCVTPS2DQ", ymm(), [ymm(), mem(W256)]),
+            ("VCVTTPS2DQ", ymm(), [ymm(), mem(W256)]),
+            ("VCVTPD2PS", xmm(), [ymm(), mem(W256)]),
+            ("VCVTPS2PD", ymm(), [xmm(), mem(W128)]),
+        ] {
+            for src in srcs {
+                let desc = self
+                    .builder(mnemonic, C::VecConvert, E::Avx)
+                    .operand(OperandDesc::write(dst))
+                    .operand(OperandDesc::read(src))
+                    .build();
+                self.add(desc);
+            }
+        }
+        for mnemonic in ["VROUNDPS", "VROUNDPD"] {
+            for (dst, src_w) in [(xmm(), W128), (ymm(), W256)] {
+                for src in [dst, mem(src_w)] {
+                    let desc = self
+                        .builder(mnemonic, C::VecFpAdd, E::Avx)
+                        .operand(OperandDesc::write(dst))
+                        .operand(OperandDesc::read(src))
+                        .operand(OperandDesc::read(imm(W8)))
+                        .build();
+                    self.add(desc);
+                }
+            }
+        }
+        // VPTEST / VTESTPS set flags from vector comparisons.
+        for mnemonic in ["VPTEST", "VTESTPS", "VTESTPD"] {
+            for (a, src_w) in [(xmm(), W128), (ymm(), W256)] {
+                for src in [a, mem(src_w)] {
+                    let desc = self
+                        .builder(mnemonic, C::VecIntCmp, E::Avx)
+                        .operand(OperandDesc::read(a))
+                        .operand(OperandDesc::read(src))
+                        .writes_flags(FlagSet::ALL)
+                        .build();
+                    self.add(desc);
+                }
+            }
+        }
+        // Prefetches and fences (no architectural data effects).
+        for mnemonic in ["PREFETCHT0", "PREFETCHT1", "PREFETCHT2", "PREFETCHNTA"] {
+            let agen = OperandDesc { kind: mem(W8), read: false, write: false, implicit: false };
+            let desc = self.builder(mnemonic, C::Lea, E::Sse).operand(agen).build();
+            self.add(desc);
+        }
+        let desc = self
+            .builder("SFENCE", C::System, E::Sse)
+            .with_attrs(|a| a.serializing = true)
+            .build();
+        self.add(desc);
+        // ENTER/LEAVE-style frame instructions.
+        let rsp = OperandKind::FixedReg(Register::gpr(gpr::RSP, W64));
+        let rbp = OperandKind::FixedReg(Register::gpr(gpr::RBP, W64));
+        let desc = self
+            .builder("LEAVE", C::Stack, E::Base)
+            .operand(OperandDesc::read_write(rsp).implicit())
+            .operand(OperandDesc::read_write(rbp).implicit())
+            .build();
+        self.add(desc);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn catalog() -> Catalog {
+        Catalog::intel_core()
+    }
+
+    #[test]
+    fn catalog_has_expected_size() {
+        let c = catalog();
+        assert!(
+            c.len() >= 1500,
+            "catalog too small: {} variants (expected >= 1500)",
+            c.len()
+        );
+    }
+
+    #[test]
+    fn case_study_instructions_exist() {
+        let c = catalog();
+        for (mnemonic, variant) in [
+            ("AESDEC", "XMM, XMM"),
+            ("AESDEC", "XMM, M128"),
+            ("SHLD", "R64, R64, I8"),
+            ("SHLD", "R32, R32, CL"),
+            ("MOVQ2DQ", "XMM, MM"),
+            ("MOVDQ2Q", "MM, XMM"),
+            ("PBLENDVB", "XMM, XMM"),
+            ("VHADDPD", "XMM, XMM, XMM"),
+            ("VMINPS", "XMM, XMM, XMM"),
+            ("BSWAP", "R32"),
+            ("BSWAP", "R64"),
+            ("ADC", "R64, R64"),
+            ("SBB", "R64, R64"),
+            ("CMC", ""),
+            ("SAHF", ""),
+            ("PCMPGTD", "XMM, XMM"),
+            ("PCMPEQD", "XMM, XMM"),
+            ("IMUL", "R64, R64"),
+            ("DIV", "R64"),
+            ("MOVSX", "R64, R16"),
+            ("PSHUFD", "XMM, XMM, I8"),
+            ("VPBLENDVB", "XMM, XMM, XMM, XMM"),
+            ("MPSADBW", "XMM, XMM, I8"),
+            ("XCHG", "R64, R64"),
+            ("XADD", "R64, R64"),
+            ("CMOVNBE", "R64, R64"),
+            ("TEST", "M64, R64"),
+        ] {
+            assert!(
+                c.find_variant(mnemonic, variant).is_some(),
+                "missing case-study variant {mnemonic} ({variant})"
+            );
+        }
+    }
+
+    #[test]
+    fn implicit_flag_operands_are_present() {
+        let c = catalog();
+        let add = c.find_variant("ADD", "R64, R64").unwrap();
+        assert!(add.writes_flags());
+        assert!(!add.reads_flags());
+        let adc = c.find_variant("ADC", "R64, R64").unwrap();
+        assert!(adc.reads_flags());
+        assert!(adc.writes_flags());
+        let cmc = c.find_variant("CMC", "").unwrap();
+        assert!(cmc.reads_flags());
+        assert!(cmc.writes_flags());
+    }
+
+    #[test]
+    fn zero_idiom_attributes() {
+        let c = catalog();
+        assert!(c.find_variant("XOR", "R64, R64").unwrap().attrs.zero_idiom);
+        assert!(c.find_variant("SUB", "R32, R32").unwrap().attrs.zero_idiom);
+        assert!(c.find_variant("PXOR", "XMM, XMM").unwrap().attrs.zero_idiom);
+        assert!(c.find_variant("PCMPEQD", "XMM, XMM").unwrap().attrs.zero_idiom);
+        // PCMPGT is *not* documented as dependency-breaking (§7.3.6): the
+        // catalog must not mark it, the measurement has to discover it.
+        assert!(!c.find_variant("PCMPGTD", "XMM, XMM").unwrap().attrs.zero_idiom);
+        assert!(!c.find_variant("ADD", "R64, R64").unwrap().attrs.zero_idiom);
+    }
+
+    #[test]
+    fn zero_latency_and_divider_attributes() {
+        let c = catalog();
+        assert!(c.find_variant("MOV", "R64, R64").unwrap().attrs.may_be_zero_latency);
+        assert!(!c.find_variant("MOV", "R64, M64").unwrap().attrs.may_be_zero_latency);
+        assert!(!c.find_variant("MOVSX", "R64, R16").unwrap().attrs.may_be_zero_latency);
+        assert!(c.find_variant("DIV", "R64").unwrap().attrs.uses_divider);
+        assert!(c.find_variant("DIVPS", "XMM, XMM").unwrap().attrs.uses_divider);
+        assert!(c.find_variant("SQRTPD", "XMM, XMM").unwrap().attrs.uses_divider);
+        assert!(!c.find_variant("MULPS", "XMM, XMM").unwrap().attrs.uses_divider);
+    }
+
+    #[test]
+    fn control_flow_and_system_attributes() {
+        let c = catalog();
+        assert!(c.find_variant("JNZ", "I32").unwrap().attrs.control_flow);
+        assert!(c.find_variant("JMP", "R64").unwrap().attrs.control_flow);
+        assert!(c.find_variant("RDMSR", "").unwrap().attrs.system);
+        assert!(c.find_variant("CPUID", "").unwrap().attrs.serializing);
+        assert!(c.find_variant("PAUSE", "").unwrap().attrs.pause);
+        assert!(c.find_variant("REP MOVSB", "").unwrap().attrs.rep_prefix);
+        assert!(c.find_variant("LOCK ADD", "M64, R64").unwrap().attrs.locked);
+    }
+
+    #[test]
+    fn memory_variant_counts_match_register_variants() {
+        let c = catalog();
+        // Every AESDEC register variant has a memory sibling.
+        assert!(c.find_variant("AESDEC", "XMM, XMM").is_some());
+        assert!(c.find_variant("AESDEC", "XMM, M128").is_some());
+        // MOV has load and store variants at every width.
+        for w in ["8", "16", "32", "64"] {
+            assert!(c.find_variant("MOV", &format!("R{w}, M{w}")).is_some());
+            assert!(c.find_variant("MOV", &format!("M{w}, R{w}")).is_some());
+        }
+    }
+
+    #[test]
+    fn condition_code_families_are_complete() {
+        let c = catalog();
+        assert_eq!(condition_codes().len(), 16);
+        for (cc, _) in condition_codes() {
+            assert!(c.find_variant(&format!("CMOV{cc}"), "R64, R64").is_some(), "CMOV{cc}");
+            assert!(c.find_variant(&format!("SET{cc}"), "R8").is_some(), "SET{cc}");
+            assert!(c.find_variant(&format!("J{cc}"), "I32").is_some(), "J{cc}");
+        }
+    }
+
+    #[test]
+    fn avx_forms_have_ymm_variants() {
+        let c = catalog();
+        assert!(c.find_variant("VPADDD", "YMM, YMM, YMM").is_some());
+        assert!(c.find_variant("VADDPS", "YMM, YMM, M256").is_some());
+        assert!(c.find_variant("VFMADD132PS", "YMM, YMM, YMM").is_some());
+        assert!(c.find_variant("VFMADD132SS", "XMM, XMM, XMM").is_some());
+    }
+
+    #[test]
+    fn implicit_operand_of_blendv_is_xmm0() {
+        let c = catalog();
+        let blend = c.find_variant("PBLENDVB", "XMM, XMM").unwrap();
+        let implicit: Vec<_> = blend.implicit_operands().collect();
+        assert_eq!(implicit.len(), 1);
+        match implicit[0].kind {
+            OperandKind::FixedReg(reg) => {
+                assert_eq!(reg, Register::vec(0, W128));
+            }
+            other => panic!("expected fixed XMM0 operand, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shift_count_operand_is_cl() {
+        let c = catalog();
+        let shl = c.find_variant("SHL", "R64, CL").unwrap();
+        let count = &shl.operands[1];
+        match count.kind {
+            OperandKind::FixedReg(reg) => {
+                assert_eq!(reg, Register::gpr(gpr::RCX, W8));
+            }
+            other => panic!("expected CL operand, got {other:?}"),
+        }
+    }
+}

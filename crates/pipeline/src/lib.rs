@@ -1,0 +1,35 @@
+//! # uops-pipeline
+//!
+//! A cycle-level out-of-order pipeline simulator of Intel Core
+//! microarchitectures (Nehalem through Coffee Lake), standing in for the real
+//! hardware the paper measures.
+//!
+//! The simulator consumes [`uops_asm::CodeSequence`]s, decodes each
+//! instruction into µops using the hidden ground truth of [`uops_uarch`], and
+//! models renaming (move elimination, zero idioms), dynamic scheduling onto
+//! execution ports, functional-unit latencies, a non-pipelined divider,
+//! loads/stores with store-to-load forwarding, bypass delays, and
+//! partial-register stalls. Its only observable output is a
+//! [`PerfCounters`] snapshot — elapsed core cycles and µops per port — which
+//! is exactly the interface the paper's algorithms use on real hardware.
+//!
+//! ## Example
+//!
+//! ```rust
+//! use uops_pipeline::Pipeline;
+//! use uops_uarch::MicroArch;
+//! use uops_asm::CodeSequence;
+//!
+//! let sim = Pipeline::new(MicroArch::Skylake);
+//! let counters = sim.execute(&CodeSequence::new());
+//! assert!(counters.core_cycles > 0); // measurement overhead only
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod counters;
+pub mod sim;
+
+pub use counters::{CounterAverages, PerfCounters};
+pub use sim::{Pipeline, SimOptions};

@@ -1,0 +1,44 @@
+//! # uops-uarch
+//!
+//! Per-microarchitecture configuration and the *hidden ground truth* used by
+//! the pipeline simulator.
+//!
+//! The crate has two faces:
+//!
+//! * The **public structural configuration** ([`MicroArch`], [`UarchConfig`],
+//!   [`Port`], [`PortSet`]): how many ports a generation has, which
+//!   functional-unit classes sit on which ports, front-end width, load
+//!   latency, and so on. This corresponds to the publicly documented
+//!   high-level structure of the pipeline (Figure 1 of the paper) and may be
+//!   used by the inference algorithms.
+//! * The **ground truth** ([`truth::characterize`], [`InstrChar`],
+//!   [`UopSpec`]): the per-instruction µop decomposition, port bindings and
+//!   latencies that the simulator executes. The inference algorithms in
+//!   `uops-core` must never consult it; tests and benchmarks use it only to
+//!   validate inferred results from the outside.
+//!
+//! ## Example
+//!
+//! ```rust
+//! use uops_uarch::{MicroArch, UarchConfig};
+//!
+//! let cfg = UarchConfig::for_arch(MicroArch::Skylake);
+//! assert_eq!(cfg.port_count, 8);
+//! assert!(cfg.port_combinations().len() > 5);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod arch;
+pub mod config;
+mod overrides;
+pub mod port;
+pub mod truth;
+pub mod uops;
+
+pub use arch::MicroArch;
+pub use config::UarchConfig;
+pub use port::{Port, PortSet, MAX_PORTS};
+pub use truth::{characterize, TruthOptions};
+pub use uops::{Domain, FuKind, InstrChar, UopInput, UopOutput, UopSpec};

@@ -1,0 +1,931 @@
+//! The hidden ground truth: per-instruction µop decomposition, port bindings,
+//! and latencies for every microarchitecture.
+//!
+//! The [`characterize`] function is the oracle the pipeline simulator queries
+//! when it decodes an instruction. It is rule-based (driven by the
+//! instruction's category, operand structure, and the microarchitecture's
+//! [`UarchConfig`]) with a table of per-mnemonic overrides for the
+//! instructions whose behaviour the paper studies in detail (AES, SHLD,
+//! MOVQ2DQ, MOVDQ2Q, PBLENDVB, ...).
+//!
+//! **Information hiding.** This module is *only* allowed to be used by the
+//! simulator (`uops-pipeline`), by the IACA analogue (`uops-iaca`, in
+//! perturbed form), and by tests/benches that compare inferred results
+//! against the truth. The inference algorithms in `uops-core` must never call
+//! it.
+
+use uops_asm::Inst;
+use uops_isa::{Category, OperandKind, RegFile, Width};
+
+use crate::config::UarchConfig;
+use crate::overrides;
+use crate::port::PortSet;
+use crate::uops::{FuKind, InstrChar, UopInput, UopOutput, UopSpec};
+
+/// Base of the temporary-id range used for loaded memory values.
+pub(crate) const LOAD_TEMP_BASE: u8 = 100;
+/// Temporary id carrying the value stored to memory by read-modify-write
+/// instructions.
+pub(crate) const STORE_VALUE_TEMP: u8 = 250;
+
+/// Options controlling value-dependent behaviour of the ground truth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TruthOptions {
+    /// Use operand values that lead to the *low* latency/occupancy of the
+    /// divider units (§5.2.5). When `false`, the high-latency values are
+    /// assumed.
+    pub divider_low_latency: bool,
+}
+
+/// Characterizes an instruction instance on the given microarchitecture.
+///
+/// Returns the full µop decomposition including load/store µops, renamer
+/// behaviour (eliminated instructions, move-elimination candidates,
+/// dependency-breaking idioms), and divider occupancy.
+#[must_use]
+pub fn characterize(inst: &Inst, cfg: &UarchConfig, opts: TruthOptions) -> InstrChar {
+    let desc = inst.desc();
+
+    // NOPs are handled entirely by the front end / renamer.
+    if desc.category == Category::Nop && !desc.attrs.pause {
+        return InstrChar { eliminated: true, ..InstrChar::default() };
+    }
+
+    // Zero idioms and other dependency-breaking idioms with identical source
+    // registers.
+    let same_reg_sources = has_identical_register_sources(inst);
+    let undocumented_dep_breaking = is_undocumented_dependency_breaking(desc.mnemonic.as_str());
+    if same_reg_sources && (desc.attrs.zero_idiom || undocumented_dep_breaking) {
+        return characterize_idiom(inst, cfg, desc.attrs.zero_idiom);
+    }
+
+    // Per-mnemonic overrides (the paper's case-study instructions).
+    let mut char_ = if let Some(graph) = overrides::compute_graph(inst, cfg) {
+        build_with_memory(inst, cfg, graph)
+    } else {
+        let graph = generic_compute_graph(inst, cfg, opts);
+        build_with_memory(inst, cfg, graph)
+    };
+
+    // Move elimination candidates.
+    char_.mov_elim_candidate = is_move_elimination_candidate(inst, cfg);
+
+    // Divider occupancy.
+    if desc.attrs.uses_divider {
+        let (low, high) = divider_occupancy(desc.category, desc.max_width().unwrap_or(Width::W64));
+        char_.divider_occupancy = Some((low, high));
+        // The divider µop's latency depends on the operand values.
+        let lat = if opts.divider_low_latency { low } else { high };
+        for uop in &mut char_.uops {
+            if uop.fu == FuKind::Div {
+                uop.latency = lat;
+            }
+        }
+    }
+
+    char_
+}
+
+/// The compute portion of an instruction: µops whose inputs refer to operand
+/// indices (later remapped to load temporaries where the operand is a memory
+/// read) or to intra-graph temporaries in the range `0..LOAD_TEMP_BASE`.
+pub(crate) type ComputeGraph = Vec<UopSpec>;
+
+// ---------------------------------------------------------------------------
+// Idioms and renamer behaviour
+// ---------------------------------------------------------------------------
+
+/// Returns `true` if all explicit register *source* operands of the
+/// instruction are bound to the same architectural register and there are at
+/// least two of them.
+fn has_identical_register_sources(inst: &Inst) -> bool {
+    let desc = inst.desc();
+    let mut regs = Vec::new();
+    for (od, op) in desc.operands.iter().zip(inst.operands()) {
+        if !od.is_explicit() || !od.read {
+            continue;
+        }
+        match (od.kind, op) {
+            (OperandKind::Reg(_), uops_asm::Op::Reg(r)) => regs.push(*r),
+            (OperandKind::Mem(_) | OperandKind::Imm(_), _) => return false,
+            _ => {}
+        }
+    }
+    regs.len() >= 2 && regs.windows(2).all(|w| w[0].aliases(w[1]))
+}
+
+/// Dependency-breaking idioms that are *not* documented as such (§7.3.6): the
+/// packed compare-greater-than instructions.
+fn is_undocumented_dependency_breaking(mnemonic: &str) -> bool {
+    mnemonic.starts_with("PCMPGT") || mnemonic.starts_with("VPCMPGT")
+}
+
+/// Characterization of a recognized (zero or dependency-breaking) idiom with
+/// identical source registers.
+fn characterize_idiom(inst: &Inst, cfg: &UarchConfig, documented_zero_idiom: bool) -> InstrChar {
+    let desc = inst.desc();
+    // On Sandy Bridge and later, documented zero idioms need no execution
+    // port at all; earlier microarchitectures still execute one µop, and the
+    // undocumented dependency-breaking idioms (PCMPGT) always execute.
+    let needs_no_port = documented_zero_idiom && cfg.arch.zero_idioms_need_no_port();
+    if needs_no_port {
+        return InstrChar {
+            eliminated: true,
+            dependency_breaking: true,
+            ..InstrChar::default()
+        };
+    }
+    // One µop on the category's usual ports, with *no* register inputs (the
+    // result does not depend on the source value), writing all destinations.
+    let (ports, fu, latency) = simple_category_rule(desc.category, cfg);
+    let outputs: Vec<UopOutput> =
+        desc.destination_indices().into_iter().map(UopOutput::Op).collect();
+    let uop = UopSpec::new(ports, fu, latency, Vec::new(), outputs);
+    InstrChar {
+        uops: vec![uop],
+        dependency_breaking: true,
+        ..InstrChar::default()
+    }
+}
+
+/// Returns `true` if the instruction is a register-to-register move that the
+/// renamer may eliminate on this microarchitecture.
+fn is_move_elimination_candidate(inst: &Inst, cfg: &UarchConfig) -> bool {
+    let desc = inst.desc();
+    if !desc.attrs.may_be_zero_latency || desc.has_memory_operand() {
+        return false;
+    }
+    let gpr_move = matches!(desc.category, Category::Mov | Category::MovExtend);
+    let vec_move = matches!(desc.category, Category::VecMov);
+    (gpr_move && cfg.arch.has_gpr_move_elimination())
+        || (vec_move && cfg.arch.has_vec_move_elimination())
+}
+
+// ---------------------------------------------------------------------------
+// Generic rules
+// ---------------------------------------------------------------------------
+
+/// Shuffle instructions that operate on floating-point data (SHUFPS,
+/// UNPCKLPD, ...) live in the floating-point bypass domain, while the packed
+/// integer shuffles (PSHUFD, PUNPCK*, ...) live in the integer domain — this
+/// is what makes measuring vector latencies with both an integer and a
+/// floating-point shuffle chain worthwhile (§5.2.1).
+fn is_fp_shuffle(mnemonic: &str) -> bool {
+    mnemonic.ends_with("PS") || mnemonic.ends_with("PD")
+}
+
+/// The simple one-µop rule for a category: ports, functional unit, latency.
+fn simple_category_rule(cat: Category, cfg: &UarchConfig) -> (PortSet, FuKind, u32) {
+    use Category as C;
+    let skl = cfg.arch.at_least(crate::arch::MicroArch::Skylake);
+    match cat {
+        C::IntAlu | C::IncDec | C::NegNot | C::FlagOp | C::SetCC | C::Mov | C::MovExtend
+        | C::IntAluCarry | C::CMov | C::Xchg | C::Xadd | C::Bswap | C::StringOp | C::System
+        | C::Stack | C::CallRet => (cfg.int_alu, FuKind::Alu, 1),
+        C::Shift | C::Rotate | C::DoubleShift => (cfg.int_shift, FuKind::Alu, 1),
+        C::BitScan | C::Crc32 => (cfg.slow_int, FuKind::Alu, 3),
+        C::BitField => (cfg.int_alu, FuKind::Alu, 1),
+        C::IntMul => (cfg.int_mul, FuKind::Mul, 3),
+        C::IntDiv => (cfg.divider, FuKind::Div, 25),
+        C::Lea => (cfg.lea, FuKind::Alu, 1),
+        C::Branch => (cfg.branch, FuKind::Branch, 1),
+        C::Nop => (PortSet::EMPTY, FuKind::None, 0),
+        C::VecIntAlu | C::VecIntCmp => (cfg.vec_alu, FuKind::VecInt, 1),
+        C::VecIntMul => (cfg.vec_mul, FuKind::VecInt, 5),
+        C::VecShift => (cfg.vec_mul, FuKind::VecInt, 1),
+        C::VecShuffle => (cfg.vec_shuffle, FuKind::Shuffle, 1),
+        C::VecBlend => (cfg.vec_blend, FuKind::VecInt, 1),
+        C::VecFpAdd => (cfg.fp_add, FuKind::VecFp, if skl { 4 } else { 3 }),
+        C::VecFpMul | C::VecFma => (cfg.fp_mul, FuKind::VecFp, if skl { 4 } else { 5 }),
+        C::VecFpDiv => (cfg.fp_div, FuKind::Div, 14),
+        C::VecFpLogic => (cfg.vec_blend, FuKind::VecFp, 1),
+        C::VecHorizontal => (cfg.vec_shuffle, FuKind::Shuffle, 1),
+        C::VecConvert => (cfg.fp_add, FuKind::VecFp, if skl { 4 } else { 3 }),
+        C::VecMov => (cfg.vec_alu, FuKind::VecInt, 1),
+        C::VecMovCross => (cfg.vec_mul, FuKind::VecInt, 2),
+        C::VecInsertExtract => (cfg.vec_shuffle, FuKind::Shuffle, 2),
+        C::AesOp => (cfg.aes, FuKind::Aes, 7),
+        C::ClmulOp => (cfg.vec_mul, FuKind::VecInt, 7),
+    }
+}
+
+/// Divider occupancy/latency (low, high) by category and operand width.
+fn divider_occupancy(cat: Category, width: Width) -> (u32, u32) {
+    match cat {
+        Category::IntDiv => match width {
+            Width::W8 => (12, 17),
+            Width::W16 => (14, 21),
+            Width::W32 => (18, 26),
+            _ => (30, 90),
+        },
+        // Vector FP division / square root.
+        _ => match width {
+            Width::W256 => (14, 28),
+            _ => (10, 20),
+        },
+    }
+}
+
+/// Which source operands feed the *first* stage of a multi-stage compute
+/// graph: the plain (read-only, non-flag) register sources. The second stage
+/// consumes the intermediate result together with the read-write operands and
+/// the flag inputs; this staging is what produces different latencies for
+/// different operand pairs (§7.3.5).
+fn stage_split(inst: &Inst) -> (Vec<usize>, Vec<usize>) {
+    let desc = inst.desc();
+    let mut early = Vec::new();
+    let mut late = Vec::new();
+    for (i, od) in desc.operands.iter().enumerate() {
+        if !od.read {
+            continue;
+        }
+        match od.kind {
+            OperandKind::Imm(_) => {}
+            OperandKind::Flags(_) => late.push(i),
+            _ => {
+                if od.write {
+                    late.push(i);
+                } else {
+                    early.push(i);
+                }
+            }
+        }
+    }
+    (early, late)
+}
+
+/// All readable source operand indices (registers, memory, flags — not
+/// immediates).
+pub(crate) fn all_value_sources(inst: &Inst) -> Vec<usize> {
+    inst.desc()
+        .operands
+        .iter()
+        .enumerate()
+        .filter(|(_, od)| od.read && !matches!(od.kind, OperandKind::Imm(_)))
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Non-memory destination operand indices.
+pub(crate) fn register_destinations(inst: &Inst) -> Vec<usize> {
+    inst.desc()
+        .operands
+        .iter()
+        .enumerate()
+        .filter(|(_, od)| od.write && !matches!(od.kind, OperandKind::Mem(_)))
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Builds the generic compute graph for an instruction from category rules.
+fn generic_compute_graph(inst: &Inst, cfg: &UarchConfig, _opts: TruthOptions) -> ComputeGraph {
+    use Category as C;
+    let desc = inst.desc();
+    let (ports, fu, latency) = simple_category_rule(desc.category, cfg);
+    // Floating-point shuffles keep the shuffle port but live in the FP
+    // bypass domain.
+    let fu = if desc.category == C::VecShuffle && is_fp_shuffle(&desc.mnemonic) {
+        FuKind::VecFp
+    } else {
+        fu
+    };
+    let dests: Vec<UopOutput> = register_destinations(inst).into_iter().map(UopOutput::Op).collect();
+    let sources: Vec<UopInput> = all_value_sources(inst).into_iter().map(UopInput::Op).collect();
+    let skl = cfg.arch.at_least(crate::arch::MicroArch::Skylake);
+    let width = desc.max_width().unwrap_or(Width::W64);
+
+    // Pure stores (MOV-style moves whose only destination is memory) have no
+    // compute µop: the store-data µop reads the source directly.
+    if matches!(desc.category, C::Mov | C::VecMov | C::MovExtend)
+        && desc.writes_memory()
+        && dests.is_empty()
+    {
+        return Vec::new();
+    }
+
+    // Pure loads (MOV-style moves from memory into a register) are a single
+    // load µop: the load writes the destination register directly.
+    if matches!(desc.category, C::Mov | C::VecMov | C::MovExtend)
+        && desc.reads_memory()
+        && !desc.writes_memory()
+    {
+        return Vec::new();
+    }
+
+    // Number of compute stages for the category on this microarchitecture.
+    let stages: u32 = match desc.category {
+        C::IntAluCarry | C::CMov => {
+            if skl {
+                1
+            } else {
+                2
+            }
+        }
+        C::Rotate => 2,
+        C::DoubleShift => 2,
+        C::Xchg | C::Xadd => 3,
+        C::Bswap => {
+            if width == Width::W64 {
+                2
+            } else {
+                1
+            }
+        }
+        C::Shift => {
+            // Shifts by CL take an extra µop for the flag merge.
+            let count_is_cl = desc
+                .operands
+                .iter()
+                .any(|od| matches!(od.kind, OperandKind::FixedReg(r) if r.file == RegFile::Gpr && r.index == uops_isa::gpr::RCX));
+            if count_is_cl && !skl {
+                2
+            } else {
+                1
+            }
+        }
+        C::IntMul => {
+            // One-operand forms writing RDX:RAX need an extra µop for the
+            // high half.
+            if desc.implicit_operands().filter(|o| o.write).count() >= 2 {
+                2
+            } else {
+                1
+            }
+        }
+        C::IntDiv => 3,
+        C::VecHorizontal => 3,
+        C::VecInsertExtract => 2,
+        C::VecConvert => {
+            if desc.operands.iter().any(|o| o.kind.reg_class().map(|c| c.is_gpr()).unwrap_or(false))
+            {
+                2
+            } else {
+                1
+            }
+        }
+        C::ClmulOp => {
+            if cfg.arch.at_least(crate::arch::MicroArch::Broadwell) {
+                1
+            } else {
+                2
+            }
+        }
+        C::Stack | C::CallRet => 2,
+        C::StringOp => {
+            if desc.attrs.rep_prefix {
+                8
+            } else {
+                4
+            }
+        }
+        C::System => 4,
+        _ => 1,
+    };
+
+    if stages == 1 {
+        return vec![UopSpec::new(ports, fu, latency, sources, dests)];
+    }
+
+    match desc.category {
+        // Two-stage ALU instructions where the second stage consumes the
+        // read-write operand and the flags: ADC/SBB, CMOVcc.
+        C::IntAluCarry | C::CMov => {
+            let (early, late) = stage_split(inst);
+            let second_ports = if desc.category == C::IntAluCarry { cfg.int_shift } else { cfg.int_alu };
+            let mut uops = Vec::new();
+            let early_inputs: Vec<UopInput> = early.into_iter().map(UopInput::Op).collect();
+            uops.push(UopSpec::new(cfg.int_alu, FuKind::Alu, 1, early_inputs, vec![UopOutput::Temp(0)]));
+            let mut second_inputs: Vec<UopInput> = vec![UopInput::Temp(0)];
+            second_inputs.extend(late.into_iter().map(UopInput::Op));
+            uops.push(UopSpec::new(second_ports, FuKind::Alu, 1, second_inputs, dests));
+            uops
+        }
+        // Rotates: the register result is produced by the first µop, the
+        // flags by a second µop one cycle later.
+        C::Rotate => {
+            let reg_dests: Vec<UopOutput> = register_destinations(inst)
+                .into_iter()
+                .filter(|&i| !matches!(desc.operands[i].kind, OperandKind::Flags(_)))
+                .map(UopOutput::Op)
+                .collect();
+            let flag_dests: Vec<UopOutput> = register_destinations(inst)
+                .into_iter()
+                .filter(|&i| matches!(desc.operands[i].kind, OperandKind::Flags(_)))
+                .map(UopOutput::Op)
+                .collect();
+            let mut first_outputs = reg_dests;
+            first_outputs.push(UopOutput::Temp(0));
+            vec![
+                UopSpec::new(cfg.int_shift, FuKind::Alu, 1, sources, first_outputs),
+                UopSpec::new(cfg.int_alu, FuKind::Alu, 1, vec![UopInput::Temp(0)], flag_dests),
+            ]
+        }
+        // Generic double shift (memory forms; register forms are overridden).
+        C::DoubleShift => {
+            let (early, late) = stage_split(inst);
+            let mut uops = Vec::new();
+            uops.push(UopSpec::new(
+                cfg.slow_int,
+                FuKind::Alu,
+                1,
+                early.into_iter().map(UopInput::Op).collect(),
+                vec![UopOutput::Temp(0)],
+            ));
+            let mut second_inputs: Vec<UopInput> = vec![UopInput::Temp(0)];
+            second_inputs.extend(late.into_iter().map(UopInput::Op));
+            uops.push(UopSpec::new(cfg.int_shift, FuKind::Alu, 2, second_inputs, dests));
+            uops
+        }
+        // Horizontal vector operations: two shuffle µops feeding an
+        // arithmetic µop.
+        C::VecHorizontal => {
+            let int_flavour = desc.mnemonic.starts_with('P')
+                || desc.mnemonic.starts_with("VP")
+                || desc.mnemonic.contains("MPSADBW");
+            let (final_ports, final_fu, final_lat) = if int_flavour {
+                (cfg.vec_mul, FuKind::VecInt, 2)
+            } else {
+                (cfg.fp_add, FuKind::VecFp, if skl { 4 } else { 3 })
+            };
+            let mut uops = Vec::new();
+            uops.push(UopSpec::new(
+                cfg.vec_shuffle,
+                FuKind::Shuffle,
+                1,
+                sources.clone(),
+                vec![UopOutput::Temp(0)],
+            ));
+            uops.push(UopSpec::new(
+                cfg.vec_shuffle,
+                FuKind::Shuffle,
+                1,
+                sources,
+                vec![UopOutput::Temp(1)],
+            ));
+            uops.push(UopSpec::new(
+                final_ports,
+                final_fu,
+                final_lat,
+                vec![UopInput::Temp(0), UopInput::Temp(1)],
+                dests,
+            ));
+            uops
+        }
+        // Insert/extract: a shuffle feeding a cross-domain move.
+        C::VecInsertExtract | C::VecConvert => {
+            let mut uops = Vec::new();
+            uops.push(UopSpec::new(cfg.vec_shuffle, FuKind::Shuffle, 1, sources, vec![UopOutput::Temp(0)]));
+            uops.push(UopSpec::new(cfg.vec_mul, FuKind::VecInt, latency, vec![UopInput::Temp(0)], dests));
+            uops
+        }
+        // Wide multiplies producing a second destination.
+        C::IntMul => {
+            let mut uops = Vec::new();
+            uops.push(UopSpec::new(cfg.int_mul, FuKind::Mul, 3, sources.clone(), vec![UopOutput::Temp(0)]));
+            let mut second_inputs = vec![UopInput::Temp(0)];
+            second_inputs.extend(sources);
+            uops.push(UopSpec::new(cfg.int_alu, FuKind::Alu, 1, second_inputs, dests));
+            uops
+        }
+        // Divisions: a port-0 ALU µop, the divider µop, and a finishing µop.
+        C::IntDiv => {
+            let mut uops = Vec::new();
+            uops.push(UopSpec::new(cfg.int_alu, FuKind::Alu, 1, sources, vec![UopOutput::Temp(0)]));
+            uops.push(UopSpec::new(cfg.divider, FuKind::Div, 25, vec![UopInput::Temp(0)], vec![UopOutput::Temp(1)]));
+            uops.push(UopSpec::new(cfg.int_alu, FuKind::Alu, 1, vec![UopInput::Temp(1)], dests));
+            uops
+        }
+        // Everything else: a chain of `stages` µops on the category's ports.
+        _ => {
+            let mut uops = Vec::new();
+            let mut prev_temp: Option<u8> = None;
+            for stage in 0..stages {
+                let is_last = stage == stages - 1;
+                let mut inputs: Vec<UopInput> = Vec::new();
+                if let Some(t) = prev_temp {
+                    inputs.push(UopInput::Temp(t));
+                } else {
+                    inputs.extend(sources.iter().copied());
+                }
+                let outputs = if is_last {
+                    dests.clone()
+                } else {
+                    vec![UopOutput::Temp(stage as u8)]
+                };
+                uops.push(UopSpec::new(ports, fu, latency.max(1), inputs, outputs));
+                prev_temp = Some(stage as u8);
+            }
+            uops
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Memory plumbing
+// ---------------------------------------------------------------------------
+
+/// Wraps a compute graph with the load and store µops required by the
+/// instruction's memory operands, and rewires operand references to the
+/// loaded temporaries.
+fn build_with_memory(inst: &Inst, cfg: &UarchConfig, mut compute: ComputeGraph) -> InstrChar {
+    let desc = inst.desc();
+    let mut uops: Vec<UopSpec> = Vec::new();
+
+    // Load µops for memory reads.
+    let mut load_temp_of: std::collections::BTreeMap<usize, u8> = std::collections::BTreeMap::new();
+    for (i, od) in desc.operands.iter().enumerate() {
+        if matches!(od.kind, OperandKind::Mem(_)) && od.read {
+            let temp = LOAD_TEMP_BASE + i as u8;
+            load_temp_of.insert(i, temp);
+            uops.push(UopSpec::new(
+                cfg.load,
+                FuKind::Load,
+                cfg.load_latency,
+                vec![UopInput::Addr(i)],
+                vec![UopOutput::Temp(temp)],
+            ));
+        }
+    }
+
+    // Rewire compute inputs that refer to loaded memory operands.
+    for uop in &mut compute {
+        for input in &mut uop.inputs {
+            if let UopInput::Op(i) = *input {
+                if let Some(&temp) = load_temp_of.get(&i) {
+                    *input = UopInput::Temp(temp);
+                }
+            }
+        }
+    }
+
+    // Memory writes: route the compute result through STORE_VALUE_TEMP and
+    // append store-address and store-data µops.
+    let mem_writes: Vec<usize> = desc
+        .operands
+        .iter()
+        .enumerate()
+        .filter(|(_, od)| matches!(od.kind, OperandKind::Mem(_)) && od.write)
+        .map(|(i, _)| i)
+        .collect();
+
+    if !mem_writes.is_empty() {
+        // Determine the µop (if any) that produces the stored value.
+        let has_compute = !compute.is_empty();
+        if has_compute {
+            // The last compute µop's value is stored.
+            if let Some(last) = compute.last_mut() {
+                // Remove memory-write operands from its outputs (they are
+                // produced by the store-data µop) and add the temp.
+                last.outputs.retain(|o| !matches!(o, UopOutput::Op(i) if mem_writes.contains(i)));
+                last.outputs.push(UopOutput::Temp(STORE_VALUE_TEMP));
+            }
+        }
+        uops.extend(compute);
+        for &j in &mem_writes {
+            uops.push(UopSpec::new(
+                cfg.store_addr,
+                FuKind::StoreAddr,
+                1,
+                vec![UopInput::Addr(j)],
+                Vec::new(),
+            ));
+            let data_input = if has_compute {
+                UopInput::Temp(STORE_VALUE_TEMP)
+            } else {
+                // A pure store (e.g. MOV [mem], reg): the stored value is the
+                // register source operand.
+                let src = all_value_sources(inst)
+                    .into_iter()
+                    .find(|&i| !mem_writes.contains(&i))
+                    .unwrap_or(0);
+                UopInput::Op(src)
+            };
+            uops.push(UopSpec::new(
+                cfg.store_data,
+                FuKind::StoreData,
+                1,
+                vec![data_input],
+                vec![UopOutput::Op(j)],
+            ));
+        }
+    } else {
+        let compute_is_empty = compute.is_empty();
+        uops.extend(compute);
+        // Pure loads: the load µop writes the destination register directly.
+        if compute_is_empty && !uops.is_empty() {
+            let reg_dests: Vec<UopOutput> =
+                register_destinations(inst).into_iter().map(UopOutput::Op).collect();
+            if let Some(last) = uops.last_mut() {
+                if last.fu == FuKind::Load {
+                    last.outputs = reg_dests;
+                }
+            }
+        }
+    }
+
+    // Pure register-to-register moves of `MOV`-like instructions still have a
+    // compute µop here; elimination is decided by the caller/pipeline.
+    InstrChar::of_uops(uops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::MicroArch;
+    use std::collections::BTreeMap;
+    use std::sync::Arc;
+    use uops_asm::{variant_arc, Op, RegisterPool};
+    use uops_isa::{Catalog, Register};
+
+    fn catalog() -> Catalog {
+        Catalog::intel_core()
+    }
+
+    fn bind(catalog: &Catalog, mnemonic: &str, variant: &str) -> Inst {
+        let desc = variant_arc(catalog, mnemonic, variant).unwrap();
+        let mut pool = RegisterPool::new();
+        Inst::bind(&desc, &BTreeMap::new(), &mut pool).unwrap()
+    }
+
+    fn bind_same_reg(catalog: &Catalog, mnemonic: &str, variant: &str) -> Inst {
+        let desc = variant_arc(catalog, mnemonic, variant).unwrap();
+        let mut pool = RegisterPool::new();
+        let reg = match desc.operands[0].kind {
+            OperandKind::Reg(class) => Register { file: class.file, index: 3, width: class.width },
+            _ => panic!("first operand is not a register class"),
+        };
+        let mut assign = BTreeMap::new();
+        assign.insert(0usize, Op::Reg(reg));
+        assign.insert(1usize, Op::Reg(reg));
+        Inst::bind(&desc, &assign, &mut pool).unwrap()
+    }
+
+    fn characterize_on(inst: &Inst, arch: MicroArch) -> InstrChar {
+        characterize(inst, &UarchConfig::for_arch(arch), TruthOptions::default())
+    }
+
+    #[test]
+    fn simple_alu_is_one_uop() {
+        let c = catalog();
+        let inst = bind(&c, "ADD", "R64, R64");
+        for arch in MicroArch::ALL {
+            let ch = characterize_on(&inst, arch);
+            assert_eq!(ch.uop_count(), 1, "{arch:?}");
+            assert_eq!(ch.uops[0].ports, UarchConfig::for_arch(arch).int_alu);
+            assert_eq!(ch.critical_path_latency(), 1);
+        }
+    }
+
+    #[test]
+    fn load_adds_a_uop_and_latency() {
+        let c = catalog();
+        let inst = bind(&c, "ADD", "R64, M64");
+        let ch = characterize_on(&inst, MicroArch::Skylake);
+        assert_eq!(ch.uop_count(), 2);
+        assert!(ch.uops.iter().any(|u| u.fu == FuKind::Load));
+        assert_eq!(ch.critical_path_latency(), 5 + 1);
+    }
+
+    #[test]
+    fn store_forms_have_store_uops() {
+        let c = catalog();
+        let inst = bind(&c, "MOV", "M64, R64");
+        let ch = characterize_on(&inst, MicroArch::Haswell);
+        assert_eq!(ch.uop_count(), 2);
+        assert!(ch.uops.iter().any(|u| u.fu == FuKind::StoreAddr));
+        assert!(ch.uops.iter().any(|u| u.fu == FuKind::StoreData));
+        // Read-modify-write: load + compute + store-addr + store-data.
+        let rmw = bind(&c, "ADD", "M64, R64");
+        let ch = characterize_on(&rmw, MicroArch::Haswell);
+        assert_eq!(ch.uop_count(), 4);
+    }
+
+    #[test]
+    fn adc_port_usage_matches_paper_on_haswell() {
+        let c = catalog();
+        let inst = bind(&c, "ADC", "R64, R64");
+        let ch = characterize_on(&inst, MicroArch::Haswell);
+        // §5.1: 1*p0156 + 1*p06 on Haswell.
+        let usage = ch.port_usage();
+        assert_eq!(usage.len(), 2);
+        assert!(usage.contains(&(PortSet::of(&[0, 1, 5, 6]), 1)));
+        assert!(usage.contains(&(PortSet::of(&[0, 6]), 1)));
+        // On Skylake ADC is a single µop.
+        let skl = characterize_on(&inst, MicroArch::Skylake);
+        assert_eq!(skl.uop_count(), 1);
+    }
+
+    #[test]
+    fn adc_has_different_latencies_per_operand_pair() {
+        let c = catalog();
+        let inst = bind(&c, "ADC", "R64, R64");
+        let ch = characterize_on(&inst, MicroArch::Haswell);
+        // Two chained 1-cycle µops: critical path 2, single µop latency 1.
+        assert_eq!(ch.critical_path_latency(), 2);
+        assert_eq!(ch.max_uop_latency(), 1);
+    }
+
+    #[test]
+    fn zero_idiom_is_eliminated_on_sandy_bridge_but_not_nehalem() {
+        let c = catalog();
+        let inst = bind_same_reg(&c, "XOR", "R64, R64");
+        let snb = characterize_on(&inst, MicroArch::SandyBridge);
+        assert!(snb.eliminated);
+        assert!(snb.dependency_breaking);
+        assert_eq!(snb.uop_count(), 0);
+        let nhm = characterize_on(&inst, MicroArch::Nehalem);
+        assert!(!nhm.eliminated);
+        assert!(nhm.dependency_breaking);
+        assert_eq!(nhm.uop_count(), 1);
+        assert!(nhm.uops[0].inputs.is_empty(), "zero idiom must not depend on its sources");
+    }
+
+    #[test]
+    fn xor_with_distinct_registers_is_not_an_idiom() {
+        let c = catalog();
+        let inst = bind(&c, "XOR", "R64, R64");
+        let ch = characterize_on(&inst, MicroArch::SandyBridge);
+        assert!(!ch.eliminated);
+        assert!(!ch.dependency_breaking);
+        assert_eq!(ch.uop_count(), 1);
+    }
+
+    #[test]
+    fn pcmpgt_same_register_is_dependency_breaking_but_uses_a_port() {
+        let c = catalog();
+        let inst = bind_same_reg(&c, "PCMPGTD", "XMM, XMM");
+        for arch in [MicroArch::SandyBridge, MicroArch::Skylake] {
+            let ch = characterize_on(&inst, arch);
+            assert!(ch.dependency_breaking, "{arch:?}");
+            assert!(!ch.eliminated, "{arch:?}: PCMPGT must still use an execution port");
+            assert_eq!(ch.uop_count(), 1);
+            assert!(ch.uops[0].inputs.is_empty());
+        }
+        // PCMPEQ is a documented zero idiom and is eliminated on SnB+.
+        let eq = bind_same_reg(&c, "PCMPEQD", "XMM, XMM");
+        assert!(characterize_on(&eq, MicroArch::Skylake).eliminated);
+    }
+
+    #[test]
+    fn nop_is_eliminated_everywhere() {
+        let c = catalog();
+        let inst = bind(&c, "NOP", "");
+        for arch in MicroArch::ALL {
+            let ch = characterize_on(&inst, arch);
+            assert!(ch.eliminated, "{arch:?}");
+        }
+    }
+
+    #[test]
+    fn mov_elimination_candidates_depend_on_generation() {
+        let c = catalog();
+        let inst = bind(&c, "MOV", "R64, R64");
+        assert!(!characterize_on(&inst, MicroArch::SandyBridge).mov_elim_candidate);
+        assert!(characterize_on(&inst, MicroArch::IvyBridge).mov_elim_candidate);
+        assert!(characterize_on(&inst, MicroArch::Skylake).mov_elim_candidate);
+        // MOVSX is never an elimination candidate (the paper relies on this).
+        let movsx = bind(&c, "MOVSX", "R64, R16");
+        for arch in MicroArch::ALL {
+            assert!(!characterize_on(&movsx, arch).mov_elim_candidate, "{arch:?}");
+        }
+        // Loads are never eliminated.
+        let load = bind(&c, "MOV", "R64, M64");
+        assert!(!characterize_on(&load, MicroArch::Skylake).mov_elim_candidate);
+    }
+
+    #[test]
+    fn division_latency_depends_on_value_mode() {
+        let c = catalog();
+        let inst = bind(&c, "DIV", "R64");
+        let cfg = UarchConfig::for_arch(MicroArch::Skylake);
+        let high = characterize(&inst, &cfg, TruthOptions { divider_low_latency: false });
+        let low = characterize(&inst, &cfg, TruthOptions { divider_low_latency: true });
+        assert!(high.critical_path_latency() > low.critical_path_latency());
+        assert!(high.divider_occupancy.is_some());
+        let (lo, hi) = high.divider_occupancy.unwrap();
+        assert!(lo < hi);
+    }
+
+    #[test]
+    fn rotate_produces_flags_later_than_register_result() {
+        let c = catalog();
+        let inst = bind(&c, "ROL", "R64, I8");
+        let ch = characterize_on(&inst, MicroArch::Skylake);
+        assert_eq!(ch.uop_count(), 2);
+        // The register result is available after 1 cycle, the flags after 2.
+        assert_eq!(ch.critical_path_latency(), 2);
+    }
+
+    #[test]
+    fn vhaddpd_on_skylake_matches_paper_port_usage() {
+        let c = catalog();
+        let inst = bind(&c, "VHADDPD", "XMM, XMM, XMM");
+        let ch = characterize_on(&inst, MicroArch::Skylake);
+        // §7.2: 1*p01 + 2*p5 on Skylake.
+        let usage = ch.port_usage();
+        assert!(usage.contains(&(PortSet::of(&[0, 1]), 1)), "usage = {usage:?}");
+        assert!(usage.contains(&(PortSet::of(&[5]), 2)), "usage = {usage:?}");
+    }
+
+    #[test]
+    fn lea_has_no_load_uop() {
+        let c = catalog();
+        let inst = bind(&c, "LEA", "R64, M64");
+        let ch = characterize_on(&inst, MicroArch::Skylake);
+        assert_eq!(ch.uop_count(), 1);
+        assert!(ch.uops.iter().all(|u| u.fu != FuKind::Load));
+    }
+
+    #[test]
+    fn every_catalog_instruction_can_be_characterized() {
+        let c = catalog();
+        let mut checked = 0usize;
+        for arch in [MicroArch::Nehalem, MicroArch::Haswell, MicroArch::CoffeeLake] {
+            let cfg = UarchConfig::for_arch(arch);
+            for desc in c.iter() {
+                if !arch.supports(desc.extension) {
+                    continue;
+                }
+                let mut pool = RegisterPool::new();
+                let arc = Arc::new(desc.clone());
+                let inst = match Inst::bind(&arc, &BTreeMap::new(), &mut pool) {
+                    Ok(i) => i,
+                    Err(_) => continue,
+                };
+                let ch = characterize(&inst, &cfg, TruthOptions::default());
+                if !ch.eliminated {
+                    assert!(
+                        !ch.uops.is_empty(),
+                        "{arch:?}: {} has no µops and is not eliminated",
+                        desc.full_name()
+                    );
+                    // Every µop's ports must be within the machine's ports.
+                    for uop in &ch.uops {
+                        assert!(
+                            uop.ports.is_subset_of(cfg.all_ports()),
+                            "{arch:?}: {} µop uses ports {} outside the machine",
+                            desc.full_name(),
+                            uop.ports
+                        );
+                    }
+                }
+                checked += 1;
+            }
+        }
+        assert!(checked > 3000, "expected to characterize many variants, got {checked}");
+    }
+
+    #[test]
+    fn port_combinations_cover_all_ground_truth_uops() {
+        // Algorithm 1 requires a blocking instruction for every port
+        // combination that occurs in the ground truth; the configuration must
+        // therefore list every combination the truth generator can emit
+        // (stores excepted, which are handled specially).
+        let c = catalog();
+        for arch in MicroArch::ALL {
+            let cfg = UarchConfig::for_arch(arch);
+            let combos = cfg.port_combinations();
+            for desc in c.iter() {
+                if !arch.supports(desc.extension) {
+                    continue;
+                }
+                let mut pool = RegisterPool::new();
+                let arc = Arc::new(desc.clone());
+                let inst = match Inst::bind(&arc, &BTreeMap::new(), &mut pool) {
+                    Ok(i) => i,
+                    Err(_) => continue,
+                };
+                let ch = characterize(&inst, &cfg, TruthOptions::default());
+                for uop in &ch.uops {
+                    if uop.fu == FuKind::None {
+                        continue;
+                    }
+                    assert!(
+                        combos.contains(&uop.ports),
+                        "{arch:?}: {} uses port combination {} not listed in the config",
+                        desc.full_name(),
+                        uop.ports
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sahf_uses_flag_ports() {
+        let c = catalog();
+        let inst = bind(&c, "SAHF", "");
+        let ch = characterize_on(&inst, MicroArch::Haswell);
+        assert_eq!(ch.uop_count(), 1);
+    }
+
+    #[test]
+    fn bswap_32_vs_64_differ_on_uop_count() {
+        let c = catalog();
+        let b32 = bind(&c, "BSWAP", "R32");
+        let b64 = bind(&c, "BSWAP", "R64");
+        let skl = MicroArch::Skylake;
+        assert_eq!(characterize_on(&b32, skl).uop_count(), 1);
+        assert_eq!(characterize_on(&b64, skl).uop_count(), 2);
+    }
+}

@@ -1,0 +1,79 @@
+//! A tour of the simulated pipeline (Figure 1 of the paper): the port layout
+//! and functional-unit-to-port mapping of every supported microarchitecture,
+//! and a demonstration of the performance counters the measurements rely on.
+//!
+//! Run with `cargo run --release --example pipeline_tour`.
+
+use std::collections::BTreeMap;
+
+use uops_info::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("Simulated Intel Core microarchitectures (Figure 1 / Table 1):\n");
+    println!(
+        "{:<14} {:<18} {:>5} {:>6} {:>6}  functional units per port",
+        "uarch", "reference CPU", "ports", "issue", "ROB"
+    );
+    for arch in MicroArch::ALL {
+        let cfg = UarchConfig::for_arch(arch);
+        let mut per_port: BTreeMap<u8, Vec<&str>> = BTreeMap::new();
+        let units: [(&str, PortSet); 10] = [
+            ("ALU", cfg.int_alu),
+            ("shift", cfg.int_shift),
+            ("mul", cfg.int_mul),
+            ("div", cfg.divider),
+            ("branch", cfg.branch),
+            ("load", cfg.load),
+            ("st-addr", cfg.store_addr),
+            ("st-data", cfg.store_data),
+            ("vec-alu", cfg.vec_alu),
+            ("shuffle", cfg.vec_shuffle),
+        ];
+        for (name, ports) in units {
+            for p in ports.iter() {
+                per_port.entry(p).or_default().push(name);
+            }
+        }
+        let summary: Vec<String> =
+            per_port.iter().map(|(p, u)| format!("p{p}:{}", u.join("/"))).collect();
+        println!(
+            "{:<14} {:<18} {:>5} {:>6} {:>6}  {}",
+            arch.name(),
+            arch.reference_processor(),
+            cfg.port_count,
+            cfg.issue_width,
+            cfg.rob_size,
+            summary.join(" ")
+        );
+    }
+
+    // Demonstrate the performance counters: run a small dependency chain and
+    // an independent sequence on the simulator and show cycles and per-port
+    // µops — the only observables the inference algorithms use.
+    println!("\nPerformance-counter demonstration on Skylake:");
+    let catalog = Catalog::intel_core();
+    let desc = variant_arc(&catalog, "ADD", "R64, R64")?;
+    let mut pool = RegisterPool::new();
+    let mut chain = CodeSequence::new();
+    let r = Register::gpr(3, Width::W64);
+    let s = Register::gpr(6, Width::W64);
+    for _ in 0..32 {
+        let mut a = std::collections::BTreeMap::new();
+        a.insert(0, Op::Reg(r));
+        a.insert(1, Op::Reg(s));
+        chain.push(Inst::bind(&desc, &a, &mut pool)?);
+    }
+    let sim = Pipeline::new(MicroArch::Skylake);
+    let counters: PerfCounters = sim.execute(&chain);
+    println!("  dependent ADD chain (32 instructions): {counters}");
+
+    let mut pool = RegisterPool::new();
+    let independent: CodeSequence =
+        uops_info::core_::codegen::independent_copies(&desc, 32, &mut pool)?.into_iter().collect();
+    let counters = sim.execute(&independent);
+    println!("  independent ADDs    (32 instructions): {counters}");
+    println!("\nThe dependent chain is limited by latency, the independent sequence by the");
+    println!("number of ALU ports and the issue width — exactly the contrast the paper's");
+    println!("latency and throughput definitions capture.");
+    Ok(())
+}

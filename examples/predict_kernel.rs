@@ -1,0 +1,85 @@
+//! The follow-on performance predictor mentioned in the paper's conclusion:
+//! an IACA-like static analyzer that uses the *inferred* instruction
+//! characterizations (not the simulator's ground truth) to predict the port
+//! pressure, bottleneck, and block throughput of small loop kernels — and,
+//! unlike IACA, accounts for loop-carried dependency chains.
+//!
+//! Run with `cargo run --release --example predict_kernel`.
+
+use std::collections::BTreeMap;
+
+use uops_info::core_::{codegen::independent_copies, Predictor};
+use uops_info::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let catalog = Catalog::intel_core();
+    let arch = MicroArch::Skylake;
+    let backend = SimBackend::new(arch);
+    let engine = CharacterizationEngine::with_config(&catalog, arch, EngineConfig::fast());
+
+    // Characterize the instructions our kernels use.
+    let used = ["ADD", "IMUL", "PSHUFD", "MULPS", "MOV"];
+    let report = engine.characterize_matching(&backend, |d| {
+        used.contains(&d.mnemonic.as_str()) && !d.attrs.locked && !d.attrs.rep_prefix
+    });
+    println!(
+        "characterized {} instruction variants on {} for the predictor\n",
+        report.characterized_count(),
+        arch.name()
+    );
+    let predictor = Predictor::new(&catalog, &report)?;
+
+    // Kernel 1: eight independent ADDs — front-end / port bound.
+    let add = variant_arc(&catalog, "ADD", "R64, R64")?;
+    let mut pool = RegisterPool::new();
+    let independent: CodeSequence =
+        independent_copies(&add, 8, &mut pool)?.into_iter().collect();
+
+    // Kernel 2: a loop-carried IMUL chain — latency bound.
+    let imul = variant_arc(&catalog, "IMUL", "R64, R64")?;
+    let a = Register::gpr(3, Width::W64);
+    let b = Register::gpr(6, Width::W64);
+    let mut pool = RegisterPool::new();
+    let mut chain = CodeSequence::new();
+    for (dst, src) in [(a, b), (b, a)] {
+        let mut assign = BTreeMap::new();
+        assign.insert(0, Op::Reg(dst));
+        assign.insert(1, Op::Reg(src));
+        chain.push(Inst::bind(&imul, &assign, &mut pool)?);
+    }
+
+    // Kernel 3: a mixed shuffle + multiply kernel — shuffle-port bound.
+    let pshufd = variant_arc(&catalog, "PSHUFD", "XMM, XMM, I8")?;
+    let mulps = variant_arc(&catalog, "MULPS", "XMM, XMM")?;
+    let mut pool = RegisterPool::new();
+    let mut mixed = CodeSequence::new();
+    for i in 0..3u8 {
+        let mut assign = BTreeMap::new();
+        assign.insert(0, Op::Reg(Register::vec(i, Width::W128)));
+        assign.insert(1, Op::Reg(Register::vec(8, Width::W128)));
+        assign.insert(2, Op::Imm(0));
+        mixed.push(Inst::bind(&pshufd, &assign, &mut pool)?);
+    }
+    for i in 3..5u8 {
+        let mut assign = BTreeMap::new();
+        assign.insert(0, Op::Reg(Register::vec(i, Width::W128)));
+        assign.insert(1, Op::Reg(Register::vec(9, Width::W128)));
+        mixed.push(Inst::bind(&mulps, &assign, &mut pool)?);
+    }
+
+    for (name, kernel) in
+        [("8 independent ADDs", &independent), ("IMUL chain (2)", &chain), ("3×PSHUFD + 2×MULPS", &mixed)]
+    {
+        let prediction = predictor.predict(kernel);
+        let measured = uops_info::measure::measure(
+            &backend,
+            kernel,
+            &MeasurementConfig::default(),
+            RunContext::default(),
+        );
+        println!("## {name}");
+        println!("{prediction}");
+        println!("  simulator measurement: {:.2} cycles/iteration\n", measured.cycles);
+    }
+    Ok(())
+}

@@ -1,0 +1,57 @@
+//! # uops-info
+//!
+//! A Rust reproduction of the system described in *uops.info: Characterizing
+//! Latency, Throughput, and Port Usage of Instructions on Intel
+//! Microarchitectures* (Abel & Reineke, ASPLOS 2019).
+//!
+//! This facade crate re-exports the public API of all workspace crates so that
+//! downstream users (and the examples/integration tests in this repository)
+//! can depend on a single crate.
+//!
+//! ## Quickstart
+//!
+//! ```rust
+//! use uops_info::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Build the instruction catalog (the analogue of the XED-derived XML).
+//! let catalog = Catalog::intel_core();
+//! // Pick a microarchitecture and create a simulated measurement backend.
+//! let uarch = MicroArch::Skylake;
+//! let backend = SimBackend::new(uarch);
+//! // Characterize a single instruction variant.
+//! let engine = CharacterizationEngine::with_config(&catalog, uarch, EngineConfig::fast());
+//! let variant = catalog.find_variant("ADD", "R64, R64").expect("variant exists");
+//! let result = engine.characterize_variant(&backend, variant)?;
+//! assert!(result.uop_count() >= 1);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use uops_asm as asm;
+pub use uops_core as core_;
+pub use uops_iaca as iaca;
+pub use uops_isa as isa;
+pub use uops_lp as lp;
+pub use uops_measure as measure;
+pub use uops_pipeline as pipeline;
+pub use uops_uarch as uarch;
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use uops_asm::{variant_arc, CodeSequence, Inst, Op, RegisterPool};
+    pub use uops_core::{
+        blocking::{BlockingInstructions, VectorWorld},
+        latency::{LatencyAnalyzer, LatencyMap},
+        port_usage::{infer_port_usage, PortUsage},
+        throughput::{measure_throughput, Throughput},
+        CharacterizationEngine, CharacterizationReport, EngineConfig, InstructionProfile,
+    };
+    pub use uops_iaca::{compare_against_iaca, IacaAnalyzer, IacaVersion, MeasuredInstruction};
+    pub use uops_isa::{Catalog, InstructionDesc, OperandDesc, OperandKind, Register, Width};
+    pub use uops_measure::{
+        MeasurementBackend, MeasurementConfig, Measurement, RunContext, SimBackend,
+    };
+    pub use uops_pipeline::{PerfCounters, Pipeline};
+    pub use uops_uarch::{MicroArch, Port, PortSet, UarchConfig};
+}
