@@ -243,14 +243,9 @@ pub fn variant_arc(
     mnemonic: &str,
     variant: &str,
 ) -> Result<Arc<InstructionDesc>, AsmError> {
-    catalog
-        .find_variant(mnemonic, variant)
-        .cloned()
-        .map(Arc::new)
-        .ok_or_else(|| AsmError::UnknownVariant {
-            mnemonic: mnemonic.to_string(),
-            variant: variant.to_string(),
-        })
+    catalog.find_variant(mnemonic, variant).cloned().map(Arc::new).ok_or_else(|| {
+        AsmError::UnknownVariant { mnemonic: mnemonic.to_string(), variant: variant.to_string() }
+    })
 }
 
 /// Width of a memory operand a descriptor expects at operand index `i`, if
@@ -353,7 +348,9 @@ mod tests {
         // reads of independent_regs include RDX (written by `dependent`), so check a
         // truly independent pair explicitly:
         let other = mk(rcx, rcx, &mut pool);
-        assert!(!first.depends_on(&other) || first.reads().iter().any(|r| other.writes().contains(r)));
+        assert!(
+            !first.depends_on(&other) || first.reads().iter().any(|r| other.writes().contains(r))
+        );
         assert!(independent_regs.depends_on(&dependent));
     }
 

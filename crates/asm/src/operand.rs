@@ -154,7 +154,9 @@ impl fmt::Display for Resource {
         match self {
             Resource::Reg(file, idx) => write!(f, "{file}{idx}"),
             Resource::Flag(flag) => write!(f, "{flag}"),
-            Resource::Mem(cell) => write!(f, "[{}{}+{}]", cell.base_file, cell.base_index, cell.disp),
+            Resource::Mem(cell) => {
+                write!(f, "[{}{}+{}]", cell.base_file, cell.base_index, cell.disp)
+            }
         }
     }
 }

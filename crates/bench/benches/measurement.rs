@@ -26,7 +26,8 @@ fn bench_measurement(c: &mut Criterion) {
     let eight: CodeSequence =
         uops_core::codegen::independent_copies(&desc, 8, &mut pool).unwrap().into_iter().collect();
 
-    for (name, config) in [("paper", MeasurementConfig::paper()), ("fast", MeasurementConfig::fast())]
+    for (name, config) in
+        [("paper", MeasurementConfig::paper()), ("fast", MeasurementConfig::fast())]
     {
         group.bench_function(format!("single_instruction_{name}"), |b| {
             b.iter(|| measure(&backend, &single, &config, RunContext::default()))

@@ -1,0 +1,109 @@
+//! Builds a persistent instruction-characterization database: characterizes
+//! a slice of the catalog on every supported microarchitecture, writes the
+//! snapshot in both encodings, reloads it, and runs a few queries plus a
+//! cross-generation diff — the end-to-end pipeline behind uops.info.
+//!
+//! Usage: `cargo run --release --bin build_db [-- OUTPUT_PREFIX]`
+//! writes `OUTPUT_PREFIX.bin` and `OUTPUT_PREFIX.json` (default
+//! `uops_snapshot`).
+
+use std::fs;
+
+use uops_bench::experiment_setup;
+use uops_core::reports_to_snapshot;
+use uops_db::{diff_uarches, InstructionDb, Query, SortKey};
+use uops_isa::Catalog;
+use uops_uarch::MicroArch;
+
+/// The catalog slice characterized by this experiment: a mix of ALU,
+/// shift, vector, AES, and divider instructions covering the paper's case
+/// studies.
+const SELECTION: [(&str, &str); 10] = [
+    ("ADD", "R64, R64"),
+    ("ADC", "R64, R64"),
+    ("SHLD", "R64, R64, I8"),
+    ("AESDEC", "XMM, XMM"),
+    ("MOVQ2DQ", "XMM, MM"),
+    ("PBLENDVB", "XMM, XMM"),
+    ("PADDD", "XMM, XMM"),
+    ("MULPS", "XMM, XMM"),
+    ("VADDPS", "XMM, XMM, XMM"),
+    ("DIV", "R32"),
+];
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let prefix = std::env::args().nth(1).unwrap_or_else(|| "uops_snapshot".to_string());
+    let catalog = Catalog::intel_core();
+
+    // Characterize the slice on every generation the paper covers.
+    let mut reports = Vec::new();
+    for arch in MicroArch::ALL {
+        let (backend, engine) = experiment_setup(&catalog, arch);
+        let report = engine.characterize_matching(&backend, |d| {
+            SELECTION.iter().any(|(m, v)| d.mnemonic == *m && d.variant() == *v)
+        });
+        println!(
+            "{:<14} characterized {:>3} variants ({} skipped)",
+            arch.name(),
+            report.characterized_count(),
+            report.skipped.len()
+        );
+        reports.push(report);
+    }
+
+    // Reports → canonical snapshot → both encodings on disk.
+    let mut snapshot = reports_to_snapshot(&reports);
+    snapshot.canonicalize();
+    let bin_path = format!("{prefix}.bin");
+    let json_path = format!("{prefix}.json");
+    let bytes = uops_db::codec::encode(&snapshot);
+    fs::write(&bin_path, &bytes)?;
+    fs::write(&json_path, uops_db::json::to_json(&snapshot))?;
+    println!(
+        "\nwrote {} records for {} uarches: {} ({} bytes), {}",
+        snapshot.len(),
+        snapshot.uarches.len(),
+        bin_path,
+        bytes.len(),
+        json_path
+    );
+
+    // Reload from the binary encoding and build the indexed database.
+    let restored = uops_db::codec::decode(&fs::read(&bin_path)?)?;
+    assert_eq!(restored, snapshot, "binary round trip must be lossless");
+    let db = InstructionDb::from_snapshot(&restored);
+
+    // A few indexed queries.
+    println!("\nport 5 users on Skylake:");
+    for view in Query::new().uarch("Skylake").uses_port(5).sort_by(SortKey::Mnemonic).run(&db).rows
+    {
+        println!("  {:<10} {:<16} {}", view.mnemonic(), view.variant(), view.ports_notation());
+    }
+    let slowest = Query::new().uarch("Skylake").sort_by_desc(SortKey::Latency).limit(3).run(&db);
+    println!("\nhighest-latency variants on Skylake:");
+    for view in slowest.rows {
+        println!(
+            "  {:<10} {:<16} {:.2} cycles",
+            view.mnemonic(),
+            view.variant(),
+            view.record().max_latency.unwrap_or(0.0)
+        );
+    }
+
+    // Cross-generation diff (§5 findings).
+    let diff = diff_uarches(&db, "Haswell", "Skylake");
+    println!(
+        "\nHaswell → Skylake: {} changed, {} unchanged, {} only on Haswell, {} only on Skylake",
+        diff.changed.len(),
+        diff.unchanged,
+        diff.only_in_base.len(),
+        diff.only_in_other.len()
+    );
+    for delta in &diff.changed {
+        println!("  {} {}:", delta.mnemonic, delta.variant);
+        for change in &delta.changes {
+            println!("    {change:?}");
+        }
+    }
+    Ok(())
+}

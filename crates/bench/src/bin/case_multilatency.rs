@@ -26,10 +26,31 @@ fn main() {
     // variants to keep the run time reasonable. Haswell is used because several
     // of these instructions collapse to a single uniform-latency µop on Skylake.
     let candidates = [
-        "ADC", "SBB", "CMOVBE", "CMOVNBE", "IMUL", "MUL", "PSHUFB", "ROL", "ROR", "SAR", "SHL",
-        "SHR", "MPSADBW", "VPBLENDVB", "PSLLD", "PSRLD", "PSRAD", "XADD", "XCHG", "SHLD", "SHRD",
+        "ADC",
+        "SBB",
+        "CMOVBE",
+        "CMOVNBE",
+        "IMUL",
+        "MUL",
+        "PSHUFB",
+        "ROL",
+        "ROR",
+        "SAR",
+        "SHL",
+        "SHR",
+        "MPSADBW",
+        "VPBLENDVB",
+        "PSLLD",
+        "PSRLD",
+        "PSRAD",
+        "XADD",
+        "XCHG",
+        "SHLD",
+        "SHRD",
         // Control group: single-latency instructions.
-        "ADD", "PADDD", "PSHUFD",
+        "ADD",
+        "PADDD",
+        "PSHUFD",
     ];
 
     let mut table = Table::new(&["instruction", "pairs", "min lat", "max lat", "multiple?"]);

@@ -36,9 +36,8 @@ fn main() {
         })
         .collect();
 
-    let found = engine
-        .zero_idiom_scan(&backend, candidates.iter().copied())
-        .expect("zero idiom scan");
+    let found =
+        engine.zero_idiom_scan(&backend, candidates.iter().copied()).expect("zero idiom scan");
 
     println!("dependency-breaking idioms detected on {} (same-register scan):\n", arch.name());
     for desc in &candidates {

@@ -122,8 +122,12 @@ fn main() {
         let load = catalog.find_variant("MOV", "R64, M64").unwrap();
         let mut pool = RegisterPool::new();
         let mut seq = CodeSequence::new();
-        seq.push(Inst::bind(&std::sync::Arc::new(store.clone()), &BTreeMap::new(), &mut pool).unwrap());
-        seq.push(Inst::bind(&std::sync::Arc::new(load.clone()), &BTreeMap::new(), &mut pool).unwrap());
+        seq.push(
+            Inst::bind(&std::sync::Arc::new(store.clone()), &BTreeMap::new(), &mut pool).unwrap(),
+        );
+        seq.push(
+            Inst::bind(&std::sync::Arc::new(load.clone()), &BTreeMap::new(), &mut pool).unwrap(),
+        );
         let report = analyzer.analyze_sequence(&seq);
         println!(
             "  mov [mem], r; mov r, [mem]: IACA predicts {:.2} cycles per iteration\n\

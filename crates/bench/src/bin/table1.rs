@@ -65,14 +65,7 @@ fn main() {
         args.sample
     );
 
-    let mut table = Table::new(&[
-        "Architecture",
-        "Processor",
-        "# Instr.",
-        "IACA",
-        "µops",
-        "Ports",
-    ]);
+    let mut table = Table::new(&["Architecture", "Processor", "# Instr.", "IACA", "µops", "Ports"]);
     let mut timings = Vec::new();
 
     for arch in &args.archs {
@@ -111,7 +104,11 @@ fn main() {
     if args.timing {
         println!("\nRun time per architecture (§7.1 reports 50–110 minutes on real hardware):");
         for (arch, duration, count) in timings {
-            println!("  {:<14} {:>8.2} s for {count} variants", arch.name(), duration.as_secs_f64());
+            println!(
+                "  {:<14} {:>8.2} s for {count} variants",
+                arch.name(),
+                duration.as_secs_f64()
+            );
         }
     }
 }

@@ -14,6 +14,7 @@
 //! | `case_multilatency` | §7.3.5: instructions with multiple latencies |
 //! | `case_zero_idioms` | §7.3.6: undocumented dependency-breaking idioms |
 //! | `case_port_pitfalls` | §5.1: naive vs. Algorithm 1 port usage |
+//! | `build_db` | §6.4: characterize a catalog slice on all generations, persist and query the `uops-db` snapshot |
 //!
 //! The `benches/` directory contains Criterion benchmarks of the library
 //! itself (simulator, measurement harness, LP solver, characterization).

@@ -1,0 +1,16 @@
+//! Local stand-in for the `serde` facade.
+//!
+//! The build environment has no access to crates.io, so this crate provides
+//! just enough of serde's surface for the workspace to compile: the
+//! `Serialize`/`Deserialize` *names* resolve both to (empty) marker traits and
+//! to no-op derive macros. Actual serialization in this project goes through
+//! the hand-rolled, dependency-free codecs in `uops-db`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no methods; the project's
+/// serialization is implemented in `uops-db`).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods).
+pub trait Deserialize<'de>: Sized {}

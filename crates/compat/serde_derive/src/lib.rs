@@ -1,0 +1,21 @@
+//! No-op derive macros standing in for `serde_derive`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its data types so that
+//! the code is source-compatible with real serde, but no serialization is
+//! generated here: the canonical serialized representation of this project is
+//! the `uops-db` snapshot format. The derives accept (and ignore) `#[serde(..)]`
+//! helper attributes such as `#[serde(skip)]`.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and produces nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and produces nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

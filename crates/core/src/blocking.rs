@@ -156,13 +156,12 @@ impl BlockingInstructions {
         }
 
         // Store ports: use MOV from a general-purpose register to memory.
-        let store_mov = catalog
-            .find_variant("MOV", "M64, R64")
-            .cloned()
-            .map(Arc::new)
-            .ok_or_else(|| CoreError::MissingInstruction {
-                mnemonic: "MOV".to_string(),
-                variant: "M64, R64".to_string(),
+        let store_mov =
+            catalog.find_variant("MOV", "M64, R64").cloned().map(Arc::new).ok_or_else(|| {
+                CoreError::MissingInstruction {
+                    mnemonic: "MOV".to_string(),
+                    variant: "M64, R64".to_string(),
+                }
             })?;
         for combo in uarch_cfg.store_port_combinations() {
             entries.entry(combo).or_insert_with(|| BlockingEntry {
@@ -220,9 +219,7 @@ impl BlockingInstructions {
         count: usize,
         pool: &mut RegisterPool,
     ) -> Result<Vec<Inst>, CoreError> {
-        let entry = self
-            .entry(ports)
-            .ok_or(CoreError::NoBlockingInstruction { ports })?;
+        let entry = self.entry(ports).ok_or(CoreError::NoBlockingInstruction { ports })?;
         independent_copies(&entry.desc, count, pool).map_err(CoreError::from)
     }
 }
@@ -246,15 +243,15 @@ mod tests {
         let cfg = UarchConfig::for_arch(MicroArch::Skylake);
         // The combinations needed for the case studies must be covered.
         for combo in [
-            cfg.int_alu,              // p0156
-            cfg.int_shift,            // p06
-            cfg.vec_alu,              // p015
-            cfg.vec_shuffle,          // p5
-            cfg.load,                 // p23
-            cfg.store_data,           // p4
-            cfg.store_addr,           // p237
-            PortSet::of(&[0]),        // p0 (AES / divider port)
-            cfg.int_mul,              // p1
+            cfg.int_alu,       // p0156
+            cfg.int_shift,     // p06
+            cfg.vec_alu,       // p015
+            cfg.vec_shuffle,   // p5
+            cfg.load,          // p23
+            cfg.store_data,    // p4
+            cfg.store_addr,    // p237
+            PortSet::of(&[0]), // p0 (AES / divider port)
+            cfg.int_mul,       // p1
         ] {
             assert!(
                 blocking.entry(combo).is_some(),

@@ -227,7 +227,8 @@ mod tests {
     #[test]
     fn independent_copies_are_independent() {
         let c = catalog();
-        for (mnemonic, variant) in [("ADD", "R64, R64"), ("PADDD", "XMM, XMM"), ("MOV", "R64, M64")] {
+        for (mnemonic, variant) in [("ADD", "R64, R64"), ("PADDD", "XMM, XMM"), ("MOV", "R64, M64")]
+        {
             let desc = variant_arc(&c, mnemonic, variant).unwrap();
             let mut pool = RegisterPool::new();
             let copies = independent_copies(&desc, 4, &mut pool).unwrap();
@@ -270,10 +271,7 @@ mod tests {
         let rbx = Register::gpr(uops_isa::gpr::RBX, Width::W64);
         let breaker = flag_dependency_breaker(&c, &mut pool, &[rbx]).unwrap();
         assert!(breaker.writes().iter().any(|r| matches!(r, uops_asm::Resource::Flag(_))));
-        assert!(!breaker
-            .reads()
-            .iter()
-            .any(|r| *r == uops_asm::Resource::of_register(rbx)));
+        assert!(!breaker.reads().iter().any(|r| *r == uops_asm::Resource::of_register(rbx)));
         assert!(!breaker.reads().iter().any(|r| matches!(r, uops_asm::Resource::Flag(_))));
     }
 

@@ -198,11 +198,8 @@ impl<'a> CharacterizationEngine<'a> {
             VectorWorld::Avx,
         )?;
         let analyzer = LatencyAnalyzer::new(backend, self.catalog, self.config.measurement)?;
-        let setup = Arc::new(Setup {
-            blocking_sse,
-            blocking_avx,
-            calibration: analyzer.calibration(),
-        });
+        let setup =
+            Arc::new(Setup { blocking_sse, blocking_avx, calibration: analyzer.calibration() });
         *guard = Some(Arc::clone(&setup));
         Ok(setup)
     }
@@ -359,11 +356,8 @@ mod tests {
     fn characterize_add_on_skylake() {
         let catalog = Catalog::intel_core();
         let backend = SimBackend::new(MicroArch::Skylake);
-        let engine = CharacterizationEngine::with_config(
-            &catalog,
-            MicroArch::Skylake,
-            EngineConfig::fast(),
-        );
+        let engine =
+            CharacterizationEngine::with_config(&catalog, MicroArch::Skylake, EngineConfig::fast());
         let desc = catalog.find_variant("ADD", "R64, R64").unwrap();
         let profile = engine.characterize_variant(&backend, desc).unwrap();
         assert_eq!(profile.uop_count(), 1);
@@ -379,11 +373,8 @@ mod tests {
     fn characterize_movq2dq_case_study() {
         let catalog = Catalog::intel_core();
         let backend = SimBackend::new(MicroArch::Skylake);
-        let engine = CharacterizationEngine::with_config(
-            &catalog,
-            MicroArch::Skylake,
-            EngineConfig::fast(),
-        );
+        let engine =
+            CharacterizationEngine::with_config(&catalog, MicroArch::Skylake, EngineConfig::fast());
         let desc = catalog.find_variant("MOVQ2DQ", "XMM, MM").unwrap();
         let profile = engine.characterize_variant(&backend, desc).unwrap();
         assert_eq!(profile.uop_count(), 2);
@@ -399,11 +390,8 @@ mod tests {
     fn unsupported_variants_are_rejected() {
         let catalog = Catalog::intel_core();
         let backend = SimBackend::new(MicroArch::Nehalem);
-        let engine = CharacterizationEngine::with_config(
-            &catalog,
-            MicroArch::Nehalem,
-            EngineConfig::fast(),
-        );
+        let engine =
+            CharacterizationEngine::with_config(&catalog, MicroArch::Nehalem, EngineConfig::fast());
         // AVX does not exist on Nehalem.
         let desc = catalog.find_variant("VADDPS", "XMM, XMM, XMM").unwrap();
         assert!(engine.characterize_variant(&backend, desc).is_err());
@@ -416,11 +404,8 @@ mod tests {
     fn characterize_matching_produces_report() {
         let catalog = Catalog::intel_core();
         let backend = SimBackend::new(MicroArch::Haswell);
-        let engine = CharacterizationEngine::with_config(
-            &catalog,
-            MicroArch::Haswell,
-            EngineConfig::fast(),
-        );
+        let engine =
+            CharacterizationEngine::with_config(&catalog, MicroArch::Haswell, EngineConfig::fast());
         let report = engine.characterize_matching(&backend, |d| {
             d.mnemonic == "ADC" && d.variant() == "R64, R64"
                 || d.mnemonic == "PBLENDVB" && d.variant() == "XMM, XMM"
@@ -438,20 +423,15 @@ mod tests {
         // PADDD is not.
         let catalog = Catalog::intel_core();
         let backend = SimBackend::new(MicroArch::Skylake);
-        let engine = CharacterizationEngine::with_config(
-            &catalog,
-            MicroArch::Skylake,
-            EngineConfig::fast(),
-        );
+        let engine =
+            CharacterizationEngine::with_config(&catalog, MicroArch::Skylake, EngineConfig::fast());
         let candidates: Vec<&InstructionDesc> = catalog
             .iter()
             .filter(|d| {
                 (d.mnemonic == "PCMPGTD" || d.mnemonic == "PADDD") && d.variant() == "XMM, XMM"
             })
             .collect();
-        let found = engine
-            .zero_idiom_scan(&backend, candidates.iter().copied())
-            .unwrap();
+        let found = engine.zero_idiom_scan(&backend, candidates.iter().copied()).unwrap();
         let pcmpgtd = catalog.find_variant("PCMPGTD", "XMM, XMM").unwrap().uid;
         let paddd = catalog.find_variant("PADDD", "XMM, XMM").unwrap().uid;
         assert!(found.contains(&pcmpgtd), "PCMPGTD must be detected as dependency-breaking");

@@ -19,7 +19,9 @@ use uops_asm::{variant_arc, CodeSequence, Inst, Op, RegisterPool};
 use uops_isa::{Catalog, InstructionDesc, OperandKind, RegClass, RegFile, Register, Width};
 use uops_measure::{measure, MeasurementBackend, MeasurementConfig, RunContext};
 
-use crate::codegen::{classify_operand, flag_dependency_breaker, register_dependency_breaker, OperandClass};
+use crate::codegen::{
+    classify_operand, flag_dependency_breaker, register_dependency_breaker, OperandClass,
+};
 use crate::error::CoreError;
 
 /// The measured latency for one (source, destination) operand pair.
@@ -86,12 +88,8 @@ impl LatencyMap {
     /// (ignoring pure upper bounds if at least one exact value exists).
     #[must_use]
     pub fn single_value(&self) -> Option<f64> {
-        let exact: Vec<f64> = self
-            .entries
-            .values()
-            .filter(|v| !v.is_upper_bound)
-            .map(|v| v.cycles)
-            .collect();
+        let exact: Vec<f64> =
+            self.entries.values().filter(|v| !v.is_upper_bound).map(|v| v.cycles).collect();
         if !exact.is_empty() {
             return exact.into_iter().reduce(f64::max);
         }
@@ -109,12 +107,8 @@ impl LatencyMap {
     /// (exact) latencies — the instructions listed in §7.3.5.
     #[must_use]
     pub fn has_multiple_latencies(&self) -> bool {
-        let exact: Vec<f64> = self
-            .entries
-            .values()
-            .filter(|v| !v.is_upper_bound)
-            .map(|v| v.cycles)
-            .collect();
+        let exact: Vec<f64> =
+            self.entries.values().filter(|v| !v.is_upper_bound).map(|v| v.cycles).collect();
         if exact.len() < 2 {
             return false;
         }
@@ -227,10 +221,9 @@ impl<'a, B: MeasurementBackend + ?Sized> LatencyAnalyzer<'a, B> {
         // Vector shuffles alternating between two registers.
         let xmm_a = Register::vec(1, Width::W128);
         let xmm_b = Register::vec(2, Width::W128);
-        for (field, mnemonic, variant) in [
-            (0usize, "PSHUFD", "XMM, XMM, I8"),
-            (1usize, "SHUFPS", "XMM, XMM, I8"),
-        ] {
+        for (field, mnemonic, variant) in
+            [(0usize, "PSHUFD", "XMM, XMM, I8"), (1usize, "SHUFPS", "XMM, XMM, I8")]
+        {
             let desc = variant_arc(self.catalog, mnemonic, variant)?;
             let mut pool = RegisterPool::new();
             let mut seq = CodeSequence::new();
@@ -328,7 +321,10 @@ impl<'a, B: MeasurementBackend + ?Sized> LatencyAnalyzer<'a, B> {
                     continue;
                 }
                 if d_class == OperandClass::Flags
-                    && matches!(s_class, OperandClass::Vec | OperandClass::Mmx | OperandClass::Memory)
+                    && matches!(
+                        s_class,
+                        OperandClass::Vec | OperandClass::Mmx | OperandClass::Memory
+                    )
                 {
                     // Reading flags into a vector register is impossible and
                     // the remaining chains add little information.
@@ -413,7 +409,11 @@ impl<'a, B: MeasurementBackend + ?Sized> LatencyAnalyzer<'a, B> {
             (OC::Gpr, OC::Gpr) => self.gpr_to_gpr_with_ctx(desc, s, d, ctx)?,
             (OC::Vec, OC::Vec) => self.vec_to_vec_with_ctx(desc, s, d, RegFile::Vec, ctx)?,
             (OC::Mmx, OC::Mmx) => self.vec_to_vec_with_ctx(desc, s, d, RegFile::Mmx, ctx)?,
-            _ => return Err(CoreError::NoChainInstruction { pair: format!("{s}→{d} (low values)") }),
+            _ => {
+                return Err(CoreError::NoChainInstruction {
+                    pair: format!("{s}→{d} (low values)")
+                })
+            }
         };
         Ok(value.cycles)
     }
@@ -481,7 +481,12 @@ impl<'a, B: MeasurementBackend + ?Sized> LatencyAnalyzer<'a, B> {
 
     /// Self chain: the destination operand of one instance is the source
     /// operand of the next (same operand index, or flags → flags).
-    fn self_chain(&self, desc: &Arc<InstructionDesc>, s: usize, d: usize) -> Result<LatencyValue, CoreError> {
+    fn self_chain(
+        &self,
+        desc: &Arc<InstructionDesc>,
+        s: usize,
+        d: usize,
+    ) -> Result<LatencyValue, CoreError> {
         self.self_chain_with_ctx(desc, s, d, self.ctx())
     }
 
@@ -503,7 +508,12 @@ impl<'a, B: MeasurementBackend + ?Sized> LatencyAnalyzer<'a, B> {
 
     /// General-purpose register → general-purpose register, chained through
     /// MOVSX (§5.2.1).
-    fn gpr_to_gpr(&self, desc: &Arc<InstructionDesc>, s: usize, d: usize) -> Result<LatencyValue, CoreError> {
+    fn gpr_to_gpr(
+        &self,
+        desc: &Arc<InstructionDesc>,
+        s: usize,
+        d: usize,
+    ) -> Result<LatencyValue, CoreError> {
         self.gpr_to_gpr_with_ctx(desc, s, d, self.ctx())
     }
 
@@ -515,14 +525,17 @@ impl<'a, B: MeasurementBackend + ?Sized> LatencyAnalyzer<'a, B> {
         ctx: RunContext,
     ) -> Result<LatencyValue, CoreError> {
         let mut pool = RegisterPool::new();
-        let (s_reg, d_reg, mut assignments) = self.allocate_pair_registers(desc, s, d, &mut pool)?;
-        let inst = self.bind_chain_instruction(desc, s, d, s_reg, d_reg, &mut assignments, &mut pool)?;
+        let (s_reg, d_reg, mut assignments) =
+            self.allocate_pair_registers(desc, s, d, &mut pool)?;
+        let inst =
+            self.bind_chain_instruction(desc, s, d, s_reg, d_reg, &mut assignments, &mut pool)?;
 
         // Chain instruction: MOVSX s_reg64, d_regNN where NN avoids partial
         // register stalls (source width no wider than what the instruction
         // writes).
         let d_width = desc.operands[d].kind.width().unwrap_or(Width::W64);
-        let (variant, src_width) = if d_width == Width::W8 { ("R64, R8", Width::W8) } else { ("R64, R16", Width::W16) };
+        let (variant, src_width) =
+            if d_width == Width::W8 { ("R64, R8", Width::W8) } else { ("R64, R16", Width::W16) };
         let movsx = variant_arc(self.catalog, "MOVSX", variant)?;
         let mut chain_assign = BTreeMap::new();
         chain_assign.insert(0, Op::Reg(s_reg.with_width(Width::W64)));
@@ -630,18 +643,15 @@ impl<'a, B: MeasurementBackend + ?Sized> LatencyAnalyzer<'a, B> {
 
         // Route the destination value into a general-purpose register.
         let (gpr_for_xor, is_upper_bound) = match d_class {
-            OperandClass::Gpr => (
-                inst.operand(d).register().expect("GPR destination operand"),
-                false,
-            ),
+            OperandClass::Gpr => {
+                (inst.operand(d).register().expect("GPR destination operand"), false)
+            }
             _ => {
                 // Move the vector/MMX destination into a scratch GPR first.
-                let d_reg = inst.operand(d).register().ok_or_else(|| CoreError::NoChainInstruction {
-                    pair: format!("{s}→{d} (memory)"),
+                let d_reg = inst.operand(d).register().ok_or_else(|| {
+                    CoreError::NoChainInstruction { pair: format!("{s}→{d} (memory)") }
                 })?;
-                let tmp = pool
-                    .alloc(RegClass::gpr(Width::W64))
-                    .map_err(CoreError::from)?;
+                let tmp = pool.alloc(RegClass::gpr(Width::W64)).map_err(CoreError::from)?;
                 let mover = self.cross_move(d_reg, tmp, &mut pool)?;
                 seq.push(mover);
                 (tmp, true)
@@ -658,10 +668,8 @@ impl<'a, B: MeasurementBackend + ?Sized> LatencyAnalyzer<'a, B> {
             a.insert(1, Op::Reg(gpr_for_xor.with_width(Width::W64)));
             seq.push(Inst::bind(&xor, &a, &mut pool)?);
         }
-        let avoid: Vec<Register> = Self::bound_registers(&inst)
-            .into_iter()
-            .chain([base, gpr_for_xor])
-            .collect();
+        let avoid: Vec<Register> =
+            Self::bound_registers(&inst).into_iter().chain([base, gpr_for_xor]).collect();
         seq.push(flag_dependency_breaker(self.catalog, &mut pool, &avoid)?);
 
         let cycles = (self.run_unit(&seq, self.ctx()) - 2.0).max(0.0);
@@ -732,12 +740,18 @@ impl<'a, B: MeasurementBackend + ?Sized> LatencyAnalyzer<'a, B> {
 
     /// Status flags → general-purpose register (§5.2.3): `TEST r, r` creates
     /// the register → flags dependency for the next iteration.
-    fn flags_to_gpr(&self, desc: &Arc<InstructionDesc>, s: usize, d: usize) -> Result<LatencyValue, CoreError> {
+    fn flags_to_gpr(
+        &self,
+        desc: &Arc<InstructionDesc>,
+        s: usize,
+        d: usize,
+    ) -> Result<LatencyValue, CoreError> {
         let mut pool = RegisterPool::new();
         let inst = self.bind_for_chain(desc, &BTreeMap::new(), &mut pool)?;
-        let d_reg = inst.operand(d).register().ok_or_else(|| CoreError::NoChainInstruction {
-            pair: format!("{s}→{d} (flags)"),
-        })?;
+        let d_reg = inst
+            .operand(d)
+            .register()
+            .ok_or_else(|| CoreError::NoChainInstruction { pair: format!("{s}→{d} (flags)") })?;
         let test = variant_arc(self.catalog, "TEST", "R64, R64")?;
         let mut a = BTreeMap::new();
         a.insert(0, Op::Reg(d_reg.with_width(Width::W64)));
@@ -753,7 +767,12 @@ impl<'a, B: MeasurementBackend + ?Sized> LatencyAnalyzer<'a, B> {
     }
 
     /// General-purpose register → status flags: chained through `CMOVNZ`.
-    fn gpr_to_flags(&self, desc: &Arc<InstructionDesc>, s: usize, d: usize) -> Result<LatencyValue, CoreError> {
+    fn gpr_to_flags(
+        &self,
+        desc: &Arc<InstructionDesc>,
+        s: usize,
+        d: usize,
+    ) -> Result<LatencyValue, CoreError> {
         let mut pool = RegisterPool::new();
         let inst = self.bind_for_chain(desc, &BTreeMap::new(), &mut pool)?;
         let s_reg = inst.operand(s).register().ok_or_else(|| CoreError::NoChainInstruction {
@@ -768,7 +787,8 @@ impl<'a, B: MeasurementBackend + ?Sized> LatencyAnalyzer<'a, B> {
         seq.push(inst.clone());
         seq.push(chain);
         self.append_breakers(&mut seq, &inst, s, d, &mut pool)?;
-        let cycles = (self.run_unit(&seq, self.ctx()) - self.calibration.cmov_flags_to_reg).max(0.0);
+        let cycles =
+            (self.run_unit(&seq, self.ctx()) - self.calibration.cmov_flags_to_reg).max(0.0);
         // If the source register is also written by the instruction, the
         // CMOV chain inevitably adds a register → register path through its
         // own destination; the result is then only an upper bound.
@@ -779,7 +799,12 @@ impl<'a, B: MeasurementBackend + ?Sized> LatencyAnalyzer<'a, B> {
     /// Register pairs of different files (§5.2.1, "the registers have
     /// different types"): compose with every available cross-file move and
     /// report the minimum composed time minus one as an upper bound.
-    fn cross_file(&self, desc: &Arc<InstructionDesc>, s: usize, d: usize) -> Result<LatencyValue, CoreError> {
+    fn cross_file(
+        &self,
+        desc: &Arc<InstructionDesc>,
+        s: usize,
+        d: usize,
+    ) -> Result<LatencyValue, CoreError> {
         let mut best: Option<f64> = None;
         let s_file = operand_file(desc, s);
         let d_file = operand_file(desc, d);
@@ -794,8 +819,15 @@ impl<'a, B: MeasurementBackend + ?Sized> LatencyAnalyzer<'a, B> {
             let mut pool = RegisterPool::new();
             let (s_reg, d_reg, mut assignments) =
                 self.allocate_pair_registers(desc, s, d, &mut pool)?;
-            let inst = match self.bind_chain_instruction(desc, s, d, s_reg, d_reg, &mut assignments, &mut pool)
-            {
+            let inst = match self.bind_chain_instruction(
+                desc,
+                s,
+                d,
+                s_reg,
+                d_reg,
+                &mut assignments,
+                &mut pool,
+            ) {
                 Ok(i) => i,
                 Err(_) => continue,
             };
@@ -805,10 +837,24 @@ impl<'a, B: MeasurementBackend + ?Sized> LatencyAnalyzer<'a, B> {
             for (idx, od) in chain_desc.operands.iter().enumerate() {
                 match od.kind {
                     OperandKind::Reg(class) if od.write && class.file == s_file => {
-                        chain_assign.insert(idx, Op::Reg(Register { file: s_reg.file, index: s_reg.index, width: class.width }));
+                        chain_assign.insert(
+                            idx,
+                            Op::Reg(Register {
+                                file: s_reg.file,
+                                index: s_reg.index,
+                                width: class.width,
+                            }),
+                        );
                     }
                     OperandKind::Reg(class) if od.read && class.file == d_file => {
-                        chain_assign.insert(idx, Op::Reg(Register { file: d_reg.file, index: d_reg.index, width: class.width }));
+                        chain_assign.insert(
+                            idx,
+                            Op::Reg(Register {
+                                file: d_reg.file,
+                                index: d_reg.index,
+                                width: class.width,
+                            }),
+                        );
                     }
                     OperandKind::Imm(_) => {
                         chain_assign.insert(idx, Op::Imm(0));
@@ -836,7 +882,8 @@ impl<'a, B: MeasurementBackend + ?Sized> LatencyAnalyzer<'a, B> {
             let cycles = self.run_unit(&seq, self.ctx());
             best = Some(best.map_or(cycles, |b: f64| b.min(cycles)));
         }
-        let composed = best.ok_or_else(|| CoreError::NoChainInstruction { pair: format!("{s}→{d}") })?;
+        let composed =
+            best.ok_or_else(|| CoreError::NoChainInstruction { pair: format!("{s}→{d}") })?;
         Ok(LatencyValue {
             cycles: (composed - 1.0).max(0.0),
             is_upper_bound: true,
@@ -846,11 +893,18 @@ impl<'a, B: MeasurementBackend + ?Sized> LatencyAnalyzer<'a, B> {
 
     /// The same-register microbenchmark of §5.2.1: bind the same register to
     /// both operands and measure the resulting self chain.
-    fn same_register_chain(&self, desc: &Arc<InstructionDesc>, s: usize, d: usize) -> Result<f64, CoreError> {
+    fn same_register_chain(
+        &self,
+        desc: &Arc<InstructionDesc>,
+        s: usize,
+        d: usize,
+    ) -> Result<f64, CoreError> {
         let mut pool = RegisterPool::new();
         let class = match desc.operands[d].kind {
             OperandKind::Reg(c) => c,
-            _ => return Err(CoreError::NoChainInstruction { pair: format!("{s}→{d} (same reg)") }),
+            _ => {
+                return Err(CoreError::NoChainInstruction { pair: format!("{s}→{d} (same reg)") })
+            }
         };
         let reg = pool.alloc(class).map_err(CoreError::from)?;
         let mut assignments = BTreeMap::new();
@@ -944,7 +998,12 @@ impl<'a, B: MeasurementBackend + ?Sized> LatencyAnalyzer<'a, B> {
 
     /// An instruction moving `from` (vector or MMX register) into the
     /// general-purpose register `to`.
-    fn cross_move(&self, from: Register, to: Register, pool: &mut RegisterPool) -> Result<Inst, CoreError> {
+    fn cross_move(
+        &self,
+        from: Register,
+        to: Register,
+        pool: &mut RegisterPool,
+    ) -> Result<Inst, CoreError> {
         let (mnemonic, variant) = match from.file {
             RegFile::Vec => ("MOVQ", "R64, XMM"),
             RegFile::Mmx => ("MOVQ", "R64, MM"),
@@ -965,7 +1024,11 @@ impl<'a, B: MeasurementBackend + ?Sized> LatencyAnalyzer<'a, B> {
 
     /// Cross-file chain instruction candidates reading a register of
     /// `from_file` and writing a register of `to_file`.
-    fn cross_chain_candidates(&self, from_file: RegFile, to_file: RegFile) -> Vec<Arc<InstructionDesc>> {
+    fn cross_chain_candidates(
+        &self,
+        from_file: RegFile,
+        to_file: RegFile,
+    ) -> Vec<Arc<InstructionDesc>> {
         let arch = self.backend.arch();
         let mut candidates: Vec<Arc<InstructionDesc>> = self
             .catalog
@@ -1154,7 +1217,12 @@ mod tests {
         let to_reg = map.get(1, 0).expect("reg latency");
         let to_flags = map.get(1, flag_idx).expect("flag latency");
         assert!(!to_reg.is_upper_bound && !to_flags.is_upper_bound);
-        assert!(to_flags.cycles > to_reg.cycles + 0.5, "reg {} vs flags {}", to_reg.cycles, to_flags.cycles);
+        assert!(
+            to_flags.cycles > to_reg.cycles + 0.5,
+            "reg {} vs flags {}",
+            to_reg.cycles,
+            to_flags.cycles
+        );
         assert!(map.has_multiple_latencies());
     }
 
@@ -1194,7 +1262,11 @@ mod tests {
         let mut map = LatencyMap::new();
         assert!(map.is_empty());
         map.insert(0, 1, LatencyValue { cycles: 3.0, ..LatencyValue::default() });
-        map.insert(2, 1, LatencyValue { cycles: 1.0, is_upper_bound: true, ..LatencyValue::default() });
+        map.insert(
+            2,
+            1,
+            LatencyValue { cycles: 1.0, is_upper_bound: true, ..LatencyValue::default() },
+        );
         assert_eq!(map.len(), 2);
         assert_eq!(map.single_value(), Some(3.0));
         assert_eq!(map.max_latency_cycles(), 3);

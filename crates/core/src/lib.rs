@@ -13,8 +13,12 @@
 //!   small linear program ([`throughput`], §4.2, §5.3),
 //! * the **prior-work baseline** methodology for comparison ([`prior`]),
 //! * a **characterization engine** that orchestrates all of the above over
-//!   the instruction catalog ([`engine`]), and
-//! * **machine-readable output** in XML and JSON ([`output`], §6.4).
+//!   the instruction catalog ([`engine`]),
+//! * the **ingestion bridge** into the `uops-db` snapshot/database layer
+//!   ([`snapshot`]), and
+//! * **machine-readable output** in XML, JSON, and a compact binary
+//!   encoding ([`output`], §6.4), all backed by the canonical
+//!   [`uops_db::Snapshot`] representation.
 //!
 //! The algorithms interact with the processor **only** through the
 //! [`uops_measure::MeasurementBackend`] interface (generated code in,
@@ -51,14 +55,20 @@ pub mod output;
 pub mod port_usage;
 pub mod predict;
 pub mod prior;
+pub mod snapshot;
 pub mod throughput;
 
 pub use blocking::{BlockingEntry, BlockingInstructions, VectorWorld};
-pub use engine::{CharacterizationEngine, CharacterizationReport, EngineConfig, InstructionProfile};
+pub use engine::{
+    CharacterizationEngine, CharacterizationReport, EngineConfig, InstructionProfile,
+};
 pub use error::CoreError;
 pub use latency::{ChainCalibration, LatencyAnalyzer, LatencyMap, LatencyValue};
-pub use output::{report_to_json, report_to_xml, reports_to_xml};
+pub use output::{
+    report_to_json, report_to_xml, reports_to_binary, reports_to_json, reports_to_xml,
+};
 pub use port_usage::{infer_port_usage, isolation_profile, IsolationProfile, PortUsage};
 pub use predict::{Bottleneck, Prediction, Predictor};
 pub use prior::{naive_latency, naive_port_usage, NaiveLatency, NaivePortUsage};
+pub use snapshot::{profile_to_record, report_to_snapshot, reports_to_snapshot};
 pub use throughput::{measure_throughput, throughput_from_port_usage, Throughput};

@@ -2,56 +2,25 @@
 //!
 //! The tool publishes its results in a machine-readable format so that they
 //! can be used by simulators, performance-prediction tools, and compilers.
-//! Two formats are provided: an XML document in the style of the file
-//! published on uops.info (grouping per-architecture measurements under each
-//! instruction variant), and a JSON document. Both writers are hand-rolled
-//! to stay within the approved dependency set.
+//! There is one canonical serialized representation — the
+//! [`uops_db::Snapshot`] — with three encodings implemented in `uops-db`:
+//! a compact binary stream, JSON, and the uops.info-style XML document.
+//! The functions here are thin wrappers that bridge
+//! [`CharacterizationReport`]s into snapshots (via [`crate::snapshot`]) and
+//! invoke those encoders, kept for source compatibility with earlier
+//! revisions that built the XML/JSON strings by hand.
 
-use std::fmt::Write as _;
-
-use crate::engine::{CharacterizationReport, InstructionProfile};
+use crate::engine::CharacterizationReport;
+use crate::snapshot::{report_to_snapshot, reports_to_snapshot};
 
 /// Serializes a set of per-architecture characterization reports to XML.
 ///
 /// Instruction variants are grouped so that each `<instruction>` element
-/// contains one `<architecture>` element per report that characterized it.
+/// contains one `<architecture>` element per report that characterized it,
+/// in report order.
 #[must_use]
 pub fn reports_to_xml(reports: &[CharacterizationReport]) -> String {
-    let mut out = String::new();
-    out.push_str("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n");
-    out.push_str("<uops>\n");
-
-    // Collect the distinct (mnemonic, variant) pairs in catalog order.
-    let mut keys: Vec<(usize, String, String, String)> = Vec::new();
-    for report in reports {
-        for p in &report.profiles {
-            if !keys.iter().any(|(_, m, v, _)| *m == p.mnemonic && *v == p.variant) {
-                keys.push((p.uid, p.mnemonic.clone(), p.variant.clone(), p.extension.clone()));
-            }
-        }
-    }
-    keys.sort();
-
-    for (_, mnemonic, variant, extension) in keys {
-        let _ = writeln!(
-            out,
-            "  <instruction mnemonic=\"{}\" variant=\"{}\" extension=\"{}\">",
-            escape(&mnemonic),
-            escape(&variant),
-            escape(&extension)
-        );
-        for report in reports {
-            let Some(profile) =
-                report.profiles.iter().find(|p| p.mnemonic == mnemonic && p.variant == variant)
-            else {
-                continue;
-            };
-            write_architecture(&mut out, profile);
-        }
-        out.push_str("  </instruction>\n");
-    }
-    out.push_str("</uops>\n");
-    out
+    uops_db::xml::to_xml(&reports_to_snapshot(reports))
 }
 
 /// Serializes one report to XML (convenience wrapper for a single
@@ -61,97 +30,22 @@ pub fn report_to_xml(report: &CharacterizationReport) -> String {
     reports_to_xml(std::slice::from_ref(report))
 }
 
-fn write_architecture(out: &mut String, profile: &InstructionProfile) {
-    let _ = writeln!(out, "    <architecture name=\"{}\">", profile.arch.name());
-    let _ = write!(
-        out,
-        "      <measurement uops=\"{}\" ports=\"{}\" tp-measured=\"{:.2}\"",
-        profile.uop_count, profile.port_usage, profile.throughput.measured
-    );
-    if let Some(tp) = profile.throughput.from_port_usage {
-        let _ = write!(out, " tp-ports=\"{tp:.2}\"");
-    }
-    if let Some(tp) = profile.throughput.measured_low_values {
-        let _ = write!(out, " tp-low-values=\"{tp:.2}\"");
-    }
-    out.push_str(">\n");
-    for ((s, d), v) in profile.latency.iter() {
-        let _ = write!(
-            out,
-            "        <latency start_op=\"{s}\" target_op=\"{d}\" cycles=\"{:.2}\"",
-            v.cycles
-        );
-        if v.is_upper_bound {
-            out.push_str(" upper_bound=\"1\"");
-        }
-        if let Some(same) = v.same_register_cycles {
-            let _ = write!(out, " same_reg_cycles=\"{same:.2}\"");
-        }
-        if let Some(low) = v.low_value_cycles {
-            let _ = write!(out, " low_value_cycles=\"{low:.2}\"");
-        }
-        out.push_str("/>\n");
-    }
-    out.push_str("      </measurement>\n");
-    out.push_str("    </architecture>\n");
-}
-
-/// Serializes a report to a JSON document.
+/// Serializes a report to the canonical JSON snapshot document.
 #[must_use]
 pub fn report_to_json(report: &CharacterizationReport) -> String {
-    let mut out = String::new();
-    out.push_str("{\n");
-    if let Some(arch) = report.arch {
-        let _ = writeln!(out, "  \"architecture\": \"{}\",", arch.name());
-    }
-    let _ = writeln!(out, "  \"characterized\": {},", report.profiles.len());
-    let _ = writeln!(out, "  \"skipped\": {},", report.skipped.len());
-    out.push_str("  \"instructions\": [\n");
-    for (i, p) in report.profiles.iter().enumerate() {
-        out.push_str("    {");
-        let _ = write!(
-            out,
-            "\"mnemonic\": \"{}\", \"variant\": \"{}\", \"extension\": \"{}\", \"uops\": {}, \"ports\": \"{}\", \"tp_measured\": {:.3}",
-            escape_json(&p.mnemonic),
-            escape_json(&p.variant),
-            escape_json(&p.extension),
-            p.uop_count,
-            p.port_usage,
-            p.throughput.measured
-        );
-        if let Some(tp) = p.throughput.from_port_usage {
-            let _ = write!(out, ", \"tp_ports\": {tp:.3}");
-        }
-        if let Some(lat) = p.latency.single_value() {
-            let _ = write!(out, ", \"latency_max\": {lat:.3}");
-        }
-        out.push_str(", \"latency_pairs\": [");
-        for (j, ((s, d), v)) in p.latency.iter().enumerate() {
-            if j > 0 {
-                out.push_str(", ");
-            }
-            let _ = write!(
-                out,
-                "{{\"source\": {s}, \"target\": {d}, \"cycles\": {:.3}, \"upper_bound\": {}}}",
-                v.cycles, v.is_upper_bound
-            );
-        }
-        out.push_str("]}");
-        if i + 1 < report.profiles.len() {
-            out.push(',');
-        }
-        out.push('\n');
-    }
-    out.push_str("  ]\n}\n");
-    out
+    uops_db::json::to_json(&report_to_snapshot(report))
 }
 
-fn escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;").replace('"', "&quot;")
+/// Serializes a set of reports to the canonical JSON snapshot document.
+#[must_use]
+pub fn reports_to_json(reports: &[CharacterizationReport]) -> String {
+    uops_db::json::to_json(&reports_to_snapshot(reports))
 }
 
-fn escape_json(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
+/// Serializes a set of reports to the compact binary snapshot encoding.
+#[must_use]
+pub fn reports_to_binary(reports: &[CharacterizationReport]) -> Vec<u8> {
+    uops_db::codec::encode(&reports_to_snapshot(reports))
 }
 
 #[cfg(test)]
@@ -204,11 +98,18 @@ mod tests {
         // Balanced braces and brackets.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+        // The JSON wrapper now emits the canonical snapshot document, so it
+        // must parse back losslessly.
+        let parsed = uops_db::json::from_json(&json).expect("canonical document parses");
+        assert_eq!(parsed.records.len(), report.profiles.len());
     }
 
     #[test]
-    fn escaping() {
-        assert_eq!(escape("a<b>&\"c\""), "a&lt;b&gt;&amp;&quot;c&quot;");
-        assert_eq!(escape_json("a\"b\\c"), "a\\\"b\\\\c");
+    fn binary_output_decodes() {
+        let report = small_report(MicroArch::Skylake);
+        let bytes = reports_to_binary(std::slice::from_ref(&report));
+        let snapshot = uops_db::codec::decode(&bytes).expect("decode");
+        assert_eq!(snapshot.records.len(), report.profiles.len());
+        assert_eq!(snapshot.uarches[0].name, "Skylake");
     }
 }

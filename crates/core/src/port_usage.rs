@@ -123,8 +123,7 @@ impl fmt::Display for PortUsage {
         if self.entries.is_empty() {
             return write!(f, "0");
         }
-        let parts: Vec<String> =
-            self.entries.iter().map(|(p, n)| format!("{n}*{p}")).collect();
+        let parts: Vec<String> = self.entries.iter().map(|(p, n)| format!("{n}*{p}")).collect();
         write!(f, "{}", parts.join("+"))?;
         if self.unattributed > 0 {
             write!(f, " (+{} unattributed)", self.unattributed)?;
@@ -242,8 +241,8 @@ pub fn infer_port_usage<B: MeasurementBackend + ?Sized>(
         seq.push(test_inst);
 
         let m = measure(backend, &seq, config, ctx);
-        let mut uops_on_combo = m.uops_on_ports(combo)
-            - (block_rep as f64) * f64::from(entry.uops_per_copy);
+        let mut uops_on_combo =
+            m.uops_on_ports(combo) - (block_rep as f64) * f64::from(entry.uops_per_copy);
 
         // Subtract µops already attributed to strict subsets of this
         // combination (lines 8–10 of Algorithm 1).
@@ -279,9 +278,13 @@ mod tests {
     fn setup(arch: MicroArch) -> (SimBackend, Catalog, BlockingInstructions) {
         let backend = SimBackend::new(arch);
         let catalog = Catalog::intel_core();
-        let blocking =
-            BlockingInstructions::find(&backend, &catalog, &MeasurementConfig::fast(), VectorWorld::Sse)
-                .unwrap();
+        let blocking = BlockingInstructions::find(
+            &backend,
+            &catalog,
+            &MeasurementConfig::fast(),
+            VectorWorld::Sse,
+        )
+        .unwrap();
         (backend, catalog, blocking)
     }
 
@@ -298,7 +301,8 @@ mod tests {
 
     #[test]
     fn port_usage_notation_roundtrip() {
-        let pu = PortUsage::from_entries(vec![(PortSet::of(&[0, 1, 5]), 3), (PortSet::of(&[2, 3]), 1)]);
+        let pu =
+            PortUsage::from_entries(vec![(PortSet::of(&[0, 1, 5]), 3), (PortSet::of(&[2, 3]), 1)]);
         assert_eq!(pu.to_string(), "1*p23+3*p015");
         let parsed = PortUsage::parse("3*p015+1*p23").unwrap();
         assert_eq!(parsed, pu);

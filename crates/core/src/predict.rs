@@ -168,11 +168,8 @@ impl<'a> Predictor<'a> {
 
         for inst in kernel.iter() {
             let desc = inst.desc();
-            let Some(profile) = self
-                .catalog
-                .try_get(desc.uid)
-                .and_then(|d| self.by_uid.get(&d.uid))
-                .copied()
+            let Some(profile) =
+                self.catalog.try_get(desc.uid).and_then(|d| self.by_uid.get(&d.uid)).copied()
             else {
                 unknown.push(desc.full_name());
                 continue;
@@ -206,11 +203,8 @@ impl<'a> Predictor<'a> {
         // Port bound via the same min-max load optimization used for
         // single-instruction throughput (§5.3.2).
         let all_ports: u16 = (0..self.cfg.port_count).fold(0u16, |m, p| m | (1 << p));
-        let port_bound = if usage_map.is_empty() {
-            0.0
-        } else {
-            uops_lp::min_max_load(&usage_map, all_ports)
-        };
+        let port_bound =
+            if usage_map.is_empty() { 0.0 } else { uops_lp::min_max_load(&usage_map, all_ports) };
         let assignment = uops_lp::optimal_assignment(&usage_map, all_ports);
         let port_pressure: BTreeMap<u8, f64> =
             assignment.port_load.iter().map(|(p, l)| (*p, *l)).collect();

@@ -135,11 +135,14 @@ pub fn naive_latency<B: MeasurementBackend + ?Sized>(
                 for &idx in &explicit_regs {
                     if let OperandKind::Reg(c) = desc.operands[idx].kind {
                         if c.file == class.file {
-                            assignment.insert(idx, Op::Reg(uops_isa::Register {
-                                file: reg.file,
-                                index: reg.index,
-                                width: c.width,
-                            }));
+                            assignment.insert(
+                                idx,
+                                Op::Reg(uops_isa::Register {
+                                    file: reg.file,
+                                    index: reg.index,
+                                    width: c.width,
+                                }),
+                            );
                         }
                     }
                 }
@@ -162,10 +165,12 @@ pub fn naive_latency<B: MeasurementBackend + ?Sized>(
         let mut pool = RegisterPool::new();
         match Inst::bind(desc, &BTreeMap::new(), &mut pool) {
             Ok(inst) => {
-                let has_rw_dest = desc
-                    .operands
-                    .iter()
-                    .any(|od| od.is_explicit() && od.read && od.write && matches!(od.kind, OperandKind::Reg(_)));
+                let has_rw_dest = desc.operands.iter().any(|od| {
+                    od.is_explicit()
+                        && od.read
+                        && od.write
+                        && matches!(od.kind, OperandKind::Reg(_))
+                });
                 if has_rw_dest {
                     let mut seq = CodeSequence::new();
                     seq.push(inst);
@@ -199,9 +204,12 @@ mod tests {
         // ports.
         let backend = SimBackend::new(MicroArch::Nehalem);
         let catalog = Catalog::intel_core();
-        let naive =
-            naive_port_usage(&backend, &desc(&catalog, "PBLENDVB", "XMM, XMM"), &MeasurementConfig::fast())
-                .unwrap();
+        let naive = naive_port_usage(
+            &backend,
+            &desc(&catalog, "PBLENDVB", "XMM, XMM"),
+            &MeasurementConfig::fast(),
+        )
+        .unwrap();
         assert_eq!(naive.interpretation.total_uops(), 2);
         // The naive interpretation concludes 1*p0 + 1*p5, which differs from
         // the true usage 2*p05.
@@ -215,9 +223,12 @@ mod tests {
         // usually right (one µop spread over the ALU ports).
         let backend = SimBackend::new(MicroArch::Skylake);
         let catalog = Catalog::intel_core();
-        let naive =
-            naive_port_usage(&backend, &desc(&catalog, "PSHUFD", "XMM, XMM, I8"), &MeasurementConfig::fast())
-                .unwrap();
+        let naive = naive_port_usage(
+            &backend,
+            &desc(&catalog, "PSHUFD", "XMM, XMM, I8"),
+            &MeasurementConfig::fast(),
+        )
+        .unwrap();
         assert_eq!(naive.interpretation.to_string(), "1*p5");
     }
 
@@ -227,9 +238,12 @@ mod tests {
         // destination-chain measurements (Fog) see 3 cycles on Nehalem.
         let backend = SimBackend::new(MicroArch::Nehalem);
         let catalog = Catalog::intel_core();
-        let naive =
-            naive_latency(&backend, &desc(&catalog, "SHLD", "R64, R64, I8"), &MeasurementConfig::fast())
-                .unwrap();
+        let naive = naive_latency(
+            &backend,
+            &desc(&catalog, "SHLD", "R64, R64, I8"),
+            &MeasurementConfig::fast(),
+        )
+        .unwrap();
         let same = naive.same_register.expect("same-register value");
         let dest = naive.destination_chain.expect("destination-chain value");
         assert!((same - 4.0).abs() < 0.6, "same-register latency = {same}");
@@ -242,9 +256,12 @@ mod tests {
         // which is what Granlund and AIDA64 report.
         let backend = SimBackend::new(MicroArch::Skylake);
         let catalog = Catalog::intel_core();
-        let naive =
-            naive_latency(&backend, &desc(&catalog, "SHLD", "R64, R64, I8"), &MeasurementConfig::fast())
-                .unwrap();
+        let naive = naive_latency(
+            &backend,
+            &desc(&catalog, "SHLD", "R64, R64, I8"),
+            &MeasurementConfig::fast(),
+        )
+        .unwrap();
         let same = naive.same_register.expect("same-register value");
         assert!((same - 1.0).abs() < 0.5, "same-register latency = {same}");
         let dest = naive.destination_chain.expect("destination-chain value");

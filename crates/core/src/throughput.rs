@@ -130,7 +130,8 @@ fn measure_throughput_with_ctx<B: MeasurementBackend + ?Sized>(
             };
             let mut seq = CodeSequence::new();
             for inst in copies {
-                let avoid: Vec<_> = inst.operands().iter().filter_map(uops_asm::Op::register).collect();
+                let avoid: Vec<_> =
+                    inst.operands().iter().filter_map(uops_asm::Op::register).collect();
                 let breaks_flags = inst.desc().reads_flags() && inst.desc().writes_flags();
                 let implicit_rw_regs: Vec<_> = inst
                     .desc()

@@ -1,0 +1,549 @@
+//! The compact binary snapshot encoding.
+//!
+//! The format is a protobuf-style tag/length/value stream: every field is
+//! prefixed by a varint tag `(field_number << 3) | wire_type`, with three
+//! wire types — varint (`0`), little-endian fixed 64-bit (`1`, used for
+//! `f64`), and length-delimited (`2`, used for strings and nested
+//! messages). Decoders **skip unknown field numbers** according to their
+//! wire type, which makes the format forward-compatible: a snapshot written
+//! by a newer producer with additional fields still decodes.
+//!
+//! Encoding is canonical — fields are written in ascending field-number
+//! order and default values (zero integers, `false`, `None`, empty strings)
+//! are omitted — so `encode(decode(bytes)) == bytes` for any stream this
+//! module produced.
+
+use crate::error::DbError;
+use crate::snapshot::{LatencyEdge, Snapshot, UarchMeta, VariantRecord};
+
+/// Magic bytes identifying a binary snapshot (`"UDB\x01"`).
+pub const MAGIC: [u8; 4] = *b"UDB\x01";
+
+const WIRE_VARINT: u8 = 0;
+const WIRE_FIXED64: u8 = 1;
+const WIRE_LEN: u8 = 2;
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn put_tag(out: &mut Vec<u8>, field: u32, wire: u8) {
+    put_varint(out, (u64::from(field) << 3) | u64::from(wire));
+}
+
+fn put_u64_field(out: &mut Vec<u8>, field: u32, v: u64) {
+    if v != 0 {
+        put_tag(out, field, WIRE_VARINT);
+        put_varint(out, v);
+    }
+}
+
+fn put_f64_field(out: &mut Vec<u8>, field: u32, v: f64) {
+    if v != 0.0 {
+        put_tag(out, field, WIRE_FIXED64);
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+fn put_opt_f64_field(out: &mut Vec<u8>, field: u32, v: Option<f64>) {
+    // Present-but-zero must survive the round trip, so optional floats are
+    // written whenever they are `Some`, even for 0.0.
+    if let Some(v) = v {
+        put_tag(out, field, WIRE_FIXED64);
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+fn put_str_field(out: &mut Vec<u8>, field: u32, s: &str) {
+    if !s.is_empty() {
+        put_tag(out, field, WIRE_LEN);
+        put_varint(out, s.len() as u64);
+        out.extend_from_slice(s.as_bytes());
+    }
+}
+
+fn put_msg_field(out: &mut Vec<u8>, field: u32, body: &[u8]) {
+    put_tag(out, field, WIRE_LEN);
+    put_varint(out, body.len() as u64);
+    out.extend_from_slice(body);
+}
+
+fn encode_uarch(meta: &UarchMeta) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_str_field(&mut out, 1, &meta.name);
+    put_str_field(&mut out, 2, &meta.processor);
+    put_u64_field(&mut out, 3, u64::from(meta.year));
+    put_u64_field(&mut out, 4, u64::from(meta.ports));
+    put_u64_field(&mut out, 5, u64::from(meta.characterized));
+    put_u64_field(&mut out, 6, u64::from(meta.skipped));
+    out
+}
+
+fn encode_edge(edge: &LatencyEdge) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_u64_field(&mut out, 1, u64::from(edge.source));
+    put_u64_field(&mut out, 2, u64::from(edge.target));
+    put_f64_field(&mut out, 3, edge.cycles);
+    put_u64_field(&mut out, 4, u64::from(edge.upper_bound));
+    put_opt_f64_field(&mut out, 5, edge.same_reg_cycles);
+    put_opt_f64_field(&mut out, 6, edge.low_value_cycles);
+    out
+}
+
+fn encode_record(record: &VariantRecord) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_str_field(&mut out, 1, &record.mnemonic);
+    put_str_field(&mut out, 2, &record.variant);
+    put_str_field(&mut out, 3, &record.extension);
+    put_str_field(&mut out, 4, &record.uarch);
+    put_u64_field(&mut out, 5, u64::from(record.uop_count));
+    for (mask, uops) in &record.ports {
+        let mut bundle = Vec::new();
+        put_u64_field(&mut bundle, 1, u64::from(*mask));
+        put_u64_field(&mut bundle, 2, u64::from(*uops));
+        put_msg_field(&mut out, 6, &bundle);
+    }
+    put_u64_field(&mut out, 7, u64::from(record.unattributed));
+    put_f64_field(&mut out, 8, record.tp_measured);
+    put_opt_f64_field(&mut out, 9, record.tp_ports);
+    put_opt_f64_field(&mut out, 10, record.tp_low_values);
+    for edge in &record.latency {
+        put_msg_field(&mut out, 11, &encode_edge(edge));
+    }
+    put_opt_f64_field(&mut out, 12, record.tp_breaking);
+    out
+}
+
+/// Encodes a snapshot to the compact binary format.
+#[must_use]
+pub fn encode(snapshot: &Snapshot) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64 + snapshot.records.len() * 96);
+    out.extend_from_slice(&MAGIC);
+    put_u64_field(&mut out, 1, u64::from(snapshot.schema_version));
+    put_str_field(&mut out, 2, &snapshot.generator);
+    for meta in &snapshot.uarches {
+        put_msg_field(&mut out, 3, &encode_uarch(meta));
+    }
+    for record in &snapshot.records {
+        put_msg_field(&mut out, 4, &encode_record(record));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------------
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn error(&self, message: impl Into<String>) -> DbError {
+        DbError::Decode { offset: self.pos, message: message.into() }
+    }
+
+    fn done(&self) -> bool {
+        self.pos >= self.buf.len()
+    }
+
+    fn varint(&mut self) -> Result<u64, DbError> {
+        let mut value = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let Some(&byte) = self.buf.get(self.pos) else {
+                return Err(self.error("truncated varint"));
+            };
+            self.pos += 1;
+            if shift >= 64 || (shift == 63 && byte & 0x7e != 0) {
+                return Err(self.error("varint overflows 64 bits"));
+            }
+            value |= u64::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(value);
+            }
+            shift += 7;
+        }
+    }
+
+    fn fixed64(&mut self) -> Result<f64, DbError> {
+        let end = self.pos + 8;
+        let Some(bytes) = self.buf.get(self.pos..end) else {
+            return Err(self.error("truncated fixed64"));
+        };
+        self.pos = end;
+        Ok(f64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+    }
+
+    fn bytes(&mut self) -> Result<&'a [u8], DbError> {
+        let len = self.varint()? as usize;
+        let end = self.pos.checked_add(len).ok_or_else(|| self.error("length overflow"))?;
+        let Some(bytes) = self.buf.get(self.pos..end) else {
+            return Err(self.error("truncated length-delimited field"));
+        };
+        self.pos = end;
+        Ok(bytes)
+    }
+
+    fn str(&mut self) -> Result<&'a str, DbError> {
+        let pos = self.pos;
+        std::str::from_utf8(self.bytes()?)
+            .map_err(|_| DbError::Decode { offset: pos, message: "invalid UTF-8".into() })
+    }
+
+    fn tag(&mut self) -> Result<(u32, u8), DbError> {
+        let tag = self.varint()?;
+        let field =
+            u32::try_from(tag >> 3).map_err(|_| self.error("field number overflows 32 bits"))?;
+        Ok((field, (tag & 0x7) as u8))
+    }
+
+    /// Skips a field of the given wire type (forward compatibility).
+    fn skip(&mut self, wire: u8) -> Result<(), DbError> {
+        match wire {
+            WIRE_VARINT => {
+                self.varint()?;
+            }
+            WIRE_FIXED64 => {
+                self.fixed64()?;
+            }
+            WIRE_LEN => {
+                self.bytes()?;
+            }
+            other => return Err(self.error(format!("unknown wire type {other}"))),
+        }
+        Ok(())
+    }
+}
+
+fn expect_wire(reader: &Reader<'_>, wire: u8, expected: u8, what: &str) -> Result<(), DbError> {
+    if wire != expected {
+        return Err(reader.error(format!("wrong wire type {wire} for {what}")));
+    }
+    Ok(())
+}
+
+fn decode_uarch(buf: &[u8], base: usize) -> Result<UarchMeta, DbError> {
+    let mut r = Reader { buf, pos: 0 };
+    let mut meta = UarchMeta::default();
+    while !r.done() {
+        let (field, wire) = r.tag()?;
+        match field {
+            1 => {
+                expect_wire(&r, wire, WIRE_LEN, "uarch.name")?;
+                meta.name = r.str()?.to_string();
+            }
+            2 => {
+                expect_wire(&r, wire, WIRE_LEN, "uarch.processor")?;
+                meta.processor = r.str()?.to_string();
+            }
+            3 => {
+                expect_wire(&r, wire, WIRE_VARINT, "uarch.year")?;
+                meta.year = r.varint()? as u32;
+            }
+            4 => {
+                expect_wire(&r, wire, WIRE_VARINT, "uarch.ports")?;
+                meta.ports = r.varint()? as u8;
+            }
+            5 => {
+                expect_wire(&r, wire, WIRE_VARINT, "uarch.characterized")?;
+                meta.characterized = r.varint()? as u32;
+            }
+            6 => {
+                expect_wire(&r, wire, WIRE_VARINT, "uarch.skipped")?;
+                meta.skipped = r.varint()? as u32;
+            }
+            _ => r.skip(wire).map_err(|e| e.offset_by(base))?,
+        }
+    }
+    Ok(meta)
+}
+
+fn decode_edge(buf: &[u8]) -> Result<LatencyEdge, DbError> {
+    let mut r = Reader { buf, pos: 0 };
+    let mut edge = LatencyEdge::default();
+    while !r.done() {
+        let (field, wire) = r.tag()?;
+        match field {
+            1 => {
+                expect_wire(&r, wire, WIRE_VARINT, "edge.source")?;
+                edge.source = r.varint()? as u32;
+            }
+            2 => {
+                expect_wire(&r, wire, WIRE_VARINT, "edge.target")?;
+                edge.target = r.varint()? as u32;
+            }
+            3 => {
+                expect_wire(&r, wire, WIRE_FIXED64, "edge.cycles")?;
+                edge.cycles = r.fixed64()?;
+            }
+            4 => {
+                expect_wire(&r, wire, WIRE_VARINT, "edge.upper_bound")?;
+                edge.upper_bound = r.varint()? != 0;
+            }
+            5 => {
+                expect_wire(&r, wire, WIRE_FIXED64, "edge.same_reg_cycles")?;
+                edge.same_reg_cycles = Some(r.fixed64()?);
+            }
+            6 => {
+                expect_wire(&r, wire, WIRE_FIXED64, "edge.low_value_cycles")?;
+                edge.low_value_cycles = Some(r.fixed64()?);
+            }
+            _ => r.skip(wire)?,
+        }
+    }
+    Ok(edge)
+}
+
+fn decode_record(buf: &[u8]) -> Result<VariantRecord, DbError> {
+    let mut r = Reader { buf, pos: 0 };
+    let mut record = VariantRecord::default();
+    while !r.done() {
+        let (field, wire) = r.tag()?;
+        match field {
+            1 => {
+                expect_wire(&r, wire, WIRE_LEN, "record.mnemonic")?;
+                record.mnemonic = r.str()?.to_string();
+            }
+            2 => {
+                expect_wire(&r, wire, WIRE_LEN, "record.variant")?;
+                record.variant = r.str()?.to_string();
+            }
+            3 => {
+                expect_wire(&r, wire, WIRE_LEN, "record.extension")?;
+                record.extension = r.str()?.to_string();
+            }
+            4 => {
+                expect_wire(&r, wire, WIRE_LEN, "record.uarch")?;
+                record.uarch = r.str()?.to_string();
+            }
+            5 => {
+                expect_wire(&r, wire, WIRE_VARINT, "record.uop_count")?;
+                record.uop_count = r.varint()? as u32;
+            }
+            6 => {
+                expect_wire(&r, wire, WIRE_LEN, "record.ports")?;
+                let body = r.bytes()?;
+                let mut br = Reader { buf: body, pos: 0 };
+                let (mut mask, mut uops) = (0u16, 0u32);
+                while !br.done() {
+                    let (f, w) = br.tag()?;
+                    match f {
+                        1 => {
+                            expect_wire(&br, w, WIRE_VARINT, "ports.mask")?;
+                            mask = br.varint()? as u16;
+                        }
+                        2 => {
+                            expect_wire(&br, w, WIRE_VARINT, "ports.uops")?;
+                            uops = br.varint()? as u32;
+                        }
+                        _ => br.skip(w)?,
+                    }
+                }
+                record.ports.push((mask, uops));
+            }
+            7 => {
+                expect_wire(&r, wire, WIRE_VARINT, "record.unattributed")?;
+                record.unattributed = r.varint()? as u32;
+            }
+            8 => {
+                expect_wire(&r, wire, WIRE_FIXED64, "record.tp_measured")?;
+                record.tp_measured = r.fixed64()?;
+            }
+            9 => {
+                expect_wire(&r, wire, WIRE_FIXED64, "record.tp_ports")?;
+                record.tp_ports = Some(r.fixed64()?);
+            }
+            10 => {
+                expect_wire(&r, wire, WIRE_FIXED64, "record.tp_low_values")?;
+                record.tp_low_values = Some(r.fixed64()?);
+            }
+            11 => {
+                expect_wire(&r, wire, WIRE_LEN, "record.latency")?;
+                record.latency.push(decode_edge(r.bytes()?)?);
+            }
+            12 => {
+                expect_wire(&r, wire, WIRE_FIXED64, "record.tp_breaking")?;
+                record.tp_breaking = Some(r.fixed64()?);
+            }
+            _ => r.skip(wire)?,
+        }
+    }
+    Ok(record)
+}
+
+/// Decodes a binary snapshot.
+///
+/// # Errors
+///
+/// Returns [`DbError::Decode`] on malformed input and
+/// [`DbError::UnsupportedSchema`] for snapshots written under a newer
+/// *breaking* schema version. Unknown *fields* are skipped, not rejected;
+/// only structural corruption (bad magic, truncated values, wire-type
+/// mismatches on known fields) fails.
+pub fn decode(bytes: &[u8]) -> Result<Snapshot, DbError> {
+    if bytes.len() < MAGIC.len() || bytes[..MAGIC.len()] != MAGIC {
+        return Err(DbError::Decode { offset: 0, message: "bad magic (not a snapshot)".into() });
+    }
+    let mut r = Reader { buf: &bytes[MAGIC.len()..], pos: 0 };
+    let mut snapshot = Snapshot::default();
+    while !r.done() {
+        let (field, wire) = r.tag()?;
+        match field {
+            1 => {
+                expect_wire(&r, wire, WIRE_VARINT, "snapshot.schema_version")?;
+                snapshot.schema_version = r.varint()? as u32;
+            }
+            2 => {
+                expect_wire(&r, wire, WIRE_LEN, "snapshot.generator")?;
+                snapshot.generator = r.str()?.to_string();
+            }
+            3 => {
+                expect_wire(&r, wire, WIRE_LEN, "snapshot.uarch")?;
+                let pos = r.pos;
+                snapshot.uarches.push(decode_uarch(r.bytes()?, pos)?);
+            }
+            4 => {
+                expect_wire(&r, wire, WIRE_LEN, "snapshot.record")?;
+                snapshot.records.push(decode_record(r.bytes()?)?);
+            }
+            _ => r.skip(wire)?,
+        }
+    }
+    if snapshot.schema_version > crate::snapshot::SCHEMA_VERSION {
+        return Err(DbError::UnsupportedSchema {
+            found: snapshot.schema_version,
+            supported: crate::snapshot::SCHEMA_VERSION,
+        });
+    }
+    Ok(snapshot)
+}
+
+impl DbError {
+    fn offset_by(self, base: usize) -> DbError {
+        match self {
+            DbError::Decode { offset, message } => {
+                DbError::Decode { offset: offset + base, message }
+            }
+            other => other,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Snapshot {
+        let mut s = Snapshot::new("uops-info test");
+        s.uarches.push(UarchMeta {
+            name: "Skylake".into(),
+            processor: "Core i7-6500U".into(),
+            year: 2015,
+            ports: 8,
+            characterized: 2,
+            skipped: 1,
+        });
+        s.records.push(VariantRecord {
+            mnemonic: "ADD".into(),
+            variant: "R64, R64".into(),
+            extension: "BASE".into(),
+            uarch: "Skylake".into(),
+            uop_count: 1,
+            ports: vec![(0b0110_0011, 1)],
+            unattributed: 0,
+            tp_measured: 0.25,
+            tp_ports: Some(0.25),
+            tp_low_values: None,
+            tp_breaking: Some(0.3),
+            latency: vec![LatencyEdge {
+                source: 0,
+                target: 1,
+                cycles: 1.0,
+                upper_bound: false,
+                same_reg_cycles: None,
+                low_value_cycles: Some(0.0),
+            }],
+        });
+        s
+    }
+
+    #[test]
+    fn roundtrip_is_lossless_and_canonical() {
+        let snapshot = sample();
+        let bytes = encode(&snapshot);
+        let decoded = decode(&bytes).expect("decode");
+        assert_eq!(decoded, snapshot);
+        assert_eq!(encode(&decoded), bytes, "re-encode must be byte-identical");
+    }
+
+    #[test]
+    fn present_zero_optionals_survive() {
+        let mut s = sample();
+        s.records[0].tp_ports = Some(0.0);
+        let decoded = decode(&encode(&s)).expect("decode");
+        assert_eq!(decoded.records[0].tp_ports, Some(0.0));
+        assert_eq!(decoded.records[0].tp_low_values, None);
+    }
+
+    #[test]
+    fn unknown_fields_are_skipped() {
+        let snapshot = sample();
+        let mut bytes = encode(&snapshot);
+        // Append three unknown top-level fields: varint #90, fixed64 #91,
+        // length-delimited #92 — as a future producer might.
+        put_u64_field(&mut bytes, 90, 7);
+        put_f64_field(&mut bytes, 91, 1.5);
+        put_str_field(&mut bytes, 92, "future");
+        let decoded = decode(&bytes).expect("unknown fields must be skipped");
+        assert_eq!(decoded, snapshot);
+    }
+
+    #[test]
+    fn corruption_is_rejected() {
+        assert!(decode(b"nope").is_err());
+        let mut bytes = encode(&sample());
+        bytes.truncate(bytes.len() - 3);
+        assert!(decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn overlong_varints_are_rejected() {
+        // Ten continuation bytes put the final payload past bit 63.
+        let mut bytes = MAGIC.to_vec();
+        bytes.push(0x08); // field 1 (schema_version), wire type varint
+        bytes.extend_from_slice(&[0x80; 9]);
+        bytes.push(0x7f);
+        match decode(&bytes) {
+            Err(DbError::Decode { message, .. }) => assert!(message.contains("varint")),
+            other => panic!("expected varint overflow error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn newer_breaking_schema_is_rejected() {
+        let mut snapshot = sample();
+        snapshot.schema_version = crate::snapshot::SCHEMA_VERSION + 1;
+        let bytes = encode(&snapshot);
+        assert_eq!(
+            decode(&bytes),
+            Err(DbError::UnsupportedSchema {
+                found: crate::snapshot::SCHEMA_VERSION + 1,
+                supported: crate::snapshot::SCHEMA_VERSION,
+            })
+        );
+    }
+}

@@ -1,0 +1,457 @@
+//! The in-memory, indexed instruction database.
+//!
+//! [`InstructionDb`] ingests [`Snapshot`]s into an interned, column-friendly
+//! representation and maintains secondary indexes over mnemonic, ISA
+//! extension, microarchitecture, and (microarchitecture, port) so that the
+//! common lookups — "all AVX2 variants on Skylake", "which instructions use
+//! port 5 on Haswell" — touch only the matching records instead of scanning.
+//! All strings are interned ([`crate::intern`]), so steady-state lookups and
+//! query evaluation are allocation-free.
+
+use std::collections::hash_map::Entry;
+use std::collections::{BTreeMap, HashMap};
+
+use crate::intern::{Interner, Sym};
+use crate::snapshot::{ports_to_notation, LatencyEdge, Snapshot, UarchMeta, VariantRecord};
+
+/// The interned, query-optimized form of a [`VariantRecord`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DbRecord {
+    /// Interned mnemonic.
+    pub mnemonic: Sym,
+    /// Interned variant string.
+    pub variant: Sym,
+    /// Interned ISA extension.
+    pub extension: Sym,
+    /// Interned microarchitecture name.
+    pub uarch: Sym,
+    /// Number of µops.
+    pub uop_count: u32,
+    /// `(port mask, µops)` pairs, sorted by mask.
+    pub ports: Vec<(u16, u32)>,
+    /// Union of all port masks (precomputed for port-index queries).
+    pub port_union: u16,
+    /// µops not attributed to any port combination.
+    pub unattributed: u32,
+    /// Measured throughput.
+    pub tp_measured: f64,
+    /// Throughput computed from the port usage.
+    pub tp_ports: Option<f64>,
+    /// Measured throughput with low-latency divider values.
+    pub tp_low_values: Option<f64>,
+    /// Measured throughput with dependency-breaking instructions inserted.
+    pub tp_breaking: Option<f64>,
+    /// Maximum latency over operand pairs (precomputed).
+    pub max_latency: Option<f64>,
+    /// Full per-operand-pair latency edges.
+    pub latency: Vec<LatencyEdge>,
+}
+
+/// A borrowed view of one record with its strings resolved.
+#[derive(Debug, Clone, Copy)]
+pub struct RecordView<'db> {
+    db: &'db InstructionDb,
+    /// Index of the record within the database.
+    pub id: u32,
+}
+
+impl<'db> RecordView<'db> {
+    /// The raw interned record.
+    #[must_use]
+    pub fn record(&self) -> &'db DbRecord {
+        &self.db.records[self.id as usize]
+    }
+
+    /// The mnemonic.
+    #[must_use]
+    pub fn mnemonic(&self) -> &'db str {
+        self.db.interner.resolve(self.record().mnemonic)
+    }
+
+    /// The variant string.
+    #[must_use]
+    pub fn variant(&self) -> &'db str {
+        self.db.interner.resolve(self.record().variant)
+    }
+
+    /// The ISA extension.
+    #[must_use]
+    pub fn extension(&self) -> &'db str {
+        self.db.interner.resolve(self.record().extension)
+    }
+
+    /// The microarchitecture name.
+    #[must_use]
+    pub fn uarch(&self) -> &'db str {
+        self.db.interner.resolve(self.record().uarch)
+    }
+
+    /// The port usage in the paper's notation (allocates the string).
+    #[must_use]
+    pub fn ports_notation(&self) -> String {
+        let r = self.record();
+        ports_to_notation(&r.ports, r.unattributed)
+    }
+}
+
+/// The in-memory instruction-characterization database.
+#[derive(Debug, Default, Clone)]
+pub struct InstructionDb {
+    interner: Interner,
+    records: Vec<DbRecord>,
+    uarch_meta: Vec<UarchMeta>,
+    generator: String,
+    schema_version: u32,
+    by_mnemonic: HashMap<Sym, Vec<u32>>,
+    by_extension: HashMap<Sym, Vec<u32>>,
+    by_uarch: HashMap<Sym, Vec<u32>>,
+    by_uarch_port: HashMap<(Sym, u8), Vec<u32>>,
+    by_key: HashMap<(Sym, Sym, Sym), u32>,
+    /// Mnemonic string → symbol, ordered — supports prefix queries.
+    mnemonic_order: BTreeMap<String, Sym>,
+}
+
+impl InstructionDb {
+    /// Creates an empty database.
+    #[must_use]
+    pub fn new() -> InstructionDb {
+        InstructionDb::default()
+    }
+
+    /// Builds a database from one snapshot.
+    #[must_use]
+    pub fn from_snapshot(snapshot: &Snapshot) -> InstructionDb {
+        let mut db = InstructionDb::new();
+        db.ingest(snapshot);
+        db
+    }
+
+    /// Ingests all records of `snapshot`. Records with a (mnemonic, variant,
+    /// uarch) key that is already present replace the existing record.
+    pub fn ingest(&mut self, snapshot: &Snapshot) {
+        if self.records.is_empty() {
+            self.generator = snapshot.generator.clone();
+            self.schema_version = snapshot.schema_version;
+        }
+        for meta in &snapshot.uarches {
+            match self.uarch_meta.iter_mut().find(|m| m.name == meta.name) {
+                Some(existing) => *existing = meta.clone(),
+                None => self.uarch_meta.push(meta.clone()),
+            }
+        }
+        for record in &snapshot.records {
+            self.insert(record);
+        }
+    }
+
+    /// Inserts (or replaces) a single record.
+    pub fn insert(&mut self, record: &VariantRecord) {
+        let mnemonic = self.interner.intern(&record.mnemonic);
+        let variant = self.interner.intern(&record.variant);
+        let extension = self.interner.intern(&record.extension);
+        let uarch = self.interner.intern(&record.uarch);
+        let db_record = DbRecord {
+            mnemonic,
+            variant,
+            extension,
+            uarch,
+            uop_count: record.uop_count,
+            ports: record.ports.clone(),
+            port_union: record.port_mask_union(),
+            unattributed: record.unattributed,
+            tp_measured: record.tp_measured,
+            tp_ports: record.tp_ports,
+            tp_low_values: record.tp_low_values,
+            tp_breaking: record.tp_breaking,
+            max_latency: record.max_latency(),
+            latency: record.latency.clone(),
+        };
+        match self.by_key.entry((mnemonic, variant, uarch)) {
+            Entry::Occupied(slot) => {
+                // Replacement: the mnemonic/variant/uarch indexes are keyed
+                // on the unchanged key columns, but extension and port
+                // membership are payload and may differ.
+                let id = *slot.get();
+                let old_extension = self.records[id as usize].extension;
+                if old_extension != extension {
+                    if let Some(ids) = self.by_extension.get_mut(&old_extension) {
+                        ids.retain(|&i| i != id);
+                    }
+                    self.by_extension.entry(extension).or_default().push(id);
+                }
+                let old_union = self.records[id as usize].port_union;
+                let new_union = db_record.port_union;
+                if old_union != new_union {
+                    for port in 0..16u8 {
+                        let bit = 1u16 << port;
+                        let was = old_union & bit != 0;
+                        let is = new_union & bit != 0;
+                        if was && !is {
+                            if let Some(ids) = self.by_uarch_port.get_mut(&(uarch, port)) {
+                                ids.retain(|&i| i != id);
+                            }
+                        } else if is && !was {
+                            self.by_uarch_port.entry((uarch, port)).or_default().push(id);
+                        }
+                    }
+                }
+                self.records[id as usize] = db_record;
+            }
+            Entry::Vacant(slot) => {
+                let id = u32::try_from(self.records.len()).expect("fewer than 2^32 records");
+                slot.insert(id);
+                self.by_mnemonic.entry(mnemonic).or_default().push(id);
+                self.by_extension.entry(extension).or_default().push(id);
+                self.by_uarch.entry(uarch).or_default().push(id);
+                for port in 0..16u8 {
+                    if db_record.port_union & (1 << port) != 0 {
+                        self.by_uarch_port.entry((uarch, port)).or_default().push(id);
+                    }
+                }
+                self.mnemonic_order.entry(record.mnemonic.clone()).or_insert(mnemonic);
+                self.records.push(db_record);
+            }
+        }
+    }
+
+    /// Number of records.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Returns `true` if the database holds no records.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Resolves an interned symbol.
+    #[must_use]
+    pub fn resolve(&self, sym: Sym) -> &str {
+        self.interner.resolve(sym)
+    }
+
+    /// Looks up the symbol for `s` without interning it (`None` if the
+    /// string never occurs in the database). Allocation-free.
+    #[must_use]
+    pub fn intern_lookup(&self, s: &str) -> Option<Sym> {
+        self.interner.get(s)
+    }
+
+    /// The view for a record id.
+    #[must_use]
+    pub fn view(&self, id: u32) -> RecordView<'_> {
+        RecordView { db: self, id }
+    }
+
+    /// All records, in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = RecordView<'_>> + '_ {
+        (0..self.records.len() as u32).map(|id| self.view(id))
+    }
+
+    /// Raw access to a record by id.
+    #[must_use]
+    pub fn record(&self, id: u32) -> &DbRecord {
+        &self.records[id as usize]
+    }
+
+    /// Point lookup by (mnemonic, variant, microarchitecture). O(1),
+    /// allocation-free.
+    #[must_use]
+    pub fn find(&self, mnemonic: &str, variant: &str, uarch: &str) -> Option<RecordView<'_>> {
+        let key =
+            (self.interner.get(mnemonic)?, self.interner.get(variant)?, self.interner.get(uarch)?);
+        self.by_key.get(&key).map(|&id| self.view(id))
+    }
+
+    /// Record ids for a mnemonic (index lookup; empty if unknown).
+    #[must_use]
+    pub fn ids_by_mnemonic(&self, mnemonic: &str) -> &[u32] {
+        self.interner
+            .get(mnemonic)
+            .and_then(|sym| self.by_mnemonic.get(&sym))
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// Record ids for an ISA extension (index lookup; empty if unknown).
+    #[must_use]
+    pub fn ids_by_extension(&self, extension: &str) -> &[u32] {
+        self.interner
+            .get(extension)
+            .and_then(|sym| self.by_extension.get(&sym))
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// Record ids for a microarchitecture (index lookup; empty if unknown).
+    #[must_use]
+    pub fn ids_by_uarch(&self, uarch: &str) -> &[u32] {
+        self.interner.get(uarch).and_then(|sym| self.by_uarch.get(&sym)).map_or(&[], Vec::as_slice)
+    }
+
+    /// Record ids of instructions that may use `port` on `uarch` — e.g.
+    /// "which instructions use port 5 on Skylake". Index lookup; empty if
+    /// unknown.
+    #[must_use]
+    pub fn ids_by_port(&self, uarch: &str, port: u8) -> &[u32] {
+        self.interner
+            .get(uarch)
+            .and_then(|sym| self.by_uarch_port.get(&(sym, port)))
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// The mnemonics starting with `prefix`, in lexicographic order.
+    pub fn mnemonics_with_prefix<'db>(
+        &'db self,
+        prefix: &'db str,
+    ) -> impl Iterator<Item = (&'db str, Sym)> + 'db {
+        self.mnemonic_order
+            .range::<str, _>((std::ops::Bound::Included(prefix), std::ops::Bound::Unbounded))
+            .take_while(move |(name, _)| name.starts_with(prefix))
+            .map(|(name, &sym)| (name.as_str(), sym))
+    }
+
+    /// All distinct mnemonics in lexicographic order.
+    pub fn mnemonics(&self) -> impl Iterator<Item = &str> + '_ {
+        self.mnemonic_order.keys().map(String::as_str)
+    }
+
+    /// Metadata of the ingested microarchitectures.
+    #[must_use]
+    pub fn uarches(&self) -> &[UarchMeta] {
+        &self.uarch_meta
+    }
+
+    /// Exports the database back into a canonical snapshot (records sorted
+    /// by mnemonic, variant, uarch).
+    #[must_use]
+    pub fn to_snapshot(&self) -> Snapshot {
+        let mut snapshot = Snapshot::new(self.generator.clone());
+        if self.schema_version != 0 {
+            snapshot.schema_version = self.schema_version;
+        }
+        snapshot.uarches = self.uarch_meta.clone();
+        snapshot.records = self
+            .iter()
+            .map(|v| {
+                let r = v.record();
+                VariantRecord {
+                    mnemonic: v.mnemonic().to_string(),
+                    variant: v.variant().to_string(),
+                    extension: v.extension().to_string(),
+                    uarch: v.uarch().to_string(),
+                    uop_count: r.uop_count,
+                    ports: r.ports.clone(),
+                    unattributed: r.unattributed,
+                    tp_measured: r.tp_measured,
+                    tp_ports: r.tp_ports,
+                    tp_low_values: r.tp_low_values,
+                    tp_breaking: r.tp_breaking,
+                    latency: r.latency.clone(),
+                }
+            })
+            .collect();
+        snapshot.canonicalize();
+        snapshot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::Query;
+
+    fn record(
+        mnemonic: &str,
+        variant: &str,
+        extension: &str,
+        uarch: &str,
+        ports: Vec<(u16, u32)>,
+    ) -> VariantRecord {
+        VariantRecord {
+            mnemonic: mnemonic.into(),
+            variant: variant.into(),
+            extension: extension.into(),
+            uarch: uarch.into(),
+            uop_count: ports.iter().map(|(_, n)| n).sum(),
+            ports,
+            tp_measured: 0.5,
+            ..Default::default()
+        }
+    }
+
+    fn sample_db() -> InstructionDb {
+        let mut s = Snapshot::new("test");
+        s.records.push(record("ADD", "R64, R64", "BASE", "Skylake", vec![(0b0110_0011, 1)]));
+        s.records.push(record("ADD", "R64, R64", "BASE", "Haswell", vec![(0b0110_0011, 1)]));
+        s.records.push(record(
+            "VHADDPD",
+            "XMM, XMM, XMM",
+            "AVX",
+            "Skylake",
+            vec![(0b11, 1), (0b10_0000, 2)],
+        ));
+        s.records.push(record("PADDD", "XMM, XMM", "SSE2", "Skylake", vec![(0b10_0011, 1)]));
+        InstructionDb::from_snapshot(&s)
+    }
+
+    #[test]
+    fn point_lookup_and_indexes() {
+        let db = sample_db();
+        assert_eq!(db.len(), 4);
+        let add = db.find("ADD", "R64, R64", "Skylake").expect("found");
+        assert_eq!(add.mnemonic(), "ADD");
+        assert_eq!(add.ports_notation(), "1*p0156");
+        assert!(db.find("ADD", "R64, R64", "Nehalem").is_none());
+        assert_eq!(db.ids_by_mnemonic("ADD").len(), 2);
+        assert_eq!(db.ids_by_uarch("Skylake").len(), 3);
+        assert_eq!(db.ids_by_extension("AVX").len(), 1);
+        // Port 5 on Skylake: ADD (p0156), VHADDPD (p01+p5), PADDD (p015).
+        assert_eq!(db.ids_by_port("Skylake", 5).len(), 3);
+        // Port 6 on Skylake: only ADD.
+        assert_eq!(db.ids_by_port("Skylake", 6).len(), 1);
+        assert_eq!(db.ids_by_port("Haswell", 6).len(), 1);
+        assert!(db.ids_by_port("Nehalem", 0).is_empty());
+    }
+
+    #[test]
+    fn replacement_updates_port_index() {
+        let mut db = sample_db();
+        // Re-ingest ADD/Skylake with a different port usage (drop port 6).
+        db.insert(&record("ADD", "R64, R64", "BASE", "Skylake", vec![(0b0010_0011, 1)]));
+        assert_eq!(db.len(), 4, "replacement must not grow the db");
+        assert!(db.ids_by_port("Skylake", 6).is_empty());
+        assert_eq!(db.ids_by_port("Skylake", 5).len(), 3);
+    }
+
+    #[test]
+    fn replacement_updates_extension_index() {
+        let mut db = sample_db();
+        // Re-ingest PADDD/Skylake reclassified from SSE2 to SSE4.
+        db.insert(&record("PADDD", "XMM, XMM", "SSE4", "Skylake", vec![(0b10_0011, 1)]));
+        assert_eq!(db.len(), 4);
+        assert!(db.ids_by_extension("SSE2").is_empty());
+        assert_eq!(db.ids_by_extension("SSE4").len(), 1);
+        let r = Query::new().extension("SSE4").run(&db);
+        assert_eq!(r.total_matches, 1);
+        assert_eq!(r.rows[0].mnemonic(), "PADDD");
+    }
+
+    #[test]
+    fn prefix_iteration() {
+        let db = sample_db();
+        let names: Vec<&str> = db.mnemonics_with_prefix("PA").map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["PADDD"]);
+        let all: Vec<&str> = db.mnemonics().collect();
+        assert_eq!(all, vec!["ADD", "PADDD", "VHADDPD"]);
+    }
+
+    #[test]
+    fn snapshot_export_roundtrips_through_db() {
+        let db = sample_db();
+        let snapshot = db.to_snapshot();
+        let db2 = InstructionDb::from_snapshot(&snapshot);
+        assert_eq!(db2.len(), db.len());
+        assert_eq!(db2.to_snapshot(), snapshot);
+    }
+}

@@ -1,0 +1,63 @@
+//! Error type of the database crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while decoding snapshots or querying the database.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DbError {
+    /// The binary snapshot stream is malformed.
+    Decode {
+        /// Byte offset (relative to the containing message) of the failure.
+        offset: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// The JSON snapshot document is malformed.
+    Json {
+        /// Byte offset of the failure.
+        offset: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// The snapshot was written under a newer, breaking schema version.
+    /// (Additive changes never bump the version — decoders skip unknown
+    /// fields — so a higher version means the layout itself changed.)
+    UnsupportedSchema {
+        /// The version found in the snapshot.
+        found: u32,
+        /// The highest version this library understands.
+        supported: u32,
+    },
+    /// A query referenced a microarchitecture the database has no records
+    /// for.
+    UnknownUarch {
+        /// The requested name.
+        name: String,
+    },
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::Decode { offset, message } => {
+                write!(f, "binary snapshot decode error at byte {offset}: {message}")
+            }
+            DbError::Json { offset, message } => {
+                write!(f, "JSON snapshot parse error at byte {offset}: {message}")
+            }
+            DbError::UnsupportedSchema { found, supported } => {
+                write!(
+                    f,
+                    "snapshot schema version {found} is newer than the supported version \
+                     {supported}; upgrade this library to read it"
+                )
+            }
+            DbError::UnknownUarch { name } => {
+                write!(f, "no records for microarchitecture {name:?}")
+            }
+        }
+    }
+}
+
+impl Error for DbError {}

@@ -1,0 +1,596 @@
+//! The JSON snapshot encoding.
+//!
+//! The JSON form carries exactly the same information as the binary form
+//! (see [`crate::codec`]) in a human- and tool-friendly document. The writer
+//! is deterministic (fixed key order, shortest round-trip float formatting),
+//! and the parser skips unknown object keys, so — like the binary format —
+//! `to_json(from_json(text)) == text` for documents this module produced,
+//! and documents written by newer producers with additional fields still
+//! parse.
+
+use std::fmt::Write as _;
+
+use crate::error::DbError;
+use crate::snapshot::{notation_to_ports, LatencyEdge, Snapshot, UarchMeta, VariantRecord};
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn fmt_f64(v: f64) -> String {
+    // Rust's `Display` for f64 prints the shortest string that parses back
+    // to the same value and never uses exponent notation, so it is both
+    // JSON-valid and round-trip exact. Non-finite values cannot appear in
+    // measurements; map them to 0 defensively.
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+fn write_edge(out: &mut String, edge: &LatencyEdge) {
+    let _ = write!(
+        out,
+        "{{\"source\": {}, \"target\": {}, \"cycles\": {}",
+        edge.source,
+        edge.target,
+        fmt_f64(edge.cycles)
+    );
+    if edge.upper_bound {
+        out.push_str(", \"upper_bound\": true");
+    }
+    if let Some(v) = edge.same_reg_cycles {
+        let _ = write!(out, ", \"same_reg_cycles\": {}", fmt_f64(v));
+    }
+    if let Some(v) = edge.low_value_cycles {
+        let _ = write!(out, ", \"low_value_cycles\": {}", fmt_f64(v));
+    }
+    out.push('}');
+}
+
+/// Serializes a snapshot to the canonical JSON document.
+#[must_use]
+pub fn to_json(snapshot: &Snapshot) -> String {
+    let mut out = String::with_capacity(128 + snapshot.records.len() * 160);
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema_version\": {},", snapshot.schema_version);
+    out.push_str("  \"generator\": ");
+    escape_into(&mut out, &snapshot.generator);
+    out.push_str(",\n  \"uarches\": [");
+    for (i, meta) in snapshot.uarches.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str("    {\"architecture\": ");
+        escape_into(&mut out, &meta.name);
+        out.push_str(", \"processor\": ");
+        escape_into(&mut out, &meta.processor);
+        let _ = write!(
+            out,
+            ", \"year\": {}, \"ports\": {}, \"characterized\": {}, \"skipped\": {}}}",
+            meta.year, meta.ports, meta.characterized, meta.skipped
+        );
+    }
+    out.push_str(if snapshot.uarches.is_empty() { "],\n" } else { "\n  ],\n" });
+    out.push_str("  \"records\": [");
+    for (i, record) in snapshot.records.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str("    {\"mnemonic\": ");
+        escape_into(&mut out, &record.mnemonic);
+        out.push_str(", \"variant\": ");
+        escape_into(&mut out, &record.variant);
+        out.push_str(", \"extension\": ");
+        escape_into(&mut out, &record.extension);
+        out.push_str(", \"architecture\": ");
+        escape_into(&mut out, &record.uarch);
+        let _ = write!(out, ", \"uops\": {}, \"ports\": ", record.uop_count);
+        escape_into(&mut out, &record.ports_notation());
+        let _ = write!(out, ", \"tp_measured\": {}", fmt_f64(record.tp_measured));
+        if let Some(v) = record.tp_ports {
+            let _ = write!(out, ", \"tp_ports\": {}", fmt_f64(v));
+        }
+        if let Some(v) = record.tp_low_values {
+            let _ = write!(out, ", \"tp_low_values\": {}", fmt_f64(v));
+        }
+        if let Some(v) = record.tp_breaking {
+            let _ = write!(out, ", \"tp_breaking\": {}", fmt_f64(v));
+        }
+        out.push_str(", \"latency_pairs\": [");
+        for (j, edge) in record.latency.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            write_edge(&mut out, edge);
+        }
+        out.push_str("]}");
+    }
+    out.push_str(if snapshot.records.is_empty() { "]\n" } else { "\n  ]\n" });
+    out.push_str("}\n");
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, message: impl Into<String>) -> DbError {
+        DbError::Json { offset: self.pos, message: message.into() }
+    }
+
+    fn ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, ch: u8) -> Result<(), DbError> {
+        if self.peek() == Some(ch) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {:?}", ch as char)))
+        }
+    }
+
+    fn consume(&mut self, ch: u8) -> bool {
+        if self.peek() == Some(ch) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, DbError> {
+        let hex = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .and_then(|h| std::str::from_utf8(h).ok())
+            .and_then(|h| u32::from_str_radix(h, 16).ok())
+            .ok_or_else(|| self.error("bad \\u escape"))?;
+        self.pos += 4;
+        Ok(hex)
+    }
+
+    fn string(&mut self) -> Result<String, DbError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(&b) = self.bytes.get(self.pos) else {
+                return Err(self.error("unterminated string"));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(&esc) = self.bytes.get(self.pos) else {
+                        return Err(self.error("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self.hex4()?;
+                            let code = if (0xd800..0xdc00).contains(&hex) {
+                                // High surrogate: a standard serializer
+                                // escapes non-BMP characters as a
+                                // \uXXXX\uXXXX surrogate pair.
+                                if self.bytes.get(self.pos..self.pos + 2) != Some(b"\\u") {
+                                    return Err(self.error("unpaired high surrogate"));
+                                }
+                                self.pos += 2;
+                                let low = self.hex4()?;
+                                if !(0xdc00..0xe000).contains(&low) {
+                                    return Err(self.error("invalid low surrogate"));
+                                }
+                                0x10000 + ((hex - 0xd800) << 10) + (low - 0xdc00)
+                            } else {
+                                hex
+                            };
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.error("bad \\u code point"))?,
+                            );
+                        }
+                        other => return Err(self.error(format!("bad escape \\{}", other as char))),
+                    }
+                }
+                b => {
+                    // Re-assemble multi-byte UTF-8 sequences.
+                    let len = match b {
+                        0x00..=0x7f => 1,
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        0xf0..=0xf7 => 4,
+                        _ => return Err(self.error("invalid UTF-8 in string")),
+                    };
+                    let start = self.pos - 1;
+                    let end = start + len;
+                    let chunk = self
+                        .bytes
+                        .get(start..end)
+                        .and_then(|c| std::str::from_utf8(c).ok())
+                        .ok_or_else(|| self.error("invalid UTF-8 in string"))?;
+                    out.push_str(chunk);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn number_token(&mut self) -> Result<&'a str, DbError> {
+        self.ws();
+        let start = self.pos;
+        while matches!(
+            self.bytes.get(self.pos),
+            Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+        ) {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(self.error("expected number"));
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|_| self.error("invalid number"))
+    }
+
+    fn f64(&mut self) -> Result<f64, DbError> {
+        let token = self.number_token()?;
+        token.parse().map_err(|_| self.error(format!("bad number {token:?}")))
+    }
+
+    fn u32(&mut self) -> Result<u32, DbError> {
+        let token = self.number_token()?;
+        token.parse().map_err(|_| self.error(format!("bad integer {token:?}")))
+    }
+
+    fn bool(&mut self) -> Result<bool, DbError> {
+        self.ws();
+        if self.bytes[self.pos..].starts_with(b"true") {
+            self.pos += 4;
+            Ok(true)
+        } else if self.bytes[self.pos..].starts_with(b"false") {
+            self.pos += 5;
+            Ok(false)
+        } else {
+            Err(self.error("expected boolean"))
+        }
+    }
+
+    /// Skips any JSON value (forward compatibility for unknown keys).
+    fn skip_value(&mut self) -> Result<(), DbError> {
+        match self.peek() {
+            Some(b'"') => {
+                self.string()?;
+            }
+            Some(b'{') => {
+                self.expect(b'{')?;
+                if !self.consume(b'}') {
+                    loop {
+                        self.string()?;
+                        self.expect(b':')?;
+                        self.skip_value()?;
+                        if !self.consume(b',') {
+                            break;
+                        }
+                    }
+                    self.expect(b'}')?;
+                }
+            }
+            Some(b'[') => {
+                self.expect(b'[')?;
+                if !self.consume(b']') {
+                    loop {
+                        self.skip_value()?;
+                        if !self.consume(b',') {
+                            break;
+                        }
+                    }
+                    self.expect(b']')?;
+                }
+            }
+            Some(b't' | b'f') => {
+                self.bool()?;
+            }
+            Some(b'n') => {
+                if self.bytes[self.pos..].starts_with(b"null") {
+                    self.pos += 4;
+                } else {
+                    return Err(self.error("expected null"));
+                }
+            }
+            Some(_) => {
+                self.number_token()?;
+            }
+            None => return Err(self.error("unexpected end of input")),
+        }
+        Ok(())
+    }
+
+    /// Parses `{ "key": value, ... }`, dispatching each key to `field`.
+    /// Unknown keys must be skipped by the callback via `skip_value`.
+    fn object(
+        &mut self,
+        mut field: impl FnMut(&mut Self, &str) -> Result<(), DbError>,
+    ) -> Result<(), DbError> {
+        self.expect(b'{')?;
+        if self.consume(b'}') {
+            return Ok(());
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            field(self, &key)?;
+            if !self.consume(b',') {
+                break;
+            }
+        }
+        self.expect(b'}')
+    }
+
+    /// Parses `[ value, ... ]`, calling `element` for each entry.
+    fn array(
+        &mut self,
+        mut element: impl FnMut(&mut Self) -> Result<(), DbError>,
+    ) -> Result<(), DbError> {
+        self.expect(b'[')?;
+        if self.consume(b']') {
+            return Ok(());
+        }
+        loop {
+            element(self)?;
+            if !self.consume(b',') {
+                break;
+            }
+        }
+        self.expect(b']')
+    }
+}
+
+fn parse_edge(p: &mut Parser<'_>) -> Result<LatencyEdge, DbError> {
+    let mut edge = LatencyEdge::default();
+    p.object(|p, key| {
+        match key {
+            "source" => edge.source = p.u32()?,
+            "target" => edge.target = p.u32()?,
+            "cycles" => edge.cycles = p.f64()?,
+            "upper_bound" => edge.upper_bound = p.bool()?,
+            "same_reg_cycles" => edge.same_reg_cycles = Some(p.f64()?),
+            "low_value_cycles" => edge.low_value_cycles = Some(p.f64()?),
+            _ => p.skip_value()?,
+        }
+        Ok(())
+    })?;
+    Ok(edge)
+}
+
+fn parse_record(p: &mut Parser<'_>) -> Result<VariantRecord, DbError> {
+    let mut record = VariantRecord::default();
+    p.object(|p, key| {
+        match key {
+            "mnemonic" => record.mnemonic = p.string()?,
+            "variant" => record.variant = p.string()?,
+            "extension" => record.extension = p.string()?,
+            "architecture" => record.uarch = p.string()?,
+            "uops" => record.uop_count = p.u32()?,
+            "ports" => {
+                let notation = p.string()?;
+                let (ports, unattributed) = notation_to_ports(&notation)
+                    .ok_or_else(|| p.error(format!("bad port notation {notation:?}")))?;
+                record.ports = ports;
+                record.unattributed = unattributed;
+            }
+            "tp_measured" => record.tp_measured = p.f64()?,
+            "tp_ports" => record.tp_ports = Some(p.f64()?),
+            "tp_low_values" => record.tp_low_values = Some(p.f64()?),
+            "tp_breaking" => record.tp_breaking = Some(p.f64()?),
+            "latency_pairs" => {
+                p.array(|p| {
+                    record.latency.push(parse_edge(p)?);
+                    Ok(())
+                })?;
+            }
+            _ => p.skip_value()?,
+        }
+        Ok(())
+    })?;
+    Ok(record)
+}
+
+fn parse_uarch(p: &mut Parser<'_>) -> Result<UarchMeta, DbError> {
+    let mut meta = UarchMeta::default();
+    p.object(|p, key| {
+        match key {
+            "architecture" => meta.name = p.string()?,
+            "processor" => meta.processor = p.string()?,
+            "year" => meta.year = p.u32()?,
+            "ports" => meta.ports = p.u32()? as u8,
+            "characterized" => meta.characterized = p.u32()?,
+            "skipped" => meta.skipped = p.u32()?,
+            _ => p.skip_value()?,
+        }
+        Ok(())
+    })?;
+    Ok(meta)
+}
+
+/// Parses the canonical JSON snapshot document.
+///
+/// # Errors
+///
+/// Returns [`DbError::Json`] on malformed documents and
+/// [`DbError::UnsupportedSchema`] for documents written under a newer
+/// *breaking* schema version. Unknown object keys are skipped, not rejected.
+pub fn from_json(text: &str) -> Result<Snapshot, DbError> {
+    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    let mut snapshot = Snapshot::default();
+    p.object(|p, key| {
+        match key {
+            "schema_version" => snapshot.schema_version = p.u32()?,
+            "generator" => snapshot.generator = p.string()?,
+            "uarches" => {
+                p.array(|p| {
+                    snapshot.uarches.push(parse_uarch(p)?);
+                    Ok(())
+                })?;
+            }
+            "records" => {
+                p.array(|p| {
+                    snapshot.records.push(parse_record(p)?);
+                    Ok(())
+                })?;
+            }
+            _ => p.skip_value()?,
+        }
+        Ok(())
+    })?;
+    p.ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.error("trailing data after document"));
+    }
+    if snapshot.schema_version > crate::snapshot::SCHEMA_VERSION {
+        return Err(DbError::UnsupportedSchema {
+            found: snapshot.schema_version,
+            supported: crate::snapshot::SCHEMA_VERSION,
+        });
+    }
+    Ok(snapshot)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Snapshot {
+        let mut s = Snapshot::new("uops-info \"json\" test");
+        s.uarches.push(UarchMeta {
+            name: "Haswell".into(),
+            processor: "Xeon E3-1225 v3".into(),
+            year: 2013,
+            ports: 8,
+            characterized: 1,
+            skipped: 0,
+        });
+        s.records.push(VariantRecord {
+            mnemonic: "SHLD".into(),
+            variant: "R64, R64, I8".into(),
+            extension: "BASE".into(),
+            uarch: "Haswell".into(),
+            uop_count: 1,
+            ports: vec![(0b0000_0010, 1)],
+            unattributed: 0,
+            tp_measured: 1.0,
+            tp_ports: Some(1.0),
+            tp_low_values: None,
+            tp_breaking: None,
+            latency: vec![LatencyEdge {
+                source: 1,
+                target: 0,
+                cycles: 3.0,
+                upper_bound: true,
+                same_reg_cycles: Some(1.5),
+                low_value_cycles: None,
+            }],
+        });
+        s
+    }
+
+    #[test]
+    fn roundtrip_is_lossless_and_byte_identical() {
+        let snapshot = sample();
+        let text = to_json(&snapshot);
+        let parsed = from_json(&text).expect("parse");
+        assert_eq!(parsed, snapshot);
+        assert_eq!(to_json(&parsed), text);
+    }
+
+    #[test]
+    fn unknown_keys_are_skipped() {
+        let text = r#"{
+            "schema_version": 1,
+            "future_flag": true,
+            "future_obj": {"nested": [1, 2, {"x": null}]},
+            "generator": "g",
+            "uarches": [{"architecture": "Skylake", "future": "y", "year": 2015,
+                         "processor": "p", "ports": 8, "characterized": 0, "skipped": 0}],
+            "records": [{"mnemonic": "ADD", "variant": "R64, R64", "extension": "BASE",
+                         "architecture": "Skylake", "uops": 1, "ports": "1*p0156",
+                         "tp_measured": 0.25, "future_list": [], "latency_pairs": []}]
+        }"#;
+        let parsed = from_json(text).expect("unknown keys must be skipped");
+        assert_eq!(parsed.records.len(), 1);
+        assert_eq!(parsed.records[0].ports, vec![(0b0110_0011, 1)]);
+        assert_eq!(parsed.uarches[0].name, "Skylake");
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected() {
+        assert!(from_json("").is_err());
+        assert!(from_json("{\"records\": [").is_err());
+        assert!(from_json("{} trailing").is_err());
+        assert!(from_json(r#"{"records": [{"ports": "zz"}]}"#).is_err());
+    }
+
+    #[test]
+    fn surrogate_pair_escapes_parse() {
+        // Standard serializers escape non-BMP characters as surrogate pairs.
+        let parsed = from_json(r#"{"generator": "g \ud834\udd1e clef \u00e9"}"#).expect("parse");
+        assert_eq!(parsed.generator, "g \u{1d11e} clef \u{e9}");
+        assert!(from_json(r#"{"generator": "\ud834"}"#).is_err(), "unpaired high surrogate");
+        assert!(from_json(r#"{"generator": "\udd1e"}"#).is_err(), "lone low surrogate");
+        assert!(from_json(r#"{"generator": "\ud834A"}"#).is_err(), "bad low surrogate");
+    }
+
+    #[test]
+    fn newer_breaking_schema_is_rejected() {
+        let err = from_json(r#"{"schema_version": 99}"#).unwrap_err();
+        assert_eq!(
+            err,
+            DbError::UnsupportedSchema { found: 99, supported: crate::snapshot::SCHEMA_VERSION }
+        );
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let mut s = Snapshot::new("tab\there \"quoted\" \\ back\nnewline \u{1}ctl µops");
+        s.records.push(VariantRecord { mnemonic: "Ä".into(), ..Default::default() });
+        let text = to_json(&s);
+        let parsed = from_json(&text).expect("parse");
+        assert_eq!(parsed, s);
+        assert_eq!(to_json(&parsed), text);
+    }
+}

@@ -1,0 +1,77 @@
+//! # uops-db
+//!
+//! The persistence and serving layer of the uops.info reproduction: the
+//! paper's end product is not the measurement algorithms alone but a
+//! *queryable database* of latency, throughput, and port-usage results
+//! across microarchitectures. This crate turns characterization output into
+//! exactly that:
+//!
+//! * a **versioned snapshot format** ([`Snapshot`]) with two lossless,
+//!   forward-compatible encodings — a compact binary stream ([`codec`]) and
+//!   JSON ([`json`]) — so datasets can be written, shipped, merged, and read
+//!   back by newer and older tools alike;
+//! * an **in-memory database** ([`InstructionDb`]) with interned strings and
+//!   secondary indexes by mnemonic, ISA extension, microarchitecture, and
+//!   (microarchitecture, port), keeping millions of lookups allocation-free;
+//! * a **query builder** ([`Query`]) with filters, sorting, and pagination;
+//! * **cross-microarchitecture diffing** ([`diff_uarches`]): which variants
+//!   changed latency, port usage, µop count, or throughput between two
+//!   generations (the paper's §5 findings, e.g. SHLD across generations).
+//!
+//! The crate is deliberately free of dependencies — including the rest of
+//! the workspace — so every layer above it (characterization, serving,
+//! caching) can produce or consume snapshots without pulling in the
+//! measurement stack. `uops-core` provides the `CharacterizationReport` →
+//! [`Snapshot`] ingestion bridge.
+//!
+//! ## Example
+//!
+//! ```rust
+//! use uops_db::{InstructionDb, Query, Snapshot, SortKey, VariantRecord};
+//!
+//! let mut snapshot = Snapshot::new("example");
+//! snapshot.records.push(VariantRecord {
+//!     mnemonic: "ADD".into(),
+//!     variant: "R64, R64".into(),
+//!     extension: "BASE".into(),
+//!     uarch: "Skylake".into(),
+//!     uop_count: 1,
+//!     ports: vec![(0b0110_0011, 1)], // 1*p0156
+//!     tp_measured: 0.25,
+//!     ..Default::default()
+//! });
+//!
+//! // Round-trip through the binary encoding.
+//! let bytes = uops_db::codec::encode(&snapshot);
+//! let restored = uops_db::codec::decode(&bytes).unwrap();
+//! assert_eq!(restored, snapshot);
+//!
+//! // Build the indexed database and query it.
+//! let db = InstructionDb::from_snapshot(&restored);
+//! let hits = Query::new().uarch("Skylake").uses_port(6).run(&db);
+//! assert_eq!(hits.total_matches, 1);
+//! assert_eq!(hits.rows[0].mnemonic(), "ADD");
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod codec;
+pub mod db;
+pub mod diff;
+pub mod error;
+pub mod intern;
+pub mod json;
+pub mod query;
+pub mod snapshot;
+pub mod xml;
+
+pub use db::{DbRecord, InstructionDb, RecordView};
+pub use diff::{diff_uarches, Change, DiffReport, VariantDelta, CYCLE_TOLERANCE};
+pub use error::DbError;
+pub use intern::{Interner, Sym};
+pub use query::{Query, QueryResult, SortKey};
+pub use snapshot::{
+    notation_to_ports, ports_to_notation, LatencyEdge, Snapshot, UarchMeta, VariantRecord,
+    SCHEMA_VERSION,
+};

@@ -1,0 +1,432 @@
+//! The query builder and executor.
+//!
+//! A [`Query`] combines filters (mnemonic prefix or exact match, ISA
+//! extension, microarchitecture, port, µop-count and latency bounds), a sort
+//! order, and pagination. Execution picks the most selective secondary index
+//! available for the filter set and only then applies the residual
+//! predicates, so point-ish queries never scan the whole database.
+
+use crate::db::{DbRecord, InstructionDb, RecordView};
+use crate::intern::Sym;
+
+/// Sort orders for query results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SortKey {
+    /// By mnemonic, then variant, then microarchitecture (the default).
+    #[default]
+    Mnemonic,
+    /// By maximum latency (records without latency data sort first).
+    Latency,
+    /// By measured throughput.
+    Throughput,
+    /// By µop count.
+    UopCount,
+}
+
+/// A composable query over an [`InstructionDb`].
+#[derive(Debug, Clone, Default)]
+pub struct Query {
+    mnemonic: Option<String>,
+    mnemonic_prefix: Option<String>,
+    extension: Option<String>,
+    uarch: Option<String>,
+    port: Option<u8>,
+    min_uops: Option<u32>,
+    max_uops: Option<u32>,
+    min_latency: Option<f64>,
+    max_latency: Option<f64>,
+    sort: SortKey,
+    descending: bool,
+    offset: usize,
+    limit: Option<usize>,
+}
+
+/// The result of running a [`Query`].
+#[derive(Debug)]
+pub struct QueryResult<'db> {
+    /// Number of records matching the filters, before pagination.
+    pub total_matches: usize,
+    /// The requested page of matching records, in sort order.
+    pub rows: Vec<RecordView<'db>>,
+}
+
+impl Query {
+    /// Creates an unconstrained query (matches everything).
+    #[must_use]
+    pub fn new() -> Query {
+        Query::default()
+    }
+
+    /// Filters on an exact mnemonic.
+    #[must_use]
+    pub fn mnemonic(mut self, mnemonic: impl Into<String>) -> Query {
+        self.mnemonic = Some(mnemonic.into());
+        self
+    }
+
+    /// Filters on a mnemonic prefix (e.g. `"V"` for the VEX-encoded part of
+    /// the catalog).
+    #[must_use]
+    pub fn mnemonic_prefix(mut self, prefix: impl Into<String>) -> Query {
+        self.mnemonic_prefix = Some(prefix.into());
+        self
+    }
+
+    /// Filters on an ISA extension, e.g. `"AVX2"`.
+    #[must_use]
+    pub fn extension(mut self, extension: impl Into<String>) -> Query {
+        self.extension = Some(extension.into());
+        self
+    }
+
+    /// Filters on a microarchitecture, e.g. `"Skylake"`.
+    #[must_use]
+    pub fn uarch(mut self, uarch: impl Into<String>) -> Query {
+        self.uarch = Some(uarch.into());
+        self
+    }
+
+    /// Keeps only instructions that may execute a µop on `port`.
+    #[must_use]
+    pub fn uses_port(mut self, port: u8) -> Query {
+        self.port = Some(port);
+        self
+    }
+
+    /// Keeps only records with at least `n` µops.
+    #[must_use]
+    pub fn min_uops(mut self, n: u32) -> Query {
+        self.min_uops = Some(n);
+        self
+    }
+
+    /// Keeps only records with at most `n` µops.
+    #[must_use]
+    pub fn max_uops(mut self, n: u32) -> Query {
+        self.max_uops = Some(n);
+        self
+    }
+
+    /// Keeps only records whose maximum latency is at least `cycles`.
+    #[must_use]
+    pub fn min_latency(mut self, cycles: f64) -> Query {
+        self.min_latency = Some(cycles);
+        self
+    }
+
+    /// Keeps only records whose maximum latency is at most `cycles`.
+    #[must_use]
+    pub fn max_latency(mut self, cycles: f64) -> Query {
+        self.max_latency = Some(cycles);
+        self
+    }
+
+    /// Sets the sort key (ascending).
+    #[must_use]
+    pub fn sort_by(mut self, key: SortKey) -> Query {
+        self.sort = key;
+        self.descending = false;
+        self
+    }
+
+    /// Sets the sort key, descending.
+    #[must_use]
+    pub fn sort_by_desc(mut self, key: SortKey) -> Query {
+        self.sort = key;
+        self.descending = true;
+        self
+    }
+
+    /// Skips the first `n` matches (pagination).
+    #[must_use]
+    pub fn offset(mut self, n: usize) -> Query {
+        self.offset = n;
+        self
+    }
+
+    /// Returns at most `n` matches (pagination).
+    #[must_use]
+    pub fn limit(mut self, n: usize) -> Query {
+        self.limit = Some(n);
+        self
+    }
+
+    /// Runs the query against `db`.
+    #[must_use]
+    pub fn run<'db>(&self, db: &'db InstructionDb) -> QueryResult<'db> {
+        // Resolve the string filters to symbols once. A filter string the
+        // interner has never seen means zero matches.
+        let mut unmatchable = false;
+        let resolve = |s: &Option<String>, unmatchable: &mut bool| -> Option<Sym> {
+            match s {
+                None => None,
+                Some(s) => match db_get(db, s) {
+                    Some(sym) => Some(sym),
+                    None => {
+                        *unmatchable = true;
+                        None
+                    }
+                },
+            }
+        };
+        let mnemonic = resolve(&self.mnemonic, &mut unmatchable);
+        let extension = resolve(&self.extension, &mut unmatchable);
+        let uarch = resolve(&self.uarch, &mut unmatchable);
+        if unmatchable {
+            return QueryResult { total_matches: 0, rows: Vec::new() };
+        }
+
+        // Pick the most selective available index as the candidate source.
+        let candidates: CandidateSet<'db> = if let Some(m) = &self.mnemonic {
+            CandidateSet::Ids(db.ids_by_mnemonic(m))
+        } else if let (Some(u), Some(p)) = (&self.uarch, self.port) {
+            CandidateSet::Ids(db.ids_by_port(u, p))
+        } else if let Some(e) = &self.extension {
+            CandidateSet::Ids(db.ids_by_extension(e))
+        } else if let Some(u) = &self.uarch {
+            CandidateSet::Ids(db.ids_by_uarch(u))
+        } else {
+            CandidateSet::All(db.len() as u32)
+        };
+
+        let prefix = self.mnemonic_prefix.as_deref();
+        let mut matches: Vec<u32> = Vec::new();
+        let mut push_if_match = |id: u32| {
+            let r = db.record(id);
+            if self.matches(db, r, mnemonic, extension, uarch, prefix) {
+                matches.push(id);
+            }
+        };
+        match candidates {
+            CandidateSet::Ids(ids) => ids.iter().copied().for_each(&mut push_if_match),
+            CandidateSet::All(n) => (0..n).for_each(&mut push_if_match),
+        }
+
+        let total_matches = matches.len();
+        self.sort(db, &mut matches);
+        let rows = matches
+            .into_iter()
+            .skip(self.offset)
+            .take(self.limit.unwrap_or(usize::MAX))
+            .map(|id| db.view(id))
+            .collect();
+        QueryResult { total_matches, rows }
+    }
+
+    fn matches(
+        &self,
+        db: &InstructionDb,
+        r: &DbRecord,
+        mnemonic: Option<Sym>,
+        extension: Option<Sym>,
+        uarch: Option<Sym>,
+        prefix: Option<&str>,
+    ) -> bool {
+        if let Some(sym) = mnemonic {
+            if r.mnemonic != sym {
+                return false;
+            }
+        }
+        if let Some(sym) = extension {
+            if r.extension != sym {
+                return false;
+            }
+        }
+        if let Some(sym) = uarch {
+            if r.uarch != sym {
+                return false;
+            }
+        }
+        if let Some(port) = self.port {
+            // Port numbers beyond the 16-bit mask can never match (and an
+            // unguarded shift would overflow).
+            if port >= 16 || r.port_union & (1u16 << port) == 0 {
+                return false;
+            }
+        }
+        if let Some(prefix) = prefix {
+            if !db.resolve(r.mnemonic).starts_with(prefix) {
+                return false;
+            }
+        }
+        if let Some(n) = self.min_uops {
+            if r.uop_count < n {
+                return false;
+            }
+        }
+        if let Some(n) = self.max_uops {
+            if r.uop_count > n {
+                return false;
+            }
+        }
+        if self.min_latency.is_some() || self.max_latency.is_some() {
+            let Some(latency) = r.max_latency else { return false };
+            if let Some(min) = self.min_latency {
+                if latency < min {
+                    return false;
+                }
+            }
+            if let Some(max) = self.max_latency {
+                if latency > max {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    fn sort(&self, db: &InstructionDb, ids: &mut [u32]) {
+        let name_key = |id: u32| {
+            let r = db.record(id);
+            (db.resolve(r.mnemonic), db.resolve(r.variant), db.resolve(r.uarch))
+        };
+        match self.sort {
+            SortKey::Mnemonic => ids.sort_by(|&a, &b| name_key(a).cmp(&name_key(b))),
+            SortKey::Latency => ids.sort_by(|&a, &b| {
+                let la = db.record(a).max_latency.unwrap_or(f64::NEG_INFINITY);
+                let lb = db.record(b).max_latency.unwrap_or(f64::NEG_INFINITY);
+                la.total_cmp(&lb).then_with(|| name_key(a).cmp(&name_key(b)))
+            }),
+            SortKey::Throughput => ids.sort_by(|&a, &b| {
+                db.record(a)
+                    .tp_measured
+                    .total_cmp(&db.record(b).tp_measured)
+                    .then_with(|| name_key(a).cmp(&name_key(b)))
+            }),
+            SortKey::UopCount => ids.sort_by(|&a, &b| {
+                db.record(a)
+                    .uop_count
+                    .cmp(&db.record(b).uop_count)
+                    .then_with(|| name_key(a).cmp(&name_key(b)))
+            }),
+        }
+        if self.descending {
+            ids.reverse();
+        }
+    }
+}
+
+enum CandidateSet<'db> {
+    Ids(&'db [u32]),
+    All(u32),
+}
+
+fn db_get(db: &InstructionDb, s: &str) -> Option<Sym> {
+    // The interner is private to the db; go through the public surface.
+    db.intern_lookup(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::{LatencyEdge, Snapshot, VariantRecord};
+
+    fn record(
+        mnemonic: &str,
+        extension: &str,
+        uarch: &str,
+        uops: u32,
+        mask: u16,
+        latency: f64,
+        tp: f64,
+    ) -> VariantRecord {
+        VariantRecord {
+            mnemonic: mnemonic.into(),
+            variant: "R64, R64".into(),
+            extension: extension.into(),
+            uarch: uarch.into(),
+            uop_count: uops,
+            ports: vec![(mask, uops)],
+            tp_measured: tp,
+            latency: vec![LatencyEdge {
+                source: 0,
+                target: 1,
+                cycles: latency,
+                ..Default::default()
+            }],
+            ..Default::default()
+        }
+    }
+
+    fn db() -> InstructionDb {
+        let mut s = Snapshot::new("test");
+        s.records.push(record("ADD", "BASE", "Skylake", 1, 0b0110_0011, 1.0, 0.25));
+        s.records.push(record("ADC", "BASE", "Skylake", 1, 0b0100_0001, 1.0, 0.5));
+        s.records.push(record("VPADDD", "AVX2", "Skylake", 1, 0b0010_0011, 1.0, 0.33));
+        s.records.push(record("VPGATHERDD", "AVX2", "Skylake", 4, 0b0000_1101, 12.0, 4.0));
+        s.records.push(record("ADD", "BASE", "Haswell", 1, 0b0110_0011, 1.0, 0.25));
+        s.records.push(record("DIV", "BASE", "Skylake", 10, 0b0000_0001, 23.0, 6.0));
+        InstructionDb::from_snapshot(&s)
+    }
+
+    #[test]
+    fn filter_by_uarch_and_extension() {
+        let db = db();
+        let r = Query::new().uarch("Skylake").extension("AVX2").run(&db);
+        assert_eq!(r.total_matches, 2);
+        assert_eq!(r.rows[0].mnemonic(), "VPADDD");
+        assert_eq!(r.rows[1].mnemonic(), "VPGATHERDD");
+    }
+
+    #[test]
+    fn filter_by_port() {
+        let db = db();
+        // Port 6 on Skylake: ADD (p0156) and ADC (p06).
+        let r = Query::new().uarch("Skylake").uses_port(6).run(&db);
+        assert_eq!(r.total_matches, 2);
+        let names: Vec<&str> = r.rows.iter().map(|v| v.mnemonic()).collect();
+        assert_eq!(names, vec!["ADC", "ADD"]);
+    }
+
+    #[test]
+    fn prefix_latency_and_uop_filters() {
+        let db = db();
+        let r = Query::new().mnemonic_prefix("VP").run(&db);
+        assert_eq!(r.total_matches, 2);
+        let r = Query::new().min_latency(10.0).run(&db);
+        assert_eq!(r.total_matches, 2);
+        let r = Query::new().min_latency(10.0).max_uops(4).run(&db);
+        assert_eq!(r.total_matches, 1);
+        assert_eq!(r.rows[0].mnemonic(), "VPGATHERDD");
+    }
+
+    #[test]
+    fn unknown_filter_strings_match_nothing() {
+        let db = db();
+        let r = Query::new().uarch("Cannon Lake").run(&db);
+        assert_eq!(r.total_matches, 0);
+        let r = Query::new().mnemonic("NOPE").run(&db);
+        assert_eq!(r.total_matches, 0);
+    }
+
+    #[test]
+    fn out_of_range_port_matches_nothing() {
+        let db = db();
+        // Both the indexed path (with uarch) and the scan path (without)
+        // must treat ports beyond the mask as "no matches", not overflow.
+        assert_eq!(Query::new().uarch("Skylake").uses_port(16).run(&db).total_matches, 0);
+        assert_eq!(Query::new().uses_port(16).run(&db).total_matches, 0);
+        assert_eq!(Query::new().uses_port(255).run(&db).total_matches, 0);
+    }
+
+    #[test]
+    fn sorting_and_pagination() {
+        let db = db();
+        let r = Query::new().uarch("Skylake").sort_by_desc(SortKey::Latency).limit(2).run(&db);
+        assert_eq!(r.total_matches, 5);
+        assert_eq!(r.rows.len(), 2);
+        assert_eq!(r.rows[0].mnemonic(), "DIV");
+        assert_eq!(r.rows[1].mnemonic(), "VPGATHERDD");
+        let page2 =
+            Query::new().uarch("Skylake").sort_by(SortKey::Mnemonic).offset(2).limit(2).run(&db);
+        assert_eq!(page2.rows.len(), 2);
+        assert_eq!(page2.rows[0].mnemonic(), "DIV");
+    }
+
+    #[test]
+    fn throughput_sort() {
+        let db = db();
+        let r = Query::new().uarch("Skylake").sort_by(SortKey::Throughput).limit(1).run(&db);
+        assert_eq!(r.rows[0].mnemonic(), "ADD");
+    }
+}

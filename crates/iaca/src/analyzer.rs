@@ -275,9 +275,9 @@ impl IacaAnalyzer {
         }
         // ~4% of variants: same µop count but a coarser port assignment
         // (version-dependent for half of them).
-        let version_salt =
-            if h % 2 == 0 { 0 } else { u64::from(self.version as u8 as u64) };
-        let h2 = hash(&[&desc.mnemonic, &desc.variant(), self.arch.name(), &version_salt.to_string()]);
+        let version_salt = if h % 2 == 0 { 0 } else { u64::from(self.version as u8 as u64) };
+        let h2 =
+            hash(&[&desc.mnemonic, &desc.variant(), self.arch.name(), &version_salt.to_string()]);
         if h2 % 100 < 4 {
             if let Some((&ports, &count)) = usage.iter().next() {
                 if ports != self.cfg.int_alu && ports != self.cfg.store_data {
@@ -359,7 +359,11 @@ mod tests {
         seq.push(Inst::bind(&load, &BTreeMap::new(), &mut pool).unwrap());
         let a = analyzer(MicroArch::Skylake, IacaVersion::V30);
         let report = a.analyze_sequence(&seq);
-        assert!(report.block_throughput <= 1.5, "IACA block throughput = {}", report.block_throughput);
+        assert!(
+            report.block_throughput <= 1.5,
+            "IACA block throughput = {}",
+            report.block_throughput
+        );
         assert!(report.total_uops >= 3);
     }
 
@@ -369,7 +373,11 @@ mod tests {
         let a = analyzer(MicroArch::Skylake, IacaVersion::V30);
         let b32 = catalog.find_variant("BSWAP", "R32").unwrap();
         let b64 = catalog.find_variant("BSWAP", "R64").unwrap();
-        assert_eq!(a.analyze_instruction(b32).unwrap().uop_count, 2, "IACA reports 2 µops for BSWAP R32");
+        assert_eq!(
+            a.analyze_instruction(b32).unwrap().uop_count,
+            2,
+            "IACA reports 2 µops for BSWAP R32"
+        );
         assert_eq!(a.analyze_instruction(b64).unwrap().uop_count, 2);
     }
 
@@ -409,11 +417,14 @@ mod tests {
     fn movq2dq_and_movdq2q_errors() {
         let catalog = Catalog::intel_core();
         let movq2dq = catalog.find_variant("MOVQ2DQ", "XMM, MM").unwrap();
-        let skl = analyzer(MicroArch::Skylake, IacaVersion::V30).analyze_instruction(movq2dq).unwrap();
+        let skl =
+            analyzer(MicroArch::Skylake, IacaVersion::V30).analyze_instruction(movq2dq).unwrap();
         assert_eq!(skl.port_usage_string(), "2*p5");
         let movdq2q = catalog.find_variant("MOVDQ2Q", "MM, XMM").unwrap();
-        let hsw21 = analyzer(MicroArch::Haswell, IacaVersion::V21).analyze_instruction(movdq2q).unwrap();
-        let hsw30 = analyzer(MicroArch::Haswell, IacaVersion::V30).analyze_instruction(movdq2q).unwrap();
+        let hsw21 =
+            analyzer(MicroArch::Haswell, IacaVersion::V21).analyze_instruction(movdq2q).unwrap();
+        let hsw30 =
+            analyzer(MicroArch::Haswell, IacaVersion::V30).analyze_instruction(movdq2q).unwrap();
         assert_ne!(hsw21.port_usage, hsw30.port_usage);
     }
 

@@ -184,11 +184,7 @@ mod tests {
             let mut pool = RegisterPool::new();
             let Ok(inst) = Inst::bind(&arc, &BTreeMap::new(), &mut pool) else { continue };
             let truth = characterize(&inst, &cfg, TruthOptions::default());
-            let m = MeasuredInstruction::new(
-                desc,
-                truth.uop_count() as u32,
-                truth.port_usage(),
-            );
+            let m = MeasuredInstruction::new(desc, truth.uop_count() as u32, truth.port_usage());
             out.push((m, desc.clone()));
         }
         out

@@ -25,7 +25,8 @@ pub enum IacaVersion {
 
 impl IacaVersion {
     /// All versions, oldest first.
-    pub const ALL: [IacaVersion; 4] = [IacaVersion::V21, IacaVersion::V22, IacaVersion::V23, IacaVersion::V30];
+    pub const ALL: [IacaVersion; 4] =
+        [IacaVersion::V21, IacaVersion::V22, IacaVersion::V23, IacaVersion::V30];
 
     /// The human-readable version string.
     #[must_use]
@@ -104,6 +105,9 @@ mod tests {
     #[test]
     fn supporting_lists_are_ordered() {
         let versions = IacaVersion::supporting(MicroArch::Haswell);
-        assert_eq!(versions, vec![IacaVersion::V21, IacaVersion::V22, IacaVersion::V23, IacaVersion::V30]);
+        assert_eq!(
+            versions,
+            vec![IacaVersion::V21, IacaVersion::V22, IacaVersion::V23, IacaVersion::V30]
+        );
     }
 }

@@ -138,12 +138,7 @@ impl Catalog {
 
 impl fmt::Display for Catalog {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "Catalog with {} variants of {} mnemonics",
-            self.len(),
-            self.by_mnemonic.len()
-        )
+        write!(f, "Catalog with {} variants of {} mnemonics", self.len(), self.by_mnemonic.len())
     }
 }
 

@@ -90,12 +90,8 @@ impl InstructionDesc {
     /// operands are listed.
     #[must_use]
     pub fn variant(&self) -> String {
-        let parts: Vec<String> = self
-            .operands
-            .iter()
-            .filter(|o| o.is_explicit())
-            .map(|o| o.kind.type_name())
-            .collect();
+        let parts: Vec<String> =
+            self.operands.iter().filter(|o| o.is_explicit()).map(|o| o.kind.type_name()).collect();
         parts.join(", ")
     }
 
@@ -125,12 +121,7 @@ impl InstructionDesc {
     /// definition.
     #[must_use]
     pub fn source_indices(&self) -> Vec<usize> {
-        self.operands
-            .iter()
-            .enumerate()
-            .filter(|(_, o)| o.is_source())
-            .map(|(i, _)| i)
-            .collect()
+        self.operands.iter().enumerate().filter(|(_, o)| o.is_source()).map(|(i, _)| i).collect()
     }
 
     /// Indices of destination operands (operands written by the instruction),

@@ -178,7 +178,13 @@ impl<'a> Gen<'a> {
                 (vec![OperandDesc::write(r(w)), OperandDesc::read(r(w))], w == W32 || w == W64),
                 (vec![OperandDesc::write(r(w)), OperandDesc::read(mem(w))], false),
                 (vec![OperandDesc::write(mem(w)), OperandDesc::read(r(w))], false),
-                (vec![OperandDesc::write(r(w)), OperandDesc::read(imm(if w == W64 { W64 } else { imm_for(w) }))], false),
+                (
+                    vec![
+                        OperandDesc::write(r(w)),
+                        OperandDesc::read(imm(if w == W64 { W64 } else { imm_for(w) })),
+                    ],
+                    false,
+                ),
                 (vec![OperandDesc::write(mem(w)), OperandDesc::read(imm(imm_for(w)))], false),
             ];
             for (ops, zl) in forms {
@@ -202,7 +208,9 @@ impl<'a> Gen<'a> {
                         .builder(mnemonic, C::MovExtend, E::Base)
                         .operand(OperandDesc::write(r(dw)))
                         .operand(OperandDesc::read(src))
-                        .with_attrs(|a| a.may_be_zero_latency = zl && !matches!(src, OperandKind::Mem(_)))
+                        .with_attrs(|a| {
+                            a.may_be_zero_latency = zl && !matches!(src, OperandKind::Mem(_))
+                        })
                         .build();
                     self.add(desc);
                 }
@@ -265,12 +273,9 @@ impl<'a> Gen<'a> {
     /// 2- and 3-operand forms of IMUL.
     fn mul_div(&mut self) {
         for &w in &GPR_WIDTHS {
-            for (mnemonic, cat) in [
-                ("MUL", C::IntMul),
-                ("IMUL", C::IntMul),
-                ("DIV", C::IntDiv),
-                ("IDIV", C::IntDiv),
-            ] {
+            for (mnemonic, cat) in
+                [("MUL", C::IntMul), ("IMUL", C::IntMul), ("DIV", C::IntDiv), ("IDIV", C::IntDiv)]
+            {
                 for src in [r(w), mem(w)] {
                     let rax = OperandKind::FixedReg(Register::gpr(gpr::RAX, w));
                     let rdx = OperandKind::FixedReg(Register::gpr(gpr::RDX, w));
@@ -536,11 +541,9 @@ impl<'a> Gen<'a> {
         }
         // Flag manipulation.
         let cf = FlagSet::CF;
-        for (mnemonic, reads, writes) in [
-            ("CMC", cf, cf),
-            ("STC", FlagSet::EMPTY, cf),
-            ("CLC", FlagSet::EMPTY, cf),
-        ] {
+        for (mnemonic, reads, writes) in
+            [("CMC", cf, cf), ("STC", FlagSet::EMPTY, cf), ("CLC", FlagSet::EMPTY, cf)]
+        {
             let desc = self
                 .builder(mnemonic, C::FlagOp, E::Base)
                 .reads_flags(reads)
@@ -564,10 +567,8 @@ impl<'a> Gen<'a> {
         self.add(desc);
         // Unconditional control flow.
         for kind in [imm(W32), r(W64), mem(W64)] {
-            let desc = self
-                .builder("JMP", C::Branch, E::Base)
-                .operand(OperandDesc::read(kind))
-                .build();
+            let desc =
+                self.builder("JMP", C::Branch, E::Base).operand(OperandDesc::read(kind)).build();
             self.add(desc);
         }
         let rsp = OperandKind::FixedReg(Register::gpr(gpr::RSP, W64));
@@ -603,10 +604,7 @@ impl<'a> Gen<'a> {
             self.add(desc);
         }
         // PAUSE.
-        let desc = self
-            .builder("PAUSE", C::Nop, E::Base)
-            .with_attrs(|a| a.pause = true)
-            .build();
+        let desc = self.builder("PAUSE", C::Nop, E::Base).with_attrs(|a| a.pause = true).build();
         self.add(desc);
         // Serializing / system instructions (not characterized by user-mode
         // backends, but present in the catalog).
@@ -618,26 +616,18 @@ impl<'a> Gen<'a> {
             })
             .build();
         self.add(desc);
-        let desc = self
-            .builder("LFENCE", C::System, E::Sse2)
-            .with_attrs(|a| a.serializing = true)
-            .build();
+        let desc =
+            self.builder("LFENCE", C::System, E::Sse2).with_attrs(|a| a.serializing = true).build();
         self.add(desc);
-        let desc = self
-            .builder("MFENCE", C::System, E::Sse2)
-            .with_attrs(|a| a.serializing = true)
-            .build();
+        let desc =
+            self.builder("MFENCE", C::System, E::Sse2).with_attrs(|a| a.serializing = true).build();
         self.add(desc);
-        let desc = self
-            .builder("RDTSC", C::System, E::Base)
-            .with_attrs(|a| a.system = false)
-            .build();
+        let desc =
+            self.builder("RDTSC", C::System, E::Base).with_attrs(|a| a.system = false).build();
         self.add(desc);
         for mnemonic in ["RDMSR", "WRMSR", "HLT", "INVD", "LGDT"] {
-            let desc = self
-                .builder(mnemonic, C::System, E::Base)
-                .with_attrs(|a| a.system = true)
-                .build();
+            let desc =
+                self.builder(mnemonic, C::System, E::Base).with_attrs(|a| a.system = true).build();
             self.add(desc);
         }
         // A handful of LOCK-prefixed read-modify-write forms.
@@ -828,7 +818,12 @@ impl<'a> Gen<'a> {
             ("PCMPEQQ", C::VecIntCmp, true),
             ("PCMPGTQ", C::VecIntCmp, false),
         ] {
-            self.sse2op(mnemonic, cat, if mnemonic.ends_with('Q') { E::Sse41 } else { E::Sse2 }, zi);
+            self.sse2op(
+                mnemonic,
+                cat,
+                if mnemonic.ends_with('Q') { E::Sse41 } else { E::Sse2 },
+                zi,
+            );
             self.avx3op(&format!("V{mnemonic}"), cat, E::Avx2, true);
         }
         // Vector shifts: register/memory/immediate count forms.
@@ -1021,7 +1016,8 @@ impl<'a> Gen<'a> {
         ];
         for &(op, cat) in arith {
             for suffix in ["PS", "PD", "SS", "SD"] {
-                let ext = if suffix.ends_with('S') && suffix.starts_with('P') { E::Sse } else { E::Sse2 };
+                let ext =
+                    if suffix.ends_with('S') && suffix.starts_with('P') { E::Sse } else { E::Sse2 };
                 let mnemonic = format!("{op}{suffix}");
                 self.sse2op(&mnemonic, cat, ext, false);
                 let ymm_form = suffix.starts_with('P');
@@ -1065,14 +1061,19 @@ impl<'a> Gen<'a> {
         }
         // Compares.
         for suffix in ["PS", "PD", "SS", "SD"] {
-            let ext = if suffix.contains('S') && suffix.starts_with('P') { E::Sse } else { E::Sse2 };
+            let ext =
+                if suffix.contains('S') && suffix.starts_with('P') { E::Sse } else { E::Sse2 };
             self.sse2op_imm(&format!("CMP{suffix}"), C::VecFpAdd, ext);
             self.avx3op_imm(&format!("VCMP{suffix}"), C::VecFpAdd, E::Avx, suffix.starts_with('P'));
         }
         for mnemonic in ["COMISS", "COMISD", "UCOMISS", "UCOMISD"] {
             for src in [xmm(), mem(W64)] {
                 let desc = self
-                    .builder(mnemonic, C::VecFpAdd, if mnemonic.ends_with("SS") { E::Sse } else { E::Sse2 })
+                    .builder(
+                        mnemonic,
+                        C::VecFpAdd,
+                        if mnemonic.ends_with("SS") { E::Sse } else { E::Sse2 },
+                    )
                     .operand(OperandDesc::read(xmm()))
                     .operand(OperandDesc::read(src))
                     .writes_flags(FlagSet::ALL)
@@ -1125,7 +1126,9 @@ impl<'a> Gen<'a> {
             }
         }
         // Conversions between GPRs and XMM.
-        for (mnemonic, gw) in [("CVTSI2SS", W32), ("CVTSI2SS", W64), ("CVTSI2SD", W32), ("CVTSI2SD", W64)] {
+        for (mnemonic, gw) in
+            [("CVTSI2SS", W32), ("CVTSI2SS", W64), ("CVTSI2SD", W32), ("CVTSI2SD", W64)]
+        {
             for src in [r(gw), mem(gw)] {
                 let desc = self
                     .builder(mnemonic, C::VecConvert, E::Sse2)
@@ -1135,7 +1138,14 @@ impl<'a> Gen<'a> {
                 self.add(desc);
             }
         }
-        for (mnemonic, gw) in [("CVTSS2SI", W32), ("CVTSS2SI", W64), ("CVTSD2SI", W32), ("CVTSD2SI", W64), ("CVTTSS2SI", W32), ("CVTTSD2SI", W64)] {
+        for (mnemonic, gw) in [
+            ("CVTSS2SI", W32),
+            ("CVTSS2SI", W64),
+            ("CVTSD2SI", W32),
+            ("CVTSD2SI", W64),
+            ("CVTTSS2SI", W32),
+            ("CVTTSD2SI", W64),
+        ] {
             for src in [xmm(), mem(W64)] {
                 let desc = self
                     .builder(mnemonic, C::VecConvert, E::Sse2)
@@ -1242,12 +1252,7 @@ impl<'a> Gen<'a> {
         }
         // MOVD / MOVQ between GPRs, XMM and memory.
         for (mnemonic, gw) in [("MOVD", W32), ("MOVQ", W64)] {
-            for (dst, src) in [
-                (xmm(), r(gw)),
-                (r(gw), xmm()),
-                (xmm(), mem(gw)),
-                (mem(gw), xmm()),
-            ] {
+            for (dst, src) in [(xmm(), r(gw)), (r(gw), xmm()), (xmm(), mem(gw)), (mem(gw), xmm())] {
                 let desc = self
                     .builder(mnemonic, C::VecMovCross, E::Sse2)
                     .operand(OperandDesc::write(dst))
@@ -1286,7 +1291,8 @@ impl<'a> Gen<'a> {
             .build();
         self.add(desc);
         // MOVMSK-style extractions.
-        for (mnemonic, ext) in [("MOVMSKPS", E::Sse), ("MOVMSKPD", E::Sse2), ("PMOVMSKB", E::Sse2)] {
+        for (mnemonic, ext) in [("MOVMSKPS", E::Sse), ("MOVMSKPD", E::Sse2), ("PMOVMSKB", E::Sse2)]
+        {
             let desc = self
                 .builder(mnemonic, C::VecMovCross, ext)
                 .operand(OperandDesc::write(r(W32)))
@@ -1646,10 +1652,8 @@ impl<'a> Gen<'a> {
             let desc = self.builder(mnemonic, C::Lea, E::Sse).operand(agen).build();
             self.add(desc);
         }
-        let desc = self
-            .builder("SFENCE", C::System, E::Sse)
-            .with_attrs(|a| a.serializing = true)
-            .build();
+        let desc =
+            self.builder("SFENCE", C::System, E::Sse).with_attrs(|a| a.serializing = true).build();
         self.add(desc);
         // ENTER/LEAVE-style frame instructions.
         let rsp = OperandKind::FixedReg(Register::gpr(gpr::RSP, W64));
@@ -1674,11 +1678,7 @@ mod tests {
     #[test]
     fn catalog_has_expected_size() {
         let c = catalog();
-        assert!(
-            c.len() >= 1500,
-            "catalog too small: {} variants (expected >= 1500)",
-            c.len()
-        );
+        assert!(c.len() >= 1500, "catalog too small: {} variants (expected >= 1500)", c.len());
     }
 
     #[test]

@@ -203,8 +203,8 @@ pub struct Register {
 
 /// Names of the 64-bit general-purpose registers, indexed by register number.
 const GPR64_NAMES: [&str; 16] = [
-    "RAX", "RCX", "RDX", "RBX", "RSP", "RBP", "RSI", "RDI", "R8", "R9", "R10", "R11", "R12",
-    "R13", "R14", "R15",
+    "RAX", "RCX", "RDX", "RBX", "RSP", "RBP", "RSI", "RDI", "R8", "R9", "R10", "R11", "R12", "R13",
+    "R14", "R15",
 ];
 const GPR32_NAMES: [&str; 16] = [
     "EAX", "ECX", "EDX", "EBX", "ESP", "EBP", "ESI", "EDI", "R8D", "R9D", "R10D", "R11D", "R12D",

@@ -108,7 +108,10 @@ pub fn catalog_from_xml(xml: &str) -> Result<Catalog, IsaError> {
     let mut current: Option<PendingInstruction> = None;
     for (line_no, raw_line) in xml.lines().enumerate() {
         let line = raw_line.trim();
-        if line.starts_with("<?xml") || line == "<catalog>" || line == "</catalog>" || line.is_empty()
+        if line.starts_with("<?xml")
+            || line == "<catalog>"
+            || line == "</catalog>"
+            || line.is_empty()
         {
             continue;
         }
@@ -159,7 +162,10 @@ struct PendingInstruction {
 }
 
 impl PendingInstruction {
-    fn from_attrs(attrs: &[(String, String)], line_no: usize) -> Result<PendingInstruction, IsaError> {
+    fn from_attrs(
+        attrs: &[(String, String)],
+        line_no: usize,
+    ) -> Result<PendingInstruction, IsaError> {
         let get = |name: &str| attrs.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str());
         let mnemonic = get("mnemonic")
             .ok_or_else(|| IsaError::Parse {
@@ -395,10 +401,10 @@ fn parse_category(s: &str, line_no: usize) -> Result<crate::extension::Category,
         ("ClmulOp", C::ClmulOp),
         ("System", C::System),
     ];
-    all.iter()
-        .find(|(name, _)| *name == s)
-        .map(|(_, c)| *c)
-        .ok_or_else(|| IsaError::Parse { line: line_no + 1, message: format!("unknown category '{s}'") })
+    all.iter().find(|(name, _)| *name == s).map(|(_, c)| *c).ok_or_else(|| IsaError::Parse {
+        line: line_no + 1,
+        message: format!("unknown category '{s}'"),
+    })
 }
 
 #[cfg(test)]

@@ -23,4 +23,6 @@
 
 pub mod solver;
 
-pub use solver::{min_max_load, min_max_load_by_flow, optimal_assignment, Assignment, PortUsageMap};
+pub use solver::{
+    min_max_load, min_max_load_by_flow, optimal_assignment, Assignment, PortUsageMap,
+};

@@ -182,10 +182,8 @@ pub fn optimal_assignment(usage: &PortUsageMap, ports_mask: u16) -> Assignment {
     // and greedily fill the least-loaded allowed ports.
     let mut combos: Vec<(u16, f64)> = usage.iter().map(|(&pc, &c)| (pc, c)).collect();
     combos.sort_by_key(|(pc, _)| pc.count_ones());
-    let mut port_load: BTreeMap<u8, f64> = (0..16u8)
-        .filter(|p| ports_mask & (1 << p) != 0)
-        .map(|p| (p, 0.0))
-        .collect();
+    let mut port_load: BTreeMap<u8, f64> =
+        (0..16u8).filter(|p| ports_mask & (1 << p) != 0).map(|p| (p, 0.0)).collect();
     let mut shares: BTreeMap<(u16, u8), f64> = BTreeMap::new();
     for (pc, mut remaining) in combos {
         // Spread the remaining µops over the allowed ports, repeatedly
@@ -193,9 +191,8 @@ pub fn optimal_assignment(usage: &PortUsageMap, ports_mask: u16) -> Assignment {
         let mut allowed: Vec<u8> =
             port_load.keys().copied().filter(|p| pc & (1 << p) != 0).collect();
         while remaining > 1e-12 && !allowed.is_empty() {
-            allowed.sort_by(|a, b| {
-                port_load[a].partial_cmp(&port_load[b]).expect("loads are finite")
-            });
+            allowed
+                .sort_by(|a, b| port_load[a].partial_cmp(&port_load[b]).expect("loads are finite"));
             let lowest = port_load[&allowed[0]];
             // How much can we add to the lowest port(s) before reaching the
             // next level (or exhausting the remaining µops)?

@@ -199,7 +199,11 @@ mod tests {
         let chain = movsx_chain(&c, 4);
         let m = measure(&backend, &chain, &MeasurementConfig::default(), RunContext::default());
         let per_inst = m.per(4.0);
-        assert!((per_inst.cycles - 1.0).abs() < 0.2, "per-instruction cycles = {}", per_inst.cycles);
+        assert!(
+            (per_inst.cycles - 1.0).abs() < 0.2,
+            "per-instruction cycles = {}",
+            per_inst.cycles
+        );
     }
 
     #[test]
@@ -209,7 +213,8 @@ mod tests {
         let desc = variant_arc(&c, "PSHUFD", "XMM, XMM, I8").unwrap();
         let mut pool = RegisterPool::new();
         let inst = Inst::bind(&desc, &BTreeMap::new(), &mut pool).unwrap();
-        let m = measure_single(&backend, inst, &MeasurementConfig::default(), RunContext::default());
+        let m =
+            measure_single(&backend, inst, &MeasurementConfig::default(), RunContext::default());
         // PSHUFD is one shuffle µop on port 5.
         assert!((m.uops_total - 1.0).abs() < 0.2);
         assert!(m.port(5) > 0.8, "port 5 share = {}", m.port(5));
@@ -230,7 +235,8 @@ mod tests {
     #[should_panic(expected = "large unroll factor must exceed")]
     fn invalid_config_panics() {
         let backend = SimBackend::new(MicroArch::Skylake);
-        let cfg = MeasurementConfig { base_unroll: 10, large_unroll: 10, repetitions: 1, warmup: false };
+        let cfg =
+            MeasurementConfig { base_unroll: 10, large_unroll: 10, repetitions: 1, warmup: false };
         let _ = measure(&backend, &CodeSequence::new(), &cfg, RunContext::default());
     }
 }

@@ -71,7 +71,9 @@ impl Sub for PerfCounters {
             core_cycles: self.core_cycles.saturating_sub(rhs.core_cycles),
             uops_port,
             uops_total: self.uops_total.saturating_sub(rhs.uops_total),
-            instructions_retired: self.instructions_retired.saturating_sub(rhs.instructions_retired),
+            instructions_retired: self
+                .instructions_retired
+                .saturating_sub(rhs.instructions_retired),
         }
     }
 }

@@ -47,7 +47,12 @@ pub struct SimOptions {
 
 impl Default for SimOptions {
     fn default() -> Self {
-        SimOptions { seed: 0x5eed, divider_low_latency: false, overhead_cycles: 42, overhead_uops: 6 }
+        SimOptions {
+            seed: 0x5eed,
+            divider_low_latency: false,
+            overhead_cycles: 42,
+            overhead_uops: 6,
+        }
     }
 }
 
@@ -191,14 +196,22 @@ impl Pipeline {
                     match input {
                         UopInput::Temp(t) => {
                             if let Some(&producer) = temp_producer.get(t) {
-                                deps.push(Dep { producer: Producer::Uop(producer), extra_latency: 0 });
+                                deps.push(Dep {
+                                    producer: Producer::Uop(producer),
+                                    extra_latency: 0,
+                                });
                             }
                         }
                         UopInput::Addr(i) => {
                             if let Some(mem) = inst.operand(*i).memory() {
                                 let res = Resource::of_register(mem.base);
                                 if let Some(info) = writers.get(&res) {
-                                    deps.push(dep_from_writer(info, spec.fu.domain(), None, self.cfg.bypass_delay));
+                                    deps.push(dep_from_writer(
+                                        info,
+                                        spec.fu.domain(),
+                                        None,
+                                        self.cfg.bypass_delay,
+                                    ));
                                 }
                             }
                         }
@@ -269,7 +282,12 @@ impl Pipeline {
     }
 
     /// Schedules the dynamic µops onto ports and produces the counters.
-    fn schedule(&self, uops: &[DynUop], issue_slots: u64, instructions_retired: u64) -> PerfCounters {
+    fn schedule(
+        &self,
+        uops: &[DynUop],
+        issue_slots: u64,
+        instructions_retired: u64,
+    ) -> PerfCounters {
         let port_count = self.cfg.port_count as usize;
         let mut port_busy: Vec<Vec<bool>> = vec![Vec::new(); port_count];
         let mut port_counts = [0u64; MAX_PORTS as usize];

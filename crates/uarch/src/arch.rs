@@ -121,7 +121,14 @@ impl MicroArch {
     pub fn supports(self, ext: Extension) -> bool {
         use Extension as E;
         match ext {
-            E::Base | E::Mmx | E::Sse | E::Sse2 | E::Sse3 | E::Ssse3 | E::Sse41 | E::Sse42
+            E::Base
+            | E::Mmx
+            | E::Sse
+            | E::Sse2
+            | E::Sse3
+            | E::Ssse3
+            | E::Sse41
+            | E::Sse42
             | E::Popcnt => true,
             // AES and PCLMULQDQ were introduced with Westmere.
             E::Aes | E::Pclmulqdq => self.at_least(MicroArch::Westmere),

@@ -71,11 +71,8 @@ fn aes_round(inst: &Inst, cfg: &UarchConfig) -> ComputeGraph {
         .collect();
     // Non-VEX form: op0 is both state and destination, op1 is the round key.
     // VEX form: op0 is the destination, op1 the state, op2 the round key.
-    let (state_idx, key_idx) = if explicit.len() >= 3 {
-        (explicit[1], explicit[2])
-    } else {
-        (explicit[0], explicit[1])
-    };
+    let (state_idx, key_idx) =
+        if explicit.len() >= 3 { (explicit[1], explicit[2]) } else { (explicit[0], explicit[1]) };
     let out = dests(inst);
     match cfg.arch {
         MicroArch::Nehalem | MicroArch::Westmere => {
@@ -89,7 +86,13 @@ fn aes_round(inst: &Inst, cfg: &UarchConfig) -> ComputeGraph {
                     vec![UopInput::Op(state_idx), UopInput::Op(key_idx)],
                     vec![UopOutput::Temp(0)],
                 ),
-                UopSpec::new(cfg.aes, FuKind::Aes, 2, vec![UopInput::Temp(0)], vec![UopOutput::Temp(1)]),
+                UopSpec::new(
+                    cfg.aes,
+                    FuKind::Aes,
+                    2,
+                    vec![UopInput::Temp(0)],
+                    vec![UopOutput::Temp(1)],
+                ),
                 UopSpec::new(cfg.aes, FuKind::Aes, 2, vec![UopInput::Temp(1)], out),
             ]
         }
@@ -170,17 +173,35 @@ fn movq2dq(inst: &Inst, cfg: &UarchConfig) -> ComputeGraph {
     let out = dests(inst);
     if cfg.arch.at_least(MicroArch::Skylake) {
         vec![
-            UopSpec::new(PortSet::of(&[0]), FuKind::VecInt, 1, vec![UopInput::Op(1)], vec![UopOutput::Temp(0)]),
+            UopSpec::new(
+                PortSet::of(&[0]),
+                FuKind::VecInt,
+                1,
+                vec![UopInput::Op(1)],
+                vec![UopOutput::Temp(0)],
+            ),
             UopSpec::new(cfg.vec_alu, FuKind::VecInt, 1, vec![UopInput::Temp(0)], out),
         ]
     } else if cfg.arch.at_least(MicroArch::Haswell) {
         vec![
-            UopSpec::new(cfg.vec_shuffle, FuKind::Shuffle, 1, vec![UopInput::Op(1)], vec![UopOutput::Temp(0)]),
+            UopSpec::new(
+                cfg.vec_shuffle,
+                FuKind::Shuffle,
+                1,
+                vec![UopInput::Op(1)],
+                vec![UopOutput::Temp(0)],
+            ),
             UopSpec::new(cfg.vec_alu, FuKind::VecInt, 1, vec![UopInput::Temp(0)], out),
         ]
     } else {
         vec![
-            UopSpec::new(cfg.vec_mul, FuKind::VecInt, 1, vec![UopInput::Op(1)], vec![UopOutput::Temp(0)]),
+            UopSpec::new(
+                cfg.vec_mul,
+                FuKind::VecInt,
+                1,
+                vec![UopInput::Op(1)],
+                vec![UopOutput::Temp(0)],
+            ),
             UopSpec::new(cfg.vec_shuffle, FuKind::Shuffle, 1, vec![UopInput::Temp(0)], out),
         ]
     }
@@ -194,12 +215,24 @@ fn movdq2q(inst: &Inst, cfg: &UarchConfig) -> ComputeGraph {
     let out = dests(inst);
     if cfg.arch.at_least(MicroArch::Haswell) {
         vec![
-            UopSpec::new(cfg.vec_shuffle, FuKind::Shuffle, 1, vec![UopInput::Op(1)], vec![UopOutput::Temp(0)]),
+            UopSpec::new(
+                cfg.vec_shuffle,
+                FuKind::Shuffle,
+                1,
+                vec![UopInput::Op(1)],
+                vec![UopOutput::Temp(0)],
+            ),
             UopSpec::new(cfg.vec_alu, FuKind::VecInt, 1, vec![UopInput::Temp(0)], out),
         ]
     } else {
         vec![
-            UopSpec::new(cfg.vec_blend, FuKind::VecInt, 1, vec![UopInput::Op(1)], vec![UopOutput::Temp(0)]),
+            UopSpec::new(
+                cfg.vec_blend,
+                FuKind::VecInt,
+                1,
+                vec![UopInput::Op(1)],
+                vec![UopOutput::Temp(0)],
+            ),
             UopSpec::new(cfg.vec_shuffle, FuKind::Shuffle, 1, vec![UopInput::Temp(0)], out),
         ]
     }

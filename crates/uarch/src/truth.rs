@@ -129,11 +129,7 @@ fn characterize_idiom(inst: &Inst, cfg: &UarchConfig, documented_zero_idiom: boo
     // undocumented dependency-breaking idioms (PCMPGT) always execute.
     let needs_no_port = documented_zero_idiom && cfg.arch.zero_idioms_need_no_port();
     if needs_no_port {
-        return InstrChar {
-            eliminated: true,
-            dependency_breaking: true,
-            ..InstrChar::default()
-        };
+        return InstrChar { eliminated: true, dependency_breaking: true, ..InstrChar::default() };
     }
     // One µop on the category's usual ports, with *no* register inputs (the
     // result does not depend on the source value), writing all destinations.
@@ -141,11 +137,7 @@ fn characterize_idiom(inst: &Inst, cfg: &UarchConfig, documented_zero_idiom: boo
     let outputs: Vec<UopOutput> =
         desc.destination_indices().into_iter().map(UopOutput::Op).collect();
     let uop = UopSpec::new(ports, fu, latency, Vec::new(), outputs);
-    InstrChar {
-        uops: vec![uop],
-        dependency_breaking: true,
-        ..InstrChar::default()
-    }
+    InstrChar { uops: vec![uop], dependency_breaking: true, ..InstrChar::default() }
 }
 
 /// Returns `true` if the instruction is a register-to-register move that the
@@ -179,9 +171,22 @@ fn simple_category_rule(cat: Category, cfg: &UarchConfig) -> (PortSet, FuKind, u
     use Category as C;
     let skl = cfg.arch.at_least(crate::arch::MicroArch::Skylake);
     match cat {
-        C::IntAlu | C::IncDec | C::NegNot | C::FlagOp | C::SetCC | C::Mov | C::MovExtend
-        | C::IntAluCarry | C::CMov | C::Xchg | C::Xadd | C::Bswap | C::StringOp | C::System
-        | C::Stack | C::CallRet => (cfg.int_alu, FuKind::Alu, 1),
+        C::IntAlu
+        | C::IncDec
+        | C::NegNot
+        | C::FlagOp
+        | C::SetCC
+        | C::Mov
+        | C::MovExtend
+        | C::IntAluCarry
+        | C::CMov
+        | C::Xchg
+        | C::Xadd
+        | C::Bswap
+        | C::StringOp
+        | C::System
+        | C::Stack
+        | C::CallRet => (cfg.int_alu, FuKind::Alu, 1),
         C::Shift | C::Rotate | C::DoubleShift => (cfg.int_shift, FuKind::Alu, 1),
         C::BitScan | C::Crc32 => (cfg.slow_int, FuKind::Alu, 3),
         C::BitField => (cfg.int_alu, FuKind::Alu, 1),
@@ -289,7 +294,8 @@ fn generic_compute_graph(inst: &Inst, cfg: &UarchConfig, _opts: TruthOptions) ->
     } else {
         fu
     };
-    let dests: Vec<UopOutput> = register_destinations(inst).into_iter().map(UopOutput::Op).collect();
+    let dests: Vec<UopOutput> =
+        register_destinations(inst).into_iter().map(UopOutput::Op).collect();
     let sources: Vec<UopInput> = all_value_sources(inst).into_iter().map(UopInput::Op).collect();
     let skl = cfg.arch.at_least(crate::arch::MicroArch::Skylake);
     let width = desc.max_width().unwrap_or(Width::W64);
@@ -391,10 +397,17 @@ fn generic_compute_graph(inst: &Inst, cfg: &UarchConfig, _opts: TruthOptions) ->
         // read-write operand and the flags: ADC/SBB, CMOVcc.
         C::IntAluCarry | C::CMov => {
             let (early, late) = stage_split(inst);
-            let second_ports = if desc.category == C::IntAluCarry { cfg.int_shift } else { cfg.int_alu };
+            let second_ports =
+                if desc.category == C::IntAluCarry { cfg.int_shift } else { cfg.int_alu };
             let mut uops = Vec::new();
             let early_inputs: Vec<UopInput> = early.into_iter().map(UopInput::Op).collect();
-            uops.push(UopSpec::new(cfg.int_alu, FuKind::Alu, 1, early_inputs, vec![UopOutput::Temp(0)]));
+            uops.push(UopSpec::new(
+                cfg.int_alu,
+                FuKind::Alu,
+                1,
+                early_inputs,
+                vec![UopOutput::Temp(0)],
+            ));
             let mut second_inputs: Vec<UopInput> = vec![UopInput::Temp(0)];
             second_inputs.extend(late.into_iter().map(UopInput::Op));
             uops.push(UopSpec::new(second_ports, FuKind::Alu, 1, second_inputs, dests));
@@ -474,14 +487,32 @@ fn generic_compute_graph(inst: &Inst, cfg: &UarchConfig, _opts: TruthOptions) ->
         // Insert/extract: a shuffle feeding a cross-domain move.
         C::VecInsertExtract | C::VecConvert => {
             let mut uops = Vec::new();
-            uops.push(UopSpec::new(cfg.vec_shuffle, FuKind::Shuffle, 1, sources, vec![UopOutput::Temp(0)]));
-            uops.push(UopSpec::new(cfg.vec_mul, FuKind::VecInt, latency, vec![UopInput::Temp(0)], dests));
+            uops.push(UopSpec::new(
+                cfg.vec_shuffle,
+                FuKind::Shuffle,
+                1,
+                sources,
+                vec![UopOutput::Temp(0)],
+            ));
+            uops.push(UopSpec::new(
+                cfg.vec_mul,
+                FuKind::VecInt,
+                latency,
+                vec![UopInput::Temp(0)],
+                dests,
+            ));
             uops
         }
         // Wide multiplies producing a second destination.
         C::IntMul => {
             let mut uops = Vec::new();
-            uops.push(UopSpec::new(cfg.int_mul, FuKind::Mul, 3, sources.clone(), vec![UopOutput::Temp(0)]));
+            uops.push(UopSpec::new(
+                cfg.int_mul,
+                FuKind::Mul,
+                3,
+                sources.clone(),
+                vec![UopOutput::Temp(0)],
+            ));
             let mut second_inputs = vec![UopInput::Temp(0)];
             second_inputs.extend(sources);
             uops.push(UopSpec::new(cfg.int_alu, FuKind::Alu, 1, second_inputs, dests));
@@ -491,7 +522,13 @@ fn generic_compute_graph(inst: &Inst, cfg: &UarchConfig, _opts: TruthOptions) ->
         C::IntDiv => {
             let mut uops = Vec::new();
             uops.push(UopSpec::new(cfg.int_alu, FuKind::Alu, 1, sources, vec![UopOutput::Temp(0)]));
-            uops.push(UopSpec::new(cfg.divider, FuKind::Div, 25, vec![UopInput::Temp(0)], vec![UopOutput::Temp(1)]));
+            uops.push(UopSpec::new(
+                cfg.divider,
+                FuKind::Div,
+                25,
+                vec![UopInput::Temp(0)],
+                vec![UopOutput::Temp(1)],
+            ));
             uops.push(UopSpec::new(cfg.int_alu, FuKind::Alu, 1, vec![UopInput::Temp(1)], dests));
             uops
         }
@@ -507,11 +544,8 @@ fn generic_compute_graph(inst: &Inst, cfg: &UarchConfig, _opts: TruthOptions) ->
                 } else {
                     inputs.extend(sources.iter().copied());
                 }
-                let outputs = if is_last {
-                    dests.clone()
-                } else {
-                    vec![UopOutput::Temp(stage as u8)]
-                };
+                let outputs =
+                    if is_last { dests.clone() } else { vec![UopOutput::Temp(stage as u8)] };
                 uops.push(UopSpec::new(ports, fu, latency.max(1), inputs, outputs));
                 prev_temp = Some(stage as u8);
             }

@@ -255,9 +255,13 @@ mod tests {
 
     #[test]
     fn uop_count_and_elimination() {
-        let mut c = InstrChar::of_uops(vec![
-            UopSpec::new(p(&[0, 1, 5]), FuKind::Alu, 1, vec![UopInput::Op(1)], vec![UopOutput::Op(0)]),
-        ]);
+        let mut c = InstrChar::of_uops(vec![UopSpec::new(
+            p(&[0, 1, 5]),
+            FuKind::Alu,
+            1,
+            vec![UopInput::Op(1)],
+            vec![UopOutput::Op(0)],
+        )]);
         assert_eq!(c.uop_count(), 1);
         c.eliminated = true;
         assert_eq!(c.uop_count(), 0);
@@ -282,7 +286,13 @@ mod tests {
     fn critical_path_follows_temporaries() {
         // Load (5 cycles) feeding an ALU µop (1 cycle): path = 6.
         let c = InstrChar::of_uops(vec![
-            UopSpec::new(p(&[2, 3]), FuKind::Load, 5, vec![UopInput::Addr(1)], vec![UopOutput::Temp(0)]),
+            UopSpec::new(
+                p(&[2, 3]),
+                FuKind::Load,
+                5,
+                vec![UopInput::Addr(1)],
+                vec![UopOutput::Temp(0)],
+            ),
             UopSpec::new(
                 p(&[0, 1, 5]),
                 FuKind::Alu,

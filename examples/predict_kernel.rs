@@ -32,8 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Kernel 1: eight independent ADDs — front-end / port bound.
     let add = variant_arc(&catalog, "ADD", "R64, R64")?;
     let mut pool = RegisterPool::new();
-    let independent: CodeSequence =
-        independent_copies(&add, 8, &mut pool)?.into_iter().collect();
+    let independent: CodeSequence = independent_copies(&add, 8, &mut pool)?.into_iter().collect();
 
     // Kernel 2: a loop-carried IMUL chain — latency bound.
     let imul = variant_arc(&catalog, "IMUL", "R64, R64")?;
@@ -67,9 +66,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         mixed.push(Inst::bind(&mulps, &assign, &mut pool)?);
     }
 
-    for (name, kernel) in
-        [("8 independent ADDs", &independent), ("IMUL chain (2)", &chain), ("3×PSHUFD + 2×MULPS", &mixed)]
-    {
+    for (name, kernel) in [
+        ("8 independent ADDs", &independent),
+        ("IMUL chain (2)", &chain),
+        ("3×PSHUFD + 2×MULPS", &mixed),
+    ] {
         let prediction = predictor.predict(kernel);
         let measured = uops_info::measure::measure(
             &backend,

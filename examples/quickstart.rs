@@ -57,6 +57,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    println!("\nDone. See `examples/latency_matrix.rs` and `examples/port_usage_survey.rs` for more.");
+    println!(
+        "\nDone. See `examples/latency_matrix.rs` and `examples/port_usage_survey.rs` for more."
+    );
     Ok(())
 }

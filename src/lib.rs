@@ -8,7 +8,7 @@
 //! downstream users (and the examples/integration tests in this repository)
 //! can depend on a single crate.
 //!
-//! ## Quickstart
+//! ## Quickstart: characterize an instruction
 //!
 //! ```rust
 //! use uops_info::prelude::*;
@@ -27,9 +27,47 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! ## Quickstart: persist and query the database
+//!
+//! Characterization results become a [`uops_db::Snapshot`] — the canonical
+//! serialized representation, with lossless binary and JSON encodings — and
+//! are served from the indexed, interned [`uops_db::InstructionDb`]:
+//!
+//! ```rust
+//! use uops_info::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let catalog = Catalog::intel_core();
+//! let mut reports = Vec::new();
+//! for uarch in [MicroArch::Haswell, MicroArch::Skylake] {
+//!     let backend = SimBackend::new(uarch);
+//!     let engine = CharacterizationEngine::with_config(&catalog, uarch, EngineConfig::fast());
+//!     reports.push(engine.characterize_matching(&backend, |d| {
+//!         d.mnemonic == "ADD" && d.variant() == "R64, R64"
+//!     }));
+//! }
+//!
+//! // Reports → snapshot → bytes → snapshot → database.
+//! let snapshot = uops_info::core_::reports_to_snapshot(&reports);
+//! let bytes = uops_info::db::codec::encode(&snapshot);
+//! let restored = uops_info::db::codec::decode(&bytes)?;
+//! let db = InstructionDb::from_snapshot(&restored);
+//!
+//! // Indexed query: which instructions may use port 6 on Skylake?
+//! let hits = Query::new().uarch("Skylake").uses_port(6).run(&db);
+//! assert_eq!(hits.rows[0].mnemonic(), "ADD");
+//!
+//! // Cross-generation diff (the paper's §5 findings).
+//! let report = diff_uarches(&db, "Haswell", "Skylake");
+//! assert_eq!(report.compared(), 1);
+//! # Ok(())
+//! # }
+//! ```
 
 pub use uops_asm as asm;
 pub use uops_core as core_;
+pub use uops_db as db;
 pub use uops_iaca as iaca;
 pub use uops_isa as isa;
 pub use uops_lp as lp;
@@ -44,13 +82,18 @@ pub mod prelude {
         blocking::{BlockingInstructions, VectorWorld},
         latency::{LatencyAnalyzer, LatencyMap},
         port_usage::{infer_port_usage, PortUsage},
+        snapshot::{report_to_snapshot, reports_to_snapshot},
         throughput::{measure_throughput, Throughput},
         CharacterizationEngine, CharacterizationReport, EngineConfig, InstructionProfile,
+    };
+    pub use uops_db::{
+        diff_uarches, DiffReport, InstructionDb, Query, QueryResult, Snapshot, SortKey,
+        VariantRecord,
     };
     pub use uops_iaca::{compare_against_iaca, IacaAnalyzer, IacaVersion, MeasuredInstruction};
     pub use uops_isa::{Catalog, InstructionDesc, OperandDesc, OperandKind, Register, Width};
     pub use uops_measure::{
-        MeasurementBackend, MeasurementConfig, Measurement, RunContext, SimBackend,
+        Measurement, MeasurementBackend, MeasurementConfig, RunContext, SimBackend,
     };
     pub use uops_pipeline::{PerfCounters, Pipeline};
     pub use uops_uarch::{MicroArch, Port, PortSet, UarchConfig};

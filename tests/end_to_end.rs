@@ -112,7 +112,9 @@ fn computed_and_measured_throughput_agree_for_simple_instructions() {
     let arch = MicroArch::Skylake;
     let backend = SimBackend::new(arch);
     let engine = engine_for(&catalog, arch);
-    for (mnemonic, variant) in [("PSHUFD", "XMM, XMM, I8"), ("PADDD", "XMM, XMM"), ("LEA", "R64, M64")] {
+    for (mnemonic, variant) in
+        [("PSHUFD", "XMM, XMM, I8"), ("PADDD", "XMM, XMM"), ("LEA", "R64, M64")]
+    {
         let desc = catalog.find_variant(mnemonic, variant).expect("variant exists");
         let profile = engine.characterize_variant(&backend, desc).expect("characterization");
         let computed = profile.throughput.from_port_usage.expect("computed throughput");

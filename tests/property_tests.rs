@@ -1,12 +1,14 @@
 //! Property-based tests (proptest) on the core data structures and
 //! invariants: the LP solver, port sets, flag sets, registers, the catalog's
-//! XML roundtrip, code sequences, and the simulator's counters.
+//! XML roundtrip, code sequences, the simulator's counters, and the
+//! `uops-db` snapshot encodings.
 
 use proptest::prelude::*;
 
-use uops_info::prelude::*;
+use uops_info::db::{LatencyEdge, Snapshot, UarchMeta, VariantRecord};
 use uops_info::isa::{Flag, FlagSet};
 use uops_info::lp::{min_max_load, min_max_load_by_flow, optimal_assignment, PortUsageMap};
+use uops_info::prelude::*;
 
 // ---------------------------------------------------------------------------
 // LP solver
@@ -245,5 +247,185 @@ fn catalog_xml_roundtrip_is_lossless() {
         assert_eq!(a.variant(), b.variant());
         assert_eq!(a.extension, b.extension);
         assert_eq!(a.category, b.category);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// uops-db snapshots: lossless, byte-identical, forward-compatible encodings
+// ---------------------------------------------------------------------------
+
+/// Strategy: an optional float with a present-but-zero case.
+fn arb_opt_f64() -> impl Strategy<Value = Option<f64>> {
+    (0u8..3, 0.0f64..8.0).prop_map(|(tag, v)| match tag {
+        0 => None,
+        1 => Some(0.0),
+        _ => Some(v),
+    })
+}
+
+/// Strategy: a latency edge with all optional fields exercised.
+fn arb_edge() -> impl Strategy<Value = LatencyEdge> {
+    ((0u32..4, 0u32..4, 0.0f64..30.0, 0u8..2), (arb_opt_f64(), arb_opt_f64())).prop_map(
+        |((source, target, cycles, upper), (same, low))| LatencyEdge {
+            source,
+            target,
+            cycles,
+            upper_bound: upper == 1,
+            same_reg_cycles: same,
+            low_value_cycles: low,
+        },
+    )
+}
+
+/// Strategy: one variant record drawn from small string pools (including
+/// strings that need escaping) with sorted port entries.
+fn arb_record() -> impl Strategy<Value = VariantRecord> {
+    const MNEMONICS: [&str; 6] = ["ADD", "SHLD", "VPADDD", "A<B>", "Ä\"Q\"", "DIV\n"];
+    const VARIANTS: [&str; 4] = ["R64, R64", "XMM, XMM", "", "R64, M64 \\ esc"];
+    const EXTENSIONS: [&str; 3] = ["BASE", "AVX2", "AES"];
+    const UARCHES: [&str; 3] = ["Nehalem", "Haswell", "Skylake"];
+    (
+        (0usize..6, 0usize..4, 0usize..3, 0usize..3, 0u32..5),
+        prop::collection::vec((1u16..0x100, 1u32..4), 0..4),
+        (0u32..3, 0.0f64..8.0, arb_opt_f64(), arb_opt_f64(), arb_opt_f64()),
+        prop::collection::vec(arb_edge(), 0..3),
+    )
+        .prop_map(
+            |(
+                (m, v, e, u, uops),
+                mut ports,
+                (unattributed, tp, tp_ports, tp_low, tp_breaking),
+                latency,
+            )| {
+                // The JSON encoding stores ports in the paper's notation,
+                // which is canonical (sorted); keep the model canonical too.
+                ports.sort_unstable();
+                ports.dedup_by_key(|(mask, _)| *mask);
+                VariantRecord {
+                    mnemonic: MNEMONICS[m].to_string(),
+                    variant: VARIANTS[v].to_string(),
+                    extension: EXTENSIONS[e].to_string(),
+                    uarch: UARCHES[u].to_string(),
+                    uop_count: uops,
+                    ports,
+                    unattributed,
+                    tp_measured: tp,
+                    tp_ports,
+                    tp_low_values: tp_low,
+                    tp_breaking,
+                    latency,
+                }
+            },
+        )
+}
+
+/// Strategy: a whole snapshot with uarch metadata and records.
+fn arb_snapshot() -> impl Strategy<Value = Snapshot> {
+    (
+        prop::collection::vec((0u8..3, 2008u32..2020, 1u32..400, 0u32..50), 0..3),
+        prop::collection::vec(arb_record(), 0..6),
+    )
+        .prop_map(|(metas, records)| {
+            const UARCHES: [&str; 3] = ["Nehalem", "Haswell", "Skylake"];
+            let mut snapshot = Snapshot::new("uops-info proptest");
+            for (u, year, characterized, skipped) in metas {
+                snapshot.upsert_uarch(UarchMeta {
+                    name: UARCHES[u as usize].to_string(),
+                    processor: format!("CPU-{year}"),
+                    year,
+                    ports: if year >= 2013 { 8 } else { 6 },
+                    characterized,
+                    skipped,
+                });
+            }
+            snapshot.records = records;
+            snapshot
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Binary encoding: decode(encode(s)) == s, and re-encoding the decoded
+    /// snapshot is byte-identical.
+    #[test]
+    fn snapshot_binary_roundtrip(snapshot in arb_snapshot()) {
+        let bytes = uops_info::db::codec::encode(&snapshot);
+        let decoded = uops_info::db::codec::decode(&bytes).expect("decode");
+        prop_assert_eq!(&decoded, &snapshot);
+        prop_assert_eq!(uops_info::db::codec::encode(&decoded), bytes);
+    }
+
+    /// JSON encoding: from_json(to_json(s)) == s, and re-encoding is
+    /// byte-identical.
+    #[test]
+    fn snapshot_json_roundtrip(snapshot in arb_snapshot()) {
+        let text = uops_info::db::json::to_json(&snapshot);
+        let parsed = uops_info::db::json::from_json(&text).expect("parse");
+        prop_assert_eq!(&parsed, &snapshot);
+        prop_assert_eq!(uops_info::db::json::to_json(&parsed), text);
+    }
+
+    /// Forward compatibility: unknown fields appended by a future producer
+    /// are skipped, not rejected — in both encodings.
+    #[test]
+    fn snapshot_decoders_skip_unknown_fields(snapshot in arb_snapshot()) {
+        // Binary: append three unknown top-level fields (varint field 99,
+        // fixed64 field 100, length-delimited field 101).
+        let mut bytes = uops_info::db::codec::encode(&snapshot);
+        let put_varint = |out: &mut Vec<u8>, mut v: u64| {
+            loop {
+                let byte = (v & 0x7f) as u8;
+                v >>= 7;
+                if v == 0 { out.push(byte); break; }
+                out.push(byte | 0x80);
+            }
+        };
+        put_varint(&mut bytes, 99 << 3); // wire type 0
+        put_varint(&mut bytes, 1234);
+        put_varint(&mut bytes, (100 << 3) | 1); // wire type 1
+        bytes.extend_from_slice(&1.5f64.to_le_bytes());
+        put_varint(&mut bytes, (101 << 3) | 2); // wire type 2
+        put_varint(&mut bytes, 6);
+        bytes.extend_from_slice(b"future");
+        let decoded = uops_info::db::codec::decode(&bytes).expect("skip unknown binary fields");
+        prop_assert_eq!(&decoded, &snapshot);
+
+        // JSON: splice an unknown key (with nested structure) into the
+        // document a future producer might write.
+        let text = uops_info::db::json::to_json(&snapshot);
+        let extended = text.replacen(
+            "{\n",
+            "{\n  \"future_key\": {\"nested\": [1, 2.5, \"x\", null, true]},\n",
+            1,
+        );
+        let parsed = uops_info::db::json::from_json(&extended)
+            .expect("skip unknown JSON keys");
+        prop_assert_eq!(&parsed, &snapshot);
+    }
+
+    /// Database ingestion: the indexes agree with a linear scan for every
+    /// (uarch, port) pair, and Query results match brute-force filtering.
+    #[test]
+    fn db_indexes_agree_with_linear_scan(snapshot in arb_snapshot()) {
+        let db = InstructionDb::from_snapshot(&snapshot);
+        for uarch in ["Nehalem", "Haswell", "Skylake"] {
+            for port in 0u8..10 {
+                let indexed = db.ids_by_port(uarch, port).len();
+                let scanned = db
+                    .iter()
+                    .filter(|v| {
+                        v.uarch() == uarch && v.record().port_union & (1u16 << port) != 0
+                    })
+                    .count();
+                prop_assert_eq!(indexed, scanned, "uarch {} port {}", uarch, port);
+            }
+            let q = Query::new().uarch(uarch).min_uops(1).run(&db);
+            let brute = db
+                .iter()
+                .filter(|v| v.uarch() == uarch && v.record().uop_count >= 1)
+                .count();
+            prop_assert_eq!(q.total_matches, brute);
+        }
     }
 }
