@@ -232,8 +232,14 @@ fn push_unique(v: &mut Vec<Resource>, r: Resource) {
     }
 }
 
-/// Convenience: looks up a variant in a catalog and wraps it in an [`Arc`] for
-/// repeated instantiation.
+/// Convenience: looks up a variant in a catalog and returns its interned
+/// [`Arc`] handle for repeated instantiation.
+///
+/// The catalog interns every descriptor behind an `Arc` at insertion time,
+/// so this is a reference-count bump, not a deep clone — it is called for
+/// every chain/breaker instruction the latency analyzer generates, which
+/// made the old clone-and-wrap implementation a per-microbenchmark
+/// allocation hot spot.
 ///
 /// # Errors
 ///
@@ -243,8 +249,9 @@ pub fn variant_arc(
     mnemonic: &str,
     variant: &str,
 ) -> Result<Arc<InstructionDesc>, AsmError> {
-    catalog.find_variant(mnemonic, variant).cloned().map(Arc::new).ok_or_else(|| {
-        AsmError::UnknownVariant { mnemonic: mnemonic.to_string(), variant: variant.to_string() }
+    catalog.find_variant_arc(mnemonic, variant).cloned().ok_or_else(|| AsmError::UnknownVariant {
+        mnemonic: mnemonic.to_string(),
+        variant: variant.to_string(),
     })
 }
 

@@ -3,16 +3,30 @@
 //! snapshot in both encodings, reloads it, and runs a few queries plus a
 //! cross-generation diff — the end-to-end pipeline behind uops.info.
 //!
-//! Usage: `cargo run --release --bin build_db [-- OUTPUT_PREFIX]`
-//! writes `OUTPUT_PREFIX.bin` and `OUTPUT_PREFIX.json` (default
-//! `uops_snapshot`).
+//! The per-architecture sweeps are independent (backend and engine are both
+//! per-arch), so they are sharded over a work-stealing thread pool; within a
+//! shard, any leftover thread budget parallelizes the variant sweep itself.
+//! Reports are reassembled in `MicroArch::ALL` order and each variant sweep
+//! is deterministic in catalog order, so the resulting snapshot is
+//! byte-identical to a serial run's.
+//!
+//! Usage: `cargo run --release --bin build_db [-- OPTIONS] [OUTPUT_PREFIX]`
+//!
+//! * `--threads N` — total worker-thread budget for the sweeps (default:
+//!   the number of available cores).
+//! * `--serial`    — run everything on the calling thread (equivalent to
+//!   `--threads 1`); useful as the baseline for speedup measurements.
+//! * `OUTPUT_PREFIX` — writes `OUTPUT_PREFIX.bin` and `OUTPUT_PREFIX.json`
+//!   (default `uops_snapshot`).
 
 use std::fs;
+use std::time::{Duration, Instant};
 
 use uops_bench::experiment_setup;
 use uops_core::reports_to_snapshot;
 use uops_db::{diff_uarches, InstructionDb, Query, SortKey};
 use uops_isa::Catalog;
+use uops_pool::Parallelism;
 use uops_uarch::MicroArch;
 
 /// The catalog slice characterized by this experiment: a mix of ALU,
@@ -31,31 +45,112 @@ const SELECTION: [(&str, &str); 10] = [
     ("DIV", "R32"),
 ];
 
+/// Command-line options (hand-rolled: the workspace is dependency-free).
+struct Options {
+    threads: usize,
+    prefix: String,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut threads = Parallelism::Auto.thread_count();
+    let mut prefix = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--serial" => threads = 1,
+            "--threads" => {
+                let value = args.next().ok_or("--threads requires a value")?;
+                threads = value
+                    .parse::<usize>()
+                    .map_err(|_| format!("invalid --threads value: {value}"))?
+                    .max(1);
+            }
+            "--help" | "-h" => {
+                println!("usage: build_db [--threads N | --serial] [OUTPUT_PREFIX]");
+                std::process::exit(0);
+            }
+            other if other.starts_with('-') => return Err(format!("unknown option: {other}")),
+            other => {
+                if prefix.replace(other.to_string()).is_some() {
+                    return Err("at most one OUTPUT_PREFIX may be given".to_string());
+                }
+            }
+        }
+    }
+    Ok(Options { threads, prefix: prefix.unwrap_or_else(|| "uops_snapshot".to_string()) })
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let prefix = std::env::args().nth(1).unwrap_or_else(|| "uops_snapshot".to_string());
+    let opts = match parse_args() {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
     let catalog = Catalog::intel_core();
 
-    // Characterize the slice on every generation the paper covers.
-    let mut reports = Vec::new();
-    for arch in MicroArch::ALL {
-        let (backend, engine) = experiment_setup(&catalog, arch);
-        let report = engine.characterize_matching(&backend, |d| {
-            SELECTION.iter().any(|(m, v)| d.mnemonic == *m && d.variant() == *v)
-        });
+    // Shard the sweeps per architecture over the thread budget; threads
+    // beyond the number of architectures parallelize within a shard (the
+    // first `threads % shards` shards absorb the remainder, so the whole
+    // budget is used even when it doesn't divide evenly).
+    let arches = MicroArch::ALL;
+    let shards = opts.threads.min(arches.len());
+    let inner_for = |shard: usize| {
+        let extra = usize::from(shard < opts.threads % shards);
+        match opts.threads / shards + extra {
+            1 => Parallelism::Serial,
+            n => Parallelism::Fixed(n),
+        }
+    };
+    let outer = if opts.threads == 1 { Parallelism::Serial } else { Parallelism::Fixed(shards) };
+    println!(
+        "characterizing {} variants x {} uarches ({} threads: {shards} shards, {}-{} within each)",
+        SELECTION.len(),
+        arches.len(),
+        opts.threads,
+        inner_for(shards - 1).thread_count(),
+        inner_for(0).thread_count(),
+    );
+
+    let sweep_start = Instant::now();
+    let reports = uops_pool::parallel_map_indexed(outer, arches.len(), |i| {
+        let (backend, engine) = experiment_setup(&catalog, arches[i]);
+        engine.characterize_matching_parallel(
+            &backend,
+            |d| SELECTION.iter().any(|(m, v)| d.mnemonic == *m && d.variant() == *v),
+            inner_for(i),
+        )
+    });
+    let wall = sweep_start.elapsed();
+
+    // Per-arch wall-clock, in deterministic MicroArch::ALL order.
+    for report in &reports {
+        let arch = report.arch.expect("per-arch report");
         println!(
-            "{:<14} characterized {:>3} variants ({} skipped)",
+            "{:<14} characterized {:>3} variants ({} skipped) in {:>8.2?}",
             arch.name(),
             report.characterized_count(),
-            report.skipped.len()
+            report.skipped.len(),
+            report.duration,
         );
-        reports.push(report);
     }
+    // Concurrency gain = per-arch sum / wall: how much sharding compressed
+    // the timeline vs running the same (possibly inner-parallel) shards
+    // back-to-back. With inner = 1 thread per shard this is the speedup
+    // over a fully serial sweep.
+    let shard_sum: Duration = reports.iter().map(|r| r.duration).sum();
+    println!(
+        "sweep wall-clock {wall:.2?}, per-arch sum {shard_sum:.2?} => {:.2}x concurrency gain on {} threads",
+        shard_sum.as_secs_f64() / wall.as_secs_f64().max(1e-9),
+        opts.threads
+    );
 
     // Reports → canonical snapshot → both encodings on disk.
     let mut snapshot = reports_to_snapshot(&reports);
     snapshot.canonicalize();
-    let bin_path = format!("{prefix}.bin");
-    let json_path = format!("{prefix}.json");
+    let bin_path = format!("{}.bin", opts.prefix);
+    let json_path = format!("{}.json", opts.prefix);
     let bytes = uops_db::codec::encode(&snapshot);
     fs::write(&bin_path, &bytes)?;
     fs::write(&json_path, uops_db::json::to_json(&snapshot))?;

@@ -22,8 +22,6 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
-use std::sync::Arc;
-
 use uops_core::{CharacterizationEngine, CharacterizationReport, EngineConfig, LatencyAnalyzer};
 use uops_iaca::MeasuredInstruction;
 use uops_isa::{Catalog, InstructionDesc};
@@ -90,14 +88,14 @@ pub fn latency_of(
     variant: &str,
 ) -> Option<uops_core::LatencyMap> {
     let desc = catalog
-        .find_variant(mnemonic, variant)
+        .find_variant_arc(mnemonic, variant)
         .unwrap_or_else(|| panic!("missing catalog variant {mnemonic} ({variant})"));
     if !arch.supports(desc.extension) {
         return None;
     }
     let backend = SimBackend::new(arch);
     let analyzer = latency_analyzer(&backend, catalog);
-    analyzer.infer(&Arc::new(desc.clone())).ok()
+    analyzer.infer(desc).ok()
 }
 
 /// Formats a floating-point cycle count the way the experiment tables print

@@ -101,7 +101,8 @@ impl BlockingInstructions {
         let ctx = RunContext::default();
         let mut entries: BTreeMap<PortSet, BlockingEntry> = BTreeMap::new();
 
-        for desc in catalog.iter() {
+        for arc in catalog.iter_arcs() {
+            let desc: &InstructionDesc = arc;
             if !desc.attrs.blocking_candidate()
                 || desc.attrs.locked
                 || desc.attrs.rep_prefix
@@ -112,7 +113,7 @@ impl BlockingInstructions {
             {
                 continue;
             }
-            let arc = Arc::new(desc.clone());
+            let arc = Arc::clone(arc);
             let mut pool = RegisterPool::new();
             let inst = match instantiate(&arc, &mut pool) {
                 Ok(i) => i,

@@ -1,15 +1,24 @@
 //! The characterization engine: orchestrates blocking-instruction discovery,
 //! latency, port-usage and throughput inference for individual instruction
 //! variants or the whole catalog.
+//!
+//! Catalog sweeps are embarrassingly parallel once the per-architecture
+//! setup (blocking instructions, chain calibration) has been built:
+//! [`CharacterizationEngine::characterize_matching_parallel`] fans the
+//! matching variants out over a work-stealing pool
+//! ([`uops_pool::parallel_map_indexed_with`]) and reassembles the report in
+//! deterministic catalog order, so serial and parallel sweeps produce
+//! identical reports (and therefore byte-identical snapshots downstream).
 
-use std::sync::Arc;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
-use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
 use uops_isa::{Catalog, InstructionDesc};
 use uops_measure::{MeasurementBackend, MeasurementConfig};
+use uops_pool::{parallel_map_indexed_with, Parallelism};
 use uops_uarch::MicroArch;
 
 use crate::blocking::{BlockingInstructions, VectorWorld};
@@ -90,6 +99,26 @@ impl InstructionProfile {
     }
 }
 
+/// Lazily-built `(mnemonic, variant) → profile index` lookup table for
+/// [`CharacterizationReport::find`]. Nested maps keyed by `String` so that
+/// lookups with borrowed `&str` pairs allocate nothing. The `usize` outside
+/// the map records `profiles.len()` at build time, so later mutations of the
+/// (public) `profiles` field are detectable.
+///
+/// Cloning a report clones the built index if present; a report whose index
+/// has not been demanded yet clones to an empty (lazily rebuilt) one.
+#[derive(Debug, Default)]
+pub(crate) struct FindIndex(OnceLock<(usize, HashMap<String, HashMap<String, usize>>)>);
+
+impl Clone for FindIndex {
+    fn clone(&self) -> Self {
+        match self.0.get() {
+            Some(built) => FindIndex(OnceLock::from(built.clone())),
+            None => FindIndex::default(),
+        }
+    }
+}
+
 /// The result of characterizing (a part of) the catalog.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct CharacterizationReport {
@@ -101,6 +130,8 @@ pub struct CharacterizationReport {
     pub skipped: Vec<(String, String)>,
     /// Wall-clock duration of the run.
     pub duration: Duration,
+    #[serde(skip)]
+    pub(crate) index: FindIndex,
 }
 
 impl CharacterizationReport {
@@ -110,12 +141,54 @@ impl CharacterizationReport {
         self.profiles.len()
     }
 
-    /// Looks up a profile by mnemonic and variant string.
+    /// Looks up a profile by mnemonic and variant string in O(1).
+    ///
+    /// The lookup table is built on the first call and reused afterwards
+    /// (repeated lookups are what the evaluation binaries do: `table1` and
+    /// the case-study bins probe the same report thousands of times). The
+    /// table snapshots `profiles` at that moment. `profiles` is a public
+    /// field, so mutation afterwards is possible but the table is not
+    /// invalidated: length changes and rearrangements are detected and
+    /// degrade the affected lookup to a correct linear scan, while an
+    /// in-place overwrite that keeps the length may leave the overwriting
+    /// profile invisible to `find` (a lookup of the *overwritten* entry
+    /// still never returns a wrong profile). Treat `profiles` as read-only
+    /// once `find` has been called.
     #[must_use]
     pub fn find(&self, mnemonic: &str, variant: &str) -> Option<&InstructionProfile> {
-        self.profiles.iter().find(|p| p.mnemonic == mnemonic && p.variant == variant)
+        let linear =
+            || self.profiles.iter().find(|p| p.mnemonic == mnemonic && p.variant == variant);
+        let (indexed_len, index) = self.index.0.get_or_init(|| {
+            let mut map: HashMap<String, HashMap<String, usize>> = HashMap::new();
+            for (i, p) in self.profiles.iter().enumerate() {
+                // `or_insert` keeps the first match, mirroring the linear
+                // scan this index replaced.
+                map.entry(p.mnemonic.clone()).or_default().entry(p.variant.clone()).or_insert(i);
+            }
+            (self.profiles.len(), map)
+        });
+        if *indexed_len != self.profiles.len() {
+            return linear();
+        }
+        match index.get(mnemonic).and_then(|m| m.get(variant)) {
+            Some(&i) => match self.profiles.get(i) {
+                Some(p) if p.mnemonic == mnemonic && p.variant == variant => Some(p),
+                // `profiles` was rearranged under the index: degrade
+                // gracefully.
+                _ => linear(),
+            },
+            None => None,
+        }
     }
 }
+
+/// One unit of sweep work: catalog uid plus the pre-computed skip reason
+/// (`None` means the variant is characterized).
+type SweepItem = (usize, Option<String>);
+
+/// Per-variant sweep outcome: a profile, or a `(full name, reason)` skip
+/// entry.
+type SweepOutcome = Result<InstructionProfile, (String, String)>;
 
 /// Cached per-backend state (blocking instructions and chain calibration).
 struct Setup {
@@ -129,7 +202,11 @@ pub struct CharacterizationEngine<'a> {
     catalog: &'a Catalog,
     arch: MicroArch,
     config: EngineConfig,
-    setup: Mutex<Option<Arc<Setup>>>,
+    /// One-time per-backend setup. `OnceLock` makes the steady-state read
+    /// path lock-free, so parallel sweep workers never contend; `setup_init`
+    /// only serializes the (rare, fallible) initialization itself.
+    setup: OnceLock<Setup>,
+    setup_init: Mutex<()>,
 }
 
 impl<'a> CharacterizationEngine<'a> {
@@ -146,7 +223,13 @@ impl<'a> CharacterizationEngine<'a> {
         arch: MicroArch,
         config: EngineConfig,
     ) -> CharacterizationEngine<'a> {
-        CharacterizationEngine { catalog, arch, config, setup: Mutex::new(None) }
+        CharacterizationEngine {
+            catalog,
+            arch,
+            config,
+            setup: OnceLock::new(),
+            setup_init: Mutex::new(()),
+        }
     }
 
     /// The engine's configuration.
@@ -180,10 +263,16 @@ impl<'a> CharacterizationEngine<'a> {
         None
     }
 
-    fn setup<B: MeasurementBackend + ?Sized>(&self, backend: &B) -> Result<Arc<Setup>, CoreError> {
-        let mut guard = self.setup.lock();
-        if let Some(setup) = guard.as_ref() {
-            return Ok(Arc::clone(setup));
+    fn setup<B: MeasurementBackend + ?Sized>(&self, backend: &B) -> Result<&Setup, CoreError> {
+        // Fast path: already initialized, no lock, no contention.
+        if let Some(setup) = self.setup.get() {
+            return Ok(setup);
+        }
+        // Slow path: serialize initializers so the (expensive) blocking
+        // discovery and calibration run at most once even under races.
+        let _guard = self.setup_init.lock().expect("setup init mutex");
+        if let Some(setup) = self.setup.get() {
+            return Ok(setup);
         }
         let blocking_sse = BlockingInstructions::find(
             backend,
@@ -198,10 +287,12 @@ impl<'a> CharacterizationEngine<'a> {
             VectorWorld::Avx,
         )?;
         let analyzer = LatencyAnalyzer::new(backend, self.catalog, self.config.measurement)?;
-        let setup =
-            Arc::new(Setup { blocking_sse, blocking_avx, calibration: analyzer.calibration() });
-        *guard = Some(Arc::clone(&setup));
-        Ok(setup)
+        let _ = self.setup.set(Setup {
+            blocking_sse,
+            blocking_avx,
+            calibration: analyzer.calibration(),
+        });
+        Ok(self.setup.get().expect("setup was just initialized"))
     }
 
     /// Characterizes a single instruction variant.
@@ -219,25 +310,39 @@ impl<'a> CharacterizationEngine<'a> {
             return Err(CoreError::Unsupported { instruction: desc.full_name(), reason });
         }
         let setup = self.setup(backend)?;
-        let arc = Arc::new(desc.clone());
-
-        // Isolation profile: µop count and (optionally) the naive baseline.
-        let isolation = isolation_profile(backend, &arc, &self.config.measurement)?;
-        let uop_count = isolation.rounded_uops();
-        let naive = if self.config.include_naive_baseline {
-            naive_port_usage(backend, &arc, &self.config.measurement).ok()
-        } else {
-            None
-        };
-
-        // Latency.
         let analyzer = LatencyAnalyzer::with_calibration(
             backend,
             self.catalog,
             self.config.measurement,
             setup.calibration,
         );
-        let latency = analyzer.infer(&arc).unwrap_or_default();
+        self.characterize_prepared(backend, &self.catalog.intern(desc), setup, &analyzer)
+    }
+
+    /// The per-variant hot path: all one-time state (setup, analyzer) is
+    /// supplied by the caller, and the descriptor arrives as the catalog's
+    /// interned `Arc` handle — no deep clone of mnemonic/operand strings per
+    /// variant, no analyzer reconstruction per variant.
+    fn characterize_prepared<B: MeasurementBackend + ?Sized>(
+        &self,
+        backend: &B,
+        arc: &Arc<InstructionDesc>,
+        setup: &Setup,
+        analyzer: &LatencyAnalyzer<'_, B>,
+    ) -> Result<InstructionProfile, CoreError> {
+        let desc: &InstructionDesc = arc;
+
+        // Isolation profile: µop count and (optionally) the naive baseline.
+        let isolation = isolation_profile(backend, arc, &self.config.measurement)?;
+        let uop_count = isolation.rounded_uops();
+        let naive = if self.config.include_naive_baseline {
+            naive_port_usage(backend, arc, &self.config.measurement).ok()
+        } else {
+            None
+        };
+
+        // Latency.
+        let latency = analyzer.infer(arc).unwrap_or_default();
         let max_latency = if latency.is_empty() {
             self.config.default_max_latency
         } else {
@@ -251,12 +356,12 @@ impl<'a> CharacterizationEngine<'a> {
             VectorWorld::Avx => &setup.blocking_avx,
         };
         let port_usage =
-            infer_port_usage(backend, blocking, &arc, max_latency, &self.config.measurement)?;
+            infer_port_usage(backend, blocking, arc, max_latency, &self.config.measurement)?;
 
         // Throughput: measured and, where possible, computed from the port
         // usage.
         let mut throughput =
-            measure_throughput(backend, self.catalog, &arc, &self.config.measurement)?;
+            measure_throughput(backend, self.catalog, arc, &self.config.measurement)?;
         throughput.from_port_usage =
             throughput_from_port_usage(&port_usage, desc, backend.config().port_count);
 
@@ -275,29 +380,146 @@ impl<'a> CharacterizationEngine<'a> {
     }
 
     /// Characterizes every supported variant in the catalog (variants for
-    /// which `filter` returns `true`).
-    pub fn characterize_matching<B, F>(&self, backend: &B, mut filter: F) -> CharacterizationReport
+    /// which `filter` returns `true`), serially on the calling thread.
+    ///
+    /// Produces exactly the report of [`characterize_matching_parallel`]
+    /// with [`Parallelism::Serial`] — same per-item code path, same ordering
+    /// — but without that method's `Sync` bound, so hardware backends with
+    /// interior mutability (a perf-event fd, a ring buffer) can still run
+    /// serial sweeps.
+    ///
+    /// [`characterize_matching_parallel`]: CharacterizationEngine::characterize_matching_parallel
+    pub fn characterize_matching<B, F>(&self, backend: &B, filter: F) -> CharacterizationReport
     where
         B: MeasurementBackend + ?Sized,
         F: FnMut(&InstructionDesc) -> bool,
     {
+        self.sweep_with(backend, filter, |items, setup| {
+            let mut analyzer = self.analyzer_for(backend, setup);
+            items
+                .iter()
+                .map(|item| self.sweep_item(backend, setup, analyzer.as_mut(), item))
+                .collect()
+        })
+    }
+
+    /// Characterizes every supported variant matching `filter`, fanning the
+    /// variants out over a work-stealing thread pool.
+    ///
+    /// The filter runs serially (in catalog order) to select the work items;
+    /// each worker then builds one latency analyzer from the cached
+    /// calibration and characterizes its share of the variants. The report
+    /// — `profiles`, `skipped`, and their ordering — is reassembled in
+    /// **catalog order** regardless of worker interleaving, so a parallel
+    /// sweep is indistinguishable from a serial one (only `duration`
+    /// differs).
+    pub fn characterize_matching_parallel<B, F>(
+        &self,
+        backend: &B,
+        filter: F,
+        parallelism: Parallelism,
+    ) -> CharacterizationReport
+    where
+        B: MeasurementBackend + Sync + ?Sized,
+        F: FnMut(&InstructionDesc) -> bool,
+    {
+        self.sweep_with(backend, filter, |items, setup| {
+            parallel_map_indexed_with(
+                parallelism,
+                items.len(),
+                || self.analyzer_for(backend, setup),
+                |analyzer, i| self.sweep_item(backend, setup, analyzer.as_mut(), &items[i]),
+            )
+        })
+    }
+
+    /// The shared sweep driver: selects work items in catalog order, builds
+    /// the one-time setup, hands the items to `run` (inline loop or thread
+    /// pool), and reassembles the report from the in-order outcomes, so
+    /// profiles and skip entries interleave identically however `run`
+    /// schedules the work.
+    fn sweep_with<B, F, R>(&self, backend: &B, mut filter: F, run: R) -> CharacterizationReport
+    where
+        B: MeasurementBackend + ?Sized,
+        F: FnMut(&InstructionDesc) -> bool,
+        R: FnOnce(&[SweepItem], Option<&Setup>) -> Vec<SweepOutcome>,
+    {
         let start = Instant::now();
         let mut report = CharacterizationReport { arch: Some(self.arch), ..Default::default() };
-        for desc in self.catalog.iter() {
-            if !filter(desc) {
-                continue;
+
+        // Select work items serially: (uid, pre-computed skip reason).
+        let items: Vec<SweepItem> = self
+            .catalog
+            .iter()
+            .filter(|desc| filter(desc))
+            .map(|desc| (desc.uid, self.supports(desc)))
+            .collect();
+
+        // Build the shared setup once, before running, so parallel workers
+        // only ever hit the lock-free `OnceLock::get` path. If nothing needs
+        // characterization the setup is skipped entirely; if it fails, every
+        // candidate records the error.
+        let setup = if items.iter().any(|(_, skip)| skip.is_none()) {
+            match self.setup(backend) {
+                Ok(setup) => Some(setup),
+                Err(e) => {
+                    let reason = e.to_string();
+                    for (uid, skip) in items {
+                        let name = self.catalog.get(uid).full_name();
+                        report.skipped.push((name, skip.unwrap_or_else(|| reason.clone())));
+                    }
+                    report.duration = start.elapsed();
+                    return report;
+                }
             }
-            if let Some(reason) = self.supports(desc) {
-                report.skipped.push((desc.full_name(), reason));
-                continue;
-            }
-            match self.characterize_variant(backend, desc) {
+        } else {
+            None
+        };
+
+        for outcome in run(&items, setup) {
+            match outcome {
                 Ok(profile) => report.profiles.push(profile),
-                Err(e) => report.skipped.push((desc.full_name(), e.to_string())),
+                Err(skip) => report.skipped.push(skip),
             }
         }
         report.duration = start.elapsed();
         report
+    }
+
+    /// One latency analyzer per sweep worker, rebuilt from the cached
+    /// calibration (no re-measurement).
+    fn analyzer_for<'b, B: MeasurementBackend + ?Sized>(
+        &'b self,
+        backend: &'b B,
+        setup: Option<&Setup>,
+    ) -> Option<LatencyAnalyzer<'b, B>> {
+        setup.map(|setup| {
+            LatencyAnalyzer::with_calibration(
+                backend,
+                self.catalog,
+                self.config.measurement,
+                setup.calibration,
+            )
+        })
+    }
+
+    /// Characterizes (or skips) one sweep item.
+    fn sweep_item<B: MeasurementBackend + ?Sized>(
+        &self,
+        backend: &B,
+        setup: Option<&Setup>,
+        analyzer: Option<&mut LatencyAnalyzer<'_, B>>,
+        item: &SweepItem,
+    ) -> SweepOutcome {
+        let (uid, ref skip) = *item;
+        let arc = self.catalog.get_arc(uid);
+        if let Some(reason) = skip {
+            return Err((arc.full_name(), reason.clone()));
+        }
+        let setup = setup.expect("setup exists for characterized items");
+        let analyzer = analyzer.expect("analyzer exists for characterized items");
+        self.characterize_prepared(backend, arc, setup, analyzer)
+            .map_err(|e| (arc.full_name(), e.to_string()))
     }
 
     /// Characterizes the entire catalog.
@@ -330,7 +552,7 @@ impl<'a> CharacterizationEngine<'a> {
             if self.supports(desc).is_some() {
                 continue;
             }
-            let arc = Arc::new(desc.clone());
+            let arc = self.catalog.intern(desc);
             let Ok(map) = analyzer.infer(&arc) else { continue };
             // The instruction is dependency-breaking if the same-register
             // measurement of some register pair shows (almost) no latency
@@ -415,6 +637,100 @@ mod tests {
         let adc = report.find("ADC", "R64, R64").unwrap();
         assert_eq!(adc.port_usage.uops_for(PortSet::of(&[0, 6])), 1);
         assert!(report.duration > Duration::from_millis(0));
+    }
+
+    #[test]
+    fn parallel_sweep_is_deterministic_and_identical_to_serial() {
+        // A deliberately small slice — the heavyweight determinism coverage
+        // (big slice, snapshot byte-identity, release mode) lives in the
+        // root `tests/parallel_sweep.rs` suite.
+        let catalog = Catalog::intel_core();
+        let backend = SimBackend::new(MicroArch::Skylake);
+        let filter = |d: &InstructionDesc| {
+            matches!(
+                (d.mnemonic.as_str(), d.variant().as_str()),
+                ("ADD", "R64, R64")
+                    | ("SHLD", "R64, R64, I8")
+                    | ("PADDD", "XMM, XMM")
+                    | ("RDMSR", _)
+            )
+        };
+
+        let engine =
+            CharacterizationEngine::with_config(&catalog, MicroArch::Skylake, EngineConfig::fast());
+        let serial = engine.characterize_matching(&backend, filter);
+
+        // A fresh engine, so the parallel sweep also exercises the one-time
+        // setup path, with workers racing on the OnceLock read side.
+        let engine =
+            CharacterizationEngine::with_config(&catalog, MicroArch::Skylake, EngineConfig::fast());
+        let parallel =
+            engine.characterize_matching_parallel(&backend, filter, Parallelism::Fixed(4));
+
+        assert_eq!(serial.characterized_count(), 3);
+        assert!(!serial.skipped.is_empty(), "RDMSR must be skipped");
+        assert_eq!(serial.arch, parallel.arch);
+        assert_eq!(serial.profiles, parallel.profiles, "profiles must match in catalog order");
+        assert_eq!(serial.skipped, parallel.skipped, "skip list must match in catalog order");
+    }
+
+    /// A `!Sync` backend (interior mutability, as a perf-event/hardware
+    /// backend would have) must still be able to run serial sweeps — only
+    /// `characterize_matching_parallel` requires `Sync`.
+    #[test]
+    fn serial_sweep_accepts_non_sync_backends() {
+        struct CountingBackend {
+            inner: SimBackend,
+            runs: std::cell::Cell<usize>, // Cell makes this !Sync
+        }
+        impl uops_measure::MeasurementBackend for CountingBackend {
+            fn arch(&self) -> MicroArch {
+                self.inner.arch()
+            }
+            fn run(
+                &self,
+                code: &uops_asm::CodeSequence,
+                ctx: uops_measure::RunContext,
+            ) -> uops_measure::PerfCounters {
+                self.runs.set(self.runs.get() + 1);
+                self.inner.run(code, ctx)
+            }
+        }
+
+        let catalog = Catalog::intel_core();
+        let backend = CountingBackend {
+            inner: SimBackend::new(MicroArch::Skylake),
+            runs: std::cell::Cell::new(0),
+        };
+        let engine =
+            CharacterizationEngine::with_config(&catalog, MicroArch::Skylake, EngineConfig::fast());
+        let report = engine
+            .characterize_matching(&backend, |d| d.mnemonic == "ADD" && d.variant() == "R64, R64");
+        assert_eq!(report.characterized_count(), 1);
+        assert!(backend.runs.get() > 0, "the wrapped backend must have been used");
+    }
+
+    #[test]
+    fn report_find_uses_the_index() {
+        let catalog = Catalog::intel_core();
+        let backend = SimBackend::new(MicroArch::Haswell);
+        let engine =
+            CharacterizationEngine::with_config(&catalog, MicroArch::Haswell, EngineConfig::fast());
+        let report =
+            engine.characterize_matching(&backend, |d| d.mnemonic == "ADD" || d.mnemonic == "SUB");
+        // Repeated lookups (hitting the built index) and misses both work,
+        // and a clone keeps a working lookup.
+        for _ in 0..3 {
+            assert!(report.find("ADD", "R64, R64").is_some());
+            assert!(report.find("SUB", "R32, R32").is_some());
+            assert!(report.find("ADD", "R64, M999").is_none());
+            assert!(report.find("NOPE", "R64, R64").is_none());
+        }
+        let cloned = report.clone();
+        assert_eq!(
+            cloned.find("ADD", "R64, R64").map(|p| p.uid),
+            report.find("ADD", "R64, R64").map(|p| p.uid)
+        );
     }
 
     #[test]

@@ -1023,7 +1023,8 @@ impl<'a, B: MeasurementBackend + ?Sized> LatencyAnalyzer<'a, B> {
     }
 
     /// Cross-file chain instruction candidates reading a register of
-    /// `from_file` and writing a register of `to_file`.
+    /// `from_file` and writing a register of `to_file`. Candidates are the
+    /// catalog's interned handles — no descriptor is deep-cloned here.
     fn cross_chain_candidates(
         &self,
         from_file: RegFile,
@@ -1032,7 +1033,7 @@ impl<'a, B: MeasurementBackend + ?Sized> LatencyAnalyzer<'a, B> {
         let arch = self.backend.arch();
         let mut candidates: Vec<Arc<InstructionDesc>> = self
             .catalog
-            .iter()
+            .iter_arcs()
             .filter(|c| {
                 if !arch.supports(c.extension) || c.has_memory_operand() || c.attrs.system {
                     return false;
@@ -1057,7 +1058,7 @@ impl<'a, B: MeasurementBackend + ?Sized> LatencyAnalyzer<'a, B> {
                 }
                 reads_from && writes_to && other_regs == 0
             })
-            .map(|c| Arc::new(c.clone()))
+            .map(Arc::clone)
             .collect();
         // Prefer plain moves over extracts/converts.
         candidates.sort_by_key(|c| (c.operands.len(), c.mnemonic.clone()));

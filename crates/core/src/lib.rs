@@ -72,3 +72,4 @@ pub use predict::{Bottleneck, Prediction, Predictor};
 pub use prior::{naive_latency, naive_port_usage, NaiveLatency, NaivePortUsage};
 pub use snapshot::{profile_to_record, report_to_snapshot, reports_to_snapshot};
 pub use throughput::{measure_throughput, throughput_from_port_usage, Throughput};
+pub use uops_pool::Parallelism;

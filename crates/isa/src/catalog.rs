@@ -7,6 +7,7 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
@@ -17,9 +18,17 @@ use crate::extension::{Category, Extension};
 ///
 /// Variants are stored in a stable order and indexed by their `uid`; the
 /// catalog additionally maintains a mnemonic index for lookups.
+///
+/// Descriptors are interned behind [`Arc`] at insertion time: consumers that
+/// need a shared handle for repeated instantiation (the assembler's `Inst`
+/// stores one per instruction instance) clone the interned `Arc` via
+/// [`Catalog::get_arc`] / [`Catalog::find_variant_arc`] instead of
+/// deep-cloning mnemonic and operand strings on every use — the
+/// characterization hot path does this once per generated microbenchmark
+/// instruction.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Catalog {
-    descriptors: Vec<InstructionDesc>,
+    descriptors: Vec<Arc<InstructionDesc>>,
     #[serde(skip)]
     by_mnemonic: BTreeMap<String, Vec<usize>>,
 }
@@ -48,7 +57,7 @@ impl Catalog {
         let uid = self.descriptors.len();
         desc.uid = uid;
         self.by_mnemonic.entry(desc.mnemonic.clone()).or_default().push(uid);
-        self.descriptors.push(desc);
+        self.descriptors.push(Arc::new(desc));
         uid
     }
 
@@ -85,16 +94,41 @@ impl Catalog {
     /// Returns the descriptor with the given uid, or `None` if out of range.
     #[must_use]
     pub fn try_get(&self, uid: usize) -> Option<&InstructionDesc> {
+        self.descriptors.get(uid).map(Arc::as_ref)
+    }
+
+    /// Returns the interned shared handle for the descriptor with the given
+    /// uid. Cloning the returned `Arc` is the allocation-free way to obtain
+    /// an owned handle for instruction instantiation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `uid` is out of range.
+    #[must_use]
+    pub fn get_arc(&self, uid: usize) -> &Arc<InstructionDesc> {
+        &self.descriptors[uid]
+    }
+
+    /// Returns the interned shared handle with the given uid, or `None` if
+    /// out of range.
+    #[must_use]
+    pub fn try_get_arc(&self, uid: usize) -> Option<&Arc<InstructionDesc>> {
         self.descriptors.get(uid)
     }
 
     /// Iterates over all variants.
     pub fn iter(&self) -> impl Iterator<Item = &InstructionDesc> {
+        self.descriptors.iter().map(Arc::as_ref)
+    }
+
+    /// Iterates over the interned shared handles of all variants.
+    pub fn iter_arcs(&self) -> impl Iterator<Item = &Arc<InstructionDesc>> {
         self.descriptors.iter()
     }
 
-    /// All variants of the given mnemonic.
-    pub fn variants_of(&self, mnemonic: &str) -> impl Iterator<Item = &InstructionDesc> {
+    /// Interned handles of all variants of the given mnemonic (the single
+    /// walk of the mnemonic index backing the lookups below).
+    fn variant_arcs_of(&self, mnemonic: &str) -> impl Iterator<Item = &Arc<InstructionDesc>> {
         self.by_mnemonic
             .get(mnemonic)
             .map(|v| v.as_slice())
@@ -103,11 +137,34 @@ impl Catalog {
             .map(move |&i| &self.descriptors[i])
     }
 
+    /// All variants of the given mnemonic.
+    pub fn variants_of(&self, mnemonic: &str) -> impl Iterator<Item = &InstructionDesc> {
+        self.variant_arcs_of(mnemonic).map(Arc::as_ref)
+    }
+
     /// Finds a variant by mnemonic and variant string (e.g. `"R64, R64"`).
     #[must_use]
     pub fn find_variant(&self, mnemonic: &str, variant: &str) -> Option<&InstructionDesc> {
+        self.find_variant_arc(mnemonic, variant).map(Arc::as_ref)
+    }
+
+    /// Finds a variant's interned shared handle by mnemonic and variant
+    /// string. Cloning the result is cheap (reference-count bump).
+    #[must_use]
+    pub fn find_variant_arc(&self, mnemonic: &str, variant: &str) -> Option<&Arc<InstructionDesc>> {
         let normalized = normalize_variant(variant);
-        self.variants_of(mnemonic).find(|d| normalize_variant(&d.variant()) == normalized)
+        self.variant_arcs_of(mnemonic).find(|d| normalize_variant(&d.variant()) == normalized)
+    }
+
+    /// Returns the interned handle for a descriptor that was obtained from
+    /// this catalog (matched by uid and identity), or a freshly allocated
+    /// clone for foreign descriptors.
+    #[must_use]
+    pub fn intern(&self, desc: &InstructionDesc) -> Arc<InstructionDesc> {
+        match self.descriptors.get(desc.uid) {
+            Some(arc) if std::ptr::eq(arc.as_ref(), desc) => Arc::clone(arc),
+            _ => Arc::new(desc.clone()),
+        }
     }
 
     /// All distinct mnemonics in the catalog.
@@ -117,12 +174,12 @@ impl Catalog {
 
     /// Iterates over variants of a given category.
     pub fn by_category(&self, category: Category) -> impl Iterator<Item = &InstructionDesc> {
-        self.descriptors.iter().filter(move |d| d.category == category)
+        self.iter().filter(move |d| d.category == category)
     }
 
     /// Iterates over variants of a given extension.
     pub fn by_extension(&self, extension: Extension) -> impl Iterator<Item = &InstructionDesc> {
-        self.descriptors.iter().filter(move |d| d.extension == extension)
+        self.iter().filter(move |d| d.extension == extension)
     }
 
     /// Counts variants per extension (useful for reporting).
@@ -144,10 +201,13 @@ impl fmt::Display for Catalog {
 
 impl<'a> IntoIterator for &'a Catalog {
     type Item = &'a InstructionDesc;
-    type IntoIter = std::slice::Iter<'a, InstructionDesc>;
+    type IntoIter = std::iter::Map<
+        std::slice::Iter<'a, Arc<InstructionDesc>>,
+        fn(&'a Arc<InstructionDesc>) -> &'a InstructionDesc,
+    >;
 
     fn into_iter(self) -> Self::IntoIter {
-        self.descriptors.iter()
+        self.descriptors.iter().map(Arc::as_ref)
     }
 }
 
@@ -228,6 +288,25 @@ mod tests {
         let hist = c.extension_histogram();
         assert_eq!(hist.get("BASE"), Some(&2));
         assert_eq!(hist.get("SSE2"), Some(&1));
+    }
+
+    #[test]
+    fn interned_arcs_are_shared_not_cloned() {
+        let c = small_catalog();
+        let desc = c.find_variant("ADD", "R64, R64").unwrap();
+        // The interned handle for a catalog-borrowed descriptor aliases the
+        // stored Arc (no deep clone)...
+        let interned = c.intern(desc);
+        assert!(std::ptr::eq(interned.as_ref(), desc));
+        assert!(std::ptr::eq(interned.as_ref(), c.get(desc.uid)));
+        assert!(std::ptr::eq(c.get_arc(desc.uid).as_ref(), desc));
+        assert!(std::ptr::eq(c.find_variant_arc("ADD", "R64, R64").unwrap().as_ref(), desc));
+        // ...while a foreign descriptor falls back to a fresh allocation.
+        let mut foreign = desc.clone();
+        foreign.uid = desc.uid;
+        let fresh = c.intern(&foreign);
+        assert!(!std::ptr::eq(fresh.as_ref(), desc));
+        assert!(c.try_get_arc(usize::MAX).is_none());
     }
 
     #[test]

@@ -35,3 +35,6 @@ pub mod harness;
 
 pub use backend::{MeasurementBackend, RunContext, SimBackend};
 pub use harness::{measure, measure_single, Measurement, MeasurementConfig};
+// Re-exported so implementors of `MeasurementBackend` can name the trait's
+// counter type without depending on `uops-pipeline` directly.
+pub use uops_pipeline::PerfCounters;

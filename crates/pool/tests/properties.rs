@@ -1,0 +1,67 @@
+//! Property tests for the work-stealing pool: for arbitrary input sizes and
+//! thread counts, `parallel_map_indexed` preserves input order, evaluates
+//! every index exactly once, and propagates worker panics without
+//! deadlocking.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use proptest::prelude::*;
+use uops_pool::{parallel_map_indexed, parallel_map_indexed_with, Parallelism};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Results come back in index order for any (size, thread count).
+    #[test]
+    fn order_is_preserved((len, threads) in (0usize..600, 1usize..9)) {
+        let out = parallel_map_indexed(Parallelism::Fixed(threads), len, |i| i.wrapping_mul(31) ^ 7);
+        let expected: Vec<usize> = (0..len).map(|i| i.wrapping_mul(31) ^ 7).collect();
+        prop_assert_eq!(out, expected);
+    }
+
+    /// Every index is evaluated exactly once, never zero or twice.
+    #[test]
+    fn each_index_runs_exactly_once((len, threads) in (1usize..400, 1usize..9)) {
+        let hits: Vec<AtomicUsize> = (0..len).map(|_| AtomicUsize::new(0)).collect();
+        parallel_map_indexed(Parallelism::Fixed(threads), len, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        for (i, h) in hits.iter().enumerate() {
+            prop_assert_eq!(h.load(Ordering::Relaxed), 1, "index {} ran a wrong number of times", i);
+        }
+    }
+
+    /// Serial and parallel execution agree for any thread count, including
+    /// the per-worker-context variant.
+    #[test]
+    fn serial_and_parallel_agree((len, threads) in (0usize..300, 2usize..9)) {
+        let serial = parallel_map_indexed(Parallelism::Serial, len, |i| i * i + 1);
+        let parallel = parallel_map_indexed_with(
+            Parallelism::Fixed(threads),
+            len,
+            || 0u64,
+            |scratch, i| {
+                *scratch += 1; // exercise the mutable per-worker context
+                i * i + 1
+            },
+        );
+        prop_assert_eq!(serial, parallel);
+    }
+
+    /// A panicking item propagates for any position and thread count, and
+    /// the call returns (no deadlock) with all other work drained.
+    #[test]
+    fn panic_propagates((len, threads, victim) in (1usize..200, 1usize..9, 0usize..200)) {
+        let victim = victim % len;
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            parallel_map_indexed(Parallelism::Fixed(threads), len, |i| {
+                if i == victim {
+                    panic!("injected failure");
+                }
+                i
+            })
+        }));
+        prop_assert!(result.is_err(), "panic at index {} must propagate", victim);
+    }
+}

@@ -28,6 +28,34 @@
 //! # }
 //! ```
 //!
+//! ## Quickstart: parallel catalog sweeps
+//!
+//! Catalog sweeps are embarrassingly parallel per variant; fan them out
+//! over the built-in work-stealing pool with a [`Parallelism`] setting.
+//! Parallel sweeps are deterministic: the report (and any snapshot built
+//! from it) is identical to a serial sweep's, byte for byte.
+//!
+//! [`Parallelism`]: uops_pool::Parallelism
+//!
+//! ```rust
+//! use uops_info::prelude::*;
+//!
+//! let catalog = Catalog::intel_core();
+//! let backend = SimBackend::new(MicroArch::Skylake);
+//! let engine =
+//!     CharacterizationEngine::with_config(&catalog, MicroArch::Skylake, EngineConfig::fast());
+//! // Parallelism::Auto uses all cores; Fixed(n) pins the worker count;
+//! // Serial runs inline (characterize_matching delegates to it).
+//! let report = engine.characterize_matching_parallel(
+//!     &backend,
+//!     |d| d.mnemonic == "ADD",
+//!     Parallelism::Auto,
+//! );
+//! assert!(report.characterized_count() > 0);
+//! // O(1) indexed lookup by (mnemonic, variant):
+//! assert!(report.find("ADD", "R64, R64").is_some());
+//! ```
+//!
 //! ## Quickstart: persist and query the database
 //!
 //! Characterization results become a [`uops_db::Snapshot`] — the canonical
@@ -73,6 +101,7 @@ pub use uops_isa as isa;
 pub use uops_lp as lp;
 pub use uops_measure as measure;
 pub use uops_pipeline as pipeline;
+pub use uops_pool as pool;
 pub use uops_uarch as uarch;
 
 /// Commonly used items, re-exported for convenience.
@@ -96,5 +125,6 @@ pub mod prelude {
         Measurement, MeasurementBackend, MeasurementConfig, RunContext, SimBackend,
     };
     pub use uops_pipeline::{PerfCounters, Pipeline};
+    pub use uops_pool::{parallel_map, parallel_map_indexed, Parallelism};
     pub use uops_uarch::{MicroArch, Port, PortSet, UarchConfig};
 }

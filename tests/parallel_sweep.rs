@@ -1,0 +1,61 @@
+//! End-to-end determinism of the parallel characterization sweep: a sweep
+//! fanned out over the work-stealing pool must produce a report — profiles,
+//! skip list, and their ordering — identical to the serial sweep's, and the
+//! canonical binary encoding of the resulting snapshot must be
+//! byte-identical. This is what lets `build_db --threads N` replace the
+//! serial pipeline without any observable output change.
+//!
+//! CI runs this suite in both debug and `--release` (worker interleavings
+//! differ with optimization levels; determinism must hold in both).
+
+use uops_info::core_::{reports_to_snapshot, Parallelism};
+use uops_info::prelude::*;
+
+/// The slice characterized by these tests: mixed ALU/shift/vector/AES plus
+/// an unsupported system instruction so the skip path is exercised too.
+fn in_slice(d: &InstructionDesc) -> bool {
+    matches!(
+        d.mnemonic.as_str(),
+        "ADD" | "ADC" | "SHLD" | "AESDEC" | "PADDD" | "MULPS" | "VADDPS" | "RDMSR"
+    )
+}
+
+fn sweep(arch: MicroArch, catalog: &Catalog, parallelism: Parallelism) -> CharacterizationReport {
+    let backend = SimBackend::new(arch);
+    // A fresh engine per sweep: the parallel run must also build the
+    // one-time setup (blocking discovery, calibration) under contention.
+    let engine = CharacterizationEngine::with_config(catalog, arch, EngineConfig::fast());
+    engine.characterize_matching_parallel(&backend, in_slice, parallelism)
+}
+
+#[test]
+fn parallel_sweep_report_is_identical_to_serial() {
+    let catalog = Catalog::intel_core();
+    let serial = sweep(MicroArch::Skylake, &catalog, Parallelism::Serial);
+    let parallel = sweep(MicroArch::Skylake, &catalog, Parallelism::Fixed(4));
+
+    assert!(serial.characterized_count() > 10, "slice must be non-trivial");
+    assert!(!serial.skipped.is_empty(), "RDMSR must be skipped");
+    assert_eq!(serial.arch, parallel.arch);
+    assert_eq!(serial.profiles, parallel.profiles, "profiles must match in catalog order");
+    assert_eq!(serial.skipped, parallel.skipped, "skip list must match in catalog order");
+}
+
+#[test]
+fn parallel_sweep_snapshot_is_byte_identical_to_serial() {
+    let catalog = Catalog::intel_core();
+    let arches = [MicroArch::Haswell, MicroArch::Skylake];
+
+    let encode = |parallelism: Parallelism| {
+        let reports: Vec<CharacterizationReport> =
+            arches.iter().map(|&arch| sweep(arch, &catalog, parallelism)).collect();
+        let mut snapshot = reports_to_snapshot(&reports);
+        snapshot.canonicalize();
+        uops_info::db::codec::encode(&snapshot)
+    };
+
+    let serial_bytes = encode(Parallelism::Serial);
+    let parallel_bytes = encode(Parallelism::Fixed(4));
+    assert!(!serial_bytes.is_empty());
+    assert_eq!(serial_bytes, parallel_bytes, "canonical snapshot bytes must be identical");
+}
