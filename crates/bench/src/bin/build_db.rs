@@ -1,7 +1,7 @@
 //! Builds a persistent instruction-characterization database: characterizes
 //! a slice of the catalog on every supported microarchitecture, writes the
-//! snapshot in both encodings, reloads it, and runs a few queries plus a
-//! cross-generation diff — the end-to-end pipeline behind uops.info.
+//! snapshot in the requested encodings, reloads it, and runs a few queries
+//! plus a cross-generation diff — the end-to-end pipeline behind uops.info.
 //!
 //! The per-architecture sweeps are independent (backend and engine are both
 //! per-arch), so they are sharded over a work-stealing thread pool; within a
@@ -10,21 +10,39 @@
 //! is deterministic in catalog order, so the resulting snapshot is
 //! byte-identical to a serial run's.
 //!
+//! Two persistent formats are written and compared:
+//!
+//! * **TLV** (`PREFIX.bin` + `PREFIX.json`): the compact interchange
+//!   encoding — loading decodes every record, then builds the in-memory
+//!   indexes.
+//! * **Segment** (`PREFIX.seg`): the zero-copy serving format — opening
+//!   validates the header and section table only; queries read the image
+//!   in place. The run prints both open times and the bytes each path
+//!   touches, so the load-time win is visible in one run.
+//!
+//! With `--merge`, each architecture shard is additionally written as its
+//! own segment (`PREFIX.shard-<arch>.seg`) and the final segment is
+//! produced by `Segment::merge` instead of a single-pass encode; the run
+//! asserts the merged image is byte-identical to the single-pass one.
+//!
 //! Usage: `cargo run --release --bin build_db [-- OPTIONS] [OUTPUT_PREFIX]`
 //!
 //! * `--threads N` — total worker-thread budget for the sweeps (default:
 //!   the number of available cores).
 //! * `--serial`    — run everything on the calling thread (equivalent to
 //!   `--threads 1`); useful as the baseline for speedup measurements.
-//! * `OUTPUT_PREFIX` — writes `OUTPUT_PREFIX.bin` and `OUTPUT_PREFIX.json`
-//!   (default `uops_snapshot`).
+//! * `--format tlv|segment|both` — which persistent encodings to write
+//!   (default `both`).
+//! * `--merge`     — write per-arch segment shards and k-way-merge them
+//!   into the final segment (implies the segment format).
+//! * `OUTPUT_PREFIX` — output path prefix (default `uops_snapshot`).
 
 use std::fs;
 use std::time::{Duration, Instant};
 
 use uops_bench::experiment_setup;
-use uops_core::reports_to_snapshot;
-use uops_db::{diff_uarches, InstructionDb, Query, SortKey};
+use uops_core::{report_to_snapshot, reports_to_snapshot};
+use uops_db::{diff_uarches, DbBackend, InstructionDb, Query, Segment, Snapshot, SortKey};
 use uops_isa::Catalog;
 use uops_pool::Parallelism;
 use uops_uarch::MicroArch;
@@ -45,15 +63,37 @@ const SELECTION: [(&str, &str); 10] = [
     ("DIV", "R32"),
 ];
 
+/// Which persistent encodings to write.
+#[derive(Clone, Copy, PartialEq)]
+enum Format {
+    Tlv,
+    Segment,
+    Both,
+}
+
+impl Format {
+    fn tlv(self) -> bool {
+        matches!(self, Format::Tlv | Format::Both)
+    }
+
+    fn segment(self) -> bool {
+        matches!(self, Format::Segment | Format::Both)
+    }
+}
+
 /// Command-line options (hand-rolled: the workspace is dependency-free).
 struct Options {
     threads: usize,
     prefix: String,
+    format: Format,
+    merge: bool,
 }
 
 fn parse_args() -> Result<Options, String> {
     let mut threads = Parallelism::Auto.thread_count();
     let mut prefix = None;
+    let mut format = Format::Both;
+    let mut merge = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -65,8 +105,21 @@ fn parse_args() -> Result<Options, String> {
                     .map_err(|_| format!("invalid --threads value: {value}"))?
                     .max(1);
             }
+            "--format" => {
+                let value = args.next().ok_or("--format requires a value")?;
+                format = match value.as_str() {
+                    "tlv" => Format::Tlv,
+                    "segment" => Format::Segment,
+                    "both" => Format::Both,
+                    other => return Err(format!("invalid --format value: {other}")),
+                };
+            }
+            "--merge" => merge = true,
             "--help" | "-h" => {
-                println!("usage: build_db [--threads N | --serial] [OUTPUT_PREFIX]");
+                println!(
+                    "usage: build_db [--threads N | --serial] [--format tlv|segment|both] \
+                     [--merge] [OUTPUT_PREFIX]"
+                );
                 std::process::exit(0);
             }
             other if other.starts_with('-') => return Err(format!("unknown option: {other}")),
@@ -77,7 +130,26 @@ fn parse_args() -> Result<Options, String> {
             }
         }
     }
-    Ok(Options { threads, prefix: prefix.unwrap_or_else(|| "uops_snapshot".to_string()) })
+    if merge && !format.segment() {
+        return Err("--merge requires the segment format (--format segment|both)".to_string());
+    }
+    Ok(Options {
+        threads,
+        prefix: prefix.unwrap_or_else(|| "uops_snapshot".to_string()),
+        format,
+        merge,
+    })
+}
+
+/// Human-readable byte count.
+fn fmt_bytes(n: usize) -> String {
+    if n >= 1 << 20 {
+        format!("{:.1} MiB", n as f64 / (1 << 20) as f64)
+    } else if n >= 1 << 10 {
+        format!("{:.1} KiB", n as f64 / (1 << 10) as f64)
+    } else {
+        format!("{n} B")
+    }
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -146,27 +218,81 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         opts.threads
     );
 
-    // Reports → canonical snapshot → both encodings on disk.
+    // Reports → canonical snapshot → the requested encodings on disk.
     let mut snapshot = reports_to_snapshot(&reports);
     snapshot.canonicalize();
+    let mut written = Vec::new();
+
     let bin_path = format!("{}.bin", opts.prefix);
-    let json_path = format!("{}.json", opts.prefix);
-    let bytes = uops_db::codec::encode(&snapshot);
-    fs::write(&bin_path, &bytes)?;
-    fs::write(&json_path, uops_db::json::to_json(&snapshot))?;
+    let mut tlv_bytes = None;
+    if opts.format.tlv() {
+        let json_path = format!("{}.json", opts.prefix);
+        let bytes = uops_db::codec::encode(&snapshot);
+        fs::write(&bin_path, &bytes)?;
+        fs::write(&json_path, uops_db::json::to_json(&snapshot))?;
+        written.push(format!("{} ({})", bin_path, fmt_bytes(bytes.len())));
+        written.push(json_path);
+        tlv_bytes = Some(bytes);
+    }
+
+    let seg_path = format!("{}.seg", opts.prefix);
+    let mut segment = None;
+    if opts.format.segment() {
+        let seg = if opts.merge {
+            merged_segment(&reports, &snapshot, &opts.prefix)?
+        } else {
+            Segment::write(&snapshot, &seg_path)?
+        };
+        if opts.merge {
+            fs::write(&seg_path, seg.as_bytes())?;
+        }
+        written.push(format!("{} ({})", seg_path, fmt_bytes(seg.as_bytes().len())));
+        segment = Some(seg);
+    }
     println!(
-        "\nwrote {} records for {} uarches: {} ({} bytes), {}",
+        "\nwrote {} records for {} uarches: {}",
         snapshot.len(),
         snapshot.uarches.len(),
-        bin_path,
-        bytes.len(),
-        json_path
+        written.join(", ")
     );
 
-    // Reload from the binary encoding and build the indexed database.
-    let restored = uops_db::codec::decode(&fs::read(&bin_path)?)?;
-    assert_eq!(restored, snapshot, "binary round trip must be lossless");
-    let db = InstructionDb::from_snapshot(&restored);
+    // Open-time comparison: TLV decode + index build vs zero-copy segment
+    // open, with the bytes each path materializes/touches. Each written
+    // format reports its own open time; the speedup line needs both.
+    let mut tlv_open = None;
+    let db = if let Some(bytes) = &tlv_bytes {
+        let t = Instant::now();
+        let restored = uops_db::codec::decode(&fs::read(&bin_path)?)?;
+        let db = InstructionDb::from_snapshot(&restored);
+        let elapsed = t.elapsed();
+        tlv_open = Some(elapsed);
+        assert_eq!(restored, snapshot, "binary round trip must be lossless");
+        println!(
+            "open TLV:     {elapsed:>10.2?}  (decoded {} into ~{} + index build; {} on disk)",
+            restored.len(),
+            fmt_bytes(restored.approx_heap_bytes()),
+            fmt_bytes(bytes.len()),
+        );
+        db
+    } else {
+        InstructionDb::from_snapshot(&snapshot)
+    };
+    if opts.format.segment() {
+        let t = Instant::now();
+        let seg = Segment::open(&seg_path)?;
+        let seg_open = t.elapsed();
+        let speedup = tlv_open
+            .map(|tlv| {
+                format!(" => {:.0}x faster", tlv.as_secs_f64() / seg_open.as_secs_f64().max(1e-9))
+            })
+            .unwrap_or_default();
+        println!(
+            "open segment: {seg_open:>10.2?}  (validated {} of {} on disk; 0 records \
+             decoded){speedup}",
+            fmt_bytes(seg.db().open_cost_bytes()),
+            fmt_bytes(seg.as_bytes().len()),
+        );
+    }
 
     // A few indexed queries.
     println!("\nport 5 users on Skylake:");
@@ -185,6 +311,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
+    // The zero-copy reader must answer every query identically.
+    if let Some(seg) = &segment {
+        let seg_db = seg.db();
+        for query in [
+            Query::new().uarch("Skylake").uses_port(5).sort_by(SortKey::Mnemonic),
+            Query::new().uarch("Skylake").sort_by_desc(SortKey::Latency).limit(3),
+            Query::new().uarch("Haswell").min_uops(2).sort_by(SortKey::Throughput),
+        ] {
+            let mem = query.run(&db);
+            let seg_result = query.run(&seg_db);
+            assert_eq!(mem.total_matches, seg_result.total_matches);
+            let mem_rows: Vec<_> =
+                mem.rows.iter().map(|v| (v.mnemonic(), v.variant(), v.uarch())).collect();
+            let seg_rows: Vec<_> =
+                seg_result.rows.iter().map(|v| (v.mnemonic(), v.variant(), v.uarch())).collect();
+            assert_eq!(mem_rows, seg_rows, "segment and in-memory query results must agree");
+        }
+        println!("\nsegment reader verified: identical answers on {} records", seg_db.len());
+    }
+
     // Cross-generation diff (§5 findings).
     let diff = diff_uarches(&db, "Haswell", "Skylake");
     println!(
@@ -201,4 +347,38 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
     Ok(())
+}
+
+/// The `--merge` path: write one segment shard per architecture, k-way
+/// merge them, and assert the result is byte-identical to the single-pass
+/// encode of the full snapshot.
+fn merged_segment(
+    reports: &[uops_core::CharacterizationReport],
+    full_snapshot: &Snapshot,
+    prefix: &str,
+) -> Result<Segment, Box<dyn std::error::Error>> {
+    let mut shards = Vec::with_capacity(reports.len());
+    for report in reports {
+        let arch = report.arch.expect("per-arch report");
+        let shard_snapshot = report_to_snapshot(report);
+        let path = format!("{}.shard-{}.seg", prefix, arch.name().replace(' ', "_"));
+        shards.push(Segment::write(&shard_snapshot, &path)?);
+    }
+    let t = Instant::now();
+    let merged = Segment::merge(&shards);
+    let merge_time = t.elapsed();
+    let single_pass = Segment::encode(full_snapshot);
+    assert_eq!(
+        merged.as_bytes(),
+        single_pass.as_slice(),
+        "merged shards must be byte-identical to a single-pass build"
+    );
+    println!(
+        "merged {} shards ({} records) in {merge_time:.2?} ({:.0} records/s), byte-identical to \
+         single-pass",
+        shards.len(),
+        merged.len(),
+        merged.len() as f64 / merge_time.as_secs_f64().max(1e-9),
+    );
+    Ok(merged)
 }

@@ -1,0 +1,75 @@
+//! Integration test of the `build_db --merge` pipeline: per-architecture
+//! segment shards written independently and k-way-merged must produce a
+//! database that answers queries identically to (indeed, is byte-identical
+//! to) the single-pass build. Drives the real binary end to end.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use uops_db::{DbBackend, InstructionDb, Query, Segment, SortKey};
+
+#[test]
+fn merged_shards_equal_single_pass_build() {
+    let dir = std::env::temp_dir().join(format!("uops_build_db_merge_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let prefix: PathBuf = dir.join("db");
+    let prefix = prefix.to_str().expect("utf-8 path");
+
+    // One process, both formats, merged segment. The binary itself asserts
+    // the merged image is byte-identical to the single-pass encode; a
+    // failed assertion fails the run.
+    let output = Command::new(env!("CARGO_BIN_EXE_build_db"))
+        .args(["--serial", "--merge", "--format", "both", prefix])
+        .output()
+        .expect("run build_db");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        output.status.success(),
+        "build_db --merge failed:\n{stdout}\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    assert!(stdout.contains("byte-identical to single-pass"), "merge verification ran:\n{stdout}");
+    assert!(stdout.contains("segment reader verified"), "segment/query parity ran:\n{stdout}");
+
+    // Reload both artifacts and cross-check from the outside: the merged
+    // segment must answer queries exactly like the TLV-decoded in-memory
+    // database.
+    let merged = Segment::open(format!("{prefix}.seg")).expect("open merged segment");
+    let snapshot = uops_db::codec::decode(&std::fs::read(format!("{prefix}.bin")).expect("read"))
+        .expect("decode TLV");
+    let mem = InstructionDb::from_snapshot(&snapshot);
+    let seg = merged.db();
+    assert_eq!(seg.len(), mem.len());
+    assert!(seg.len() >= 50, "expected a multi-uarch database, got {}", seg.len());
+    assert_eq!(seg.export_snapshot(), mem.to_snapshot(), "logical content must match");
+
+    // Per-arch shards exist and re-merge to the same image.
+    let shards: Vec<Segment> = std::fs::read_dir(&dir)
+        .expect("list temp dir")
+        .filter_map(Result::ok)
+        .filter(|e| e.file_name().to_string_lossy().contains(".shard-"))
+        .map(|e| Segment::open(e.path()).expect("open shard"))
+        .collect();
+    assert!(shards.len() >= 5, "expected one shard per uarch, got {}", shards.len());
+    // Merge order is not the on-disk listing order; merging sorted shards
+    // must still reproduce the canonical image (shard keys are disjoint).
+    let remerged = Segment::merge(&shards);
+    assert_eq!(remerged.as_bytes(), merged.as_bytes());
+
+    for query in [
+        Query::new().uarch("Skylake").uses_port(5).sort_by(SortKey::Mnemonic),
+        Query::new().uarch("Haswell").min_uops(2).sort_by_desc(SortKey::Latency).limit(4),
+        Query::new().mnemonic("ADD"),
+    ] {
+        let a = query.run(&mem);
+        let b = query.run(&seg);
+        assert_eq!(a.total_matches, b.total_matches, "{query:?}");
+        let rows_a: Vec<_> =
+            a.rows.iter().map(|v| (v.mnemonic(), v.variant(), v.uarch())).collect();
+        let rows_b: Vec<_> =
+            b.rows.iter().map(|v| (v.mnemonic(), v.variant(), v.uarch())).collect();
+        assert_eq!(rows_a, rows_b, "{query:?}");
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}

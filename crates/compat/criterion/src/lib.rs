@@ -135,6 +135,20 @@ impl BenchmarkGroup<'_> {
         self
     }
 
+    /// Runs one benchmark with an explicit input, mirroring criterion's
+    /// `bench_with_input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl fmt::Display,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
     /// Finishes the group (reporting happens eagerly; this is a no-op kept
     /// for API compatibility).
     pub fn finish(&mut self) {}

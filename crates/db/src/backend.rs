@@ -1,0 +1,393 @@
+//! The storage-backend abstraction shared by the in-memory database
+//! ([`crate::InstructionDb`]) and the zero-copy segment reader
+//! ([`crate::SegmentDb`]).
+//!
+//! [`DbBackend`] exposes exactly what the query engine, record views, and
+//! the cross-µarch diff need: per-record column accessors, string
+//! resolution, and sorted posting lists for the secondary indexes. The two
+//! implementations differ only in where the bytes live — the in-memory
+//! database owns interned strings and `Vec`-backed indexes, while the
+//! segment reader serves every accessor straight out of an on-disk byte
+//! image without materializing records. Everything above the trait
+//! ([`crate::Query`], [`RecordView`], [`crate::diff_uarches`]) runs
+//! unchanged over either.
+
+use crate::intern::Sym;
+use crate::snapshot::{ports_to_notation, LatencyEdge, Snapshot, UarchMeta, VariantRecord};
+
+/// A sorted (ascending) list of record ids backing one posting list.
+///
+/// The in-memory database hands out native `&[u32]` slices; the segment
+/// reader hands out little-endian byte ranges read in place. Both support
+/// O(1) indexed access, which is all the galloping intersection needs.
+#[derive(Debug, Clone, Copy)]
+pub enum IdList<'a> {
+    /// A native slice of record ids.
+    Native(&'a [u32]),
+    /// Little-endian `u32`s read in place from a segment (`len % 4 == 0`).
+    Le(&'a [u8]),
+}
+
+impl<'a> IdList<'a> {
+    /// The empty list.
+    #[must_use]
+    pub fn empty() -> IdList<'a> {
+        IdList::Native(&[])
+    }
+
+    /// Number of ids in the list.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match self {
+            IdList::Native(ids) => ids.len(),
+            IdList::Le(bytes) => bytes.len() / 4,
+        }
+    }
+
+    /// Returns `true` if the list holds no ids.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The id at position `i` (0 if out of range; lists are validated at
+    /// segment-open time, so in-range access never observes this).
+    #[must_use]
+    pub fn get(&self, i: usize) -> u32 {
+        match self {
+            IdList::Native(ids) => ids.get(i).copied().unwrap_or(0),
+            IdList::Le(bytes) => bytes
+                .get(i * 4..i * 4 + 4)
+                .map_or(0, |b| u32::from_le_bytes(b.try_into().expect("4 bytes"))),
+        }
+    }
+
+    /// Iterates over the ids in order.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        (0..self.len()).map(move |i| self.get(i))
+    }
+}
+
+/// Read access to one instruction-characterization store.
+///
+/// Record ids are dense (`0..len()`); symbols ([`Sym`]) are backend-local —
+/// a symbol from one backend must never be resolved against another.
+/// Posting lists are sorted ascending by record id, which the query
+/// planner's galloping intersection relies on.
+pub trait DbBackend {
+    /// Number of records.
+    fn len(&self) -> usize;
+
+    /// Returns `true` if the store holds no records.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Schema version the data was written under.
+    fn schema_version(&self) -> u32;
+
+    /// Free-form producer string.
+    fn generator(&self) -> &str;
+
+    /// Resolves an interned symbol to its string.
+    fn resolve(&self, sym: Sym) -> &str;
+
+    /// Looks up the symbol for `s` without interning (`None` if the string
+    /// never occurs in the store). Allocation-free.
+    fn lookup_sym(&self, s: &str) -> Option<Sym>;
+
+    /// Interned mnemonic of record `id`.
+    fn mnemonic_sym(&self, id: u32) -> Sym;
+    /// Interned variant string of record `id`.
+    fn variant_sym(&self, id: u32) -> Sym;
+    /// Interned ISA extension of record `id`.
+    fn extension_sym(&self, id: u32) -> Sym;
+    /// Interned microarchitecture of record `id`.
+    fn uarch_sym(&self, id: u32) -> Sym;
+    /// µop count of record `id`.
+    fn uop_count(&self, id: u32) -> u32;
+    /// µops of record `id` not attributed to any port combination.
+    fn unattributed(&self, id: u32) -> u32;
+    /// Union of all port masks of record `id` (precomputed).
+    fn port_union(&self, id: u32) -> u16;
+    /// Measured throughput of record `id`.
+    fn tp_measured(&self, id: u32) -> f64;
+    /// Throughput computed from the port usage, if available.
+    fn tp_ports(&self, id: u32) -> Option<f64>;
+    /// Measured throughput with low-latency divider values, if applicable.
+    fn tp_low_values(&self, id: u32) -> Option<f64>;
+    /// Measured throughput with dependency-breaking instructions, if
+    /// applicable.
+    fn tp_breaking(&self, id: u32) -> Option<f64>;
+    /// Maximum latency over operand pairs (precomputed; `None` when the
+    /// record has no latency edges).
+    fn max_latency(&self, id: u32) -> Option<f64>;
+
+    /// Number of `(port mask, µops)` entries of record `id`.
+    fn ports_len(&self, id: u32) -> usize;
+    /// The `i`-th `(port mask, µops)` entry of record `id`.
+    fn port_entry(&self, id: u32, i: usize) -> (u16, u32);
+    /// Number of latency edges of record `id`.
+    fn latency_len(&self, id: u32) -> usize;
+    /// The `i`-th latency edge of record `id`.
+    fn latency_edge(&self, id: u32, i: usize) -> LatencyEdge;
+
+    /// Posting list of records with the given mnemonic symbol.
+    fn postings_by_mnemonic(&self, sym: Sym) -> IdList<'_>;
+    /// Posting list of records with the given extension symbol.
+    fn postings_by_extension(&self, sym: Sym) -> IdList<'_>;
+    /// Posting list of records on the given microarchitecture.
+    fn postings_by_uarch(&self, sym: Sym) -> IdList<'_>;
+    /// Posting list of records on the given microarchitecture whose µops
+    /// may use `port`.
+    fn postings_by_uarch_port(&self, sym: Sym, port: u8) -> IdList<'_>;
+
+    /// Point lookup by (mnemonic, variant, microarchitecture).
+    fn find_id(&self, mnemonic: &str, variant: &str, uarch: &str) -> Option<u32>;
+
+    /// Precomputed canonical-order rank of record `id` — its position in
+    /// the (mnemonic, variant, uarch) sort. Backends that store records in
+    /// canonical order return `Some(id)`, turning name sorts into integer
+    /// compares; backends without a precomputed order return `None` and the
+    /// query engine falls back to string keys (computed once per result
+    /// set, not per comparison).
+    fn name_rank(&self, id: u32) -> Option<u32> {
+        let _ = id;
+        None
+    }
+
+    /// Metadata of the contributing microarchitectures.
+    fn uarch_metas(&self) -> Vec<UarchMeta>;
+
+    /// The view for a record id.
+    fn view(&self, id: u32) -> RecordView<'_, Self>
+    where
+        Self: Sized,
+    {
+        RecordView { db: self, id }
+    }
+
+    /// All records, as views, in id order.
+    fn views(&self) -> Views<'_, Self>
+    where
+        Self: Sized,
+    {
+        Views { db: self, next: 0, len: self.len() as u32 }
+    }
+
+    /// The `(port mask, µops)` entries of record `id`, materialized.
+    fn ports_vec(&self, id: u32) -> Vec<(u16, u32)> {
+        (0..self.ports_len(id)).map(|i| self.port_entry(id, i)).collect()
+    }
+
+    /// The latency edges of record `id`, materialized.
+    fn latency_vec(&self, id: u32) -> Vec<LatencyEdge> {
+        (0..self.latency_len(id)).map(|i| self.latency_edge(id, i)).collect()
+    }
+
+    /// Exports the store back into a canonical snapshot (records sorted by
+    /// mnemonic, variant, uarch).
+    fn export_snapshot(&self) -> Snapshot
+    where
+        Self: Sized,
+    {
+        let mut snapshot = Snapshot::new(self.generator());
+        if self.schema_version() != 0 {
+            snapshot.schema_version = self.schema_version();
+        }
+        snapshot.uarches = self.uarch_metas();
+        snapshot.records = self
+            .views()
+            .map(|v| VariantRecord {
+                mnemonic: v.mnemonic().to_string(),
+                variant: v.variant().to_string(),
+                extension: v.extension().to_string(),
+                uarch: v.uarch().to_string(),
+                uop_count: v.uop_count(),
+                ports: v.ports(),
+                unattributed: v.unattributed(),
+                tp_measured: v.tp_measured(),
+                tp_ports: v.tp_ports(),
+                tp_low_values: v.tp_low_values(),
+                tp_breaking: v.tp_breaking(),
+                latency: v.latency(),
+            })
+            .collect();
+        snapshot.canonicalize();
+        snapshot
+    }
+}
+
+/// Iterator over all records of a backend, as views.
+pub struct Views<'db, B: DbBackend> {
+    db: &'db B,
+    next: u32,
+    len: u32,
+}
+
+impl<'db, B: DbBackend> Iterator for Views<'db, B> {
+    type Item = RecordView<'db, B>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.next >= self.len {
+            return None;
+        }
+        let view = self.db.view(self.next);
+        self.next += 1;
+        Some(view)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rest = (self.len - self.next) as usize;
+        (rest, Some(rest))
+    }
+}
+
+impl<B: DbBackend> ExactSizeIterator for Views<'_, B> {}
+
+/// A borrowed view of one record with its strings resolved.
+///
+/// Generic over the storage backend; the default parameter keeps the
+/// historical `RecordView<'db>` spelling working for the in-memory
+/// database.
+pub struct RecordView<'db, B: DbBackend = crate::db::InstructionDb> {
+    pub(crate) db: &'db B,
+    /// Index of the record within the database.
+    pub id: u32,
+}
+
+impl<B: DbBackend> Clone for RecordView<'_, B> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<B: DbBackend> Copy for RecordView<'_, B> {}
+
+impl<B: DbBackend> std::fmt::Debug for RecordView<'_, B> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RecordView")
+            .field("id", &self.id)
+            .field("mnemonic", &self.mnemonic())
+            .field("variant", &self.variant())
+            .field("uarch", &self.uarch())
+            .finish()
+    }
+}
+
+impl<'db, B: DbBackend> RecordView<'db, B> {
+    /// The mnemonic.
+    #[must_use]
+    pub fn mnemonic(&self) -> &'db str {
+        self.db.resolve(self.db.mnemonic_sym(self.id))
+    }
+
+    /// The variant string.
+    #[must_use]
+    pub fn variant(&self) -> &'db str {
+        self.db.resolve(self.db.variant_sym(self.id))
+    }
+
+    /// The ISA extension.
+    #[must_use]
+    pub fn extension(&self) -> &'db str {
+        self.db.resolve(self.db.extension_sym(self.id))
+    }
+
+    /// The microarchitecture name.
+    #[must_use]
+    pub fn uarch(&self) -> &'db str {
+        self.db.resolve(self.db.uarch_sym(self.id))
+    }
+
+    /// Number of µops.
+    #[must_use]
+    pub fn uop_count(&self) -> u32 {
+        self.db.uop_count(self.id)
+    }
+
+    /// µops not attributed to any port combination.
+    #[must_use]
+    pub fn unattributed(&self) -> u32 {
+        self.db.unattributed(self.id)
+    }
+
+    /// Union of all port masks.
+    #[must_use]
+    pub fn port_union(&self) -> u16 {
+        self.db.port_union(self.id)
+    }
+
+    /// Measured throughput.
+    #[must_use]
+    pub fn tp_measured(&self) -> f64 {
+        self.db.tp_measured(self.id)
+    }
+
+    /// Throughput computed from the port usage, if available.
+    #[must_use]
+    pub fn tp_ports(&self) -> Option<f64> {
+        self.db.tp_ports(self.id)
+    }
+
+    /// Measured throughput with low-latency divider values, if applicable.
+    #[must_use]
+    pub fn tp_low_values(&self) -> Option<f64> {
+        self.db.tp_low_values(self.id)
+    }
+
+    /// Measured throughput with dependency-breaking instructions, if
+    /// applicable.
+    #[must_use]
+    pub fn tp_breaking(&self) -> Option<f64> {
+        self.db.tp_breaking(self.id)
+    }
+
+    /// Maximum latency over operand pairs.
+    #[must_use]
+    pub fn max_latency(&self) -> Option<f64> {
+        self.db.max_latency(self.id)
+    }
+
+    /// The `(port mask, µops)` entries, materialized.
+    #[must_use]
+    pub fn ports(&self) -> Vec<(u16, u32)> {
+        self.db.ports_vec(self.id)
+    }
+
+    /// The latency edges, materialized.
+    #[must_use]
+    pub fn latency(&self) -> Vec<LatencyEdge> {
+        self.db.latency_vec(self.id)
+    }
+
+    /// The port usage in the paper's notation (allocates the string).
+    #[must_use]
+    pub fn ports_notation(&self) -> String {
+        ports_to_notation(&self.ports(), self.unattributed())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_list_native_and_le_agree() {
+        let ids = [3u32, 7, 2000, 65536];
+        let mut le = Vec::new();
+        for id in ids {
+            le.extend_from_slice(&id.to_le_bytes());
+        }
+        let native = IdList::Native(&ids);
+        let bytes = IdList::Le(&le);
+        assert_eq!(native.len(), bytes.len());
+        for i in 0..ids.len() {
+            assert_eq!(native.get(i), bytes.get(i));
+        }
+        assert_eq!(native.iter().collect::<Vec<_>>(), bytes.iter().collect::<Vec<_>>());
+        assert_eq!(native.get(99), 0, "out-of-range reads are defensive, not panics");
+        assert_eq!(bytes.get(99), 0);
+        assert!(IdList::empty().is_empty());
+    }
+}

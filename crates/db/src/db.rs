@@ -11,8 +11,11 @@
 use std::collections::hash_map::Entry;
 use std::collections::{BTreeMap, HashMap};
 
+use crate::backend::{DbBackend, IdList};
 use crate::intern::{Interner, Sym};
-use crate::snapshot::{ports_to_notation, LatencyEdge, Snapshot, UarchMeta, VariantRecord};
+use crate::snapshot::{LatencyEdge, Snapshot, UarchMeta, VariantRecord};
+
+pub use crate::backend::RecordView;
 
 /// The interned, query-optimized form of a [`VariantRecord`].
 #[derive(Debug, Clone, PartialEq)]
@@ -47,50 +50,13 @@ pub struct DbRecord {
     pub latency: Vec<LatencyEdge>,
 }
 
-/// A borrowed view of one record with its strings resolved.
-#[derive(Debug, Clone, Copy)]
-pub struct RecordView<'db> {
-    db: &'db InstructionDb,
-    /// Index of the record within the database.
-    pub id: u32,
-}
-
-impl<'db> RecordView<'db> {
-    /// The raw interned record.
+impl<'db> RecordView<'db, InstructionDb> {
+    /// The raw interned record (in-memory backend only; the zero-copy
+    /// segment backend has no materialized records — use the generic
+    /// accessors instead).
     #[must_use]
     pub fn record(&self) -> &'db DbRecord {
         &self.db.records[self.id as usize]
-    }
-
-    /// The mnemonic.
-    #[must_use]
-    pub fn mnemonic(&self) -> &'db str {
-        self.db.interner.resolve(self.record().mnemonic)
-    }
-
-    /// The variant string.
-    #[must_use]
-    pub fn variant(&self) -> &'db str {
-        self.db.interner.resolve(self.record().variant)
-    }
-
-    /// The ISA extension.
-    #[must_use]
-    pub fn extension(&self) -> &'db str {
-        self.db.interner.resolve(self.record().extension)
-    }
-
-    /// The microarchitecture name.
-    #[must_use]
-    pub fn uarch(&self) -> &'db str {
-        self.db.interner.resolve(self.record().uarch)
-    }
-
-    /// The port usage in the paper's notation (allocates the string).
-    #[must_use]
-    pub fn ports_notation(&self) -> String {
-        let r = self.record();
-        ports_to_notation(&r.ports, r.unattributed)
     }
 }
 
@@ -170,14 +136,17 @@ impl InstructionDb {
             Entry::Occupied(slot) => {
                 // Replacement: the mnemonic/variant/uarch indexes are keyed
                 // on the unchanged key columns, but extension and port
-                // membership are payload and may differ.
+                // membership are payload and may differ. Posting lists
+                // stay sorted ascending (the galloping intersection
+                // depends on it), so re-additions go through a
+                // binary-search insert rather than a push.
                 let id = *slot.get();
                 let old_extension = self.records[id as usize].extension;
                 if old_extension != extension {
                     if let Some(ids) = self.by_extension.get_mut(&old_extension) {
                         ids.retain(|&i| i != id);
                     }
-                    self.by_extension.entry(extension).or_default().push(id);
+                    insert_sorted(self.by_extension.entry(extension).or_default(), id);
                 }
                 let old_union = self.records[id as usize].port_union;
                 let new_union = db_record.port_union;
@@ -191,7 +160,7 @@ impl InstructionDb {
                                 ids.retain(|&i| i != id);
                             }
                         } else if is && !was {
-                            self.by_uarch_port.entry((uarch, port)).or_default().push(id);
+                            insert_sorted(self.by_uarch_port.entry((uarch, port)).or_default(), id);
                         }
                     }
                 }
@@ -326,33 +295,134 @@ impl InstructionDb {
     /// by mnemonic, variant, uarch).
     #[must_use]
     pub fn to_snapshot(&self) -> Snapshot {
-        let mut snapshot = Snapshot::new(self.generator.clone());
-        if self.schema_version != 0 {
-            snapshot.schema_version = self.schema_version;
-        }
-        snapshot.uarches = self.uarch_meta.clone();
-        snapshot.records = self
-            .iter()
-            .map(|v| {
-                let r = v.record();
-                VariantRecord {
-                    mnemonic: v.mnemonic().to_string(),
-                    variant: v.variant().to_string(),
-                    extension: v.extension().to_string(),
-                    uarch: v.uarch().to_string(),
-                    uop_count: r.uop_count,
-                    ports: r.ports.clone(),
-                    unattributed: r.unattributed,
-                    tp_measured: r.tp_measured,
-                    tp_ports: r.tp_ports,
-                    tp_low_values: r.tp_low_values,
-                    tp_breaking: r.tp_breaking,
-                    latency: r.latency.clone(),
-                }
-            })
-            .collect();
-        snapshot.canonicalize();
-        snapshot
+        self.export_snapshot()
+    }
+}
+
+/// Inserts `id` into a sorted posting list, keeping it sorted.
+fn insert_sorted(ids: &mut Vec<u32>, id: u32) {
+    if let Err(pos) = ids.binary_search(&id) {
+        ids.insert(pos, id);
+    }
+}
+
+impl DbBackend for InstructionDb {
+    fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    fn schema_version(&self) -> u32 {
+        self.schema_version
+    }
+
+    fn generator(&self) -> &str {
+        &self.generator
+    }
+
+    fn resolve(&self, sym: Sym) -> &str {
+        self.interner.resolve(sym)
+    }
+
+    fn lookup_sym(&self, s: &str) -> Option<Sym> {
+        self.interner.get(s)
+    }
+
+    fn mnemonic_sym(&self, id: u32) -> Sym {
+        self.records[id as usize].mnemonic
+    }
+
+    fn variant_sym(&self, id: u32) -> Sym {
+        self.records[id as usize].variant
+    }
+
+    fn extension_sym(&self, id: u32) -> Sym {
+        self.records[id as usize].extension
+    }
+
+    fn uarch_sym(&self, id: u32) -> Sym {
+        self.records[id as usize].uarch
+    }
+
+    fn uop_count(&self, id: u32) -> u32 {
+        self.records[id as usize].uop_count
+    }
+
+    fn unattributed(&self, id: u32) -> u32 {
+        self.records[id as usize].unattributed
+    }
+
+    fn port_union(&self, id: u32) -> u16 {
+        self.records[id as usize].port_union
+    }
+
+    fn tp_measured(&self, id: u32) -> f64 {
+        self.records[id as usize].tp_measured
+    }
+
+    fn tp_ports(&self, id: u32) -> Option<f64> {
+        self.records[id as usize].tp_ports
+    }
+
+    fn tp_low_values(&self, id: u32) -> Option<f64> {
+        self.records[id as usize].tp_low_values
+    }
+
+    fn tp_breaking(&self, id: u32) -> Option<f64> {
+        self.records[id as usize].tp_breaking
+    }
+
+    fn max_latency(&self, id: u32) -> Option<f64> {
+        self.records[id as usize].max_latency
+    }
+
+    fn ports_len(&self, id: u32) -> usize {
+        self.records[id as usize].ports.len()
+    }
+
+    fn port_entry(&self, id: u32, i: usize) -> (u16, u32) {
+        self.records[id as usize].ports[i]
+    }
+
+    fn latency_len(&self, id: u32) -> usize {
+        self.records[id as usize].latency.len()
+    }
+
+    fn latency_edge(&self, id: u32, i: usize) -> LatencyEdge {
+        self.records[id as usize].latency[i].clone()
+    }
+
+    fn postings_by_mnemonic(&self, sym: Sym) -> IdList<'_> {
+        self.by_mnemonic.get(&sym).map_or_else(IdList::empty, |ids| IdList::Native(ids))
+    }
+
+    fn postings_by_extension(&self, sym: Sym) -> IdList<'_> {
+        self.by_extension.get(&sym).map_or_else(IdList::empty, |ids| IdList::Native(ids))
+    }
+
+    fn postings_by_uarch(&self, sym: Sym) -> IdList<'_> {
+        self.by_uarch.get(&sym).map_or_else(IdList::empty, |ids| IdList::Native(ids))
+    }
+
+    fn postings_by_uarch_port(&self, sym: Sym, port: u8) -> IdList<'_> {
+        self.by_uarch_port.get(&(sym, port)).map_or_else(IdList::empty, |ids| IdList::Native(ids))
+    }
+
+    fn find_id(&self, mnemonic: &str, variant: &str, uarch: &str) -> Option<u32> {
+        let key =
+            (self.interner.get(mnemonic)?, self.interner.get(variant)?, self.interner.get(uarch)?);
+        self.by_key.get(&key).copied()
+    }
+
+    fn ports_vec(&self, id: u32) -> Vec<(u16, u32)> {
+        self.records[id as usize].ports.clone()
+    }
+
+    fn latency_vec(&self, id: u32) -> Vec<LatencyEdge> {
+        self.records[id as usize].latency.clone()
+    }
+
+    fn uarch_metas(&self) -> Vec<UarchMeta> {
+        self.uarch_meta.clone()
     }
 }
 

@@ -6,7 +6,7 @@
 //! computes exactly this: for two microarchitectures in one database, the
 //! variants whose µop count, port usage, latency, or throughput differ.
 
-use crate::db::InstructionDb;
+use crate::backend::DbBackend;
 use crate::snapshot::ports_to_notation;
 
 /// Tolerance below which two cycle values are considered equal (measured
@@ -64,45 +64,58 @@ impl DiffReport {
     }
 }
 
-/// Compares every variant characterized on both `base` and `other`.
+/// Returns whether the port usage of two records differs (exact compare,
+/// entry by entry, without materializing either side).
+fn ports_differ<B: DbBackend>(db: &B, a: u32, b: u32) -> bool {
+    let n = db.ports_len(a);
+    if n != db.ports_len(b) {
+        return true;
+    }
+    (0..n).any(|i| db.port_entry(a, i) != db.port_entry(b, i))
+}
+
+/// Compares every variant characterized on both `base` and `other`, on any
+/// backend — the in-memory database and the zero-copy segment reader
+/// produce identical reports.
 ///
 /// Latency and throughput comparisons use [`CYCLE_TOLERANCE`]; µop counts
 /// and port usages are compared exactly.
 #[must_use]
-pub fn diff_uarches(db: &InstructionDb, base: &str, other: &str) -> DiffReport {
+pub fn diff_uarches<B: DbBackend>(db: &B, base: &str, other: &str) -> DiffReport {
     let mut report =
         DiffReport { base: base.to_string(), other: other.to_string(), ..Default::default() };
-    let other_sym = db.intern_lookup(other);
+    let base_ids = match db.lookup_sym(base) {
+        Some(sym) => db.postings_by_uarch(sym),
+        None => crate::backend::IdList::empty(),
+    };
+    let other_sym = db.lookup_sym(other);
 
-    for &id in db.ids_by_uarch(base) {
-        let a = db.record(id);
-        let a_view = db.view(id);
-        let counterpart = db.find(a_view.mnemonic(), a_view.variant(), other);
-        let Some(b_view) = counterpart else {
+    for a in base_ids.iter() {
+        let a_view = db.view(a);
+        let Some(b) = db.find_id(a_view.mnemonic(), a_view.variant(), other) else {
             report.only_in_base.push((a_view.mnemonic().to_string(), a_view.variant().to_string()));
             continue;
         };
-        let b = b_view.record();
         let mut changes = Vec::new();
-        if a.uop_count != b.uop_count {
-            changes.push(Change::UopCount(a.uop_count, b.uop_count));
+        if db.uop_count(a) != db.uop_count(b) {
+            changes.push(Change::UopCount(db.uop_count(a), db.uop_count(b)));
         }
-        if a.ports != b.ports || a.unattributed != b.unattributed {
+        if ports_differ(db, a, b) || db.unattributed(a) != db.unattributed(b) {
             changes.push(Change::Ports(
-                ports_to_notation(&a.ports, a.unattributed),
-                ports_to_notation(&b.ports, b.unattributed),
+                ports_to_notation(&db.ports_vec(a), db.unattributed(a)),
+                ports_to_notation(&db.ports_vec(b), db.unattributed(b)),
             ));
         }
-        let latency_differs = match (a.max_latency, b.max_latency) {
+        let latency_differs = match (db.max_latency(a), db.max_latency(b)) {
             (Some(x), Some(y)) => (x - y).abs() > CYCLE_TOLERANCE,
             (None, None) => false,
             _ => true,
         };
         if latency_differs {
-            changes.push(Change::Latency(a.max_latency, b.max_latency));
+            changes.push(Change::Latency(db.max_latency(a), db.max_latency(b)));
         }
-        if (a.tp_measured - b.tp_measured).abs() > CYCLE_TOLERANCE {
-            changes.push(Change::Throughput(a.tp_measured, b.tp_measured));
+        if (db.tp_measured(a) - db.tp_measured(b)).abs() > CYCLE_TOLERANCE {
+            changes.push(Change::Throughput(db.tp_measured(a), db.tp_measured(b)));
         }
         if changes.is_empty() {
             report.unchanged += 1;
@@ -116,10 +129,10 @@ pub fn diff_uarches(db: &InstructionDb, base: &str, other: &str) -> DiffReport {
     }
 
     // Variants only present on the other side.
-    if other_sym.is_some() {
-        for &id in db.ids_by_uarch(other) {
+    if let Some(sym) = other_sym {
+        for id in db.postings_by_uarch(sym).iter() {
             let b_view = db.view(id);
-            if db.find(b_view.mnemonic(), b_view.variant(), base).is_none() {
+            if db.find_id(b_view.mnemonic(), b_view.variant(), base).is_none() {
                 report
                     .only_in_other
                     .push((b_view.mnemonic().to_string(), b_view.variant().to_string()));
@@ -136,6 +149,7 @@ pub fn diff_uarches(db: &InstructionDb, base: &str, other: &str) -> DiffReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::db::InstructionDb;
     use crate::snapshot::{LatencyEdge, Snapshot, VariantRecord};
 
     fn record(mnemonic: &str, uarch: &str, uops: u32, mask: u16, latency: f64) -> VariantRecord {

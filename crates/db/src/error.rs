@@ -35,6 +35,24 @@ pub enum DbError {
         /// The requested name.
         name: String,
     },
+    /// The segment image is malformed (bad magic, truncated header,
+    /// out-of-range section offsets, inconsistent section sizes, …).
+    /// Corruption is always reported as this error — segment validation
+    /// never panics.
+    Segment {
+        /// Byte offset of the failure within the image.
+        offset: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// An I/O error while reading or writing a segment or snapshot file.
+    Io {
+        /// The failing path.
+        path: String,
+        /// The underlying error, stringified (kept as a string so the
+        /// error type stays `Clone + PartialEq`).
+        message: String,
+    },
 }
 
 impl fmt::Display for DbError {
@@ -55,6 +73,12 @@ impl fmt::Display for DbError {
             }
             DbError::UnknownUarch { name } => {
                 write!(f, "no records for microarchitecture {name:?}")
+            }
+            DbError::Segment { offset, message } => {
+                write!(f, "segment validation error at byte {offset}: {message}")
+            }
+            DbError::Io { path, message } => {
+                write!(f, "I/O error on {path}: {message}")
             }
         }
     }

@@ -10,10 +10,22 @@
 //!   forward-compatible encodings — a compact binary stream ([`codec`]) and
 //!   JSON ([`json`]) — so datasets can be written, shipped, merged, and read
 //!   back by newer and older tools alike;
+//! * a **zero-copy segment format** ([`segment`]): a single-file, columnar,
+//!   alignment-padded image — string table, SoA record columns, side arrays,
+//!   sorted posting lists — opened in O(header + section table) and queried
+//!   in place from a `&[u8]` without decoding a single record, plus
+//!   **incremental merge ingestion** ([`Segment::merge`]) for independently
+//!   written shards;
 //! * an **in-memory database** ([`InstructionDb`]) with interned strings and
 //!   secondary indexes by mnemonic, ISA extension, microarchitecture, and
 //!   (microarchitecture, port), keeping millions of lookups allocation-free;
-//! * a **query builder** ([`Query`]) with filters, sorting, and pagination;
+//! * a **storage-backend abstraction** ([`DbBackend`]): the query engine,
+//!   record views, and diffing run unchanged over the in-memory database and
+//!   the zero-copy segment reader ([`SegmentDb`]);
+//! * a **query builder** ([`Query`]) with filters, sorting, and pagination,
+//!   planned over the secondary indexes: the smallest posting list drives,
+//!   the rest are gallop-intersected, and sort keys are computed once per
+//!   result set;
 //! * **cross-microarchitecture diffing** ([`diff_uarches`]): which variants
 //!   changed latency, port usage, µop count, or throughput between two
 //!   generations (the paper's §5 findings, e.g. SHLD across generations).
@@ -52,10 +64,50 @@
 //! assert_eq!(hits.total_matches, 1);
 //! assert_eq!(hits.rows[0].mnemonic(), "ADD");
 //! ```
+//!
+//! ## Quickstart: zero-copy segments
+//!
+//! For serving, write the snapshot as a **segment** instead: opening one
+//! never decodes records (O(header + section table), benchmarked ≥ 10x
+//! faster than TLV decode + index build on the `build_db` dataset), and
+//! shards written independently merge without re-decoding. Choose TLV
+//! ([`codec`]) for compact interchange and archival; choose segments for
+//! query serving and incremental ingestion — see [`segment`] for the
+//! layout and the full trade-off.
+//!
+//! ```rust
+//! use uops_db::{DbBackend, Query, Segment, Snapshot, VariantRecord};
+//!
+//! # fn main() -> Result<(), uops_db::DbError> {
+//! let mut snapshot = Snapshot::new("example");
+//! snapshot.records.push(VariantRecord {
+//!     mnemonic: "ADD".into(),
+//!     variant: "R64, R64".into(),
+//!     extension: "BASE".into(),
+//!     uarch: "Skylake".into(),
+//!     uop_count: 1,
+//!     ports: vec![(0b0110_0011, 1)],
+//!     tp_measured: 0.25,
+//!     ..Default::default()
+//! });
+//!
+//! // Segment::write(&snapshot, "uops.seg")? persists the same image.
+//! let segment = Segment::from_bytes(Segment::encode(&snapshot))?;
+//! let db = segment.db(); // zero-copy reader, no records decoded
+//! let hits = Query::new().uarch("Skylake").uses_port(6).run(&db);
+//! assert_eq!(hits.rows[0].mnemonic(), "ADD");
+//!
+//! // Shards merge last-writer-wins without decoding:
+//! let merged = Segment::merge(&[segment.clone(), segment]);
+//! assert_eq!(merged.len(), 1);
+//! # Ok(())
+//! # }
+//! ```
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod backend;
 pub mod codec;
 pub mod db;
 pub mod diff;
@@ -63,14 +115,17 @@ pub mod error;
 pub mod intern;
 pub mod json;
 pub mod query;
+pub mod segment;
 pub mod snapshot;
 pub mod xml;
 
-pub use db::{DbRecord, InstructionDb, RecordView};
+pub use backend::{DbBackend, IdList, RecordView, Views};
+pub use db::{DbRecord, InstructionDb};
 pub use diff::{diff_uarches, Change, DiffReport, VariantDelta, CYCLE_TOLERANCE};
 pub use error::DbError;
 pub use intern::{Interner, Sym};
 pub use query::{Query, QueryResult, SortKey};
+pub use segment::{Segment, SegmentDb};
 pub use snapshot::{
     notation_to_ports, ports_to_notation, LatencyEdge, Snapshot, UarchMeta, VariantRecord,
     SCHEMA_VERSION,

@@ -2,11 +2,22 @@
 //!
 //! A [`Query`] combines filters (mnemonic prefix or exact match, ISA
 //! extension, microarchitecture, port, µop-count and latency bounds), a sort
-//! order, and pagination. Execution picks the most selective secondary index
-//! available for the filter set and only then applies the residual
-//! predicates, so point-ish queries never scan the whole database.
+//! order, and pagination, and runs over any [`DbBackend`] — the in-memory
+//! [`InstructionDb`] and the zero-copy [`crate::SegmentDb`] answer every
+//! query identically.
+//!
+//! Execution is index-driven: the planner collects the posting list of
+//! every filter that has one, drives the scan from the **smallest** list,
+//! and **gallop-intersects** the remaining lists (exponential probing from
+//! a monotone cursor — cheap when one list is much smaller than the
+//! others, the common shape for point-ish queries). Residual predicates
+//! (prefix, µop and latency bounds) run only on the intersection. Sorting
+//! computes each record's key **once per result set** — a key vector sort,
+//! not a per-comparison re-derivation — and backends that store records in
+//! canonical order collapse name sorts into integer compares.
 
-use crate::db::{DbRecord, InstructionDb, RecordView};
+use crate::backend::{DbBackend, IdList, RecordView};
+use crate::db::InstructionDb;
 use crate::intern::Sym;
 
 /// Sort orders for query results.
@@ -23,7 +34,7 @@ pub enum SortKey {
     UopCount,
 }
 
-/// A composable query over an [`InstructionDb`].
+/// A composable query over any [`DbBackend`].
 #[derive(Debug, Clone, Default)]
 pub struct Query {
     mnemonic: Option<String>,
@@ -43,11 +54,11 @@ pub struct Query {
 
 /// The result of running a [`Query`].
 #[derive(Debug)]
-pub struct QueryResult<'db> {
+pub struct QueryResult<'db, B: DbBackend = InstructionDb> {
     /// Number of records matching the filters, before pagination.
     pub total_matches: usize,
     /// The requested page of matching records, in sort order.
-    pub rows: Vec<RecordView<'db>>,
+    pub rows: Vec<RecordView<'db, B>>,
 }
 
 impl Query {
@@ -151,16 +162,17 @@ impl Query {
         self
     }
 
-    /// Runs the query against `db`.
+    /// Runs the query against any backend.
     #[must_use]
-    pub fn run<'db>(&self, db: &'db InstructionDb) -> QueryResult<'db> {
+    pub fn run<'db, B: DbBackend>(&self, db: &'db B) -> QueryResult<'db, B> {
         // Resolve the string filters to symbols once. A filter string the
-        // interner has never seen means zero matches.
-        let mut unmatchable = false;
+        // backend has never seen means zero matches; a port beyond the
+        // 16-bit mask can likewise never match.
+        let mut unmatchable = self.port.is_some_and(|p| p >= 16);
         let resolve = |s: &Option<String>, unmatchable: &mut bool| -> Option<Sym> {
             match s {
                 None => None,
-                Some(s) => match db_get(db, s) {
+                Some(s) => match db.lookup_sym(s) {
                     Some(sym) => Some(sym),
                     None => {
                         *unmatchable = true;
@@ -176,30 +188,48 @@ impl Query {
             return QueryResult { total_matches: 0, rows: Vec::new() };
         }
 
-        // Pick the most selective available index as the candidate source.
-        let candidates: CandidateSet<'db> = if let Some(m) = &self.mnemonic {
-            CandidateSet::Ids(db.ids_by_mnemonic(m))
-        } else if let (Some(u), Some(p)) = (&self.uarch, self.port) {
-            CandidateSet::Ids(db.ids_by_port(u, p))
-        } else if let Some(e) = &self.extension {
-            CandidateSet::Ids(db.ids_by_extension(e))
-        } else if let Some(u) = &self.uarch {
-            CandidateSet::Ids(db.ids_by_uarch(u))
-        } else {
-            CandidateSet::All(db.len() as u32)
-        };
+        // Plan: gather the posting list of every filter that has one. The
+        // (uarch, port) list subsumes the plain uarch list, so only one of
+        // the two participates.
+        let mut lists: Vec<IdList<'db>> = Vec::new();
+        if let Some(sym) = mnemonic {
+            lists.push(db.postings_by_mnemonic(sym));
+        }
+        match (uarch, self.port) {
+            (Some(sym), Some(port)) => lists.push(db.postings_by_uarch_port(sym, port)),
+            (Some(sym), None) => lists.push(db.postings_by_uarch(sym)),
+            _ => {}
+        }
+        if let Some(sym) = extension {
+            lists.push(db.postings_by_extension(sym));
+        }
+        // Drive from the smallest list, gallop-intersect the rest.
+        lists.sort_by_key(IdList::len);
 
         let prefix = self.mnemonic_prefix.as_deref();
         let mut matches: Vec<u32> = Vec::new();
-        let mut push_if_match = |id: u32| {
-            let r = db.record(id);
-            if self.matches(db, r, mnemonic, extension, uarch, prefix) {
-                matches.push(id);
+        match lists.split_first() {
+            None => {
+                for id in 0..db.len() as u32 {
+                    if self.matches(db, id, mnemonic, extension, uarch, prefix) {
+                        matches.push(id);
+                    }
+                }
             }
-        };
-        match candidates {
-            CandidateSet::Ids(ids) => ids.iter().copied().for_each(&mut push_if_match),
-            CandidateSet::All(n) => (0..n).for_each(&mut push_if_match),
+            Some((driver, rest)) => {
+                let mut cursors = vec![0usize; rest.len()];
+                'driver: for i in 0..driver.len() {
+                    let id = driver.get(i);
+                    for (list, cursor) in rest.iter().zip(cursors.iter_mut()) {
+                        if !gallop_to(list, cursor, id) {
+                            continue 'driver;
+                        }
+                    }
+                    if self.matches(db, id, mnemonic, extension, uarch, prefix) {
+                        matches.push(id);
+                    }
+                }
+            }
         }
 
         let total_matches = matches.len();
@@ -213,54 +243,56 @@ impl Query {
         QueryResult { total_matches, rows }
     }
 
-    fn matches(
+    fn matches<B: DbBackend>(
         &self,
-        db: &InstructionDb,
-        r: &DbRecord,
+        db: &B,
+        id: u32,
         mnemonic: Option<Sym>,
         extension: Option<Sym>,
         uarch: Option<Sym>,
         prefix: Option<&str>,
     ) -> bool {
         if let Some(sym) = mnemonic {
-            if r.mnemonic != sym {
+            if db.mnemonic_sym(id) != sym {
                 return false;
             }
         }
         if let Some(sym) = extension {
-            if r.extension != sym {
+            if db.extension_sym(id) != sym {
                 return false;
             }
         }
         if let Some(sym) = uarch {
-            if r.uarch != sym {
+            if db.uarch_sym(id) != sym {
                 return false;
             }
         }
         if let Some(port) = self.port {
-            // Port numbers beyond the 16-bit mask can never match (and an
-            // unguarded shift would overflow).
-            if port >= 16 || r.port_union & (1u16 << port) == 0 {
+            // `run` rejected ports beyond the 16-bit mask up front; the
+            // `port >= 16` guard here is defense in depth keeping the
+            // shift sound if that ever changes. The union check also
+            // covers the scan (no posting list) path.
+            if port >= 16 || db.port_union(id) & (1u16 << port) == 0 {
                 return false;
             }
         }
         if let Some(prefix) = prefix {
-            if !db.resolve(r.mnemonic).starts_with(prefix) {
+            if !db.resolve(db.mnemonic_sym(id)).starts_with(prefix) {
                 return false;
             }
         }
         if let Some(n) = self.min_uops {
-            if r.uop_count < n {
+            if db.uop_count(id) < n {
                 return false;
             }
         }
         if let Some(n) = self.max_uops {
-            if r.uop_count > n {
+            if db.uop_count(id) > n {
                 return false;
             }
         }
         if self.min_latency.is_some() || self.max_latency.is_some() {
-            let Some(latency) = r.max_latency else { return false };
+            let Some(latency) = db.max_latency(id) else { return false };
             if let Some(min) = self.min_latency {
                 if latency < min {
                     return false;
@@ -275,30 +307,22 @@ impl Query {
         true
     }
 
-    fn sort(&self, db: &InstructionDb, ids: &mut [u32]) {
-        let name_key = |id: u32| {
-            let r = db.record(id);
-            (db.resolve(r.mnemonic), db.resolve(r.variant), db.resolve(r.uarch))
-        };
+    fn sort<B: DbBackend>(&self, db: &B, ids: &mut [u32]) {
+        // Keys are computed once per id into a key vector, then sorted —
+        // never re-derived inside the comparator. Backends with a
+        // precomputed canonical order (segments) supply an integer name
+        // rank; others fall back to resolved string triples.
         match self.sort {
-            SortKey::Mnemonic => ids.sort_by(|&a, &b| name_key(a).cmp(&name_key(b))),
-            SortKey::Latency => ids.sort_by(|&a, &b| {
-                let la = db.record(a).max_latency.unwrap_or(f64::NEG_INFINITY);
-                let lb = db.record(b).max_latency.unwrap_or(f64::NEG_INFINITY);
-                la.total_cmp(&lb).then_with(|| name_key(a).cmp(&name_key(b)))
+            SortKey::Mnemonic => sort_by_key_vec(ids, |id| name_key(db, id)),
+            SortKey::Latency => sort_by_key_vec(ids, |id| {
+                (F64Key(db.max_latency(id).unwrap_or(f64::NEG_INFINITY)), name_key(db, id))
             }),
-            SortKey::Throughput => ids.sort_by(|&a, &b| {
-                db.record(a)
-                    .tp_measured
-                    .total_cmp(&db.record(b).tp_measured)
-                    .then_with(|| name_key(a).cmp(&name_key(b)))
-            }),
-            SortKey::UopCount => ids.sort_by(|&a, &b| {
-                db.record(a)
-                    .uop_count
-                    .cmp(&db.record(b).uop_count)
-                    .then_with(|| name_key(a).cmp(&name_key(b)))
-            }),
+            SortKey::Throughput => {
+                sort_by_key_vec(ids, |id| (F64Key(db.tp_measured(id)), name_key(db, id)));
+            }
+            SortKey::UopCount => {
+                sort_by_key_vec(ids, |id| (db.uop_count(id), name_key(db, id)));
+            }
         }
         if self.descending {
             ids.reverse();
@@ -306,14 +330,100 @@ impl Query {
     }
 }
 
-enum CandidateSet<'db> {
-    Ids(&'db [u32]),
-    All(u32),
+/// A per-record name sort key: an integer rank when the backend stores
+/// records in canonical order, resolved strings otherwise. Within one
+/// backend only one variant ever occurs, so the derived ordering (ranks
+/// before names) never mixes.
+#[derive(PartialEq, Eq, PartialOrd, Ord)]
+enum NameKey<'db> {
+    Rank(u32),
+    Name(&'db str, &'db str, &'db str),
 }
 
-fn db_get(db: &InstructionDb, s: &str) -> Option<Sym> {
-    // The interner is private to the db; go through the public surface.
-    db.intern_lookup(s)
+fn name_key<B: DbBackend>(db: &B, id: u32) -> NameKey<'_> {
+    match db.name_rank(id) {
+        Some(rank) => NameKey::Rank(rank),
+        None => NameKey::Name(
+            db.resolve(db.mnemonic_sym(id)),
+            db.resolve(db.variant_sym(id)),
+            db.resolve(db.uarch_sym(id)),
+        ),
+    }
+}
+
+/// Total-ordered `f64` sort key.
+#[derive(PartialEq)]
+struct F64Key(f64);
+
+impl Eq for F64Key {}
+
+impl PartialOrd for F64Key {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for F64Key {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Sorts `ids` by a key computed exactly once per element.
+fn sort_by_key_vec<K: Ord>(ids: &mut [u32], mut key_of: impl FnMut(u32) -> K) {
+    let mut keyed: Vec<(K, u32)> = ids.iter().map(|&id| (key_of(id), id)).collect();
+    keyed.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+    for (slot, (_, id)) in ids.iter_mut().zip(keyed) {
+        *slot = id;
+    }
+}
+
+/// Advances `cursor` to the first position in `list` holding an id `>=
+/// target` (exponential probe + binary search), returning whether `target`
+/// itself is present. Both the driver ids and the cursor move strictly
+/// forward, so a whole intersection costs O(Σ log gap) instead of a
+/// per-element binary search from scratch.
+fn gallop_to(list: &IdList<'_>, cursor: &mut usize, target: u32) -> bool {
+    let n = list.len();
+    let mut lo = *cursor;
+    if lo >= n {
+        return false;
+    }
+    if list.get(lo) >= target {
+        return list.get(lo) == target;
+    }
+    // Invariant: list[lo] < target. Double the step until overshoot.
+    let mut step = 1usize;
+    let mut hi;
+    loop {
+        match lo.checked_add(step) {
+            Some(probe) if probe < n => {
+                if list.get(probe) < target {
+                    lo = probe;
+                    step <<= 1;
+                } else {
+                    hi = probe;
+                    break;
+                }
+            }
+            _ => {
+                hi = n;
+                break;
+            }
+        }
+    }
+    // Binary search in (lo, hi]: first position with list[pos] >= target.
+    let mut left = lo + 1;
+    while left < hi {
+        let mid = (left + hi) / 2;
+        if list.get(mid) < target {
+            left = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    *cursor = left;
+    left < n && list.get(left) == target
 }
 
 #[cfg(test)]
@@ -379,6 +489,19 @@ mod tests {
     }
 
     #[test]
+    fn intersection_of_three_posting_lists() {
+        let db = db();
+        // mnemonic ∧ (uarch, port) ∧ extension all have posting lists; the
+        // planner must intersect them, not just filter one.
+        let r =
+            Query::new().mnemonic("ADD").uarch("Skylake").uses_port(6).extension("BASE").run(&db);
+        assert_eq!(r.total_matches, 1);
+        assert_eq!(r.rows[0].uarch(), "Skylake");
+        let r = Query::new().mnemonic("ADD").uarch("Skylake").extension("AVX2").run(&db);
+        assert_eq!(r.total_matches, 0, "empty intersection");
+    }
+
+    #[test]
     fn prefix_latency_and_uop_filters() {
         let db = db();
         let r = Query::new().mnemonic_prefix("VP").run(&db);
@@ -428,5 +551,19 @@ mod tests {
         let db = db();
         let r = Query::new().uarch("Skylake").sort_by(SortKey::Throughput).limit(1).run(&db);
         assert_eq!(r.rows[0].mnemonic(), "ADD");
+    }
+
+    #[test]
+    fn gallop_finds_every_member_and_no_others() {
+        let ids: Vec<u32> = (0..4000).filter(|i| i % 7 == 0 || i % 11 == 0).collect();
+        let list = IdList::Native(&ids);
+        let mut cursor = 0usize;
+        for target in 0..4000u32 {
+            let expected = target % 7 == 0 || target % 11 == 0;
+            assert_eq!(gallop_to(&list, &mut cursor, target), expected, "target {target}");
+        }
+        // Exhausted cursor stays exhausted.
+        assert!(!gallop_to(&list, &mut cursor, 5000));
+        assert!(!gallop_to(&list, &mut cursor, 5001));
     }
 }

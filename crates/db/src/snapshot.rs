@@ -151,6 +151,30 @@ impl Snapshot {
         });
     }
 
+    /// Approximate number of heap-plus-inline bytes this decoded snapshot
+    /// occupies: struct footprints plus owned string and vector payloads.
+    /// This is what a TLV `decode` materializes before the first query can
+    /// run — the segment format exists to avoid exactly this cost, so
+    /// tools report the two side by side.
+    #[must_use]
+    pub fn approx_heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let mut bytes = size_of::<Snapshot>() + self.generator.len();
+        for meta in &self.uarches {
+            bytes += size_of::<UarchMeta>() + meta.name.len() + meta.processor.len();
+        }
+        for r in &self.records {
+            bytes += size_of::<VariantRecord>()
+                + r.mnemonic.len()
+                + r.variant.len()
+                + r.extension.len()
+                + r.uarch.len()
+                + r.ports.len() * size_of::<(u16, u32)>()
+                + r.latency.len() * size_of::<LatencyEdge>();
+        }
+        bytes
+    }
+
     /// Number of records.
     #[must_use]
     pub fn len(&self) -> usize {

@@ -73,5 +73,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             println!("    {change:?}");
         }
     }
+
+    // 5. The serving path: the same snapshot as a zero-copy segment. The
+    //    reader answers the same queries without decoding any record —
+    //    this is the format to ship to query replicas.
+    let segment = Segment::from_bytes(Segment::encode(&snapshot))?;
+    let seg_db = segment.db();
+    let result = Query::new().uarch("Skylake").uses_port(0).sort_by(SortKey::Mnemonic).run(&seg_db);
+    println!(
+        "\nsegment reader ({} bytes, 0 records decoded): {} port-0 users on Skylake",
+        segment.as_bytes().len(),
+        result.total_matches
+    );
     Ok(())
 }

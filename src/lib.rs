@@ -92,6 +92,47 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! ## Quickstart: zero-copy segments for serving
+//!
+//! The TLV snapshot is the interchange format; for *serving*, write a
+//! [`uops_db::Segment`] instead. Opening a segment validates only the
+//! header and section table — no record is decoded — and the zero-copy
+//! reader ([`uops_db::SegmentDb`]) answers every [`uops_db::Query`]
+//! identically to the in-memory database (both implement
+//! [`uops_db::DbBackend`]). Shards written independently (one per
+//! microarchitecture, as `build_db --merge` does) are combined with
+//! [`uops_db::Segment::merge`] without re-decoding:
+//!
+//! ```rust
+//! use uops_info::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut snapshot = Snapshot::new("quickstart");
+//! snapshot.records.push(uops_info::db::VariantRecord {
+//!     mnemonic: "ADD".into(),
+//!     variant: "R64, R64".into(),
+//!     extension: "BASE".into(),
+//!     uarch: "Skylake".into(),
+//!     uop_count: 1,
+//!     ports: vec![(0b0110_0011, 1)],
+//!     tp_measured: 0.25,
+//!     ..Default::default()
+//! });
+//!
+//! // Segment::write(&snapshot, "uops.seg")? / Segment::open("uops.seg")?
+//! // do the same through the filesystem.
+//! let segment = Segment::from_bytes(Segment::encode(&snapshot))?;
+//! let db = segment.db(); // zero-copy: no records decoded
+//! let hits = Query::new().uarch("Skylake").uses_port(6).run(&db);
+//! assert_eq!(hits.rows[0].mnemonic(), "ADD");
+//!
+//! // Incremental ingestion: later shards win on conflicting records.
+//! let merged = Segment::merge(&[segment.clone(), segment]);
+//! assert_eq!(merged.len(), 1);
+//! # Ok(())
+//! # }
+//! ```
 
 pub use uops_asm as asm;
 pub use uops_core as core_;
@@ -116,8 +157,8 @@ pub mod prelude {
         CharacterizationEngine, CharacterizationReport, EngineConfig, InstructionProfile,
     };
     pub use uops_db::{
-        diff_uarches, DiffReport, InstructionDb, Query, QueryResult, Snapshot, SortKey,
-        VariantRecord,
+        diff_uarches, DbBackend, DiffReport, InstructionDb, Query, QueryResult, Segment, SegmentDb,
+        Snapshot, SortKey, VariantRecord,
     };
     pub use uops_iaca::{compare_against_iaca, IacaAnalyzer, IacaVersion, MeasuredInstruction};
     pub use uops_isa::{Catalog, InstructionDesc, OperandDesc, OperandKind, Register, Width};

@@ -1,0 +1,308 @@
+//! Property tests of the zero-copy segment backend: for arbitrary
+//! snapshots and arbitrary queries, [`SegmentDb`] must answer exactly like
+//! [`InstructionDb`] (same matches, same order, same pagination), shard
+//! merges must reproduce single-pass builds, and corrupt images must be
+//! rejected with an error — never a panic.
+
+use proptest::prelude::*;
+
+use uops_info::db::{
+    DbBackend, DbError, InstructionDb, LatencyEdge, Query, Segment, SegmentDb, Snapshot, SortKey,
+    UarchMeta, VariantRecord,
+};
+
+// ---------------------------------------------------------------------------
+// Strategies
+// ---------------------------------------------------------------------------
+
+const MNEMONICS: [&str; 7] = ["ADD", "ADC", "SHLD", "VPADDD", "DIV", "Ä\"Q\"", "MULPS"];
+const VARIANTS: [&str; 4] = ["R64, R64", "XMM, XMM", "", "R64, M64 \\ esc"];
+const EXTENSIONS: [&str; 3] = ["BASE", "AVX2", "AES"];
+const UARCHES: [&str; 3] = ["Nehalem", "Haswell", "Skylake"];
+
+/// Strategy: an optional float with a present-but-zero case.
+fn arb_opt_f64() -> impl Strategy<Value = Option<f64>> {
+    (0u8..3, 0.0f64..8.0).prop_map(|(tag, v)| match tag {
+        0 => None,
+        1 => Some(0.0),
+        _ => Some(v),
+    })
+}
+
+/// Strategy: a latency edge exercising every optional field.
+fn arb_edge() -> impl Strategy<Value = LatencyEdge> {
+    ((0u32..4, 0u32..4, 0.0f64..30.0, 0u8..2), (arb_opt_f64(), arb_opt_f64())).prop_map(
+        |((source, target, cycles, upper), (same, low))| LatencyEdge {
+            source,
+            target,
+            cycles,
+            upper_bound: upper == 1,
+            same_reg_cycles: same,
+            low_value_cycles: low,
+        },
+    )
+}
+
+/// Strategy: one variant record drawn from small string pools.
+fn arb_record() -> impl Strategy<Value = VariantRecord> {
+    (
+        (0usize..7, 0usize..4, 0usize..3, 0usize..3, 0u32..5),
+        prop::collection::vec((1u16..0x100, 1u32..4), 0..4),
+        (0u32..3, 0.0f64..8.0, arb_opt_f64(), arb_opt_f64(), arb_opt_f64()),
+        prop::collection::vec(arb_edge(), 0..3),
+    )
+        .prop_map(
+            |(
+                (m, v, e, u, uops),
+                mut ports,
+                (unattributed, tp, tp_ports, tp_low, tp_breaking),
+                latency,
+            )| {
+                ports.sort_unstable();
+                ports.dedup_by_key(|(mask, _)| *mask);
+                VariantRecord {
+                    mnemonic: MNEMONICS[m].to_string(),
+                    variant: VARIANTS[v].to_string(),
+                    extension: EXTENSIONS[e].to_string(),
+                    uarch: UARCHES[u].to_string(),
+                    uop_count: uops,
+                    ports,
+                    unattributed,
+                    tp_measured: tp,
+                    tp_ports,
+                    tp_low_values: tp_low,
+                    tp_breaking,
+                    latency,
+                }
+            },
+        )
+}
+
+/// Strategy: a whole snapshot, including duplicate-key records (the
+/// last-writer-wins path) and µarch metadata.
+fn arb_snapshot() -> impl Strategy<Value = Snapshot> {
+    (
+        prop::collection::vec((0u8..3, 2008u32..2020, 1u32..400, 0u32..50), 0..3),
+        prop::collection::vec(arb_record(), 0..12),
+    )
+        .prop_map(|(metas, records)| {
+            let mut snapshot = Snapshot::new("uops-info segment proptest");
+            for (u, year, characterized, skipped) in metas {
+                snapshot.upsert_uarch(UarchMeta {
+                    name: UARCHES[u as usize].to_string(),
+                    processor: format!("CPU-{year}"),
+                    year,
+                    ports: if year >= 2013 { 8 } else { 6 },
+                    characterized,
+                    skipped,
+                });
+            }
+            snapshot.records = records;
+            snapshot
+        })
+}
+
+/// Strategy: an arbitrary query — filters, sort, direction, pagination.
+fn arb_query() -> impl Strategy<Value = Query> {
+    (
+        (0usize..8, 0usize..5, 0usize..4, 0usize..4),
+        (0u8..12, 0u8..3, 0u32..4, 0u8..2),
+        (0u8..4, 0u8..2, 0usize..6, 0usize..8),
+    )
+        .prop_map(
+            |((m, pfx, e, u), (port, port_on, min_uops, uops_on), (sort, desc, offset, limit))| {
+                let mut q = Query::new();
+                if m < MNEMONICS.len() {
+                    q = q.mnemonic(MNEMONICS[m]);
+                }
+                if pfx < 4 {
+                    q = q.mnemonic_prefix(["A", "V", "SH", ""][pfx]);
+                }
+                if e < EXTENSIONS.len() {
+                    q = q.extension(EXTENSIONS[e]);
+                }
+                if u < UARCHES.len() {
+                    q = q.uarch(UARCHES[u]);
+                }
+                if port_on == 0 {
+                    q = q.uses_port(port);
+                }
+                if uops_on == 0 {
+                    q = q.min_uops(min_uops);
+                }
+                let key =
+                    [SortKey::Mnemonic, SortKey::Latency, SortKey::Throughput, SortKey::UopCount]
+                        [sort as usize];
+                q = if desc == 0 { q.sort_by(key) } else { q.sort_by_desc(key) };
+                if limit < 7 {
+                    q = q.limit(limit);
+                }
+                q.offset(offset)
+            },
+        )
+}
+
+/// The observable content of a result row, for cross-backend comparison.
+fn row_key<B: DbBackend>(v: &uops_info::db::RecordView<'_, B>) -> (String, String, String, u32) {
+    (v.mnemonic().to_string(), v.variant().to_string(), v.uarch().to_string(), v.uop_count())
+}
+
+// ---------------------------------------------------------------------------
+// Equivalence properties
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any query over any snapshot: the zero-copy segment reader and the
+    /// in-memory database return identical results — same total, same
+    /// rows, same order, same page.
+    #[test]
+    fn segment_answers_every_query_like_instruction_db(
+        snapshot in arb_snapshot(),
+        queries in prop::collection::vec(arb_query(), 1..6),
+    ) {
+        let mem = InstructionDb::from_snapshot(&snapshot);
+        let segment = Segment::from_bytes(Segment::encode(&snapshot)).expect("valid image");
+        let seg = segment.db();
+        prop_assert_eq!(seg.len(), mem.len());
+        for query in &queries {
+            let a = query.run(&mem);
+            let b = query.run(&seg);
+            prop_assert_eq!(a.total_matches, b.total_matches, "{:?}", query);
+            let rows_a: Vec<_> = a.rows.iter().map(row_key).collect();
+            let rows_b: Vec<_> = b.rows.iter().map(row_key).collect();
+            prop_assert_eq!(rows_a, rows_b, "{:?}", query);
+        }
+    }
+
+    /// The segment round-trips the snapshot losslessly (modulo canonical
+    /// ordering and last-writer-wins dedup, which the in-memory database
+    /// applies identically), and diff reports agree between backends.
+    #[test]
+    fn segment_roundtrip_and_diff_match(snapshot in arb_snapshot()) {
+        let mem = InstructionDb::from_snapshot(&snapshot);
+        let segment = Segment::from_bytes(Segment::encode(&snapshot)).expect("valid image");
+        let seg = segment.db();
+        prop_assert_eq!(seg.export_snapshot(), mem.to_snapshot());
+        for (base, other) in [("Haswell", "Skylake"), ("Nehalem", "Haswell")] {
+            let a = uops_info::db::diff_uarches(&mem, base, other);
+            let b = uops_info::db::diff_uarches(&seg, base, other);
+            prop_assert_eq!(a.changed, b.changed);
+            prop_assert_eq!(a.unchanged, b.unchanged);
+            prop_assert_eq!(a.only_in_base, b.only_in_base);
+            prop_assert_eq!(a.only_in_other, b.only_in_other);
+        }
+    }
+
+    /// Splitting a snapshot into per-uarch shards and merging the shard
+    /// segments reproduces the single-pass image byte for byte.
+    #[test]
+    fn shard_merge_equals_single_pass(snapshot in arb_snapshot()) {
+        let shards: Vec<Segment> = UARCHES
+            .iter()
+            .map(|uarch| {
+                let mut shard = Snapshot::new(&*snapshot.generator);
+                shard.records =
+                    snapshot.records.iter().filter(|r| &r.uarch == uarch).cloned().collect();
+                shard.uarches =
+                    snapshot.uarches.iter().filter(|m| &m.name == uarch).cloned().collect();
+                Segment::from_bytes(Segment::encode(&shard)).expect("valid shard")
+            })
+            .collect();
+        let merged = Segment::merge(&shards);
+        let single = Segment::encode(&snapshot);
+        prop_assert_eq!(merged.as_bytes(), single.as_slice());
+    }
+
+    /// Truncating a valid image anywhere below its payload end yields an
+    /// error — never a panic, never a silently shorter database.
+    #[test]
+    fn truncated_segments_error_not_panic(snapshot in arb_snapshot(), cut in 0.0f64..1.0) {
+        let image = Segment::encode(&snapshot);
+        let len = ((image.len() as f64) * cut) as usize;
+        // Only whole-image (plus trailing padding) prefixes may validate.
+        if let Ok(segment) = Segment::from_bytes(image[..len].to_vec()) {
+            prop_assert_eq!(segment.db().len(), SegmentDb::open(&image).expect("valid").len());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Targeted corruption (deterministic)
+// ---------------------------------------------------------------------------
+
+fn sample_image() -> Vec<u8> {
+    let mut snapshot = Snapshot::new("corruption tests");
+    snapshot.records.push(VariantRecord {
+        mnemonic: "ADD".into(),
+        variant: "R64, R64".into(),
+        extension: "BASE".into(),
+        uarch: "Skylake".into(),
+        uop_count: 1,
+        ports: vec![(0b11, 1)],
+        tp_measured: 0.25,
+        ..Default::default()
+    });
+    Segment::encode(&snapshot)
+}
+
+#[test]
+fn bad_magic_is_rejected() {
+    let mut image = sample_image();
+    image[0] ^= 0xff;
+    assert!(matches!(Segment::from_bytes(image), Err(DbError::Segment { offset: 0, .. })));
+    assert!(matches!(
+        Segment::from_bytes(b"UDB\x01 but not a segment".to_vec()),
+        Err(DbError::Segment { .. })
+    ));
+}
+
+#[test]
+fn truncated_header_is_rejected() {
+    for len in 0..32 {
+        let image = sample_image();
+        assert!(
+            matches!(Segment::from_bytes(image[..len].to_vec()), Err(DbError::Segment { .. })),
+            "header prefix of {len} bytes must be rejected"
+        );
+    }
+}
+
+#[test]
+fn out_of_range_section_offsets_are_rejected() {
+    let image = sample_image();
+    let section_count = u32::from_le_bytes(image[16..20].try_into().unwrap()) as usize;
+    // Point each section in turn far past the end of the image (8-aligned
+    // so the alignment check cannot mask the bounds check).
+    for i in 0..section_count {
+        let mut bad = image.clone();
+        let entry = 32 + i * 24;
+        let huge = (image.len() as u64 + 8).next_multiple_of(8);
+        bad[entry + 8..entry + 16].copy_from_slice(&huge.to_le_bytes());
+        match Segment::from_bytes(bad) {
+            Err(DbError::Segment { .. }) => {}
+            other => panic!("section {i} with offset past EOF must error, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn oversized_section_lengths_are_rejected() {
+    let image = sample_image();
+    let mut bad = image.clone();
+    // First section: length larger than the whole file.
+    bad[32 + 16..32 + 24].copy_from_slice(&(image.len() as u64 + 1).to_le_bytes());
+    assert!(matches!(Segment::from_bytes(bad), Err(DbError::Segment { .. })));
+}
+
+#[test]
+fn unsupported_schema_is_rejected() {
+    let mut image = sample_image();
+    let newer = uops_info::db::SCHEMA_VERSION + 1;
+    image[12..16].copy_from_slice(&newer.to_le_bytes());
+    assert_eq!(
+        Segment::from_bytes(image),
+        Err(DbError::UnsupportedSchema { found: newer, supported: uops_info::db::SCHEMA_VERSION })
+    );
+}
