@@ -1,0 +1,205 @@
+//! Benchmarks of the serving stack on the 2100-record bench database (the
+//! same 700-variants × 3-µarch synthetic dataset as `db_query`):
+//!
+//! * **service**: cached vs uncached request latency at the
+//!   transport-agnostic [`QueryService`] layer — the acceptance gate is
+//!   that a cache hit (hash lookup + `Arc` clone of the encoded bytes) is
+//!   **≥ 5x faster** than the uncached plan-execute-encode pipeline;
+//! * **http**: requests/s over a real socket against the HTTP/1.1 server,
+//!   cached (one hot plan) vs uncached (every request a distinct plan),
+//!   on a keep-alive connection.
+//!
+//! Besides the human-readable report, the run writes a machine-readable
+//! summary to `BENCH_serve.json` (override with the `BENCH_SERVE_JSON`
+//! environment variable) for CI artifact upload.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Instant;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use uops_db::{Query, QueryPlan, Segment, Snapshot, SortKey, VariantRecord};
+use uops_serve::{Encoding, QueryService, Server};
+
+/// The same synthetic shape as the `db_query` bench: 700 variants on three
+/// microarchitectures = 2100 records.
+fn synthetic_snapshot(per_uarch: usize) -> Snapshot {
+    let uarches = ["Haswell", "Skylake", "Coffee Lake"];
+    let extensions = ["BASE", "SSE2", "SSSE3", "AVX", "AVX2", "BMI2"];
+    let variants = ["R64, R64", "R32, R32", "XMM, XMM", "YMM, YMM, YMM", "R64, M64"];
+    let masks: [u16; 6] =
+        [0b0110_0011, 0b0100_0001, 0b0010_0011, 0b0000_0011, 0b0000_1100, 0b0011_0000];
+    let mut snapshot = Snapshot::new("serve bench");
+    for uarch in uarches {
+        for i in 0..per_uarch {
+            let mnemonic =
+                format!("{}OP{:04}", if i % 3 == 0 { "V" } else { "" }, i / variants.len());
+            snapshot.records.push(VariantRecord {
+                mnemonic,
+                variant: variants[i % variants.len()].to_string(),
+                extension: extensions[i % extensions.len()].to_string(),
+                uarch: uarch.to_string(),
+                uop_count: (i % 4 + 1) as u32,
+                ports: vec![(masks[i % masks.len()], (i % 4 + 1) as u32)],
+                tp_measured: 0.25 * (i % 8 + 1) as f64,
+                ..Default::default()
+            });
+        }
+    }
+    snapshot
+}
+
+/// A representative hot query: indexed on (uarch, port), residual µop
+/// filter, throughput sort, paginated — the uncached path runs the full
+/// planner + gallop + sort + encode pipeline over hundreds of matches.
+fn hot_plan() -> QueryPlan {
+    Query::new()
+        .uarch("Skylake")
+        .uses_port(5)
+        .min_uops(2)
+        .sort_by(SortKey::Throughput)
+        .limit(50)
+        .into_plan()
+}
+
+fn median_ns<T>(runs: usize, mut f: impl FnMut() -> T) -> f64 {
+    for _ in 0..3 {
+        black_box(f());
+    }
+    let mut samples: Vec<f64> = (0..runs)
+        .map(|_| {
+            let t = Instant::now();
+            black_box(f());
+            t.elapsed().as_secs_f64() * 1e9
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// Requests per connection, kept under the server's keep-alive budget
+/// (1024) so the bench reconnects before the server hangs up.
+const REQUESTS_PER_CONNECTION: usize = 1000;
+
+/// Issues `count` keep-alive GETs for `targets` (cycled), reconnecting
+/// every [`REQUESTS_PER_CONNECTION`] requests, returning requests/s.
+fn http_requests_per_sec(addr: &std::net::SocketAddr, targets: &[String], count: usize) -> f64 {
+    let connect = || {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).expect("nodelay");
+        let writer = stream.try_clone().expect("clone");
+        (writer, BufReader::new(stream))
+    };
+    let (mut writer, mut reader) = connect();
+    let t = Instant::now();
+    for i in 0..count {
+        if i > 0 && i % REQUESTS_PER_CONNECTION == 0 {
+            (writer, reader) = connect();
+        }
+        let target = &targets[i % targets.len()];
+        write!(writer, "GET {target} HTTP/1.1\r\nHost: b\r\n\r\n").expect("send");
+        writer.flush().expect("flush");
+        // Read the header block, then exactly Content-Length body bytes.
+        let mut line = String::new();
+        let mut content_length = 0usize;
+        loop {
+            line.clear();
+            reader.read_line(&mut line).expect("read header");
+            let trimmed = line.trim_end();
+            if trimmed.is_empty() {
+                break;
+            }
+            if let Some(v) = trimmed.strip_prefix("Content-Length: ") {
+                content_length = v.parse().expect("length");
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        reader.read_exact(&mut body).expect("read body");
+        black_box(body);
+    }
+    count as f64 / t.elapsed().as_secs_f64()
+}
+
+fn bench_serve(c: &mut Criterion) {
+    let snapshot = synthetic_snapshot(700);
+    let segment = Arc::new(Segment::from_bytes(Segment::encode(&snapshot)).expect("valid segment"));
+    let records = snapshot.records.len();
+    assert!(records >= 2100, "bench db must hold 2100 records, got {records}");
+
+    let cached = QueryService::from_segment(Arc::clone(&segment), 64 << 20);
+    let uncached = QueryService::from_segment(Arc::clone(&segment), 0);
+    let plan = hot_plan();
+    // Warm the cached service once so its steady state is all hits.
+    let warm = cached.query(&plan, Encoding::Json);
+    assert_eq!(
+        warm.body,
+        uncached.query(&plan, Encoding::Json).body,
+        "cached and uncached responses must be byte-identical"
+    );
+
+    let mut group = c.benchmark_group("serve");
+    group.bench_function("service/uncached_query", |b| {
+        b.iter(|| black_box(uncached.query(black_box(&plan), Encoding::Json).body.len()))
+    });
+    group.bench_function("service/cached_query", |b| {
+        b.iter(|| black_box(cached.query(black_box(&plan), Encoding::Json).body.len()))
+    });
+    group.finish();
+
+    // ---- acceptance gate + machine-readable summary ----
+    let uncached_ns = median_ns(25, || uncached.query(&plan, Encoding::Json).body.len());
+    let cached_ns = median_ns(25, || cached.query(&plan, Encoding::Json).body.len());
+    let speedup = uncached_ns / cached_ns.max(1.0);
+    assert!(
+        speedup >= 5.0,
+        "a cache hit must be >= 5x faster than the uncached pipeline \
+         (uncached {uncached_ns:.0} ns vs cached {cached_ns:.0} ns = {speedup:.1}x)"
+    );
+    let hits_before = cached.stats();
+    let _ = cached.query(&plan, Encoding::Json);
+    let hits_after = cached.stats();
+    assert_eq!(hits_after.executions, hits_before.executions, "hit skips the executor");
+    assert_eq!(hits_after.encodes, hits_before.encodes, "hit skips the encoder");
+
+    // ---- HTTP layer: requests/s on a keep-alive connection ----
+    let http_service = Arc::new(QueryService::from_segment(Arc::clone(&segment), 64 << 20));
+    let server = Server::bind("127.0.0.1:0", Arc::clone(&http_service), 2).expect("bind");
+    let addr = server.local_addr();
+    let handle = server.spawn();
+
+    let hot_target = format!("/v1/query?{}", plan.to_query_string());
+    // Distinct offsets make every request a distinct plan (cache miss)
+    // over the same expensive result set.
+    let cold_targets: Vec<String> = (0..512)
+        .map(|i| {
+            format!("/v1/query?uarch=Skylake&port=5&min_uops=2&sort=throughput&offset={i}&limit=50")
+        })
+        .collect();
+    let http_cached_rps = http_requests_per_sec(&addr, std::slice::from_ref(&hot_target), 2000);
+    let http_uncached_rps = http_requests_per_sec(&addr, &cold_targets, 512);
+    handle.shutdown();
+
+    println!(
+        "\nservice: uncached {uncached_ns:.0} ns vs cached {cached_ns:.0} ns = {speedup:.1}x\n\
+         http:    cached {http_cached_rps:.0} req/s vs uncached {http_uncached_rps:.0} req/s"
+    );
+
+    let json = format!(
+        "{{\n  \"records\": {records},\n  \"service\": {{\n    \"uncached_ns\": {uncached_ns:.0},\n    \
+         \"cached_ns\": {cached_ns:.0},\n    \"cache_hit_speedup\": {speedup:.1}\n  }},\n  \
+         \"http\": {{\n    \"requests_per_sec_cached\": {http_cached_rps:.0},\n    \
+         \"requests_per_sec_uncached\": {http_uncached_rps:.0},\n    \
+         \"cache_hit_latency_ns\": {:.0}\n  }}\n}}\n",
+        1e9 / http_cached_rps,
+    );
+    let path = std::env::var("BENCH_SERVE_JSON").unwrap_or_else(|_| "BENCH_serve.json".to_string());
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("\nwrote {path}:\n{json}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

@@ -45,6 +45,7 @@ use uops_core::{report_to_snapshot, reports_to_snapshot};
 use uops_db::{diff_uarches, DbBackend, InstructionDb, Query, Segment, Snapshot, SortKey};
 use uops_isa::Catalog;
 use uops_pool::Parallelism;
+use uops_serve::args::CliSpec;
 use uops_uarch::MicroArch;
 
 /// The catalog slice characterized by this experiment: a mix of ALU,
@@ -81,7 +82,10 @@ impl Format {
     }
 }
 
-/// Command-line options (hand-rolled: the workspace is dependency-free).
+/// Command-line options, parsed via the workspace's shared declarative
+/// helper ([`uops_serve::args`]) — the same one the `serve` binary uses,
+/// so both reject unknown flags with usage and exit status 2 instead of
+/// silently ignoring them.
 struct Options {
     threads: usize,
     prefix: String,
@@ -89,56 +93,42 @@ struct Options {
     merge: bool,
 }
 
-fn parse_args() -> Result<Options, String> {
-    let mut threads = Parallelism::Auto.thread_count();
-    let mut prefix = None;
-    let mut format = Format::Both;
-    let mut merge = false;
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--serial" => threads = 1,
-            "--threads" => {
-                let value = args.next().ok_or("--threads requires a value")?;
-                threads = value
-                    .parse::<usize>()
-                    .map_err(|_| format!("invalid --threads value: {value}"))?
-                    .max(1);
-            }
-            "--format" => {
-                let value = args.next().ok_or("--format requires a value")?;
-                format = match value.as_str() {
-                    "tlv" => Format::Tlv,
-                    "segment" => Format::Segment,
-                    "both" => Format::Both,
-                    other => return Err(format!("invalid --format value: {other}")),
-                };
-            }
-            "--merge" => merge = true,
-            "--help" | "-h" => {
-                println!(
-                    "usage: build_db [--threads N | --serial] [--format tlv|segment|both] \
-                     [--merge] [OUTPUT_PREFIX]"
-                );
-                std::process::exit(0);
-            }
-            other if other.starts_with('-') => return Err(format!("unknown option: {other}")),
-            other => {
-                if prefix.replace(other.to_string()).is_some() {
-                    return Err("at most one OUTPUT_PREFIX may be given".to_string());
-                }
-            }
+const SPEC: CliSpec<'static> = CliSpec {
+    name: "build_db",
+    usage: "build_db [--threads N | --serial] [--format tlv|segment|both] [--merge] \
+            [OUTPUT_PREFIX]",
+    value_flags: &["--threads", "--format"],
+    bool_flags: &["--serial", "--merge"],
+    max_positional: 1,
+};
+
+fn parse_args() -> Options {
+    let args = SPEC.parse_or_exit();
+    let threads = if args.flag("--serial") {
+        1
+    } else {
+        match args.parsed_value::<usize>("--threads") {
+            Ok(n) => n.unwrap_or_else(|| Parallelism::Auto.thread_count()).max(1),
+            Err(message) => SPEC.exit_usage(&message),
         }
-    }
+    };
+    let format = match args.value("--format") {
+        None => Format::Both,
+        Some("tlv") => Format::Tlv,
+        Some("segment") => Format::Segment,
+        Some("both") => Format::Both,
+        Some(other) => SPEC.exit_usage(&format!("invalid --format value: {other}")),
+    };
+    let merge = args.flag("--merge");
     if merge && !format.segment() {
-        return Err("--merge requires the segment format (--format segment|both)".to_string());
+        SPEC.exit_usage("--merge requires the segment format (--format segment|both)");
     }
-    Ok(Options {
+    Options {
         threads,
-        prefix: prefix.unwrap_or_else(|| "uops_snapshot".to_string()),
+        prefix: args.positional.first().cloned().unwrap_or_else(|| "uops_snapshot".to_string()),
         format,
         merge,
-    })
+    }
 }
 
 /// Human-readable byte count.
@@ -153,13 +143,7 @@ fn fmt_bytes(n: usize) -> String {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let opts = match parse_args() {
-        Ok(opts) => opts,
-        Err(msg) => {
-            eprintln!("{msg}");
-            std::process::exit(2);
-        }
-    };
+    let opts = parse_args();
     let catalog = Catalog::intel_core();
 
     // Shard the sweeps per architecture over the thread budget; threads

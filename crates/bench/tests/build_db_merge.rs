@@ -73,3 +73,24 @@ fn merged_shards_equal_single_pass_build() {
 
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn unknown_flags_exit_nonzero_with_usage() {
+    // build_db shares the declarative CLI helper with `serve`; a typo'd
+    // flag must fail loudly, not be silently ignored.
+    let output = Command::new(env!("CARGO_BIN_EXE_build_db"))
+        .args(["--serail"])
+        .output()
+        .expect("run build_db");
+    assert_eq!(output.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("unknown option: --serail"), "{stderr}");
+    assert!(stderr.contains("usage:"), "{stderr}");
+
+    let output = Command::new(env!("CARGO_BIN_EXE_build_db"))
+        .args(["--merge", "--format", "tlv"])
+        .output()
+        .expect("run build_db");
+    assert_eq!(output.status.code(), Some(2), "--merge needs the segment format");
+    assert!(String::from_utf8_lossy(&output.stderr).contains("--merge requires"));
+}

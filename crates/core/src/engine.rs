@@ -99,6 +99,9 @@ impl InstructionProfile {
     }
 }
 
+/// Mnemonic → variant → profile index.
+type VariantIndex = HashMap<String, HashMap<String, usize>>;
+
 /// Lazily-built `(mnemonic, variant) → profile index` lookup table for
 /// [`CharacterizationReport::find`]. Nested maps keyed by `String` so that
 /// lookups with borrowed `&str` pairs allocate nothing. The `usize` outside
@@ -108,7 +111,7 @@ impl InstructionProfile {
 /// Cloning a report clones the built index if present; a report whose index
 /// has not been demanded yet clones to an empty (lazily rebuilt) one.
 #[derive(Debug, Default)]
-pub(crate) struct FindIndex(OnceLock<(usize, HashMap<String, HashMap<String, usize>>)>);
+pub(crate) struct FindIndex(OnceLock<(usize, VariantIndex)>);
 
 impl Clone for FindIndex {
     fn clone(&self) -> Self {

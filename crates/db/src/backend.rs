@@ -196,23 +196,7 @@ pub trait DbBackend {
             snapshot.schema_version = self.schema_version();
         }
         snapshot.uarches = self.uarch_metas();
-        snapshot.records = self
-            .views()
-            .map(|v| VariantRecord {
-                mnemonic: v.mnemonic().to_string(),
-                variant: v.variant().to_string(),
-                extension: v.extension().to_string(),
-                uarch: v.uarch().to_string(),
-                uop_count: v.uop_count(),
-                ports: v.ports(),
-                unattributed: v.unattributed(),
-                tp_measured: v.tp_measured(),
-                tp_ports: v.tp_ports(),
-                tp_low_values: v.tp_low_values(),
-                tp_breaking: v.tp_breaking(),
-                latency: v.latency(),
-            })
-            .collect();
+        snapshot.records = self.views().map(|v| v.to_variant_record()).collect();
         snapshot.canonicalize();
         snapshot
     }
@@ -365,6 +349,26 @@ impl<'db, B: DbBackend> RecordView<'db, B> {
     #[must_use]
     pub fn ports_notation(&self) -> String {
         ports_to_notation(&self.ports(), self.unattributed())
+    }
+
+    /// Materializes the view into an owned [`VariantRecord`] — the shape
+    /// the snapshot export and the result encoders share.
+    #[must_use]
+    pub fn to_variant_record(&self) -> VariantRecord {
+        VariantRecord {
+            mnemonic: self.mnemonic().to_string(),
+            variant: self.variant().to_string(),
+            extension: self.extension().to_string(),
+            uarch: self.uarch().to_string(),
+            uop_count: self.uop_count(),
+            ports: self.ports(),
+            unattributed: self.unattributed(),
+            tp_measured: self.tp_measured(),
+            tp_ports: self.tp_ports(),
+            tp_low_values: self.tp_low_values(),
+            tp_breaking: self.tp_breaking(),
+            latency: self.latency(),
+        }
     }
 }
 

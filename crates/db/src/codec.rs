@@ -19,15 +19,15 @@ use crate::snapshot::{LatencyEdge, Snapshot, UarchMeta, VariantRecord};
 /// Magic bytes identifying a binary snapshot (`"UDB\x01"`).
 pub const MAGIC: [u8; 4] = *b"UDB\x01";
 
-const WIRE_VARINT: u8 = 0;
-const WIRE_FIXED64: u8 = 1;
-const WIRE_LEN: u8 = 2;
+pub(crate) const WIRE_VARINT: u8 = 0;
+pub(crate) const WIRE_FIXED64: u8 = 1;
+pub(crate) const WIRE_LEN: u8 = 2;
 
 // ---------------------------------------------------------------------------
 // Writer
 // ---------------------------------------------------------------------------
 
-fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+pub(crate) fn put_varint(out: &mut Vec<u8>, mut v: u64) {
     loop {
         let byte = (v & 0x7f) as u8;
         v >>= 7;
@@ -39,25 +39,25 @@ fn put_varint(out: &mut Vec<u8>, mut v: u64) {
     }
 }
 
-fn put_tag(out: &mut Vec<u8>, field: u32, wire: u8) {
+pub(crate) fn put_tag(out: &mut Vec<u8>, field: u32, wire: u8) {
     put_varint(out, (u64::from(field) << 3) | u64::from(wire));
 }
 
-fn put_u64_field(out: &mut Vec<u8>, field: u32, v: u64) {
+pub(crate) fn put_u64_field(out: &mut Vec<u8>, field: u32, v: u64) {
     if v != 0 {
         put_tag(out, field, WIRE_VARINT);
         put_varint(out, v);
     }
 }
 
-fn put_f64_field(out: &mut Vec<u8>, field: u32, v: f64) {
+pub(crate) fn put_f64_field(out: &mut Vec<u8>, field: u32, v: f64) {
     if v != 0.0 {
         put_tag(out, field, WIRE_FIXED64);
         out.extend_from_slice(&v.to_le_bytes());
     }
 }
 
-fn put_opt_f64_field(out: &mut Vec<u8>, field: u32, v: Option<f64>) {
+pub(crate) fn put_opt_f64_field(out: &mut Vec<u8>, field: u32, v: Option<f64>) {
     // Present-but-zero must survive the round trip, so optional floats are
     // written whenever they are `Some`, even for 0.0.
     if let Some(v) = v {
@@ -66,7 +66,7 @@ fn put_opt_f64_field(out: &mut Vec<u8>, field: u32, v: Option<f64>) {
     }
 }
 
-fn put_str_field(out: &mut Vec<u8>, field: u32, s: &str) {
+pub(crate) fn put_str_field(out: &mut Vec<u8>, field: u32, s: &str) {
     if !s.is_empty() {
         put_tag(out, field, WIRE_LEN);
         put_varint(out, s.len() as u64);
@@ -74,7 +74,7 @@ fn put_str_field(out: &mut Vec<u8>, field: u32, s: &str) {
     }
 }
 
-fn put_msg_field(out: &mut Vec<u8>, field: u32, body: &[u8]) {
+pub(crate) fn put_msg_field(out: &mut Vec<u8>, field: u32, body: &[u8]) {
     put_tag(out, field, WIRE_LEN);
     put_varint(out, body.len() as u64);
     out.extend_from_slice(body);
@@ -102,7 +102,7 @@ fn encode_edge(edge: &LatencyEdge) -> Vec<u8> {
     out
 }
 
-fn encode_record(record: &VariantRecord) -> Vec<u8> {
+pub(crate) fn encode_record(record: &VariantRecord) -> Vec<u8> {
     let mut out = Vec::new();
     put_str_field(&mut out, 1, &record.mnemonic);
     put_str_field(&mut out, 2, &record.variant);
@@ -146,21 +146,21 @@ pub fn encode(snapshot: &Snapshot) -> Vec<u8> {
 // Reader
 // ---------------------------------------------------------------------------
 
-struct Reader<'a> {
-    buf: &'a [u8],
-    pos: usize,
+pub(crate) struct Reader<'a> {
+    pub(crate) buf: &'a [u8],
+    pub(crate) pos: usize,
 }
 
 impl<'a> Reader<'a> {
-    fn error(&self, message: impl Into<String>) -> DbError {
+    pub(crate) fn error(&self, message: impl Into<String>) -> DbError {
         DbError::Decode { offset: self.pos, message: message.into() }
     }
 
-    fn done(&self) -> bool {
+    pub(crate) fn done(&self) -> bool {
         self.pos >= self.buf.len()
     }
 
-    fn varint(&mut self) -> Result<u64, DbError> {
+    pub(crate) fn varint(&mut self) -> Result<u64, DbError> {
         let mut value = 0u64;
         let mut shift = 0u32;
         loop {
@@ -179,7 +179,7 @@ impl<'a> Reader<'a> {
         }
     }
 
-    fn fixed64(&mut self) -> Result<f64, DbError> {
+    pub(crate) fn fixed64(&mut self) -> Result<f64, DbError> {
         let end = self.pos + 8;
         let Some(bytes) = self.buf.get(self.pos..end) else {
             return Err(self.error("truncated fixed64"));
@@ -188,7 +188,7 @@ impl<'a> Reader<'a> {
         Ok(f64::from_le_bytes(bytes.try_into().expect("8 bytes")))
     }
 
-    fn bytes(&mut self) -> Result<&'a [u8], DbError> {
+    pub(crate) fn bytes(&mut self) -> Result<&'a [u8], DbError> {
         let len = self.varint()? as usize;
         let end = self.pos.checked_add(len).ok_or_else(|| self.error("length overflow"))?;
         let Some(bytes) = self.buf.get(self.pos..end) else {
@@ -198,13 +198,13 @@ impl<'a> Reader<'a> {
         Ok(bytes)
     }
 
-    fn str(&mut self) -> Result<&'a str, DbError> {
+    pub(crate) fn str(&mut self) -> Result<&'a str, DbError> {
         let pos = self.pos;
         std::str::from_utf8(self.bytes()?)
             .map_err(|_| DbError::Decode { offset: pos, message: "invalid UTF-8".into() })
     }
 
-    fn tag(&mut self) -> Result<(u32, u8), DbError> {
+    pub(crate) fn tag(&mut self) -> Result<(u32, u8), DbError> {
         let tag = self.varint()?;
         let field =
             u32::try_from(tag >> 3).map_err(|_| self.error("field number overflows 32 bits"))?;
@@ -212,7 +212,7 @@ impl<'a> Reader<'a> {
     }
 
     /// Skips a field of the given wire type (forward compatibility).
-    fn skip(&mut self, wire: u8) -> Result<(), DbError> {
+    pub(crate) fn skip(&mut self, wire: u8) -> Result<(), DbError> {
         match wire {
             WIRE_VARINT => {
                 self.varint()?;
@@ -229,7 +229,12 @@ impl<'a> Reader<'a> {
     }
 }
 
-fn expect_wire(reader: &Reader<'_>, wire: u8, expected: u8, what: &str) -> Result<(), DbError> {
+pub(crate) fn expect_wire(
+    reader: &Reader<'_>,
+    wire: u8,
+    expected: u8,
+    what: &str,
+) -> Result<(), DbError> {
     if wire != expected {
         return Err(reader.error(format!("wrong wire type {wire} for {what}")));
     }
@@ -308,7 +313,7 @@ fn decode_edge(buf: &[u8]) -> Result<LatencyEdge, DbError> {
     Ok(edge)
 }
 
-fn decode_record(buf: &[u8]) -> Result<VariantRecord, DbError> {
+pub(crate) fn decode_record(buf: &[u8]) -> Result<VariantRecord, DbError> {
     let mut r = Reader { buf, pos: 0 };
     let mut record = VariantRecord::default();
     while !r.done() {

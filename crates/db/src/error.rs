@@ -35,6 +35,14 @@ pub enum DbError {
         /// The requested name.
         name: String,
     },
+    /// A wire query plan could not be parsed (unknown or duplicate
+    /// parameter, malformed value or percent-escape). Strict by design:
+    /// silently skipping a misspelled filter would return — and cache —
+    /// the wrong result set.
+    Plan {
+        /// Human-readable description.
+        message: String,
+    },
     /// The segment image is malformed (bad magic, truncated header,
     /// out-of-range section offsets, inconsistent section sizes, …).
     /// Corruption is always reported as this error — segment validation
@@ -73,6 +81,9 @@ impl fmt::Display for DbError {
             }
             DbError::UnknownUarch { name } => {
                 write!(f, "no records for microarchitecture {name:?}")
+            }
+            DbError::Plan { message } => {
+                write!(f, "query plan parse error: {message}")
             }
             DbError::Segment { offset, message } => {
                 write!(f, "segment validation error at byte {offset}: {message}")

@@ -1,0 +1,352 @@
+//! The query executor: runs a canonical [`QueryPlan`] against any
+//! [`DbBackend`].
+//!
+//! Execution is index-driven: the planner collects the posting list of
+//! every filter that has one, drives the scan from the **smallest** list,
+//! and **gallop-intersects** the remaining lists (exponential probing from
+//! a monotone cursor — cheap when one list is much smaller than the
+//! others, the common shape for point-ish queries). Residual predicates
+//! (prefix, µop and latency bounds) run only on the intersection. Sorting
+//! computes each record's key **once per result set** — a key vector sort,
+//! not a per-comparison re-derivation — and backends that store records in
+//! canonical order collapse name sorts into integer compares.
+//!
+//! [`QueryExec`] is the seam the serving stack builds on: the
+//! [`crate::Query`] builder is a thin front producing plans, a response
+//! cache keys on the plan's fingerprint, and a transport hands parsed wire
+//! plans straight to the executor.
+
+use crate::backend::{DbBackend, IdList, RecordView};
+use crate::db::InstructionDb;
+use crate::intern::Sym;
+use crate::plan::{QueryPlan, SortKey};
+
+/// The result of executing a query plan.
+#[derive(Debug)]
+pub struct QueryResult<'db, B: DbBackend = InstructionDb> {
+    /// Number of records matching the filters, before pagination.
+    pub total_matches: usize,
+    /// The requested page of matching records, in sort order.
+    pub rows: Vec<RecordView<'db, B>>,
+}
+
+/// Executes [`QueryPlan`]s against a backend. Stateless — one executor can
+/// run any number of plans; it exists as a type so layers above the
+/// database (the query service, the server) name the execution step
+/// explicitly instead of reaching into the builder.
+#[must_use]
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QueryExec;
+
+impl QueryExec {
+    /// Creates an executor.
+    pub fn new() -> QueryExec {
+        QueryExec
+    }
+
+    /// Runs `plan` against `db`.
+    #[must_use]
+    pub fn run<'db, B: DbBackend>(self, plan: &QueryPlan, db: &'db B) -> QueryResult<'db, B> {
+        // Resolve the string filters to symbols once. A filter string the
+        // backend has never seen means zero matches; a port beyond the
+        // 16-bit mask can likewise never match.
+        let mut unmatchable = plan.port.is_some_and(|p| p >= 16);
+        let resolve = |s: &Option<String>, unmatchable: &mut bool| -> Option<Sym> {
+            match s {
+                None => None,
+                Some(s) => match db.lookup_sym(s) {
+                    Some(sym) => Some(sym),
+                    None => {
+                        *unmatchable = true;
+                        None
+                    }
+                },
+            }
+        };
+        let mnemonic = resolve(&plan.mnemonic, &mut unmatchable);
+        let extension = resolve(&plan.extension, &mut unmatchable);
+        let uarch = resolve(&plan.uarch, &mut unmatchable);
+        if unmatchable {
+            return QueryResult { total_matches: 0, rows: Vec::new() };
+        }
+
+        // Plan: gather the posting list of every filter that has one. The
+        // (uarch, port) list subsumes the plain uarch list, so only one of
+        // the two participates.
+        let mut lists: Vec<IdList<'db>> = Vec::new();
+        if let Some(sym) = mnemonic {
+            lists.push(db.postings_by_mnemonic(sym));
+        }
+        match (uarch, plan.port) {
+            (Some(sym), Some(port)) => lists.push(db.postings_by_uarch_port(sym, port)),
+            (Some(sym), None) => lists.push(db.postings_by_uarch(sym)),
+            _ => {}
+        }
+        if let Some(sym) = extension {
+            lists.push(db.postings_by_extension(sym));
+        }
+        // Drive from the smallest list, gallop-intersect the rest.
+        lists.sort_by_key(IdList::len);
+
+        let prefix = plan.mnemonic_prefix.as_deref();
+        let mut matches: Vec<u32> = Vec::new();
+        match lists.split_first() {
+            None => {
+                for id in 0..db.len() as u32 {
+                    if matches_residual(plan, db, id, mnemonic, extension, uarch, prefix) {
+                        matches.push(id);
+                    }
+                }
+            }
+            Some((driver, rest)) => {
+                let mut cursors = vec![0usize; rest.len()];
+                'driver: for i in 0..driver.len() {
+                    let id = driver.get(i);
+                    for (list, cursor) in rest.iter().zip(cursors.iter_mut()) {
+                        if !gallop_to(list, cursor, id) {
+                            continue 'driver;
+                        }
+                    }
+                    if matches_residual(plan, db, id, mnemonic, extension, uarch, prefix) {
+                        matches.push(id);
+                    }
+                }
+            }
+        }
+
+        let total_matches = matches.len();
+        sort_ids(plan, db, &mut matches);
+        let rows = matches
+            .into_iter()
+            .skip(plan.offset)
+            .take(plan.limit.unwrap_or(usize::MAX))
+            .map(|id| db.view(id))
+            .collect();
+        QueryResult { total_matches, rows }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn matches_residual<B: DbBackend>(
+    plan: &QueryPlan,
+    db: &B,
+    id: u32,
+    mnemonic: Option<Sym>,
+    extension: Option<Sym>,
+    uarch: Option<Sym>,
+    prefix: Option<&str>,
+) -> bool {
+    if let Some(sym) = mnemonic {
+        if db.mnemonic_sym(id) != sym {
+            return false;
+        }
+    }
+    if let Some(sym) = extension {
+        if db.extension_sym(id) != sym {
+            return false;
+        }
+    }
+    if let Some(sym) = uarch {
+        if db.uarch_sym(id) != sym {
+            return false;
+        }
+    }
+    if let Some(port) = plan.port {
+        // `run` rejected ports beyond the 16-bit mask up front; the
+        // `port >= 16` guard here is defense in depth keeping the
+        // shift sound if that ever changes. The union check also
+        // covers the scan (no posting list) path.
+        if port >= 16 || db.port_union(id) & (1u16 << port) == 0 {
+            return false;
+        }
+    }
+    if let Some(prefix) = prefix {
+        if !db.resolve(db.mnemonic_sym(id)).starts_with(prefix) {
+            return false;
+        }
+    }
+    if let Some(n) = plan.min_uops {
+        if db.uop_count(id) < n {
+            return false;
+        }
+    }
+    if let Some(n) = plan.max_uops {
+        if db.uop_count(id) > n {
+            return false;
+        }
+    }
+    if plan.min_latency.is_some() || plan.max_latency.is_some() {
+        let Some(latency) = db.max_latency(id) else { return false };
+        if let Some(min) = plan.min_latency {
+            if latency < min {
+                return false;
+            }
+        }
+        if let Some(max) = plan.max_latency {
+            if latency > max {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+fn sort_ids<B: DbBackend>(plan: &QueryPlan, db: &B, ids: &mut [u32]) {
+    // Keys are computed once per id into a key vector, then sorted —
+    // never re-derived inside the comparator. Backends with a
+    // precomputed canonical order (segments) supply an integer name
+    // rank; others fall back to resolved string triples.
+    match plan.sort {
+        SortKey::Mnemonic => sort_by_key_vec(ids, |id| name_key(db, id)),
+        SortKey::Latency => sort_by_key_vec(ids, |id| {
+            (F64Key(db.max_latency(id).unwrap_or(f64::NEG_INFINITY)), name_key(db, id))
+        }),
+        SortKey::Throughput => {
+            sort_by_key_vec(ids, |id| (F64Key(db.tp_measured(id)), name_key(db, id)));
+        }
+        SortKey::UopCount => {
+            sort_by_key_vec(ids, |id| (db.uop_count(id), name_key(db, id)));
+        }
+    }
+    if plan.descending {
+        ids.reverse();
+    }
+}
+
+/// A per-record name sort key: an integer rank when the backend stores
+/// records in canonical order, resolved strings otherwise. Within one
+/// backend only one variant ever occurs, so the derived ordering (ranks
+/// before names) never mixes.
+#[derive(PartialEq, Eq, PartialOrd, Ord)]
+enum NameKey<'db> {
+    Rank(u32),
+    Name(&'db str, &'db str, &'db str),
+}
+
+fn name_key<B: DbBackend>(db: &B, id: u32) -> NameKey<'_> {
+    match db.name_rank(id) {
+        Some(rank) => NameKey::Rank(rank),
+        None => NameKey::Name(
+            db.resolve(db.mnemonic_sym(id)),
+            db.resolve(db.variant_sym(id)),
+            db.resolve(db.uarch_sym(id)),
+        ),
+    }
+}
+
+/// Total-ordered `f64` sort key.
+#[derive(PartialEq)]
+struct F64Key(f64);
+
+impl Eq for F64Key {}
+
+impl PartialOrd for F64Key {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for F64Key {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Sorts `ids` by a key computed exactly once per element.
+fn sort_by_key_vec<K: Ord>(ids: &mut [u32], mut key_of: impl FnMut(u32) -> K) {
+    let mut keyed: Vec<(K, u32)> = ids.iter().map(|&id| (key_of(id), id)).collect();
+    keyed.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+    for (slot, (_, id)) in ids.iter_mut().zip(keyed) {
+        *slot = id;
+    }
+}
+
+/// Advances `cursor` to the first position in `list` holding an id `>=
+/// target` (exponential probe + binary search), returning whether `target`
+/// itself is present. Both the driver ids and the cursor move strictly
+/// forward, so a whole intersection costs O(Σ log gap) instead of a
+/// per-element binary search from scratch.
+fn gallop_to(list: &IdList<'_>, cursor: &mut usize, target: u32) -> bool {
+    let n = list.len();
+    let mut lo = *cursor;
+    if lo >= n {
+        return false;
+    }
+    if list.get(lo) >= target {
+        return list.get(lo) == target;
+    }
+    // Invariant: list[lo] < target. Double the step until overshoot.
+    let mut step = 1usize;
+    let mut hi;
+    loop {
+        match lo.checked_add(step) {
+            Some(probe) if probe < n => {
+                if list.get(probe) < target {
+                    lo = probe;
+                    step <<= 1;
+                } else {
+                    hi = probe;
+                    break;
+                }
+            }
+            _ => {
+                hi = n;
+                break;
+            }
+        }
+    }
+    // Binary search in (lo, hi]: first position with list[pos] >= target.
+    let mut left = lo + 1;
+    while left < hi {
+        let mid = (left + hi) / 2;
+        if list.get(mid) < target {
+            left = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    *cursor = left;
+    left < n && list.get(left) == target
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gallop_finds_every_member_and_no_others() {
+        let ids: Vec<u32> = (0..4000).filter(|i| i % 7 == 0 || i % 11 == 0).collect();
+        let list = IdList::Native(&ids);
+        let mut cursor = 0usize;
+        for target in 0..4000u32 {
+            let expected = target % 7 == 0 || target % 11 == 0;
+            assert_eq!(gallop_to(&list, &mut cursor, target), expected, "target {target}");
+        }
+        // Exhausted cursor stays exhausted.
+        assert!(!gallop_to(&list, &mut cursor, 5000));
+        assert!(!gallop_to(&list, &mut cursor, 5001));
+    }
+
+    #[test]
+    fn exec_runs_a_parsed_wire_plan() {
+        use crate::snapshot::{Snapshot, VariantRecord};
+        let mut s = Snapshot::new("exec test");
+        for (m, uarch) in [("ADD", "Skylake"), ("ADC", "Skylake"), ("ADD", "Haswell")] {
+            s.records.push(VariantRecord {
+                mnemonic: m.into(),
+                variant: "R64, R64".into(),
+                extension: "BASE".into(),
+                uarch: uarch.into(),
+                uop_count: 1,
+                ports: vec![(0b0100_0001, 1)],
+                tp_measured: 0.5,
+                ..Default::default()
+            });
+        }
+        let db = InstructionDb::from_snapshot(&s);
+        let plan = QueryPlan::parse("uarch=Skylake&port=6").expect("parse");
+        let result = QueryExec::new().run(&plan, &db);
+        assert_eq!(result.total_matches, 2);
+        assert_eq!(result.rows[0].mnemonic(), "ADC");
+    }
+}

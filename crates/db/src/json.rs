@@ -17,7 +17,11 @@ use crate::snapshot::{notation_to_ports, LatencyEdge, Snapshot, UarchMeta, Varia
 // Writer
 // ---------------------------------------------------------------------------
 
-fn escape_into(out: &mut String, s: &str) {
+/// Appends `s` to `out` as a JSON string literal (quotes included) with
+/// the canonical escaping rules shared by every JSON writer in the
+/// workspace (snapshot documents, result encoders, the server's error
+/// bodies).
+pub fn escape_into(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -35,7 +39,7 @@ fn escape_into(out: &mut String, s: &str) {
     out.push('"');
 }
 
-fn fmt_f64(v: f64) -> String {
+pub(crate) fn fmt_f64(v: f64) -> String {
     // Rust's `Display` for f64 prints the shortest string that parses back
     // to the same value and never uses exponent notation, so it is both
     // JSON-valid and round-trip exact. Non-finite values cannot appear in
@@ -47,7 +51,7 @@ fn fmt_f64(v: f64) -> String {
     }
 }
 
-fn write_edge(out: &mut String, edge: &LatencyEdge) {
+pub(crate) fn write_edge(out: &mut String, edge: &LatencyEdge) {
     let _ = write!(
         out,
         "{{\"source\": {}, \"target\": {}, \"cycles\": {}",
@@ -65,6 +69,39 @@ fn write_edge(out: &mut String, edge: &LatencyEdge) {
         let _ = write!(out, ", \"low_value_cycles\": {}", fmt_f64(v));
     }
     out.push('}');
+}
+
+/// Writes one record as its canonical JSON object — the shape shared by
+/// snapshot documents and query-result responses ([`crate::JsonEncoder`]).
+pub(crate) fn write_record(out: &mut String, record: &VariantRecord) {
+    out.push_str("{\"mnemonic\": ");
+    escape_into(out, &record.mnemonic);
+    out.push_str(", \"variant\": ");
+    escape_into(out, &record.variant);
+    out.push_str(", \"extension\": ");
+    escape_into(out, &record.extension);
+    out.push_str(", \"architecture\": ");
+    escape_into(out, &record.uarch);
+    let _ = write!(out, ", \"uops\": {}, \"ports\": ", record.uop_count);
+    escape_into(out, &record.ports_notation());
+    let _ = write!(out, ", \"tp_measured\": {}", fmt_f64(record.tp_measured));
+    if let Some(v) = record.tp_ports {
+        let _ = write!(out, ", \"tp_ports\": {}", fmt_f64(v));
+    }
+    if let Some(v) = record.tp_low_values {
+        let _ = write!(out, ", \"tp_low_values\": {}", fmt_f64(v));
+    }
+    if let Some(v) = record.tp_breaking {
+        let _ = write!(out, ", \"tp_breaking\": {}", fmt_f64(v));
+    }
+    out.push_str(", \"latency_pairs\": [");
+    for (j, edge) in record.latency.iter().enumerate() {
+        if j > 0 {
+            out.push_str(", ");
+        }
+        write_edge(out, edge);
+    }
+    out.push_str("]}");
 }
 
 /// Serializes a snapshot to the canonical JSON document.
@@ -92,34 +129,8 @@ pub fn to_json(snapshot: &Snapshot) -> String {
     out.push_str("  \"records\": [");
     for (i, record) in snapshot.records.iter().enumerate() {
         out.push_str(if i == 0 { "\n" } else { ",\n" });
-        out.push_str("    {\"mnemonic\": ");
-        escape_into(&mut out, &record.mnemonic);
-        out.push_str(", \"variant\": ");
-        escape_into(&mut out, &record.variant);
-        out.push_str(", \"extension\": ");
-        escape_into(&mut out, &record.extension);
-        out.push_str(", \"architecture\": ");
-        escape_into(&mut out, &record.uarch);
-        let _ = write!(out, ", \"uops\": {}, \"ports\": ", record.uop_count);
-        escape_into(&mut out, &record.ports_notation());
-        let _ = write!(out, ", \"tp_measured\": {}", fmt_f64(record.tp_measured));
-        if let Some(v) = record.tp_ports {
-            let _ = write!(out, ", \"tp_ports\": {}", fmt_f64(v));
-        }
-        if let Some(v) = record.tp_low_values {
-            let _ = write!(out, ", \"tp_low_values\": {}", fmt_f64(v));
-        }
-        if let Some(v) = record.tp_breaking {
-            let _ = write!(out, ", \"tp_breaking\": {}", fmt_f64(v));
-        }
-        out.push_str(", \"latency_pairs\": [");
-        for (j, edge) in record.latency.iter().enumerate() {
-            if j > 0 {
-                out.push_str(", ");
-            }
-            write_edge(&mut out, edge);
-        }
-        out.push_str("]}");
+        out.push_str("    ");
+        write_record(&mut out, record);
     }
     out.push_str(if snapshot.records.is_empty() { "]\n" } else { "\n  ]\n" });
     out.push_str("}\n");

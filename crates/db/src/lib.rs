@@ -22,10 +22,16 @@
 //! * a **storage-backend abstraction** ([`DbBackend`]): the query engine,
 //!   record views, and diffing run unchanged over the in-memory database and
 //!   the zero-copy segment reader ([`SegmentDb`]);
-//! * a **query builder** ([`Query`]) with filters, sorting, and pagination,
-//!   planned over the secondary indexes: the smallest posting list drives,
-//!   the rest are gallop-intersected, and sort keys are computed once per
-//!   result set;
+//! * a **layered query pipeline**: the source-compatible [`Query`] builder
+//!   produces a canonical, hashable [`QueryPlan`] ([`plan`]) — the cache
+//!   key and the wire request, with a strict query-string codec — which
+//!   [`QueryExec`] ([`exec`]) runs over the secondary indexes (the smallest
+//!   posting list drives, the rest are gallop-intersected, and sort keys
+//!   are computed once per result set);
+//! * **result encoders** ([`encode`]): a [`ResultEncoder`] trait with
+//!   deterministic JSON, compact-binary, and grouped-XML implementations
+//!   sharing the snapshot codecs' machinery — what a response cache stores
+//!   and a server sends;
 //! * **cross-microarchitecture diffing** ([`diff_uarches`]): which variants
 //!   changed latency, port usage, µop count, or throughput between two
 //!   generations (the paper's §5 findings, e.g. SHLD across generations).
@@ -111,9 +117,12 @@ pub mod backend;
 pub mod codec;
 pub mod db;
 pub mod diff;
+pub mod encode;
 pub mod error;
+pub mod exec;
 pub mod intern;
 pub mod json;
+pub mod plan;
 pub mod query;
 pub mod segment;
 pub mod snapshot;
@@ -122,8 +131,11 @@ pub mod xml;
 pub use backend::{DbBackend, IdList, RecordView, Views};
 pub use db::{DbRecord, InstructionDb};
 pub use diff::{diff_uarches, Change, DiffReport, VariantDelta, CYCLE_TOLERANCE};
+pub use encode::{BinaryEncoder, JsonEncoder, ResultEncoder, XmlEncoder};
 pub use error::DbError;
+pub use exec::QueryExec;
 pub use intern::{Interner, Sym};
+pub use plan::{fnv1a_64, QueryPlan};
 pub use query::{Query, QueryResult, SortKey};
 pub use segment::{Segment, SegmentDb};
 pub use snapshot::{

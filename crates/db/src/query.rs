@@ -1,434 +1,146 @@
-//! The query builder and executor.
+//! The query builder.
 //!
 //! A [`Query`] combines filters (mnemonic prefix or exact match, ISA
 //! extension, microarchitecture, port, µop-count and latency bounds), a sort
 //! order, and pagination, and runs over any [`DbBackend`] — the in-memory
-//! [`InstructionDb`] and the zero-copy [`crate::SegmentDb`] answer every
-//! query identically.
+//! [`crate::InstructionDb`] and the zero-copy [`crate::SegmentDb`] answer
+//! every query identically.
 //!
-//! Execution is index-driven: the planner collects the posting list of
-//! every filter that has one, drives the scan from the **smallest** list,
-//! and **gallop-intersects** the remaining lists (exponential probing from
-//! a monotone cursor — cheap when one list is much smaller than the
-//! others, the common shape for point-ish queries). Residual predicates
-//! (prefix, µop and latency bounds) run only on the intersection. Sorting
-//! computes each record's key **once per result set** — a key vector sort,
-//! not a per-comparison re-derivation — and backends that store records in
-//! canonical order collapse name sorts into integer compares.
+//! The builder is a thin, source-compatible front over the canonical
+//! [`QueryPlan`]: every setter writes a plan field, and [`Query::run`]
+//! hands the plan to [`QueryExec`]. Layers that need the plan itself — the
+//! response cache (hashable key), the wire protocol (query-string codec) —
+//! take it via [`Query::plan`] / [`Query::into_plan`] instead of
+//! re-deriving it.
 
-use crate::backend::{DbBackend, IdList, RecordView};
-use crate::db::InstructionDb;
-use crate::intern::Sym;
+use crate::backend::DbBackend;
+use crate::exec::QueryExec;
+use crate::plan::{normalize_bound, QueryPlan};
 
-/// Sort orders for query results.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum SortKey {
-    /// By mnemonic, then variant, then microarchitecture (the default).
-    #[default]
-    Mnemonic,
-    /// By maximum latency (records without latency data sort first).
-    Latency,
-    /// By measured throughput.
-    Throughput,
-    /// By µop count.
-    UopCount,
-}
+pub use crate::exec::QueryResult;
+pub use crate::plan::SortKey;
 
 /// A composable query over any [`DbBackend`].
-#[derive(Debug, Clone, Default)]
+#[must_use]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
 pub struct Query {
-    mnemonic: Option<String>,
-    mnemonic_prefix: Option<String>,
-    extension: Option<String>,
-    uarch: Option<String>,
-    port: Option<u8>,
-    min_uops: Option<u32>,
-    max_uops: Option<u32>,
-    min_latency: Option<f64>,
-    max_latency: Option<f64>,
-    sort: SortKey,
-    descending: bool,
-    offset: usize,
-    limit: Option<usize>,
-}
-
-/// The result of running a [`Query`].
-#[derive(Debug)]
-pub struct QueryResult<'db, B: DbBackend = InstructionDb> {
-    /// Number of records matching the filters, before pagination.
-    pub total_matches: usize,
-    /// The requested page of matching records, in sort order.
-    pub rows: Vec<RecordView<'db, B>>,
+    plan: QueryPlan,
 }
 
 impl Query {
     /// Creates an unconstrained query (matches everything).
-    #[must_use]
     pub fn new() -> Query {
         Query::default()
     }
 
+    /// Wraps an existing plan in the builder.
+    pub fn from_plan(plan: QueryPlan) -> Query {
+        Query { plan }
+    }
+
+    /// The canonical plan this builder has accumulated.
+    pub fn plan(&self) -> &QueryPlan {
+        &self.plan
+    }
+
+    /// Consumes the builder, returning the canonical plan.
+    pub fn into_plan(self) -> QueryPlan {
+        self.plan
+    }
+
     /// Filters on an exact mnemonic.
-    #[must_use]
     pub fn mnemonic(mut self, mnemonic: impl Into<String>) -> Query {
-        self.mnemonic = Some(mnemonic.into());
+        self.plan.mnemonic = Some(mnemonic.into());
         self
     }
 
     /// Filters on a mnemonic prefix (e.g. `"V"` for the VEX-encoded part of
     /// the catalog).
-    #[must_use]
     pub fn mnemonic_prefix(mut self, prefix: impl Into<String>) -> Query {
-        self.mnemonic_prefix = Some(prefix.into());
+        self.plan.mnemonic_prefix = Some(prefix.into());
         self
     }
 
     /// Filters on an ISA extension, e.g. `"AVX2"`.
-    #[must_use]
     pub fn extension(mut self, extension: impl Into<String>) -> Query {
-        self.extension = Some(extension.into());
+        self.plan.extension = Some(extension.into());
         self
     }
 
     /// Filters on a microarchitecture, e.g. `"Skylake"`.
-    #[must_use]
     pub fn uarch(mut self, uarch: impl Into<String>) -> Query {
-        self.uarch = Some(uarch.into());
+        self.plan.uarch = Some(uarch.into());
         self
     }
 
     /// Keeps only instructions that may execute a µop on `port`.
-    #[must_use]
     pub fn uses_port(mut self, port: u8) -> Query {
-        self.port = Some(port);
+        self.plan.port = Some(port);
         self
     }
 
     /// Keeps only records with at least `n` µops.
-    #[must_use]
     pub fn min_uops(mut self, n: u32) -> Query {
-        self.min_uops = Some(n);
+        self.plan.min_uops = Some(n);
         self
     }
 
     /// Keeps only records with at most `n` µops.
-    #[must_use]
     pub fn max_uops(mut self, n: u32) -> Query {
-        self.max_uops = Some(n);
+        self.plan.max_uops = Some(n);
         self
     }
 
     /// Keeps only records whose maximum latency is at least `cycles`.
-    #[must_use]
     pub fn min_latency(mut self, cycles: f64) -> Query {
-        self.min_latency = Some(cycles);
+        self.plan.min_latency = Some(normalize_bound(cycles));
         self
     }
 
     /// Keeps only records whose maximum latency is at most `cycles`.
-    #[must_use]
     pub fn max_latency(mut self, cycles: f64) -> Query {
-        self.max_latency = Some(cycles);
+        self.plan.max_latency = Some(normalize_bound(cycles));
         self
     }
 
     /// Sets the sort key (ascending).
-    #[must_use]
     pub fn sort_by(mut self, key: SortKey) -> Query {
-        self.sort = key;
-        self.descending = false;
+        self.plan.sort = key;
+        self.plan.descending = false;
         self
     }
 
     /// Sets the sort key, descending.
-    #[must_use]
     pub fn sort_by_desc(mut self, key: SortKey) -> Query {
-        self.sort = key;
-        self.descending = true;
+        self.plan.sort = key;
+        self.plan.descending = true;
         self
     }
 
     /// Skips the first `n` matches (pagination).
-    #[must_use]
     pub fn offset(mut self, n: usize) -> Query {
-        self.offset = n;
+        self.plan.offset = n;
         self
     }
 
     /// Returns at most `n` matches (pagination).
-    #[must_use]
     pub fn limit(mut self, n: usize) -> Query {
-        self.limit = Some(n);
+        self.plan.limit = Some(n);
         self
     }
 
     /// Runs the query against any backend.
     #[must_use]
     pub fn run<'db, B: DbBackend>(&self, db: &'db B) -> QueryResult<'db, B> {
-        // Resolve the string filters to symbols once. A filter string the
-        // backend has never seen means zero matches; a port beyond the
-        // 16-bit mask can likewise never match.
-        let mut unmatchable = self.port.is_some_and(|p| p >= 16);
-        let resolve = |s: &Option<String>, unmatchable: &mut bool| -> Option<Sym> {
-            match s {
-                None => None,
-                Some(s) => match db.lookup_sym(s) {
-                    Some(sym) => Some(sym),
-                    None => {
-                        *unmatchable = true;
-                        None
-                    }
-                },
-            }
-        };
-        let mnemonic = resolve(&self.mnemonic, &mut unmatchable);
-        let extension = resolve(&self.extension, &mut unmatchable);
-        let uarch = resolve(&self.uarch, &mut unmatchable);
-        if unmatchable {
-            return QueryResult { total_matches: 0, rows: Vec::new() };
-        }
-
-        // Plan: gather the posting list of every filter that has one. The
-        // (uarch, port) list subsumes the plain uarch list, so only one of
-        // the two participates.
-        let mut lists: Vec<IdList<'db>> = Vec::new();
-        if let Some(sym) = mnemonic {
-            lists.push(db.postings_by_mnemonic(sym));
-        }
-        match (uarch, self.port) {
-            (Some(sym), Some(port)) => lists.push(db.postings_by_uarch_port(sym, port)),
-            (Some(sym), None) => lists.push(db.postings_by_uarch(sym)),
-            _ => {}
-        }
-        if let Some(sym) = extension {
-            lists.push(db.postings_by_extension(sym));
-        }
-        // Drive from the smallest list, gallop-intersect the rest.
-        lists.sort_by_key(IdList::len);
-
-        let prefix = self.mnemonic_prefix.as_deref();
-        let mut matches: Vec<u32> = Vec::new();
-        match lists.split_first() {
-            None => {
-                for id in 0..db.len() as u32 {
-                    if self.matches(db, id, mnemonic, extension, uarch, prefix) {
-                        matches.push(id);
-                    }
-                }
-            }
-            Some((driver, rest)) => {
-                let mut cursors = vec![0usize; rest.len()];
-                'driver: for i in 0..driver.len() {
-                    let id = driver.get(i);
-                    for (list, cursor) in rest.iter().zip(cursors.iter_mut()) {
-                        if !gallop_to(list, cursor, id) {
-                            continue 'driver;
-                        }
-                    }
-                    if self.matches(db, id, mnemonic, extension, uarch, prefix) {
-                        matches.push(id);
-                    }
-                }
-            }
-        }
-
-        let total_matches = matches.len();
-        self.sort(db, &mut matches);
-        let rows = matches
-            .into_iter()
-            .skip(self.offset)
-            .take(self.limit.unwrap_or(usize::MAX))
-            .map(|id| db.view(id))
-            .collect();
-        QueryResult { total_matches, rows }
+        QueryExec::new().run(&self.plan, db)
     }
-
-    fn matches<B: DbBackend>(
-        &self,
-        db: &B,
-        id: u32,
-        mnemonic: Option<Sym>,
-        extension: Option<Sym>,
-        uarch: Option<Sym>,
-        prefix: Option<&str>,
-    ) -> bool {
-        if let Some(sym) = mnemonic {
-            if db.mnemonic_sym(id) != sym {
-                return false;
-            }
-        }
-        if let Some(sym) = extension {
-            if db.extension_sym(id) != sym {
-                return false;
-            }
-        }
-        if let Some(sym) = uarch {
-            if db.uarch_sym(id) != sym {
-                return false;
-            }
-        }
-        if let Some(port) = self.port {
-            // `run` rejected ports beyond the 16-bit mask up front; the
-            // `port >= 16` guard here is defense in depth keeping the
-            // shift sound if that ever changes. The union check also
-            // covers the scan (no posting list) path.
-            if port >= 16 || db.port_union(id) & (1u16 << port) == 0 {
-                return false;
-            }
-        }
-        if let Some(prefix) = prefix {
-            if !db.resolve(db.mnemonic_sym(id)).starts_with(prefix) {
-                return false;
-            }
-        }
-        if let Some(n) = self.min_uops {
-            if db.uop_count(id) < n {
-                return false;
-            }
-        }
-        if let Some(n) = self.max_uops {
-            if db.uop_count(id) > n {
-                return false;
-            }
-        }
-        if self.min_latency.is_some() || self.max_latency.is_some() {
-            let Some(latency) = db.max_latency(id) else { return false };
-            if let Some(min) = self.min_latency {
-                if latency < min {
-                    return false;
-                }
-            }
-            if let Some(max) = self.max_latency {
-                if latency > max {
-                    return false;
-                }
-            }
-        }
-        true
-    }
-
-    fn sort<B: DbBackend>(&self, db: &B, ids: &mut [u32]) {
-        // Keys are computed once per id into a key vector, then sorted —
-        // never re-derived inside the comparator. Backends with a
-        // precomputed canonical order (segments) supply an integer name
-        // rank; others fall back to resolved string triples.
-        match self.sort {
-            SortKey::Mnemonic => sort_by_key_vec(ids, |id| name_key(db, id)),
-            SortKey::Latency => sort_by_key_vec(ids, |id| {
-                (F64Key(db.max_latency(id).unwrap_or(f64::NEG_INFINITY)), name_key(db, id))
-            }),
-            SortKey::Throughput => {
-                sort_by_key_vec(ids, |id| (F64Key(db.tp_measured(id)), name_key(db, id)));
-            }
-            SortKey::UopCount => {
-                sort_by_key_vec(ids, |id| (db.uop_count(id), name_key(db, id)));
-            }
-        }
-        if self.descending {
-            ids.reverse();
-        }
-    }
-}
-
-/// A per-record name sort key: an integer rank when the backend stores
-/// records in canonical order, resolved strings otherwise. Within one
-/// backend only one variant ever occurs, so the derived ordering (ranks
-/// before names) never mixes.
-#[derive(PartialEq, Eq, PartialOrd, Ord)]
-enum NameKey<'db> {
-    Rank(u32),
-    Name(&'db str, &'db str, &'db str),
-}
-
-fn name_key<B: DbBackend>(db: &B, id: u32) -> NameKey<'_> {
-    match db.name_rank(id) {
-        Some(rank) => NameKey::Rank(rank),
-        None => NameKey::Name(
-            db.resolve(db.mnemonic_sym(id)),
-            db.resolve(db.variant_sym(id)),
-            db.resolve(db.uarch_sym(id)),
-        ),
-    }
-}
-
-/// Total-ordered `f64` sort key.
-#[derive(PartialEq)]
-struct F64Key(f64);
-
-impl Eq for F64Key {}
-
-impl PartialOrd for F64Key {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for F64Key {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.total_cmp(&other.0)
-    }
-}
-
-/// Sorts `ids` by a key computed exactly once per element.
-fn sort_by_key_vec<K: Ord>(ids: &mut [u32], mut key_of: impl FnMut(u32) -> K) {
-    let mut keyed: Vec<(K, u32)> = ids.iter().map(|&id| (key_of(id), id)).collect();
-    keyed.sort_unstable_by(|a, b| a.0.cmp(&b.0));
-    for (slot, (_, id)) in ids.iter_mut().zip(keyed) {
-        *slot = id;
-    }
-}
-
-/// Advances `cursor` to the first position in `list` holding an id `>=
-/// target` (exponential probe + binary search), returning whether `target`
-/// itself is present. Both the driver ids and the cursor move strictly
-/// forward, so a whole intersection costs O(Σ log gap) instead of a
-/// per-element binary search from scratch.
-fn gallop_to(list: &IdList<'_>, cursor: &mut usize, target: u32) -> bool {
-    let n = list.len();
-    let mut lo = *cursor;
-    if lo >= n {
-        return false;
-    }
-    if list.get(lo) >= target {
-        return list.get(lo) == target;
-    }
-    // Invariant: list[lo] < target. Double the step until overshoot.
-    let mut step = 1usize;
-    let mut hi;
-    loop {
-        match lo.checked_add(step) {
-            Some(probe) if probe < n => {
-                if list.get(probe) < target {
-                    lo = probe;
-                    step <<= 1;
-                } else {
-                    hi = probe;
-                    break;
-                }
-            }
-            _ => {
-                hi = n;
-                break;
-            }
-        }
-    }
-    // Binary search in (lo, hi]: first position with list[pos] >= target.
-    let mut left = lo + 1;
-    while left < hi {
-        let mid = (left + hi) / 2;
-        if list.get(mid) < target {
-            left = mid + 1;
-        } else {
-            hi = mid;
-        }
-    }
-    *cursor = left;
-    left < n && list.get(left) == target
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::backend::IdList;
+    use crate::db::InstructionDb;
     use crate::snapshot::{LatencyEdge, Snapshot, VariantRecord};
 
     fn record(
@@ -554,16 +266,23 @@ mod tests {
     }
 
     #[test]
-    fn gallop_finds_every_member_and_no_others() {
-        let ids: Vec<u32> = (0..4000).filter(|i| i % 7 == 0 || i % 11 == 0).collect();
-        let list = IdList::Native(&ids);
-        let mut cursor = 0usize;
-        for target in 0..4000u32 {
-            let expected = target % 7 == 0 || target % 11 == 0;
-            assert_eq!(gallop_to(&list, &mut cursor, target), expected, "target {target}");
-        }
-        // Exhausted cursor stays exhausted.
-        assert!(!gallop_to(&list, &mut cursor, 5000));
-        assert!(!gallop_to(&list, &mut cursor, 5001));
+    fn builder_and_wire_plan_answer_identically() {
+        let db = db();
+        let built = Query::new().uarch("Skylake").uses_port(6).sort_by_desc(SortKey::Latency);
+        let wire = crate::QueryPlan::parse(&built.plan().to_query_string()).expect("parse");
+        let a = built.run(&db);
+        let b = Query::from_plan(wire).run(&db);
+        assert_eq!(a.total_matches, b.total_matches);
+        let names = |r: &QueryResult<'_>| {
+            r.rows.iter().map(|v| v.mnemonic().to_string()).collect::<Vec<_>>()
+        };
+        assert_eq!(names(&a), names(&b));
+    }
+
+    #[test]
+    fn empty_posting_list_is_usable() {
+        // IdList::empty() flows through the planner when an index has no
+        // entry for a resolved symbol.
+        assert!(IdList::empty().is_empty());
     }
 }

@@ -12,11 +12,11 @@ use std::fmt::Write as _;
 
 use crate::snapshot::{Snapshot, VariantRecord};
 
-fn escape(s: &str) -> String {
+pub(crate) fn escape(s: &str) -> String {
     s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;").replace('"', "&quot;")
 }
 
-fn write_architecture(out: &mut String, record: &VariantRecord) {
+pub(crate) fn write_architecture(out: &mut String, record: &VariantRecord) {
     let _ = writeln!(out, "    <architecture name=\"{}\">", escape(&record.uarch));
     let _ = write!(
         out,

@@ -275,7 +275,7 @@ impl IacaAnalyzer {
         }
         // ~4% of variants: same µop count but a coarser port assignment
         // (version-dependent for half of them).
-        let version_salt = if h % 2 == 0 { 0 } else { u64::from(self.version as u8 as u64) };
+        let version_salt = if h.is_multiple_of(2) { 0 } else { self.version as u8 as u64 };
         let h2 =
             hash(&[&desc.mnemonic, &desc.variant(), self.arch.name(), &version_salt.to_string()]);
         if h2 % 100 < 4 {

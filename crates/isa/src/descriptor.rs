@@ -256,7 +256,7 @@ impl DescBuilder {
     /// operand if non-empty).
     #[must_use]
     pub fn reads_flags(mut self, set: FlagSet) -> DescBuilder {
-        self.flags_read = self.flags_read | set;
+        self.flags_read |= set;
         self
     }
 
@@ -264,7 +264,7 @@ impl DescBuilder {
     /// operand if non-empty).
     #[must_use]
     pub fn writes_flags(mut self, set: FlagSet) -> DescBuilder {
-        self.flags_written = self.flags_written | set;
+        self.flags_written |= set;
         self
     }
 

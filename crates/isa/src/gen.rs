@@ -908,7 +908,7 @@ impl<'a> Gen<'a> {
         // explicit fourth operand (AVX).
         let xmm0 = OperandKind::FixedReg(Register::vec(0, W128));
         for mnemonic in ["PBLENDVB", "BLENDVPS", "BLENDVPD"] {
-            let cat = if mnemonic == "PBLENDVB" { C::VecBlend } else { C::VecBlend };
+            let cat = C::VecBlend;
             for src in [xmm(), mem(W128)] {
                 let desc = self
                     .builder(mnemonic, cat, E::Sse41)
@@ -1345,11 +1345,11 @@ impl<'a> Gen<'a> {
             }
         }
         // VEXTRACTF128/VINSERTF128.
-        for src in [ymm()] {
+        {
             let desc = self
                 .builder("VEXTRACTF128", C::VecInsertExtract, E::Avx)
                 .operand(OperandDesc::write(xmm()))
-                .operand(OperandDesc::read(src))
+                .operand(OperandDesc::read(ymm()))
                 .operand(OperandDesc::read(imm(W8)))
                 .build();
             self.add(desc);

@@ -1,7 +1,9 @@
 //! # uops-pool
 //!
 //! A small, dependency-free, work-stealing scoped thread pool for the
-//! embarrassingly parallel sweeps of the characterization engine.
+//! embarrassingly parallel sweeps of the characterization engine — plus a
+//! long-lived [`TaskPool`] worker loop for continuously arriving work
+//! (the accept/worker loop of the `uops-serve` HTTP server).
 //!
 //! The paper's tool characterizes >13,000 instruction variants per
 //! microarchitecture; each variant's microbenchmarks are independent once
@@ -40,23 +42,20 @@
 use std::collections::VecDeque;
 use std::num::NonZeroUsize;
 use std::ops::Range;
-use std::sync::Mutex;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
 
 /// How much parallelism a sweep may use.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Parallelism {
     /// One worker per available core (`std::thread::available_parallelism`).
+    #[default]
     Auto,
     /// Exactly `n` workers (clamped to at least 1).
     Fixed(usize),
     /// Run inline on the calling thread; no threads are spawned.
     Serial,
-}
-
-impl Default for Parallelism {
-    fn default() -> Self {
-        Parallelism::Auto
-    }
 }
 
 impl Parallelism {
@@ -232,6 +231,157 @@ where
     out
 }
 
+/// A boxed unit of work for a [`TaskPool`].
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+struct TaskQueue {
+    tasks: Mutex<TaskQueueState>,
+    available: Condvar,
+}
+
+struct TaskQueueState {
+    pending: VecDeque<Task>,
+    shutting_down: bool,
+}
+
+/// A **long-lived** worker pool for services: submitted tasks are consumed
+/// by a fixed set of named threads that live until [`TaskPool::shutdown`]
+/// (or drop).
+///
+/// Where [`parallel_map_indexed`] is the fork-join substrate for bounded
+/// sweeps — all work known up front, caller blocks until done — `TaskPool`
+/// is the serving substrate: work arrives continuously (one task per
+/// accepted connection in `uops-serve`), callers never block, and the
+/// workers survive across tasks so steady-state dispatch costs one
+/// lock + wakeup, not a thread spawn.
+///
+/// A panicking task is caught and does not kill its worker (a malformed
+/// request must not take down the server); the panic payload is dropped
+/// and the worker moves on. Shutdown drains: tasks already submitted run
+/// to completion before the workers exit.
+///
+/// ## Example
+///
+/// ```rust
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+/// use std::sync::Arc;
+///
+/// let pool = uops_pool::TaskPool::new(2, "doc-worker");
+/// let hits = Arc::new(AtomicUsize::new(0));
+/// for _ in 0..8 {
+///     let hits = Arc::clone(&hits);
+///     pool.execute(move || {
+///         hits.fetch_add(1, Ordering::Relaxed);
+///     });
+/// }
+/// pool.shutdown();
+/// assert_eq!(hits.load(Ordering::Relaxed), 8);
+/// ```
+pub struct TaskPool {
+    queue: Arc<TaskQueue>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for TaskPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TaskPool")
+            .field("threads", &self.workers.len())
+            .field("pending", &self.pending())
+            .finish()
+    }
+}
+
+impl TaskPool {
+    /// Spawns `threads` workers (clamped to at least 1) named
+    /// `"{name}-{index}"`.
+    #[must_use]
+    pub fn new(threads: usize, name: &str) -> TaskPool {
+        let threads = threads.max(1);
+        let queue = Arc::new(TaskQueue {
+            tasks: Mutex::new(TaskQueueState { pending: VecDeque::new(), shutting_down: false }),
+            available: Condvar::new(),
+        });
+        let workers = (0..threads)
+            .map(|i| {
+                let queue = Arc::clone(&queue);
+                std::thread::Builder::new()
+                    .name(format!("{name}-{i}"))
+                    .spawn(move || worker_loop(&queue))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        TaskPool { queue, workers }
+    }
+
+    /// The number of worker threads.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Number of tasks submitted but not yet picked up by a worker.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.queue.tasks.lock().expect("task queue mutex").pending.len()
+    }
+
+    /// Submits a task. Never blocks; tasks run in submission order per
+    /// worker pick-up. Tasks submitted after [`TaskPool::shutdown`] began
+    /// are silently dropped.
+    pub fn execute(&self, task: impl FnOnce() + Send + 'static) {
+        {
+            let mut state = self.queue.tasks.lock().expect("task queue mutex");
+            if state.shutting_down {
+                return;
+            }
+            state.pending.push_back(Box::new(task));
+        }
+        self.queue.available.notify_one();
+    }
+
+    /// Drains the queue and joins all workers: every task submitted before
+    /// the call runs to completion first.
+    pub fn shutdown(mut self) {
+        self.begin_shutdown();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+
+    fn begin_shutdown(&self) {
+        self.queue.tasks.lock().expect("task queue mutex").shutting_down = true;
+        self.queue.available.notify_all();
+    }
+}
+
+impl Drop for TaskPool {
+    fn drop(&mut self) {
+        self.begin_shutdown();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn worker_loop(queue: &TaskQueue) {
+    loop {
+        let task = {
+            let mut state = queue.tasks.lock().expect("task queue mutex");
+            loop {
+                if let Some(task) = state.pending.pop_front() {
+                    break task;
+                }
+                if state.shutting_down {
+                    return;
+                }
+                state = queue.available.wait(state).expect("task queue mutex");
+            }
+        };
+        // A panicking task must not take its worker down with it.
+        let _ = catch_unwind(AssertUnwindSafe(task));
+    }
+}
+
 /// Maps `f` over a slice, returning results in input order. Convenience
 /// wrapper around [`parallel_map_indexed`].
 pub fn parallel_map<T, U, F>(parallelism: Parallelism, items: &[T], f: F) -> Vec<U>
@@ -345,6 +495,65 @@ mod tests {
     fn parallel_map_over_slice() {
         let words = ["a", "bb", "ccc"];
         assert_eq!(parallel_map(Parallelism::Fixed(2), &words, |w| w.len()), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn task_pool_runs_every_task() {
+        use std::sync::Arc;
+        let pool = TaskPool::new(4, "test-worker");
+        assert_eq!(pool.threads(), 4);
+        let hits: Arc<Vec<AtomicUsize>> = Arc::new((0..257).map(|_| AtomicUsize::new(0)).collect());
+        for i in 0..hits.len() {
+            let hits = Arc::clone(&hits);
+            pool.execute(move || {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.shutdown();
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::Relaxed), 1, "task {i}");
+        }
+    }
+
+    #[test]
+    fn task_pool_survives_panicking_tasks() {
+        use std::sync::Arc;
+        let pool = TaskPool::new(1, "panic-worker");
+        let after = Arc::new(AtomicUsize::new(0));
+        pool.execute(|| panic!("request handler exploded"));
+        let after2 = Arc::clone(&after);
+        pool.execute(move || {
+            after2.fetch_add(1, Ordering::Relaxed);
+        });
+        pool.shutdown();
+        assert_eq!(after.load(Ordering::Relaxed), 1, "worker must outlive the panic");
+    }
+
+    #[test]
+    fn task_pool_shutdown_drains_then_drops_new_tasks() {
+        use std::sync::Arc;
+        let pool = TaskPool::new(2, "drain-worker");
+        let ran = Arc::new(AtomicUsize::new(0));
+        for _ in 0..64 {
+            let ran = Arc::clone(&ran);
+            pool.execute(move || {
+                ran.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.begin_shutdown();
+        let late = Arc::clone(&ran);
+        pool.execute(move || {
+            late.fetch_add(1000, Ordering::Relaxed);
+        });
+        pool.shutdown();
+        assert_eq!(ran.load(Ordering::Relaxed), 64, "pre-shutdown tasks drain, late ones drop");
+    }
+
+    #[test]
+    fn task_pool_clamps_zero_threads() {
+        let pool = TaskPool::new(0, "clamp-worker");
+        assert_eq!(pool.threads(), 1);
+        drop(pool);
     }
 
     #[test]

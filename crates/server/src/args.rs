@@ -1,0 +1,204 @@
+//! The small, shared command-line parser used by the workspace binaries
+//! (`serve`, `build_db`, `serve_smoke`).
+//!
+//! Declarative: a [`CliSpec`] names the flags that take values, the boolean
+//! flags, and how many positional arguments are allowed. Anything else —
+//! an unknown flag, a flag missing its value, excess positionals — is an
+//! error, and [`CliSpec::parse_or_exit`] turns errors into the
+//! conventional CLI contract: message + usage on stderr, **exit status 2**
+//! (unknown flags are never silently ignored), with `--help`/`-h` printing
+//! usage and exiting 0.
+
+use std::fmt::Display;
+use std::str::FromStr;
+
+/// What a binary accepts on its command line.
+#[derive(Debug, Clone, Copy)]
+pub struct CliSpec<'a> {
+    /// Binary name, used in error messages.
+    pub name: &'a str,
+    /// The usage string printed by `--help` and on errors.
+    pub usage: &'a str,
+    /// Flags that consume the following argument as their value.
+    pub value_flags: &'a [&'a str],
+    /// Flags that stand alone.
+    pub bool_flags: &'a [&'a str],
+    /// Maximum number of positional (non-flag) arguments.
+    pub max_positional: usize,
+}
+
+/// The parsed command line.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ParsedArgs {
+    values: Vec<(String, String)>,
+    flags: Vec<String>,
+    /// Positional arguments, in order.
+    pub positional: Vec<String>,
+}
+
+impl ParsedArgs {
+    /// The value of a `--flag VALUE` pair (last occurrence wins).
+    #[must_use]
+    pub fn value(&self, flag: &str) -> Option<&str> {
+        self.values.iter().rev().find(|(f, _)| f == flag).map(|(_, v)| v.as_str())
+    }
+
+    /// Whether a boolean flag was given.
+    #[must_use]
+    pub fn flag(&self, flag: &str) -> bool {
+        self.flags.iter().any(|f| f == flag)
+    }
+
+    /// Parses the value of `--flag` as `T`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message when the value does not parse.
+    pub fn parsed_value<T>(&self, flag: &str) -> Result<Option<T>, String>
+    where
+        T: FromStr,
+        T::Err: Display,
+    {
+        match self.value(flag) {
+            None => Ok(None),
+            Some(raw) => {
+                raw.parse().map(Some).map_err(|e| format!("invalid value {raw:?} for {flag}: {e}"))
+            }
+        }
+    }
+}
+
+impl CliSpec<'_> {
+    /// Parses an argument iterator (exclude the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for unknown flags, missing values, and excess
+    /// positionals. `--help`/`-h` is reported as `Err` of the usage text
+    /// marker (callers using [`CliSpec::parse_or_exit`] never see it).
+    pub fn parse(&self, args: impl Iterator<Item = String>) -> Result<ParsedArgs, CliError> {
+        let mut parsed = ParsedArgs::default();
+        let mut args = args.peekable();
+        while let Some(arg) = args.next() {
+            if arg == "--help" || arg == "-h" {
+                return Err(CliError::Help);
+            }
+            if self.value_flags.contains(&arg.as_str()) {
+                let Some(value) = args.next() else {
+                    return Err(CliError::Usage(format!("{arg} requires a value")));
+                };
+                parsed.values.push((arg, value));
+            } else if self.bool_flags.contains(&arg.as_str()) {
+                parsed.flags.push(arg);
+            } else if arg.starts_with('-') && arg != "-" {
+                return Err(CliError::Usage(format!("unknown option: {arg}")));
+            } else {
+                if parsed.positional.len() >= self.max_positional {
+                    return Err(CliError::Usage(if self.max_positional == 0 {
+                        format!("unexpected argument: {arg}")
+                    } else {
+                        format!(
+                            "at most {} positional argument(s) allowed, got extra: {arg}",
+                            self.max_positional
+                        )
+                    }));
+                }
+                parsed.positional.push(arg);
+            }
+        }
+        Ok(parsed)
+    }
+
+    /// Parses [`std::env::args`], exiting the process on `--help` (status
+    /// 0) or any error (message + usage on stderr, status 2).
+    #[must_use]
+    pub fn parse_or_exit(&self) -> ParsedArgs {
+        match self.parse(std::env::args().skip(1)) {
+            Ok(parsed) => parsed,
+            Err(CliError::Help) => {
+                println!("usage: {}", self.usage);
+                std::process::exit(0);
+            }
+            Err(CliError::Usage(message)) => self.exit_usage(&message),
+        }
+    }
+
+    /// Prints `message` + usage to stderr and exits with status 2 — the
+    /// shared error path for post-parse validation (bad flag combinations,
+    /// unparseable values).
+    pub fn exit_usage(&self, message: &str) -> ! {
+        eprintln!("{}: {message}", self.name);
+        eprintln!("usage: {}", self.usage);
+        std::process::exit(2);
+    }
+}
+
+/// Outcome of [`CliSpec::parse`] short of a parsed argument list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliError {
+    /// `--help` was requested.
+    Help,
+    /// A usage error (unknown flag, missing value, excess positional).
+    Usage(String),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SPEC: CliSpec<'static> = CliSpec {
+        name: "test",
+        usage: "test [--threads N] [--serial] [PREFIX]",
+        value_flags: &["--threads"],
+        bool_flags: &["--serial"],
+        max_positional: 1,
+    };
+
+    fn parse(args: &[&str]) -> Result<ParsedArgs, CliError> {
+        SPEC.parse(args.iter().map(ToString::to_string))
+    }
+
+    #[test]
+    fn parses_values_flags_and_positionals() {
+        let parsed = parse(&["--threads", "4", "--serial", "out"]).expect("parse");
+        assert_eq!(parsed.value("--threads"), Some("4"));
+        assert_eq!(parsed.parsed_value::<usize>("--threads"), Ok(Some(4)));
+        assert!(parsed.flag("--serial"));
+        assert_eq!(parsed.positional, vec!["out"]);
+        assert_eq!(parsed.value("--missing"), None);
+        assert!(!parsed.flag("--missing"));
+    }
+
+    #[test]
+    fn last_value_wins() {
+        let parsed = parse(&["--threads", "2", "--threads", "8"]).expect("parse");
+        assert_eq!(parsed.value("--threads"), Some("8"));
+    }
+
+    #[test]
+    fn unknown_flags_are_errors_not_ignored() {
+        assert_eq!(
+            parse(&["--trheads", "4"]),
+            Err(CliError::Usage("unknown option: --trheads".into()))
+        );
+    }
+
+    #[test]
+    fn missing_value_and_excess_positionals_are_errors() {
+        assert!(matches!(parse(&["--threads"]), Err(CliError::Usage(_))));
+        assert!(matches!(parse(&["a", "b"]), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn bad_typed_values_are_reported() {
+        let parsed = parse(&["--threads", "many"]).expect("parse");
+        let err = parsed.parsed_value::<usize>("--threads").unwrap_err();
+        assert!(err.contains("many"), "{err}");
+    }
+
+    #[test]
+    fn help_is_distinguished() {
+        assert_eq!(parse(&["--help"]), Err(CliError::Help));
+        assert_eq!(parse(&["-h"]), Err(CliError::Help));
+    }
+}

@@ -1,0 +1,64 @@
+//! `serve` — boots the uops-serve HTTP server over a segment file.
+//!
+//! ```text
+//! serve --segment uops.seg [--addr 127.0.0.1:8080] [--threads N] [--cache-mb 64]
+//! ```
+//!
+//! The first stdout line is always `listening on http://ADDR (...)`, so
+//! scripts (and the integration tests) can bind port 0 and discover the
+//! real address. Unknown flags exit with status 2 and usage on stderr.
+
+use std::io::Write as _;
+use std::sync::Arc;
+
+use uops_db::{DbBackend as _, Segment};
+use uops_pool::Parallelism;
+use uops_serve::args::CliSpec;
+use uops_serve::{QueryService, Server};
+
+const SPEC: CliSpec<'static> = CliSpec {
+    name: "serve",
+    usage: "serve --segment PATH [--addr HOST:PORT] [--threads N] [--cache-mb MB]",
+    value_flags: &["--segment", "--addr", "--threads", "--cache-mb"],
+    bool_flags: &[],
+    max_positional: 0,
+};
+
+fn main() {
+    let args = SPEC.parse_or_exit();
+    let Some(segment_path) = args.value("--segment") else {
+        SPEC.exit_usage("--segment is required");
+    };
+    let addr = args.value("--addr").unwrap_or("127.0.0.1:8080");
+    let threads = match args.parsed_value::<usize>("--threads") {
+        Ok(n) => n.unwrap_or_else(|| Parallelism::Auto.thread_count()).max(1),
+        Err(message) => SPEC.exit_usage(&message),
+    };
+    let cache_mb = match args.parsed_value::<usize>("--cache-mb") {
+        Ok(mb) => mb.unwrap_or(64),
+        Err(message) => SPEC.exit_usage(&message),
+    };
+
+    let segment = match Segment::open(segment_path) {
+        Ok(segment) => Arc::new(segment),
+        Err(e) => {
+            eprintln!("serve: cannot open segment {segment_path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let records = segment.db().len();
+    let service = Arc::new(QueryService::from_segment(segment, cache_mb << 20));
+    let server = match Server::bind(addr, service, threads) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("serve: cannot bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "listening on http://{} ({records} records, {threads} threads, {cache_mb} MiB cache)",
+        server.local_addr()
+    );
+    let _ = std::io::stdout().flush();
+    server.run();
+}

@@ -1,0 +1,398 @@
+//! The sharded LRU response cache.
+//!
+//! Entries store **encoded response bytes** keyed by the 64-bit
+//! fingerprint of the canonical request (see
+//! [`uops_db::QueryPlan::fingerprint`]), so a hit skips plan resolution,
+//! execution, *and* encoding — the whole request pipeline collapses to a
+//! hash lookup plus an `Arc` clone. The map is split into shards, each
+//! behind its own mutex, so concurrent readers on different shards never
+//! contend; within a shard, a classic slab-backed doubly-linked LRU list
+//! gives O(1) get/insert/evict.
+//!
+//! Two details worth calling out:
+//!
+//! * **Collision safety.** 64-bit fingerprints can collide in principle, so
+//!   every entry also stores its canonical request string and a hit
+//!   requires an exact match — a collision is a miss, never a wrong
+//!   response.
+//! * **Byte budget.** Capacity is bounded by payload bytes (plus a fixed
+//!   per-entry overhead estimate), not entry count, because response sizes
+//!   vary by orders of magnitude between a point lookup and an unbounded
+//!   scan. The budget is split evenly across shards; eviction pops each
+//!   shard's LRU tail until that shard fits.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Estimated bookkeeping bytes per entry (slab node, map slot, request
+/// string header), counted against the byte budget so "many tiny entries"
+/// cannot blow past it.
+const ENTRY_OVERHEAD: usize = 128;
+
+/// Index value meaning "no node" in the intrusive LRU list.
+const NIL: usize = usize::MAX;
+
+/// One cached, fully encoded response.
+#[derive(Debug, Clone)]
+pub struct CachedResponse {
+    /// MIME type of the payload.
+    pub content_type: &'static str,
+    /// The encoded bytes, shared — a hit clones the `Arc`, not the bytes.
+    pub body: Arc<[u8]>,
+}
+
+/// Counter snapshot of a [`ResponseCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Requests answered from the cache.
+    pub hits: u64,
+    /// Requests that missed (including collisions).
+    pub misses: u64,
+    /// Entries evicted to stay within the byte budget.
+    pub evictions: u64,
+    /// Responses too large to cache at all (bigger than one shard's
+    /// budget); they are served but never stored, so a hot oversized
+    /// response shows up here rather than masquerading as ordinary misses.
+    pub uncacheable: u64,
+    /// Live entries across all shards.
+    pub entries: usize,
+    /// Payload + overhead bytes currently held.
+    pub bytes: usize,
+    /// The configured byte budget (0 = caching disabled).
+    pub capacity_bytes: usize,
+}
+
+struct Node {
+    key: u64,
+    request: String,
+    response: CachedResponse,
+    prev: usize,
+    next: usize,
+}
+
+/// One shard: an open-addressed map from fingerprint to slab slot plus an
+/// intrusive LRU list threaded through the slab.
+struct Shard {
+    map: HashMap<u64, usize>,
+    slab: Vec<Node>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+    bytes: usize,
+}
+
+impl Shard {
+    fn new() -> Shard {
+        Shard {
+            map: HashMap::new(),
+            slab: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            bytes: 0,
+        }
+    }
+
+    fn detach(&mut self, slot: usize) {
+        let (prev, next) = (self.slab[slot].prev, self.slab[slot].next);
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.slab[prev].next = next;
+        }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.slab[next].prev = prev;
+        }
+    }
+
+    fn push_front(&mut self, slot: usize) {
+        self.slab[slot].prev = NIL;
+        self.slab[slot].next = self.head;
+        if self.head != NIL {
+            self.slab[self.head].prev = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+    }
+
+    fn entry_cost(node_request: &str, body: &[u8]) -> usize {
+        node_request.len() + body.len() + ENTRY_OVERHEAD
+    }
+
+    fn remove_slot(&mut self, slot: usize) {
+        self.detach(slot);
+        let node = &self.slab[slot];
+        self.bytes -= Shard::entry_cost(&node.request, &node.response.body);
+        self.map.remove(&node.key);
+        // Empty the node (cheap) and recycle the slot.
+        self.slab[slot].request = String::new();
+        self.slab[slot].response.body = Arc::from(&[][..]);
+        self.free.push(slot);
+    }
+}
+
+/// A sharded, byte-budgeted LRU cache of encoded responses. See the module
+/// docs for the design.
+pub struct ResponseCache {
+    shards: Vec<Mutex<Shard>>,
+    shard_budget: usize,
+    capacity_bytes: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    uncacheable: AtomicU64,
+}
+
+impl std::fmt::Debug for ResponseCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("ResponseCache")
+            .field("shards", &self.shards.len())
+            .field("stats", &stats)
+            .finish()
+    }
+}
+
+impl ResponseCache {
+    /// Creates a cache holding at most `capacity_bytes` across `shards`
+    /// shards (both clamped to at least 1 shard; a zero byte budget
+    /// disables caching entirely — every get misses, inserts are dropped).
+    #[must_use]
+    pub fn new(capacity_bytes: usize, shards: usize) -> ResponseCache {
+        let shards = shards.max(1);
+        ResponseCache {
+            shard_budget: capacity_bytes / shards,
+            capacity_bytes,
+            shards: (0..shards).map(|_| Mutex::new(Shard::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            uncacheable: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_for(&self, key: u64) -> &Mutex<Shard> {
+        // The low bits of an FNV fingerprint are well mixed; spread on them.
+        &self.shards[(key as usize) % self.shards.len()]
+    }
+
+    /// Looks up the response cached for `(key, request)`, promoting it to
+    /// most-recently-used. The full `request` string must match the stored
+    /// one — a fingerprint collision counts as a miss.
+    #[must_use]
+    pub fn get(&self, key: u64, request: &str) -> Option<CachedResponse> {
+        if self.capacity_bytes == 0 {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let mut shard = self.shard_for(key).lock().expect("cache shard mutex");
+        let hit = shard
+            .map
+            .get(&key)
+            .copied()
+            .and_then(|slot| (shard.slab[slot].request == request).then_some(slot));
+        match hit {
+            Some(slot) => {
+                shard.detach(slot);
+                shard.push_front(slot);
+                let response = shard.slab[slot].response.clone();
+                drop(shard);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(response)
+            }
+            None => {
+                drop(shard);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts (or replaces) the response for `(key, request)` and evicts
+    /// least-recently-used entries until the shard fits its budget again.
+    /// Responses larger than a whole shard budget are not cached.
+    pub fn insert(&self, key: u64, request: &str, response: CachedResponse) {
+        if self.capacity_bytes == 0 {
+            return;
+        }
+        let cost = Shard::entry_cost(request, &response.body);
+        if cost > self.shard_budget {
+            self.uncacheable.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let mut evicted = 0u64;
+        {
+            let mut shard = self.shard_for(key).lock().expect("cache shard mutex");
+            if let Some(slot) = shard.map.get(&key).copied() {
+                // Same fingerprint: replace (collision or refresh either way).
+                shard.remove_slot(slot);
+            }
+            while shard.bytes + cost > self.shard_budget && shard.tail != NIL {
+                let victim = shard.tail;
+                shard.remove_slot(victim);
+                evicted += 1;
+            }
+            let node = Node { key, request: request.to_string(), response, prev: NIL, next: NIL };
+            let slot = match shard.free.pop() {
+                Some(slot) => {
+                    shard.slab[slot] = node;
+                    slot
+                }
+                None => {
+                    shard.slab.push(node);
+                    shard.slab.len() - 1
+                }
+            };
+            shard.push_front(slot);
+            shard.map.insert(key, slot);
+            shard.bytes += cost;
+        }
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
+    }
+
+    /// A snapshot of the hit/miss/eviction counters and occupancy.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        let mut entries = 0;
+        let mut bytes = 0;
+        for shard in &self.shards {
+            let shard = shard.lock().expect("cache shard mutex");
+            entries += shard.map.len();
+            bytes += shard.bytes;
+        }
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            uncacheable: self.uncacheable.load(Ordering::Relaxed),
+            entries,
+            bytes,
+            capacity_bytes: self.capacity_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn response(payload: &str) -> CachedResponse {
+        CachedResponse { content_type: "text/plain", body: Arc::from(payload.as_bytes()) }
+    }
+
+    fn cache_with_room_for(entries: usize) -> ResponseCache {
+        // Single shard so eviction order is fully deterministic; payloads in
+        // the tests are all `len == 1`.
+        ResponseCache::new(entries * (ENTRY_OVERHEAD + 2), 1)
+    }
+
+    #[test]
+    fn eviction_follows_lru_order() {
+        let cache = cache_with_room_for(3);
+        cache.insert(1, "a", response("A"));
+        cache.insert(2, "b", response("B"));
+        cache.insert(3, "c", response("C"));
+        // Touch "a": it becomes most-recently-used, so "b" is now the tail.
+        assert!(cache.get(1, "a").is_some());
+        cache.insert(4, "d", response("D"));
+        assert!(cache.get(2, "b").is_none(), "LRU entry b must be evicted");
+        assert!(cache.get(1, "a").is_some(), "recently used entry survives");
+        assert!(cache.get(3, "c").is_some());
+        assert!(cache.get(4, "d").is_some());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn eviction_cascades_until_the_budget_fits() {
+        let cache = cache_with_room_for(2);
+        cache.insert(1, "a", response("A"));
+        cache.insert(2, "b", response("B"));
+        // An entry close to a whole shard's budget evicts both.
+        let big = "x".repeat(ENTRY_OVERHEAD + 2);
+        cache.insert(3, "c", response(&big));
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 2);
+        assert_eq!(stats.entries, 1);
+        assert!(cache.get(3, "c").is_some());
+    }
+
+    #[test]
+    fn counters_track_hits_misses_evictions() {
+        let cache = cache_with_room_for(1);
+        assert!(cache.get(7, "q").is_none());
+        cache.insert(7, "q", response("Q"));
+        assert!(cache.get(7, "q").is_some());
+        assert!(cache.get(7, "q").is_some());
+        cache.insert(8, "r", response("R")); // evicts q
+        assert!(cache.get(7, "q").is_none());
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.evictions), (2, 2, 1));
+        assert_eq!(stats.entries, 1);
+        assert!(stats.bytes > 0 && stats.bytes <= stats.capacity_bytes);
+    }
+
+    #[test]
+    fn fingerprint_collisions_are_misses_not_wrong_answers() {
+        let cache = cache_with_room_for(4);
+        cache.insert(42, "query-one", response("1"));
+        // Same fingerprint, different canonical request: must not be served
+        // entry "1".
+        assert!(cache.get(42, "query-two").is_none());
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let cache = ResponseCache::new(0, 4);
+        cache.insert(1, "a", response("A"));
+        assert!(cache.get(1, "a").is_none());
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 0);
+        assert_eq!(stats.misses, 1);
+    }
+
+    #[test]
+    fn oversized_responses_are_passed_through_uncached() {
+        let cache = ResponseCache::new(64, 1);
+        cache.insert(1, "big", response(&"x".repeat(1024)));
+        assert_eq!(cache.stats().entries, 0);
+        assert_eq!(cache.stats().uncacheable, 1, "oversized inserts are counted");
+        assert!(cache.get(1, "big").is_none());
+    }
+
+    #[test]
+    fn replacement_updates_bytes_and_slots_recycle() {
+        let cache = cache_with_room_for(8);
+        for round in 0..32 {
+            let body = format!("{round}");
+            cache.insert(
+                round % 8,
+                "k",
+                CachedResponse { content_type: "text/plain", body: Arc::from(body.as_bytes()) },
+            );
+        }
+        let stats = cache.stats();
+        assert!(stats.entries <= 8);
+        assert!(stats.bytes <= stats.capacity_bytes);
+    }
+
+    #[test]
+    fn shards_partition_the_keyspace() {
+        let cache = ResponseCache::new(16 * (ENTRY_OVERHEAD + 2), 4);
+        for key in 0..16u64 {
+            cache.insert(key, "k", response("V"));
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 16, "even spread must not evict at 25% occupancy per shard");
+        for key in 0..16u64 {
+            assert!(cache.get(key, "k").is_some());
+        }
+    }
+}

@@ -1,0 +1,270 @@
+//! A minimal, std-only HTTP/1.1 request/response codec.
+//!
+//! Only what serving a read-only database needs: `GET` requests, a bounded
+//! request line and header block, persistent connections
+//! (`Connection: keep-alive` semantics with HTTP/1.1 defaults), and
+//! `Content-Length`-delimited responses. Anything outside that — bodies on
+//! requests, transfer encodings, upgrades — is rejected with a 4xx rather
+//! than implemented. The parser never allocates proportionally to
+//! attacker-controlled sizes beyond the configured caps.
+
+use std::io::{self, BufRead, Write};
+
+/// Longest accepted request line (method + target + version).
+const MAX_REQUEST_LINE: usize = 8 * 1024;
+/// Most accepted header lines per request.
+const MAX_HEADERS: usize = 64;
+/// Longest accepted single header line.
+const MAX_HEADER_LINE: usize = 8 * 1024;
+
+/// A parsed request head.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// The method verb, uppercased as received (`GET`).
+    pub method: String,
+    /// The decoded-at-the-transport-level path, e.g. `/v1/query` (still
+    /// percent-encoded; route segments decode it as needed).
+    pub path: String,
+    /// The raw query string after `?` (empty if absent).
+    pub query: String,
+    /// `true` when the connection should stay open after the response.
+    pub keep_alive: bool,
+}
+
+/// Why reading a request failed.
+#[derive(Debug)]
+pub enum RequestError {
+    /// The client closed the connection before sending a request line.
+    ConnectionClosed,
+    /// The request was malformed or exceeded a parser cap; the payload is
+    /// the status code and message to answer with.
+    Bad(u16, String),
+    /// An I/O error on the socket.
+    Io(io::Error),
+}
+
+impl From<io::Error> for RequestError {
+    fn from(e: io::Error) -> RequestError {
+        RequestError::Io(e)
+    }
+}
+
+fn read_line_bounded(
+    reader: &mut impl BufRead,
+    cap: usize,
+    what: &str,
+) -> Result<Option<String>, RequestError> {
+    let mut line = Vec::new();
+    loop {
+        let buf = reader.fill_buf()?;
+        if buf.is_empty() {
+            // Clean EOF before any byte of this line.
+            if line.is_empty() {
+                return Ok(None);
+            }
+            return Err(RequestError::Bad(400, format!("connection closed mid-{what}")));
+        }
+        match buf.iter().position(|&b| b == b'\n') {
+            Some(nl) => {
+                line.extend_from_slice(&buf[..nl]);
+                reader.consume(nl + 1);
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                if line.len() > cap {
+                    return Err(RequestError::Bad(431, format!("{what} too long")));
+                }
+                return String::from_utf8(line)
+                    .map(Some)
+                    .map_err(|_| RequestError::Bad(400, format!("{what} is not UTF-8")));
+            }
+            None => {
+                let taken = buf.len();
+                line.extend_from_slice(buf);
+                reader.consume(taken);
+                if line.len() > cap {
+                    return Err(RequestError::Bad(431, format!("{what} too long")));
+                }
+            }
+        }
+    }
+}
+
+/// Reads and parses one request head from `reader`.
+///
+/// # Errors
+///
+/// [`RequestError::ConnectionClosed`] on clean EOF before a request,
+/// [`RequestError::Bad`] for malformed or over-limit requests (answer it
+/// and close), [`RequestError::Io`] for socket failures.
+pub fn read_request(reader: &mut impl BufRead) -> Result<Request, RequestError> {
+    let Some(request_line) = read_line_bounded(reader, MAX_REQUEST_LINE, "request line")? else {
+        return Err(RequestError::ConnectionClosed);
+    };
+    let mut parts = request_line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+        _ => {
+            return Err(RequestError::Bad(400, format!("malformed request line {request_line:?}")))
+        }
+    };
+    let keep_alive_default = match version {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        other => return Err(RequestError::Bad(505, format!("unsupported version {other:?}"))),
+    };
+
+    let mut keep_alive = keep_alive_default;
+    let mut headers = 0usize;
+    loop {
+        let Some(line) = read_line_bounded(reader, MAX_HEADER_LINE, "header")? else {
+            return Err(RequestError::Bad(400, "connection closed mid-headers".into()));
+        };
+        if line.is_empty() {
+            break;
+        }
+        headers += 1;
+        if headers > MAX_HEADERS {
+            return Err(RequestError::Bad(431, "too many headers".into()));
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(RequestError::Bad(400, format!("malformed header {line:?}")));
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim();
+        match name.as_str() {
+            "connection" => {
+                // Token list; "close" or "keep-alive" decide, case-insensitively.
+                for token in value.split(',') {
+                    match token.trim().to_ascii_lowercase().as_str() {
+                        "close" => keep_alive = false,
+                        "keep-alive" => keep_alive = true,
+                        _ => {}
+                    }
+                }
+            }
+            // A read-only API takes no bodies; reject instead of
+            // desynchronizing the connection by ignoring them.
+            "content-length" if value.parse::<u64>().map_or(true, |n| n > 0) => {
+                return Err(RequestError::Bad(413, "request bodies are not accepted".into()));
+            }
+            "content-length" => {}
+            "transfer-encoding" => {
+                return Err(RequestError::Bad(501, "transfer-encoding is not supported".into()));
+            }
+            _ => {}
+        }
+    }
+
+    let (path, query) = match target.split_once('?') {
+        Some((path, query)) => (path.to_string(), query.to_string()),
+        None => (target.to_string(), String::new()),
+    };
+    Ok(Request { method: method.to_string(), path, query, keep_alive })
+}
+
+/// The standard reason phrase for the status codes this server emits.
+#[must_use]
+pub fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
+        501 => "Not Implemented",
+        505 => "HTTP Version Not Supported",
+        _ => "Internal Server Error",
+    }
+}
+
+/// Writes one `Content-Length`-delimited response.
+///
+/// # Errors
+///
+/// Propagates socket write failures.
+pub fn write_response(
+    writer: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    keep_alive: bool,
+) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n\
+         Connection: {}\r\n\r\n",
+        reason_phrase(status),
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    writer.write_all(head.as_bytes())?;
+    writer.write_all(body)?;
+    writer.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> Result<Request, RequestError> {
+        read_request(&mut BufReader::new(raw.as_bytes()))
+    }
+
+    #[test]
+    fn parses_get_with_query_and_keep_alive_defaults() {
+        let req =
+            parse("GET /v1/query?uarch=Skylake&port=5 HTTP/1.1\r\nHost: x\r\n\r\n").expect("parse");
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/v1/query");
+        assert_eq!(req.query, "uarch=Skylake&port=5");
+        assert!(req.keep_alive, "HTTP/1.1 defaults to keep-alive");
+        let req = parse("GET / HTTP/1.0\r\n\r\n").expect("parse");
+        assert!(!req.keep_alive, "HTTP/1.0 defaults to close");
+        let req = parse("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").expect("parse");
+        assert!(req.keep_alive);
+        let req = parse("GET / HTTP/1.1\r\nConnection: close\r\n\r\n").expect("parse");
+        assert!(!req.keep_alive);
+    }
+
+    #[test]
+    fn rejects_malformed_and_oversized() {
+        assert!(matches!(parse(""), Err(RequestError::ConnectionClosed)));
+        assert!(matches!(parse("GARBAGE\r\n\r\n"), Err(RequestError::Bad(400, _))));
+        assert!(matches!(parse("GET / HTTP/2\r\n\r\n"), Err(RequestError::Bad(505, _))));
+        assert!(matches!(
+            parse("GET / HTTP/1.1\r\nbad header\r\n\r\n"),
+            Err(RequestError::Bad(400, _))
+        ));
+        let long = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(MAX_REQUEST_LINE));
+        assert!(matches!(parse(&long), Err(RequestError::Bad(431, _))));
+        let many = format!("GET / HTTP/1.1\r\n{}\r\n", "X-H: 1\r\n".repeat(MAX_HEADERS + 1));
+        assert!(matches!(parse(&many), Err(RequestError::Bad(431, _))));
+        assert!(matches!(
+            parse("POST /v1/query HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello"),
+            Err(RequestError::Bad(413, _))
+        ));
+        assert!(matches!(
+            parse("GET / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
+            Err(RequestError::Bad(501, _))
+        ));
+    }
+
+    #[test]
+    fn zero_content_length_is_accepted() {
+        let req = parse("GET / HTTP/1.1\r\nContent-Length: 0\r\n\r\n").expect("parse");
+        assert_eq!(req.path, "/");
+    }
+
+    #[test]
+    fn response_is_content_length_delimited() {
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "application/json", b"{}\n", true).expect("write");
+        let text = String::from_utf8(out).expect("utf-8");
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 3\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}\n"));
+    }
+}

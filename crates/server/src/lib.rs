@@ -1,0 +1,478 @@
+//! # uops-serve
+//!
+//! The serving stack of the uops.info reproduction: the paper's artifact
+//! is consumed as a *queried web resource* (downstream tools like uiCA hit
+//! per-instruction lookup endpoints at high volume), and this crate serves
+//! a characterization database to that kind of traffic. It is the top of a
+//! three-layer split:
+//!
+//! 1. **db** (`uops-db`): the canonical [`QueryPlan`] (cache key + wire
+//!    request), the [`uops_db::QueryExec`] executor, and deterministic
+//!    [`uops_db::ResultEncoder`]s;
+//! 2. **service** ([`QueryService`]): transport-agnostic — owns an `Arc`
+//!    of a segment-backed database and a sharded LRU [`ResponseCache`] of
+//!    **encoded bytes**, so a cache hit skips planning, execution, and
+//!    encoding entirely (hit/miss/eviction/execution counters exposed);
+//! 3. **transport** ([`Server`]): a dependency-free HTTP/1.1 server whose
+//!    accept/worker loop runs on [`uops_pool::TaskPool`], routing
+//!    `/v1/query`, `/v1/record/{mnemonic}`, `/v1/diff`, and `/v1/stats`.
+//!
+//! Responses over HTTP are byte-identical to in-process
+//! `QueryExec` + encoder output for the same database — the transport adds
+//! framing, never content — which is asserted end-to-end in this crate's
+//! integration tests and CI's `serve-smoke` job.
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use uops_db::Segment;
+//! use uops_serve::{QueryService, Server};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let segment = Arc::new(Segment::open("uops.seg")?);
+//! let service = Arc::new(QueryService::from_segment(segment, 64 << 20));
+//! let server = Server::bind("127.0.0.1:8080", service, 4)?;
+//! println!("listening on http://{}", server.local_addr());
+//! server.run(); // accept loop; never returns
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! Then: `curl 'http://127.0.0.1:8080/v1/query?uarch=Skylake&port=5'`.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod args;
+pub mod cache;
+pub mod http;
+pub mod service;
+
+use std::io::{BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use uops_db::plan::decode_component;
+use uops_db::QueryPlan;
+use uops_pool::TaskPool;
+
+pub use cache::{CacheStats, CachedResponse, ResponseCache};
+pub use service::{Encoding, QueryService, ServiceResponse, ServiceStats};
+
+/// How long an idle keep-alive connection may sit between requests.
+const KEEP_ALIVE_TIMEOUT: Duration = Duration::from_secs(5);
+/// Most requests served over one connection before it is closed.
+const MAX_REQUESTS_PER_CONNECTION: usize = 1024;
+
+/// Routes one parsed request to the service. Transport-independent (and
+/// directly testable): the HTTP layer only frames what this returns.
+#[must_use]
+pub fn route(service: &QueryService, method: &str, path: &str, query: &str) -> ServiceResponse {
+    if method != "GET" {
+        return ServiceResponse::error(405, "only GET is supported");
+    }
+    // Split the format selector off the query string; the remaining pairs
+    // belong to the endpoint (and QueryPlan parsing stays strict).
+    let pairs = match uops_db::plan::parse_query_pairs(query) {
+        Ok(pairs) => pairs,
+        Err(e) => return ServiceResponse::error(400, &e.to_string()),
+    };
+    let mut encoding = None;
+    let mut rest: Vec<(String, String)> = Vec::with_capacity(pairs.len());
+    for (key, value) in pairs {
+        if key == "format" {
+            // As strict as QueryPlan's own duplicate-key rejection: two
+            // `format` values must not silently last-win.
+            if encoding.is_some() {
+                return ServiceResponse::error(400, "duplicate query parameter \"format\"");
+            }
+            match Encoding::from_wire_name(&value) {
+                Some(enc) => encoding = Some(enc),
+                None => {
+                    return ServiceResponse::error(
+                        400,
+                        &format!("unknown format {value:?} (expected json|binary|xml)"),
+                    );
+                }
+            }
+        } else {
+            rest.push((key, value));
+        }
+    }
+    let format_given = encoding.is_some();
+    let encoding = encoding.unwrap_or(Encoding::Json);
+
+    // A `(key, slot)` assignment that is as strict about duplicates as
+    // QueryPlan's own parser: the second occurrence is a 400, never a
+    // silent last-win.
+    fn assign(slot: &mut Option<String>, key: &str, value: String) -> Result<(), ServiceResponse> {
+        if slot.replace(value).is_some() {
+            return Err(ServiceResponse::error(400, &format!("duplicate query parameter {key:?}")));
+        }
+        Ok(())
+    }
+
+    match path {
+        "/v1/query" => match QueryPlan::from_pairs(rest) {
+            Ok(plan) => service.query(&plan, encoding),
+            Err(e) => ServiceResponse::error(400, &e.to_string()),
+        },
+        "/v1/diff" => {
+            let mut base = None;
+            let mut other = None;
+            for (key, value) in rest {
+                let result = match key.as_str() {
+                    "base" => assign(&mut base, &key, value),
+                    "other" => assign(&mut other, &key, value),
+                    _ => {
+                        return ServiceResponse::error(
+                            400,
+                            &format!("unknown diff parameter {key:?}"),
+                        );
+                    }
+                };
+                if let Err(response) = result {
+                    return response;
+                }
+            }
+            match (base, other) {
+                (Some(base), Some(other)) => service.diff(&base, &other, encoding),
+                _ => ServiceResponse::error(400, "diff requires base= and other="),
+            }
+        }
+        "/v1/stats" => {
+            if !rest.is_empty() || format_given {
+                return ServiceResponse::error(400, "stats takes no parameters");
+            }
+            service.stats_response()
+        }
+        _ => match path.strip_prefix("/v1/record/") {
+            Some(raw_name) if !raw_name.is_empty() && !raw_name.contains('/') => {
+                // Path segments decode percent-escapes only — unlike query
+                // components, a literal `+` is a literal plus (RFC 3986),
+                // so shield it from decode_component's `+`-to-space rule.
+                let name = match decode_component(&raw_name.replace('+', "%2B")) {
+                    Ok(name) => name,
+                    Err(e) => return ServiceResponse::error(400, &e.to_string()),
+                };
+                let mut uarch = None;
+                for (key, value) in rest {
+                    let result = match key.as_str() {
+                        "uarch" => assign(&mut uarch, &key, value),
+                        _ => {
+                            return ServiceResponse::error(
+                                400,
+                                &format!("unknown record parameter {key:?}"),
+                            );
+                        }
+                    };
+                    if let Err(response) = result {
+                        return response;
+                    }
+                }
+                service.record(&name, uarch.as_deref(), encoding)
+            }
+            _ => ServiceResponse::error(404, &format!("no route for {path}")),
+        },
+    }
+}
+
+/// The HTTP/1.1 server: a listener plus a [`TaskPool`] of workers, one
+/// task per accepted connection (keep-alive: a worker serves a connection
+/// until it closes, times out idle, or exhausts its request budget).
+pub struct Server {
+    listener: TcpListener,
+    service: Arc<QueryService>,
+    pool: TaskPool,
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+}
+
+/// A handle to a server running on a background accept thread
+/// ([`Server::spawn`]); dropping it without [`ServerHandle::shutdown`]
+/// leaves the server running detached.
+pub struct ServerHandle {
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: std::thread::JoinHandle<()>,
+}
+
+impl ServerHandle {
+    /// The bound address.
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stops accepting, drains in-flight connections, and joins the accept
+    /// thread.
+    pub fn shutdown(self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+        let _ = self.accept_thread.join();
+    }
+}
+
+impl Server {
+    /// Binds `addr` and prepares `threads` workers (the accept loop itself
+    /// runs on the caller via [`Server::run`], or on a background thread
+    /// via [`Server::spawn`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn bind(addr: &str, service: Arc<QueryService>, threads: usize) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        Ok(Server {
+            listener,
+            service,
+            pool: TaskPool::new(threads, "uops-serve-worker"),
+            local_addr,
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Runs the accept loop on the calling thread until shutdown is
+    /// signalled (never, unless [`Server::spawn`] wrapped it).
+    pub fn run(self) {
+        let Server { listener, service, pool, shutdown, .. } = self;
+        for stream in listener.incoming() {
+            if shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match stream {
+                Ok(stream) => stream,
+                Err(_) => {
+                    // Accept failures (EMFILE under fd exhaustion, transient
+                    // ECONNABORTED) would otherwise return immediately and
+                    // spin this loop at 100% CPU; back off briefly so the
+                    // overload can drain instead of being amplified.
+                    std::thread::sleep(Duration::from_millis(10));
+                    continue;
+                }
+            };
+            let service = Arc::clone(&service);
+            pool.execute(move || serve_connection(stream, &service));
+        }
+        pool.shutdown();
+    }
+
+    /// Moves the accept loop to a background thread, returning a handle
+    /// for address discovery and graceful shutdown (tests, benchmarks,
+    /// embedding).
+    #[must_use]
+    pub fn spawn(self) -> ServerHandle {
+        let local_addr = self.local_addr;
+        let shutdown = Arc::clone(&self.shutdown);
+        let accept_thread = std::thread::Builder::new()
+            .name("uops-serve-accept".into())
+            .spawn(move || self.run())
+            .expect("spawn accept thread");
+        ServerHandle { local_addr, shutdown, accept_thread }
+    }
+}
+
+/// Serves one connection: read request, route, write response, repeat
+/// while keep-alive holds.
+fn serve_connection(stream: TcpStream, service: &QueryService) {
+    let _ = stream.set_read_timeout(Some(KEEP_ALIVE_TIMEOUT));
+    let _ = stream.set_nodelay(true);
+    let Ok(write_half) = stream.try_clone() else { return };
+    let mut reader = BufReader::new(stream);
+    let mut writer = BufWriter::new(write_half);
+    for served in 0..MAX_REQUESTS_PER_CONNECTION {
+        let request = match http::read_request(&mut reader) {
+            Ok(request) => request,
+            Err(http::RequestError::ConnectionClosed) => return,
+            Err(http::RequestError::Bad(status, message)) => {
+                let body = ServiceResponse::error(status, &message);
+                let _ =
+                    http::write_response(&mut writer, status, body.content_type, &body.body, false);
+                return;
+            }
+            Err(http::RequestError::Io(_)) => return,
+        };
+        let keep_alive = request.keep_alive && served + 1 < MAX_REQUESTS_PER_CONNECTION;
+        let response = route(service, &request.method, &request.path, &request.query);
+        if http::write_response(
+            &mut writer,
+            response.status,
+            response.content_type,
+            &response.body,
+            keep_alive,
+        )
+        .is_err()
+            || !keep_alive
+        {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uops_db::{InstructionDb, Snapshot, VariantRecord};
+
+    fn service() -> QueryService {
+        let mut s = Snapshot::new("router test");
+        // "X+Y" exercises path-segment decoding: '+' is literal in paths.
+        for (m, uarch) in
+            [("ADD", "Skylake"), ("ADD", "Haswell"), ("ADC", "Skylake"), ("X+Y", "Skylake")]
+        {
+            s.records.push(VariantRecord {
+                mnemonic: m.into(),
+                variant: "R64, R64".into(),
+                extension: "BASE".into(),
+                uarch: uarch.into(),
+                uop_count: 1,
+                ports: vec![(0b0100_0001, 1)],
+                tp_measured: 0.25,
+                ..Default::default()
+            });
+        }
+        QueryService::from_db(Arc::new(InstructionDb::from_snapshot(&s)), 1 << 20)
+    }
+
+    #[test]
+    fn routes_dispatch_and_validate() {
+        let service = service();
+        assert_eq!(route(&service, "GET", "/v1/query", "uarch=Skylake").status, 200);
+        assert_eq!(route(&service, "GET", "/v1/query", "uarhc=Skylake").status, 400);
+        assert_eq!(route(&service, "GET", "/v1/query", "format=yaml").status, 400);
+        assert_eq!(
+            route(&service, "GET", "/v1/query", "format=binary&format=json").status,
+            400,
+            "duplicate format must be rejected, not last-win"
+        );
+        assert_eq!(route(&service, "GET", "/v1/record/ADD", "").status, 200);
+        assert_eq!(route(&service, "GET", "/v1/record/ADD", "uarch=Skylake").status, 200);
+        assert_eq!(route(&service, "GET", "/v1/record/ADD", "variant=bogus").status, 400);
+        assert_eq!(route(&service, "GET", "/v1/record/", "").status, 404);
+        assert_eq!(route(&service, "GET", "/v1/diff", "base=Haswell&other=Skylake").status, 200);
+        assert_eq!(route(&service, "GET", "/v1/diff", "base=Haswell").status, 400);
+        assert_eq!(
+            route(&service, "GET", "/v1/diff", "base=Haswell&base=Skylake&other=Skylake").status,
+            400,
+            "duplicate diff parameters must not last-win"
+        );
+        assert_eq!(
+            route(&service, "GET", "/v1/record/ADD", "uarch=Skylake&uarch=Haswell").status,
+            400
+        );
+        assert_eq!(route(&service, "GET", "/v1/stats", "").status, 200);
+        assert_eq!(route(&service, "GET", "/v1/stats", "x=1").status, 400);
+        assert_eq!(
+            route(&service, "GET", "/v1/stats", "format=json").status,
+            400,
+            "stats ignores no parameters, including format"
+        );
+        assert_eq!(route(&service, "GET", "/nope", "").status, 404);
+        assert_eq!(route(&service, "POST", "/v1/query", "").status, 405);
+    }
+
+    #[test]
+    fn format_parameter_selects_the_encoder() {
+        let service = service();
+        let json = route(&service, "GET", "/v1/query", "uarch=Skylake");
+        let binary = route(&service, "GET", "/v1/query", "uarch=Skylake&format=binary");
+        let xml = route(&service, "GET", "/v1/query", "uarch=Skylake&format=xml");
+        assert_eq!(json.content_type, "application/json");
+        assert_eq!(binary.content_type, "application/x-uops-result");
+        assert_eq!(xml.content_type, "application/xml");
+        assert_eq!(&binary.body[..4], b"UQR\x01");
+    }
+
+    #[test]
+    fn record_path_segment_is_percent_decoded() {
+        let service = service();
+        // "ADD" spelled with an escape still routes to the same mnemonic —
+        // and hits the same cache entry as the plain spelling.
+        let plain = route(&service, "GET", "/v1/record/ADD", "");
+        let escaped = route(&service, "GET", "/v1/record/%41DD", "");
+        assert_eq!(plain.body, escaped.body);
+        assert_eq!(service.stats().cache.hits, 1);
+        // Path segments are not query components: a literal '+' stays a
+        // plus — "/v1/record/X+Y" must find the "X+Y" mnemonic, not look
+        // up "X Y".
+        let plus = route(&service, "GET", "/v1/record/X+Y", "");
+        assert_eq!(plus.status, 200);
+        let text = String::from_utf8(plus.body.to_vec()).expect("utf-8");
+        assert!(text.contains("\"total_matches\": 1"), "{text}");
+        assert!(text.contains("\"mnemonic\": \"X+Y\""), "{text}");
+        // ...while %2B reaches the same record and the same cache entry.
+        let escaped_plus = route(&service, "GET", "/v1/record/X%2BY", "");
+        assert_eq!(escaped_plus.body, plus.body);
+    }
+
+    #[test]
+    fn end_to_end_over_a_real_socket() {
+        use std::io::{Read, Write};
+        let service = Arc::new(service());
+        let server = Server::bind("127.0.0.1:0", Arc::clone(&service), 2).expect("bind");
+        let addr = server.local_addr();
+        let handle = server.spawn();
+
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        // Two requests on one keep-alive connection: the second is a cache
+        // hit for the first.
+        let mut response = Vec::new();
+        for _ in 0..2 {
+            stream
+                .write_all(b"GET /v1/query?uarch=Skylake HTTP/1.1\r\nHost: t\r\n\r\n")
+                .expect("send");
+            read_one_response(&mut stream, &mut response);
+        }
+        stream.write_all(b"GET /v1/stats HTTP/1.1\r\nConnection: close\r\n\r\n").expect("send");
+        let mut stats = Vec::new();
+        stream.read_to_end(&mut stats).expect("read stats");
+        let stats_text = String::from_utf8_lossy(&stats);
+        assert!(stats_text.contains("\"hits\": 1"), "{stats_text}");
+        assert!(stats_text.contains("\"executions\": 1"), "{stats_text}");
+
+        // In-process service call must produce the same payload bytes the
+        // HTTP transport framed.
+        let expected =
+            service.query(&QueryPlan::parse("uarch=Skylake").expect("plan"), Encoding::Json);
+        let response_text = String::from_utf8_lossy(&response);
+        let body_at = response_text.find("\r\n\r\n").expect("header terminator") + 4;
+        assert_eq!(&response[body_at..], &*expected.body, "HTTP body == in-process bytes");
+
+        handle.shutdown();
+    }
+
+    /// Reads exactly one Content-Length-framed response into `out`
+    /// (replacing its contents).
+    fn read_one_response(stream: &mut TcpStream, out: &mut Vec<u8>) {
+        use std::io::Read;
+        out.clear();
+        let mut byte = [0u8; 1];
+        // Read until the blank line, then Content-Length more bytes.
+        while !out.ends_with(b"\r\n\r\n") {
+            assert_eq!(stream.read(&mut byte).expect("read header"), 1, "unexpected EOF");
+            out.push(byte[0]);
+        }
+        let text = String::from_utf8_lossy(out);
+        let len: usize = text
+            .lines()
+            .find_map(|l| l.strip_prefix("Content-Length: "))
+            .expect("content length")
+            .trim()
+            .parse()
+            .expect("length");
+        let mut body = vec![0u8; len];
+        stream.read_exact(&mut body).expect("read body");
+        out.extend_from_slice(&body);
+    }
+}

@@ -1,0 +1,446 @@
+//! The transport-agnostic query service.
+//!
+//! [`QueryService`] is the middle layer of the serving stack: it owns an
+//! `Arc` of a read-only database (a zero-copy [`Segment`] in production,
+//! an in-memory [`InstructionDb`] for tests and embedding) plus the
+//! sharded LRU [`ResponseCache`], and answers *requests* — a canonical
+//! [`QueryPlan`], a record lookup, a µarch diff — with fully encoded
+//! [`ServiceResponse`] bytes. It knows nothing about HTTP; the server in
+//! [`crate::http`]/[`crate::Server`] is one possible transport, the
+//! in-process calls in tests and benchmarks are another, and both produce
+//! byte-identical responses by construction.
+//!
+//! The cache stores encoded bytes keyed by the fingerprint of the
+//! canonical request string, so a hit skips **plan resolution, execution,
+//! and encoding entirely** — observable through [`ServiceStats`]: a hit
+//! increments `cache.hits` and leaves `executions`/`encodes` untouched.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use uops_db::{
+    diff_uarches, fnv1a_64, BinaryEncoder, DbBackend, DbError, InstructionDb, JsonEncoder,
+    QueryExec, QueryPlan, ResultEncoder, Segment, XmlEncoder,
+};
+
+use crate::cache::{CacheStats, CachedResponse, ResponseCache};
+
+/// Which [`ResultEncoder`] a request selects (the `format=` parameter).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Encoding {
+    /// JSON (the default): snapshot-shaped record objects.
+    #[default]
+    Json,
+    /// Compact TLV binary sharing the snapshot codec's record messages.
+    Binary,
+    /// uops.info-style grouped XML.
+    Xml,
+}
+
+impl Encoding {
+    /// Parses the wire spelling (`json`, `binary`, `xml`).
+    #[must_use]
+    pub fn from_wire_name(s: &str) -> Option<Encoding> {
+        match s {
+            "json" => Some(Encoding::Json),
+            "binary" => Some(Encoding::Binary),
+            "xml" => Some(Encoding::Xml),
+            _ => None,
+        }
+    }
+
+    /// The canonical wire spelling.
+    #[must_use]
+    pub fn wire_name(self) -> &'static str {
+        match self {
+            Encoding::Json => "json",
+            Encoding::Binary => "binary",
+            Encoding::Xml => "xml",
+        }
+    }
+
+    fn content_type(self) -> &'static str {
+        match self {
+            Encoding::Json => JsonEncoder.content_type(),
+            Encoding::Binary => BinaryEncoder.content_type(),
+            Encoding::Xml => XmlEncoder.content_type(),
+        }
+    }
+}
+
+/// A fully encoded response: what a transport writes to the client and
+/// what the cache stores (sans status, which is always 200 for cacheable
+/// responses).
+#[derive(Debug, Clone)]
+pub struct ServiceResponse {
+    /// HTTP-style status code (200, 400, 404).
+    pub status: u16,
+    /// MIME type of `body`.
+    pub content_type: &'static str,
+    /// Encoded payload; shared with the cache on hits.
+    pub body: Arc<[u8]>,
+}
+
+impl ServiceResponse {
+    fn ok(cached: CachedResponse) -> ServiceResponse {
+        ServiceResponse { status: 200, content_type: cached.content_type, body: cached.body }
+    }
+
+    /// A JSON error response with the given status.
+    #[must_use]
+    pub fn error(status: u16, message: &str) -> ServiceResponse {
+        let mut body = String::with_capacity(message.len() + 16);
+        body.push_str("{\"error\": ");
+        uops_db::json::escape_into(&mut body, message);
+        body.push_str("}\n");
+        ServiceResponse {
+            status,
+            content_type: "application/json",
+            body: Arc::from(body.into_bytes().as_slice()),
+        }
+    }
+}
+
+/// The read-only store behind a service: a zero-copy segment (production —
+/// replicas ship the image and open it in place) or an in-memory database
+/// (tests, embedding).
+enum Store {
+    Segment(Arc<Segment>),
+    Memory(Arc<InstructionDb>),
+}
+
+/// Counter snapshot of a [`QueryService`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServiceStats {
+    /// Cache counters (hits / misses / evictions / occupancy).
+    pub cache: CacheStats,
+    /// Times the query executor actually ran a plan.
+    pub executions: u64,
+    /// Times a result encoder actually produced bytes.
+    pub encodes: u64,
+}
+
+/// The transport-agnostic query service. See the module docs.
+pub struct QueryService {
+    store: Store,
+    cache: ResponseCache,
+    executions: AtomicU64,
+    encodes: AtomicU64,
+}
+
+impl std::fmt::Debug for QueryService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryService")
+            .field("records", &self.record_count())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+/// Default number of cache shards. More shards than serving threads keeps
+/// the probability of two in-flight requests contending on one mutex low.
+const CACHE_SHARDS: usize = 16;
+
+impl QueryService {
+    /// Serves a zero-copy segment with a response cache of
+    /// `cache_capacity_bytes` (0 disables caching).
+    #[must_use]
+    pub fn from_segment(segment: Arc<Segment>, cache_capacity_bytes: usize) -> QueryService {
+        QueryService::with_store(Store::Segment(segment), cache_capacity_bytes)
+    }
+
+    /// Serves an in-memory database (tests, embedding).
+    #[must_use]
+    pub fn from_db(db: Arc<InstructionDb>, cache_capacity_bytes: usize) -> QueryService {
+        QueryService::with_store(Store::Memory(db), cache_capacity_bytes)
+    }
+
+    fn with_store(store: Store, cache_capacity_bytes: usize) -> QueryService {
+        QueryService {
+            store,
+            cache: ResponseCache::new(cache_capacity_bytes, CACHE_SHARDS),
+            executions: AtomicU64::new(0),
+            encodes: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of records in the underlying store.
+    #[must_use]
+    pub fn record_count(&self) -> usize {
+        match &self.store {
+            Store::Segment(segment) => segment.db().len(),
+            Store::Memory(db) => db.len(),
+        }
+    }
+
+    /// Counter snapshot.
+    #[must_use]
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            cache: self.cache.stats(),
+            executions: self.executions.load(Ordering::Relaxed),
+            encodes: self.encodes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Answers a query request: cache lookup on the canonical plan string,
+    /// then (on a miss) plan execution + encoding, with the encoded bytes
+    /// inserted for the next identical request.
+    pub fn query(&self, plan: &QueryPlan, encoding: Encoding) -> ServiceResponse {
+        let request = format!("q/{}?{}", encoding.wire_name(), plan.to_query_string());
+        self.cached(&request, encoding, |service| service.execute_encoded(plan, encoding))
+    }
+
+    /// Answers a record request (`/v1/record/{mnemonic}`): all records for
+    /// a mnemonic, optionally narrowed by `uarch`. Runs through the same
+    /// plan/exec/encode pipeline (and cache) as [`QueryService::query`].
+    pub fn record(
+        &self,
+        mnemonic: &str,
+        uarch: Option<&str>,
+        encoding: Encoding,
+    ) -> ServiceResponse {
+        let mut plan = uops_db::Query::new().mnemonic(mnemonic);
+        if let Some(uarch) = uarch {
+            plan = plan.uarch(uarch);
+        }
+        let plan = plan.into_plan();
+        let request = format!("r/{}?{}", encoding.wire_name(), plan.to_query_string());
+        self.cached(&request, encoding, |service| service.execute_encoded(&plan, encoding))
+    }
+
+    /// Answers a cross-µarch diff request.
+    pub fn diff(&self, base: &str, other: &str, encoding: Encoding) -> ServiceResponse {
+        let request = format!(
+            "d/{}?base={}&other={}",
+            encoding.wire_name(),
+            uops_db::plan::encode_component(base),
+            uops_db::plan::encode_component(other),
+        );
+        self.cached(&request, encoding, |service| {
+            service.encodes.fetch_add(1, Ordering::Relaxed);
+            match &service.store {
+                Store::Segment(segment) => {
+                    encode_diff(&diff_uarches(&segment.db(), base, other), encoding)
+                }
+                Store::Memory(db) => encode_diff(&diff_uarches(db.as_ref(), base, other), encoding),
+            }
+        })
+    }
+
+    /// The `/v1/stats` payload: service + cache counters and store
+    /// metadata as JSON. Never cached (it would invalidate itself).
+    #[must_use]
+    pub fn stats_response(&self) -> ServiceResponse {
+        let stats = self.stats();
+        let body = format!(
+            "{{\n  \"records\": {},\n  \"cache\": {{\"hits\": {}, \"misses\": {}, \
+             \"evictions\": {}, \"uncacheable\": {}, \"entries\": {}, \"bytes\": {}, \
+             \"capacity_bytes\": {}}},\n  \"executions\": {},\n  \"encodes\": {}\n}}\n",
+            self.record_count(),
+            stats.cache.hits,
+            stats.cache.misses,
+            stats.cache.evictions,
+            stats.cache.uncacheable,
+            stats.cache.entries,
+            stats.cache.bytes,
+            stats.cache.capacity_bytes,
+            stats.executions,
+            stats.encodes,
+        );
+        ServiceResponse {
+            status: 200,
+            content_type: "application/json",
+            body: Arc::from(body.into_bytes().as_slice()),
+        }
+    }
+
+    /// Parses a wire query string into a plan and answers it; parse errors
+    /// become 400 responses.
+    pub fn query_wire(&self, query_string: &str, encoding: Encoding) -> ServiceResponse {
+        match QueryPlan::parse(query_string) {
+            Ok(plan) => self.query(&plan, encoding),
+            Err(DbError::Plan { message }) => ServiceResponse::error(400, &message),
+            Err(other) => ServiceResponse::error(400, &other.to_string()),
+        }
+    }
+
+    fn cached(
+        &self,
+        request: &str,
+        encoding: Encoding,
+        produce: impl FnOnce(&QueryService) -> Vec<u8>,
+    ) -> ServiceResponse {
+        let key = fnv1a_64(request.as_bytes());
+        if let Some(hit) = self.cache.get(key, request) {
+            return ServiceResponse::ok(hit);
+        }
+        let body: Arc<[u8]> = Arc::from(produce(self).as_slice());
+        let cached = CachedResponse { content_type: encoding.content_type(), body };
+        self.cache.insert(key, request, cached.clone());
+        ServiceResponse::ok(cached)
+    }
+
+    /// Executes a plan and encodes the result (counted — a cache hit never
+    /// reaches this).
+    fn execute_encoded(&self, plan: &QueryPlan, encoding: Encoding) -> Vec<u8> {
+        self.executions.fetch_add(1, Ordering::Relaxed);
+        self.encodes.fetch_add(1, Ordering::Relaxed);
+        match &self.store {
+            Store::Segment(segment) => {
+                let db = segment.db();
+                let result = QueryExec::new().run(plan, &db);
+                encode_result(&result, encoding)
+            }
+            Store::Memory(db) => {
+                let result = QueryExec::new().run(plan, db.as_ref());
+                encode_result(&result, encoding)
+            }
+        }
+    }
+}
+
+fn encode_result<B: DbBackend>(
+    result: &uops_db::QueryResult<'_, B>,
+    encoding: Encoding,
+) -> Vec<u8> {
+    match encoding {
+        Encoding::Json => JsonEncoder.encode_result(result),
+        Encoding::Binary => BinaryEncoder.encode_result(result),
+        Encoding::Xml => XmlEncoder.encode_result(result),
+    }
+}
+
+fn encode_diff(report: &uops_db::DiffReport, encoding: Encoding) -> Vec<u8> {
+    match encoding {
+        Encoding::Json => JsonEncoder.encode_diff(report),
+        Encoding::Binary => BinaryEncoder.encode_diff(report),
+        Encoding::Xml => XmlEncoder.encode_diff(report),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uops_db::{Query, Snapshot, VariantRecord};
+
+    fn snapshot() -> Snapshot {
+        let mut s = Snapshot::new("service test");
+        for (m, uarch, mask) in [
+            ("ADD", "Skylake", 0b0110_0011u16),
+            ("ADC", "Skylake", 0b0100_0001),
+            ("ADD", "Haswell", 0b0110_0011),
+        ] {
+            s.records.push(VariantRecord {
+                mnemonic: m.into(),
+                variant: "R64, R64".into(),
+                extension: "BASE".into(),
+                uarch: uarch.into(),
+                uop_count: 1,
+                ports: vec![(mask, 1)],
+                tp_measured: 0.25,
+                ..Default::default()
+            });
+        }
+        s
+    }
+
+    fn service() -> QueryService {
+        let segment = Segment::from_bytes(Segment::encode(&snapshot())).expect("segment");
+        QueryService::from_segment(Arc::new(segment), 1 << 20)
+    }
+
+    #[test]
+    fn cache_hit_skips_planner_and_encoder() {
+        let service = service();
+        let plan = Query::new().uarch("Skylake").into_plan();
+        let cold = service.query(&plan, Encoding::Json);
+        let stats = service.stats();
+        assert_eq!((stats.executions, stats.encodes, stats.cache.hits), (1, 1, 0));
+
+        let warm = service.query(&plan, Encoding::Json);
+        let stats = service.stats();
+        assert_eq!(stats.executions, 1, "hit must not re-run the executor");
+        assert_eq!(stats.encodes, 1, "hit must not re-encode");
+        assert_eq!(stats.cache.hits, 1);
+        assert_eq!(cold.body, warm.body, "cached and uncached bytes identical");
+        assert!(Arc::ptr_eq(&cold.body, &warm.body), "hit shares the stored allocation");
+    }
+
+    #[test]
+    fn encodings_are_cached_independently() {
+        let service = service();
+        let plan = Query::new().uarch("Skylake").into_plan();
+        let json = service.query(&plan, Encoding::Json);
+        let binary = service.query(&plan, Encoding::Binary);
+        assert_ne!(json.body, binary.body);
+        assert_eq!(json.content_type, "application/json");
+        assert_eq!(binary.content_type, "application/x-uops-result");
+        assert_eq!(service.stats().executions, 2);
+        // Each encoding now hits its own entry.
+        service.query(&plan, Encoding::Json);
+        service.query(&plan, Encoding::Binary);
+        assert_eq!(service.stats().executions, 2);
+        assert_eq!(service.stats().cache.hits, 2);
+    }
+
+    #[test]
+    fn segment_and_memory_stores_answer_identically() {
+        let snapshot = snapshot();
+        let seg_service = service();
+        let mem_service =
+            QueryService::from_db(Arc::new(InstructionDb::from_snapshot(&snapshot)), 1 << 20);
+        for (qs, enc) in [
+            ("uarch=Skylake", Encoding::Json),
+            ("mnemonic=ADD&sort=latency", Encoding::Json),
+            ("port=6", Encoding::Binary),
+            ("", Encoding::Xml),
+        ] {
+            let plan = QueryPlan::parse(qs).expect("parse");
+            let a = seg_service.query(&plan, enc);
+            let b = mem_service.query(&plan, enc);
+            assert_eq!(a.body, b.body, "{qs}");
+        }
+        let a = seg_service.diff("Haswell", "Skylake", Encoding::Json);
+        let b = mem_service.diff("Haswell", "Skylake", Encoding::Json);
+        assert_eq!(a.body, b.body);
+    }
+
+    #[test]
+    fn record_and_diff_requests_are_cached() {
+        let service = service();
+        let cold = service.record("ADD", Some("Skylake"), Encoding::Json);
+        let warm = service.record("ADD", Some("Skylake"), Encoding::Json);
+        assert_eq!(cold.body, warm.body);
+        assert_eq!(service.stats().cache.hits, 1);
+        let d1 = service.diff("Haswell", "Skylake", Encoding::Json);
+        let d2 = service.diff("Haswell", "Skylake", Encoding::Json);
+        assert_eq!(d1.body, d2.body);
+        assert_eq!(service.stats().cache.hits, 2);
+        let text = String::from_utf8(d1.body.to_vec()).expect("utf-8");
+        assert!(text.contains("\"base\": \"Haswell\""));
+    }
+
+    #[test]
+    fn wire_parse_errors_become_400() {
+        let service = service();
+        let response = service.query_wire("uarhc=Skylake", Encoding::Json);
+        assert_eq!(response.status, 400);
+        let text = String::from_utf8(response.body.to_vec()).expect("utf-8");
+        assert!(text.contains("unknown query parameter"), "{text}");
+        // Errors are not cached.
+        assert_eq!(service.stats().cache.entries, 0);
+    }
+
+    #[test]
+    fn stats_response_reports_counters() {
+        let service = service();
+        let plan = Query::new().into_plan();
+        service.query(&plan, Encoding::Json);
+        service.query(&plan, Encoding::Json);
+        let text = String::from_utf8(service.stats_response().body.to_vec()).expect("utf-8");
+        assert!(text.contains("\"records\": 3"), "{text}");
+        assert!(text.contains("\"hits\": 1"), "{text}");
+        assert!(text.contains("\"executions\": 1"), "{text}");
+    }
+}

@@ -1,0 +1,166 @@
+//! Response-cache correctness under concurrency: for arbitrary databases
+//! and arbitrary plans, the bytes a cached [`QueryService`] returns —
+//! first touch (miss) or any later touch (hit), from any number of
+//! concurrent reader threads — must be byte-identical to an uncached
+//! in-process `QueryExec` + encoder run over the same segment.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use uops_db::{
+    BinaryEncoder, JsonEncoder, Query, QueryExec, QueryPlan, ResultEncoder, Segment, Snapshot,
+    SortKey, VariantRecord, XmlEncoder,
+};
+use uops_serve::{Encoding, QueryService};
+
+const MNEMONICS: [&str; 6] = ["ADD", "ADC", "SHLD", "VPADDD", "DIV", "MULPS"];
+const VARIANTS: [&str; 3] = ["R64, R64", "XMM, XMM", "R64, M64"];
+const EXTENSIONS: [&str; 3] = ["BASE", "AVX2", "AES"];
+const UARCHES: [&str; 3] = ["Nehalem", "Haswell", "Skylake"];
+
+fn arb_record() -> impl Strategy<Value = VariantRecord> {
+    ((0usize..6, 0usize..3, 0usize..3, 0usize..3), (1u32..5, 1u16..0x100, 0.0f64..8.0)).prop_map(
+        |((m, v, e, u), (uops, mask, tp))| VariantRecord {
+            mnemonic: MNEMONICS[m].to_string(),
+            variant: VARIANTS[v].to_string(),
+            extension: EXTENSIONS[e].to_string(),
+            uarch: UARCHES[u].to_string(),
+            uop_count: uops,
+            ports: vec![(mask, uops)],
+            tp_measured: tp,
+            ..Default::default()
+        },
+    )
+}
+
+fn arb_snapshot() -> impl Strategy<Value = Snapshot> {
+    prop::collection::vec(arb_record(), 1..24).prop_map(|records| {
+        let mut snapshot = Snapshot::new("cache parity proptest");
+        snapshot.records = records;
+        snapshot
+    })
+}
+
+/// A small pool of heterogeneous plans (indexed, residual-only, sorted,
+/// paginated, unmatchable).
+fn arb_plan() -> impl Strategy<Value = QueryPlan> {
+    (0usize..8, 0usize..3, 0usize..6, 0u8..10).prop_map(|(shape, u, m, port)| {
+        let uarch = UARCHES[u];
+        let mnemonic = MNEMONICS[m];
+        match shape {
+            0 => Query::new().into_plan(),
+            1 => Query::new().uarch(uarch).into_plan(),
+            2 => Query::new().uarch(uarch).uses_port(port).into_plan(),
+            3 => Query::new().mnemonic(mnemonic).sort_by(SortKey::Latency).into_plan(),
+            4 => Query::new().mnemonic_prefix("V").min_uops(2).into_plan(),
+            5 => Query::new().uarch(uarch).sort_by_desc(SortKey::Throughput).limit(3).into_plan(),
+            6 => Query::new().extension("AVX2").offset(1).limit(2).into_plan(),
+            _ => Query::new().uarch("Ice Lake").into_plan(), // unmatchable
+        }
+    })
+}
+
+fn encode_expected(segment: &Segment, plan: &QueryPlan, encoding: Encoding) -> Vec<u8> {
+    let db = segment.db();
+    let result = QueryExec::new().run(plan, &db);
+    match encoding {
+        Encoding::Json => JsonEncoder.encode_result(&result),
+        Encoding::Binary => BinaryEncoder.encode_result(&result),
+        Encoding::Xml => XmlEncoder.encode_result(&result),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn concurrent_cached_responses_match_uncached_bytes(
+        snapshot in arb_snapshot(),
+        plans in prop::collection::vec(arb_plan(), 1..8),
+    ) {
+        let segment = Arc::new(
+            Segment::from_bytes(Segment::encode(&snapshot)).expect("valid segment"),
+        );
+        let service = QueryService::from_segment(Arc::clone(&segment), 1 << 20);
+
+        // The ground truth: uncached, in-process execution + encoding.
+        let encodings = [Encoding::Json, Encoding::Binary, Encoding::Xml];
+        let expected: Vec<Vec<Vec<u8>>> = plans
+            .iter()
+            .map(|plan| {
+                encodings.iter().map(|&enc| encode_expected(&segment, plan, enc)).collect()
+            })
+            .collect();
+
+        // Hammer the shared service from several readers, each walking the
+        // plan set in a different rotation so hits and misses interleave.
+        const READERS: usize = 4;
+        const ROUNDS: usize = 3;
+        uops_pool::scope(|s| {
+            for reader in 0..READERS {
+                let service = &service;
+                let plans = &plans;
+                let expected = &expected;
+                s.spawn(move || {
+                    for round in 0..ROUNDS {
+                        for i in 0..plans.len() {
+                            let at = (i + reader + round) % plans.len();
+                            for (e, &encoding) in encodings.iter().enumerate() {
+                                let response = service.query(&plans[at], encoding);
+                                assert_eq!(response.status, 200);
+                                assert_eq!(
+                                    &*response.body, &expected[at][e][..],
+                                    "reader {reader} round {round} plan {at} {encoding:?}",
+                                );
+                            }
+                        }
+                    }
+                });
+            }
+        });
+
+        let stats = service.stats();
+        let total = (READERS * ROUNDS * plans.len() * encodings.len()) as u64;
+        prop_assert_eq!(stats.cache.hits + stats.cache.misses, total);
+        // Deduplicated plans may collapse; executions can never exceed the
+        // distinct (plan, encoding) space and must stay far below the
+        // request count once the cache warms up.
+        let distinct: std::collections::HashSet<String> =
+            plans.iter().map(QueryPlan::to_query_string).collect();
+        prop_assert!(
+            stats.executions <= (distinct.len() * encodings.len()) as u64 * READERS as u64,
+            "executions {} for {} distinct plans",
+            stats.executions,
+            distinct.len(),
+        );
+        prop_assert!(stats.cache.hits > 0, "repeated identical requests must hit");
+    }
+}
+
+#[test]
+fn disabled_cache_still_returns_identical_bytes() {
+    let mut snapshot = Snapshot::new("uncached parity");
+    snapshot.records.push(VariantRecord {
+        mnemonic: "ADD".into(),
+        variant: "R64, R64".into(),
+        extension: "BASE".into(),
+        uarch: "Skylake".into(),
+        uop_count: 1,
+        ports: vec![(0b0110_0011, 1)],
+        tp_measured: 0.25,
+        ..Default::default()
+    });
+    let segment = Arc::new(Segment::from_bytes(Segment::encode(&snapshot)).expect("valid segment"));
+    let cached = QueryService::from_segment(Arc::clone(&segment), 1 << 20);
+    let uncached = QueryService::from_segment(Arc::clone(&segment), 0);
+    let plan = Query::new().uarch("Skylake").into_plan();
+    for _ in 0..3 {
+        let a = cached.query(&plan, Encoding::Json);
+        let b = uncached.query(&plan, Encoding::Json);
+        assert_eq!(a.body, b.body);
+        assert_eq!(&*a.body, &encode_expected(&segment, &plan, Encoding::Json)[..]);
+    }
+    assert_eq!(uncached.stats().executions, 3, "disabled cache executes every time");
+    assert_eq!(cached.stats().executions, 1, "enabled cache executes once");
+}

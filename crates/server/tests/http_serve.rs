@@ -1,0 +1,251 @@
+//! Integration tests driving the **real `serve` binary**: boot it over a
+//! segment file, talk HTTP/1.1 to it over a TCP socket, and assert that
+//! every payload is byte-identical to an in-process `QueryExec` + encoder
+//! run over the same segment — plus the CLI contract (unknown flags exit
+//! non-zero with usage) and the counter-asserted cache behavior.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::Arc;
+
+use uops_db::{
+    BinaryEncoder, JsonEncoder, Query, QueryExec, QueryPlan, ResultEncoder, Segment, Snapshot,
+    SortKey, VariantRecord,
+};
+
+fn sample_snapshot() -> Snapshot {
+    let mut s = Snapshot::new("http_serve test");
+    let mut add = |m: &str, uarch: &str, uops: u32, mask: u16, tp: f64| {
+        s.records.push(VariantRecord {
+            mnemonic: m.into(),
+            variant: "R64, R64".into(),
+            extension: "BASE".into(),
+            uarch: uarch.into(),
+            uop_count: uops,
+            ports: vec![(mask, uops)],
+            tp_measured: tp,
+            ..Default::default()
+        });
+    };
+    add("ADD", "Skylake", 1, 0b0110_0011, 0.25);
+    add("ADC", "Skylake", 1, 0b0100_0001, 0.5);
+    add("ADC", "Haswell", 2, 0b0100_0001, 1.0);
+    add("DIV", "Skylake", 10, 0b0000_0001, 6.0);
+    add("SHLD", "Haswell", 4, 0b0000_0010, 1.5);
+    s
+}
+
+/// The spawned server plus its segment file; both cleaned up on drop so a
+/// failing assertion never leaks a process or a temp file.
+struct ServeGuard {
+    child: Child,
+    addr: String,
+    segment_path: PathBuf,
+}
+
+impl Drop for ServeGuard {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+        let _ = std::fs::remove_file(&self.segment_path);
+    }
+}
+
+fn boot_server(extra_args: &[&str]) -> (ServeGuard, Segment) {
+    // Unique per call: the default test harness runs these tests
+    // concurrently in one process, so a pid-only name would have them
+    // truncating each other's segment files mid-open.
+    static BOOTS: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+    let boot = BOOTS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let snapshot = sample_snapshot();
+    let segment_path =
+        std::env::temp_dir().join(format!("uops_http_serve_{}_{boot}.seg", std::process::id()));
+    let segment = Segment::write(&snapshot, &segment_path).expect("write segment");
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_serve"))
+        .arg("--segment")
+        .arg(&segment_path)
+        .args(["--addr", "127.0.0.1:0", "--threads", "2"])
+        .args(extra_args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn serve");
+
+    // The first stdout line announces the bound address.
+    let stdout = child.stdout.take().expect("stdout piped");
+    let mut first_line = String::new();
+    BufReader::new(stdout).read_line(&mut first_line).expect("read announce line");
+    let addr = first_line
+        .split("http://")
+        .nth(1)
+        .and_then(|rest| rest.split_whitespace().next())
+        .unwrap_or_else(|| panic!("no address in {first_line:?}"))
+        .to_string();
+    (ServeGuard { child, addr, segment_path }, segment)
+}
+
+/// One full HTTP/1.1 exchange on a fresh connection; returns (status,
+/// body bytes).
+fn http_get(addr: &str, target: &str) -> (u16, Vec<u8>) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write!(stream, "GET {target} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n").expect("send");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read");
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .unwrap_or_else(|| panic!("no header terminator in {:?}", String::from_utf8_lossy(&raw)));
+    let head = String::from_utf8_lossy(&raw[..head_end]).to_string();
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line: {head}"));
+    (status, raw[head_end + 4..].to_vec())
+}
+
+fn stats_field(addr: &str, field: &str) -> u64 {
+    let (status, body) = http_get(addr, "/v1/stats");
+    assert_eq!(status, 200);
+    let text = String::from_utf8(body).expect("stats is UTF-8");
+    text.split(&format!("\"{field}\": "))
+        .nth(1)
+        .and_then(|rest| {
+            rest.split(|c: char| !c.is_ascii_digit()).next().and_then(|n| n.parse().ok())
+        })
+        .unwrap_or_else(|| panic!("field {field} not in {text}"))
+}
+
+#[test]
+fn http_responses_are_byte_identical_to_in_process_exec() {
+    let (server, segment) = boot_server(&["--cache-mb", "8"]);
+    let segment = Arc::new(segment);
+
+    let cases = [
+        "",
+        "uarch=Skylake",
+        "uarch=Skylake&port=5",
+        "uarch=Skylake&sort=latency&desc=1&limit=2",
+        "mnemonic=ADC&sort=throughput",
+        "prefix=S&min_uops=2",
+        "uarch=Coffee%20Lake",
+    ];
+    for query_string in cases {
+        let plan = QueryPlan::parse(query_string).expect("plan");
+        let db = segment.db();
+        let expected_json = JsonEncoder.encode_result(&QueryExec::new().run(&plan, &db));
+        let expected_binary = BinaryEncoder.encode_result(&QueryExec::new().run(&plan, &db));
+
+        let target = if query_string.is_empty() {
+            "/v1/query".to_string()
+        } else {
+            format!("/v1/query?{query_string}")
+        };
+        let (status, body) = http_get(&server.addr, &target);
+        assert_eq!(status, 200, "{target}");
+        assert_eq!(body, expected_json, "JSON parity for {target}");
+
+        let sep = if query_string.is_empty() { "?" } else { "&" };
+        let (status, body) = http_get(&server.addr, &format!("{target}{sep}format=binary"));
+        assert_eq!(status, 200);
+        assert_eq!(body, expected_binary, "binary parity for {target}");
+    }
+
+    // /v1/record/{name} parity: same pipeline as a mnemonic query.
+    let db = segment.db();
+    let plan = Query::new().mnemonic("ADC").into_plan();
+    let expected = JsonEncoder.encode_result(&QueryExec::new().run(&plan, &db));
+    let (status, body) = http_get(&server.addr, "/v1/record/ADC");
+    assert_eq!(status, 200);
+    assert_eq!(body, expected, "record endpoint parity");
+
+    // /v1/diff works over HTTP and is deterministic.
+    let (status, diff1) = http_get(&server.addr, "/v1/diff?base=Haswell&other=Skylake");
+    assert_eq!(status, 200);
+    let (_, diff2) = http_get(&server.addr, "/v1/diff?base=Haswell&other=Skylake");
+    assert_eq!(diff1, diff2);
+    assert!(String::from_utf8_lossy(&diff1).contains("\"base\": \"Haswell\""));
+}
+
+#[test]
+fn cache_hits_skip_planner_and_encoder_counters() {
+    let (server, _segment) = boot_server(&["--cache-mb", "4"]);
+
+    let (status, first) = http_get(&server.addr, "/v1/query?uarch=Skylake&port=5");
+    assert_eq!(status, 200);
+    let executions_cold = stats_field(&server.addr, "executions");
+    let encodes_cold = stats_field(&server.addr, "encodes");
+    assert_eq!(executions_cold, 1);
+
+    let (_, second) = http_get(&server.addr, "/v1/query?uarch=Skylake&port=5");
+    assert_eq!(first, second, "cached response must be byte-identical");
+    assert_eq!(
+        stats_field(&server.addr, "executions"),
+        executions_cold,
+        "a cache hit must not invoke the planner/executor"
+    );
+    assert_eq!(
+        stats_field(&server.addr, "encodes"),
+        encodes_cold,
+        "a cache hit must not invoke the encoder"
+    );
+    assert_eq!(stats_field(&server.addr, "hits"), 1);
+
+    // Differently spelled but semantically different request: a miss.
+    let (_, _third) = http_get(&server.addr, "/v1/query?uarch=Haswell");
+    assert_eq!(stats_field(&server.addr, "executions"), executions_cold + 1);
+}
+
+#[test]
+fn error_statuses_over_http() {
+    let (server, _segment) = boot_server(&[]);
+    let (status, body) = http_get(&server.addr, "/v1/query?uarhc=Skylake");
+    assert_eq!(status, 400);
+    assert!(String::from_utf8_lossy(&body).contains("unknown query parameter"));
+    let (status, _) = http_get(&server.addr, "/v1/nope");
+    assert_eq!(status, 404);
+    let (status, _) = http_get(&server.addr, "/v1/query?sort=size");
+    assert_eq!(status, 400);
+
+    // Unbounded-sort parity spot check stays 200 even with odd spellings.
+    let (status, _) = http_get(&server.addr, "/v1/query?uarch=Skylake&sort=uops");
+    assert_eq!(status, 200);
+}
+
+#[test]
+fn unknown_flags_exit_nonzero_with_usage() {
+    let output = Command::new(env!("CARGO_BIN_EXE_serve"))
+        .args(["--segment", "x.seg", "--bogus-flag"])
+        .output()
+        .expect("run serve");
+    assert_eq!(output.status.code(), Some(2), "unknown flag must exit 2");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("unknown option: --bogus-flag"), "{stderr}");
+    assert!(stderr.contains("usage:"), "{stderr}");
+
+    let output = Command::new(env!("CARGO_BIN_EXE_serve")).output().expect("run serve");
+    assert_eq!(output.status.code(), Some(2), "--segment is required");
+    assert!(String::from_utf8_lossy(&output.stderr).contains("--segment is required"));
+
+    let output =
+        Command::new(env!("CARGO_BIN_EXE_serve")).arg("--help").output().expect("run serve");
+    assert_eq!(output.status.code(), Some(0));
+    assert!(String::from_utf8_lossy(&output.stdout).contains("usage:"));
+}
+
+#[test]
+fn sort_orders_survive_the_wire() {
+    let (server, segment) = boot_server(&["--cache-mb", "1"]);
+    let db = segment.db();
+    for sort in [SortKey::Mnemonic, SortKey::Latency, SortKey::Throughput, SortKey::UopCount] {
+        let plan = Query::new().uarch("Skylake").sort_by_desc(sort).into_plan();
+        let expected = JsonEncoder.encode_result(&QueryExec::new().run(&plan, &db));
+        let (status, body) =
+            http_get(&server.addr, &format!("/v1/query?{}", plan.to_query_string()));
+        assert_eq!(status, 200);
+        assert_eq!(body, expected, "{sort:?}");
+    }
+}

@@ -330,13 +330,8 @@ fn generic_compute_graph(inst: &Inst, cfg: &UarchConfig, _opts: TruthOptions) ->
         C::Rotate => 2,
         C::DoubleShift => 2,
         C::Xchg | C::Xadd => 3,
-        C::Bswap => {
-            if width == Width::W64 {
-                2
-            } else {
-                1
-            }
-        }
+        C::Bswap if width == Width::W64 => 2,
+        C::Bswap => 1,
         C::Shift => {
             // Shifts by CL take an extra µop for the flag merge.
             let count_is_cl = desc
@@ -349,26 +344,22 @@ fn generic_compute_graph(inst: &Inst, cfg: &UarchConfig, _opts: TruthOptions) ->
                 1
             }
         }
-        C::IntMul => {
-            // One-operand forms writing RDX:RAX need an extra µop for the
-            // high half.
-            if desc.implicit_operands().filter(|o| o.write).count() >= 2 {
-                2
-            } else {
-                1
-            }
-        }
+        // One-operand multiply forms writing RDX:RAX need an extra µop for
+        // the high half.
+        C::IntMul if desc.implicit_operands().filter(|o| o.write).count() >= 2 => 2,
+        C::IntMul => 1,
         C::IntDiv => 3,
         C::VecHorizontal => 3,
         C::VecInsertExtract => 2,
-        C::VecConvert => {
-            if desc.operands.iter().any(|o| o.kind.reg_class().map(|c| c.is_gpr()).unwrap_or(false))
-            {
-                2
-            } else {
-                1
-            }
+        C::VecConvert
+            if desc
+                .operands
+                .iter()
+                .any(|o| o.kind.reg_class().map(|c| c.is_gpr()).unwrap_or(false)) =>
+        {
+            2
         }
+        C::VecConvert => 1,
         C::ClmulOp => {
             if cfg.arch.at_least(crate::arch::MicroArch::Broadwell) {
                 1
@@ -460,48 +451,42 @@ fn generic_compute_graph(inst: &Inst, cfg: &UarchConfig, _opts: TruthOptions) ->
             } else {
                 (cfg.fp_add, FuKind::VecFp, if skl { 4 } else { 3 })
             };
-            let mut uops = Vec::new();
-            uops.push(UopSpec::new(
-                cfg.vec_shuffle,
-                FuKind::Shuffle,
-                1,
-                sources.clone(),
-                vec![UopOutput::Temp(0)],
-            ));
-            uops.push(UopSpec::new(
-                cfg.vec_shuffle,
-                FuKind::Shuffle,
-                1,
-                sources,
-                vec![UopOutput::Temp(1)],
-            ));
-            uops.push(UopSpec::new(
-                final_ports,
-                final_fu,
-                final_lat,
-                vec![UopInput::Temp(0), UopInput::Temp(1)],
-                dests,
-            ));
-            uops
+            vec![
+                UopSpec::new(
+                    cfg.vec_shuffle,
+                    FuKind::Shuffle,
+                    1,
+                    sources.clone(),
+                    vec![UopOutput::Temp(0)],
+                ),
+                UopSpec::new(
+                    cfg.vec_shuffle,
+                    FuKind::Shuffle,
+                    1,
+                    sources,
+                    vec![UopOutput::Temp(1)],
+                ),
+                UopSpec::new(
+                    final_ports,
+                    final_fu,
+                    final_lat,
+                    vec![UopInput::Temp(0), UopInput::Temp(1)],
+                    dests,
+                ),
+            ]
         }
         // Insert/extract: a shuffle feeding a cross-domain move.
         C::VecInsertExtract | C::VecConvert => {
-            let mut uops = Vec::new();
-            uops.push(UopSpec::new(
-                cfg.vec_shuffle,
-                FuKind::Shuffle,
-                1,
-                sources,
-                vec![UopOutput::Temp(0)],
-            ));
-            uops.push(UopSpec::new(
-                cfg.vec_mul,
-                FuKind::VecInt,
-                latency,
-                vec![UopInput::Temp(0)],
-                dests,
-            ));
-            uops
+            vec![
+                UopSpec::new(
+                    cfg.vec_shuffle,
+                    FuKind::Shuffle,
+                    1,
+                    sources,
+                    vec![UopOutput::Temp(0)],
+                ),
+                UopSpec::new(cfg.vec_mul, FuKind::VecInt, latency, vec![UopInput::Temp(0)], dests),
+            ]
         }
         // Wide multiplies producing a second destination.
         C::IntMul => {
@@ -520,17 +505,17 @@ fn generic_compute_graph(inst: &Inst, cfg: &UarchConfig, _opts: TruthOptions) ->
         }
         // Divisions: a port-0 ALU µop, the divider µop, and a finishing µop.
         C::IntDiv => {
-            let mut uops = Vec::new();
-            uops.push(UopSpec::new(cfg.int_alu, FuKind::Alu, 1, sources, vec![UopOutput::Temp(0)]));
-            uops.push(UopSpec::new(
-                cfg.divider,
-                FuKind::Div,
-                25,
-                vec![UopInput::Temp(0)],
-                vec![UopOutput::Temp(1)],
-            ));
-            uops.push(UopSpec::new(cfg.int_alu, FuKind::Alu, 1, vec![UopInput::Temp(1)], dests));
-            uops
+            vec![
+                UopSpec::new(cfg.int_alu, FuKind::Alu, 1, sources, vec![UopOutput::Temp(0)]),
+                UopSpec::new(
+                    cfg.divider,
+                    FuKind::Div,
+                    25,
+                    vec![UopInput::Temp(0)],
+                    vec![UopOutput::Temp(1)],
+                ),
+                UopSpec::new(cfg.int_alu, FuKind::Alu, 1, vec![UopInput::Temp(1)], dests),
+            ]
         }
         // Everything else: a chain of `stages` µops on the category's ports.
         _ => {

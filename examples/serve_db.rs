@@ -1,0 +1,68 @@
+//! Walkthrough of the serving stack: characterize a catalog slice, persist
+//! it as a zero-copy segment, boot the HTTP server over it, and query it
+//! the way a downstream tool (uiCA-style per-instruction lookups) would —
+//! over the wire, with the response cache doing the heavy lifting on
+//! repeats.
+//!
+//! Run with `cargo run --release --example serve_db`.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use uops_info::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Characterize a small slice on one generation and persist it as a
+    //    segment — the serving format: replicas ship the file and open it
+    //    in place.
+    let catalog = Catalog::intel_core();
+    let selection =
+        [("ADD", "R64, R64"), ("ADC", "R64, R64"), ("MULPS", "XMM, XMM"), ("DIV", "R32")];
+    let backend = SimBackend::new(MicroArch::Skylake);
+    let engine =
+        CharacterizationEngine::with_config(&catalog, MicroArch::Skylake, EngineConfig::fast());
+    let report = engine.characterize_matching(&backend, |d| {
+        selection.iter().any(|(m, v)| d.mnemonic == *m && d.variant() == *v)
+    });
+    let snapshot = report_to_snapshot(&report);
+    let segment = Arc::new(Segment::from_bytes(Segment::encode(&snapshot))?);
+    eprintln!("segment: {} records", snapshot.len());
+
+    // 2. Service + server: sharded LRU response cache over the segment,
+    //    HTTP/1.1 workers on the task pool. Port 0 = pick a free port.
+    let service = Arc::new(QueryService::from_segment(Arc::clone(&segment), 16 << 20));
+    let server = Server::bind("127.0.0.1:0", Arc::clone(&service), 2)?;
+    let addr = server.local_addr();
+    let handle = server.spawn();
+    eprintln!("listening on http://{addr}");
+
+    // 3. Query it over the wire, twice — the second answer comes from the
+    //    cache without touching planner, executor, or encoder.
+    for round in ["cold", "warm"] {
+        let mut stream = TcpStream::connect(addr)?;
+        write!(
+            stream,
+            "GET /v1/query?uarch=Skylake&sort=latency&desc=1 HTTP/1.1\r\nHost: e\r\n\
+             Connection: close\r\n\r\n"
+        )?;
+        let mut response = String::new();
+        stream.read_to_string(&mut response)?;
+        let body = response.split("\r\n\r\n").nth(1).unwrap_or("");
+        eprintln!("--- {round} response ---\n{body}");
+    }
+    let stats = service.stats();
+    eprintln!(
+        "cache: {} hit(s), {} miss(es); executor ran {} time(s)",
+        stats.cache.hits, stats.cache.misses, stats.executions
+    );
+    assert_eq!(stats.executions, 1, "the warm request must be a pure cache hit");
+
+    // 4. The same request in-process returns byte-identical content.
+    let plan = Query::new().uarch("Skylake").sort_by_desc(SortKey::Latency).into_plan();
+    let in_process = service.query(&plan, Encoding::Json);
+    eprintln!("in-process bytes: {} (cache hit #{})", in_process.body.len(), stats.cache.hits + 1);
+
+    handle.shutdown();
+    Ok(())
+}

@@ -133,6 +133,48 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! ## Quickstart: serve the database over HTTP
+//!
+//! The serving stack ([`uops_serve`]) layers a transport-agnostic
+//! [`uops_serve::QueryService`] — `Arc`-shared segment + sharded LRU cache
+//! of **encoded responses** (a hit skips planning, execution, and
+//! encoding) — under a std-only HTTP/1.1 server whose workers run on the
+//! [`uops_pool::TaskPool`]. In production use the `serve` binary
+//! (`cargo run --release --bin serve -- --segment uops.seg`); embedded:
+//!
+//! ```rust
+//! use std::sync::Arc;
+//! use uops_info::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut snapshot = Snapshot::new("serve quickstart");
+//! snapshot.records.push(uops_info::db::VariantRecord {
+//!     mnemonic: "ADD".into(),
+//!     variant: "R64, R64".into(),
+//!     extension: "BASE".into(),
+//!     uarch: "Skylake".into(),
+//!     uop_count: 1,
+//!     ports: vec![(0b0110_0011, 1)],
+//!     tp_measured: 0.25,
+//!     ..Default::default()
+//! });
+//! let segment = Arc::new(Segment::from_bytes(Segment::encode(&snapshot))?);
+//! let service = Arc::new(QueryService::from_segment(segment, 64 << 20));
+//!
+//! // Transport-agnostic requests: a canonical QueryPlan in, encoded
+//! // bytes out. The same bytes are served verbatim over HTTP.
+//! let plan = Query::new().uarch("Skylake").uses_port(6).into_plan();
+//! let cold = service.query(&plan, Encoding::Json);
+//! let warm = service.query(&plan, Encoding::Json); // cache hit
+//! assert_eq!(cold.body, warm.body);
+//! assert_eq!(service.stats().executions, 1, "the hit skipped the executor");
+//!
+//! // HTTP on top: Server::bind("127.0.0.1:8080", service, 4)?.run()
+//! // then `curl 'http://127.0.0.1:8080/v1/query?uarch=Skylake&port=6'`.
+//! # Ok(())
+//! # }
+//! ```
 
 pub use uops_asm as asm;
 pub use uops_core as core_;
@@ -143,6 +185,7 @@ pub use uops_lp as lp;
 pub use uops_measure as measure;
 pub use uops_pipeline as pipeline;
 pub use uops_pool as pool;
+pub use uops_serve as serve;
 pub use uops_uarch as uarch;
 
 /// Commonly used items, re-exported for convenience.
@@ -157,8 +200,9 @@ pub mod prelude {
         CharacterizationEngine, CharacterizationReport, EngineConfig, InstructionProfile,
     };
     pub use uops_db::{
-        diff_uarches, DbBackend, DiffReport, InstructionDb, Query, QueryResult, Segment, SegmentDb,
-        Snapshot, SortKey, VariantRecord,
+        diff_uarches, BinaryEncoder, DbBackend, DiffReport, InstructionDb, JsonEncoder, Query,
+        QueryExec, QueryPlan, QueryResult, ResultEncoder, Segment, SegmentDb, Snapshot, SortKey,
+        VariantRecord,
     };
     pub use uops_iaca::{compare_against_iaca, IacaAnalyzer, IacaVersion, MeasuredInstruction};
     pub use uops_isa::{Catalog, InstructionDesc, OperandDesc, OperandKind, Register, Width};
@@ -166,6 +210,7 @@ pub mod prelude {
         Measurement, MeasurementBackend, MeasurementConfig, RunContext, SimBackend,
     };
     pub use uops_pipeline::{PerfCounters, Pipeline};
-    pub use uops_pool::{parallel_map, parallel_map_indexed, Parallelism};
+    pub use uops_pool::{parallel_map, parallel_map_indexed, Parallelism, TaskPool};
+    pub use uops_serve::{Encoding, QueryService, ResponseCache, Server};
     pub use uops_uarch::{MicroArch, Port, PortSet, UarchConfig};
 }
