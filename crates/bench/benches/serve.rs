@@ -1,27 +1,35 @@
 //! Benchmarks of the serving stack on the 2100-record bench database (the
 //! same 700-variants × 3-µarch synthetic dataset as `db_query`):
 //!
-//! * **service**: cached vs uncached request latency at the
-//!   transport-agnostic [`QueryService`] layer — the acceptance gate is
-//!   that a cache hit (hash lookup + `Arc` clone of the encoded bytes) is
-//!   **≥ 5x faster** than the uncached plan-execute-encode pipeline;
-//! * **http**: requests/s over a real socket against the HTTP/1.1 server,
-//!   cached (one hot plan) vs uncached (every request a distinct plan),
-//!   on a keep-alive connection.
+//! * **service**: request latency at the transport-agnostic
+//!   [`QueryService`] layer, across the whole ladder — uncached
+//!   plan+execute+encode, fingerprint-tier hit via the wire string
+//!   (percent-decode + plan parse + canonicalize + fingerprint + lookup),
+//!   plan-level fingerprint hit, and the raw fast lane (one hash + one
+//!   probe + an `Arc` bump). Gates: fingerprint hit ≥ 5x faster than
+//!   uncached; raw fast-lane hit measurably (≥ 1.2x) faster than the
+//!   wire fingerprint hit.
+//! * **http**: requests/s over real sockets with a pipelined keep-alive
+//!   client, comparing the allocation-free transport (raw fast lane +
+//!   single vectored write) against an in-bench **emulation of the PR 4
+//!   baseline transport** (line-by-line allocating parse, fingerprint
+//!   tier only, formatted head + separate body writes). Gates: fast lane
+//!   ≥ 2x the baseline; `If-None-Match` → 304 beats full-body responses.
 //!
 //! Besides the human-readable report, the run writes a machine-readable
 //! summary to `BENCH_serve.json` (override with the `BENCH_SERVE_JSON`
-//! environment variable) for CI artifact upload.
+//! environment variable) for CI artifact upload; the repo root carries
+//! the committed numbers per PR so the trajectory is tracked in-tree.
 
-use std::io::{BufRead, BufReader, Read, Write};
-use std::net::TcpStream;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::net::{TcpListener, TcpStream};
 use std::sync::Arc;
 use std::time::Instant;
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 use uops_db::{Query, QueryPlan, Segment, Snapshot, SortKey, VariantRecord};
-use uops_serve::{Encoding, QueryService, Server};
+use uops_serve::{respond, route, Encoding, QueryService, Server};
 
 /// The same synthetic shape as the `db_query` bench: 700 variants on three
 /// microarchitectures = 2100 records.
@@ -80,11 +88,13 @@ fn median_ns<T>(runs: usize, mut f: impl FnMut() -> T) -> f64 {
 }
 
 /// Requests per connection, kept under the server's keep-alive budget
-/// (1024) so the bench reconnects before the server hangs up.
+/// (1024) so clients reconnect before the server hangs up.
 const REQUESTS_PER_CONNECTION: usize = 1000;
 
-/// Issues `count` keep-alive GETs for `targets` (cycled), reconnecting
-/// every [`REQUESTS_PER_CONNECTION`] requests, returning requests/s.
+/// Issues `count` keep-alive GETs for `targets` (cycled) in lockstep,
+/// reconnecting every [`REQUESTS_PER_CONNECTION`] requests, returning
+/// requests/s. Used for the uncached battery, where every response frame
+/// differs.
 fn http_requests_per_sec(addr: &std::net::SocketAddr, targets: &[String], count: usize) -> f64 {
     let connect = || {
         let stream = TcpStream::connect(addr).expect("connect");
@@ -122,6 +132,174 @@ fn http_requests_per_sec(addr: &std::net::SocketAddr, targets: &[String], count:
     count as f64 / t.elapsed().as_secs_f64()
 }
 
+/// One lockstep exchange, returning the full response (head + body)
+/// byte-for-byte. Deterministic targets produce deterministic frames, so
+/// the pipelined measurement can `read_exact` multiples of this length.
+fn learn_response(stream: &mut TcpStream, request: &[u8]) -> Vec<u8> {
+    stream.write_all(request).expect("send");
+    let mut out = Vec::new();
+    let mut byte = [0u8; 1];
+    while !out.ends_with(b"\r\n\r\n") {
+        assert_eq!(stream.read(&mut byte).expect("read head"), 1, "unexpected EOF");
+        out.push(byte[0]);
+    }
+    let text = String::from_utf8_lossy(&out).to_string();
+    let body_len: usize = text
+        .lines()
+        .find_map(|l| l.strip_prefix("Content-Length: "))
+        .map_or(0, |v| v.trim().parse().expect("length"));
+    // HEAD is not used here and 304 advertises no length, so Content-Length
+    // (when present) is always followed by the body.
+    let at = out.len();
+    out.resize(at + body_len, 0);
+    stream.read_exact(&mut out[at..]).expect("read body");
+    out
+}
+
+/// Pipelined keep-alive throughput for one deterministic `request`:
+/// batches of [`PIPELINE_BATCH`] requests go out in a single write, the
+/// concatenated responses come back in bulk `read_exact`s. This
+/// amortizes the client's syscalls and scheduler wakeups so the
+/// measurement tracks the *server's* per-request cost (the interesting
+/// number on the single-core bench machines).
+const PIPELINE_BATCH: usize = 50;
+
+fn http_pipelined_rps(addr: &std::net::SocketAddr, request: &[u8], batches: usize) -> f64 {
+    let connect = || {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).expect("nodelay");
+        stream
+    };
+    let mut stream = connect();
+    // Learn the frame and warm every cache tier + scratch buffer (twice:
+    // the first exchange may promote into the fast lane).
+    let _ = learn_response(&mut stream, request);
+    let expected = learn_response(&mut stream, request);
+    let batch_request = request.repeat(PIPELINE_BATCH);
+    let mut batch_response = vec![0u8; expected.len() * PIPELINE_BATCH];
+    let mut served_on_connection = 2usize;
+
+    let t = Instant::now();
+    for _ in 0..batches {
+        if served_on_connection + PIPELINE_BATCH > REQUESTS_PER_CONNECTION {
+            stream = connect();
+            served_on_connection = 0;
+        }
+        stream.write_all(&batch_request).expect("send batch");
+        stream.read_exact(&mut batch_response).expect("read batch");
+        served_on_connection += PIPELINE_BATCH;
+    }
+    let elapsed = t.elapsed().as_secs_f64();
+    assert_eq!(
+        &batch_response[..expected.len()],
+        &expected[..],
+        "pipelined frames must match the learned response"
+    );
+    (batches * PIPELINE_BATCH) as f64 / elapsed
+}
+
+/// An in-bench emulation of the **PR 4 baseline transport**, serving the
+/// same [`QueryService`] routing: line-by-line reads into fresh `String`s,
+/// per-request `String` path/query, the fingerprint cache tier only (no
+/// raw fast lane — `route` is called below it), a `format!`ed header
+/// block, and separate head/body writes through a `BufWriter`. Everything
+/// the tentpole removed, kept runnable so the speedup is measured, not
+/// asserted by hand.
+fn spawn_legacy_baseline(service: Arc<QueryService>) -> std::net::SocketAddr {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind legacy");
+    let addr = listener.local_addr().expect("addr");
+    std::thread::Builder::new()
+        .name("legacy-baseline-accept".into())
+        .spawn(move || {
+            for stream in listener.incoming() {
+                let Ok(stream) = stream else { return };
+                let service = Arc::clone(&service);
+                std::thread::spawn(move || {
+                    let _ = stream.set_nodelay(true);
+                    let Ok(write_half) = stream.try_clone() else { return };
+                    let mut reader = BufReader::new(stream);
+                    let mut writer = BufWriter::new(write_half);
+                    // PR 4's read_line_bounded: a fresh Vec per line,
+                    // converted to an owned String.
+                    let read_line = |reader: &mut BufReader<TcpStream>| -> Option<String> {
+                        let mut line = Vec::new();
+                        loop {
+                            let buf = reader.fill_buf().ok()?;
+                            if buf.is_empty() {
+                                return None;
+                            }
+                            match buf.iter().position(|&b| b == b'\n') {
+                                Some(nl) => {
+                                    line.extend_from_slice(&buf[..nl]);
+                                    reader.consume(nl + 1);
+                                    if line.last() == Some(&b'\r') {
+                                        line.pop();
+                                    }
+                                    return String::from_utf8(line).ok();
+                                }
+                                None => {
+                                    let taken = buf.len();
+                                    line.extend_from_slice(buf);
+                                    reader.consume(taken);
+                                }
+                            }
+                        }
+                    };
+                    loop {
+                        let Some(request_line) = read_line(&mut reader) else { return };
+                        let mut parts = request_line.split(' ');
+                        let (Some(method), Some(target)) = (parts.next(), parts.next()) else {
+                            return;
+                        };
+                        let mut keep_alive = true;
+                        loop {
+                            let Some(header) = read_line(&mut reader) else { return };
+                            if header.is_empty() {
+                                break;
+                            }
+                            // PR 4 lowercased every header name (an
+                            // allocation) and token-scanned Connection.
+                            let Some((name, value)) = header.split_once(':') else { return };
+                            let name = name.trim().to_ascii_lowercase();
+                            if name == "connection" {
+                                for token in value.split(',') {
+                                    match token.trim().to_ascii_lowercase().as_str() {
+                                        "close" => keep_alive = false,
+                                        "keep-alive" => keep_alive = true,
+                                        _ => {}
+                                    }
+                                }
+                            }
+                        }
+                        let (path, query) = match target.split_once('?') {
+                            Some((p, q)) => (p.to_string(), q.to_string()),
+                            None => (target.to_string(), String::new()),
+                        };
+                        let method = method.to_string();
+                        let response = route(&service, &method, &path, &query);
+                        let head = format!(
+                            "HTTP/1.1 {} OK\r\nContent-Type: {}\r\nContent-Length: {}\r\n\
+                             Connection: {}\r\n\r\n",
+                            response.status,
+                            response.content_type,
+                            response.body.len(),
+                            if keep_alive { "keep-alive" } else { "close" },
+                        );
+                        if writer.write_all(head.as_bytes()).is_err()
+                            || writer.write_all(&response.body).is_err()
+                            || writer.flush().is_err()
+                            || !keep_alive
+                        {
+                            return;
+                        }
+                    }
+                });
+            }
+        })
+        .expect("spawn legacy accept");
+    addr
+}
+
 fn bench_serve(c: &mut Criterion) {
     let snapshot = synthetic_snapshot(700);
     let segment = Arc::new(Segment::from_bytes(Segment::encode(&snapshot)).expect("valid segment"));
@@ -129,8 +307,10 @@ fn bench_serve(c: &mut Criterion) {
     assert!(records >= 2100, "bench db must hold 2100 records, got {records}");
 
     let cached = QueryService::from_segment(Arc::clone(&segment), 64 << 20);
-    let uncached = QueryService::from_segment(Arc::clone(&segment), 0);
+    let uncached = QueryService::from_segment_with_raw_cache(Arc::clone(&segment), 0, 0);
     let plan = hot_plan();
+    let wire = plan.to_query_string();
+    let hot_target = format!("/v1/query?{wire}");
     // Warm the cached service once so its steady state is all hits.
     let warm = cached.query(&plan, Encoding::Json);
     assert_eq!(
@@ -138,38 +318,80 @@ fn bench_serve(c: &mut Criterion) {
         uncached.query(&plan, Encoding::Json).body,
         "cached and uncached responses must be byte-identical"
     );
+    assert_eq!(
+        respond(&cached, "GET", &hot_target).body,
+        warm.body,
+        "fast-lane responses must be byte-identical too"
+    );
 
     let mut group = c.benchmark_group("serve");
     group.bench_function("service/uncached_query", |b| {
         b.iter(|| black_box(uncached.query(black_box(&plan), Encoding::Json).body.len()))
     });
-    group.bench_function("service/cached_query", |b| {
+    group.bench_function("service/fingerprint_hit_wire", |b| {
+        b.iter(|| black_box(cached.query_wire(black_box(wire.as_str()), Encoding::Json).body.len()))
+    });
+    group.bench_function("service/fingerprint_hit_plan", |b| {
         b.iter(|| black_box(cached.query(black_box(&plan), Encoding::Json).body.len()))
+    });
+    group.bench_function("service/raw_fast_lane_hit", |b| {
+        b.iter(|| black_box(respond(&cached, "GET", black_box(hot_target.as_str())).body.len()))
     });
     group.finish();
 
-    // ---- acceptance gate + machine-readable summary ----
+    // ---- service-level gates + numbers ----
     let uncached_ns = median_ns(25, || uncached.query(&plan, Encoding::Json).body.len());
     let cached_ns = median_ns(25, || cached.query(&plan, Encoding::Json).body.len());
+    let wire_hit_ns = median_ns(25, || cached.query_wire(&wire, Encoding::Json).body.len());
+    let raw_hit_ns = median_ns(25, || respond(&cached, "GET", &hot_target).body.len());
     let speedup = uncached_ns / cached_ns.max(1.0);
     assert!(
         speedup >= 5.0,
         "a cache hit must be >= 5x faster than the uncached pipeline \
          (uncached {uncached_ns:.0} ns vs cached {cached_ns:.0} ns = {speedup:.1}x)"
     );
+    let raw_vs_wire = wire_hit_ns / raw_hit_ns.max(1.0);
+    assert!(
+        raw_vs_wire >= 1.2,
+        "the raw fast lane must be measurably faster than a fingerprint-tier hit \
+         (wire hit {wire_hit_ns:.0} ns vs raw hit {raw_hit_ns:.0} ns = {raw_vs_wire:.2}x)"
+    );
     let hits_before = cached.stats();
     let _ = cached.query(&plan, Encoding::Json);
+    let _ = respond(&cached, "GET", &hot_target);
     let hits_after = cached.stats();
     assert_eq!(hits_after.executions, hits_before.executions, "hit skips the executor");
     assert_eq!(hits_after.encodes, hits_before.encodes, "hit skips the encoder");
 
-    // ---- HTTP layer: requests/s on a keep-alive connection ----
+    // ---- HTTP layer: requests/s over real sockets ----
     let http_service = Arc::new(QueryService::from_segment(Arc::clone(&segment), 64 << 20));
     let server = Server::bind("127.0.0.1:0", Arc::clone(&http_service), 2).expect("bind");
     let addr = server.local_addr();
     let handle = server.spawn();
+    let legacy_service =
+        Arc::new(QueryService::from_segment_with_raw_cache(Arc::clone(&segment), 64 << 20, 0));
+    let legacy_addr = spawn_legacy_baseline(Arc::clone(&legacy_service));
 
-    let hot_target = format!("/v1/query?{}", plan.to_query_string());
+    let hot_request = format!("GET {hot_target} HTTP/1.1\r\nHost: b\r\n\r\n").into_bytes();
+    // Learn the hot ETag for the conditional-request scenario.
+    let etag = {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        let response = learn_response(&mut stream, &hot_request);
+        String::from_utf8_lossy(&response)
+            .lines()
+            .find_map(|l| l.strip_prefix("ETag: ").map(str::to_string))
+            .expect("hot response carries an ETag")
+    };
+    let conditional_request =
+        format!("GET {hot_target} HTTP/1.1\r\nHost: b\r\nIf-None-Match: {etag}\r\n\r\n")
+            .into_bytes();
+
+    // Pipelined keep-alive: fast lane vs the PR 4 baseline emulation vs
+    // 304 revalidation, same client, same database, same hot target.
+    let http_cached_rps = http_pipelined_rps(&addr, &hot_request, 60);
+    let http_not_modified_rps = http_pipelined_rps(&addr, &conditional_request, 60);
+    let http_legacy_rps = http_pipelined_rps(&legacy_addr, &hot_request, 60);
+
     // Distinct offsets make every request a distinct plan (cache miss)
     // over the same expensive result set.
     let cold_targets: Vec<String> = (0..512)
@@ -177,20 +399,44 @@ fn bench_serve(c: &mut Criterion) {
             format!("/v1/query?uarch=Skylake&port=5&min_uops=2&sort=throughput&offset={i}&limit=50")
         })
         .collect();
-    let http_cached_rps = http_requests_per_sec(&addr, std::slice::from_ref(&hot_target), 2000);
     let http_uncached_rps = http_requests_per_sec(&addr, &cold_targets, 512);
     handle.shutdown();
 
+    let fastlane_vs_legacy = http_cached_rps / http_legacy_rps.max(1.0);
+    assert!(
+        fastlane_vs_legacy >= 2.0,
+        "the allocation-free fast-lane transport must serve the hot cached path >= 2x the \
+         PR 4 baseline transport ({http_cached_rps:.0} vs {http_legacy_rps:.0} req/s = \
+         {fastlane_vs_legacy:.2}x)"
+    );
+    let not_modified_vs_full = http_not_modified_rps / http_cached_rps.max(1.0);
+    assert!(
+        not_modified_vs_full > 1.0,
+        "304 revalidations skip the body and must beat full responses \
+         ({http_not_modified_rps:.0} vs {http_cached_rps:.0} req/s)"
+    );
+
     println!(
-        "\nservice: uncached {uncached_ns:.0} ns vs cached {cached_ns:.0} ns = {speedup:.1}x\n\
-         http:    cached {http_cached_rps:.0} req/s vs uncached {http_uncached_rps:.0} req/s"
+        "\nservice: uncached {uncached_ns:.0} ns | wire hit {wire_hit_ns:.0} ns | plan hit \
+         {cached_ns:.0} ns | raw hit {raw_hit_ns:.0} ns ({speedup:.1}x hit, {raw_vs_wire:.1}x \
+         raw-vs-wire)\n\
+         http:    fast lane {http_cached_rps:.0} req/s | 304 {http_not_modified_rps:.0} req/s | \
+         PR4-baseline {http_legacy_rps:.0} req/s | uncached {http_uncached_rps:.0} req/s \
+         ({fastlane_vs_legacy:.1}x vs baseline, {not_modified_vs_full:.2}x for 304)"
     );
 
     let json = format!(
         "{{\n  \"records\": {records},\n  \"service\": {{\n    \"uncached_ns\": {uncached_ns:.0},\n    \
-         \"cached_ns\": {cached_ns:.0},\n    \"cache_hit_speedup\": {speedup:.1}\n  }},\n  \
+         \"fingerprint_hit_wire_ns\": {wire_hit_ns:.0},\n    \
+         \"fingerprint_hit_plan_ns\": {cached_ns:.0},\n    \
+         \"raw_fast_lane_hit_ns\": {raw_hit_ns:.0},\n    \
+         \"cache_hit_speedup\": {speedup:.1},\n    \
+         \"raw_vs_wire_speedup\": {raw_vs_wire:.2}\n  }},\n  \
          \"http\": {{\n    \"requests_per_sec_cached\": {http_cached_rps:.0},\n    \
+         \"requests_per_sec_not_modified\": {http_not_modified_rps:.0},\n    \
+         \"requests_per_sec_pr4_baseline\": {http_legacy_rps:.0},\n    \
          \"requests_per_sec_uncached\": {http_uncached_rps:.0},\n    \
+         \"fastlane_speedup_vs_pr4_baseline\": {fastlane_vs_legacy:.2},\n    \
          \"cache_hit_latency_ns\": {:.0}\n  }}\n}}\n",
         1e9 / http_cached_rps,
     );

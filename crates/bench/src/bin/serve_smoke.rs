@@ -94,11 +94,21 @@ fn main() {
 
     let stats = service.stats();
     assert_eq!(
-        stats.cache.hits + stats.cache.misses,
+        stats.raw.hits + stats.raw.misses,
         checked as u64,
-        "every request goes through the cache"
+        "every request goes through the raw fast lane first"
     );
-    assert_eq!(stats.cache.misses, (checked / 2) as u64, "second touch of each target must hit");
+    assert_eq!(
+        stats.raw.hits,
+        (checked / 2) as u64,
+        "second touch of each verbatim target must hit the fast lane"
+    );
+    assert_eq!(
+        stats.cache.misses,
+        (checked / 2) as u64,
+        "only first touches reach the fingerprint tier"
+    );
+    assert_eq!(stats.cache.hits, 0, "fast-lane hits never probe the fingerprint tier");
     assert_eq!(
         stats.executions, stats.cache.misses,
         "cache hits must not invoke the planner/executor"
@@ -113,10 +123,36 @@ fn main() {
     let (status, _) = http_get(&addr, "/v1/record/ADD?uarch=Skylake");
     assert_eq!(status, 200);
 
+    // Conditional requests: revalidating with the served ETag is a 304
+    // with no body; HEAD returns no body either.
+    let etag_probe = {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        write!(stream, "GET /v1/query?uarch=Skylake HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .expect("send");
+        let mut raw = Vec::new();
+        stream.read_to_end(&mut raw).expect("read");
+        String::from_utf8_lossy(&raw)
+            .lines()
+            .find_map(|l| l.strip_prefix("ETag: ").map(str::to_string))
+            .expect("200 carries an ETag")
+    };
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write!(
+        stream,
+        "GET /v1/query?uarch=Skylake HTTP/1.1\r\nIf-None-Match: {etag_probe}\r\n\
+         Connection: close\r\n\r\n"
+    )
+    .expect("send");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read");
+    let text = String::from_utf8_lossy(&raw);
+    assert!(text.starts_with("HTTP/1.1 304"), "matching If-None-Match must revalidate: {text}");
+    assert!(text.ends_with("\r\n\r\n"), "304 must carry no body");
+
     handle.shutdown();
     println!(
         "serve_smoke OK: {checked} HTTP responses byte-identical to in-process execution \
-         ({} hits, {} misses, {} executions)",
-        stats.cache.hits, stats.cache.misses, stats.executions
+         ({} fast-lane hits, {} fingerprint misses, {} executions)",
+        stats.raw.hits, stats.cache.misses, stats.executions
     );
 }

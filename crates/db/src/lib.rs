@@ -81,6 +81,14 @@
 //! query serving and incremental ingestion — see [`segment`] for the
 //! layout and the full trade-off.
 //!
+//! With the **`mmap` feature** (64-bit Unix), `Segment::open_mmap(path)`
+//! maps the file read-only instead of reading it into memory: validation
+//! touches only the header/section-table/string-table, record columns are
+//! paged in on first access, and replica processes serving one file share
+//! a single physical copy through the page cache — the backend for
+//! datasets larger than RAM. Queries are property-tested byte-identical
+//! across both backings (`tests/mmap_backend.rs`).
+//!
 //! ```rust
 //! use uops_db::{DbBackend, Query, Segment, Snapshot, VariantRecord};
 //!

@@ -1,0 +1,108 @@
+//! A minimal read-only `mmap(2)` wrapper for segment images.
+//!
+//! Only compiled with the `mmap` feature on **64-bit** Unix. The build
+//! environment has no crates.io access, so instead of the
+//! `libc`/`memmap2` crates this module declares the two C-library symbols
+//! it needs directly; `std` already links libc on every Unix target, so
+//! no extra linkage is required. The declaration types the file offset as
+//! `i64`, which matches `off_t` only on 64-bit targets — the 32-bit
+//! `mmap` ABI takes a 32-bit offset (`mmap64` would be needed there), so
+//! the whole backend is gated on `target_pointer_width = "64"` rather
+//! than risking an ABI mismatch.
+//!
+//! The mapping is `PROT_READ`/`MAP_PRIVATE`: the pages are backed by the
+//! kernel page cache, so N replica processes serving the same segment file
+//! share one physical copy, and opening a multi-gigabyte image costs page
+//! table setup — not a read of the file. Safety rests on two invariants:
+//!
+//! * the mapping is never writable, so the usual aliasing concerns of
+//!   `mmap` + `&[u8]` reduce to the file itself changing;
+//! * segment files are written once and then immutable (the serving
+//!   contract — `build_db` writes a new file and swaps paths). Truncating
+//!   a file while it is mapped turns reads past the new end into
+//!   `SIGBUS`, which no userspace check can prevent; do not edit live
+//!   segment files in place.
+
+use std::fs::File;
+use std::io;
+use std::os::fd::AsRawFd;
+
+use core::ffi::c_void;
+
+const PROT_READ: i32 = 1;
+const MAP_PRIVATE: i32 = 2;
+
+extern "C" {
+    fn mmap(
+        addr: *mut c_void,
+        len: usize,
+        prot: i32,
+        flags: i32,
+        fd: i32,
+        offset: i64,
+    ) -> *mut c_void;
+    fn munmap(addr: *mut c_void, len: usize) -> i32;
+}
+
+/// An owned, read-only, whole-file memory mapping.
+pub(crate) struct MappedFile {
+    ptr: *mut c_void,
+    len: usize,
+}
+
+// The mapping is read-only and exclusively owned (the fd can be closed
+// after `map`; the mapping persists), so sharing it across threads is
+// sound.
+unsafe impl Send for MappedFile {}
+unsafe impl Sync for MappedFile {}
+
+impl MappedFile {
+    /// Maps all of `file` read-only.
+    pub(crate) fn map(file: &File) -> io::Result<MappedFile> {
+        let len = file.metadata()?.len();
+        let len = usize::try_from(len)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "file too large to map"))?;
+        if len == 0 {
+            // mmap(2) rejects zero-length mappings; an empty file cannot be
+            // a valid segment anyway, so hand validation an empty slice.
+            return Ok(MappedFile { ptr: std::ptr::null_mut(), len: 0 });
+        }
+        // SAFETY: a fresh anonymous-address read-only mapping of a file we
+        // hold open; failure is reported as MAP_FAILED (-1).
+        let ptr =
+            unsafe { mmap(std::ptr::null_mut(), len, PROT_READ, MAP_PRIVATE, file.as_raw_fd(), 0) };
+        if ptr as isize == -1 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(MappedFile { ptr, len })
+    }
+
+    /// The mapped bytes.
+    pub(crate) fn as_slice(&self) -> &[u8] {
+        if self.len == 0 {
+            return &[];
+        }
+        // SAFETY: `ptr` is a live PROT_READ mapping of exactly `len` bytes
+        // owned by `self`; the file is immutable by the serving contract
+        // (see module docs).
+        unsafe { std::slice::from_raw_parts(self.ptr.cast::<u8>(), self.len) }
+    }
+}
+
+impl Drop for MappedFile {
+    fn drop(&mut self) {
+        if self.len != 0 {
+            // SAFETY: `ptr`/`len` are the values a successful mmap returned,
+            // unmapped exactly once.
+            unsafe {
+                munmap(self.ptr, self.len);
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for MappedFile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MappedFile").field("len", &self.len).finish()
+    }
+}

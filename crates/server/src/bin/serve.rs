@@ -18,11 +18,27 @@ use uops_serve::{QueryService, Server};
 
 const SPEC: CliSpec<'static> = CliSpec {
     name: "serve",
-    usage: "serve --segment PATH [--addr HOST:PORT] [--threads N] [--cache-mb MB]",
+    usage: "serve --segment PATH [--addr HOST:PORT] [--threads N] [--cache-mb MB] [--mmap]",
     value_flags: &["--segment", "--addr", "--threads", "--cache-mb"],
-    bool_flags: &[],
+    bool_flags: &["--mmap"],
     max_positional: 0,
 };
+
+/// Opens the segment, honoring `--mmap` when this build carries the
+/// feature (`--features mmap`): the image is mapped instead of read, so
+/// open cost is O(header) and replicas share page-cache pages.
+fn open_segment(path: &str, use_mmap: bool) -> Result<Segment, uops_db::DbError> {
+    #[cfg(all(feature = "mmap", unix, target_pointer_width = "64"))]
+    if use_mmap {
+        return Segment::open_mmap(path);
+    }
+    #[cfg(not(all(feature = "mmap", unix, target_pointer_width = "64")))]
+    if use_mmap {
+        eprintln!("serve: --mmap requires a build with --features mmap (64-bit Unix only)");
+        std::process::exit(2);
+    }
+    Segment::open(path)
+}
 
 fn main() {
     let args = SPEC.parse_or_exit();
@@ -39,7 +55,7 @@ fn main() {
         Err(message) => SPEC.exit_usage(&message),
     };
 
-    let segment = match Segment::open(segment_path) {
+    let segment = match open_segment(segment_path, args.flag("--mmap")) {
         Ok(segment) => Arc::new(segment),
         Err(e) => {
             eprintln!("serve: cannot open segment {segment_path}: {e}");

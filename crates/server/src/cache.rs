@@ -38,6 +38,10 @@ const NIL: usize = usize::MAX;
 pub struct CachedResponse {
     /// MIME type of the payload.
     pub content_type: &'static str,
+    /// The strong entity tag of the payload (plan fingerprint ⊕ store
+    /// content hash), stored so conditional requests (`If-None-Match` →
+    /// `304`) are answered from the cache without touching the body.
+    pub etag: u64,
     /// The encoded bytes, shared — a hit clones the `Arc`, not the bytes.
     pub body: Arc<[u8]>,
 }
@@ -284,7 +288,7 @@ mod tests {
     use super::*;
 
     fn response(payload: &str) -> CachedResponse {
-        CachedResponse { content_type: "text/plain", body: Arc::from(payload.as_bytes()) }
+        CachedResponse { content_type: "text/plain", etag: 7, body: Arc::from(payload.as_bytes()) }
     }
 
     fn cache_with_room_for(entries: usize) -> ResponseCache {
@@ -375,7 +379,11 @@ mod tests {
             cache.insert(
                 round % 8,
                 "k",
-                CachedResponse { content_type: "text/plain", body: Arc::from(body.as_bytes()) },
+                CachedResponse {
+                    content_type: "text/plain",
+                    etag: 7,
+                    body: Arc::from(body.as_bytes()),
+                },
             );
         }
         let stats = cache.stats();

@@ -1,14 +1,28 @@
-//! A minimal, std-only HTTP/1.1 request/response codec.
+//! A minimal, std-only, allocation-free HTTP/1.1 request/response codec.
 //!
-//! Only what serving a read-only database needs: `GET` requests, a bounded
-//! request line and header block, persistent connections
-//! (`Connection: keep-alive` semantics with HTTP/1.1 defaults), and
-//! `Content-Length`-delimited responses. Anything outside that — bodies on
-//! requests, transfer encodings, upgrades — is rejected with a 4xx rather
-//! than implemented. The parser never allocates proportionally to
-//! attacker-controlled sizes beyond the configured caps.
+//! Only what serving a read-only database needs: `GET`/`HEAD` requests, a
+//! bounded request head, persistent connections (`Connection: keep-alive`
+//! semantics with HTTP/1.1 defaults), `Content-Length`-delimited
+//! responses, and conditional requests (`If-None-Match` → `304`).
+//! Anything outside that — bodies on requests, transfer encodings,
+//! upgrades — is rejected with a 4xx rather than implemented.
+//!
+//! The codec is built for a steady state that never touches the heap:
+//!
+//! * [`RequestBuf`] owns one fixed-capacity connection buffer; requests
+//!   are read into it and parsed **in place** — [`Request`] borrows the
+//!   method, target, and header values as `&str` subslices, and
+//!   pipelined bytes simply stay in the buffer for the next turn.
+//! * [`ResponseBuf`] owns a reusable header scratch; response heads are
+//!   assembled from precomputed static fragments (status lines, header
+//!   names) plus stack-formatted integers, and head + body are handed to
+//!   the socket in a **single vectored write** ([`write_all_vectored`])
+//!   instead of multiple small writes.
+//!
+//! The parser never allocates proportionally to attacker-controlled
+//! sizes: the head must fit [`MAX_HEAD`] or the request is answered 431.
 
-use std::io::{self, BufRead, Write};
+use std::io::{self, IoSlice, Read, Write};
 
 /// Longest accepted request line (method + target + version).
 const MAX_REQUEST_LINE: usize = 8 * 1024;
@@ -16,19 +30,41 @@ const MAX_REQUEST_LINE: usize = 8 * 1024;
 const MAX_HEADERS: usize = 64;
 /// Longest accepted single header line.
 const MAX_HEADER_LINE: usize = 8 * 1024;
+/// Total request-head cap (request line + all headers + terminator); also
+/// the fixed connection-buffer size. Tighter than
+/// `MAX_REQUEST_LINE + MAX_HEADERS * MAX_HEADER_LINE` on purpose: a
+/// legitimate GET head is a few hundred bytes.
+pub const MAX_HEAD: usize = 32 * 1024;
 
-/// A parsed request head.
+/// A parsed request head, borrowing the connection buffer in place.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Request {
-    /// The method verb, uppercased as received (`GET`).
-    pub method: String,
-    /// The decoded-at-the-transport-level path, e.g. `/v1/query` (still
-    /// percent-encoded; route segments decode it as needed).
-    pub path: String,
-    /// The raw query string after `?` (empty if absent).
-    pub query: String,
+pub struct Request<'a> {
+    /// The method verb as received (`GET`, `HEAD`).
+    pub method: &'a str,
+    /// The verbatim request target, still percent-encoded — the raw
+    /// fast-lane cache key (e.g. `/v1/query?uarch=Skylake&port=5`).
+    pub target: &'a str,
     /// `true` when the connection should stay open after the response.
     pub keep_alive: bool,
+    /// The raw `If-None-Match` header value, if present.
+    pub if_none_match: Option<&'a str>,
+    /// Bytes this head occupied in the buffer (consumed after the
+    /// response is written — see [`RequestBuf::consume`]).
+    pub head_len: usize,
+}
+
+impl Request<'_> {
+    /// The path component of the target (before `?`).
+    #[must_use]
+    pub fn path(&self) -> &str {
+        self.target.split_once('?').map_or(self.target, |(path, _)| path)
+    }
+
+    /// The raw query string after `?` (empty if absent).
+    #[must_use]
+    pub fn query(&self) -> &str {
+        self.target.split_once('?').map_or("", |(_, query)| query)
+    }
 }
 
 /// Why reading a request failed.
@@ -39,7 +75,7 @@ pub enum RequestError {
     /// The request was malformed or exceeded a parser cap; the payload is
     /// the status code and message to answer with.
     Bad(u16, String),
-    /// An I/O error on the socket.
+    /// An I/O error on the socket (including the idle keep-alive timeout).
     Io(io::Error),
 }
 
@@ -49,188 +85,423 @@ impl From<io::Error> for RequestError {
     }
 }
 
-fn read_line_bounded(
-    reader: &mut impl BufRead,
-    cap: usize,
-    what: &str,
-) -> Result<Option<String>, RequestError> {
-    let mut line = Vec::new();
-    loop {
-        let buf = reader.fill_buf()?;
-        if buf.is_empty() {
-            // Clean EOF before any byte of this line.
-            if line.is_empty() {
-                return Ok(None);
-            }
-            return Err(RequestError::Bad(400, format!("connection closed mid-{what}")));
-        }
-        match buf.iter().position(|&b| b == b'\n') {
-            Some(nl) => {
-                line.extend_from_slice(&buf[..nl]);
-                reader.consume(nl + 1);
-                if line.last() == Some(&b'\r') {
-                    line.pop();
-                }
-                if line.len() > cap {
-                    return Err(RequestError::Bad(431, format!("{what} too long")));
-                }
-                return String::from_utf8(line)
-                    .map(Some)
-                    .map_err(|_| RequestError::Bad(400, format!("{what} is not UTF-8")));
-            }
-            None => {
-                let taken = buf.len();
-                line.extend_from_slice(buf);
-                reader.consume(taken);
-                if line.len() > cap {
-                    return Err(RequestError::Bad(431, format!("{what} too long")));
-                }
-            }
-        }
+fn bad(status: u16, message: impl Into<String>) -> RequestError {
+    RequestError::Bad(status, message.into())
+}
+
+/// The per-connection request buffer: one fixed [`MAX_HEAD`]-byte
+/// allocation made at connection setup, reused for every request the
+/// connection carries (including pipelined ones). See the module docs.
+pub struct RequestBuf {
+    buf: Box<[u8]>,
+    /// Bytes of `buf` currently holding unconsumed socket data.
+    filled: usize,
+    /// Scan cursor for the head terminator, so refills never rescan.
+    scanned: usize,
+}
+
+impl Default for RequestBuf {
+    fn default() -> RequestBuf {
+        RequestBuf::new()
     }
 }
 
-/// Reads and parses one request head from `reader`.
-///
-/// # Errors
-///
-/// [`RequestError::ConnectionClosed`] on clean EOF before a request,
-/// [`RequestError::Bad`] for malformed or over-limit requests (answer it
-/// and close), [`RequestError::Io`] for socket failures.
-pub fn read_request(reader: &mut impl BufRead) -> Result<Request, RequestError> {
-    let Some(request_line) = read_line_bounded(reader, MAX_REQUEST_LINE, "request line")? else {
-        return Err(RequestError::ConnectionClosed);
-    };
+impl RequestBuf {
+    /// A fresh buffer (the only allocation this type ever makes).
+    #[must_use]
+    pub fn new() -> RequestBuf {
+        RequestBuf { buf: vec![0u8; MAX_HEAD].into_boxed_slice(), filled: 0, scanned: 0 }
+    }
+
+    /// Reads one request head from `stream` (using bytes already buffered
+    /// first) and parses it in place.
+    ///
+    /// After writing the response, call [`RequestBuf::consume`] with the
+    /// request's [`Request::head_len`] to release the bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`RequestError::ConnectionClosed`] on clean EOF before a request,
+    /// [`RequestError::Bad`] for malformed or over-limit requests (answer
+    /// it and close), [`RequestError::Io`] for socket failures.
+    pub fn read_request(&mut self, stream: &mut impl Read) -> Result<Request<'_>, RequestError> {
+        let head_len = loop {
+            // Resume the terminator scan two bytes back: a terminator may
+            // straddle the previous fill boundary.
+            let from = self.scanned.saturating_sub(2);
+            if let Some(end) = find_head_end(&self.buf[..self.filled], from) {
+                break end;
+            }
+            self.scanned = self.filled;
+            if self.filled == self.buf.len() {
+                return Err(bad(431, "request head too large"));
+            }
+            let read = stream.read(&mut self.buf[self.filled..])?;
+            if read == 0 {
+                if self.filled == 0 {
+                    return Err(RequestError::ConnectionClosed);
+                }
+                return Err(bad(400, "connection closed mid-request"));
+            }
+            self.filled += read;
+        };
+        parse_head(&self.buf[..head_len])
+    }
+
+    /// Releases the bytes of an answered request, shifting any pipelined
+    /// remainder to the front of the buffer.
+    pub fn consume(&mut self, head_len: usize) {
+        debug_assert!(head_len <= self.filled);
+        self.buf.copy_within(head_len..self.filled, 0);
+        self.filled -= head_len;
+        self.scanned = 0;
+    }
+}
+
+/// Finds the end of a request head within `buf[..]`, scanning from
+/// `from`: the byte index just past the first empty line (`LF LF` or
+/// `LF CR LF`), or `None` when the head is still incomplete.
+fn find_head_end(buf: &[u8], from: usize) -> Option<usize> {
+    for i in from..buf.len() {
+        if buf[i] == b'\n' {
+            if buf.get(i + 1) == Some(&b'\n') {
+                return Some(i + 2);
+            }
+            if buf.get(i + 1..i + 3) == Some(b"\r\n".as_slice()) {
+                return Some(i + 3);
+            }
+        }
+    }
+    None
+}
+
+/// Parses one complete head (`head` ends with its empty line).
+fn parse_head(head: &[u8]) -> Result<Request<'_>, RequestError> {
+    let text = std::str::from_utf8(head).map_err(|_| bad(400, "request head is not UTF-8"))?;
+    let mut lines = text.split('\n').map(|line| line.strip_suffix('\r').unwrap_or(line));
+
+    let request_line = lines.next().unwrap_or("");
+    if request_line.len() > MAX_REQUEST_LINE {
+        return Err(bad(431, "request line too long"));
+    }
     let mut parts = request_line.split(' ');
     let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
         (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
-        _ => {
-            return Err(RequestError::Bad(400, format!("malformed request line {request_line:?}")))
-        }
+        _ => return Err(bad(400, format!("malformed request line {request_line:?}"))),
     };
-    let keep_alive_default = match version {
+    let mut keep_alive = match version {
         "HTTP/1.1" => true,
         "HTTP/1.0" => false,
-        other => return Err(RequestError::Bad(505, format!("unsupported version {other:?}"))),
+        other => return Err(bad(505, format!("unsupported version {other:?}"))),
     };
 
-    let mut keep_alive = keep_alive_default;
+    let mut if_none_match = None;
     let mut headers = 0usize;
-    loop {
-        let Some(line) = read_line_bounded(reader, MAX_HEADER_LINE, "header")? else {
-            return Err(RequestError::Bad(400, "connection closed mid-headers".into()));
-        };
+    for line in lines {
         if line.is_empty() {
-            break;
+            continue; // the terminator's empty line(s)
+        }
+        if line.len() > MAX_HEADER_LINE {
+            return Err(bad(431, "header too long"));
         }
         headers += 1;
         if headers > MAX_HEADERS {
-            return Err(RequestError::Bad(431, "too many headers".into()));
+            return Err(bad(431, "too many headers"));
         }
         let Some((name, value)) = line.split_once(':') else {
-            return Err(RequestError::Bad(400, format!("malformed header {line:?}")));
+            return Err(bad(400, format!("malformed header {line:?}")));
         };
-        let name = name.trim().to_ascii_lowercase();
-        let value = value.trim();
-        match name.as_str() {
-            "connection" => {
-                // Token list; "close" or "keep-alive" decide, case-insensitively.
-                for token in value.split(',') {
-                    match token.trim().to_ascii_lowercase().as_str() {
-                        "close" => keep_alive = false,
-                        "keep-alive" => keep_alive = true,
-                        _ => {}
-                    }
+        let (name, value) = (name.trim(), value.trim());
+        if name.eq_ignore_ascii_case("connection") {
+            // Token list; "close" or "keep-alive" decide, case-insensitively.
+            for token in value.split(',') {
+                let token = token.trim();
+                if token.eq_ignore_ascii_case("close") {
+                    keep_alive = false;
+                } else if token.eq_ignore_ascii_case("keep-alive") {
+                    keep_alive = true;
                 }
             }
+        } else if name.eq_ignore_ascii_case("if-none-match") {
+            if_none_match = Some(value);
+        } else if name.eq_ignore_ascii_case("content-length") {
             // A read-only API takes no bodies; reject instead of
             // desynchronizing the connection by ignoring them.
-            "content-length" if value.parse::<u64>().map_or(true, |n| n > 0) => {
-                return Err(RequestError::Bad(413, "request bodies are not accepted".into()));
+            if value.parse::<u64>().map_or(true, |n| n > 0) {
+                return Err(bad(413, "request bodies are not accepted"));
             }
-            "content-length" => {}
-            "transfer-encoding" => {
-                return Err(RequestError::Bad(501, "transfer-encoding is not supported".into()));
-            }
-            _ => {}
+        } else if name.eq_ignore_ascii_case("transfer-encoding") {
+            return Err(bad(501, "transfer-encoding is not supported"));
         }
     }
 
-    let (path, query) = match target.split_once('?') {
-        Some((path, query)) => (path.to_string(), query.to_string()),
-        None => (target.to_string(), String::new()),
-    };
-    Ok(Request { method: method.to_string(), path, query, keep_alive })
+    Ok(Request { method, target, keep_alive, if_none_match, head_len: head.len() })
 }
 
-/// The standard reason phrase for the status codes this server emits.
+/// The standard status line for the status codes this server emits.
 #[must_use]
-pub fn reason_phrase(status: u16) -> &'static str {
+pub fn status_line(status: u16) -> &'static str {
     match status {
-        200 => "OK",
-        400 => "Bad Request",
-        404 => "Not Found",
-        405 => "Method Not Allowed",
-        413 => "Payload Too Large",
-        431 => "Request Header Fields Too Large",
-        501 => "Not Implemented",
-        505 => "HTTP Version Not Supported",
-        _ => "Internal Server Error",
+        200 => "HTTP/1.1 200 OK\r\n",
+        304 => "HTTP/1.1 304 Not Modified\r\n",
+        400 => "HTTP/1.1 400 Bad Request\r\n",
+        404 => "HTTP/1.1 404 Not Found\r\n",
+        405 => "HTTP/1.1 405 Method Not Allowed\r\n",
+        413 => "HTTP/1.1 413 Payload Too Large\r\n",
+        431 => "HTTP/1.1 431 Request Header Fields Too Large\r\n",
+        501 => "HTTP/1.1 501 Not Implemented\r\n",
+        505 => "HTTP/1.1 505 HTTP Version Not Supported\r\n",
+        _ => "HTTP/1.1 500 Internal Server Error\r\n",
     }
 }
 
-/// Writes one `Content-Length`-delimited response.
+/// How much of the response to put on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BodyMode {
+    /// Headers + body (`GET`).
+    Full,
+    /// Identical headers (including `Content-Length`), no body (`HEAD`).
+    HeaderOnly,
+}
+
+/// Appends the decimal form of `v` without allocating.
+fn push_u64(out: &mut Vec<u8>, v: u64) {
+    let mut tmp = [0u8; 20];
+    let mut at = tmp.len();
+    let mut v = v;
+    loop {
+        at -= 1;
+        tmp[at] = b'0' + (v % 10) as u8;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    out.extend_from_slice(&tmp[at..]);
+}
+
+/// Formats an entity tag as the 16 lowercase hex digits of `etag` into a
+/// stack buffer (the quoted form on the wire is `"%016x"`).
+#[must_use]
+pub fn etag_hex(etag: u64) -> [u8; 16] {
+    const HEX: &[u8; 16] = b"0123456789abcdef";
+    let mut out = [0u8; 16];
+    for (i, digit) in out.iter_mut().enumerate() {
+        *digit = HEX[((etag >> ((15 - i) * 4)) & 0xF) as usize];
+    }
+    out
+}
+
+/// Whether an `If-None-Match` header value matches `etag` (our strong
+/// `"%016x"` form). List-aware; `*` matches any representation; a weak
+/// `W/` prefix is ignored for the comparison, as RFC 7232 prescribes for
+/// `If-None-Match`. Allocation-free.
+#[must_use]
+pub fn etag_matches(header: &str, etag: u64) -> bool {
+    let hex = etag_hex(etag);
+    header.split(',').any(|token| {
+        let token = token.trim();
+        if token == "*" {
+            return true;
+        }
+        let token = token.strip_prefix("W/").unwrap_or(token);
+        token.len() == 18
+            && token.starts_with('"')
+            && token.ends_with('"')
+            && token.as_bytes()[1..17] == hex
+    })
+}
+
+/// Writes `head` then `body` with as few syscalls as the socket allows —
+/// one `writev(2)` in the common case — retrying on short writes.
 ///
 /// # Errors
 ///
-/// Propagates socket write failures.
-pub fn write_response(
+/// Propagates socket write failures; a zero-length write is reported as
+/// [`io::ErrorKind::WriteZero`].
+pub fn write_all_vectored(
     writer: &mut impl Write,
-    status: u16,
-    content_type: &str,
-    body: &[u8],
-    keep_alive: bool,
+    mut head: &[u8],
+    mut body: &[u8],
 ) -> io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n\
-         Connection: {}\r\n\r\n",
-        reason_phrase(status),
-        body.len(),
-        if keep_alive { "keep-alive" } else { "close" },
-    );
-    writer.write_all(head.as_bytes())?;
-    writer.write_all(body)?;
-    writer.flush()
+    while !head.is_empty() || !body.is_empty() {
+        let written = if head.is_empty() {
+            writer.write(body)?
+        } else if body.is_empty() {
+            writer.write(head)?
+        } else {
+            writer.write_vectored(&[IoSlice::new(head), IoSlice::new(body)])?
+        };
+        if written == 0 {
+            return Err(io::Error::new(io::ErrorKind::WriteZero, "socket accepted 0 bytes"));
+        }
+        let from_head = written.min(head.len());
+        head = &head[from_head..];
+        body = &body[written - from_head..];
+    }
+    Ok(())
+}
+
+/// Everything that frames one response besides the body bytes.
+#[derive(Debug, Clone, Copy)]
+pub struct ResponseHead<'a> {
+    /// Status code ([`status_line`] supplies the reason phrase).
+    pub status: u16,
+    /// `Content-Type` value (omitted for 304s, which carry no body).
+    pub content_type: &'a str,
+    /// Whether to announce `Connection: keep-alive` or `close`.
+    pub keep_alive: bool,
+    /// Strong entity tag to emit as `ETag: "%016x"`, if any.
+    pub etag: Option<u64>,
+    /// Whether the body bytes follow the head ([`BodyMode::HeaderOnly`]
+    /// for `HEAD`).
+    pub mode: BodyMode,
+}
+
+/// The per-connection response assembler: one reusable header scratch,
+/// response heads built from static fragments, emitted together with the
+/// body in a single vectored write. See the module docs.
+#[derive(Debug, Default)]
+pub struct ResponseBuf {
+    head: Vec<u8>,
+}
+
+impl ResponseBuf {
+    /// A fresh scratch (grows to steady-state size on first use, then
+    /// never reallocates).
+    #[must_use]
+    pub fn new() -> ResponseBuf {
+        ResponseBuf { head: Vec::with_capacity(256) }
+    }
+
+    /// Writes one `Content-Length`-delimited response (or, for status
+    /// 304, a headers-only response without `Content-Length`, per RFC
+    /// 7232 — pass the 200 response's `etag` so the client can revalidate).
+    ///
+    /// `body` supplies `Content-Length` in all modes; [`BodyMode`] decides
+    /// whether the bytes themselves go on the wire (`HEAD` gets the
+    /// headers of the corresponding `GET` with no body).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket write failures.
+    pub fn write_response(
+        &mut self,
+        writer: &mut impl Write,
+        head: &ResponseHead<'_>,
+        body: &[u8],
+    ) -> io::Result<()> {
+        self.head.clear();
+        self.head.extend_from_slice(status_line(head.status).as_bytes());
+        if head.status != 304 {
+            self.head.extend_from_slice(b"Content-Type: ");
+            self.head.extend_from_slice(head.content_type.as_bytes());
+            self.head.extend_from_slice(b"\r\nContent-Length: ");
+            push_u64(&mut self.head, body.len() as u64);
+            self.head.extend_from_slice(b"\r\n");
+        }
+        if let Some(etag) = head.etag {
+            self.head.extend_from_slice(b"ETag: \"");
+            self.head.extend_from_slice(&etag_hex(etag));
+            self.head.extend_from_slice(b"\"\r\n");
+        }
+        self.head.extend_from_slice(if head.keep_alive {
+            b"Connection: keep-alive\r\n\r\n".as_slice()
+        } else {
+            b"Connection: close\r\n\r\n".as_slice()
+        });
+        let body =
+            if head.status == 304 || head.mode == BodyMode::HeaderOnly { &[][..] } else { body };
+        write_all_vectored(writer, &self.head, body)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::io::BufReader;
 
-    fn parse(raw: &str) -> Result<Request, RequestError> {
-        read_request(&mut BufReader::new(raw.as_bytes()))
+    /// Parses every request out of `raw`, asserting the buffer drains.
+    fn parse_all(raw: &str) -> Result<Vec<(String, String, bool, Option<String>)>, RequestError> {
+        let mut reader = raw.as_bytes();
+        let mut buf = RequestBuf::new();
+        let mut out = Vec::new();
+        loop {
+            match buf.read_request(&mut reader) {
+                Ok(request) => {
+                    let parsed = (
+                        request.method.to_string(),
+                        request.target.to_string(),
+                        request.keep_alive,
+                        request.if_none_match.map(str::to_string),
+                    );
+                    let head_len = request.head_len;
+                    out.push(parsed);
+                    buf.consume(head_len);
+                }
+                Err(RequestError::ConnectionClosed) => return Ok(out),
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn parse(raw: &str) -> Result<(String, String, bool, Option<String>), RequestError> {
+        parse_all(raw).map(|mut v| v.remove(0))
     }
 
     #[test]
     fn parses_get_with_query_and_keep_alive_defaults() {
-        let req =
+        let (method, target, keep_alive, _) =
             parse("GET /v1/query?uarch=Skylake&port=5 HTTP/1.1\r\nHost: x\r\n\r\n").expect("parse");
-        assert_eq!(req.method, "GET");
-        assert_eq!(req.path, "/v1/query");
-        assert_eq!(req.query, "uarch=Skylake&port=5");
-        assert!(req.keep_alive, "HTTP/1.1 defaults to keep-alive");
-        let req = parse("GET / HTTP/1.0\r\n\r\n").expect("parse");
-        assert!(!req.keep_alive, "HTTP/1.0 defaults to close");
-        let req = parse("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").expect("parse");
-        assert!(req.keep_alive);
-        let req = parse("GET / HTTP/1.1\r\nConnection: close\r\n\r\n").expect("parse");
-        assert!(!req.keep_alive);
+        assert_eq!(method, "GET");
+        assert_eq!(target, "/v1/query?uarch=Skylake&port=5");
+        assert!(keep_alive, "HTTP/1.1 defaults to keep-alive");
+        let (_, _, keep_alive, _) = parse("GET / HTTP/1.0\r\n\r\n").expect("parse");
+        assert!(!keep_alive, "HTTP/1.0 defaults to close");
+        let (_, _, keep_alive, _) =
+            parse("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").expect("parse");
+        assert!(keep_alive);
+        let (_, _, keep_alive, _) =
+            parse("GET / HTTP/1.1\r\nConnection: close\r\n\r\n").expect("parse");
+        assert!(!keep_alive);
+    }
+
+    #[test]
+    fn path_and_query_split() {
+        let raw = b"GET /v1/query?uarch=Skylake HTTP/1.1\r\n\r\n";
+        let mut buf = RequestBuf::new();
+        let request = buf.read_request(&mut raw.as_slice()).expect("parse");
+        assert_eq!(request.path(), "/v1/query");
+        assert_eq!(request.query(), "uarch=Skylake");
+        let raw = b"GET /v1/stats HTTP/1.1\r\n\r\n";
+        let mut buf = RequestBuf::new();
+        let request = buf.read_request(&mut raw.as_slice()).expect("parse");
+        assert_eq!(request.path(), "/v1/stats");
+        assert_eq!(request.query(), "");
+    }
+
+    #[test]
+    fn pipelined_requests_parse_in_sequence() {
+        let requests = parse_all(
+            "GET /a HTTP/1.1\r\n\r\nHEAD /b HTTP/1.1\r\nIf-None-Match: \"00000000000000aa\"\r\n\r\n\
+             GET /c HTTP/1.1\r\nConnection: close\r\n\r\n",
+        )
+        .expect("parse");
+        assert_eq!(requests.len(), 3);
+        assert_eq!(requests[0].1, "/a");
+        assert_eq!(requests[1].0, "HEAD");
+        assert_eq!(requests[1].3.as_deref(), Some("\"00000000000000aa\""));
+        assert!(!requests[2].2, "explicit close on the last request");
+    }
+
+    #[test]
+    fn bare_lf_line_endings_are_accepted() {
+        let (method, target, ..) = parse("GET /lf HTTP/1.1\nHost: x\n\n").expect("parse");
+        assert_eq!((method.as_str(), target.as_str()), ("GET", "/lf"));
     }
 
     #[test]
     fn rejects_malformed_and_oversized() {
-        assert!(matches!(parse(""), Err(RequestError::ConnectionClosed)));
+        assert!(matches!(parse_all(""), Ok(v) if v.is_empty()));
         assert!(matches!(parse("GARBAGE\r\n\r\n"), Err(RequestError::Bad(400, _))));
         assert!(matches!(parse("GET / HTTP/2\r\n\r\n"), Err(RequestError::Bad(505, _))));
         assert!(matches!(
@@ -239,6 +510,8 @@ mod tests {
         ));
         let long = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(MAX_REQUEST_LINE));
         assert!(matches!(parse(&long), Err(RequestError::Bad(431, _))));
+        let huge = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(MAX_HEAD));
+        assert!(matches!(parse(&huge), Err(RequestError::Bad(431, _))));
         let many = format!("GET / HTTP/1.1\r\n{}\r\n", "X-H: 1\r\n".repeat(MAX_HEADERS + 1));
         assert!(matches!(parse(&many), Err(RequestError::Bad(431, _))));
         assert!(matches!(
@@ -249,22 +522,145 @@ mod tests {
             parse("GET / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
             Err(RequestError::Bad(501, _))
         ));
+        // Mid-head EOF.
+        assert!(matches!(parse("GET / HTTP/1.1\r\nHost: x\r\n"), Err(RequestError::Bad(400, _))));
     }
 
     #[test]
     fn zero_content_length_is_accepted() {
-        let req = parse("GET / HTTP/1.1\r\nContent-Length: 0\r\n\r\n").expect("parse");
-        assert_eq!(req.path, "/");
+        let (_, target, ..) = parse("GET / HTTP/1.1\r\nContent-Length: 0\r\n\r\n").expect("parse");
+        assert_eq!(target, "/");
     }
 
     #[test]
-    fn response_is_content_length_delimited() {
-        let mut out = Vec::new();
-        write_response(&mut out, 200, "application/json", b"{}\n", true).expect("write");
-        let text = String::from_utf8(out).expect("utf-8");
+    fn etag_matching_is_exact_list_aware_and_wildcard() {
+        let etag = 0x00ab_cdef_0123_4567;
+        let quoted = "\"00abcdef01234567\"";
+        assert!(etag_matches(quoted, etag));
+        assert!(etag_matches(&format!("\"other\", {quoted}"), etag));
+        assert!(etag_matches(&format!("W/{quoted}"), etag), "weak compare for If-None-Match");
+        assert!(etag_matches("*", etag));
+        assert!(!etag_matches("\"00abcdef01234568\"", etag));
+        assert!(!etag_matches("00abcdef01234567", etag), "unquoted tags never match");
+        assert!(!etag_matches("", etag));
+        assert_eq!(&etag_hex(etag), b"00abcdef01234567");
+    }
+
+    #[test]
+    fn response_is_content_length_delimited_and_single_write() {
+        /// Counts write calls to prove head+body coalesce into one
+        /// vectored write.
+        struct CountingWriter {
+            out: Vec<u8>,
+            calls: usize,
+        }
+        impl Write for CountingWriter {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                self.calls += 1;
+                self.out.extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn write_vectored(&mut self, bufs: &[IoSlice<'_>]) -> io::Result<usize> {
+                self.calls += 1;
+                Ok(bufs
+                    .iter()
+                    .map(|b| {
+                        self.out.extend_from_slice(b);
+                        b.len()
+                    })
+                    .sum())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let mut writer = CountingWriter { out: Vec::new(), calls: 0 };
+        let mut response = ResponseBuf::new();
+        response
+            .write_response(
+                &mut writer,
+                &ResponseHead {
+                    status: 200,
+                    content_type: "application/json",
+                    keep_alive: true,
+                    etag: Some(0xff),
+                    mode: BodyMode::Full,
+                },
+                b"{}\n",
+            )
+            .expect("write");
+        assert_eq!(writer.calls, 1, "head and body must go out in one vectored write");
+        let text = String::from_utf8(writer.out).expect("utf-8");
         assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
         assert!(text.contains("Content-Length: 3\r\n"));
+        assert!(text.contains("ETag: \"00000000000000ff\"\r\n"));
         assert!(text.contains("Connection: keep-alive\r\n"));
         assert!(text.ends_with("\r\n\r\n{}\n"));
+    }
+
+    #[test]
+    fn head_mode_and_304_suppress_the_body() {
+        let mut out = Vec::new();
+        let mut response = ResponseBuf::new();
+        response
+            .write_response(
+                &mut out,
+                &ResponseHead {
+                    status: 200,
+                    content_type: "application/json",
+                    keep_alive: true,
+                    etag: None,
+                    mode: BodyMode::HeaderOnly,
+                },
+                b"{}\n",
+            )
+            .expect("write");
+        let text = String::from_utf8(out).expect("utf-8");
+        assert!(text.contains("Content-Length: 3\r\n"), "HEAD keeps the GET Content-Length");
+        assert!(text.ends_with("\r\n\r\n"), "no body bytes follow");
+
+        let mut out = Vec::new();
+        response
+            .write_response(
+                &mut out,
+                &ResponseHead {
+                    status: 304,
+                    content_type: "application/json",
+                    keep_alive: true,
+                    etag: Some(1),
+                    mode: BodyMode::Full,
+                },
+                b"{}\n",
+            )
+            .expect("write");
+        let text = String::from_utf8(out).expect("utf-8");
+        assert!(text.starts_with("HTTP/1.1 304 Not Modified\r\n"));
+        assert!(!text.contains("Content-Length"), "304 has no body to delimit");
+        assert!(text.contains("ETag: \"0000000000000001\"\r\n"));
+        assert!(text.ends_with("\r\n\r\n"));
+    }
+
+    #[test]
+    fn vectored_write_handles_short_writes() {
+        /// A writer that accepts one byte per call.
+        struct TrickleWriter(Vec<u8>);
+        impl Write for TrickleWriter {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                self.0.push(buf[0]);
+                Ok(1)
+            }
+            fn write_vectored(&mut self, bufs: &[IoSlice<'_>]) -> io::Result<usize> {
+                let first = bufs.iter().find(|b| !b.is_empty()).expect("non-empty");
+                self.0.push(first[0]);
+                Ok(1)
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut writer = TrickleWriter(Vec::new());
+        write_all_vectored(&mut writer, b"head|", b"body").expect("write");
+        assert_eq!(writer.0, b"head|body");
     }
 }

@@ -10,12 +10,27 @@
 //!    request), the [`uops_db::QueryExec`] executor, and deterministic
 //!    [`uops_db::ResultEncoder`]s;
 //! 2. **service** ([`QueryService`]): transport-agnostic — owns an `Arc`
-//!    of a segment-backed database and a sharded LRU [`ResponseCache`] of
-//!    **encoded bytes**, so a cache hit skips planning, execution, and
-//!    encoding entirely (hit/miss/eviction/execution counters exposed);
+//!    of a segment-backed database and **two cache tiers** of encoded
+//!    bytes. The *fingerprint tier* (a sharded LRU [`ResponseCache`]
+//!    keyed by the canonical plan fingerprint) makes a hit skip planning,
+//!    execution, and encoding; the *raw fast lane* (a second tier keyed
+//!    by the **verbatim request target**) additionally skips
+//!    percent-decoding, plan parsing, canonicalization, and
+//!    fingerprinting — a hot URL collapses to one hash, one map probe,
+//!    and an `Arc` bump. Both tiers verify the full request string on
+//!    hit, so a 64-bit collision is a miss, never a wrong answer.
+//!    Every cacheable response carries a strong **ETag** (plan
+//!    fingerprint ⊕ store content hash); `If-None-Match` revalidations
+//!    answer `304 Not Modified` with no body at all.
 //! 3. **transport** ([`Server`]): a dependency-free HTTP/1.1 server whose
-//!    accept/worker loop runs on [`uops_pool::TaskPool`], routing
-//!    `/v1/query`, `/v1/record/{mnemonic}`, `/v1/diff`, and `/v1/stats`.
+//!    accept/worker loop runs on [`uops_pool::TaskPool`], routing `GET`
+//!    and `HEAD` on `/v1/query`, `/v1/record/{mnemonic}`, `/v1/diff`, and
+//!    `/v1/stats`. The hot path is **allocation-free and
+//!    syscall-minimal**: requests parse in place out of a reusable
+//!    per-connection buffer, responses assemble in a reusable scratch
+//!    from precomputed header fragments, and head + body leave in a
+//!    single vectored write (verified by a counting-global-allocator
+//!    integration test driving real sockets).
 //!
 //! Responses over HTTP are byte-identical to in-process
 //! `QueryExec` + encoder output for the same database — the transport adds
@@ -40,6 +55,13 @@
 //! ```
 //!
 //! Then: `curl 'http://127.0.0.1:8080/v1/query?uarch=Skylake&port=5'`.
+//! Responses carry a strong `ETag`; a revalidation
+//! (`curl -H 'If-None-Match: "<etag>"' ...`) returns `304 Not Modified`
+//! with no body, and `curl -I` (`HEAD`) returns the headers alone. With
+//! the `mmap` feature (`cargo build --features mmap`, 64-bit Unix),
+//! `serve --mmap`
+//! maps the segment file instead of reading it — O(header) open and
+//! page-cache sharing across replicas ([`uops_db::Segment::open_mmap`]).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -49,7 +71,6 @@ pub mod cache;
 pub mod http;
 pub mod service;
 
-use std::io::{BufReader, BufWriter};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -67,12 +88,42 @@ const KEEP_ALIVE_TIMEOUT: Duration = Duration::from_secs(5);
 /// Most requests served over one connection before it is closed.
 const MAX_REQUESTS_PER_CONNECTION: usize = 1024;
 
+/// Answers one request by its verbatim target, trying the raw fast lane
+/// first: a repeated hot URL is served straight from the raw-target cache
+/// tier — no percent-decoding, no plan parsing, no canonicalization, no
+/// fingerprinting, no allocation — falling through to [`route`] (and the
+/// fingerprint tier inside the service) on a miss, after which cacheable
+/// 200s are promoted into the fast lane for the next identical target.
+///
+/// `HEAD` shares `GET`'s cache entries; the transport suppresses the body.
+#[must_use]
+pub fn respond(service: &QueryService, method: &str, target: &str) -> ServiceResponse {
+    if method != "GET" && method != "HEAD" {
+        return ServiceResponse::error(405, "only GET and HEAD are supported");
+    }
+    if let Some(hit) = service.raw_response(target) {
+        return hit;
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((path, query)) => (path, query),
+        None => (target, ""),
+    };
+    let response = route(service, "GET", path, query);
+    // Promote cacheable results into the fast lane. Errors carry no ETag
+    // and /v1/stats would cache its own staleness; both stay out.
+    if response.status == 200 && path != "/v1/stats" {
+        service.raw_store(target, &response);
+    }
+    response
+}
+
 /// Routes one parsed request to the service. Transport-independent (and
 /// directly testable): the HTTP layer only frames what this returns.
+/// `HEAD` routes exactly like `GET` (the transport suppresses the body).
 #[must_use]
 pub fn route(service: &QueryService, method: &str, path: &str, query: &str) -> ServiceResponse {
-    if method != "GET" {
-        return ServiceResponse::error(405, "only GET is supported");
+    if method != "GET" && method != "HEAD" {
+        return ServiceResponse::error(405, "only GET and HEAD are supported");
     }
     // Split the format selector off the query string; the remaining pairs
     // belong to the endpoint (and QueryPlan parsing stays strict).
@@ -283,36 +334,70 @@ impl Server {
     }
 }
 
-/// Serves one connection: read request, route, write response, repeat
-/// while keep-alive holds.
+/// Serves one connection: read request (in place, into the connection's
+/// reusable buffer), answer via the fast lane, emit one vectored write,
+/// repeat while keep-alive holds. Steady state allocates nothing: the
+/// request buffer, response scratch, and cached bodies are all reused.
 fn serve_connection(stream: TcpStream, service: &QueryService) {
     let _ = stream.set_read_timeout(Some(KEEP_ALIVE_TIMEOUT));
     let _ = stream.set_nodelay(true);
-    let Ok(write_half) = stream.try_clone() else { return };
-    let mut reader = BufReader::new(stream);
-    let mut writer = BufWriter::new(write_half);
+    let Ok(mut writer) = stream.try_clone() else { return };
+    let mut reader = stream;
+    let mut request_buf = http::RequestBuf::new();
+    let mut response_buf = http::ResponseBuf::new();
     for served in 0..MAX_REQUESTS_PER_CONNECTION {
-        let request = match http::read_request(&mut reader) {
-            Ok(request) => request,
-            Err(http::RequestError::ConnectionClosed) => return,
-            Err(http::RequestError::Bad(status, message)) => {
-                let body = ServiceResponse::error(status, &message);
-                let _ =
-                    http::write_response(&mut writer, status, body.content_type, &body.body, false);
-                return;
-            }
-            Err(http::RequestError::Io(_)) => return,
+        // The parsed request borrows `request_buf`; everything needed
+        // beyond this block is captured before the borrow is released.
+        let (response, head_len, keep_alive, mode, not_modified) = {
+            let request = match request_buf.read_request(&mut reader) {
+                Ok(request) => request,
+                Err(http::RequestError::ConnectionClosed) => return,
+                Err(http::RequestError::Bad(status, message)) => {
+                    let body = ServiceResponse::error(status, &message);
+                    let _ = response_buf.write_response(
+                        &mut writer,
+                        &http::ResponseHead {
+                            status,
+                            content_type: body.content_type,
+                            keep_alive: false,
+                            etag: None,
+                            mode: http::BodyMode::Full,
+                        },
+                        &body.body,
+                    );
+                    return;
+                }
+                Err(http::RequestError::Io(_)) => return,
+            };
+            let keep_alive = request.keep_alive && served + 1 < MAX_REQUESTS_PER_CONNECTION;
+            let response = respond(service, request.method, request.target);
+            let not_modified = response.status == 200
+                && match (response.etag, request.if_none_match) {
+                    (Some(etag), Some(header)) => http::etag_matches(header, etag),
+                    _ => false,
+                };
+            let mode = if request.method == "HEAD" {
+                http::BodyMode::HeaderOnly
+            } else {
+                http::BodyMode::Full
+            };
+            (response, request.head_len, keep_alive, mode, not_modified)
         };
-        let keep_alive = request.keep_alive && served + 1 < MAX_REQUESTS_PER_CONNECTION;
-        let response = route(service, &request.method, &request.path, &request.query);
-        if http::write_response(
-            &mut writer,
-            response.status,
-            response.content_type,
-            &response.body,
-            keep_alive,
-        )
-        .is_err()
+        request_buf.consume(head_len);
+        let status = if not_modified { 304 } else { response.status };
+        if response_buf
+            .write_response(
+                &mut writer,
+                &http::ResponseHead {
+                    status,
+                    content_type: response.content_type,
+                    keep_alive,
+                    etag: response.etag,
+                    mode,
+                },
+                &response.body,
+            )
+            .is_err()
             || !keep_alive
         {
             return;
@@ -380,6 +465,64 @@ mod tests {
         );
         assert_eq!(route(&service, "GET", "/nope", "").status, 404);
         assert_eq!(route(&service, "POST", "/v1/query", "").status, 405);
+        assert_eq!(route(&service, "HEAD", "/v1/query", "uarch=Skylake").status, 200);
+        assert_eq!(route(&service, "HEAD", "/v1/stats", "").status, 200);
+    }
+
+    #[test]
+    fn respond_serves_repeats_from_the_raw_fast_lane() {
+        let service = service();
+        let cold = respond(&service, "GET", "/v1/query?port=6&uarch=Skylake");
+        let stats = service.stats();
+        assert_eq!((stats.raw.hits, stats.raw.misses), (0, 1));
+        assert_eq!(stats.cache.misses, 1);
+
+        // Identical verbatim target: raw hit — the fingerprint tier, the
+        // parser, and the executor are all left untouched.
+        let warm = respond(&service, "GET", "/v1/query?port=6&uarch=Skylake");
+        let stats = service.stats();
+        assert_eq!(stats.raw.hits, 1, "verbatim repeat must hit the fast lane");
+        assert_eq!(stats.cache.hits, 0, "fast-lane hit never reaches the fingerprint tier");
+        assert_eq!(stats.executions, 1);
+        assert_eq!(warm.body, cold.body);
+        assert!(Arc::ptr_eq(&warm.body, &cold.body), "fast lane shares the stored bytes");
+        assert_eq!(warm.etag, cold.etag);
+        assert!(warm.etag.is_some(), "cacheable responses carry an ETag");
+
+        // A different spelling of the same plan misses the raw tier but
+        // hits the fingerprint tier — and returns the same bytes + ETag.
+        let respelled = respond(&service, "GET", "/v1/query?uarch=Skylake&port=6");
+        let stats = service.stats();
+        assert_eq!(stats.raw.misses, 2);
+        assert_eq!(stats.cache.hits, 1, "canonicalized spelling hits the fingerprint tier");
+        assert_eq!(stats.executions, 1, "no re-execution for a respelled plan");
+        assert_eq!(respelled.body, cold.body);
+        assert_eq!(respelled.etag, cold.etag, "ETag is spelling-independent");
+
+        // HEAD shares GET's fast-lane entries.
+        let head = respond(&service, "HEAD", "/v1/query?port=6&uarch=Skylake");
+        assert_eq!(service.stats().raw.hits, 2);
+        assert_eq!(head.body, cold.body, "the transport, not the cache, suppresses HEAD bodies");
+
+        // Other methods are rejected before touching any tier.
+        assert_eq!(respond(&service, "POST", "/v1/query").status, 405);
+    }
+
+    #[test]
+    fn respond_never_caches_stats_or_errors() {
+        let service = service();
+        for _ in 0..2 {
+            let stats_response = respond(&service, "GET", "/v1/stats");
+            assert_eq!(stats_response.status, 200);
+            assert!(stats_response.etag.is_none(), "stats must not be revalidatable");
+        }
+        assert_eq!(service.stats().raw.hits, 0, "stats must never be served from the fast lane");
+        for _ in 0..2 {
+            assert_eq!(respond(&service, "GET", "/v1/query?bogus=1").status, 400);
+        }
+        let stats = service.stats();
+        assert_eq!(stats.raw.hits, 0, "errors must never be cached");
+        assert_eq!(stats.raw.entries, 0);
     }
 
     #[test]
@@ -425,8 +568,8 @@ mod tests {
         let handle = server.spawn();
 
         let mut stream = TcpStream::connect(addr).expect("connect");
-        // Two requests on one keep-alive connection: the second is a cache
-        // hit for the first.
+        // Two requests on one keep-alive connection: the second is a raw
+        // fast-lane hit for the first.
         let mut response = Vec::new();
         for _ in 0..2 {
             stream
@@ -438,8 +581,10 @@ mod tests {
         let mut stats = Vec::new();
         stream.read_to_end(&mut stats).expect("read stats");
         let stats_text = String::from_utf8_lossy(&stats);
-        assert!(stats_text.contains("\"hits\": 1"), "{stats_text}");
         assert!(stats_text.contains("\"executions\": 1"), "{stats_text}");
+        let service_stats = service.stats();
+        assert_eq!(service_stats.raw.hits, 1, "second identical URL hits the fast lane");
+        assert_eq!(service_stats.executions, 1);
 
         // In-process service call must produce the same payload bytes the
         // HTTP transport framed.

@@ -77,13 +77,23 @@ pub struct ServiceResponse {
     pub status: u16,
     /// MIME type of `body`.
     pub content_type: &'static str,
+    /// The strong entity tag — plan fingerprint ⊕ store content hash — for
+    /// cacheable results; `None` for errors and the (self-invalidating)
+    /// stats payload. A transport renders it as `ETag: "%016x"` and
+    /// answers a matching `If-None-Match` with `304 Not Modified`.
+    pub etag: Option<u64>,
     /// Encoded payload; shared with the cache on hits.
     pub body: Arc<[u8]>,
 }
 
 impl ServiceResponse {
     fn ok(cached: CachedResponse) -> ServiceResponse {
-        ServiceResponse { status: 200, content_type: cached.content_type, body: cached.body }
+        ServiceResponse {
+            status: 200,
+            content_type: cached.content_type,
+            etag: Some(cached.etag),
+            body: cached.body,
+        }
     }
 
     /// A JSON error response with the given status.
@@ -96,6 +106,7 @@ impl ServiceResponse {
         ServiceResponse {
             status,
             content_type: "application/json",
+            etag: None,
             body: Arc::from(body.into_bytes().as_slice()),
         }
     }
@@ -112,8 +123,13 @@ enum Store {
 /// Counter snapshot of a [`QueryService`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ServiceStats {
-    /// Cache counters (hits / misses / evictions / occupancy).
+    /// Fingerprint-tier cache counters (hits / misses / evictions /
+    /// occupancy), keyed by the canonical plan fingerprint.
     pub cache: CacheStats,
+    /// Raw fast-lane counters, keyed by the verbatim request target. A
+    /// raw hit skips percent-decoding, plan parsing, canonicalization,
+    /// and fingerprinting on top of what a fingerprint hit skips.
+    pub raw: CacheStats,
     /// Times the query executor actually ran a plan.
     pub executions: u64,
     /// Times a result encoder actually produced bytes.
@@ -124,6 +140,13 @@ pub struct ServiceStats {
 pub struct QueryService {
     store: Store,
     cache: ResponseCache,
+    /// The raw fast lane: verbatim request targets → encoded responses.
+    /// Entries share their body `Arc` with the fingerprint tier, so the
+    /// double-counted byte budget buys index entries, not body copies.
+    raw_cache: ResponseCache,
+    /// FNV-1a over the store's canonical image; ⊕ the plan fingerprint it
+    /// forms the strong ETag of every cacheable response.
+    content_hash: u64,
     executions: AtomicU64,
     encodes: AtomicU64,
 }
@@ -143,25 +166,109 @@ const CACHE_SHARDS: usize = 16;
 
 impl QueryService {
     /// Serves a zero-copy segment with a response cache of
-    /// `cache_capacity_bytes` (0 disables caching).
+    /// `cache_capacity_bytes` (0 disables caching) and a raw fast lane a
+    /// quarter that size (raw entries share their bodies with the
+    /// fingerprint tier, so the extra budget buys index entries only).
     #[must_use]
     pub fn from_segment(segment: Arc<Segment>, cache_capacity_bytes: usize) -> QueryService {
-        QueryService::with_store(Store::Segment(segment), cache_capacity_bytes)
+        QueryService::with_store(
+            Store::Segment(segment),
+            cache_capacity_bytes,
+            cache_capacity_bytes / 4,
+        )
+    }
+
+    /// [`QueryService::from_segment`] with an explicit raw fast-lane
+    /// budget (0 disables the fast lane; every request then pays plan
+    /// parsing and fingerprinting — the pre-fast-lane behavior,
+    /// benchmarked as the baseline).
+    #[must_use]
+    pub fn from_segment_with_raw_cache(
+        segment: Arc<Segment>,
+        cache_capacity_bytes: usize,
+        raw_cache_capacity_bytes: usize,
+    ) -> QueryService {
+        QueryService::with_store(
+            Store::Segment(segment),
+            cache_capacity_bytes,
+            raw_cache_capacity_bytes,
+        )
     }
 
     /// Serves an in-memory database (tests, embedding).
     #[must_use]
     pub fn from_db(db: Arc<InstructionDb>, cache_capacity_bytes: usize) -> QueryService {
-        QueryService::with_store(Store::Memory(db), cache_capacity_bytes)
+        QueryService::with_store(Store::Memory(db), cache_capacity_bytes, cache_capacity_bytes / 4)
     }
 
-    fn with_store(store: Store, cache_capacity_bytes: usize) -> QueryService {
+    /// [`QueryService::from_db`] with an explicit raw fast-lane budget.
+    #[must_use]
+    pub fn from_db_with_raw_cache(
+        db: Arc<InstructionDb>,
+        cache_capacity_bytes: usize,
+        raw_cache_capacity_bytes: usize,
+    ) -> QueryService {
+        QueryService::with_store(Store::Memory(db), cache_capacity_bytes, raw_cache_capacity_bytes)
+    }
+
+    fn with_store(
+        store: Store,
+        cache_capacity_bytes: usize,
+        raw_cache_capacity_bytes: usize,
+    ) -> QueryService {
+        // The content hash pins ETags to the exact data being served:
+        // segments hash their canonical image, in-memory stores hash
+        // their canonical snapshot encoding. Computed once at
+        // construction (segments are immutable per process).
+        let content_hash = match &store {
+            Store::Segment(segment) => fnv1a_64(segment.as_bytes()),
+            Store::Memory(db) => fnv1a_64(&uops_db::codec::encode(&db.export_snapshot())),
+        };
         QueryService {
             store,
             cache: ResponseCache::new(cache_capacity_bytes, CACHE_SHARDS),
+            raw_cache: ResponseCache::new(raw_cache_capacity_bytes, CACHE_SHARDS),
+            content_hash,
             executions: AtomicU64::new(0),
             encodes: AtomicU64::new(0),
         }
+    }
+
+    /// The FNV-1a hash of the store's canonical content — the second half
+    /// of every response ETag. Changes iff the served data changes.
+    #[must_use]
+    pub fn content_hash(&self) -> u64 {
+        self.content_hash
+    }
+
+    /// Looks up the raw fast lane: the response cached under the verbatim
+    /// request target, skipping percent-decoding, plan parsing,
+    /// canonicalization, and fingerprinting entirely. Collision-safe like
+    /// the fingerprint tier (the stored target must match byte-for-byte).
+    /// Allocation-free: a hit is a hash, a map probe, and an `Arc` bump.
+    #[must_use]
+    pub fn raw_response(&self, target: &str) -> Option<ServiceResponse> {
+        self.raw_cache.get(fnv1a_64(target.as_bytes()), target).map(ServiceResponse::ok)
+    }
+
+    /// Stores a 200 response in the raw fast lane under the verbatim
+    /// request target. The transport calls this after a fast-lane miss
+    /// was answered by the full routing pipeline; errors and uncacheable
+    /// endpoints must not be stored (the router decides).
+    pub fn raw_store(&self, target: &str, response: &ServiceResponse) {
+        let Some(etag) = response.etag else { return };
+        if response.status != 200 {
+            return;
+        }
+        self.raw_cache.insert(
+            fnv1a_64(target.as_bytes()),
+            target,
+            CachedResponse {
+                content_type: response.content_type,
+                etag,
+                body: Arc::clone(&response.body),
+            },
+        );
     }
 
     /// Number of records in the underlying store.
@@ -178,6 +285,7 @@ impl QueryService {
     pub fn stats(&self) -> ServiceStats {
         ServiceStats {
             cache: self.cache.stats(),
+            raw: self.raw_cache.stats(),
             executions: self.executions.load(Ordering::Relaxed),
             encodes: self.encodes.load(Ordering::Relaxed),
         }
@@ -229,28 +337,31 @@ impl QueryService {
     }
 
     /// The `/v1/stats` payload: service + cache counters and store
-    /// metadata as JSON. Never cached (it would invalidate itself).
+    /// metadata as JSON. Never cached (it would invalidate itself) and
+    /// never tagged (no ETag — a 304 for stats would be wrong).
     #[must_use]
     pub fn stats_response(&self) -> ServiceResponse {
         let stats = self.stats();
+        let tier = |s: &CacheStats| {
+            format!(
+                "{{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \"uncacheable\": {}, \
+                 \"entries\": {}, \"bytes\": {}, \"capacity_bytes\": {}}}",
+                s.hits, s.misses, s.evictions, s.uncacheable, s.entries, s.bytes, s.capacity_bytes,
+            )
+        };
         let body = format!(
-            "{{\n  \"records\": {},\n  \"cache\": {{\"hits\": {}, \"misses\": {}, \
-             \"evictions\": {}, \"uncacheable\": {}, \"entries\": {}, \"bytes\": {}, \
-             \"capacity_bytes\": {}}},\n  \"executions\": {},\n  \"encodes\": {}\n}}\n",
+            "{{\n  \"records\": {},\n  \"cache\": {},\n  \"raw\": {},\n  \
+             \"executions\": {},\n  \"encodes\": {}\n}}\n",
             self.record_count(),
-            stats.cache.hits,
-            stats.cache.misses,
-            stats.cache.evictions,
-            stats.cache.uncacheable,
-            stats.cache.entries,
-            stats.cache.bytes,
-            stats.cache.capacity_bytes,
+            tier(&stats.cache),
+            tier(&stats.raw),
             stats.executions,
             stats.encodes,
         );
         ServiceResponse {
             status: 200,
             content_type: "application/json",
+            etag: None,
             body: Arc::from(body.into_bytes().as_slice()),
         }
     }
@@ -276,7 +387,14 @@ impl QueryService {
             return ServiceResponse::ok(hit);
         }
         let body: Arc<[u8]> = Arc::from(produce(self).as_slice());
-        let cached = CachedResponse { content_type: encoding.content_type(), body };
+        // ETag = canonical-request fingerprint ⊕ store content hash: two
+        // spellings of the same plan share one tag, and every tag changes
+        // when the served data changes.
+        let cached = CachedResponse {
+            content_type: encoding.content_type(),
+            etag: key ^ self.content_hash,
+            body,
+        };
         self.cache.insert(key, request, cached.clone());
         ServiceResponse::ok(cached)
     }
@@ -419,6 +537,38 @@ mod tests {
         assert_eq!(service.stats().cache.hits, 2);
         let text = String::from_utf8(d1.body.to_vec()).expect("utf-8");
         assert!(text.contains("\"base\": \"Haswell\""));
+    }
+
+    #[test]
+    fn etag_is_plan_fingerprint_xor_content_hash() {
+        let service = service();
+        let plan = Query::new().uarch("Skylake").into_plan();
+        let response = service.query(&plan, Encoding::Json);
+        let request = format!("q/json?{}", plan.to_query_string());
+        assert_eq!(
+            response.etag,
+            Some(fnv1a_64(request.as_bytes()) ^ service.content_hash()),
+            "ETag composition is part of the wire contract"
+        );
+
+        // A store with different content produces a different hash — and
+        // therefore different ETags for the same plan.
+        let mut other_snapshot = snapshot();
+        other_snapshot.records.pop();
+        let other =
+            QueryService::from_db(Arc::new(InstructionDb::from_snapshot(&other_snapshot)), 1 << 20);
+        assert_ne!(service.content_hash(), other.content_hash());
+        assert_ne!(response.etag, other.query(&plan, Encoding::Json).etag);
+
+        // Same content served from segment vs memory also differs (the
+        // hashed canonical form differs), but within one store the tag is
+        // deterministic across identical services.
+        let again = QueryService::from_segment(
+            Arc::new(Segment::from_bytes(Segment::encode(&snapshot())).expect("segment")),
+            1 << 20,
+        );
+        assert_eq!(again.content_hash(), service.content_hash());
+        assert_eq!(again.query(&plan, Encoding::Json).etag, response.etag);
     }
 
     #[test]

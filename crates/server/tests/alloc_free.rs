@@ -1,0 +1,182 @@
+//! The allocation-free-hot-path proof: a counting global allocator wraps
+//! the system allocator, a real server is booted over a real socket, the
+//! connection is warmed past its setup allocations, and then hundreds of
+//! keep-alive requests — raw fast-lane hits, `HEAD`s, and `If-None-Match`
+//! revalidations — are driven through the full transport + service + db
+//! stack while the allocation counter must not move **at all**.
+//!
+//! Both sides of the socket live in this process, so the counter sees the
+//! client too; the client therefore reuses preallocated request/response
+//! buffers, which makes the zero-delta assertion strictly stronger (it
+//! proves client and server together allocate nothing in steady state).
+//!
+//! This file holds exactly one `#[test]` so no concurrent test can
+//! allocate in the background of the measured window.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use uops_db::{Segment, Snapshot, VariantRecord};
+use uops_serve::{QueryService, Server};
+
+/// Counts every heap allocation (alloc, alloc_zeroed, realloc) made by
+/// any thread in the process.
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAllocator = CountingAllocator;
+
+fn snapshot() -> Snapshot {
+    let mut s = Snapshot::new("alloc-free test");
+    for (m, uarch, mask, tp) in [
+        ("ADD", "Skylake", 0b0110_0011u16, 0.25),
+        ("ADC", "Skylake", 0b0100_0001, 0.5),
+        ("SHLD", "Skylake", 0b0000_0010, 1.5),
+        ("ADD", "Haswell", 0b0110_0011, 0.25),
+    ] {
+        s.records.push(VariantRecord {
+            mnemonic: m.into(),
+            variant: "R64, R64".into(),
+            extension: "BASE".into(),
+            uarch: uarch.into(),
+            uop_count: 1,
+            ports: vec![(mask, 1)],
+            tp_measured: tp,
+            ..Default::default()
+        });
+    }
+    s
+}
+
+/// Sends `request` and reads exactly `expected.len()` response bytes into
+/// `scratch`, asserting byte-identity with the warmup capture. Nothing
+/// here allocates.
+fn exchange(stream: &mut TcpStream, request: &[u8], expected: &[u8], scratch: &mut [u8]) {
+    stream.write_all(request).expect("send");
+    let scratch = &mut scratch[..expected.len()];
+    stream.read_exact(scratch).expect("read");
+    assert!(scratch == expected, "response changed between warmup and steady state");
+}
+
+/// Reads one response during warmup, returning its exact bytes: headers
+/// through the blank line, then `Content-Length` body bytes. Pass
+/// `expect_body = false` for `HEAD` responses (length advertised, no
+/// bytes) — 304s advertise no length at all, so either value works.
+fn read_response(stream: &mut TcpStream, expect_body: bool) -> Vec<u8> {
+    let mut out = Vec::new();
+    let mut byte = [0u8; 1];
+    while !out.ends_with(b"\r\n\r\n") {
+        assert_eq!(stream.read(&mut byte).expect("read header"), 1, "unexpected EOF");
+        out.push(byte[0]);
+    }
+    let text = String::from_utf8_lossy(&out).to_string();
+    let body_len: usize = if expect_body {
+        text.lines()
+            .find_map(|l| l.strip_prefix("Content-Length: "))
+            .map_or(0, |v| v.trim().parse().expect("length"))
+    } else {
+        0
+    };
+    let at = out.len();
+    out.resize(at + body_len, 0);
+    stream.read_exact(&mut out[at..]).expect("read body");
+    out
+}
+
+#[test]
+fn steady_state_keep_alive_requests_allocate_nothing() {
+    let segment = Arc::new(Segment::from_bytes(Segment::encode(&snapshot())).expect("segment"));
+    let service = Arc::new(QueryService::from_segment(segment, 1 << 20));
+    let server = Server::bind("127.0.0.1:0", service, 1).expect("bind");
+    let addr = server.local_addr();
+    let handle = server.spawn();
+
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+
+    // The request mix: a hot GET (raw fast-lane hit), the same target as
+    // HEAD, and an If-None-Match revalidation (304). The ETag is learned
+    // from the warmup response.
+    let get = b"GET /v1/query?uarch=Skylake&port=5 HTTP/1.1\r\nHost: a\r\n\r\n".to_vec();
+    let head = b"HEAD /v1/query?uarch=Skylake&port=5 HTTP/1.1\r\nHost: a\r\n\r\n".to_vec();
+
+    stream.write_all(&get).expect("warm get");
+    let get_response = read_response(&mut stream, true);
+    let etag = String::from_utf8_lossy(&get_response)
+        .lines()
+        .find_map(|l| l.strip_prefix("ETag: ").map(str::to_string))
+        .expect("200 carries an ETag");
+    let conditional = format!(
+        "GET /v1/query?uarch=Skylake&port=5 HTTP/1.1\r\nHost: a\r\nIf-None-Match: {etag}\r\n\r\n"
+    )
+    .into_bytes();
+
+    // Warm every path twice more: fast-lane promotion happened on the
+    // first request; these settle scratch capacities on both sides.
+    let mut head_response = Vec::new();
+    let mut conditional_response = Vec::new();
+    for _ in 0..2 {
+        stream.write_all(&get).expect("warm");
+        assert_eq!(read_response(&mut stream, true), get_response, "hit parity");
+        stream.write_all(&head).expect("warm");
+        head_response = read_response(&mut stream, false);
+        stream.write_all(&conditional).expect("warm");
+        conditional_response = read_response(&mut stream, false);
+    }
+    assert!(head_response.ends_with(b"\r\n\r\n"), "HEAD has no body");
+    assert!(
+        String::from_utf8_lossy(&conditional_response).starts_with("HTTP/1.1 304"),
+        "matching If-None-Match revalidates"
+    );
+
+    let mut scratch = vec![0u8; get_response.len().max(64)];
+
+    // ---- the measured window ----
+    const ROUNDS: usize = 100;
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for _ in 0..ROUNDS {
+        exchange(&mut stream, &get, &get_response, &mut scratch);
+        exchange(&mut stream, &head, &head_response, &mut scratch);
+        exchange(&mut stream, &conditional, &conditional_response, &mut scratch);
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state hit path must be allocation-free: {} allocations across {} requests",
+        after - before,
+        ROUNDS * 3,
+    );
+
+    // Close the client first so the draining worker sees EOF instead of
+    // sitting out the idle keep-alive timeout.
+    drop(stream);
+    handle.shutdown();
+}

@@ -12,7 +12,7 @@ use uops_db::{
     BinaryEncoder, JsonEncoder, Query, QueryExec, QueryPlan, ResultEncoder, Segment, Snapshot,
     SortKey, VariantRecord, XmlEncoder,
 };
-use uops_serve::{Encoding, QueryService};
+use uops_serve::{respond, Encoding, QueryService};
 
 const MNEMONICS: [&str; 6] = ["ADD", "ADC", "SHLD", "VPADDD", "DIV", "MULPS"];
 const VARIANTS: [&str; 3] = ["R64, R64", "XMM, XMM", "R64, M64"];
@@ -135,6 +135,65 @@ proptest! {
             distinct.len(),
         );
         prop_assert!(stats.cache.hits > 0, "repeated identical requests must hit");
+    }
+
+    /// The raw fast lane is a third way to ask the same question: for any
+    /// plan, the verbatim-target tier (miss *and* hit), the fingerprint
+    /// tier, and uncached in-process execution must all produce the same
+    /// bytes — and two spellings of one target must share ETags.
+    #[test]
+    fn raw_fast_lane_responses_match_uncached_bytes(
+        snapshot in arb_snapshot(),
+        plans in prop::collection::vec(arb_plan(), 1..6),
+    ) {
+        let segment = Arc::new(
+            Segment::from_bytes(Segment::encode(&snapshot)).expect("valid segment"),
+        );
+        let service = QueryService::from_segment(Arc::clone(&segment), 1 << 20);
+        let encodings = [Encoding::Json, Encoding::Binary, Encoding::Xml];
+
+        for plan in &plans {
+            let query_string = plan.to_query_string();
+            for &encoding in &encodings {
+                let expected = encode_expected(&segment, plan, encoding);
+                // Two spellings of the same request: format= appended and
+                // prepended. Distinct raw-tier entries, one fingerprint
+                // entry, identical bytes.
+                let suffixed = if query_string.is_empty() {
+                    format!("/v1/query?format={}", encoding.wire_name())
+                } else {
+                    format!("/v1/query?{query_string}&format={}", encoding.wire_name())
+                };
+                let prefixed = if query_string.is_empty() {
+                    suffixed.clone()
+                } else {
+                    format!("/v1/query?format={}&{query_string}", encoding.wire_name())
+                };
+                let miss = respond(&service, "GET", &suffixed);
+                let hit = respond(&service, "GET", &suffixed);
+                let respelled = respond(&service, "GET", &prefixed);
+                prop_assert_eq!(miss.status, 200);
+                for (label, response) in
+                    [("miss", &miss), ("hit", &hit), ("respelled", &respelled)]
+                {
+                    prop_assert_eq!(
+                        &*response.body, &expected[..],
+                        "{} for {} must match uncached execution", label, suffixed,
+                    );
+                }
+                prop_assert_eq!(miss.etag, hit.etag);
+                prop_assert_eq!(
+                    miss.etag, respelled.etag,
+                    "spelling must not change the ETag",
+                );
+            }
+        }
+        let stats = service.stats();
+        prop_assert!(stats.raw.hits >= plans.len() as u64 * encodings.len() as u64);
+        prop_assert_eq!(
+            stats.executions, stats.encodes,
+            "every execution is encoded exactly once",
+        );
     }
 }
 

@@ -107,16 +107,28 @@ fn http_get(addr: &str, target: &str) -> (u16, Vec<u8>) {
     (status, raw[head_end + 4..].to_vec())
 }
 
-fn stats_field(addr: &str, field: &str) -> u64 {
+/// Reads `field` out of the named cache-tier object (`"cache"` = the
+/// fingerprint tier, `"raw"` = the fast lane) or, for `tier = ""`, a
+/// top-level field of the `/v1/stats` payload.
+fn stats_field(addr: &str, tier: &str, field: &str) -> u64 {
     let (status, body) = http_get(addr, "/v1/stats");
     assert_eq!(status, 200);
     let text = String::from_utf8(body).expect("stats is UTF-8");
-    text.split(&format!("\"{field}\": "))
+    let scope = if tier.is_empty() {
+        text.as_str()
+    } else {
+        text.split(&format!("\"{tier}\": "))
+            .nth(1)
+            .and_then(|rest| rest.split('}').next())
+            .unwrap_or_else(|| panic!("tier {tier} not in {text}"))
+    };
+    scope
+        .split(&format!("\"{field}\": "))
         .nth(1)
         .and_then(|rest| {
             rest.split(|c: char| !c.is_ascii_digit()).next().and_then(|n| n.parse().ok())
         })
-        .unwrap_or_else(|| panic!("field {field} not in {text}"))
+        .unwrap_or_else(|| panic!("field {field} not in {scope}"))
 }
 
 #[test]
@@ -176,27 +188,37 @@ fn cache_hits_skip_planner_and_encoder_counters() {
 
     let (status, first) = http_get(&server.addr, "/v1/query?uarch=Skylake&port=5");
     assert_eq!(status, 200);
-    let executions_cold = stats_field(&server.addr, "executions");
-    let encodes_cold = stats_field(&server.addr, "encodes");
+    let executions_cold = stats_field(&server.addr, "", "executions");
+    let encodes_cold = stats_field(&server.addr, "", "encodes");
     assert_eq!(executions_cold, 1);
 
     let (_, second) = http_get(&server.addr, "/v1/query?uarch=Skylake&port=5");
     assert_eq!(first, second, "cached response must be byte-identical");
     assert_eq!(
-        stats_field(&server.addr, "executions"),
+        stats_field(&server.addr, "", "executions"),
         executions_cold,
         "a cache hit must not invoke the planner/executor"
     );
     assert_eq!(
-        stats_field(&server.addr, "encodes"),
+        stats_field(&server.addr, "", "encodes"),
         encodes_cold,
         "a cache hit must not invoke the encoder"
     );
-    assert_eq!(stats_field(&server.addr, "hits"), 1);
+    // The verbatim repeat is a raw fast-lane hit; the fingerprint tier is
+    // never even probed.
+    assert_eq!(stats_field(&server.addr, "raw", "hits"), 1);
+    assert_eq!(stats_field(&server.addr, "cache", "hits"), 0);
+
+    // A different spelling of the same plan misses the fast lane but hits
+    // the fingerprint tier: still no execution.
+    let (_, respelled) = http_get(&server.addr, "/v1/query?port=5&uarch=Skylake");
+    assert_eq!(first, respelled, "respelled plan must return identical bytes");
+    assert_eq!(stats_field(&server.addr, "cache", "hits"), 1);
+    assert_eq!(stats_field(&server.addr, "", "executions"), executions_cold);
 
     // Differently spelled but semantically different request: a miss.
     let (_, _third) = http_get(&server.addr, "/v1/query?uarch=Haswell");
-    assert_eq!(stats_field(&server.addr, "executions"), executions_cold + 1);
+    assert_eq!(stats_field(&server.addr, "", "executions"), executions_cold + 1);
 }
 
 #[test]
@@ -234,6 +256,169 @@ fn unknown_flags_exit_nonzero_with_usage() {
         Command::new(env!("CARGO_BIN_EXE_serve")).arg("--help").output().expect("run serve");
     assert_eq!(output.status.code(), Some(0));
     assert!(String::from_utf8_lossy(&output.stdout).contains("usage:"));
+}
+
+/// One raw HTTP/1.1 exchange on a fresh connection; returns (status,
+/// header block, body bytes).
+fn http_raw(addr: &str, request: &str) -> (u16, String, Vec<u8>) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(request.as_bytes()).expect("send");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read");
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .unwrap_or_else(|| panic!("no header terminator in {:?}", String::from_utf8_lossy(&raw)));
+    let head = String::from_utf8_lossy(&raw[..head_end]).to_string();
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line: {head}"));
+    (status, head, raw[head_end + 4..].to_vec())
+}
+
+fn header_value<'a>(head: &'a str, name: &str) -> Option<&'a str> {
+    head.lines().find_map(|line| {
+        let (n, v) = line.split_once(':')?;
+        n.trim().eq_ignore_ascii_case(name).then(|| v.trim())
+    })
+}
+
+#[test]
+fn head_requests_return_get_headers_without_a_body() {
+    let (server, _segment) = boot_server(&["--cache-mb", "4"]);
+    let target = "/v1/query?uarch=Skylake";
+    let (status, get_head, get_body) =
+        http_raw(&server.addr, &format!("GET {target} HTTP/1.1\r\nConnection: close\r\n\r\n"));
+    assert_eq!(status, 200);
+    assert!(!get_body.is_empty());
+    let (status, head_head, head_body) =
+        http_raw(&server.addr, &format!("HEAD {target} HTTP/1.1\r\nConnection: close\r\n\r\n"));
+    assert_eq!(status, 200);
+    assert!(head_body.is_empty(), "HEAD must not carry a body");
+    assert_eq!(get_head, head_head, "HEAD headers must be identical to GET's");
+    assert_eq!(
+        header_value(&head_head, "Content-Length").and_then(|v| v.parse::<usize>().ok()),
+        Some(get_body.len()),
+        "HEAD advertises the GET body length"
+    );
+    // HEAD shares GET's fast-lane entry.
+    assert_eq!(stats_field(&server.addr, "raw", "hits"), 1);
+
+    // Unsupported methods are still rejected.
+    let (status, ..) =
+        http_raw(&server.addr, "DELETE /v1/query HTTP/1.1\r\nConnection: close\r\n\r\n");
+    assert_eq!(status, 405);
+}
+
+#[test]
+fn conditional_requests_revalidate_with_304() {
+    let (server, _segment) = boot_server(&["--cache-mb", "4"]);
+    let target = "/v1/query?uarch=Skylake&port=5";
+    let (status, head, body) =
+        http_raw(&server.addr, &format!("GET {target} HTTP/1.1\r\nConnection: close\r\n\r\n"));
+    assert_eq!(status, 200);
+    let etag = header_value(&head, "ETag").expect("200 carries an ETag").to_string();
+    assert_eq!(etag.len(), 18, "strong quoted 64-bit tag: {etag}");
+
+    // Matching If-None-Match: 304, no body, same ETag echoed.
+    let (status, not_modified_head, not_modified_body) = http_raw(
+        &server.addr,
+        &format!("GET {target} HTTP/1.1\r\nIf-None-Match: {etag}\r\nConnection: close\r\n\r\n"),
+    );
+    assert_eq!(status, 304);
+    assert!(not_modified_body.is_empty(), "304 must not carry a body");
+    assert_eq!(header_value(&not_modified_head, "ETag"), Some(etag.as_str()));
+    assert_eq!(header_value(&not_modified_head, "Content-Length"), None);
+
+    // Stale tag: full 200 with the body again.
+    let (status, _, full_body) = http_raw(
+        &server.addr,
+        &format!(
+            "GET {target} HTTP/1.1\r\nIf-None-Match: \"0000000000000000\"\r\n\
+             Connection: close\r\n\r\n"
+        ),
+    );
+    assert_eq!(status, 200);
+    assert_eq!(full_body, body);
+
+    // The error and stats endpoints never offer revalidation.
+    let (status, head, _) =
+        http_raw(&server.addr, "GET /v1/stats HTTP/1.1\r\nConnection: close\r\n\r\n");
+    assert_eq!(status, 200);
+    assert_eq!(header_value(&head, "ETag"), None, "stats must not be revalidatable");
+    let (status, head, _) =
+        http_raw(&server.addr, "GET /v1/query?bogus=1 HTTP/1.1\r\nConnection: close\r\n\r\n");
+    assert_eq!(status, 400);
+    assert_eq!(header_value(&head, "ETag"), None, "errors must not be revalidatable");
+}
+
+#[test]
+fn etag_tracks_the_served_content() {
+    // Two servers over different data: same plan, different ETags.
+    let (server_a, _seg_a) = boot_server(&[]);
+    let etag_of = |addr: &str| {
+        let (status, head, _) =
+            http_raw(addr, "GET /v1/query?uarch=Skylake HTTP/1.1\r\nConnection: close\r\n\r\n");
+        assert_eq!(status, 200);
+        header_value(&head, "ETag").expect("etag").to_string()
+    };
+    let a = etag_of(&server_a.addr);
+    assert_eq!(a, etag_of(&server_a.addr), "ETag is stable for unchanged content");
+
+    // Rewrite the segment with one record dropped and reboot.
+    let mut snapshot = sample_snapshot();
+    snapshot.records.pop();
+    let boot = {
+        let path = server_a.segment_path.clone();
+        drop(server_a);
+        Segment::write(&snapshot, &path).expect("rewrite segment");
+        path
+    };
+    let mut child = Command::new(env!("CARGO_BIN_EXE_serve"))
+        .arg("--segment")
+        .arg(&boot)
+        .args(["--addr", "127.0.0.1:0", "--threads", "1"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn serve");
+    let stdout = child.stdout.take().expect("stdout piped");
+    let mut first_line = String::new();
+    BufReader::new(stdout).read_line(&mut first_line).expect("read announce line");
+    let addr = first_line
+        .split("http://")
+        .nth(1)
+        .and_then(|rest| rest.split_whitespace().next())
+        .expect("address")
+        .to_string();
+    let b = etag_of(&addr);
+    let _ = child.kill();
+    let _ = child.wait();
+    let _ = std::fs::remove_file(&boot);
+    assert_ne!(a, b, "a changed segment content hash must change every ETag");
+}
+
+#[cfg(all(feature = "mmap", unix, target_pointer_width = "64"))]
+#[test]
+fn mmap_backed_server_answers_identically() {
+    let (server, segment) = boot_server(&["--cache-mb", "4"]);
+    let (mmap_server, _seg) = boot_server(&["--cache-mb", "4", "--mmap"]);
+    let segment = Arc::new(segment);
+    for target in
+        ["/v1/query?uarch=Skylake", "/v1/query?uarch=Haswell&sort=latency", "/v1/record/ADC"]
+    {
+        let (status_a, body_a) = http_get(&server.addr, target);
+        let (status_b, body_b) = http_get(&mmap_server.addr, target);
+        assert_eq!((status_a, &body_a), (status_b, &body_b), "{target}");
+    }
+    // Ground truth: in-process execution over the owned segment.
+    let plan = QueryPlan::parse("uarch=Skylake").expect("plan");
+    let db = segment.db();
+    let expected = JsonEncoder.encode_result(&QueryExec::new().run(&plan, &db));
+    let (_, body) = http_get(&mmap_server.addr, "/v1/query?uarch=Skylake");
+    assert_eq!(body, expected, "mmap-backed HTTP bytes == in-process bytes");
 }
 
 #[test]

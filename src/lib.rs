@@ -134,14 +134,26 @@
 //! # }
 //! ```
 //!
+//! With the `mmap` feature (`--features mmap`, 64-bit Unix),
+//! `Segment::open_mmap("uops.seg")` maps the file instead of reading it:
+//! open stays O(header) at any size and replica processes share one
+//! page-cache copy.
+//!
 //! ## Quickstart: serve the database over HTTP
 //!
 //! The serving stack ([`uops_serve`]) layers a transport-agnostic
-//! [`uops_serve::QueryService`] — `Arc`-shared segment + sharded LRU cache
-//! of **encoded responses** (a hit skips planning, execution, and
-//! encoding) — under a std-only HTTP/1.1 server whose workers run on the
-//! [`uops_pool::TaskPool`]. In production use the `serve` binary
-//! (`cargo run --release --bin serve -- --segment uops.seg`); embedded:
+//! [`uops_serve::QueryService`] — `Arc`-shared segment + **two cache
+//! tiers** of encoded responses: a fingerprint tier keyed by the
+//! canonical plan (a hit skips planning, execution, and encoding) and a
+//! raw fast lane keyed by the verbatim request target (a hit additionally
+//! skips percent-decoding, parsing, and fingerprinting) — under a
+//! std-only, allocation-free HTTP/1.1 server whose workers run on the
+//! [`uops_pool::TaskPool`]. Responses carry strong `ETag`s
+//! (plan fingerprint ⊕ segment content hash), so `If-None-Match`
+//! revalidations answer `304 Not Modified` without a body, and `HEAD`
+//! mirrors `GET` headers for free. In production use the `serve` binary
+//! (`cargo run --release --bin serve -- --segment uops.seg`, plus
+//! `--mmap` under the feature); embedded:
 //!
 //! ```rust
 //! use std::sync::Arc;
