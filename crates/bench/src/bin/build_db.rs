@@ -99,6 +99,7 @@ const SPEC: CliSpec<'static> = CliSpec {
             [OUTPUT_PREFIX]",
     value_flags: &["--threads", "--format"],
     bool_flags: &["--serial", "--merge"],
+    optional_value_flags: &[],
     max_positional: 1,
 };
 

@@ -22,6 +22,7 @@ const SPEC: CliSpec<'static> = CliSpec {
     usage: "serve_smoke --segment PATH [--threads N]",
     value_flags: &["--segment", "--threads"],
     bool_flags: &[],
+    optional_value_flags: &[],
     max_positional: 0,
 };
 

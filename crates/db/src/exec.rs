@@ -20,6 +20,37 @@ use crate::backend::{DbBackend, IdList, RecordView};
 use crate::db::InstructionDb;
 use crate::intern::Sym;
 use crate::plan::{QueryPlan, SortKey};
+use uops_telemetry::{Histogram, Span};
+
+/// Per-stage latency histograms for the query path: wire-plan parsing,
+/// plan execution, and result encoding (nanoseconds).
+///
+/// The executor itself records only `execute_ns` (via
+/// [`QueryExec::run_timed`]); the parse and encode stages belong to the
+/// layers around it, which share this struct so one place owns the whole
+/// stage breakdown. All fields are wait-free, allocation-free histograms,
+/// and the constructor is `const`, so the set can live in a `static` or a
+/// long-lived service struct.
+#[derive(Debug, Default)]
+pub struct ExecStageMetrics {
+    /// Wire-plan parse + canonicalization time.
+    pub parse_ns: Histogram,
+    /// Plan execution time ([`QueryExec::run`]).
+    pub execute_ns: Histogram,
+    /// Result encoding time (JSON/binary/XML encoder).
+    pub encode_ns: Histogram,
+}
+
+impl ExecStageMetrics {
+    /// Creates zeroed stage histograms.
+    pub const fn new() -> ExecStageMetrics {
+        ExecStageMetrics {
+            parse_ns: Histogram::new(),
+            execute_ns: Histogram::new(),
+            encode_ns: Histogram::new(),
+        }
+    }
+}
 
 /// The result of executing a query plan.
 #[derive(Debug)]
@@ -42,6 +73,20 @@ impl QueryExec {
     /// Creates an executor.
     pub fn new() -> QueryExec {
         QueryExec
+    }
+
+    /// Runs `plan` against `db`, recording the elapsed nanoseconds into
+    /// `stages.execute_ns` via a [`Span`] scope guard (recorded on drop, so
+    /// the timing covers early returns too).
+    #[must_use]
+    pub fn run_timed<'db, B: DbBackend>(
+        self,
+        plan: &QueryPlan,
+        db: &'db B,
+        stages: &ExecStageMetrics,
+    ) -> QueryResult<'db, B> {
+        let _span = Span::start(&stages.execute_ns);
+        self.run(plan, db)
     }
 
     /// Runs `plan` against `db`.
@@ -348,5 +393,30 @@ mod tests {
         let result = QueryExec::new().run(&plan, &db);
         assert_eq!(result.total_matches, 2);
         assert_eq!(result.rows[0].mnemonic(), "ADC");
+    }
+
+    #[test]
+    fn run_timed_records_execute_stage_and_matches_run() {
+        use crate::snapshot::{Snapshot, VariantRecord};
+        let mut s = Snapshot::new("timed exec test");
+        s.records.push(VariantRecord {
+            mnemonic: "ADD".into(),
+            variant: "R64, R64".into(),
+            extension: "BASE".into(),
+            uarch: "Skylake".into(),
+            uop_count: 1,
+            ports: vec![(0b0100_0001, 1)],
+            tp_measured: 0.25,
+            ..Default::default()
+        });
+        let db = InstructionDb::from_snapshot(&s);
+        let plan = QueryPlan::parse("uarch=Skylake").expect("parse");
+        let stages = ExecStageMetrics::new();
+        let timed = QueryExec::new().run_timed(&plan, &db, &stages);
+        let plain = QueryExec::new().run(&plan, &db);
+        assert_eq!(timed.total_matches, plain.total_matches);
+        assert_eq!(stages.execute_ns.count(), 1, "one execution span recorded");
+        assert_eq!(stages.parse_ns.count(), 0, "parse stage belongs to the caller");
+        assert_eq!(stages.encode_ns.count(), 0, "encode stage belongs to the caller");
     }
 }

@@ -141,7 +141,7 @@ pub use db::{DbRecord, InstructionDb};
 pub use diff::{diff_uarches, Change, DiffReport, VariantDelta, CYCLE_TOLERANCE};
 pub use encode::{BinaryEncoder, JsonEncoder, ResultEncoder, XmlEncoder};
 pub use error::DbError;
-pub use exec::QueryExec;
+pub use exec::{ExecStageMetrics, QueryExec};
 pub use intern::{Interner, Sym};
 pub use plan::{fnv1a_64, QueryPlan};
 pub use query::{Query, QueryResult, SortKey};

@@ -45,6 +45,53 @@ use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
+
+use uops_telemetry::{saturating_ns, Counter, Gauge, Histogram};
+
+/// Chunks taken from *another* worker's deque since process start, across
+/// all [`parallel_map_indexed`] sweeps. Stealing is transient (the deques
+/// live only for the duration of one sweep), so the counter is the one piece
+/// of scheduling telemetry that outlives a sweep.
+static STEALS: Counter = Counter::new();
+
+/// The process-wide work-steal counter, borrowable into a telemetry
+/// `Registry`. Incremented every time an idle worker takes a chunk from the
+/// front of another worker's deque.
+#[must_use]
+pub fn steals_counter() -> &'static Counter {
+    &STEALS
+}
+
+/// Scheduling telemetry for a [`TaskPool`], recorded wait-free by the
+/// workers when the pool is built with [`TaskPool::with_metrics`].
+///
+/// All fields are live atomics from `uops-telemetry`, safe to borrow into a
+/// `Registry` for exposition while the pool is running.
+#[derive(Debug, Default)]
+pub struct TaskPoolMetrics {
+    /// Tasks submitted but not yet picked up by a worker.
+    pub queue_depth: Gauge,
+    /// Nanoseconds each task spent queued before a worker picked it up.
+    pub wait_ns: Histogram,
+    /// Nanoseconds each task spent executing (panicking tasks included).
+    pub run_ns: Histogram,
+    /// Total tasks executed to completion (or panic) by the workers.
+    pub executed: Counter,
+}
+
+impl TaskPoolMetrics {
+    /// Creates zeroed metrics. `const`, so the set can live in a `static`.
+    #[must_use]
+    pub const fn new() -> TaskPoolMetrics {
+        TaskPoolMetrics {
+            queue_depth: Gauge::new(),
+            wait_ns: Histogram::new(),
+            run_ns: Histogram::new(),
+            executed: Counter::new(),
+        }
+    }
+}
 
 /// How much parallelism a sweep may use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -124,7 +171,11 @@ impl ChunkDeque {
     }
 
     fn steal_front(&self) -> Option<Range<usize>> {
-        self.chunks.lock().expect("deque mutex").pop_front()
+        let stolen = self.chunks.lock().expect("deque mutex").pop_front();
+        if stolen.is_some() {
+            STEALS.inc();
+        }
+        stolen
     }
 }
 
@@ -234,13 +285,20 @@ where
 /// A boxed unit of work for a [`TaskPool`].
 type Task = Box<dyn FnOnce() + Send + 'static>;
 
+/// A submitted task plus its enqueue instant (for queue-wait telemetry).
+struct Job {
+    run: Task,
+    enqueued: Instant,
+}
+
 struct TaskQueue {
     tasks: Mutex<TaskQueueState>,
     available: Condvar,
+    metrics: Option<Arc<TaskPoolMetrics>>,
 }
 
 struct TaskQueueState {
-    pending: VecDeque<Task>,
+    pending: VecDeque<Job>,
     shutting_down: bool,
 }
 
@@ -296,10 +354,24 @@ impl TaskPool {
     /// `"{name}-{index}"`.
     #[must_use]
     pub fn new(threads: usize, name: &str) -> TaskPool {
+        TaskPool::build(threads, name, None)
+    }
+
+    /// Like [`TaskPool::new`], but the workers record queue depth, task
+    /// wait time, and task run time into `metrics`. Recording is wait-free
+    /// and allocation-free; the caller keeps (a clone of) the `Arc` to read
+    /// or expose the metrics.
+    #[must_use]
+    pub fn with_metrics(threads: usize, name: &str, metrics: Arc<TaskPoolMetrics>) -> TaskPool {
+        TaskPool::build(threads, name, Some(metrics))
+    }
+
+    fn build(threads: usize, name: &str, metrics: Option<Arc<TaskPoolMetrics>>) -> TaskPool {
         let threads = threads.max(1);
         let queue = Arc::new(TaskQueue {
             tasks: Mutex::new(TaskQueueState { pending: VecDeque::new(), shutting_down: false }),
             available: Condvar::new(),
+            metrics,
         });
         let workers = (0..threads)
             .map(|i| {
@@ -334,7 +406,10 @@ impl TaskPool {
             if state.shutting_down {
                 return;
             }
-            state.pending.push_back(Box::new(task));
+            state.pending.push_back(Job { run: Box::new(task), enqueued: Instant::now() });
+        }
+        if let Some(metrics) = &self.queue.metrics {
+            metrics.queue_depth.inc();
         }
         self.queue.available.notify_one();
     }
@@ -365,11 +440,11 @@ impl Drop for TaskPool {
 
 fn worker_loop(queue: &TaskQueue) {
     loop {
-        let task = {
+        let job = {
             let mut state = queue.tasks.lock().expect("task queue mutex");
             loop {
-                if let Some(task) = state.pending.pop_front() {
-                    break task;
+                if let Some(job) = state.pending.pop_front() {
+                    break job;
                 }
                 if state.shutting_down {
                     return;
@@ -377,8 +452,17 @@ fn worker_loop(queue: &TaskQueue) {
                 state = queue.available.wait(state).expect("task queue mutex");
             }
         };
-        // A panicking task must not take its worker down with it.
-        let _ = catch_unwind(AssertUnwindSafe(task));
+        if let Some(metrics) = &queue.metrics {
+            metrics.queue_depth.dec();
+            metrics.wait_ns.record(saturating_ns(job.enqueued.elapsed()));
+            let started = Instant::now();
+            // A panicking task must not take its worker down with it.
+            let _ = catch_unwind(AssertUnwindSafe(job.run));
+            metrics.run_ns.record(saturating_ns(started.elapsed()));
+            metrics.executed.inc();
+        } else {
+            let _ = catch_unwind(AssertUnwindSafe(job.run));
+        }
     }
 }
 
@@ -547,6 +631,53 @@ mod tests {
         });
         pool.shutdown();
         assert_eq!(ran.load(Ordering::Relaxed), 64, "pre-shutdown tasks drain, late ones drop");
+    }
+
+    #[test]
+    fn steal_front_increments_the_process_steal_counter() {
+        let deque = ChunkDeque::new();
+        deque.push(0..4);
+        deque.push(4..8);
+        let before = steals_counter().get();
+        assert_eq!(deque.steal_front(), Some(0..4));
+        assert_eq!(steals_counter().get(), before + 1);
+        // Owner pops and misses do not count as steals.
+        assert_eq!(deque.pop_back(), Some(4..8));
+        assert_eq!(deque.steal_front(), None);
+        assert_eq!(steals_counter().get(), before + 1);
+    }
+
+    #[test]
+    fn task_pool_metrics_track_every_task() {
+        use std::sync::Arc;
+        let metrics = Arc::new(TaskPoolMetrics::new());
+        let pool = TaskPool::with_metrics(2, "metric-worker", Arc::clone(&metrics));
+        let ran = Arc::new(AtomicUsize::new(0));
+        for _ in 0..32 {
+            let ran = Arc::clone(&ran);
+            pool.execute(move || {
+                ran.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.shutdown();
+        assert_eq!(ran.load(Ordering::Relaxed), 32);
+        assert_eq!(metrics.executed.get(), 32);
+        assert_eq!(metrics.wait_ns.count(), 32);
+        assert_eq!(metrics.run_ns.count(), 32);
+        assert_eq!(metrics.queue_depth.get(), 0, "drained pool has no queued tasks");
+    }
+
+    #[test]
+    fn task_pool_metrics_count_panicking_tasks() {
+        use std::sync::Arc;
+        let metrics = Arc::new(TaskPoolMetrics::new());
+        let pool = TaskPool::with_metrics(1, "metric-panic-worker", Arc::clone(&metrics));
+        pool.execute(|| panic!("boom"));
+        pool.execute(|| {});
+        pool.shutdown();
+        assert_eq!(metrics.executed.get(), 2, "panicking tasks still count as executed");
+        assert_eq!(metrics.run_ns.count(), 2);
+        assert_eq!(metrics.queue_depth.get(), 0);
     }
 
     #[test]

@@ -1,0 +1,240 @@
+//! Sampled structured access log.
+//!
+//! One JSON line per sampled request, written by a background thread so
+//! the serving loop never blocks on (or allocates for) log I/O beyond the
+//! sampled requests themselves. Sampling is a single relaxed atomic
+//! increment per request; non-sampled requests pay nothing else. Sampled
+//! requests format the line on the serving thread (an allocation — which
+//! is why the zero-allocation test runs without an access log) and hand
+//! it to the writer thread over a bounded channel; if the writer falls
+//! behind, lines are dropped rather than back-pressuring the hot path
+//! (the drop count is reported on shutdown via [`AccessLog::dropped`]).
+//!
+//! Line format (stable key order):
+//!
+//! ```json
+//! {"route":"/v1/query","status":200,"bytes":512,"tier":"raw","total_us":17,"parse_us":0,"execute_us":0,"encode_us":0}
+//! ```
+//!
+//! `tier` is the serving tier of [`crate::ResponseTier`]; the stage
+//! micros are zero for requests that never reached that stage (raw hits
+//! skip all three).
+
+use std::io::{self, BufWriter, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, SyncSender, TrySendError};
+use std::thread::JoinHandle;
+
+/// Bounded depth of the line channel; beyond this the log drops lines
+/// instead of blocking the serving threads.
+const CHANNEL_DEPTH: usize = 1024;
+
+/// Everything the transport knows about one served request, for logging.
+#[derive(Debug, Clone, Copy)]
+pub struct AccessEntry {
+    /// Route label (see [`crate::metrics::Route::label`]).
+    pub route: &'static str,
+    /// Response status code.
+    pub status: u16,
+    /// Bytes written to the wire (head + body).
+    pub bytes: usize,
+    /// Serving-tier label (see [`crate::ResponseTier::label`]).
+    pub tier: &'static str,
+    /// Read-to-written latency in nanoseconds.
+    pub total_ns: u64,
+    /// Plan-parse stage nanoseconds (0 if the stage never ran).
+    pub parse_ns: u64,
+    /// Execute stage nanoseconds (0 if the stage never ran).
+    pub execute_ns: u64,
+    /// Encode stage nanoseconds (0 if the stage never ran).
+    pub encode_ns: u64,
+}
+
+/// A sampled JSON-lines access log with a background writer thread.
+///
+/// Dropping the log closes the channel, joins the writer, and flushes
+/// everything buffered — tests and `serve` shutdown rely on that.
+#[derive(Debug)]
+pub struct AccessLog {
+    every: u64,
+    seq: AtomicU64,
+    dropped: AtomicU64,
+    tx: Option<SyncSender<String>>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl AccessLog {
+    /// Creates a log writing every `every`-th request (1 = every request)
+    /// to `writer` through a background `BufWriter`.
+    #[must_use]
+    pub fn new(every: u64, writer: Box<dyn Write + Send>) -> AccessLog {
+        let (tx, rx) = sync_channel::<String>(CHANNEL_DEPTH);
+        let worker = std::thread::Builder::new()
+            .name("uops-access-log".into())
+            .spawn(move || {
+                let mut out = BufWriter::new(writer);
+                loop {
+                    // Drain eagerly, flush only when momentarily idle so a
+                    // burst of lines costs one syscall, not one per line.
+                    match rx.try_recv() {
+                        Ok(line) => {
+                            let _ = out.write_all(line.as_bytes());
+                            let _ = out.write_all(b"\n");
+                        }
+                        Err(std::sync::mpsc::TryRecvError::Empty) => {
+                            let _ = out.flush();
+                            match rx.recv() {
+                                Ok(line) => {
+                                    let _ = out.write_all(line.as_bytes());
+                                    let _ = out.write_all(b"\n");
+                                }
+                                Err(_) => break,
+                            }
+                        }
+                        Err(std::sync::mpsc::TryRecvError::Disconnected) => break,
+                    }
+                }
+                let _ = out.flush();
+            })
+            .expect("spawn access-log writer");
+        AccessLog {
+            every: every.max(1),
+            seq: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            tx: Some(tx),
+            worker: Some(worker),
+        }
+    }
+
+    /// Creates a log writing to standard error.
+    #[must_use]
+    pub fn to_stderr(every: u64) -> AccessLog {
+        AccessLog::new(every, Box::new(io::stderr()))
+    }
+
+    /// The configured sampling period.
+    #[must_use]
+    pub fn every(&self) -> u64 {
+        self.every
+    }
+
+    /// Lines dropped because the writer fell behind.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Counts the request and reports whether it is sampled. This is the
+    /// only per-request cost for non-sampled requests: one relaxed
+    /// fetch-add, no allocation.
+    pub fn sample(&self) -> bool {
+        self.seq.fetch_add(1, Ordering::Relaxed) % self.every == 0
+    }
+
+    /// Formats and enqueues one sampled entry. Call only when
+    /// [`AccessLog::sample`] returned `true`.
+    pub fn log(&self, entry: &AccessEntry) {
+        let line = format!(
+            concat!(
+                "{{\"route\":\"{}\",\"status\":{},\"bytes\":{},\"tier\":\"{}\",",
+                "\"total_us\":{},\"parse_us\":{},\"execute_us\":{},\"encode_us\":{}}}"
+            ),
+            entry.route,
+            entry.status,
+            entry.bytes,
+            entry.tier,
+            entry.total_ns / 1_000,
+            entry.parse_ns / 1_000,
+            entry.execute_ns / 1_000,
+            entry.encode_ns / 1_000,
+        );
+        if let Some(tx) = &self.tx {
+            match tx.try_send(line) {
+                Ok(()) => {}
+                Err(TrySendError::Full(_) | TrySendError::Disconnected(_)) => {
+                    self.dropped.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+}
+
+impl Drop for AccessLog {
+    fn drop(&mut self) {
+        // Close the channel first so the writer drains and exits, then
+        // join to guarantee the final flush happened.
+        self.tx = None;
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex};
+
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn entry(status: u16) -> AccessEntry {
+        AccessEntry {
+            route: "/v1/query",
+            status,
+            bytes: 512,
+            tier: "raw",
+            total_ns: 17_500,
+            parse_ns: 1_000,
+            execute_ns: 2_000,
+            encode_ns: 3_999,
+        }
+    }
+
+    #[test]
+    fn every_nth_request_is_sampled() {
+        let log = AccessLog::new(4, Box::new(io::sink()));
+        let sampled: Vec<bool> = (0..8).map(|_| log.sample()).collect();
+        assert_eq!(sampled, vec![true, false, false, false, true, false, false, false]);
+    }
+
+    #[test]
+    fn lines_are_json_and_flushed_on_drop() {
+        let buf = SharedBuf::default();
+        let sink = buf.clone();
+        let log = AccessLog::new(1, Box::new(sink));
+        assert!(log.sample());
+        log.log(&entry(200));
+        assert!(log.sample());
+        log.log(&entry(304));
+        drop(log); // joins the writer, flushing everything
+        let bytes = buf.0.lock().unwrap().clone();
+        let text = String::from_utf8(bytes).expect("utf8");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            "{\"route\":\"/v1/query\",\"status\":200,\"bytes\":512,\"tier\":\"raw\",\
+             \"total_us\":17,\"parse_us\":1,\"execute_us\":2,\"encode_us\":3}"
+        );
+        assert!(lines[1].contains("\"status\":304"));
+    }
+
+    #[test]
+    fn zero_period_is_clamped_to_one() {
+        let log = AccessLog::new(0, Box::new(io::sink()));
+        assert_eq!(log.every(), 1);
+        assert!(log.sample());
+        assert!(log.sample());
+    }
+}

@@ -19,10 +19,16 @@ pub struct CliSpec<'a> {
     pub name: &'a str,
     /// The usage string printed by `--help` and on errors.
     pub usage: &'a str,
-    /// Flags that consume the following argument as their value.
+    /// Flags that consume the following argument (or an inline
+    /// `--flag=value`) as their value.
     pub value_flags: &'a [&'a str],
     /// Flags that stand alone.
     pub bool_flags: &'a [&'a str],
+    /// Flags usable either bare (like a boolean) or with an inline
+    /// `--flag=value` — never consuming the following argument. Bare and
+    /// valued forms both make [`ParsedArgs::flag`] true; only the valued
+    /// form gives [`ParsedArgs::value`] something to return.
+    pub optional_value_flags: &'a [&'a str],
     /// Maximum number of positional (non-flag) arguments.
     pub max_positional: usize,
 }
@@ -83,12 +89,31 @@ impl CliSpec<'_> {
             if arg == "--help" || arg == "-h" {
                 return Err(CliError::Help);
             }
+            // Inline `--flag=value` spelling (positionals containing '='
+            // fall through untouched).
+            if arg.starts_with("--") {
+                if let Some((name, value)) = arg.split_once('=') {
+                    if self.value_flags.contains(&name) {
+                        parsed.values.push((name.to_string(), value.to_string()));
+                    } else if self.optional_value_flags.contains(&name) {
+                        parsed.flags.push(name.to_string());
+                        parsed.values.push((name.to_string(), value.to_string()));
+                    } else if self.bool_flags.contains(&name) {
+                        return Err(CliError::Usage(format!("{name} does not take a value")));
+                    } else {
+                        return Err(CliError::Usage(format!("unknown option: {name}")));
+                    }
+                    continue;
+                }
+            }
             if self.value_flags.contains(&arg.as_str()) {
                 let Some(value) = args.next() else {
                     return Err(CliError::Usage(format!("{arg} requires a value")));
                 };
                 parsed.values.push((arg, value));
-            } else if self.bool_flags.contains(&arg.as_str()) {
+            } else if self.bool_flags.contains(&arg.as_str())
+                || self.optional_value_flags.contains(&arg.as_str())
+            {
                 parsed.flags.push(arg);
             } else if arg.starts_with('-') && arg != "-" {
                 return Err(CliError::Usage(format!("unknown option: {arg}")));
@@ -148,9 +173,10 @@ mod tests {
 
     const SPEC: CliSpec<'static> = CliSpec {
         name: "test",
-        usage: "test [--threads N] [--serial] [PREFIX]",
+        usage: "test [--threads N] [--serial] [--log[=N]] [PREFIX]",
         value_flags: &["--threads"],
         bool_flags: &["--serial"],
+        optional_value_flags: &["--log"],
         max_positional: 1,
     };
 
@@ -173,6 +199,45 @@ mod tests {
     fn last_value_wins() {
         let parsed = parse(&["--threads", "2", "--threads", "8"]).expect("parse");
         assert_eq!(parsed.value("--threads"), Some("8"));
+    }
+
+    #[test]
+    fn inline_equals_spelling_is_accepted() {
+        let parsed = parse(&["--threads=4", "out"]).expect("parse");
+        assert_eq!(parsed.parsed_value::<usize>("--threads"), Ok(Some(4)));
+        assert_eq!(parsed.positional, vec!["out"]);
+        // '=' in a positional stays positional.
+        let parsed = parse(&["a=b"]).expect("parse");
+        assert_eq!(parsed.positional, vec!["a=b"]);
+        // Empty inline value is a value (validation is the caller's job).
+        let parsed = parse(&["--threads="]).expect("parse");
+        assert_eq!(parsed.value("--threads"), Some(""));
+    }
+
+    #[test]
+    fn optional_value_flags_work_bare_and_valued() {
+        let parsed = parse(&["--log"]).expect("parse");
+        assert!(parsed.flag("--log"));
+        assert_eq!(parsed.value("--log"), None);
+
+        let parsed = parse(&["--log=16"]).expect("parse");
+        assert!(parsed.flag("--log"));
+        assert_eq!(parsed.parsed_value::<u64>("--log"), Ok(Some(16)));
+
+        // Never consumes the next argument: "16" is positional here.
+        let parsed = parse(&["--log", "16"]).expect("parse");
+        assert!(parsed.flag("--log"));
+        assert_eq!(parsed.value("--log"), None);
+        assert_eq!(parsed.positional, vec!["16"]);
+    }
+
+    #[test]
+    fn inline_value_on_a_boolean_or_unknown_flag_is_an_error() {
+        assert_eq!(
+            parse(&["--serial=yes"]),
+            Err(CliError::Usage("--serial does not take a value".into()))
+        );
+        assert_eq!(parse(&["--nope=1"]), Err(CliError::Usage("unknown option: --nope".into())));
     }
 
     #[test]

@@ -2,11 +2,17 @@
 //!
 //! ```text
 //! serve --segment uops.seg [--addr 127.0.0.1:8080] [--threads N] [--cache-mb 64]
+//!       [--mmap] [--no-telemetry] [--access-log[=EVERY_N]]
 //! ```
 //!
 //! The first stdout line is always `listening on http://ADDR (...)`, so
 //! scripts (and the integration tests) can bind port 0 and discover the
-//! real address. Unknown flags exit with status 2 and usage on stderr.
+//! real address; with telemetry enabled (the default) the second line is
+//! `metrics at http://ADDR/metrics`. Unknown flags exit with status 2 and
+//! usage on stderr.
+//!
+//! `--access-log` writes one JSON line per request to stderr;
+//! `--access-log=100` samples every 100th request.
 
 use std::io::Write as _;
 use std::sync::Arc;
@@ -14,13 +20,15 @@ use std::sync::Arc;
 use uops_db::{DbBackend as _, Segment};
 use uops_pool::Parallelism;
 use uops_serve::args::CliSpec;
-use uops_serve::{QueryService, Server};
+use uops_serve::{AccessLog, QueryService, Server, ServerOptions};
 
 const SPEC: CliSpec<'static> = CliSpec {
     name: "serve",
-    usage: "serve --segment PATH [--addr HOST:PORT] [--threads N] [--cache-mb MB] [--mmap]",
+    usage: "serve --segment PATH [--addr HOST:PORT] [--threads N] [--cache-mb MB] [--mmap] \
+            [--no-telemetry] [--access-log[=EVERY_N]]",
     value_flags: &["--segment", "--addr", "--threads", "--cache-mb"],
-    bool_flags: &["--mmap"],
+    bool_flags: &["--mmap", "--no-telemetry"],
+    optional_value_flags: &["--access-log"],
     max_positional: 0,
 };
 
@@ -62,19 +70,42 @@ fn main() {
             std::process::exit(1);
         }
     };
+    let no_telemetry = args.flag("--no-telemetry");
+    let access_log = if args.flag("--access-log") {
+        let every = match args.parsed_value::<u64>("--access-log") {
+            Ok(every) => every.unwrap_or(1),
+            Err(message) => SPEC.exit_usage(&message),
+        };
+        if every == 0 {
+            SPEC.exit_usage("--access-log sampling period must be at least 1");
+        }
+        Some(AccessLog::to_stderr(every))
+    } else {
+        None
+    };
+
     let records = segment.db().len();
     let service = Arc::new(QueryService::from_segment(segment, cache_mb << 20));
-    let server = match Server::bind(addr, service, threads) {
+    let options = ServerOptions { no_telemetry, access_log };
+    let server = match Server::bind_with(addr, service, threads, options) {
         Ok(server) => server,
         Err(e) => {
             eprintln!("serve: cannot bind {addr}: {e}");
             std::process::exit(1);
         }
     };
-    println!(
+    // Announce via explicit writes, ignoring errors: scripts commonly read
+    // the first line and close the pipe, and an EPIPE here must not take
+    // the server down before it serves a single request.
+    let mut stdout = std::io::stdout();
+    let _ = writeln!(
+        stdout,
         "listening on http://{} ({records} records, {threads} threads, {cache_mb} MiB cache)",
         server.local_addr()
     );
-    let _ = std::io::stdout().flush();
+    if server.telemetry_enabled() {
+        let _ = writeln!(stdout, "metrics at http://{}/metrics", server.local_addr());
+    }
+    let _ = stdout.flush();
     server.run();
 }

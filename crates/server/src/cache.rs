@@ -22,8 +22,9 @@
 //!   shard's LRU tail until that shard fits.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+
+use uops_telemetry::Counter;
 
 /// Estimated bookkeeping bytes per entry (slab node, map slot, request
 /// string header), counted against the byte budget so "many tiny entries"
@@ -146,10 +147,13 @@ pub struct ResponseCache {
     shards: Vec<Mutex<Shard>>,
     shard_budget: usize,
     capacity_bytes: usize,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    evictions: AtomicU64,
-    uncacheable: AtomicU64,
+    // Live telemetry counters (wait-free, allocation-free); borrowable into
+    // a `uops_telemetry::Registry` via the `*_counter()` accessors, so the
+    // `/metrics` exposition reads the same atomics `stats()` snapshots.
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
+    uncacheable: Counter,
 }
 
 impl std::fmt::Debug for ResponseCache {
@@ -173,11 +177,35 @@ impl ResponseCache {
             shard_budget: capacity_bytes / shards,
             capacity_bytes,
             shards: (0..shards).map(|_| Mutex::new(Shard::new())).collect(),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
-            uncacheable: AtomicU64::new(0),
+            hits: Counter::new(),
+            misses: Counter::new(),
+            evictions: Counter::new(),
+            uncacheable: Counter::new(),
         }
+    }
+
+    /// The live hit counter (for telemetry registration).
+    #[must_use]
+    pub fn hits_counter(&self) -> &Counter {
+        &self.hits
+    }
+
+    /// The live miss counter (for telemetry registration).
+    #[must_use]
+    pub fn misses_counter(&self) -> &Counter {
+        &self.misses
+    }
+
+    /// The live eviction counter (for telemetry registration).
+    #[must_use]
+    pub fn evictions_counter(&self) -> &Counter {
+        &self.evictions
+    }
+
+    /// The live uncacheable-response counter (for telemetry registration).
+    #[must_use]
+    pub fn uncacheable_counter(&self) -> &Counter {
+        &self.uncacheable
     }
 
     fn shard_for(&self, key: u64) -> &Mutex<Shard> {
@@ -191,7 +219,7 @@ impl ResponseCache {
     #[must_use]
     pub fn get(&self, key: u64, request: &str) -> Option<CachedResponse> {
         if self.capacity_bytes == 0 {
-            self.misses.fetch_add(1, Ordering::Relaxed);
+            self.misses.inc();
             return None;
         }
         let mut shard = self.shard_for(key).lock().expect("cache shard mutex");
@@ -206,12 +234,12 @@ impl ResponseCache {
                 shard.push_front(slot);
                 let response = shard.slab[slot].response.clone();
                 drop(shard);
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.hits.inc();
                 Some(response)
             }
             None => {
                 drop(shard);
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.misses.inc();
                 None
             }
         }
@@ -226,7 +254,7 @@ impl ResponseCache {
         }
         let cost = Shard::entry_cost(request, &response.body);
         if cost > self.shard_budget {
-            self.uncacheable.fetch_add(1, Ordering::Relaxed);
+            self.uncacheable.inc();
             return;
         }
         let mut evicted = 0u64;
@@ -257,7 +285,7 @@ impl ResponseCache {
             shard.bytes += cost;
         }
         if evicted > 0 {
-            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+            self.evictions.add(evicted);
         }
     }
 
@@ -272,10 +300,10 @@ impl ResponseCache {
             bytes += shard.bytes;
         }
         CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
-            uncacheable: self.uncacheable.load(Ordering::Relaxed),
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            evictions: self.evictions.get(),
+            uncacheable: self.uncacheable.get(),
             entries,
             bytes,
             capacity_bytes: self.capacity_bytes,

@@ -382,6 +382,9 @@ impl ResponseBuf {
     /// whether the bytes themselves go on the wire (`HEAD` gets the
     /// headers of the corresponding `GET` with no body).
     ///
+    /// Returns the number of bytes put on the wire (head plus whatever
+    /// body the mode emitted) — the transport's response-byte telemetry.
+    ///
     /// # Errors
     ///
     /// Propagates socket write failures.
@@ -390,7 +393,7 @@ impl ResponseBuf {
         writer: &mut impl Write,
         head: &ResponseHead<'_>,
         body: &[u8],
-    ) -> io::Result<()> {
+    ) -> io::Result<usize> {
         self.head.clear();
         self.head.extend_from_slice(status_line(head.status).as_bytes());
         if head.status != 304 {
@@ -412,7 +415,8 @@ impl ResponseBuf {
         });
         let body =
             if head.status == 304 || head.mode == BodyMode::HeaderOnly { &[][..] } else { body };
-        write_all_vectored(writer, &self.head, body)
+        write_all_vectored(writer, &self.head, body)?;
+        Ok(self.head.len() + body.len())
     }
 }
 

@@ -66,22 +66,27 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod access_log;
 pub mod args;
 pub mod cache;
 pub mod http;
+pub mod metrics;
 pub mod service;
 
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use uops_db::plan::decode_component;
 use uops_db::QueryPlan;
 use uops_pool::TaskPool;
+use uops_telemetry::{saturating_ns, Span};
 
+pub use access_log::{AccessEntry, AccessLog};
 pub use cache::{CacheStats, CachedResponse, ResponseCache};
-pub use service::{Encoding, QueryService, ServiceResponse, ServiceStats};
+pub use metrics::{render_metrics, Route, ServerMetrics};
+pub use service::{Encoding, QueryService, ResponseTier, ServiceResponse, ServiceStats};
 
 /// How long an idle keep-alive connection may sit between requests.
 const KEEP_ALIVE_TIMEOUT: Duration = Duration::from_secs(5);
@@ -167,10 +172,17 @@ pub fn route(service: &QueryService, method: &str, path: &str, query: &str) -> S
     }
 
     match path {
-        "/v1/query" => match QueryPlan::from_pairs(rest) {
-            Ok(plan) => service.query(&plan, encoding),
-            Err(e) => ServiceResponse::error(400, &e.to_string()),
-        },
+        "/v1/query" => {
+            // The plan-parse stage of the uncached pipeline (mirrors
+            // QueryService::query_wire for the wire-string entry point).
+            let span = Span::start(&service.exec_stage_metrics().parse_ns);
+            let parsed = QueryPlan::from_pairs(rest);
+            metrics::stage_scratch::set_parse(span.finish());
+            match parsed {
+                Ok(plan) => service.query(&plan, encoding),
+                Err(e) => ServiceResponse::error(400, &e.to_string()),
+            }
+        }
         "/v1/diff" => {
             let mut base = None;
             let mut other = None;
@@ -231,12 +243,35 @@ pub fn route(service: &QueryService, method: &str, path: &str, query: &str) -> S
     }
 }
 
+/// Telemetry and logging options for a [`Server`]
+/// ([`Server::bind_with`]); [`Default`] matches [`Server::bind`]:
+/// telemetry on, no access log.
+#[derive(Debug, Default)]
+pub struct ServerOptions {
+    /// Disable all metric recording and the `/metrics` endpoint (which
+    /// then answers 404). The decision is made once at bind time; the hot
+    /// path pays a single predictable branch either way.
+    pub no_telemetry: bool,
+    /// Sampled structured access log (see [`AccessLog`]); `None` logs
+    /// nothing.
+    pub access_log: Option<AccessLog>,
+}
+
+/// Everything a worker needs to serve one connection; shared across
+/// connections behind one `Arc` so accepting costs a single clone.
+struct ConnState {
+    service: Arc<QueryService>,
+    metrics: Arc<ServerMetrics>,
+    access_log: Option<AccessLog>,
+    telemetry: bool,
+}
+
 /// The HTTP/1.1 server: a listener plus a [`TaskPool`] of workers, one
 /// task per accepted connection (keep-alive: a worker serves a connection
 /// until it closes, times out idle, or exhausts its request budget).
 pub struct Server {
     listener: TcpListener,
-    service: Arc<QueryService>,
+    state: Arc<ConnState>,
     pool: TaskPool,
     local_addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
@@ -277,12 +312,39 @@ impl Server {
     ///
     /// Propagates bind failures.
     pub fn bind(addr: &str, service: Arc<QueryService>, threads: usize) -> std::io::Result<Server> {
+        Server::bind_with(addr, service, threads, ServerOptions::default())
+    }
+
+    /// [`Server::bind`] with explicit [`ServerOptions`] (telemetry off,
+    /// access log).
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn bind_with(
+        addr: &str,
+        service: Arc<QueryService>,
+        threads: usize,
+        options: ServerOptions,
+    ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
+        let telemetry = !options.no_telemetry;
+        let metrics = Arc::new(ServerMetrics::new());
+        let pool = if telemetry {
+            TaskPool::with_metrics(threads, "uops-serve-worker", Arc::clone(&metrics.pool))
+        } else {
+            TaskPool::new(threads, "uops-serve-worker")
+        };
         Ok(Server {
             listener,
-            service,
-            pool: TaskPool::new(threads, "uops-serve-worker"),
+            state: Arc::new(ConnState {
+                service,
+                metrics,
+                access_log: options.access_log,
+                telemetry,
+            }),
+            pool,
             local_addr,
             shutdown: Arc::new(AtomicBool::new(false)),
         })
@@ -294,10 +356,23 @@ impl Server {
         self.local_addr
     }
 
+    /// This server's transport metric set (live atomics — read them any
+    /// time, e.g. for benchmark percentile extraction).
+    #[must_use]
+    pub fn metrics(&self) -> Arc<ServerMetrics> {
+        Arc::clone(&self.state.metrics)
+    }
+
+    /// Whether this server records telemetry and serves `/metrics`.
+    #[must_use]
+    pub fn telemetry_enabled(&self) -> bool {
+        self.state.telemetry
+    }
+
     /// Runs the accept loop on the calling thread until shutdown is
     /// signalled (never, unless [`Server::spawn`] wrapped it).
     pub fn run(self) {
-        let Server { listener, service, pool, shutdown, .. } = self;
+        let Server { listener, state, pool, shutdown, .. } = self;
         for stream in listener.incoming() {
             if shutdown.load(Ordering::SeqCst) {
                 break;
@@ -313,8 +388,8 @@ impl Server {
                     continue;
                 }
             };
-            let service = Arc::clone(&service);
-            pool.execute(move || serve_connection(stream, &service));
+            let state = Arc::clone(&state);
+            pool.execute(move || serve_connection(stream, &state));
         }
         pool.shutdown();
     }
@@ -334,11 +409,61 @@ impl Server {
     }
 }
 
+/// Answers `GET /metrics` at the transport layer, **before** [`respond`]:
+/// the exposition must reflect this instant, so it never enters the raw
+/// fast lane or the fingerprint tier (and carries no ETag). With
+/// telemetry disabled the endpoint answers 404.
+fn metrics_response(state: &ConnState, method: &str, query: &str) -> ServiceResponse {
+    if method != "GET" && method != "HEAD" {
+        return ServiceResponse::error(405, "only GET and HEAD are supported");
+    }
+    if !state.telemetry {
+        return ServiceResponse::error(404, "telemetry is disabled (--no-telemetry)");
+    }
+    if !query.is_empty() {
+        return ServiceResponse::error(400, "metrics takes no parameters");
+    }
+    let text = metrics::render_metrics(&state.service, &state.metrics);
+    ServiceResponse {
+        status: 200,
+        content_type: "text/plain; version=0.0.4; charset=utf-8",
+        etag: None,
+        body: Arc::from(text.into_bytes().as_slice()),
+        tier: ResponseTier::Untiered,
+    }
+}
+
+/// Decrements the connection gauges on every exit path of
+/// [`serve_connection`] (early returns included).
+struct ConnGuard<'a> {
+    metrics: &'a ServerMetrics,
+    enabled: bool,
+}
+
+impl Drop for ConnGuard<'_> {
+    fn drop(&mut self) {
+        if self.enabled {
+            self.metrics.connections_closed.inc();
+            self.metrics.connections_active.dec();
+        }
+    }
+}
+
 /// Serves one connection: read request (in place, into the connection's
 /// reusable buffer), answer via the fast lane, emit one vectored write,
 /// repeat while keep-alive holds. Steady state allocates nothing: the
-/// request buffer, response scratch, and cached bodies are all reused.
-fn serve_connection(stream: TcpStream, service: &QueryService) {
+/// request buffer, response scratch, and cached bodies are all reused —
+/// and telemetry keeps it that way (atomic increments and histogram
+/// buckets only; see `tests/alloc_free.rs`).
+fn serve_connection(stream: TcpStream, state: &ConnState) {
+    let service = &*state.service;
+    let metrics = &*state.metrics;
+    let telemetry = state.telemetry;
+    if telemetry {
+        metrics.connections_opened.inc();
+        metrics.connections_active.inc();
+    }
+    let _guard = ConnGuard { metrics, enabled: telemetry };
     let _ = stream.set_read_timeout(Some(KEEP_ALIVE_TIMEOUT));
     let _ = stream.set_nodelay(true);
     let Ok(mut writer) = stream.try_clone() else { return };
@@ -348,13 +473,22 @@ fn serve_connection(stream: TcpStream, service: &QueryService) {
     for served in 0..MAX_REQUESTS_PER_CONNECTION {
         // The parsed request borrows `request_buf`; everything needed
         // beyond this block is captured before the borrow is released.
-        let (response, head_len, keep_alive, mode, not_modified) = {
+        let (response, head_len, keep_alive, mode, not_modified, route_kind, started) = {
             let request = match request_buf.read_request(&mut reader) {
                 Ok(request) => request,
                 Err(http::RequestError::ConnectionClosed) => return,
                 Err(http::RequestError::Bad(status, message)) => {
+                    if telemetry {
+                        metrics.parse_errors.inc();
+                        if status == 400 {
+                            metrics.bad_requests.inc();
+                        } else if status == 431 {
+                            metrics.header_overflows.inc();
+                        }
+                        metrics.status_class(status).inc();
+                    }
                     let body = ServiceResponse::error(status, &message);
-                    let _ = response_buf.write_response(
+                    let written = response_buf.write_response(
                         &mut writer,
                         &http::ResponseHead {
                             status,
@@ -365,12 +499,31 @@ fn serve_connection(stream: TcpStream, service: &QueryService) {
                         },
                         &body.body,
                     );
+                    if telemetry {
+                        if let Ok(bytes) = written {
+                            metrics.response_bytes.add(bytes as u64);
+                        }
+                    }
                     return;
                 }
                 Err(http::RequestError::Io(_)) => return,
             };
+            // The clock starts after the request is in hand: keep-alive
+            // idle time between requests is not request latency.
+            let started = Instant::now();
+            metrics::stage_scratch::reset();
+            let route_kind = Route::of(request.path());
+            if telemetry {
+                metrics.request_bytes.add(request.head_len as u64);
+            }
             let keep_alive = request.keep_alive && served + 1 < MAX_REQUESTS_PER_CONNECTION;
-            let response = respond(service, request.method, request.target);
+            let response = if route_kind == Route::Metrics {
+                // Served here, before respond(): /metrics must always be
+                // freshly rendered, never from either cache tier.
+                metrics_response(state, request.method, request.query())
+            } else {
+                respond(service, request.method, request.target)
+            };
             let not_modified = response.status == 200
                 && match (response.etag, request.if_none_match) {
                     (Some(etag), Some(header)) => http::etag_matches(header, etag),
@@ -381,25 +534,61 @@ fn serve_connection(stream: TcpStream, service: &QueryService) {
             } else {
                 http::BodyMode::Full
             };
-            (response, request.head_len, keep_alive, mode, not_modified)
+            (response, request.head_len, keep_alive, mode, not_modified, route_kind, started)
         };
         request_buf.consume(head_len);
         let status = if not_modified { 304 } else { response.status };
-        if response_buf
-            .write_response(
-                &mut writer,
-                &http::ResponseHead {
-                    status,
-                    content_type: response.content_type,
-                    keep_alive,
-                    etag: response.etag,
-                    mode,
-                },
-                &response.body,
-            )
-            .is_err()
-            || !keep_alive
-        {
+        let written = response_buf.write_response(
+            &mut writer,
+            &http::ResponseHead {
+                status,
+                content_type: response.content_type,
+                keep_alive,
+                etag: response.etag,
+                mode,
+            },
+            &response.body,
+        );
+        let wire_bytes = match &written {
+            Ok(bytes) => Some(*bytes),
+            Err(_) => None,
+        };
+        if telemetry || state.access_log.is_some() {
+            let elapsed = saturating_ns(started.elapsed());
+            if telemetry {
+                metrics.requests.inc();
+                if let Some(bytes) = wire_bytes {
+                    metrics.response_bytes.add(bytes as u64);
+                }
+                metrics.status_class(status).inc();
+                if not_modified {
+                    metrics.not_modified.inc();
+                }
+                metrics.route_latency(route_kind).record(elapsed);
+                match response.tier {
+                    ResponseTier::Raw => metrics.tier_latency_raw.record(elapsed),
+                    ResponseTier::Fingerprint => metrics.tier_latency_fingerprint.record(elapsed),
+                    ResponseTier::Uncached => metrics.tier_latency_uncached.record(elapsed),
+                    ResponseTier::Untiered => {}
+                }
+            }
+            if let Some(log) = &state.access_log {
+                if log.sample() {
+                    let (parse_ns, execute_ns, encode_ns) = metrics::stage_scratch::get();
+                    log.log(&AccessEntry {
+                        route: route_kind.label(),
+                        status,
+                        bytes: wire_bytes.unwrap_or(0),
+                        tier: response.tier.label(),
+                        total_ns: elapsed,
+                        parse_ns,
+                        execute_ns,
+                        encode_ns,
+                    });
+                }
+            }
+        }
+        if written.is_err() || !keep_alive {
             return;
         }
     }

@@ -15,15 +15,16 @@
 //! and encoding entirely** — observable through [`ServiceStats`]: a hit
 //! increments `cache.hits` and leaves `executions`/`encodes` untouched.
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use uops_db::{
-    diff_uarches, fnv1a_64, BinaryEncoder, DbBackend, DbError, InstructionDb, JsonEncoder,
-    QueryExec, QueryPlan, ResultEncoder, Segment, XmlEncoder,
+    diff_uarches, fnv1a_64, BinaryEncoder, DbBackend, DbError, ExecStageMetrics, InstructionDb,
+    JsonEncoder, QueryExec, QueryPlan, ResultEncoder, Segment, XmlEncoder,
 };
+use uops_telemetry::{Counter, Histogram, Span};
 
 use crate::cache::{CacheStats, CachedResponse, ResponseCache};
+use crate::metrics::stage_scratch;
 
 /// Which [`ResultEncoder`] a request selects (the `format=` parameter).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -68,6 +69,38 @@ impl Encoding {
     }
 }
 
+/// Which serving tier produced a [`ServiceResponse`] — the raw fast lane,
+/// the fingerprint cache, or the full execute-and-encode pipeline.
+///
+/// Set at response construction (no racy counter-delta inference) so the
+/// transport can attribute its latency measurement to the tier that did
+/// the work, and the access log can report it per request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ResponseTier {
+    /// Served from the raw fast lane (verbatim-target cache hit).
+    Raw,
+    /// Served from the fingerprint tier (canonical-plan cache hit).
+    Fingerprint,
+    /// Executed and encoded on this request (cache miss or uncacheable).
+    Uncached,
+    /// Not a query-pipeline response (errors, stats, exposition).
+    #[default]
+    Untiered,
+}
+
+impl ResponseTier {
+    /// Stable wire/label spelling (`raw`, `fingerprint`, `uncached`, `none`).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            ResponseTier::Raw => "raw",
+            ResponseTier::Fingerprint => "fingerprint",
+            ResponseTier::Uncached => "uncached",
+            ResponseTier::Untiered => "none",
+        }
+    }
+}
+
 /// A fully encoded response: what a transport writes to the client and
 /// what the cache stores (sans status, which is always 200 for cacheable
 /// responses).
@@ -84,15 +117,18 @@ pub struct ServiceResponse {
     pub etag: Option<u64>,
     /// Encoded payload; shared with the cache on hits.
     pub body: Arc<[u8]>,
+    /// Which serving tier produced this response.
+    pub tier: ResponseTier,
 }
 
 impl ServiceResponse {
-    fn ok(cached: CachedResponse) -> ServiceResponse {
+    fn ok(cached: CachedResponse, tier: ResponseTier) -> ServiceResponse {
         ServiceResponse {
             status: 200,
             content_type: cached.content_type,
             etag: Some(cached.etag),
             body: cached.body,
+            tier,
         }
     }
 
@@ -108,6 +144,7 @@ impl ServiceResponse {
             content_type: "application/json",
             etag: None,
             body: Arc::from(body.into_bytes().as_slice()),
+            tier: ResponseTier::Untiered,
         }
     }
 }
@@ -147,8 +184,14 @@ pub struct QueryService {
     /// FNV-1a over the store's canonical image; ⊕ the plan fingerprint it
     /// forms the strong ETag of every cacheable response.
     content_hash: u64,
-    executions: AtomicU64,
-    encodes: AtomicU64,
+    executions: Counter,
+    encodes: Counter,
+    /// Per-stage latency histograms (parse / execute / encode), recorded
+    /// by `Span` guards on the uncached path. Wait-free and
+    /// allocation-free; exposed via [`QueryService::exec_stage_metrics`]
+    /// for `/metrics` registration and summarized as percentile estimates
+    /// in the stats JSON.
+    exec_stages: ExecStageMetrics,
 }
 
 impl std::fmt::Debug for QueryService {
@@ -229,9 +272,41 @@ impl QueryService {
             cache: ResponseCache::new(cache_capacity_bytes, CACHE_SHARDS),
             raw_cache: ResponseCache::new(raw_cache_capacity_bytes, CACHE_SHARDS),
             content_hash,
-            executions: AtomicU64::new(0),
-            encodes: AtomicU64::new(0),
+            executions: Counter::new(),
+            encodes: Counter::new(),
+            exec_stages: ExecStageMetrics::new(),
         }
+    }
+
+    /// The per-stage (parse / execute / encode) latency histograms of the
+    /// uncached pipeline, for telemetry registration.
+    #[must_use]
+    pub fn exec_stage_metrics(&self) -> &ExecStageMetrics {
+        &self.exec_stages
+    }
+
+    /// The fingerprint-tier cache (for telemetry registration).
+    #[must_use]
+    pub fn fingerprint_cache(&self) -> &ResponseCache {
+        &self.cache
+    }
+
+    /// The raw fast-lane cache (for telemetry registration).
+    #[must_use]
+    pub fn raw_lane_cache(&self) -> &ResponseCache {
+        &self.raw_cache
+    }
+
+    /// The live plan-execution counter (for telemetry registration).
+    #[must_use]
+    pub fn executions_counter(&self) -> &Counter {
+        &self.executions
+    }
+
+    /// The live result-encode counter (for telemetry registration).
+    #[must_use]
+    pub fn encodes_counter(&self) -> &Counter {
+        &self.encodes
     }
 
     /// The FNV-1a hash of the store's canonical content — the second half
@@ -248,7 +323,9 @@ impl QueryService {
     /// Allocation-free: a hit is a hash, a map probe, and an `Arc` bump.
     #[must_use]
     pub fn raw_response(&self, target: &str) -> Option<ServiceResponse> {
-        self.raw_cache.get(fnv1a_64(target.as_bytes()), target).map(ServiceResponse::ok)
+        self.raw_cache
+            .get(fnv1a_64(target.as_bytes()), target)
+            .map(|hit| ServiceResponse::ok(hit, ResponseTier::Raw))
     }
 
     /// Stores a 200 response in the raw fast lane under the verbatim
@@ -286,8 +363,8 @@ impl QueryService {
         ServiceStats {
             cache: self.cache.stats(),
             raw: self.raw_cache.stats(),
-            executions: self.executions.load(Ordering::Relaxed),
-            encodes: self.encodes.load(Ordering::Relaxed),
+            executions: self.executions.get(),
+            encodes: self.encodes.get(),
         }
     }
 
@@ -326,7 +403,7 @@ impl QueryService {
             uops_db::plan::encode_component(other),
         );
         self.cached(&request, encoding, |service| {
-            service.encodes.fetch_add(1, Ordering::Relaxed);
+            service.encodes.inc();
             match &service.store {
                 Store::Segment(segment) => {
                     encode_diff(&diff_uarches(&segment.db(), base, other), encoding)
@@ -349,27 +426,46 @@ impl QueryService {
                 s.hits, s.misses, s.evictions, s.uncacheable, s.entries, s.bytes, s.capacity_bytes,
             )
         };
+        // Percentile estimates derived from the stage histograms' log₂
+        // buckets. Additive: every pre-telemetry key above is unchanged.
+        let stage = |h: &Histogram| {
+            format!(
+                "{{\"count\": {}, \"p50_ns\": {}, \"p99_ns\": {}, \"max_ns\": {}}}",
+                h.count(),
+                h.quantile(0.50),
+                h.quantile(0.99),
+                h.max(),
+            )
+        };
         let body = format!(
             "{{\n  \"records\": {},\n  \"cache\": {},\n  \"raw\": {},\n  \
-             \"executions\": {},\n  \"encodes\": {}\n}}\n",
+             \"executions\": {},\n  \"encodes\": {},\n  \
+             \"stages\": {{\"parse\": {}, \"execute\": {}, \"encode\": {}}}\n}}\n",
             self.record_count(),
             tier(&stats.cache),
             tier(&stats.raw),
             stats.executions,
             stats.encodes,
+            stage(&self.exec_stages.parse_ns),
+            stage(&self.exec_stages.execute_ns),
+            stage(&self.exec_stages.encode_ns),
         );
         ServiceResponse {
             status: 200,
             content_type: "application/json",
             etag: None,
             body: Arc::from(body.into_bytes().as_slice()),
+            tier: ResponseTier::Untiered,
         }
     }
 
     /// Parses a wire query string into a plan and answers it; parse errors
     /// become 400 responses.
     pub fn query_wire(&self, query_string: &str, encoding: Encoding) -> ServiceResponse {
-        match QueryPlan::parse(query_string) {
+        let span = Span::start(&self.exec_stages.parse_ns);
+        let parsed = QueryPlan::parse(query_string);
+        stage_scratch::set_parse(span.finish());
+        match parsed {
             Ok(plan) => self.query(&plan, encoding),
             Err(DbError::Plan { message }) => ServiceResponse::error(400, &message),
             Err(other) => ServiceResponse::error(400, &other.to_string()),
@@ -384,7 +480,7 @@ impl QueryService {
     ) -> ServiceResponse {
         let key = fnv1a_64(request.as_bytes());
         if let Some(hit) = self.cache.get(key, request) {
-            return ServiceResponse::ok(hit);
+            return ServiceResponse::ok(hit, ResponseTier::Fingerprint);
         }
         let body: Arc<[u8]> = Arc::from(produce(self).as_slice());
         // ETag = canonical-request fingerprint ⊕ store content hash: two
@@ -396,23 +492,35 @@ impl QueryService {
             body,
         };
         self.cache.insert(key, request, cached.clone());
-        ServiceResponse::ok(cached)
+        ServiceResponse::ok(cached, ResponseTier::Uncached)
     }
 
     /// Executes a plan and encodes the result (counted — a cache hit never
-    /// reaches this).
+    /// reaches this). Both stages run under `Span` guards: the elapsed
+    /// nanoseconds land in the stage histograms and, via the thread-local
+    /// stage scratch, in the sampled access log of the request being served.
     fn execute_encoded(&self, plan: &QueryPlan, encoding: Encoding) -> Vec<u8> {
-        self.executions.fetch_add(1, Ordering::Relaxed);
-        self.encodes.fetch_add(1, Ordering::Relaxed);
+        self.executions.inc();
+        self.encodes.inc();
         match &self.store {
             Store::Segment(segment) => {
                 let db = segment.db();
+                let span = Span::start(&self.exec_stages.execute_ns);
                 let result = QueryExec::new().run(plan, &db);
-                encode_result(&result, encoding)
+                stage_scratch::set_execute(span.finish());
+                let span = Span::start(&self.exec_stages.encode_ns);
+                let bytes = encode_result(&result, encoding);
+                stage_scratch::set_encode(span.finish());
+                bytes
             }
             Store::Memory(db) => {
+                let span = Span::start(&self.exec_stages.execute_ns);
                 let result = QueryExec::new().run(plan, db.as_ref());
-                encode_result(&result, encoding)
+                stage_scratch::set_execute(span.finish());
+                let span = Span::start(&self.exec_stages.encode_ns);
+                let bytes = encode_result(&result, encoding);
+                stage_scratch::set_encode(span.finish());
+                bytes
             }
         }
     }

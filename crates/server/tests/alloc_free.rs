@@ -155,6 +155,15 @@ fn steady_state_keep_alive_requests_allocate_nothing() {
         "matching If-None-Match revalidates"
     );
 
+    // Telemetry is on by default — prove it is live before the measured
+    // window (the scrape itself allocates, which is why it sits outside).
+    let metrics_get = b"GET /metrics HTTP/1.1\r\nHost: a\r\n\r\n".to_vec();
+    stream.write_all(&metrics_get).expect("metrics probe");
+    let metrics_before = String::from_utf8_lossy(&read_response(&mut stream, true)).to_string();
+    assert!(metrics_before.starts_with("HTTP/1.1 200"), "{metrics_before}");
+    let requests_before = exposition_value(&metrics_before, "uops_http_requests_total");
+    assert!(requests_before > 0, "telemetry must be recording:\n{metrics_before}");
+
     let mut scratch = vec![0u8; get_response.len().max(64)];
 
     // ---- the measured window ----
@@ -175,8 +184,28 @@ fn steady_state_keep_alive_requests_allocate_nothing() {
         ROUNDS * 3,
     );
 
+    // Telemetry recorded throughout the zero-allocation window: the
+    // request counter advanced by exactly the measured requests plus the
+    // first scrape, all without a single allocation.
+    stream.write_all(&metrics_get).expect("metrics probe");
+    let metrics_after = String::from_utf8_lossy(&read_response(&mut stream, true)).to_string();
+    let requests_after = exposition_value(&metrics_after, "uops_http_requests_total");
+    assert_eq!(
+        requests_after - requests_before,
+        (ROUNDS as u64) * 3 + 1,
+        "every measured request must be counted:\n{metrics_after}"
+    );
+
     // Close the client first so the draining worker sees EOF instead of
     // sitting out the idle keep-alive timeout.
     drop(stream);
     handle.shutdown();
+}
+
+/// Reads the value of an unlabeled counter/gauge sample out of a
+/// Prometheus text exposition.
+fn exposition_value(text: &str, name: &str) -> u64 {
+    text.lines()
+        .find_map(|line| line.strip_prefix(name)?.strip_prefix(' ')?.trim().parse().ok())
+        .unwrap_or_else(|| panic!("no sample {name} in exposition"))
 }

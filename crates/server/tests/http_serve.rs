@@ -421,6 +421,202 @@ fn mmap_backed_server_answers_identically() {
     assert_eq!(body, expected, "mmap-backed HTTP bytes == in-process bytes");
 }
 
+/// Reads one sample value out of a Prometheus text exposition;
+/// `selector` is the full series name including any label set, e.g.
+/// `uops_cache_hits_total{tier="raw"}`.
+fn exposition_value(text: &str, selector: &str) -> u64 {
+    text.lines()
+        .find_map(|line| line.strip_prefix(selector)?.strip_prefix(' ')?.trim().parse().ok())
+        .unwrap_or_else(|| panic!("no sample {selector} in exposition:\n{text}"))
+}
+
+#[test]
+fn metrics_exposition_parses_and_counts_requests() {
+    let (server, _segment) = boot_server(&["--cache-mb", "4"]);
+
+    // A mixed request battery: 3 queries (1 miss + 2 raw hits), a record
+    // lookup, and a 404.
+    for target in ["/v1/query?uarch=Skylake", "/v1/query?uarch=Skylake", "/v1/query?uarch=Skylake"]
+    {
+        assert_eq!(http_get(&server.addr, target).0, 200);
+    }
+    assert_eq!(http_get(&server.addr, "/v1/record/ADC").0, 200);
+    assert_eq!(http_get(&server.addr, "/nope").0, 404);
+
+    let (status, head, body) =
+        http_raw(&server.addr, "GET /metrics HTTP/1.1\r\nConnection: close\r\n\r\n");
+    assert_eq!(status, 200);
+    assert!(header_value(&head, "Content-Type").unwrap_or("").starts_with("text/plain"), "{head}");
+    let text = String::from_utf8(body).expect("exposition is UTF-8");
+
+    // Every non-comment line is `name[{labels}] value` with a numeric
+    // value, and every series is preceded by HELP/TYPE headers.
+    let mut typed: Vec<&str> = Vec::new();
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            typed.push(rest.split_whitespace().next().expect("type line"));
+            continue;
+        }
+        if line.starts_with('#') || line.is_empty() {
+            continue;
+        }
+        let (series, value) = line.rsplit_once(' ').unwrap_or_else(|| panic!("bad line {line}"));
+        let name = series.split('{').next().expect("name");
+        let base = name
+            .strip_suffix("_bucket")
+            .or_else(|| name.strip_suffix("_sum"))
+            .or_else(|| name.strip_suffix("_count"))
+            .filter(|base| typed.contains(base))
+            .unwrap_or(name);
+        assert!(typed.contains(&base), "series {name} has no TYPE header");
+        assert!(value.parse::<f64>().is_ok() || value == "+Inf", "bad value in {line}");
+    }
+
+    // The battery above is fully accounted for: 5 requests, none of which
+    // were /metrics (this scrape is only counted after it is written).
+    assert_eq!(exposition_value(&text, "uops_http_requests_total"), 5);
+    assert_eq!(exposition_value(&text, "uops_http_responses_total{class=\"2xx\"}"), 4);
+    assert_eq!(exposition_value(&text, "uops_http_responses_total{class=\"4xx\"}"), 1);
+    // Latency histogram counts match the requests served, per route.
+    assert_eq!(
+        exposition_value(&text, "uops_http_request_latency_nanoseconds_count{route=\"/v1/query\"}"),
+        3
+    );
+    assert_eq!(
+        exposition_value(
+            &text,
+            "uops_http_request_latency_nanoseconds_count{route=\"/v1/record\"}"
+        ),
+        1
+    );
+    assert_eq!(
+        exposition_value(&text, "uops_http_request_latency_nanoseconds_count{route=\"other\"}"),
+        1
+    );
+    // Tier attribution: 1 uncached execution, 2 raw fast-lane hits.
+    assert_eq!(exposition_value(&text, "uops_service_latency_nanoseconds_count{tier=\"raw\"}"), 2);
+    assert!(
+        exposition_value(&text, "uops_service_latency_nanoseconds_count{tier=\"uncached\"}") >= 1
+    );
+    assert_eq!(exposition_value(&text, "uops_cache_hits_total{tier=\"raw\"}"), 2);
+    // Executor stage histograms saw the uncached requests.
+    assert!(exposition_value(&text, "uops_exec_stage_nanoseconds_count{stage=\"execute\"}") >= 2);
+    // Pool tasks ran (one per connection; the scrape's own task is still
+    // in flight, and the previous one may be mid-completion).
+    assert!(exposition_value(&text, "uops_pool_tasks_executed_total") >= 4);
+
+    // Counter monotonicity across scrapes: the scrape above is now also
+    // counted, plus one more query.
+    assert_eq!(http_get(&server.addr, "/v1/query?uarch=Skylake").0, 200);
+    let (_, text2) = http_get(&server.addr, "/metrics");
+    let text2 = String::from_utf8(text2).expect("utf-8");
+    assert_eq!(exposition_value(&text2, "uops_http_requests_total"), 7);
+    assert_eq!(
+        exposition_value(&text2, "uops_http_request_latency_nanoseconds_count{route=\"/metrics\"}"),
+        1
+    );
+
+    // The additive per-stage stats keys ride along in /v1/stats.
+    let (_, stats_body) = http_get(&server.addr, "/v1/stats");
+    let stats_text = String::from_utf8(stats_body).expect("utf-8");
+    assert!(stats_text.contains("\"stages\""), "{stats_text}");
+    assert!(stats_text.contains("\"p99_ns\""), "{stats_text}");
+}
+
+#[test]
+fn metrics_is_always_fresh_and_never_cached() {
+    let (server, _segment) = boot_server(&[]);
+    assert_eq!(http_get(&server.addr, "/v1/query?uarch=Skylake").0, 200);
+
+    let (status, head, first) =
+        http_raw(&server.addr, "GET /metrics HTTP/1.1\r\nConnection: close\r\n\r\n");
+    assert_eq!(status, 200);
+    assert_eq!(header_value(&head, "ETag"), None, "/metrics must not be revalidatable");
+
+    // An identical repeat must be freshly rendered, not a cache hit: the
+    // request counter inside the payload has moved on.
+    let (status, _, second) =
+        http_raw(&server.addr, "GET /metrics HTTP/1.1\r\nConnection: close\r\n\r\n");
+    assert_eq!(status, 200);
+    let first = String::from_utf8(first).expect("utf-8");
+    let second = String::from_utf8(second).expect("utf-8");
+    assert!(
+        exposition_value(&second, "uops_http_requests_total")
+            > exposition_value(&first, "uops_http_requests_total"),
+        "repeated scrapes must re-render, never serve cached bytes"
+    );
+    // ...and neither scrape entered a cache tier.
+    assert_eq!(stats_field(&server.addr, "raw", "entries"), 1, "only the query is cached");
+    assert_eq!(stats_field(&server.addr, "raw", "hits"), 0);
+    assert_eq!(stats_field(&server.addr, "cache", "entries"), 1);
+
+    // Query parameters are rejected rather than ignored.
+    let (status, _) = http_get(&server.addr, "/metrics?x=1");
+    assert_eq!(status, 400);
+}
+
+#[test]
+fn no_telemetry_flag_disables_metrics_but_not_serving() {
+    let (server, _segment) = boot_server(&["--no-telemetry"]);
+    assert_eq!(http_get(&server.addr, "/v1/query?uarch=Skylake").0, 200);
+    let (status, body) = http_get(&server.addr, "/metrics");
+    assert_eq!(status, 404, "metrics must 404 with telemetry disabled");
+    assert!(String::from_utf8_lossy(&body).contains("telemetry is disabled"));
+    assert_eq!(http_get(&server.addr, "/v1/stats").0, 200);
+}
+
+#[test]
+fn access_log_writes_sampled_json_lines_to_stderr() {
+    // boot_server nulls stderr, so spawn directly with it piped.
+    let snapshot = sample_snapshot();
+    let segment_path =
+        std::env::temp_dir().join(format!("uops_http_serve_log_{}.seg", std::process::id()));
+    Segment::write(&snapshot, &segment_path).expect("write segment");
+    let mut child = Command::new(env!("CARGO_BIN_EXE_serve"))
+        .arg("--segment")
+        .arg(&segment_path)
+        .args(["--addr", "127.0.0.1:0", "--threads", "1", "--access-log=2"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn serve");
+    let stdout = child.stdout.take().expect("stdout piped");
+    let mut reader = BufReader::new(stdout);
+    let mut first_line = String::new();
+    reader.read_line(&mut first_line).expect("read announce line");
+    let addr = first_line
+        .split("http://")
+        .nth(1)
+        .and_then(|rest| rest.split_whitespace().next())
+        .expect("address")
+        .to_string();
+    let mut second_line = String::new();
+    reader.read_line(&mut second_line).expect("read metrics line");
+    assert!(second_line.contains("/metrics"), "telemetry announce: {second_line}");
+
+    // Four requests with every-2 sampling: exactly two logged lines.
+    for _ in 0..4 {
+        assert_eq!(http_get(&addr, "/v1/query?uarch=Skylake").0, 200);
+    }
+    // Give the background writer a beat to drain and flush before the
+    // process is killed.
+    std::thread::sleep(std::time::Duration::from_millis(300));
+    let _ = child.kill();
+    let _ = child.wait();
+    let mut stderr_text = String::new();
+    child.stderr.take().expect("stderr piped").read_to_string(&mut stderr_text).expect("stderr");
+    let _ = std::fs::remove_file(&segment_path);
+    let lines: Vec<&str> = stderr_text.lines().filter(|l| l.starts_with('{')).collect();
+    assert_eq!(lines.len(), 2, "every-2 sampling over 4 requests:\n{stderr_text}");
+    for line in lines {
+        assert!(line.contains("\"route\":\"/v1/query\""), "{line}");
+        assert!(line.contains("\"status\":200"), "{line}");
+        assert!(line.contains("\"tier\":"), "{line}");
+        assert!(line.contains("\"total_us\":"), "{line}");
+        assert!(line.ends_with('}'), "{line}");
+    }
+}
+
 #[test]
 fn sort_orders_survive_the_wire() {
     let (server, segment) = boot_server(&["--cache-mb", "1"]);

@@ -1,0 +1,802 @@
+//! # uops-telemetry
+//!
+//! Allocation-free observability primitives for the serving stack: lock-free
+//! [`Counter`] and [`Gauge`], a fixed-bucket log₂-scale [`Histogram`] whose
+//! `record()` is wait-free, a [`Span`] scope guard that records elapsed time
+//! on drop, and a borrowed [`Registry`] that renders Prometheus/OpenMetrics
+//! text exposition.
+//!
+//! ## Design
+//!
+//! The hot path of the HTTP server is proven allocation-free by a
+//! counting-global-allocator test; every recording primitive here must be
+//! safe to call from that path. All three metric types are plain atomics:
+//!
+//! - [`Counter`]: a monotonically increasing `AtomicU64` (`inc`/`add`).
+//! - [`Gauge`]: an `AtomicI64` that can move both ways (`inc`/`dec`/`set`).
+//! - [`Histogram`]: 64 `AtomicU64` buckets at log₂ boundaries plus running
+//!   `count`, `sum`, `min`, and `max`. `record(v)` is a handful of relaxed
+//!   read-modify-writes — wait-free, no locks, no allocation, no branches
+//!   beyond the min/max CAS-free `fetch_min`/`fetch_max`.
+//!
+//! Bucket `k` (for `k` in `1..63`) holds values in `[2^(k-1), 2^k - 1]`;
+//! bucket 0 holds exactly 0 and bucket 63 is the overflow bucket for values
+//! `>= 2^62`. Recording nanoseconds, the meaningful range spans 1ns to well
+//! past 100s (2^37ns ≈ 137s) with ≤ 2x relative error, which matches the
+//! log-scale resolution operators expect from latency histograms.
+//!
+//! All constructors are `const fn`, so metrics can live in `static`s, in
+//! struct fields, or behind an `Arc` — whichever the instrumentation site
+//! needs. Exposition is the cold path: a [`Registry`] borrows metrics by
+//! reference, is (re)built per scrape, and renders text with ordinary
+//! `String` allocation.
+//!
+//! ```rust
+//! use uops_telemetry::{Counter, Histogram, Registry};
+//!
+//! static REQUESTS: Counter = Counter::new();
+//! static LATENCY: Histogram = Histogram::new();
+//!
+//! REQUESTS.inc();
+//! LATENCY.record(1_250); // nanoseconds, wait-free, allocation-free
+//!
+//! let mut registry = Registry::new();
+//! registry.counter("uops_http_requests_total", "Requests served.", &[], &REQUESTS);
+//! registry.histogram(
+//!     "uops_http_request_latency_nanoseconds",
+//!     "Request latency.",
+//!     &[("route", "/v1/query")],
+//!     &LATENCY,
+//! );
+//! let text = registry.render();
+//! assert!(text.contains("uops_http_requests_total 1"));
+//! assert!(text.contains("le=\"+Inf\""));
+//! ```
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Number of histogram buckets: one per log₂ magnitude of `u64`.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+// ---------------------------------------------------------------------------
+// Counter
+// ---------------------------------------------------------------------------
+
+/// A monotonically increasing event counter.
+///
+/// `inc`/`add` are single relaxed atomic adds: wait-free and allocation-free,
+/// safe for the zero-allocation serving hot path.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Creates a counter at zero. `const`, so counters can be `static`.
+    pub const fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Increments the counter by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increments the counter by `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Gauge
+// ---------------------------------------------------------------------------
+
+/// A value that can move both directions (queue depth, active connections).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Creates a gauge at zero. `const`, so gauges can be `static`.
+    pub const fn new() -> Self {
+        Gauge(AtomicI64::new(0))
+    }
+
+    /// Increments the gauge by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Decrements the gauge by one.
+    #[inline]
+    pub fn dec(&self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (may be negative) to the gauge.
+    #[inline]
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Sets the gauge to `v`.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+/// A fixed-bucket log₂-scale histogram of `u64` samples (typically
+/// nanoseconds).
+///
+/// 64 atomic buckets cover the full `u64` range: bucket 0 holds exactly 0,
+/// bucket `k` (1..63) holds `[2^(k-1), 2^k - 1]`, bucket 63 holds
+/// `>= 2^62`. Alongside the buckets it tracks `count`, `sum`, `min`, and
+/// `max`. `record()` performs a fixed number of relaxed atomic RMWs — it is
+/// wait-free, lock-free, and allocation-free, so the serving hot path can
+/// record into it without violating its zero-allocation guarantee.
+///
+/// Readers (`percentile`, exposition) observe a racy-but-monotonic snapshot;
+/// that is the standard contract for scrape-based metrics.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram. `const`, so histograms can be `static`.
+    pub const fn new() -> Self {
+        Histogram {
+            buckets: [const { AtomicU64::new(0) }; HISTOGRAM_BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Bucket index for a value: 0 for 0, otherwise `64 - leading_zeros(v)`
+    /// clamped to 63. Equivalent to `floor(log2(v)) + 1` for nonzero `v`.
+    #[inline]
+    pub fn bucket_index(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            let idx = 64 - value.leading_zeros() as usize;
+            if idx > 63 {
+                63
+            } else {
+                idx
+            }
+        }
+    }
+
+    /// Inclusive upper bound of bucket `index` (`u64::MAX` for the last).
+    ///
+    /// Every value routed to bucket `k < 63` is `<= 2^k - 1`, so cumulative
+    /// bucket counts are exact Prometheus `le` counts at these bounds.
+    #[inline]
+    pub fn bucket_upper_bound(index: usize) -> u64 {
+        if index >= 63 {
+            u64::MAX
+        } else {
+            (1u64 << index) - 1
+        }
+    }
+
+    /// Records one sample. Wait-free and allocation-free.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[Self::bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        // Plain-load guards: in steady state the extremes almost never
+        // move, so the common case is two relaxed loads instead of two
+        // locked read-modify-writes. The RMWs behind the guards keep the
+        // updates themselves race-free (still wait-free).
+        if value < self.min.load(Ordering::Relaxed) {
+            self.min.fetch_min(value, Ordering::Relaxed);
+        }
+        if value > self.max.load(Ordering::Relaxed) {
+            self.max.fetch_max(value, Ordering::Relaxed);
+        }
+    }
+
+    /// Number of recorded samples.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded samples (wraps on overflow past `u64::MAX`).
+    #[inline]
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Smallest recorded sample, or 0 if empty.
+    #[inline]
+    pub fn min(&self) -> u64 {
+        let v = self.min.load(Ordering::Relaxed);
+        if v == u64::MAX && self.count() == 0 {
+            0
+        } else {
+            v
+        }
+    }
+
+    /// Largest recorded sample, or 0 if empty.
+    #[inline]
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Mean of recorded samples, or 0.0 if empty.
+    pub fn mean(&self) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / count as f64
+        }
+    }
+
+    /// Snapshot of per-bucket counts (not cumulative).
+    pub fn bucket_counts(&self) -> [u64; HISTOGRAM_BUCKETS] {
+        let mut out = [0u64; HISTOGRAM_BUCKETS];
+        for (slot, bucket) in out.iter_mut().zip(self.buckets.iter()) {
+            *slot = bucket.load(Ordering::Relaxed);
+        }
+        out
+    }
+
+    /// Estimates the `q`-quantile (`0.0..=1.0`) from bucket counts.
+    ///
+    /// Returns the inclusive upper bound of the bucket containing the
+    /// rank-`ceil(q * count)` sample, clamped to the recorded `max` (so the
+    /// overflow bucket and sparse upper buckets do not inflate the tail
+    /// beyond anything actually observed). The estimate is therefore always
+    /// within one log₂ bucket of the exact order statistic. Returns 0 for an
+    /// empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let buckets = self.bucket_counts();
+        let total: u64 = buckets.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let mut rank = (q * total as f64).ceil() as u64;
+        if rank == 0 {
+            rank = 1;
+        }
+        let mut cumulative = 0u64;
+        for (index, &bucket) in buckets.iter().enumerate() {
+            cumulative += bucket;
+            if cumulative >= rank {
+                return Self::bucket_upper_bound(index).min(self.max());
+            }
+        }
+        self.max()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Span
+// ---------------------------------------------------------------------------
+
+/// A scope guard that measures elapsed wall time and records it (in
+/// nanoseconds) into a [`Histogram`] when dropped or explicitly finished.
+///
+/// ```rust
+/// use uops_telemetry::{Histogram, Span};
+///
+/// static STAGE: Histogram = Histogram::new();
+/// {
+///     let _span = Span::start(&STAGE); // records on scope exit
+/// }
+/// assert_eq!(STAGE.count(), 1);
+/// ```
+#[derive(Debug)]
+pub struct Span<'a> {
+    histogram: &'a Histogram,
+    start: Instant,
+    armed: bool,
+}
+
+impl<'a> Span<'a> {
+    /// Starts timing; the elapsed nanoseconds are recorded into `histogram`
+    /// on drop (or on [`Span::finish`]).
+    #[inline]
+    pub fn start(histogram: &'a Histogram) -> Span<'a> {
+        Span { histogram, start: Instant::now(), armed: true }
+    }
+
+    /// Elapsed nanoseconds so far, without recording.
+    #[inline]
+    pub fn elapsed_ns(&self) -> u64 {
+        saturating_ns(self.start.elapsed())
+    }
+
+    /// Stops the span, records the elapsed nanoseconds, and returns them.
+    #[inline]
+    pub fn finish(mut self) -> u64 {
+        let ns = self.elapsed_ns();
+        self.histogram.record(ns);
+        self.armed = false;
+        ns
+    }
+}
+
+impl Drop for Span<'_> {
+    #[inline]
+    fn drop(&mut self) {
+        if self.armed {
+            self.histogram.record(saturating_ns(self.start.elapsed()));
+        }
+    }
+}
+
+/// Converts a `Duration` to nanoseconds, saturating at `u64::MAX`.
+#[inline]
+pub fn saturating_ns(d: std::time::Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+// ---------------------------------------------------------------------------
+// Registry + exposition
+// ---------------------------------------------------------------------------
+
+/// Label pairs attached to a metric sample, e.g. `&[("route", "/v1/query")]`.
+pub type Labels = [(&'static str, &'static str)];
+
+enum MetricRef<'a> {
+    Counter(&'a Counter),
+    Gauge(&'a Gauge),
+    Histogram(&'a Histogram),
+    /// A value sampled at registration time (for derived/computed stats such
+    /// as cache entry counts that are not stored as live atomics).
+    CounterSample(u64),
+    GaugeSample(i64),
+}
+
+struct Entry<'a> {
+    name: &'static str,
+    help: &'static str,
+    labels: &'a Labels,
+    metric: MetricRef<'a>,
+}
+
+/// An ordered collection of borrowed metrics that renders Prometheus /
+/// OpenMetrics text exposition.
+///
+/// The registry is built on the cold path (once per `/metrics` scrape): it
+/// borrows each metric by reference, so the same atomics the hot path
+/// updates are read at render time with no registration cost on the
+/// recording side. Entries sharing a metric name (e.g. one histogram per
+/// route) must be registered consecutively; the renderer emits one
+/// `# HELP`/`# TYPE` header per name run.
+#[derive(Default)]
+pub struct Registry<'a> {
+    entries: Vec<Entry<'a>>,
+}
+
+impl<'a> Registry<'a> {
+    /// Creates an empty registry.
+    pub fn new() -> Registry<'a> {
+        Registry { entries: Vec::new() }
+    }
+
+    /// Registers a counter under `name` with the given label pairs.
+    pub fn counter(
+        &mut self,
+        name: &'static str,
+        help: &'static str,
+        labels: &'a Labels,
+        counter: &'a Counter,
+    ) {
+        self.entries.push(Entry { name, help, labels, metric: MetricRef::Counter(counter) });
+    }
+
+    /// Registers a gauge under `name` with the given label pairs.
+    pub fn gauge(
+        &mut self,
+        name: &'static str,
+        help: &'static str,
+        labels: &'a Labels,
+        gauge: &'a Gauge,
+    ) {
+        self.entries.push(Entry { name, help, labels, metric: MetricRef::Gauge(gauge) });
+    }
+
+    /// Registers a histogram under `name` with the given label pairs.
+    pub fn histogram(
+        &mut self,
+        name: &'static str,
+        help: &'static str,
+        labels: &'a Labels,
+        histogram: &'a Histogram,
+    ) {
+        self.entries.push(Entry { name, help, labels, metric: MetricRef::Histogram(histogram) });
+    }
+
+    /// Registers a point-in-time counter sample (a value computed at scrape
+    /// time rather than stored in a live [`Counter`]).
+    pub fn counter_sample(
+        &mut self,
+        name: &'static str,
+        help: &'static str,
+        labels: &'a Labels,
+        value: u64,
+    ) {
+        self.entries.push(Entry { name, help, labels, metric: MetricRef::CounterSample(value) });
+    }
+
+    /// Registers a point-in-time gauge sample.
+    pub fn gauge_sample(
+        &mut self,
+        name: &'static str,
+        help: &'static str,
+        labels: &'a Labels,
+        value: i64,
+    ) {
+        self.entries.push(Entry { name, help, labels, metric: MetricRef::GaugeSample(value) });
+    }
+
+    /// Renders the registry as Prometheus text exposition.
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        self.render_into(&mut out);
+        out
+    }
+
+    /// Renders into an existing buffer.
+    pub fn render_into(&self, out: &mut String) {
+        let mut previous_name = "";
+        for entry in &self.entries {
+            if entry.name != previous_name {
+                out.push_str("# HELP ");
+                out.push_str(entry.name);
+                out.push(' ');
+                out.push_str(entry.help);
+                out.push_str("\n# TYPE ");
+                out.push_str(entry.name);
+                out.push(' ');
+                out.push_str(match entry.metric {
+                    MetricRef::Counter(_) | MetricRef::CounterSample(_) => "counter",
+                    MetricRef::Gauge(_) | MetricRef::GaugeSample(_) => "gauge",
+                    MetricRef::Histogram(_) => "histogram",
+                });
+                out.push('\n');
+                previous_name = entry.name;
+            }
+            match entry.metric {
+                MetricRef::Counter(c) => {
+                    render_sample(out, entry.name, "", entry.labels, None, c.get() as i128)
+                }
+                MetricRef::CounterSample(v) => {
+                    render_sample(out, entry.name, "", entry.labels, None, v as i128)
+                }
+                MetricRef::Gauge(g) => {
+                    render_sample(out, entry.name, "", entry.labels, None, g.get() as i128)
+                }
+                MetricRef::GaugeSample(v) => {
+                    render_sample(out, entry.name, "", entry.labels, None, v as i128)
+                }
+                MetricRef::Histogram(h) => render_histogram(out, entry.name, entry.labels, h),
+            }
+        }
+    }
+}
+
+fn render_labels(out: &mut String, labels: &Labels, le: Option<&str>) {
+    if labels.is_empty() && le.is_none() {
+        return;
+    }
+    out.push('{');
+    let mut first = true;
+    for (key, value) in labels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(key);
+        out.push_str("=\"");
+        // Label values here are static route/tier names; escape anyway so the
+        // renderer never emits invalid exposition if that changes.
+        for ch in value.chars() {
+            match ch {
+                '\\' => out.push_str("\\\\"),
+                '"' => out.push_str("\\\""),
+                '\n' => out.push_str("\\n"),
+                other => out.push(other),
+            }
+        }
+        out.push('"');
+    }
+    if let Some(le) = le {
+        if !first {
+            out.push(',');
+        }
+        out.push_str("le=\"");
+        out.push_str(le);
+        out.push('"');
+    }
+    out.push('}');
+}
+
+fn render_sample(
+    out: &mut String,
+    name: &str,
+    suffix: &str,
+    labels: &Labels,
+    le: Option<&str>,
+    value: i128,
+) {
+    out.push_str(name);
+    out.push_str(suffix);
+    render_labels(out, labels, le);
+    out.push(' ');
+    out.push_str(&value.to_string());
+    out.push('\n');
+}
+
+fn render_histogram(out: &mut String, name: &str, labels: &Labels, histogram: &Histogram) {
+    let buckets = histogram.bucket_counts();
+    let total: u64 = buckets.iter().sum();
+    let mut cumulative = 0u64;
+    let mut le = String::new();
+    for (index, &bucket) in buckets.iter().enumerate() {
+        if bucket == 0 {
+            continue; // sparse: only emit boundaries where mass lives
+        }
+        cumulative += bucket;
+        if index >= 63 {
+            continue; // overflow bucket is covered by +Inf below
+        }
+        le.clear();
+        le.push_str(&Histogram::bucket_upper_bound(index).to_string());
+        render_sample(out, name, "_bucket", labels, Some(&le), cumulative as i128);
+    }
+    render_sample(out, name, "_bucket", labels, Some("+Inf"), total as i128);
+    render_sample(out, name, "_sum", labels, None, histogram.sum() as i128);
+    render_sample(out, name, "_count", labels, None, total as i128);
+}
+
+// ---------------------------------------------------------------------------
+// Tests
+// ---------------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+
+        let g = Gauge::new();
+        g.inc();
+        g.inc();
+        g.dec();
+        g.add(-3);
+        assert_eq!(g.get(), -2);
+        g.set(7);
+        assert_eq!(g.get(), 7);
+    }
+
+    #[test]
+    fn bucket_boundaries_are_monotone_and_cover_u64() {
+        // Monotone, non-overlapping upper bounds.
+        let mut previous = Histogram::bucket_upper_bound(0);
+        for index in 1..HISTOGRAM_BUCKETS {
+            let bound = Histogram::bucket_upper_bound(index);
+            assert!(bound > previous, "bucket {index} bound {bound} <= {previous}");
+            previous = bound;
+        }
+        // Every value lands in the bucket whose bound covers it.
+        for value in [0u64, 1, 2, 3, 4, 7, 8, 1023, 1024, 1_000_000_000, u64::MAX / 2, u64::MAX] {
+            let index = Histogram::bucket_index(value);
+            assert!(value <= Histogram::bucket_upper_bound(index));
+            if index > 0 {
+                assert!(value > Histogram::bucket_upper_bound(index - 1));
+            }
+        }
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 63);
+    }
+
+    #[test]
+    fn histogram_tracks_count_sum_min_max() {
+        let h = Histogram::new();
+        assert_eq!((h.count(), h.sum(), h.min(), h.max()), (0, 0, 0, 0));
+        for v in [5u64, 100, 3, 1_000_000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 1_000_108);
+        assert_eq!(h.min(), 3);
+        assert_eq!(h.max(), 1_000_000);
+        assert!((h.mean() - 250_027.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn concurrent_records_never_lose_counts() {
+        const THREADS: usize = 8;
+        const PER_THREAD: u64 = 20_000;
+        let h = Arc::new(Histogram::new());
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    // Deterministic per-thread LCG so buckets get wide coverage.
+                    let mut state = 0x9e37_79b9_7f4a_7c15u64 ^ (t as u64);
+                    for _ in 0..PER_THREAD {
+                        state = state
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
+                        h.record(state >> (state % 60));
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        let expected = (THREADS as u64) * PER_THREAD;
+        assert_eq!(h.count(), expected, "count lost under concurrency");
+        let bucket_total: u64 = h.bucket_counts().iter().sum();
+        assert_eq!(bucket_total, expected, "bucket mass lost under concurrency");
+        assert!(h.min() <= h.max());
+    }
+
+    /// Property: the quantile estimate is within one log₂ bucket of the
+    /// exact order statistic, across deterministic pseudo-random samples.
+    #[test]
+    fn quantile_estimate_is_within_one_bucket_of_exact() {
+        let mut state = 0x243f_6a88_85a3_08d3u64;
+        for round in 0..20 {
+            let h = Histogram::new();
+            let mut samples = Vec::new();
+            let n = 100 + round * 37;
+            for _ in 0..n {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                // Spread over ~12 orders of magnitude like real latencies.
+                let v = state >> (state % 40);
+                h.record(v);
+                samples.push(v);
+            }
+            samples.sort_unstable();
+            for &q in &[0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+                let mut rank = (q * samples.len() as f64).ceil() as usize;
+                if rank == 0 {
+                    rank = 1;
+                }
+                let exact = samples[rank - 1];
+                let estimate = h.quantile(q);
+                let exact_bucket = Histogram::bucket_index(exact);
+                let estimate_bucket = Histogram::bucket_index(estimate);
+                assert!(
+                    estimate_bucket as i64 - exact_bucket as i64 <= 1
+                        && exact_bucket as i64 - estimate_bucket as i64 <= 1,
+                    "q={q} exact={exact} (bucket {exact_bucket}) \
+                     estimate={estimate} (bucket {estimate_bucket})"
+                );
+                // The estimate never exceeds the recorded maximum.
+                assert!(estimate <= h.max());
+            }
+        }
+    }
+
+    #[test]
+    fn quantile_of_empty_histogram_is_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn span_records_on_drop_and_finish() {
+        let h = Histogram::new();
+        {
+            let _span = Span::start(&h);
+        }
+        assert_eq!(h.count(), 1);
+        let span = Span::start(&h);
+        let ns = span.finish();
+        assert_eq!(h.count(), 2);
+        assert!(h.sum() >= ns);
+    }
+
+    #[test]
+    fn render_counters_gauges_and_samples() {
+        let c = Counter::new();
+        c.add(3);
+        let g = Gauge::new();
+        g.set(-2);
+        let mut registry = Registry::new();
+        registry.counter("uops_requests_total", "Requests.", &[], &c);
+        registry.gauge("uops_active", "Active.", &[("kind", "conn")], &g);
+        registry.counter_sample("uops_entries", "Entries.", &[("tier", "raw")], 9);
+        let text = registry.render();
+        assert!(text.contains("# HELP uops_requests_total Requests.\n"));
+        assert!(text.contains("# TYPE uops_requests_total counter\n"));
+        assert!(text.contains("uops_requests_total 3\n"));
+        assert!(text.contains("uops_active{kind=\"conn\"} -2\n"));
+        assert!(text.contains("uops_entries{tier=\"raw\"} 9\n"));
+    }
+
+    #[test]
+    fn render_histogram_is_cumulative_and_shares_headers() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for v in [1u64, 1, 5, 300] {
+            a.record(v);
+        }
+        b.record(42);
+        let mut registry = Registry::new();
+        registry.histogram("uops_latency", "Latency.", &[("route", "a")], &a);
+        registry.histogram("uops_latency", "Latency.", &[("route", "b")], &b);
+        let text = registry.render();
+        // One header pair for the shared name.
+        assert_eq!(text.matches("# TYPE uops_latency histogram").count(), 1);
+        // Cumulative counts at log2 boundaries: 1,1 -> le="1" is 2; 5 -> le="7" is 3.
+        assert!(text.contains("uops_latency_bucket{route=\"a\",le=\"1\"} 2\n"));
+        assert!(text.contains("uops_latency_bucket{route=\"a\",le=\"7\"} 3\n"));
+        assert!(text.contains("uops_latency_bucket{route=\"a\",le=\"511\"} 4\n"));
+        assert!(text.contains("uops_latency_bucket{route=\"a\",le=\"+Inf\"} 4\n"));
+        assert!(text.contains("uops_latency_sum{route=\"a\"} 307\n"));
+        assert!(text.contains("uops_latency_count{route=\"a\"} 4\n"));
+        assert!(text.contains("uops_latency_bucket{route=\"b\",le=\"+Inf\"} 1\n"));
+        // Cumulative counts never decrease within one label set.
+        let mut last = 0i128;
+        for line in text.lines().filter(|l| l.starts_with("uops_latency_bucket{route=\"a\"")) {
+            let value: i128 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(value >= last, "non-monotone cumulative bucket: {line}");
+            last = value;
+        }
+    }
+
+    #[test]
+    fn render_escapes_label_values() {
+        let c = Counter::new();
+        let mut registry = Registry::new();
+        registry.counter("uops_x_total", "X.", &[("path", "a\"b\\c")], &c);
+        let text = registry.render();
+        assert!(text.contains("uops_x_total{path=\"a\\\"b\\\\c\"} 0\n"));
+    }
+}

@@ -187,6 +187,63 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! ## Quickstart: observing a running server
+//!
+//! Telemetry ([`uops_telemetry`]) is on by default and its recording side
+//! is allocation-free — the counting-allocator proof in
+//! `crates/server/tests/alloc_free.rs` runs with every metric live. The
+//! server keeps per-route latency [`uops_telemetry::Histogram`]s (64
+//! log₂ buckets: bucket *k* covers `[2^(k-1), 2^k - 1]` nanoseconds, so
+//! quantiles carry ≤ 2x relative error), status-class and byte
+//! [`uops_telemetry::Counter`]s, connection [`uops_telemetry::Gauge`]s,
+//! cache hit/miss/eviction counters per tier, executor stage timings
+//! (parse/execute/encode), and task-pool queue depth / wait / run times.
+//!
+//! Scrape `GET /metrics` for the Prometheus text exposition — rendered on
+//! the cold path, never cached by either response tier, so every scrape
+//! is fresh. `serve` prints the URL next to its bound address;
+//! `--no-telemetry` turns recording off (then `/metrics` answers 404) and
+//! `--access-log[=every-N]` emits sampled JSON request lines to stderr
+//! from a background writer thread (route, status, bytes, cache tier, and
+//! per-stage microseconds). `/v1/stats` additionally reports stage
+//! latency percentiles derived from the same histograms:
+//!
+//! ```rust
+//! use std::sync::Arc;
+//! use uops_info::prelude::*;
+//! use uops_info::serve::{render_metrics, ServerOptions};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! # let mut snapshot = Snapshot::new("observability quickstart");
+//! # snapshot.records.push(uops_info::db::VariantRecord {
+//! #     mnemonic: "ADD".into(),
+//! #     variant: "R64, R64".into(),
+//! #     extension: "BASE".into(),
+//! #     uarch: "Skylake".into(),
+//! #     uop_count: 1,
+//! #     ports: vec![(0b0110_0011, 1)],
+//! #     tp_measured: 0.25,
+//! #     ..Default::default()
+//! # });
+//! let segment = Arc::new(Segment::from_bytes(Segment::encode(&snapshot))?);
+//! let service = Arc::new(QueryService::from_segment(segment, 64 << 20));
+//! let server = Server::bind_with("127.0.0.1:0", service.clone(), 2, ServerOptions::default())?;
+//!
+//! // The same exposition `GET /metrics` serves, rendered in-process.
+//! let text = render_metrics(&service, &server.metrics());
+//! assert!(text.contains("# TYPE uops_http_requests_total counter"));
+//! assert!(text.contains("uops_cache_entries{tier=\"raw\"}"));
+//! assert!(text.contains("uops_pool_queue_depth"));
+//!
+//! // The raw primitives compose outside the server, too.
+//! let latency = uops_info::telemetry::Histogram::new();
+//! latency.record(1_250); // wait-free, allocation-free
+//! // Quantiles answer the bucket's upper bound, clamped to the observed max.
+//! assert_eq!(latency.quantile(0.5), 1_250);
+//! # Ok(())
+//! # }
+//! ```
 
 pub use uops_asm as asm;
 pub use uops_core as core_;
@@ -198,6 +255,7 @@ pub use uops_measure as measure;
 pub use uops_pipeline as pipeline;
 pub use uops_pool as pool;
 pub use uops_serve as serve;
+pub use uops_telemetry as telemetry;
 pub use uops_uarch as uarch;
 
 /// Commonly used items, re-exported for convenience.
@@ -224,5 +282,6 @@ pub mod prelude {
     pub use uops_pipeline::{PerfCounters, Pipeline};
     pub use uops_pool::{parallel_map, parallel_map_indexed, Parallelism, TaskPool};
     pub use uops_serve::{Encoding, QueryService, ResponseCache, Server};
+    pub use uops_telemetry::{Counter, Gauge, Histogram, Registry, Span};
     pub use uops_uarch::{MicroArch, Port, PortSet, UarchConfig};
 }
