@@ -21,6 +21,13 @@
 //!   telemetry-off throughput. The report also extracts `/v1/query`
 //!   p50/p99 from the server's own latency histograms — the numbers a
 //!   scrape of `/metrics` would serve.
+//! * **reactor** (Linux only): the epoll transport against the
+//!   thread-per-connection fast lane, measured in interleaved paired
+//!   rounds, then a 10k-idle-keep-alive battery — the connections are
+//!   parked on the reactor's timer wheel while pipelined throughput is
+//!   re-measured through the crowd. Gates: reactor pipelined throughput
+//!   ≥ 1.0x the threaded transport; idle-connection memory (process RSS
+//!   delta / connections) bounded at 16 KiB per parked connection.
 //!
 //! Besides the human-readable report, the run writes a machine-readable
 //! summary to `BENCH_serve.json` (override with the `BENCH_SERVE_JSON`
@@ -382,7 +389,7 @@ fn bench_serve(c: &mut Criterion) {
         "127.0.0.1:0",
         Arc::clone(&quiet_service),
         2,
-        ServerOptions { no_telemetry: true, access_log: None },
+        ServerOptions { no_telemetry: true, ..ServerOptions::default() },
     )
     .expect("bind quiet");
     let quiet_addr = quiet_server.local_addr();
@@ -448,6 +455,126 @@ fn bench_serve(c: &mut Criterion) {
     let fast_lane_p50_ns = query_latency.quantile(0.50);
     let fast_lane_p99_ns = query_latency.quantile(0.99);
     assert!(query_latency.count() > 0, "the bench must have recorded query latencies");
+
+    // ---- reactor transport: paired throughput + the 10k-idle battery ----
+    #[cfg(target_os = "linux")]
+    let reactor_json = {
+        use std::time::Duration;
+
+        use uops_serve::net::{raise_nofile_limit, rss_bytes};
+
+        const REACTOR_SHARDS: usize = 2;
+        // A long keep-alive so the parked idle connections survive the
+        // whole measurement instead of being evicted by the timer wheel.
+        let reactor_options = ServerOptions {
+            keep_alive_timeout: Duration::from_secs(600),
+            ..ServerOptions::default()
+        };
+        let reactor_service = Arc::new(QueryService::from_segment(Arc::clone(&segment), 64 << 20));
+        let reactor_server =
+            Server::bind_reactor("127.0.0.1:0", reactor_service, REACTOR_SHARDS, reactor_options)
+                .expect("bind reactor");
+        let reactor_addr = reactor_server.local_addr();
+        let reactor_metrics = reactor_server.metrics();
+        let reactor_handle = reactor_server.spawn();
+
+        // Interleaved paired rounds against the (still running) threaded
+        // fast lane, same gate discipline as the batteries above.
+        let mut reactor_rounds = [0.0f64; MEASURE_ROUNDS];
+        let mut threaded_rounds = [0.0f64; MEASURE_ROUNDS];
+        for i in 0..MEASURE_ROUNDS {
+            threaded_rounds[i] = http_pipelined_rps(&addr, &hot_request, 60);
+            reactor_rounds[i] = http_pipelined_rps(&reactor_addr, &hot_request, 60);
+        }
+        let reactor_rps = best(&reactor_rounds);
+        let threaded_rps = best(&threaded_rounds);
+        let reactor_ratio = reactor_rps / threaded_rps.max(1.0);
+        let reactor_gate = reactor_ratio.max(best_paired_ratio(&reactor_rounds, &threaded_rounds));
+        assert!(
+            reactor_gate >= 1.0,
+            "the reactor must serve pipelined keep-alive traffic at least as fast as the \
+             thread-per-connection transport ({reactor_rps:.0} vs {threaded_rps:.0} req/s = \
+             {reactor_ratio:.2}x; best paired round {reactor_gate:.2}x)"
+        );
+
+        // 10k idle keep-alive connections. Each costs two fds here (client
+        // and server share the process), so raise the fd ceiling first and
+        // scale the target down if the limit will not stretch that far.
+        let limit = raise_nofile_limit(24_576);
+        let idle_target = 10_000.min((limit.saturating_sub(512) / 2) as usize);
+
+        // Let the pipelined clients' dropped connections finish closing so
+        // the gauge is quiescent before idle connections count against it.
+        let settle_deadline = Instant::now() + Duration::from_secs(10);
+        let mut active_before = reactor_metrics.connections_active.get();
+        loop {
+            std::thread::sleep(Duration::from_millis(100));
+            let now_active = reactor_metrics.connections_active.get();
+            let settled = now_active == active_before;
+            active_before = now_active;
+            if settled || Instant::now() >= settle_deadline {
+                break;
+            }
+        }
+
+        let wait_active = |want: i64| {
+            let deadline = Instant::now() + Duration::from_secs(30);
+            while reactor_metrics.connections_active.get() < want {
+                assert!(
+                    Instant::now() < deadline,
+                    "reactor did not accept {want} idle connections in time \
+                     (active {})",
+                    reactor_metrics.connections_active.get()
+                );
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        };
+        let rss_before = rss_bytes().expect("statm is readable on Linux");
+        let mut idle = Vec::with_capacity(idle_target);
+        for i in 0..idle_target {
+            idle.push(TcpStream::connect(reactor_addr).expect("idle connect"));
+            if (i + 1) % 512 == 0 {
+                // Keep the connect burst inside the listen backlog.
+                wait_active(active_before + (i as i64 + 1) - 256);
+            }
+        }
+        wait_active(active_before + idle_target as i64);
+        let rss_after = rss_bytes().expect("statm is readable on Linux");
+        let idle_rss_delta = rss_after.saturating_sub(rss_before);
+        let idle_bytes_per_conn = idle_rss_delta / idle_target.max(1) as u64;
+        assert!(
+            idle_bytes_per_conn <= 16 * 1024,
+            "a parked idle connection must stay under 16 KiB of resident memory \
+             ({idle_rss_delta} bytes across {idle_target} connections = \
+             {idle_bytes_per_conn} bytes each)"
+        );
+
+        // Pipelined throughput again, now threading one busy connection
+        // through the {idle_target}-connection crowd: epoll_wait is
+        // O(ready), so the parked sockets must not tax the hot path.
+        let reactor_rps_with_idle = http_pipelined_rps(&reactor_addr, &hot_request, 30);
+        drop(idle);
+        reactor_handle.shutdown();
+
+        println!(
+            "reactor: {reactor_rps:.0} req/s pipelined ({reactor_ratio:.2}x vs \
+             {threaded_rps:.0} threaded) | {idle_target} idle conns at \
+             {idle_bytes_per_conn} B RSS each | {reactor_rps_with_idle:.0} req/s \
+             through the idle crowd"
+        );
+        format!(
+            ",\n  \"reactor\": {{\n    \"shards\": {REACTOR_SHARDS},\n    \
+             \"requests_per_sec_pipelined\": {reactor_rps:.0},\n    \
+             \"ratio_vs_thread_per_connection\": {reactor_ratio:.2},\n    \
+             \"idle_connections\": {idle_target},\n    \
+             \"idle_rss_delta_bytes\": {idle_rss_delta},\n    \
+             \"idle_bytes_per_connection\": {idle_bytes_per_conn},\n    \
+             \"requests_per_sec_with_idle\": {reactor_rps_with_idle:.0}\n  }}"
+        )
+    };
+    #[cfg(not(target_os = "linux"))]
+    let reactor_json = String::new();
+
     handle.shutdown();
     quiet_handle.shutdown();
 
@@ -508,7 +635,7 @@ fn bench_serve(c: &mut Criterion) {
          \"requests_per_sec_no_telemetry\": {http_quiet_rps:.0},\n    \
          \"throughput_ratio_vs_no_telemetry\": {telemetry_ratio:.2},\n    \
          \"query_latency_p50_ns\": {fast_lane_p50_ns},\n    \
-         \"query_latency_p99_ns\": {fast_lane_p99_ns}\n  }}\n}}\n",
+         \"query_latency_p99_ns\": {fast_lane_p99_ns}\n  }}{reactor_json}\n}}\n",
         1e9 / http_cached_rps,
     );
     let path = std::env::var("BENCH_SERVE_JSON").unwrap_or_else(|_| "BENCH_serve.json".to_string());

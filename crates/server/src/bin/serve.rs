@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! serve --segment uops.seg [--addr 127.0.0.1:8080] [--threads N] [--cache-mb 64]
-//!       [--mmap] [--no-telemetry] [--access-log[=EVERY_N]]
+//!       [--mmap] [--no-telemetry] [--access-log[=EVERY_N]] [--reactor[=SHARDS]]
 //! ```
 //!
 //! The first stdout line is always `listening on http://ADDR (...)`, so
@@ -13,6 +13,13 @@
 //!
 //! `--access-log` writes one JSON line per request to stderr;
 //! `--access-log=100` samples every 100th request.
+//!
+//! `--reactor` (Linux only) swaps the thread-per-connection transport for
+//! the event-driven epoll reactor: `--reactor=4` runs 4 acceptor shards
+//! (each an epoll event loop with its own `SO_REUSEPORT` listener); bare
+//! `--reactor` sizes the shard count to the CPU count. Use it when the
+//! workload is many concurrent, mostly idle keep-alive connections; the
+//! default transport remains the better fit for a few busy ones.
 
 use std::io::Write as _;
 use std::sync::Arc;
@@ -25,10 +32,10 @@ use uops_serve::{AccessLog, QueryService, Server, ServerOptions};
 const SPEC: CliSpec<'static> = CliSpec {
     name: "serve",
     usage: "serve --segment PATH [--addr HOST:PORT] [--threads N] [--cache-mb MB] [--mmap] \
-            [--no-telemetry] [--access-log[=EVERY_N]]",
+            [--no-telemetry] [--access-log[=EVERY_N]] [--reactor[=SHARDS]]",
     value_flags: &["--segment", "--addr", "--threads", "--cache-mb"],
     bool_flags: &["--mmap", "--no-telemetry"],
-    optional_value_flags: &["--access-log"],
+    optional_value_flags: &["--access-log", "--reactor"],
     max_positional: 0,
 };
 
@@ -46,6 +53,29 @@ fn open_segment(path: &str, use_mmap: bool) -> Result<Segment, uops_db::DbError>
         std::process::exit(2);
     }
     Segment::open(path)
+}
+
+/// Binds the selected transport: the thread-per-connection pool by
+/// default, the epoll reactor when `--reactor` asked for it (Linux only —
+/// elsewhere the flag exits with usage status, like other unsupported
+/// build-dependent flags).
+fn bind_transport(
+    addr: &str,
+    service: Arc<QueryService>,
+    threads: usize,
+    reactor_shards: Option<usize>,
+    options: ServerOptions,
+) -> std::io::Result<Server> {
+    match reactor_shards {
+        None => Server::bind_with(addr, service, threads, options),
+        #[cfg(target_os = "linux")]
+        Some(shards) => Server::bind_reactor(addr, service, shards, options),
+        #[cfg(not(target_os = "linux"))]
+        Some(_) => {
+            eprintln!("serve: --reactor requires Linux (epoll)");
+            std::process::exit(2);
+        }
+    }
 }
 
 fn main() {
@@ -84,10 +114,19 @@ fn main() {
         None
     };
 
+    let reactor_shards = if args.flag("--reactor") {
+        match args.parsed_value::<usize>("--reactor") {
+            Ok(shards) => Some(shards.unwrap_or_else(|| Parallelism::Auto.thread_count()).max(1)),
+            Err(message) => SPEC.exit_usage(&message),
+        }
+    } else {
+        None
+    };
+
     let records = segment.db().len();
     let service = Arc::new(QueryService::from_segment(segment, cache_mb << 20));
-    let options = ServerOptions { no_telemetry, access_log };
-    let server = match Server::bind_with(addr, service, threads, options) {
+    let options = ServerOptions { no_telemetry, access_log, ..ServerOptions::default() };
+    let server = match bind_transport(addr, service, threads, reactor_shards, options) {
         Ok(server) => server,
         Err(e) => {
             eprintln!("serve: cannot bind {addr}: {e}");
@@ -98,9 +137,13 @@ fn main() {
     // the first line and close the pipe, and an EPIPE here must not take
     // the server down before it serves a single request.
     let mut stdout = std::io::stdout();
+    let concurrency = match reactor_shards {
+        Some(shards) => format!("reactor x{shards} shards"),
+        None => format!("{threads} threads"),
+    };
     let _ = writeln!(
         stdout,
-        "listening on http://{} ({records} records, {threads} threads, {cache_mb} MiB cache)",
+        "listening on http://{} ({records} records, {concurrency}, {cache_mb} MiB cache)",
         server.local_addr()
     );
     if server.telemetry_enabled() {

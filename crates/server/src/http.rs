@@ -113,6 +113,23 @@ impl RequestBuf {
         RequestBuf { buf: vec![0u8; MAX_HEAD].into_boxed_slice(), filled: 0, scanned: 0 }
     }
 
+    /// A buffer that defers its [`MAX_HEAD`] allocation until the first
+    /// [`RequestBuf::read_request`] call. For transports holding many
+    /// mostly-idle connections (the epoll reactor), a connection that
+    /// never sends a byte then never pays for a buffer.
+    #[must_use]
+    pub fn lazy() -> RequestBuf {
+        RequestBuf { buf: Box::default(), filled: 0, scanned: 0 }
+    }
+
+    /// Bytes currently buffered but not yet consumed. Lets a non-blocking
+    /// caller distinguish "no progress" from "partial head arrived" after
+    /// a [`io::ErrorKind::WouldBlock`] return (slow-loris accounting).
+    #[must_use]
+    pub fn filled(&self) -> usize {
+        self.filled
+    }
+
     /// Reads one request head from `stream` (using bytes already buffered
     /// first) and parses it in place.
     ///
@@ -125,6 +142,11 @@ impl RequestBuf {
     /// [`RequestError::Bad`] for malformed or over-limit requests (answer
     /// it and close), [`RequestError::Io`] for socket failures.
     pub fn read_request(&mut self, stream: &mut impl Read) -> Result<Request<'_>, RequestError> {
+        if self.buf.is_empty() {
+            // Deferred from RequestBuf::lazy(): the connection is sending
+            // data, so it pays for its buffer now (exactly once).
+            self.buf = vec![0u8; MAX_HEAD].into_boxed_slice();
+        }
         let head_len = loop {
             // Resume the terminator scan two bytes back: a terminator may
             // straddle the previous fill boundary.
@@ -312,33 +334,75 @@ pub fn etag_matches(header: &str, etag: u64) -> bool {
     })
 }
 
-/// Writes `head` then `body` with as few syscalls as the socket allows —
-/// one `writev(2)` in the common case — retrying on short writes.
+/// Outcome of one [`write_resumable`] attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteProgress {
+    /// Every byte of head + body is on the wire.
+    Complete,
+    /// The socket returned [`io::ErrorKind::WouldBlock`]; `cursor` records
+    /// how far the response got. Call again (with the same head, body, and
+    /// cursor) once the socket reports writable.
+    Pending,
+}
+
+/// Writes `head` then `body` from `*cursor` (a byte offset into the
+/// logical head-then-body stream) with as few syscalls as the socket
+/// allows — one `writev(2)` in the common case — advancing `cursor` past
+/// every byte accepted.
+///
+/// `EINTR` is retried in place; `EAGAIN`/`EWOULDBLOCK` returns
+/// [`WriteProgress::Pending`] with the cursor parked mid-response, which
+/// is what lets a non-blocking transport resume a partially written
+/// response on the next writable event instead of erroring the
+/// connection.
 ///
 /// # Errors
 ///
 /// Propagates socket write failures; a zero-length write is reported as
 /// [`io::ErrorKind::WriteZero`].
-pub fn write_all_vectored(
+pub fn write_resumable(
     writer: &mut impl Write,
-    mut head: &[u8],
-    mut body: &[u8],
-) -> io::Result<()> {
-    while !head.is_empty() || !body.is_empty() {
-        let written = if head.is_empty() {
-            writer.write(body)?
-        } else if body.is_empty() {
-            writer.write(head)?
+    head: &[u8],
+    body: &[u8],
+    cursor: &mut usize,
+) -> io::Result<WriteProgress> {
+    let total = head.len() + body.len();
+    while *cursor < total {
+        let head_rest = &head[(*cursor).min(head.len())..];
+        let body_rest = &body[(*cursor).saturating_sub(head.len())..];
+        let written = if head_rest.is_empty() {
+            writer.write(body_rest)
+        } else if body_rest.is_empty() {
+            writer.write(head_rest)
         } else {
-            writer.write_vectored(&[IoSlice::new(head), IoSlice::new(body)])?
+            writer.write_vectored(&[IoSlice::new(head_rest), IoSlice::new(body_rest)])
         };
-        if written == 0 {
-            return Err(io::Error::new(io::ErrorKind::WriteZero, "socket accepted 0 bytes"));
+        match written {
+            Ok(0) => {
+                return Err(io::Error::new(io::ErrorKind::WriteZero, "socket accepted 0 bytes"));
+            }
+            Ok(n) => *cursor += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(WriteProgress::Pending),
+            Err(e) => return Err(e),
         }
-        let from_head = written.min(head.len());
-        head = &head[from_head..];
-        body = &body[written - from_head..];
     }
+    Ok(WriteProgress::Complete)
+}
+
+/// Writes all of `head` then `body` ([`write_resumable`] driven to
+/// completion): the blocking-transport entry point. A `WouldBlock` —
+/// possible on a blocking socket under a send timeout — is retried from
+/// the partial-write cursor rather than erroring the connection mid-
+/// response, and `EINTR` never surfaces.
+///
+/// # Errors
+///
+/// Propagates socket write failures; a zero-length write is reported as
+/// [`io::ErrorKind::WriteZero`].
+pub fn write_all_vectored(writer: &mut impl Write, head: &[u8], body: &[u8]) -> io::Result<()> {
+    let mut cursor = 0;
+    while write_resumable(writer, head, body, &mut cursor)? == WriteProgress::Pending {}
     Ok(())
 }
 
@@ -394,13 +458,25 @@ impl ResponseBuf {
         head: &ResponseHead<'_>,
         body: &[u8],
     ) -> io::Result<usize> {
+        let emit = self.assemble(head, body.len());
+        write_all_vectored(writer, &self.head, &body[..emit])?;
+        Ok(self.head.len() + emit)
+    }
+
+    /// Builds the response head in the scratch **without writing**,
+    /// returning how many of the `body_len` body bytes belong on the wire
+    /// (0 for `HEAD` and 304; `body_len` supplies `Content-Length` either
+    /// way). A non-blocking transport assembles once, then drains
+    /// [`ResponseBuf::head_bytes`] + body via [`write_resumable`] across
+    /// however many writable events it takes.
+    pub fn assemble(&mut self, head: &ResponseHead<'_>, body_len: usize) -> usize {
         self.head.clear();
         self.head.extend_from_slice(status_line(head.status).as_bytes());
         if head.status != 304 {
             self.head.extend_from_slice(b"Content-Type: ");
             self.head.extend_from_slice(head.content_type.as_bytes());
             self.head.extend_from_slice(b"\r\nContent-Length: ");
-            push_u64(&mut self.head, body.len() as u64);
+            push_u64(&mut self.head, body_len as u64);
             self.head.extend_from_slice(b"\r\n");
         }
         if let Some(etag) = head.etag {
@@ -413,10 +489,17 @@ impl ResponseBuf {
         } else {
             b"Connection: close\r\n\r\n".as_slice()
         });
-        let body =
-            if head.status == 304 || head.mode == BodyMode::HeaderOnly { &[][..] } else { body };
-        write_all_vectored(writer, &self.head, body)?;
-        Ok(self.head.len() + body.len())
+        if head.status == 304 || head.mode == BodyMode::HeaderOnly {
+            0
+        } else {
+            body_len
+        }
+    }
+
+    /// The head bytes built by the last [`ResponseBuf::assemble`].
+    #[must_use]
+    pub fn head_bytes(&self) -> &[u8] {
+        &self.head
     }
 }
 
@@ -666,5 +749,144 @@ mod tests {
         let mut writer = TrickleWriter(Vec::new());
         write_all_vectored(&mut writer, b"head|", b"body").expect("write");
         assert_eq!(writer.0, b"head|body");
+    }
+
+    /// A writer that accepts `burst` bytes, then answers `WouldBlock`
+    /// until the "socket buffer" is drained — the userspace model of a
+    /// full `SO_SNDBUF`.
+    struct SaturatingWriter {
+        out: Vec<u8>,
+        burst: usize,
+        accepted: usize,
+    }
+
+    impl SaturatingWriter {
+        fn drain(&mut self) {
+            self.accepted = 0;
+        }
+    }
+
+    impl Write for SaturatingWriter {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            let room = self.burst - self.accepted;
+            if room == 0 {
+                return Err(io::Error::new(io::ErrorKind::WouldBlock, "send buffer full"));
+            }
+            let n = room.min(buf.len());
+            self.out.extend_from_slice(&buf[..n]);
+            self.accepted += n;
+            Ok(n)
+        }
+        fn write_vectored(&mut self, bufs: &[IoSlice<'_>]) -> io::Result<usize> {
+            let first = bufs.iter().find(|b| !b.is_empty()).expect("non-empty");
+            self.write(first)
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn resumable_write_parks_on_wouldblock_and_resumes_mid_response() {
+        let head = b"HTTP/1.1 200 OK\r\nContent-Length: 9\r\n\r\n";
+        let body = b"body-data";
+        // A 7-byte burst blocks mid-head; draining and retrying with the
+        // same cursor must finish the exact byte stream, never duplicating
+        // or dropping across the head/body seam.
+        let mut writer = SaturatingWriter { out: Vec::new(), burst: 7, accepted: 0 };
+        let mut cursor = 0;
+        let mut rounds = 0;
+        loop {
+            match write_resumable(&mut writer, head, body, &mut cursor).expect("write") {
+                WriteProgress::Complete => break,
+                WriteProgress::Pending => {
+                    assert!(cursor < head.len() + body.len());
+                    writer.drain();
+                    rounds += 1;
+                }
+            }
+        }
+        assert_eq!(cursor, head.len() + body.len());
+        assert!(rounds >= 2, "the response must actually have been split up");
+        let mut expected = head.to_vec();
+        expected.extend_from_slice(body);
+        assert_eq!(writer.out, expected);
+    }
+
+    #[test]
+    fn write_all_vectored_survives_wouldblock() {
+        /// Blocks on every other call, one byte otherwise — the old
+        /// implementation errored the connection here.
+        struct FlakyWriter {
+            out: Vec<u8>,
+            calls: usize,
+        }
+        impl Write for FlakyWriter {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                self.calls += 1;
+                if self.calls % 2 == 0 {
+                    return Err(io::Error::new(io::ErrorKind::WouldBlock, "busy"));
+                }
+                if self.calls == 1 {
+                    return Err(io::Error::new(io::ErrorKind::Interrupted, "signal"));
+                }
+                self.out.push(buf[0]);
+                Ok(1)
+            }
+            fn write_vectored(&mut self, bufs: &[IoSlice<'_>]) -> io::Result<usize> {
+                let first = bufs.iter().find(|b| !b.is_empty()).expect("non-empty");
+                let first = [first[0]];
+                self.write(&first)
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut writer = FlakyWriter { out: Vec::new(), calls: 0 };
+        write_all_vectored(&mut writer, b"he", b"llo").expect("write");
+        assert_eq!(writer.out, b"hello");
+    }
+
+    #[test]
+    fn lazy_request_buf_defers_its_allocation() {
+        let buf = RequestBuf::lazy();
+        assert_eq!(buf.filled(), 0);
+        let mut buf = buf;
+        let raw = b"GET /lazy HTTP/1.1\r\n\r\n";
+        let request = buf.read_request(&mut raw.as_slice()).expect("parse");
+        assert_eq!(request.target, "/lazy");
+        let head_len = request.head_len;
+        assert_eq!(buf.filled(), raw.len());
+        buf.consume(head_len);
+        assert_eq!(buf.filled(), 0);
+    }
+
+    #[test]
+    fn assemble_then_head_bytes_matches_write_response() {
+        let head = ResponseHead {
+            status: 200,
+            content_type: "application/json",
+            keep_alive: true,
+            etag: Some(0xab),
+            mode: BodyMode::Full,
+        };
+        let mut direct = Vec::new();
+        let mut response = ResponseBuf::new();
+        let written = response.write_response(&mut direct, &head, b"{}\n").expect("write");
+
+        let mut staged = ResponseBuf::new();
+        let emit = staged.assemble(&head, 3);
+        assert_eq!(emit, 3);
+        let mut assembled = staged.head_bytes().to_vec();
+        assembled.extend_from_slice(b"{}\n");
+        assert_eq!(assembled, direct);
+        assert_eq!(written, assembled.len());
+
+        // HEAD and 304 emit no body bytes but keep their heads.
+        let emit = staged.assemble(&ResponseHead { mode: BodyMode::HeaderOnly, ..head }, 3);
+        assert_eq!(emit, 0);
+        assert!(String::from_utf8_lossy(staged.head_bytes()).contains("Content-Length: 3\r\n"));
+        let emit = staged.assemble(&ResponseHead { status: 304, ..head }, 3);
+        assert_eq!(emit, 0);
     }
 }

@@ -71,6 +71,8 @@ pub mod args;
 pub mod cache;
 pub mod http;
 pub mod metrics;
+#[cfg(target_os = "linux")]
+pub mod net;
 pub mod service;
 
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -244,9 +246,10 @@ pub fn route(service: &QueryService, method: &str, path: &str, query: &str) -> S
 }
 
 /// Telemetry and logging options for a [`Server`]
-/// ([`Server::bind_with`]); [`Default`] matches [`Server::bind`]:
-/// telemetry on, no access log.
-#[derive(Debug, Default)]
+/// ([`Server::bind_with`], [`Server::bind_reactor`]); [`Default`]
+/// matches [`Server::bind`]: telemetry on, no access log, 5 s keep-alive
+/// timeout.
+#[derive(Debug)]
 pub struct ServerOptions {
     /// Disable all metric recording and the `/metrics` endpoint (which
     /// then answers 404). The decision is made once at bind time; the hot
@@ -255,34 +258,109 @@ pub struct ServerOptions {
     /// Sampled structured access log (see [`AccessLog`]); `None` logs
     /// nothing.
     pub access_log: Option<AccessLog>,
+    /// How long an idle keep-alive connection may sit between requests
+    /// before it is closed. On the thread-per-connection transport this
+    /// is the socket read timeout; on the reactor it is enforced by the
+    /// timer wheel (coarse ticks of `timeout / 8`, so eviction lands
+    /// within ~12% past the nominal deadline).
+    pub keep_alive_timeout: Duration,
+}
+
+impl Default for ServerOptions {
+    fn default() -> ServerOptions {
+        ServerOptions {
+            no_telemetry: false,
+            access_log: None,
+            keep_alive_timeout: KEEP_ALIVE_TIMEOUT,
+        }
+    }
 }
 
 /// Everything a worker needs to serve one connection; shared across
-/// connections behind one `Arc` so accepting costs a single clone.
-struct ConnState {
-    service: Arc<QueryService>,
-    metrics: Arc<ServerMetrics>,
-    access_log: Option<AccessLog>,
-    telemetry: bool,
+/// connections (and, on the reactor, across shards) behind one `Arc` so
+/// accepting costs a single clone.
+pub(crate) struct ConnState {
+    pub(crate) service: Arc<QueryService>,
+    pub(crate) metrics: Arc<ServerMetrics>,
+    pub(crate) access_log: Option<AccessLog>,
+    pub(crate) telemetry: bool,
+    pub(crate) keep_alive_timeout: Duration,
 }
 
-/// The HTTP/1.1 server: a listener plus a [`TaskPool`] of workers, one
-/// task per accepted connection (keep-alive: a worker serves a connection
-/// until it closes, times out idle, or exhausts its request budget).
+/// Cross-thread shutdown plumbing shared by the server's threads and its
+/// [`ServerHandle`]: a flag, plus transport-appropriate wakeups — the
+/// blocking accept loop is woken by a throwaway connection, reactor
+/// shards by their eventfds.
+pub(crate) struct ShutdownSignal {
+    flag: AtomicBool,
+    #[cfg(target_os = "linux")]
+    wakes: Vec<Arc<net::sys::EventFd>>,
+}
+
+impl ShutdownSignal {
+    fn new() -> ShutdownSignal {
+        ShutdownSignal {
+            flag: AtomicBool::new(false),
+            #[cfg(target_os = "linux")]
+            wakes: Vec::new(),
+        }
+    }
+
+    #[cfg(target_os = "linux")]
+    fn with_wakes(wakes: Vec<Arc<net::sys::EventFd>>) -> ShutdownSignal {
+        ShutdownSignal { flag: AtomicBool::new(false), wakes }
+    }
+
+    pub(crate) fn is_triggered(&self) -> bool {
+        self.flag.load(Ordering::SeqCst)
+    }
+
+    fn trigger(&self, addr: SocketAddr) {
+        self.flag.store(true, Ordering::SeqCst);
+        #[cfg(target_os = "linux")]
+        if !self.wakes.is_empty() {
+            for wake in &self.wakes {
+                wake.notify();
+            }
+            return;
+        }
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(addr);
+    }
+}
+
+/// The two ways a [`Server`] can move bytes.
+enum Transport {
+    /// Thread-per-connection: a blocking accept loop handing connections
+    /// to a [`TaskPool`] of workers (the default).
+    Pool { listener: TcpListener, pool: TaskPool },
+    /// Event-driven: N epoll reactor shards, each with its own
+    /// `SO_REUSEPORT` listener ([`Server::bind_reactor`]).
+    #[cfg(target_os = "linux")]
+    Reactor { shards: Vec<net::reactor::Shard> },
+}
+
+/// The HTTP/1.1 server. The default transport is a listener plus a
+/// [`TaskPool`] of workers, one task per accepted connection
+/// (keep-alive: a worker serves a connection until it closes, times out
+/// idle, or exhausts its request budget). On Linux,
+/// [`Server::bind_reactor`] selects the event-driven transport instead:
+/// epoll reactor shards multiplexing thousands of non-blocking
+/// connections per thread — same routing, same caches, same telemetry,
+/// different concurrency regime (see [`net`]).
 pub struct Server {
-    listener: TcpListener,
+    transport: Transport,
     state: Arc<ConnState>,
-    pool: TaskPool,
     local_addr: SocketAddr,
-    shutdown: Arc<AtomicBool>,
+    shutdown: Arc<ShutdownSignal>,
 }
 
-/// A handle to a server running on a background accept thread
+/// A handle to a server running on background threads
 /// ([`Server::spawn`]); dropping it without [`ServerHandle::shutdown`]
 /// leaves the server running detached.
 pub struct ServerHandle {
     local_addr: SocketAddr,
-    shutdown: Arc<AtomicBool>,
+    shutdown: Arc<ShutdownSignal>,
     accept_thread: std::thread::JoinHandle<()>,
 }
 
@@ -296,9 +374,7 @@ impl ServerHandle {
     /// Stops accepting, drains in-flight connections, and joins the accept
     /// thread.
     pub fn shutdown(self) {
-        self.shutdown.store(true, Ordering::SeqCst);
-        // Wake the blocking accept with a throwaway connection.
-        let _ = TcpStream::connect(self.local_addr);
+        self.shutdown.trigger(self.local_addr);
         let _ = self.accept_thread.join();
     }
 }
@@ -337,16 +413,69 @@ impl Server {
             TaskPool::new(threads, "uops-serve-worker")
         };
         Ok(Server {
-            listener,
+            transport: Transport::Pool { listener, pool },
             state: Arc::new(ConnState {
                 service,
                 metrics,
                 access_log: options.access_log,
                 telemetry,
+                keep_alive_timeout: options.keep_alive_timeout,
             }),
-            pool,
             local_addr,
-            shutdown: Arc::new(AtomicBool::new(false)),
+            shutdown: Arc::new(ShutdownSignal::new()),
+        })
+    }
+
+    /// Binds the event-driven reactor transport (Linux only): `shards`
+    /// single-threaded epoll event loops, each owning its own
+    /// `SO_REUSEPORT` listener on `addr` and multiplexing its share of
+    /// the connections through non-blocking state machines. Prefer this
+    /// over [`Server::bind`] when the workload is many concurrent,
+    /// mostly idle keep-alive connections (10k+): a parked connection
+    /// costs a slab entry and an fd, not a thread.
+    ///
+    /// Routing, caching, telemetry, and the access log are identical to
+    /// the thread-per-connection transport; responses are byte-for-byte
+    /// the same.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind and epoll/eventfd setup failures.
+    #[cfg(target_os = "linux")]
+    pub fn bind_reactor(
+        addr: &str,
+        service: Arc<QueryService>,
+        shards: usize,
+        options: ServerOptions,
+    ) -> std::io::Result<Server> {
+        let shards = shards.max(1);
+        let (local_addr, listeners) = net::listener::bind_shard_listeners(addr, shards)?;
+        let telemetry = !options.no_telemetry;
+        let state = Arc::new(ConnState {
+            service,
+            metrics: Arc::new(ServerMetrics::new()),
+            access_log: options.access_log,
+            telemetry,
+            keep_alive_timeout: options.keep_alive_timeout,
+        });
+        let wakes = (0..shards)
+            .map(|_| net::sys::EventFd::new().map(Arc::new))
+            .collect::<std::io::Result<Vec<_>>>()?;
+        let shutdown = Arc::new(ShutdownSignal::with_wakes(wakes.clone()));
+        let mut shard_loops = Vec::with_capacity(shards);
+        for (listener, wake) in listeners.into_iter().zip(wakes) {
+            shard_loops.push(net::reactor::Shard::new(
+                listener,
+                wake,
+                Arc::clone(&state),
+                Arc::clone(&shutdown),
+            )?);
+        }
+        Ok(Server {
+            transport: Transport::Reactor { shards: shard_loops },
+            state,
+            local_addr,
+            shutdown,
         })
     }
 
@@ -369,29 +498,17 @@ impl Server {
         self.state.telemetry
     }
 
-    /// Runs the accept loop on the calling thread until shutdown is
-    /// signalled (never, unless [`Server::spawn`] wrapped it).
+    /// Runs the server on the calling thread until shutdown is signalled
+    /// (never, unless [`Server::spawn`] wrapped it): the accept loop for
+    /// the pool transport, shard 0's event loop (with shards 1..N on
+    /// their own threads) for the reactor.
     pub fn run(self) {
-        let Server { listener, state, pool, shutdown, .. } = self;
-        for stream in listener.incoming() {
-            if shutdown.load(Ordering::SeqCst) {
-                break;
-            }
-            let stream = match stream {
-                Ok(stream) => stream,
-                Err(_) => {
-                    // Accept failures (EMFILE under fd exhaustion, transient
-                    // ECONNABORTED) would otherwise return immediately and
-                    // spin this loop at 100% CPU; back off briefly so the
-                    // overload can drain instead of being amplified.
-                    std::thread::sleep(Duration::from_millis(10));
-                    continue;
-                }
-            };
-            let state = Arc::clone(&state);
-            pool.execute(move || serve_connection(stream, &state));
+        let Server { transport, state, shutdown, .. } = self;
+        match transport {
+            Transport::Pool { listener, pool } => run_pool(listener, state, pool, &shutdown),
+            #[cfg(target_os = "linux")]
+            Transport::Reactor { shards } => run_reactor(shards),
         }
-        pool.shutdown();
     }
 
     /// Moves the accept loop to a background thread, returning a handle
@@ -406,6 +523,73 @@ impl Server {
             .spawn(move || self.run())
             .expect("spawn accept thread");
         ServerHandle { local_addr, shutdown, accept_thread }
+    }
+}
+
+/// The thread-per-connection accept loop. Transient accept failures
+/// (`EINTR`, spurious `EAGAIN`) retry immediately; resource-exhaustion
+/// failures (`EMFILE` under fd pressure, `ENFILE`) would otherwise return
+/// immediately and spin this loop at 100% CPU, so they back off briefly
+/// and let the overload drain instead of being amplified. Both classes
+/// count into the `accept_errors` telemetry counter.
+fn run_pool(
+    listener: TcpListener,
+    state: Arc<ConnState>,
+    pool: TaskPool,
+    shutdown: &ShutdownSignal,
+) {
+    for stream in listener.incoming() {
+        if shutdown.is_triggered() {
+            break;
+        }
+        let stream = match stream {
+            Ok(stream) => stream,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::Interrupted | std::io::ErrorKind::WouldBlock
+                ) =>
+            {
+                if state.telemetry {
+                    state.metrics.accept_errors.inc();
+                }
+                continue;
+            }
+            Err(_) => {
+                if state.telemetry {
+                    state.metrics.accept_errors.inc();
+                }
+                std::thread::sleep(Duration::from_millis(10));
+                continue;
+            }
+        };
+        let state = Arc::clone(&state);
+        pool.execute(move || serve_connection(stream, &state));
+    }
+    pool.shutdown();
+}
+
+/// Runs reactor shard 0 on the calling thread and shards 1..N on their
+/// own threads; returns when every shard has observed the shutdown
+/// signal.
+#[cfg(target_os = "linux")]
+fn run_reactor(shards: Vec<net::reactor::Shard>) {
+    let mut shards = shards.into_iter();
+    let first = shards.next();
+    let rest: Vec<_> = shards
+        .enumerate()
+        .map(|(at, shard)| {
+            std::thread::Builder::new()
+                .name(format!("uops-serve-shard-{}", at + 1))
+                .spawn(move || shard.run())
+                .expect("spawn reactor shard")
+        })
+        .collect();
+    if let Some(shard) = first {
+        shard.run();
+    }
+    for handle in rest {
+        let _ = handle.join();
     }
 }
 
@@ -433,6 +617,119 @@ fn metrics_response(state: &ConnState, method: &str, query: &str) -> ServiceResp
     }
 }
 
+/// Everything captured from answering one request that must outlive the
+/// request-buffer borrow: the service response plus the framing and
+/// telemetry facts derived from the request.
+pub(crate) struct RequestOutcome {
+    pub(crate) response: ServiceResponse,
+    /// The status actually sent on the wire (304 when a revalidation hit).
+    pub(crate) status: u16,
+    pub(crate) mode: http::BodyMode,
+    pub(crate) not_modified: bool,
+    pub(crate) route: Route,
+}
+
+/// Answers one parsed request: stage-scratch reset, route
+/// classification, `/metrics` interception, the raw-fast-lane
+/// [`respond`], conditional-request (`If-None-Match`) resolution, and
+/// `HEAD` body suppression. Shared by both transports so their responses
+/// are byte-identical by construction.
+pub(crate) fn answer(state: &ConnState, request: &http::Request<'_>) -> RequestOutcome {
+    metrics::stage_scratch::reset();
+    let route = Route::of(request.path());
+    if state.telemetry {
+        state.metrics.request_bytes.add(request.head_len as u64);
+    }
+    let response = if route == Route::Metrics {
+        // Served here, before respond(): /metrics must always be freshly
+        // rendered, never from either cache tier.
+        metrics_response(state, request.method, request.query())
+    } else {
+        respond(&state.service, request.method, request.target)
+    };
+    let not_modified = response.status == 200
+        && match (response.etag, request.if_none_match) {
+            (Some(etag), Some(header)) => http::etag_matches(header, etag),
+            _ => false,
+        };
+    let status = if not_modified { 304 } else { response.status };
+    let mode =
+        if request.method == "HEAD" { http::BodyMode::HeaderOnly } else { http::BodyMode::Full };
+    RequestOutcome { response, status, mode, not_modified, route }
+}
+
+/// Telemetry for a request rejected by the parser (the transport answers
+/// it with an error response and closes).
+pub(crate) fn record_parse_error(state: &ConnState, status: u16) {
+    if !state.telemetry {
+        return;
+    }
+    let metrics = &*state.metrics;
+    metrics.parse_errors.inc();
+    if status == 400 {
+        metrics.bad_requests.inc();
+    } else if status == 431 {
+        metrics.header_overflows.inc();
+    }
+    metrics.status_class(status).inc();
+}
+
+/// Telemetry + access logging for one completed response, shared by both
+/// transports. `stages` is the `(parse, execute, encode)` nanosecond
+/// triple captured from the stage scratch **on the thread that answered**
+/// — the reactor interleaves many connections on one thread, so it
+/// captures immediately after [`answer`] rather than reading the
+/// thread-local here.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn record_request(
+    state: &ConnState,
+    route: Route,
+    status: u16,
+    tier: ResponseTier,
+    not_modified: bool,
+    wire_bytes: Option<usize>,
+    started: Instant,
+    stages: (u64, u64, u64),
+) {
+    if !state.telemetry && state.access_log.is_none() {
+        return;
+    }
+    let elapsed = saturating_ns(started.elapsed());
+    if state.telemetry {
+        let metrics = &*state.metrics;
+        metrics.requests.inc();
+        if let Some(bytes) = wire_bytes {
+            metrics.response_bytes.add(bytes as u64);
+        }
+        metrics.status_class(status).inc();
+        if not_modified {
+            metrics.not_modified.inc();
+        }
+        metrics.route_latency(route).record(elapsed);
+        match tier {
+            ResponseTier::Raw => metrics.tier_latency_raw.record(elapsed),
+            ResponseTier::Fingerprint => metrics.tier_latency_fingerprint.record(elapsed),
+            ResponseTier::Uncached => metrics.tier_latency_uncached.record(elapsed),
+            ResponseTier::Untiered => {}
+        }
+    }
+    if let Some(log) = &state.access_log {
+        if log.sample() {
+            let (parse_ns, execute_ns, encode_ns) = stages;
+            log.log(&AccessEntry {
+                route: route.label(),
+                status,
+                bytes: wire_bytes.unwrap_or(0),
+                tier: tier.label(),
+                total_ns: elapsed,
+                parse_ns,
+                execute_ns,
+                encode_ns,
+            });
+        }
+    }
+}
+
 /// Decrements the connection gauges on every exit path of
 /// [`serve_connection`] (early returns included).
 struct ConnGuard<'a> {
@@ -456,7 +753,6 @@ impl Drop for ConnGuard<'_> {
 /// and telemetry keeps it that way (atomic increments and histogram
 /// buckets only; see `tests/alloc_free.rs`).
 fn serve_connection(stream: TcpStream, state: &ConnState) {
-    let service = &*state.service;
     let metrics = &*state.metrics;
     let telemetry = state.telemetry;
     if telemetry {
@@ -464,7 +760,7 @@ fn serve_connection(stream: TcpStream, state: &ConnState) {
         metrics.connections_active.inc();
     }
     let _guard = ConnGuard { metrics, enabled: telemetry };
-    let _ = stream.set_read_timeout(Some(KEEP_ALIVE_TIMEOUT));
+    let _ = stream.set_read_timeout(Some(state.keep_alive_timeout));
     let _ = stream.set_nodelay(true);
     let Ok(mut writer) = stream.try_clone() else { return };
     let mut reader = stream;
@@ -473,20 +769,12 @@ fn serve_connection(stream: TcpStream, state: &ConnState) {
     for served in 0..MAX_REQUESTS_PER_CONNECTION {
         // The parsed request borrows `request_buf`; everything needed
         // beyond this block is captured before the borrow is released.
-        let (response, head_len, keep_alive, mode, not_modified, route_kind, started) = {
+        let (outcome, head_len, keep_alive, started) = {
             let request = match request_buf.read_request(&mut reader) {
                 Ok(request) => request,
                 Err(http::RequestError::ConnectionClosed) => return,
                 Err(http::RequestError::Bad(status, message)) => {
-                    if telemetry {
-                        metrics.parse_errors.inc();
-                        if status == 400 {
-                            metrics.bad_requests.inc();
-                        } else if status == 431 {
-                            metrics.header_overflows.inc();
-                        }
-                        metrics.status_class(status).inc();
-                    }
+                    record_parse_error(state, status);
                     let body = ServiceResponse::error(status, &message);
                     let written = response_buf.write_response(
                         &mut writer,
@@ -511,33 +799,11 @@ fn serve_connection(stream: TcpStream, state: &ConnState) {
             // The clock starts after the request is in hand: keep-alive
             // idle time between requests is not request latency.
             let started = Instant::now();
-            metrics::stage_scratch::reset();
-            let route_kind = Route::of(request.path());
-            if telemetry {
-                metrics.request_bytes.add(request.head_len as u64);
-            }
             let keep_alive = request.keep_alive && served + 1 < MAX_REQUESTS_PER_CONNECTION;
-            let response = if route_kind == Route::Metrics {
-                // Served here, before respond(): /metrics must always be
-                // freshly rendered, never from either cache tier.
-                metrics_response(state, request.method, request.query())
-            } else {
-                respond(service, request.method, request.target)
-            };
-            let not_modified = response.status == 200
-                && match (response.etag, request.if_none_match) {
-                    (Some(etag), Some(header)) => http::etag_matches(header, etag),
-                    _ => false,
-                };
-            let mode = if request.method == "HEAD" {
-                http::BodyMode::HeaderOnly
-            } else {
-                http::BodyMode::Full
-            };
-            (response, request.head_len, keep_alive, mode, not_modified, route_kind, started)
+            (answer(state, &request), request.head_len, keep_alive, started)
         };
         request_buf.consume(head_len);
-        let status = if not_modified { 304 } else { response.status };
+        let RequestOutcome { response, status, mode, not_modified, route } = outcome;
         let written = response_buf.write_response(
             &mut writer,
             &http::ResponseHead {
@@ -553,41 +819,16 @@ fn serve_connection(stream: TcpStream, state: &ConnState) {
             Ok(bytes) => Some(*bytes),
             Err(_) => None,
         };
-        if telemetry || state.access_log.is_some() {
-            let elapsed = saturating_ns(started.elapsed());
-            if telemetry {
-                metrics.requests.inc();
-                if let Some(bytes) = wire_bytes {
-                    metrics.response_bytes.add(bytes as u64);
-                }
-                metrics.status_class(status).inc();
-                if not_modified {
-                    metrics.not_modified.inc();
-                }
-                metrics.route_latency(route_kind).record(elapsed);
-                match response.tier {
-                    ResponseTier::Raw => metrics.tier_latency_raw.record(elapsed),
-                    ResponseTier::Fingerprint => metrics.tier_latency_fingerprint.record(elapsed),
-                    ResponseTier::Uncached => metrics.tier_latency_uncached.record(elapsed),
-                    ResponseTier::Untiered => {}
-                }
-            }
-            if let Some(log) = &state.access_log {
-                if log.sample() {
-                    let (parse_ns, execute_ns, encode_ns) = metrics::stage_scratch::get();
-                    log.log(&AccessEntry {
-                        route: route_kind.label(),
-                        status,
-                        bytes: wire_bytes.unwrap_or(0),
-                        tier: response.tier.label(),
-                        total_ns: elapsed,
-                        parse_ns,
-                        execute_ns,
-                        encode_ns,
-                    });
-                }
-            }
-        }
+        record_request(
+            state,
+            route,
+            status,
+            response.tier,
+            not_modified,
+            wire_bytes,
+            started,
+            metrics::stage_scratch::get(),
+        );
         if written.is_err() || !keep_alive {
             return;
         }

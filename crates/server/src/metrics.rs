@@ -123,6 +123,10 @@ pub struct ServerMetrics {
     pub header_overflows: Counter,
     /// Revalidations answered `304 Not Modified`.
     pub not_modified: Counter,
+    /// Failed `accept` calls (transient `EINTR`/`EAGAIN` retried
+    /// immediately, plus `EMFILE`-class exhaustion that backed off) on
+    /// either transport's accept path.
+    pub accept_errors: Counter,
     /// Connections accepted.
     pub connections_opened: Counter,
     /// Connections fully served and closed.
@@ -165,6 +169,7 @@ impl ServerMetrics {
             bad_requests: Counter::new(),
             header_overflows: Counter::new(),
             not_modified: Counter::new(),
+            accept_errors: Counter::new(),
             connections_opened: Counter::new(),
             connections_closed: Counter::new(),
             connections_active: Gauge::new(),
@@ -251,6 +256,12 @@ pub fn render_metrics(service: &QueryService, metrics: &ServerMetrics) -> String
         "Parser rejections answered 431 (caps exceeded).",
         NO_LABELS,
         &metrics.header_overflows,
+    );
+    registry.counter(
+        "uops_http_accept_errors_total",
+        "Failed accept calls (transient retries and backed-off exhaustion).",
+        NO_LABELS,
+        &metrics.accept_errors,
     );
     registry.counter(
         "uops_http_connections_opened_total",
@@ -552,6 +563,7 @@ mod tests {
         let text = render_metrics(&service, &metrics);
         for needle in [
             "uops_http_requests_total 1",
+            "uops_http_accept_errors_total 0",
             "uops_http_request_latency_nanoseconds_bucket{route=\"/v1/query\",le=\"+Inf\"} 1",
             "uops_service_latency_nanoseconds_count{tier=\"raw\"} 1",
             "uops_cache_hits_total{tier=\"fingerprint\"} 0",

@@ -1,0 +1,110 @@
+//! `SO_REUSEPORT` acceptor-shard listeners.
+//!
+//! Each reactor shard owns its **own** listening socket on the shared
+//! port: the kernel hashes incoming connections across all sockets bound
+//! with `SO_REUSEPORT`, so accept load spreads across shards with no
+//! user-space coordination, no shared accept lock, and no thundering
+//! herd. `std` cannot express this (the option must be set between
+//! `socket` and `bind`), hence the raw setup in [`super::sys`]; the bound
+//! fd is handed back to `std` as a regular non-blocking [`TcpListener`]
+//! so `accept` and fd lifetime stay safe code.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
+use std::os::fd::{FromRawFd, IntoRawFd};
+
+use super::sys;
+
+/// Pending-connection backlog per shard listener (the kernel clamps this
+/// to `net.core.somaxconn`).
+const BACKLOG: i32 = 4096;
+
+/// Binds one non-blocking `SO_REUSEPORT` listener on `addr`.
+///
+/// # Errors
+///
+/// Propagates socket/bind/listen failures.
+pub(crate) fn bind_reuseport(addr: SocketAddr) -> io::Result<TcpListener> {
+    let fd = sys::bind_reuseport_listener(addr, BACKLOG)?;
+    // SAFETY: transferring sole ownership of a live, bound, listening fd.
+    Ok(unsafe { TcpListener::from_raw_fd(fd.into_raw_fd()) })
+}
+
+/// Binds `shards` reuse-port listeners for `addr` (resolving it like
+/// `TcpListener::bind` does): the first bind may use port 0, and the
+/// remaining shards join whatever concrete port the kernel assigned it.
+///
+/// # Errors
+///
+/// Propagates resolution and bind failures (the error of the last
+/// candidate address when all fail, as `std` does).
+pub(crate) fn bind_shard_listeners(
+    addr: &str,
+    shards: usize,
+) -> io::Result<(SocketAddr, Vec<TcpListener>)> {
+    let mut last_err = None;
+    let mut first = None;
+    for candidate in addr.to_socket_addrs()? {
+        match bind_reuseport(candidate) {
+            Ok(listener) => {
+                first = Some(listener);
+                break;
+            }
+            Err(e) => last_err = Some(e),
+        }
+    }
+    let Some(first) = first else {
+        return Err(last_err.unwrap_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, "could not resolve to any address")
+        }));
+    };
+    let local_addr = first.local_addr()?;
+    let mut listeners = vec![first];
+    for _ in 1..shards.max(1) {
+        listeners.push(bind_reuseport(local_addr)?);
+    }
+    Ok((local_addr, listeners))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+
+    #[test]
+    fn shard_listeners_all_accept_on_one_port() {
+        let (addr, listeners) = bind_shard_listeners("127.0.0.1:0", 3).expect("bind");
+        assert_eq!(listeners.len(), 3);
+        assert_ne!(addr.port(), 0, "a concrete port was assigned");
+
+        // Drive enough connections that the kernel's reuseport hash almost
+        // surely exercises more than one socket; every connection must be
+        // acceptable by exactly one of the shard listeners.
+        let mut clients = Vec::new();
+        for _ in 0..16 {
+            clients.push(std::net::TcpStream::connect(addr).expect("connect"));
+        }
+        // connect() returns on SYN-ACK; give the final ACK of each
+        // handshake a moment to land the connection in an accept queue.
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        let mut accepted = 0;
+        for listener in &listeners {
+            loop {
+                match listener.accept() {
+                    Ok((mut stream, _)) => {
+                        accepted += 1;
+                        stream.write_all(b"x").expect("write");
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) => panic!("accept: {e}"),
+                }
+            }
+        }
+        assert_eq!(accepted, clients.len());
+        for client in &mut clients {
+            let mut byte = [0u8; 1];
+            client.read_exact(&mut byte).expect("read");
+            assert_eq!(&byte, b"x");
+        }
+    }
+}

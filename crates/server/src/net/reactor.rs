@@ -1,0 +1,497 @@
+//! The per-shard epoll event loop: one thread, one `SO_REUSEPORT`
+//! listener, one slab of connection state machines.
+//!
+//! Each accepted connection is registered with epoll **once**, for
+//! `EPOLLIN | EPOLLOUT | EPOLLET | EPOLLRDHUP` — edge-triggered, so the
+//! kernel reports each readiness transition exactly once and the reactor
+//! never issues per-state `epoll_ctl` calls. The state machine honors the
+//! edge-triggered contract by always driving I/O to `EAGAIN`:
+//!
+//! * **Reading** — [`crate::http::RequestBuf::read_request`] pulls bytes
+//!   until a full head parses (in place, zero copies) or the socket runs
+//!   dry; a parsed request is answered through exactly the same
+//!   fast-lane/route/telemetry path as the thread-per-connection
+//!   transport ([`crate::answer`]).
+//! * **Responding** — the response head is assembled once
+//!   ([`crate::http::ResponseBuf::assemble`]) and head + body drain
+//!   through [`crate::http::write_resumable`], the partial-write cursor
+//!   riding in the connection across however many writable events the
+//!   response needs. While a write is pending no new request is parsed —
+//!   natural per-connection back-pressure. On completion, buffered
+//!   pipelined requests are served immediately (the loop falls back to
+//!   Reading without returning to `epoll_wait`).
+//! * **Draining** — a malformed request's error response is being
+//!   written; the connection closes when it completes.
+//!
+//! The listener itself is registered **level**-triggered: under fd
+//! exhaustion an accept backs off without consuming the edge, and epoll
+//! simply re-reports the pending backlog on the next wait.
+//!
+//! Idle keep-alive eviction rides the lazy [`TimerWheel`]: the
+//! `epoll_wait` timeout lands on coarse tick boundaries, progress on a
+//! connection just rewrites its expiry tick, and only due slots are
+//! walked. Slab slots carry generation counters so stale epoll events and
+//! stale wheel entries (from a closed connection whose slot was reused)
+//! are recognized and dropped.
+//!
+//! Steady state allocates nothing: connection buffers are reused across
+//! requests (and allocated lazily, so an idle connection that never sends
+//! a byte costs ~200 bytes of slab entry, not a 32 KiB request buffer —
+//! the "10k idle connections in bounded memory" property), wheel slots
+//! are preallocated, and the shared answer/record helpers are the same
+//! allocation-free code the blocking transport runs.
+
+use std::io;
+use std::net::{TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::http::{self, WriteProgress};
+use crate::metrics::{self, Route};
+use crate::service::{ResponseTier, ServiceResponse};
+use crate::{
+    answer, record_parse_error, record_request, ConnState, RequestOutcome, ShutdownSignal,
+    MAX_REQUESTS_PER_CONNECTION,
+};
+
+use super::sys::{Epoll, EpollEvent, EventFd, EPOLLET, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
+use super::timer::TimerWheel;
+
+/// Token marking the shard's listener in epoll reports.
+const TOKEN_LISTENER: u64 = u64::MAX;
+/// Token marking the shard's shutdown eventfd.
+const TOKEN_WAKE: u64 = u64::MAX - 1;
+/// Readiness reports drained per `epoll_wait` call.
+const EVENTS_PER_WAIT: usize = 256;
+
+/// Where a connection is in its serve cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Waiting for (or mid-way through) a request head.
+    Reading,
+    /// A response is assembled; head + body are draining to the socket.
+    Responding,
+    /// A parse error's response is draining; close when it completes.
+    Draining,
+}
+
+/// One connection's state between events.
+struct Conn {
+    stream: TcpStream,
+    /// Request bytes + in-place parser ([`http::RequestBuf::lazy`]: the
+    /// 32 KiB buffer materializes on the first readable byte, so idle
+    /// connections stay small).
+    request: http::RequestBuf,
+    /// Reusable response-head scratch.
+    response: http::ResponseBuf,
+    /// The in-flight response body (an `Arc` bump out of a cache tier in
+    /// the common case); dropped as soon as the response completes.
+    body: Option<Arc<[u8]>>,
+    /// How many body bytes belong on the wire (0 for `HEAD`/304).
+    body_emit: usize,
+    /// Partial-write cursor into head-then-body, carried across events.
+    cursor: usize,
+    phase: Phase,
+    /// Whether the connection survives the in-flight response.
+    keep_alive: bool,
+    /// Requests served (bounded by [`MAX_REQUESTS_PER_CONNECTION`]).
+    served: usize,
+    /// Wheel tick at which this connection counts as idle-expired;
+    /// rewritten on every byte of progress (the lazy-wheel "touch").
+    expiry_tick: u64,
+    // -- telemetry capture for the in-flight response --
+    started: Instant,
+    route: Route,
+    tier: ResponseTier,
+    status: u16,
+    not_modified: bool,
+    stages: (u64, u64, u64),
+}
+
+/// A slab slot: the connection (if live) plus the generation that must
+/// match for epoll tokens and wheel entries to act on it.
+struct Entry {
+    conn: Option<Conn>,
+    generation: u32,
+}
+
+/// Verdict of driving a connection's state machine.
+enum Drive {
+    /// Parked on `EAGAIN`; epoll will report the next edge.
+    Keep,
+    /// Done or broken; release the slot.
+    Close,
+}
+
+/// One reactor shard. [`Shard::run`] consumes the shard on its own
+/// thread; all shards of a server share the [`ConnState`] (service,
+/// metrics, access log) and the shutdown signal, and own disjoint
+/// connection populations.
+pub(crate) struct Shard {
+    epoll: Epoll,
+    listener: TcpListener,
+    wake: Arc<EventFd>,
+    state: Arc<ConnState>,
+    shutdown: Arc<ShutdownSignal>,
+    entries: Vec<Entry>,
+    free: Vec<u32>,
+    wheel: TimerWheel,
+    /// Wheel tick length in milliseconds (`keep-alive / 8`, 10–500 ms).
+    tick_ms: u64,
+    /// Idle allowance in ticks (≥ the keep-alive timeout).
+    timeout_ticks: u64,
+    epoch: Instant,
+}
+
+impl Shard {
+    /// Wraps an already bound+listening non-blocking `listener` into a
+    /// shard: creates the epoll instance and registers listener (level-
+    /// triggered) and wake eventfd.
+    pub(crate) fn new(
+        listener: TcpListener,
+        wake: Arc<EventFd>,
+        state: Arc<ConnState>,
+        shutdown: Arc<ShutdownSignal>,
+    ) -> io::Result<Shard> {
+        let epoll = Epoll::new()?;
+        epoll.add(listener.as_raw_fd(), EPOLLIN, TOKEN_LISTENER)?;
+        epoll.add(wake.raw_fd(), EPOLLIN, TOKEN_WAKE)?;
+        let keep_ms = u64::try_from(state.keep_alive_timeout.as_millis()).unwrap_or(5_000).max(1);
+        let tick_ms = (keep_ms / 8).clamp(10, 500);
+        let timeout_ticks = keep_ms.div_ceil(tick_ms) + 1;
+        Ok(Shard {
+            epoll,
+            listener,
+            wake,
+            state,
+            shutdown,
+            entries: Vec::new(),
+            free: Vec::new(),
+            wheel: TimerWheel::new(),
+            tick_ms,
+            timeout_ticks,
+            epoch: Instant::now(),
+        })
+    }
+
+    /// The event loop: wait, dispatch readiness, accept, expire idle
+    /// connections; returns once the shutdown signal is raised (closing
+    /// every connection this shard owns).
+    pub(crate) fn run(mut self) {
+        let mut events = vec![EpollEvent { events: 0, data: 0 }; EVENTS_PER_WAIT];
+        loop {
+            let timeout_ms = self.ms_to_next_tick();
+            let n = self.epoll.wait(&mut events, timeout_ms).unwrap_or(0);
+            if self.shutdown.is_triggered() {
+                self.close_all();
+                return;
+            }
+            let mut accept_ready = false;
+            for event in &events[..n] {
+                let token = event.data;
+                if token == TOKEN_LISTENER {
+                    accept_ready = true;
+                } else if token == TOKEN_WAKE {
+                    self.wake.drain();
+                } else {
+                    self.drive_token(token);
+                }
+            }
+            if accept_ready {
+                self.accept_ready();
+            }
+            let now_tick = self.now_tick();
+            self.expire_idle(now_tick);
+        }
+    }
+
+    fn now_tick(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_millis()).unwrap_or(u64::MAX) / self.tick_ms
+    }
+
+    /// `epoll_wait` timeout: sleep exactly to the next tick boundary, so
+    /// the wheel advances on schedule even with no socket activity.
+    fn ms_to_next_tick(&self) -> i32 {
+        let elapsed = u64::try_from(self.epoch.elapsed().as_millis()).unwrap_or(u64::MAX);
+        let remaining = self.tick_ms - (elapsed % self.tick_ms);
+        remaining.clamp(1, i32::MAX as u64) as i32
+    }
+
+    /// Accepts until the backlog runs dry. Transient `EINTR` retries
+    /// immediately; resource exhaustion (`EMFILE`-class) backs off
+    /// briefly — the level-triggered listener registration means epoll
+    /// re-reports the backlog next wait, nothing is lost. Both error
+    /// classes count into `accept_errors`.
+    fn accept_ready(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => self.register(stream),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {
+                    if self.state.telemetry {
+                        self.state.metrics.accept_errors.inc();
+                    }
+                }
+                Err(_) => {
+                    if self.state.telemetry {
+                        self.state.metrics.accept_errors.inc();
+                    }
+                    std::thread::sleep(Duration::from_millis(10));
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Enters an accepted connection into the slab, registers it with
+    /// epoll (once, edge-triggered) and the timer wheel, then drives it
+    /// immediately — data may already be queued from before registration.
+    fn register(&mut self, stream: TcpStream) {
+        if stream.set_nonblocking(true).is_err() {
+            return;
+        }
+        let _ = stream.set_nodelay(true);
+        let now_tick = self.now_tick();
+        let idx = match self.free.pop() {
+            Some(idx) => idx as usize,
+            None => {
+                self.entries.push(Entry { conn: None, generation: 0 });
+                self.entries.len() - 1
+            }
+        };
+        let gen = self.entries[idx].generation;
+        let token = (u64::from(gen) << 32) | idx as u64;
+        if self
+            .epoll
+            .add(stream.as_raw_fd(), EPOLLIN | EPOLLOUT | EPOLLET | EPOLLRDHUP, token)
+            .is_err()
+        {
+            self.free.push(idx as u32);
+            return;
+        }
+        if self.state.telemetry {
+            self.state.metrics.connections_opened.inc();
+            self.state.metrics.connections_active.inc();
+        }
+        let expiry_tick = now_tick + self.timeout_ticks;
+        self.entries[idx].conn = Some(Conn {
+            stream,
+            request: http::RequestBuf::lazy(),
+            response: http::ResponseBuf::default(),
+            body: None,
+            body_emit: 0,
+            cursor: 0,
+            phase: Phase::Reading,
+            keep_alive: true,
+            served: 0,
+            expiry_tick,
+            started: Instant::now(),
+            route: Route::Other,
+            tier: ResponseTier::Untiered,
+            status: 0,
+            not_modified: false,
+            stages: (0, 0, 0),
+        });
+        self.wheel.schedule(expiry_tick, idx as u32, gen);
+        if let Drive::Close = self.drive(idx, now_tick) {
+            self.release(idx);
+        }
+    }
+
+    /// Resolves an epoll token to a live slab entry (generation must
+    /// match — a stale event for a recycled slot is dropped) and drives
+    /// it.
+    fn drive_token(&mut self, token: u64) {
+        let idx = (token & u64::from(u32::MAX)) as usize;
+        let gen = (token >> 32) as u32;
+        match self.entries.get(idx) {
+            Some(entry) if entry.generation == gen && entry.conn.is_some() => {}
+            _ => return,
+        }
+        let now_tick = self.now_tick();
+        if let Drive::Close = self.drive(idx, now_tick) {
+            self.release(idx);
+        }
+    }
+
+    /// Runs one connection's state machine until it parks on `EAGAIN` or
+    /// closes. The readiness bits are deliberately ignored: the state
+    /// decides which I/O to attempt, and a spurious wrong-direction event
+    /// costs one `EAGAIN` syscall.
+    fn drive(&mut self, idx: usize, now_tick: u64) -> Drive {
+        let timeout_ticks = self.timeout_ticks;
+        let Shard { entries, state, .. } = self;
+        let state: &ConnState = state;
+        let Some(conn) = entries[idx].conn.as_mut() else { return Drive::Keep };
+        loop {
+            match conn.phase {
+                Phase::Reading => {
+                    let filled_before = conn.request.filled();
+                    let parsed = match conn.request.read_request(&mut conn.stream) {
+                        Ok(request) => {
+                            let started = Instant::now();
+                            let outcome = answer(state, &request);
+                            let keep_alive =
+                                request.keep_alive && conn.served + 1 < MAX_REQUESTS_PER_CONNECTION;
+                            (outcome, request.head_len, keep_alive, started)
+                        }
+                        Err(http::RequestError::ConnectionClosed) => return Drive::Close,
+                        Err(http::RequestError::Io(e)) if e.kind() == io::ErrorKind::WouldBlock => {
+                            // Out of bytes before a full head. Only actual
+                            // progress touches the idle timer: a slow-loris
+                            // trickle keeps the connection alive only as
+                            // long as it keeps sending.
+                            if conn.request.filled() > filled_before {
+                                conn.expiry_tick = now_tick + timeout_ticks;
+                            }
+                            return Drive::Keep;
+                        }
+                        Err(http::RequestError::Io(_)) => return Drive::Close,
+                        Err(http::RequestError::Bad(status, message)) => {
+                            record_parse_error(state, status);
+                            let error = ServiceResponse::error(status, &message);
+                            conn.body_emit = conn.response.assemble(
+                                &http::ResponseHead {
+                                    status,
+                                    content_type: error.content_type,
+                                    keep_alive: false,
+                                    etag: None,
+                                    mode: http::BodyMode::Full,
+                                },
+                                error.body.len(),
+                            );
+                            conn.body = Some(error.body);
+                            conn.cursor = 0;
+                            conn.phase = Phase::Draining;
+                            continue;
+                        }
+                    };
+                    let (outcome, head_len, keep_alive, started) = parsed;
+                    conn.request.consume(head_len);
+                    let RequestOutcome { response, status, mode, not_modified, route } = outcome;
+                    conn.body_emit = conn.response.assemble(
+                        &http::ResponseHead {
+                            status,
+                            content_type: response.content_type,
+                            keep_alive,
+                            etag: response.etag,
+                            mode,
+                        },
+                        response.body.len(),
+                    );
+                    conn.tier = response.tier;
+                    conn.body = Some(response.body);
+                    conn.cursor = 0;
+                    conn.keep_alive = keep_alive;
+                    conn.served += 1;
+                    conn.started = started;
+                    conn.route = route;
+                    conn.status = status;
+                    conn.not_modified = not_modified;
+                    // The stage scratch is thread-local and this thread
+                    // interleaves requests from many connections, so the
+                    // timings are captured now, not at write completion.
+                    conn.stages = metrics::stage_scratch::get();
+                    conn.phase = Phase::Responding;
+                }
+                Phase::Responding | Phase::Draining => {
+                    let body = conn.body.as_deref().unwrap_or(&[]);
+                    let body = &body[..conn.body_emit];
+                    let head = conn.response.head_bytes();
+                    let cursor_before = conn.cursor;
+                    match http::write_resumable(&mut conn.stream, head, body, &mut conn.cursor) {
+                        Ok(WriteProgress::Pending) => {
+                            if conn.cursor > cursor_before {
+                                conn.expiry_tick = now_tick + timeout_ticks;
+                            }
+                            return Drive::Keep;
+                        }
+                        Ok(WriteProgress::Complete) => {
+                            let wire = conn.response.head_bytes().len() + conn.body_emit;
+                            if conn.phase == Phase::Draining {
+                                // Parse errors were already counted when
+                                // detected; only the wire bytes remain.
+                                if state.telemetry {
+                                    state.metrics.response_bytes.add(wire as u64);
+                                }
+                                return Drive::Close;
+                            }
+                            record_request(
+                                state,
+                                conn.route,
+                                conn.status,
+                                conn.tier,
+                                conn.not_modified,
+                                Some(wire),
+                                conn.started,
+                                conn.stages,
+                            );
+                            conn.body = None;
+                            if !conn.keep_alive {
+                                return Drive::Close;
+                            }
+                            conn.expiry_tick = now_tick + timeout_ticks;
+                            conn.phase = Phase::Reading;
+                            // Loop: pipelined bytes may already be buffered.
+                        }
+                        Err(_) => return Drive::Close,
+                    }
+                }
+            }
+        }
+    }
+
+    /// Frees a slot: drops the connection (closing the socket and
+    /// deregistering it from epoll implicitly), bumps the generation so
+    /// stale tokens and wheel entries miss, and recycles the index.
+    fn release(&mut self, idx: usize) {
+        let entry = &mut self.entries[idx];
+        if entry.conn.take().is_some() {
+            entry.generation = entry.generation.wrapping_add(1);
+            self.free.push(idx as u32);
+            if self.state.telemetry {
+                self.state.metrics.connections_closed.inc();
+                self.state.metrics.connections_active.dec();
+            }
+        }
+    }
+
+    /// Advances the timer wheel, evicting connections idle past their
+    /// expiry tick and lazily rescheduling the rest.
+    fn expire_idle(&mut self, now_tick: u64) {
+        let Shard { entries, wheel, state, free, .. } = self;
+        wheel.advance(now_tick, |idx, gen| {
+            let entry = entries.get_mut(idx as usize)?;
+            if entry.generation != gen {
+                return None;
+            }
+            let conn = entry.conn.as_ref()?;
+            if conn.expiry_tick > now_tick {
+                return Some(conn.expiry_tick);
+            }
+            // Idle past the deadline (between requests, stalled mid-head,
+            // or stalled mid-response): evict. The blocking transport's
+            // equivalent is its read timeout.
+            entry.conn = None;
+            entry.generation = entry.generation.wrapping_add(1);
+            free.push(idx);
+            if state.telemetry {
+                state.metrics.connections_closed.inc();
+                state.metrics.connections_active.dec();
+            }
+            None
+        });
+    }
+
+    /// Drops every live connection (shutdown path).
+    fn close_all(&mut self) {
+        let Shard { entries, state, .. } = self;
+        for entry in entries.iter_mut() {
+            if entry.conn.take().is_some() && state.telemetry {
+                state.metrics.connections_closed.inc();
+                state.metrics.connections_active.dec();
+            }
+        }
+    }
+}

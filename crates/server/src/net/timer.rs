@@ -1,0 +1,170 @@
+//! A coarse, lazy timer wheel for idle keep-alive timeouts.
+//!
+//! The reactor needs one question answered cheaply for thousands of
+//! connections: "which of you has been idle past the keep-alive
+//! timeout?" — with *touching* a timer (every byte of progress on a
+//! connection) being the hot operation and expiry the rare one. So the
+//! wheel is lazy: touching a connection is a plain field write of its new
+//! expiry tick ([no call into this module at all]); the wheel holds at
+//! most one `(slot, generation)` entry per live connection, and when a
+//! slot comes due the reactor's callback compares the *actual* expiry
+//! tick against now — still in the future means the entry is simply
+//! rescheduled into the wheel at its real expiry. Ticks are coarse
+//! (`keep-alive / 8`, clamped to 10–500 ms) and driven from the
+//! `epoll_wait` timeout, so an idle reactor wakes at most a handful of
+//! times per second.
+//!
+//! Slot vectors (and the drain scratch) are preallocated so steady-state
+//! rescheduling of a settled connection set allocates nothing — part of
+//! the transport's allocation-free proof (`tests/alloc_free.rs`).
+
+/// Slots in the wheel. Expiries land in `expiry % SLOTS`; entries whose
+/// expiry lies further than a full turn ahead are simply revisited (and
+/// relaid) once per turn, which keeps correctness independent of the
+/// timeout/tick ratio.
+const WHEEL_SLOTS: usize = 16;
+
+/// Per-slot capacity preallocated at construction (slots grow past this
+/// only under connection counts far beyond steady state).
+const SLOT_PREALLOC: usize = 32;
+
+/// The wheel: per-slot vectors of `(connection index, generation)`
+/// entries. Generations guard against slot reuse — a stale entry for a
+/// closed connection is dropped by the reactor's callback, never acted
+/// on.
+#[derive(Debug)]
+pub(crate) struct TimerWheel {
+    slots: Box<[Vec<(u32, u32)>]>,
+    scratch: Vec<(u32, u32)>,
+    /// The next tick to process (all earlier ticks are fully drained).
+    next_tick: u64,
+}
+
+impl TimerWheel {
+    /// An empty wheel with every slot preallocated.
+    pub(crate) fn new() -> TimerWheel {
+        TimerWheel {
+            slots: (0..WHEEL_SLOTS).map(|_| Vec::with_capacity(SLOT_PREALLOC)).collect(),
+            scratch: Vec::with_capacity(SLOT_PREALLOC),
+            next_tick: 0,
+        }
+    }
+
+    /// Enters `(idx, gen)` into the slot for `expiry_tick`. Each live
+    /// connection must have exactly one wheel entry: call this once at
+    /// registration, and afterwards only from the [`TimerWheel::advance`]
+    /// callback's reschedule return.
+    pub(crate) fn schedule(&mut self, expiry_tick: u64, idx: u32, gen: u32) {
+        // Never insert into an already-drained tick: it would sit a full
+        // turn before being looked at again.
+        let expiry_tick = expiry_tick.max(self.next_tick);
+        self.slots[(expiry_tick % WHEEL_SLOTS as u64) as usize].push((idx, gen));
+    }
+
+    /// Drains every slot due at or before `now_tick`, handing each entry
+    /// to `visit`. The callback returns the connection's *actual* expiry
+    /// tick to keep it scheduled (it is re-entered at that tick), or
+    /// `None` to drop the entry (the connection was evicted or is stale).
+    pub(crate) fn advance(
+        &mut self,
+        now_tick: u64,
+        mut visit: impl FnMut(u32, u32) -> Option<u64>,
+    ) {
+        while self.next_tick <= now_tick {
+            let slot = (self.next_tick % WHEEL_SLOTS as u64) as usize;
+            std::mem::swap(&mut self.slots[slot], &mut self.scratch);
+            self.next_tick += 1;
+            for at in 0..self.scratch.len() {
+                let (idx, gen) = self.scratch[at];
+                if let Some(expiry) = visit(idx, gen) {
+                    // Still alive: relay at its real expiry (clamped past
+                    // the drained region by schedule()).
+                    self.schedule(expiry.max(self.next_tick), idx, gen);
+                }
+            }
+            self.scratch.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entries_fire_at_their_tick() {
+        let mut wheel = TimerWheel::new();
+        wheel.schedule(3, 1, 10);
+        wheel.schedule(5, 2, 20);
+        let mut fired = Vec::new();
+        wheel.advance(2, |idx, gen| {
+            fired.push((idx, gen));
+            None
+        });
+        assert!(fired.is_empty(), "nothing due before its tick");
+        wheel.advance(3, |idx, gen| {
+            fired.push((idx, gen));
+            None
+        });
+        assert_eq!(fired, [(1, 10)]);
+        wheel.advance(9, |idx, gen| {
+            fired.push((idx, gen));
+            None
+        });
+        assert_eq!(fired, [(1, 10), (2, 20)]);
+    }
+
+    #[test]
+    fn lazy_reschedule_revisits_at_the_returned_tick() {
+        let mut wheel = TimerWheel::new();
+        wheel.schedule(2, 7, 1);
+        // The connection was touched in the meantime: its real expiry is
+        // tick 6, so the visit at tick 2 must reschedule, and the entry
+        // must come due again exactly at 6.
+        let mut visits = Vec::new();
+        for now in 0..=10 {
+            wheel.advance(now, |idx, _gen| {
+                visits.push((now, idx));
+                if now < 6 {
+                    Some(6)
+                } else {
+                    None
+                }
+            });
+        }
+        assert_eq!(visits, [(2, 7), (6, 7)]);
+    }
+
+    #[test]
+    fn far_future_expiries_survive_full_turns() {
+        let mut wheel = TimerWheel::new();
+        // Expiry 40 is more than two full turns (16 slots) out; the entry
+        // is revisited lazily but must not fire early, and must fire once
+        // tick 40 arrives.
+        wheel.schedule(40, 3, 9);
+        let mut fired = Vec::new();
+        for now in 0..=45 {
+            wheel.advance(now, |idx, gen| {
+                if now >= 40 {
+                    fired.push((now, idx, gen));
+                    None
+                } else {
+                    Some(40)
+                }
+            });
+        }
+        assert_eq!(fired, [(40, 3, 9)]);
+    }
+
+    #[test]
+    fn advancing_past_many_ticks_at_once_is_safe() {
+        let mut wheel = TimerWheel::new();
+        wheel.schedule(100, 1, 1);
+        let mut fired = 0;
+        wheel.advance(1000, |_, _| {
+            fired += 1;
+            None
+        });
+        assert_eq!(fired, 1, "a big jump visits each entry exactly once");
+    }
+}

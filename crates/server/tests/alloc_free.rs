@@ -10,6 +10,11 @@
 //! buffers, which makes the zero-delta assertion strictly stronger (it
 //! proves client and server together allocate nothing in steady state).
 //!
+//! The same battery runs against **both transports** — the default
+//! thread-per-connection pool and (on Linux) the epoll reactor — since
+//! both promise the same allocation-free steady state over the same
+//! shared answer path.
+//!
 //! This file holds exactly one `#[test]` so no concurrent test can
 //! allocate in the background of the measured window.
 
@@ -113,7 +118,23 @@ fn read_response(stream: &mut TcpStream, expect_body: bool) -> Vec<u8> {
 fn steady_state_keep_alive_requests_allocate_nothing() {
     let segment = Arc::new(Segment::from_bytes(Segment::encode(&snapshot())).expect("segment"));
     let service = Arc::new(QueryService::from_segment(segment, 1 << 20));
-    let server = Server::bind("127.0.0.1:0", service, 1).expect("bind");
+
+    let pool = Server::bind("127.0.0.1:0", Arc::clone(&service), 1).expect("bind pool");
+    run_battery(pool, "thread-per-connection");
+
+    // The reactor transport must uphold the same guarantee: its slab,
+    // wheel, and connection buffers are all reused in steady state.
+    #[cfg(target_os = "linux")]
+    {
+        use uops_serve::ServerOptions;
+        let reactor = Server::bind_reactor("127.0.0.1:0", service, 2, ServerOptions::default())
+            .expect("bind reactor");
+        run_battery(reactor, "reactor");
+    }
+}
+
+/// The full warmup + measured-window battery against one booted server.
+fn run_battery(server: Server, transport: &str) {
     let addr = server.local_addr();
     let handle = server.spawn();
 
@@ -179,7 +200,9 @@ fn steady_state_keep_alive_requests_allocate_nothing() {
     assert_eq!(
         after - before,
         0,
-        "steady-state hit path must be allocation-free: {} allocations across {} requests",
+        "steady-state hit path must be allocation-free on the {} transport: \
+         {} allocations across {} requests",
+        transport,
         after - before,
         ROUNDS * 3,
     );

@@ -238,6 +238,28 @@ fn error_statuses_over_http() {
 }
 
 #[test]
+#[cfg(target_os = "linux")]
+fn reactor_flag_boots_the_event_driven_transport() {
+    let (server, segment) = boot_server(&["--reactor=2"]);
+    let segment = Arc::new(segment);
+
+    // Responses through the reactor are byte-identical to in-process
+    // execution, exactly as with the default transport.
+    let plan = QueryPlan::parse("uarch=Skylake").expect("plan");
+    let expected = JsonEncoder.encode_result(&QueryExec::new().run(&plan, &segment.db()));
+    let (status, body) = http_get(&server.addr, "/v1/query?uarch=Skylake");
+    assert_eq!(status, 200);
+    assert_eq!(body, expected, "reactor transport must frame identical bytes");
+
+    // Telemetry is threaded through the reactor: the request above shows
+    // up in the exposition.
+    let (status, metrics) = http_get(&server.addr, "/metrics");
+    assert_eq!(status, 200);
+    let text = String::from_utf8_lossy(&metrics).to_string();
+    assert!(text.contains("uops_http_requests_total 1"), "{text}");
+    assert!(text.contains("uops_http_accept_errors_total 0"), "{text}");
+}
+#[test]
 fn unknown_flags_exit_nonzero_with_usage() {
     let output = Command::new(env!("CARGO_BIN_EXE_serve"))
         .args(["--segment", "x.seg", "--bogus-flag"])

@@ -153,7 +153,13 @@
 //! revalidations answer `304 Not Modified` without a body, and `HEAD`
 //! mirrors `GET` headers for free. In production use the `serve` binary
 //! (`cargo run --release --bin serve -- --segment uops.seg`, plus
-//! `--mmap` under the feature); embedded:
+//! `--mmap` under the feature). Two transports share that stack: the
+//! default thread-per-connection pool, and — for many concurrent,
+//! mostly idle keep-alive clients — `--reactor[=SHARDS]` (Linux), an
+//! edge-triggered epoll event loop per acceptor shard with
+//! `SO_REUSEPORT` kernel load-balancing and timer-wheel idle eviction,
+//! parking ~10k idle connections in bounded memory (see
+//! `crates/server/README.md` for shard guidance). Embedded:
 //!
 //! ```rust
 //! use std::sync::Arc;
