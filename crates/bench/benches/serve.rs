@@ -606,6 +606,178 @@ fn bench_serve(c: &mut Criterion) {
          ({http_not_modified_rps:.0} vs {http_cached_rps:.0} req/s)"
     );
 
+    // ---- overload: the cached tier keeps serving while uncached floods
+    // shed ----
+    //
+    // A dedicated server with a tight uncached-execution ceiling: flooder
+    // threads hammer distinct (never-cached) plans, which mostly shed with
+    // the preformatted 503 + Retry-After, while the pre-warmed hot target
+    // is re-measured through the noise. The gate: graceful degradation
+    // means shedding protects cache-hit throughput instead of collapsing
+    // with the flood.
+    let overload_service = Arc::new(QueryService::from_segment(Arc::clone(&segment), 64 << 20));
+    overload_service.set_max_uncached_inflight(1);
+    let overload_server = Server::bind_with(
+        "127.0.0.1:0",
+        Arc::clone(&overload_service),
+        4,
+        ServerOptions { max_inflight: 256, ..ServerOptions::default() },
+    )
+    .expect("bind overload");
+    let overload_addr = overload_server.local_addr();
+    let overload_handle = overload_server.spawn();
+
+    const OVERLOAD_ROUNDS: usize = 3;
+    let mut unloaded_rounds = [0.0f64; OVERLOAD_ROUNDS];
+    for round in &mut unloaded_rounds {
+        *round = http_pipelined_rps(&overload_addr, &hot_request, 40);
+    }
+
+    // Each flooder pipelines batches of distinct (never-repeated, so
+    // never-cached) plans down one connection. The two lanes fire each
+    // batch through a shared barrier, so every cycle two server workers
+    // wake with a batch each and contend for the single execution slot:
+    // the batch is sized to outlast a scheduler tick, the kernel
+    // interleaves the two workers mid-batch, and whichever worker finds
+    // the slot taken sheds its requests with the cheap preformatted 503.
+    // The pacing sleep bounds the flood's CPU theft — the gate measures
+    // whether *shedding* protects the cached tier, not whether the host
+    // has spare cores to absorb an unthrottled flood (the bench
+    // container has one core; an unpaced flood starves the measured
+    // client at the scheduler, and no server policy can win that back).
+    const FLOOD_BATCH: usize = 64;
+    const FLOOD_PACE: std::time::Duration = std::time::Duration::from_millis(30);
+    let stop_flood = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let cycle_gate = Arc::new(std::sync::Barrier::new(2));
+    let flooders: Vec<_> = (0..2)
+        .map(|lane: usize| {
+            let stop = Arc::clone(&stop_flood);
+            let gate = Arc::clone(&cycle_gate);
+            std::thread::Builder::new()
+                .name(format!("overload-flooder-{lane}"))
+                .spawn(move || {
+                    let mut sheds = 0u64;
+                    // Monotone across reconnects: an offset reused after a
+                    // reconnect would find its response cached and stop
+                    // pressuring the execution slot.
+                    let mut offset = lane * 10_000_000;
+                    let mut conn: Option<(TcpStream, BufReader<TcpStream>)> = None;
+                    let mut served = 0usize;
+                    loop {
+                        // Every path returns to the barrier, so neither
+                        // lane can strand the other (reconnects and the
+                        // final stop both pass through here).
+                        gate.wait();
+                        if stop.load(std::sync::atomic::Ordering::Relaxed) {
+                            break;
+                        }
+                        if served + FLOOD_BATCH >= REQUESTS_PER_CONNECTION {
+                            conn = None;
+                        }
+                        if conn.is_none() {
+                            let Ok(stream) = TcpStream::connect(overload_addr) else {
+                                continue;
+                            };
+                            let _ = stream.set_nodelay(true);
+                            let Ok(writer) = stream.try_clone() else { continue };
+                            conn = Some((writer, BufReader::new(stream)));
+                            served = 0;
+                        }
+                        let mut batch = String::new();
+                        for _ in 0..FLOOD_BATCH {
+                            offset += 1;
+                            batch.push_str(&format!(
+                                "GET /v1/query?uarch=Haswell&min_uops=1&sort=latency\
+                                 &offset={offset}&limit=50 HTTP/1.1\r\nHost: f\r\n\r\n"
+                            ));
+                        }
+                        let mut broken = false;
+                        {
+                            let (writer, reader) = conn.as_mut().expect("live flood connection");
+                            if writer.write_all(batch.as_bytes()).is_err() {
+                                broken = true;
+                            }
+                            'batch: for _ in 0..FLOOD_BATCH {
+                                if broken {
+                                    break;
+                                }
+                                let mut status_503 = false;
+                                let mut retry_after = false;
+                                let mut content_length = 0usize;
+                                let mut line = String::new();
+                                loop {
+                                    line.clear();
+                                    match reader.read_line(&mut line) {
+                                        Ok(0) | Err(_) => {
+                                            broken = true;
+                                            break 'batch;
+                                        }
+                                        Ok(_) => {}
+                                    }
+                                    let trimmed = line.trim_end();
+                                    if trimmed.is_empty() {
+                                        break;
+                                    }
+                                    if trimmed.starts_with("HTTP/1.1 503") {
+                                        status_503 = true;
+                                    }
+                                    if trimmed.starts_with("Retry-After: ") {
+                                        retry_after = true;
+                                    }
+                                    if let Some(v) = trimmed.strip_prefix("Content-Length: ") {
+                                        content_length = v.parse().unwrap_or(0);
+                                    }
+                                }
+                                let mut body = vec![0u8; content_length];
+                                if reader.read_exact(&mut body).is_err() {
+                                    broken = true;
+                                    break;
+                                }
+                                if status_503 {
+                                    assert!(retry_after, "shed 503s must carry Retry-After");
+                                    sheds += 1;
+                                }
+                                served += 1;
+                            }
+                        }
+                        if broken {
+                            conn = None;
+                        }
+                        std::thread::sleep(FLOOD_PACE);
+                    }
+                    sheds
+                })
+                .expect("spawn flooder")
+        })
+        .collect();
+
+    // The flood is demonstrably shedding before the loaded rounds start.
+    let shed_counter = overload_service.shed_capacity_counter();
+    let flood_live = Instant::now() + std::time::Duration::from_secs(10);
+    while shed_counter.get() == 0 {
+        assert!(Instant::now() < flood_live, "the flood must shed within 10 s");
+        std::thread::yield_now();
+    }
+    let mut loaded_rounds = [0.0f64; OVERLOAD_ROUNDS];
+    for round in &mut loaded_rounds {
+        *round = http_pipelined_rps(&overload_addr, &hot_request, 40);
+    }
+    stop_flood.store(true, std::sync::atomic::Ordering::Relaxed);
+    let client_sheds: u64 = flooders.into_iter().map(|f| f.join().expect("flooder")).sum();
+    let total_sheds = shed_counter.get();
+    overload_handle.shutdown();
+
+    let overload_unloaded_rps = best(&unloaded_rounds);
+    let overload_loaded_rps = best(&loaded_rounds);
+    let overload_ratio = overload_loaded_rps / overload_unloaded_rps.max(1.0);
+    assert!(client_sheds > 0, "flooder clients must have observed shed 503 responses");
+    assert!(
+        overload_ratio >= 0.8,
+        "shedding must protect the cached tier under an uncached flood: \
+         {overload_loaded_rps:.0} req/s loaded vs {overload_unloaded_rps:.0} req/s unloaded \
+         = {overload_ratio:.2}x (with {total_sheds} sheds)"
+    );
+
     println!(
         "\nservice: uncached {uncached_ns:.0} ns | wire hit {wire_hit_ns:.0} ns | plan hit \
          {cached_ns:.0} ns | raw hit {raw_hit_ns:.0} ns ({speedup:.1}x hit, {raw_vs_wire:.1}x \
@@ -615,7 +787,10 @@ fn bench_serve(c: &mut Criterion) {
          ({fastlane_vs_legacy:.1}x vs baseline, {not_modified_vs_full:.2}x for 304)\n\
          telemetry: {telemetry_ratio:.2}x vs --no-telemetry ({http_quiet_rps:.0} req/s off) | \
          /v1/query p50 {fast_lane_p50_ns} ns, p99 {fast_lane_p99_ns} ns (from the server's own \
-         histograms)"
+         histograms)\n\
+         overload: cached tier {overload_loaded_rps:.0} req/s under flood vs \
+         {overload_unloaded_rps:.0} req/s unloaded = {overload_ratio:.2}x while shedding \
+         {total_sheds} uncached requests"
     );
 
     let json = format!(
@@ -635,7 +810,12 @@ fn bench_serve(c: &mut Criterion) {
          \"requests_per_sec_no_telemetry\": {http_quiet_rps:.0},\n    \
          \"throughput_ratio_vs_no_telemetry\": {telemetry_ratio:.2},\n    \
          \"query_latency_p50_ns\": {fast_lane_p50_ns},\n    \
-         \"query_latency_p99_ns\": {fast_lane_p99_ns}\n  }}{reactor_json}\n}}\n",
+         \"query_latency_p99_ns\": {fast_lane_p99_ns}\n  }},\n  \
+         \"overload\": {{\n    \
+         \"requests_per_sec_cached_unloaded\": {overload_unloaded_rps:.0},\n    \
+         \"requests_per_sec_cached_under_flood\": {overload_loaded_rps:.0},\n    \
+         \"cached_tier_retention\": {overload_ratio:.2},\n    \
+         \"requests_shed\": {total_sheds}\n  }}{reactor_json}\n}}\n",
         1e9 / http_cached_rps,
     );
     let path = std::env::var("BENCH_SERVE_JSON").unwrap_or_else(|_| "BENCH_serve.json".to_string());

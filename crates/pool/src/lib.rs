@@ -295,6 +295,10 @@ struct TaskQueue {
     tasks: Mutex<TaskQueueState>,
     available: Condvar,
     metrics: Option<Arc<TaskPoolMetrics>>,
+    /// Maximum queued (not yet picked up) tasks admitted by
+    /// [`TaskPool::try_execute`]; `0` means unbounded. [`TaskPool::execute`]
+    /// ignores the limit.
+    queue_limit: usize,
 }
 
 struct TaskQueueState {
@@ -354,7 +358,7 @@ impl TaskPool {
     /// `"{name}-{index}"`.
     #[must_use]
     pub fn new(threads: usize, name: &str) -> TaskPool {
-        TaskPool::build(threads, name, None)
+        TaskPool::build(threads, name, None, 0)
     }
 
     /// Like [`TaskPool::new`], but the workers record queue depth, task
@@ -363,15 +367,36 @@ impl TaskPool {
     /// or expose the metrics.
     #[must_use]
     pub fn with_metrics(threads: usize, name: &str, metrics: Arc<TaskPoolMetrics>) -> TaskPool {
-        TaskPool::build(threads, name, Some(metrics))
+        TaskPool::build(threads, name, Some(metrics), 0)
     }
 
-    fn build(threads: usize, name: &str, metrics: Option<Arc<TaskPoolMetrics>>) -> TaskPool {
+    /// Like [`TaskPool::with_metrics`] (pass `None` for no telemetry), but
+    /// [`TaskPool::try_execute`] rejects new tasks while `queue_limit` tasks
+    /// are already queued. `queue_limit == 0` means unbounded. The limit
+    /// bounds *waiting* work only — tasks already running do not count — so
+    /// total admitted concurrency is `threads + queue_limit`.
+    #[must_use]
+    pub fn with_queue_limit(
+        threads: usize,
+        name: &str,
+        metrics: Option<Arc<TaskPoolMetrics>>,
+        queue_limit: usize,
+    ) -> TaskPool {
+        TaskPool::build(threads, name, metrics, queue_limit)
+    }
+
+    fn build(
+        threads: usize,
+        name: &str,
+        metrics: Option<Arc<TaskPoolMetrics>>,
+        queue_limit: usize,
+    ) -> TaskPool {
         let threads = threads.max(1);
         let queue = Arc::new(TaskQueue {
             tasks: Mutex::new(TaskQueueState { pending: VecDeque::new(), shutting_down: false }),
             available: Condvar::new(),
             metrics,
+            queue_limit,
         });
         let workers = (0..threads)
             .map(|i| {
@@ -412,6 +437,32 @@ impl TaskPool {
             metrics.queue_depth.inc();
         }
         self.queue.available.notify_one();
+    }
+
+    /// Submits a task *if the queue has room*, returning whether it was
+    /// accepted. Never blocks. Returns `false` — without boxing the task or
+    /// allocating at all — when the pool was built with a queue limit
+    /// ([`TaskPool::with_queue_limit`]) and that many tasks are already
+    /// waiting, or when shutdown has begun. This is the admission-control
+    /// entry point: callers shed load on `false` instead of growing an
+    /// unbounded backlog.
+    #[must_use]
+    pub fn try_execute(&self, task: impl FnOnce() + Send + 'static) -> bool {
+        {
+            let mut state = self.queue.tasks.lock().expect("task queue mutex");
+            if state.shutting_down {
+                return false;
+            }
+            if self.queue.queue_limit > 0 && state.pending.len() >= self.queue.queue_limit {
+                return false;
+            }
+            state.pending.push_back(Job { run: Box::new(task), enqueued: Instant::now() });
+        }
+        if let Some(metrics) = &self.queue.metrics {
+            metrics.queue_depth.inc();
+        }
+        self.queue.available.notify_one();
+        true
     }
 
     /// Drains the queue and joins all workers: every task submitted before
@@ -631,6 +682,58 @@ mod tests {
         });
         pool.shutdown();
         assert_eq!(ran.load(Ordering::Relaxed), 64, "pre-shutdown tasks drain, late ones drop");
+    }
+
+    #[test]
+    fn try_execute_rejects_past_the_queue_limit_and_recovers() {
+        use std::sync::mpsc;
+        use std::sync::Arc;
+        // One worker, parked on a gate, so queued tasks pile up
+        // deterministically.
+        let pool = TaskPool::with_queue_limit(1, "bounded-worker", None, 2);
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        let (parked_tx, parked_rx) = mpsc::channel::<()>();
+        assert!(pool.try_execute(move || {
+            parked_tx.send(()).expect("signal parked");
+            gate_rx.recv().expect("gate");
+        }));
+        parked_rx.recv().expect("worker parked");
+
+        let ran = Arc::new(AtomicUsize::new(0));
+        for _ in 0..2 {
+            let ran = Arc::clone(&ran);
+            assert!(pool.try_execute(move || {
+                ran.fetch_add(1, Ordering::Relaxed);
+            }));
+        }
+        // Queue is now at its limit of 2: admission must reject, and the
+        // rejected closure must simply be dropped, never run.
+        let overflow = Arc::clone(&ran);
+        assert!(!pool.try_execute(move || {
+            overflow.fetch_add(1000, Ordering::Relaxed);
+        }));
+        assert_eq!(pool.pending(), 2);
+
+        // Release the worker; the queue drains and admission recovers.
+        gate_tx.send(()).expect("open gate");
+        while pool.pending() > 0 {
+            std::thread::yield_now();
+        }
+        let late = Arc::clone(&ran);
+        assert!(pool.try_execute(move || {
+            late.fetch_add(10, Ordering::Relaxed);
+        }));
+        pool.shutdown();
+        assert_eq!(ran.load(Ordering::Relaxed), 12, "2 queued + 1 late ran; the reject never did");
+    }
+
+    #[test]
+    fn try_execute_is_unbounded_when_the_limit_is_zero() {
+        let pool = TaskPool::with_queue_limit(1, "unbounded-worker", None, 0);
+        for _ in 0..256 {
+            assert!(pool.try_execute(|| {}));
+        }
+        pool.shutdown();
     }
 
     #[test]

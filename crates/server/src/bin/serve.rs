@@ -3,6 +3,8 @@
 //! ```text
 //! serve --segment uops.seg [--addr 127.0.0.1:8080] [--threads N] [--cache-mb 64]
 //!       [--mmap] [--no-telemetry] [--access-log[=EVERY_N]] [--reactor[=SHARDS]]
+//!       [--max-inflight N] [--queue-depth N] [--deadline-ms MS] [--max-uncached N]
+//!       [--drain-timeout SECS]
 //! ```
 //!
 //! The first stdout line is always `listening on http://ADDR (...)`, so
@@ -20,6 +22,17 @@
 //! `--reactor` sizes the shard count to the CPU count. Use it when the
 //! workload is many concurrent, mostly idle keep-alive connections; the
 //! default transport remains the better fit for a few busy ones.
+//!
+//! Overload controls (all off by default): `--max-inflight N` caps live
+//! connections (rejects with a static `503` + `Retry-After` past it),
+//! `--queue-depth N` caps connections queued for a pool worker,
+//! `--deadline-ms MS` arms a per-request budget that sheds *uncached*
+//! work when exceeded (cache hits keep serving), and `--max-uncached N`
+//! caps concurrent uncached executions the same way.
+//!
+//! On Linux, `SIGTERM`/`SIGINT` trigger a graceful drain: stop
+//! accepting, finish in-flight requests, exit 0. `--drain-timeout SECS`
+//! (default 5) bounds the drain before a hard stop.
 
 use std::io::Write as _;
 use std::sync::Arc;
@@ -32,8 +45,19 @@ use uops_serve::{AccessLog, QueryService, Server, ServerOptions};
 const SPEC: CliSpec<'static> = CliSpec {
     name: "serve",
     usage: "serve --segment PATH [--addr HOST:PORT] [--threads N] [--cache-mb MB] [--mmap] \
-            [--no-telemetry] [--access-log[=EVERY_N]] [--reactor[=SHARDS]]",
-    value_flags: &["--segment", "--addr", "--threads", "--cache-mb"],
+            [--no-telemetry] [--access-log[=EVERY_N]] [--reactor[=SHARDS]] [--max-inflight N] \
+            [--queue-depth N] [--deadline-ms MS] [--max-uncached N] [--drain-timeout SECS]",
+    value_flags: &[
+        "--segment",
+        "--addr",
+        "--threads",
+        "--cache-mb",
+        "--max-inflight",
+        "--queue-depth",
+        "--deadline-ms",
+        "--max-uncached",
+        "--drain-timeout",
+    ],
     bool_flags: &["--mmap", "--no-telemetry"],
     optional_value_flags: &["--access-log", "--reactor"],
     max_positional: 0,
@@ -123,9 +147,38 @@ fn main() {
         None
     };
 
+    let max_inflight = match args.parsed_value::<usize>("--max-inflight") {
+        Ok(n) => n.unwrap_or(0),
+        Err(message) => SPEC.exit_usage(&message),
+    };
+    let queue_depth = match args.parsed_value::<usize>("--queue-depth") {
+        Ok(n) => n.unwrap_or(0),
+        Err(message) => SPEC.exit_usage(&message),
+    };
+    let request_deadline = match args.parsed_value::<u64>("--deadline-ms") {
+        Ok(ms) => ms.map(std::time::Duration::from_millis),
+        Err(message) => SPEC.exit_usage(&message),
+    };
+    let max_uncached = match args.parsed_value::<usize>("--max-uncached") {
+        Ok(n) => n.unwrap_or(0),
+        Err(message) => SPEC.exit_usage(&message),
+    };
+    let drain_timeout = match args.parsed_value::<u64>("--drain-timeout") {
+        Ok(secs) => std::time::Duration::from_secs(secs.unwrap_or(5)),
+        Err(message) => SPEC.exit_usage(&message),
+    };
+
     let records = segment.db().len();
     let service = Arc::new(QueryService::from_segment(segment, cache_mb << 20));
-    let options = ServerOptions { no_telemetry, access_log, ..ServerOptions::default() };
+    service.set_max_uncached_inflight(max_uncached);
+    let options = ServerOptions {
+        no_telemetry,
+        access_log,
+        max_inflight,
+        queue_depth,
+        request_deadline,
+        ..ServerOptions::default()
+    };
     let server = match bind_transport(addr, service, threads, reactor_shards, options) {
         Ok(server) => server,
         Err(e) => {
@@ -150,5 +203,35 @@ fn main() {
         let _ = writeln!(stdout, "metrics at http://{}/metrics", server.local_addr());
     }
     let _ = stdout.flush();
+    run_until_signalled(server, drain_timeout);
+}
+
+/// Runs the server, draining gracefully on `SIGTERM`/`SIGINT`: the
+/// accept loop moves to a background thread while main blocks on the
+/// self-pipe; on signal, stop accepting, finish in-flight requests up to
+/// `drain_timeout`, exit 0.
+#[cfg(target_os = "linux")]
+fn run_until_signalled(server: Server, drain_timeout: std::time::Duration) {
+    use uops_serve::net::{SignalPipe, SIGINT, SIGTERM};
+    let mut pipe = match SignalPipe::install() {
+        Ok(pipe) => pipe,
+        Err(e) => {
+            eprintln!("serve: no signal handling ({e}); running without graceful drain");
+            server.run();
+            return;
+        }
+    };
+    let handle = server.spawn();
+    let name = match pipe.wait() {
+        SIGTERM => "SIGTERM",
+        SIGINT => "SIGINT",
+        _ => "signal",
+    };
+    eprintln!("serve: {name} received, draining (up to {} s)", drain_timeout.as_secs());
+    handle.shutdown_graceful(drain_timeout);
+}
+
+#[cfg(not(target_os = "linux"))]
+fn run_until_signalled(server: Server, _drain_timeout: std::time::Duration) {
     server.run();
 }

@@ -1,0 +1,232 @@
+//! Deterministic fault injection for the transport's syscall edges.
+//!
+//! The error paths that matter in production — `EMFILE` on accept,
+//! `ECONNRESET` mid-response, short and would-block writes to a stalled
+//! peer — are exactly the ones the kernel only produces under real
+//! resource pressure, so they are untestable by normal means. This module
+//! routes the transport's accept/read/write edges through an injectable
+//! shim:
+//!
+//! - **Feature off (the default):** every function is a `#[inline]`
+//!   passthrough to the underlying socket operation. No queues, no locks,
+//!   no branches beyond what the optimizer removes — the hot path is
+//!   byte-for-byte the direct call.
+//! - **Feature `fault-injection` on:** each operation first consults a
+//!   global FIFO script of faults (one consumed per call); an empty
+//!   script is a passthrough. Tests script exact sequences —
+//!   "next accept fails `EMFILE`", "next write delivers only 3 bytes",
+//!   "next write resets the connection" — and get the same fault on the
+//!   same operation every run, with no sleeps or kernel cooperation.
+//!
+//! The script is process-global, so chaos tests serialize themselves
+//! (single connection, one worker/shard) to keep consumption
+//! deterministic.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+
+/// Accepts a connection from `listener`, consuming one scripted accept
+/// fault first when the `fault-injection` feature is enabled.
+#[cfg(not(feature = "fault-injection"))]
+#[inline]
+pub(crate) fn accept(listener: &TcpListener) -> io::Result<(TcpStream, SocketAddr)> {
+    listener.accept()
+}
+
+/// A transparent [`Read`] + [`Write`] adapter over a socket (or half of
+/// one). With `fault-injection` off it forwards every call — including
+/// `write_vectored`, preserving the transport's single-`writev` responses
+/// — at zero cost; with the feature on it consults the fault script
+/// before touching the socket.
+#[derive(Debug)]
+pub(crate) struct FaultStream<'a, S>(pub(crate) &'a mut S);
+
+#[cfg(not(feature = "fault-injection"))]
+impl<S: Read> Read for FaultStream<'_, S> {
+    #[inline]
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        self.0.read(buf)
+    }
+}
+
+#[cfg(not(feature = "fault-injection"))]
+impl<S: Write> Write for FaultStream<'_, S> {
+    #[inline]
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.0.write(buf)
+    }
+
+    #[inline]
+    fn write_vectored(&mut self, bufs: &[io::IoSlice<'_>]) -> io::Result<usize> {
+        self.0.write_vectored(bufs)
+    }
+
+    #[inline]
+    fn flush(&mut self) -> io::Result<()> {
+        self.0.flush()
+    }
+}
+
+#[cfg(feature = "fault-injection")]
+pub(crate) use enabled::accept;
+#[cfg(feature = "fault-injection")]
+pub use enabled::{
+    inject_accept_error, inject_read, inject_write, reset, ReadFault, WriteFault, ECONNRESET,
+    EMFILE,
+};
+
+#[cfg(feature = "fault-injection")]
+mod enabled {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// `errno` for "too many open files" — the accept-storm fault.
+    pub const EMFILE: i32 = 24;
+    /// `errno` for "connection reset by peer" — the mid-response fault.
+    pub const ECONNRESET: i32 = 104;
+
+    /// One scripted fault for a read call.
+    #[derive(Debug, Clone, Copy)]
+    pub enum ReadFault {
+        /// Return `WouldBlock` without touching the socket.
+        WouldBlock,
+        /// Return `ECONNRESET` without touching the socket.
+        Reset,
+        /// Return `Ok(0)` (peer closed) without touching the socket.
+        Eof,
+    }
+
+    /// One scripted fault for a write call.
+    #[derive(Debug, Clone, Copy)]
+    pub enum WriteFault {
+        /// Deliver at most this many bytes of the requested buffer to the
+        /// real socket (a genuine short write: the bytes do go out).
+        Short(usize),
+        /// Return `WouldBlock` without writing anything.
+        WouldBlock,
+        /// Return `ECONNRESET` without writing anything.
+        Reset,
+    }
+
+    /// The global fault script: FIFO per operation, consumed one entry
+    /// per call, passthrough when empty.
+    struct Script {
+        accept_errors: Vec<i32>,
+        reads: Vec<ReadFault>,
+        writes: Vec<WriteFault>,
+    }
+
+    static SCRIPT: Mutex<Script> =
+        Mutex::new(Script { accept_errors: Vec::new(), reads: Vec::new(), writes: Vec::new() });
+
+    /// Scripts the next `accept` to fail with this raw `errno`
+    /// (e.g. [`EMFILE`]).
+    pub fn inject_accept_error(raw_os: i32) {
+        SCRIPT.lock().expect("fault script").accept_errors.push(raw_os);
+    }
+
+    /// Scripts a fault for the next read call on any [`FaultStream`].
+    pub fn inject_read(fault: ReadFault) {
+        SCRIPT.lock().expect("fault script").reads.push(fault);
+    }
+
+    /// Scripts a fault for the next write call on any [`FaultStream`].
+    pub fn inject_write(fault: WriteFault) {
+        SCRIPT.lock().expect("fault script").writes.push(fault);
+    }
+
+    /// Clears every pending scripted fault (test teardown).
+    pub fn reset() {
+        let mut script = SCRIPT.lock().expect("fault script");
+        script.accept_errors.clear();
+        script.reads.clear();
+        script.writes.clear();
+    }
+
+    pub(crate) fn accept(listener: &TcpListener) -> io::Result<(TcpStream, SocketAddr)> {
+        let fault = {
+            let mut script = SCRIPT.lock().expect("fault script");
+            if script.accept_errors.is_empty() {
+                None
+            } else {
+                Some(script.accept_errors.remove(0))
+            }
+        };
+        match fault {
+            Some(errno) => Err(io::Error::from_raw_os_error(errno)),
+            None => listener.accept(),
+        }
+    }
+
+    fn next_read() -> Option<ReadFault> {
+        let mut script = SCRIPT.lock().expect("fault script");
+        if script.reads.is_empty() {
+            None
+        } else {
+            Some(script.reads.remove(0))
+        }
+    }
+
+    fn next_write() -> Option<WriteFault> {
+        let mut script = SCRIPT.lock().expect("fault script");
+        if script.writes.is_empty() {
+            None
+        } else {
+            Some(script.writes.remove(0))
+        }
+    }
+
+    impl<S: Read> Read for FaultStream<'_, S> {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            match next_read() {
+                None => self.0.read(buf),
+                Some(ReadFault::WouldBlock) => Err(io::Error::from(io::ErrorKind::WouldBlock)),
+                Some(ReadFault::Reset) => Err(io::Error::from_raw_os_error(ECONNRESET)),
+                Some(ReadFault::Eof) => Ok(0),
+            }
+        }
+    }
+
+    impl<S: Write> Write for FaultStream<'_, S> {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            match next_write() {
+                None => self.0.write(buf),
+                Some(WriteFault::Short(limit)) => {
+                    let take = limit.min(buf.len());
+                    if take == 0 {
+                        return Ok(0);
+                    }
+                    self.0.write(&buf[..take])
+                }
+                Some(WriteFault::WouldBlock) => Err(io::Error::from(io::ErrorKind::WouldBlock)),
+                Some(WriteFault::Reset) => Err(io::Error::from_raw_os_error(ECONNRESET)),
+            }
+        }
+
+        fn write_vectored(&mut self, bufs: &[io::IoSlice<'_>]) -> io::Result<usize> {
+            match next_write() {
+                None => self.0.write_vectored(bufs),
+                Some(fault) => {
+                    // A faulted vectored write degrades to the first
+                    // non-empty slice, mirroring a kernel short-writev.
+                    let first = bufs.iter().find(|b| !b.is_empty()).map(|b| &**b).unwrap_or(&[]);
+                    match fault {
+                        WriteFault::Short(limit) => {
+                            let take = limit.min(first.len());
+                            if take == 0 {
+                                return Ok(0);
+                            }
+                            self.0.write(&first[..take])
+                        }
+                        WriteFault::WouldBlock => Err(io::Error::from(io::ErrorKind::WouldBlock)),
+                        WriteFault::Reset => Err(io::Error::from_raw_os_error(ECONNRESET)),
+                    }
+                }
+            }
+        }
+
+        fn flush(&mut self) -> io::Result<()> {
+            self.0.flush()
+        }
+    }
+}

@@ -272,6 +272,7 @@ pub fn status_line(status: u16) -> &'static str {
         413 => "HTTP/1.1 413 Payload Too Large\r\n",
         431 => "HTTP/1.1 431 Request Header Fields Too Large\r\n",
         501 => "HTTP/1.1 501 Not Implemented\r\n",
+        503 => "HTTP/1.1 503 Service Unavailable\r\n",
         505 => "HTTP/1.1 505 HTTP Version Not Supported\r\n",
         _ => "HTTP/1.1 500 Internal Server Error\r\n",
     }
@@ -478,6 +479,11 @@ impl ResponseBuf {
             self.head.extend_from_slice(b"\r\nContent-Length: ");
             push_u64(&mut self.head, body_len as u64);
             self.head.extend_from_slice(b"\r\n");
+        }
+        if head.status == 503 {
+            // Overload shedding: tell well-behaved clients when to retry
+            // instead of letting them hammer a saturated server.
+            self.head.extend_from_slice(b"Retry-After: 1\r\n");
         }
         if let Some(etag) = head.etag {
             self.head.extend_from_slice(b"ETag: \"");
@@ -888,5 +894,37 @@ mod tests {
         assert!(String::from_utf8_lossy(staged.head_bytes()).contains("Content-Length: 3\r\n"));
         let emit = staged.assemble(&ResponseHead { status: 304, ..head }, 3);
         assert_eq!(emit, 0);
+    }
+
+    #[test]
+    fn shed_responses_carry_retry_after() {
+        let mut buf = ResponseBuf::new();
+        let emit = buf.assemble(
+            &ResponseHead {
+                status: 503,
+                content_type: "application/json",
+                keep_alive: true,
+                etag: None,
+                mode: BodyMode::Full,
+            },
+            2,
+        );
+        assert_eq!(emit, 2);
+        let head = String::from_utf8_lossy(buf.head_bytes()).to_string();
+        assert!(head.starts_with("HTTP/1.1 503 Service Unavailable\r\n"), "{head}");
+        assert!(head.contains("Retry-After: 1\r\n"), "{head}");
+        assert!(head.contains("Content-Length: 2\r\n"), "{head}");
+        // Non-shed statuses must not grow the header.
+        let _ = buf.assemble(
+            &ResponseHead {
+                status: 200,
+                content_type: "application/json",
+                keep_alive: true,
+                etag: None,
+                mode: BodyMode::Full,
+            },
+            2,
+        );
+        assert!(!String::from_utf8_lossy(buf.head_bytes()).contains("Retry-After"));
     }
 }

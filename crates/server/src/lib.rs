@@ -69,6 +69,7 @@
 pub mod access_log;
 pub mod args;
 pub mod cache;
+pub mod fault;
 pub mod http;
 pub mod metrics;
 #[cfg(target_os = "linux")]
@@ -76,7 +77,7 @@ pub mod net;
 pub mod service;
 
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -92,8 +93,25 @@ pub use service::{Encoding, QueryService, ResponseTier, ServiceResponse, Service
 
 /// How long an idle keep-alive connection may sit between requests.
 const KEEP_ALIVE_TIMEOUT: Duration = Duration::from_secs(5);
+/// How long a write may sit with zero bytes accepted by the peer before
+/// the connection is evicted as a slow reader.
+const WRITE_STALL_TIMEOUT: Duration = Duration::from_secs(5);
 /// Most requests served over one connection before it is closed.
 const MAX_REQUESTS_PER_CONNECTION: usize = 1024;
+
+/// Preformatted 503 sent to connections rejected at admission, before a
+/// worker or reactor slot is ever assigned. Static so the reject path
+/// allocates nothing — overload is exactly when allocation pressure
+/// hurts most — and framed `Connection: close` so clients don't retry on
+/// the doomed socket. The body matches
+/// [`service::QueryService`]'s shed response.
+pub(crate) const OVERLOAD_RESPONSE: &[u8] = b"HTTP/1.1 503 Service Unavailable\r\n\
+Content-Type: application/json\r\n\
+Content-Length: 46\r\n\
+Retry-After: 1\r\n\
+Connection: close\r\n\
+\r\n\
+{\"error\": \"server overloaded, retry shortly\"}\n";
 
 /// Answers one request by its verbatim target, trying the raw fast lane
 /// first: a repeated hot URL is served straight from the raw-target cache
@@ -264,6 +282,27 @@ pub struct ServerOptions {
     /// timer wheel (coarse ticks of `timeout / 8`, so eviction lands
     /// within ~12% past the nominal deadline).
     pub keep_alive_timeout: Duration,
+    /// Cap on concurrently served connections (`0` = unlimited). Beyond
+    /// it, new connections are answered with a preformatted static 503 +
+    /// `Retry-After` and closed — rejected, never queued. The reactor
+    /// divides the cap evenly across shards.
+    pub max_inflight: usize,
+    /// Cap on connections queued for a pool worker (`0` = unbounded;
+    /// thread-per-connection transport only). A full queue rejects with
+    /// the same static 503 instead of growing without bound.
+    pub queue_depth: usize,
+    /// Per-request deadline budget, armed when the parsed request is in
+    /// hand and checked between the execute/encode pipeline stages. Only
+    /// uncached work is shed on expiry — both cache tiers keep serving
+    /// under overload. `None` disables deadline shedding.
+    pub request_deadline: Option<Duration>,
+    /// How long a response write may sit with zero bytes accepted before
+    /// the connection is evicted as a slow reader (so a stalled peer
+    /// cannot pin a response buffer forever). On the
+    /// thread-per-connection transport this is the socket send timeout;
+    /// on the reactor the timer wheel enforces it with the same coarse
+    /// ticks as `keep_alive_timeout`.
+    pub write_stall_timeout: Duration,
 }
 
 impl Default for ServerOptions {
@@ -272,6 +311,10 @@ impl Default for ServerOptions {
             no_telemetry: false,
             access_log: None,
             keep_alive_timeout: KEEP_ALIVE_TIMEOUT,
+            max_inflight: 0,
+            queue_depth: 0,
+            request_deadline: None,
+            write_stall_timeout: WRITE_STALL_TIMEOUT,
         }
     }
 }
@@ -285,6 +328,14 @@ pub(crate) struct ConnState {
     pub(crate) access_log: Option<AccessLog>,
     pub(crate) telemetry: bool,
     pub(crate) keep_alive_timeout: Duration,
+    pub(crate) max_inflight: usize,
+    pub(crate) request_deadline: Option<Duration>,
+    pub(crate) write_stall_timeout: Duration,
+    /// Connections currently owned by a pool worker (running or queued).
+    /// Maintained independently of telemetry so admission control works
+    /// with `--no-telemetry`. The reactor tracks occupancy per shard via
+    /// its slab instead.
+    pub(crate) inflight: AtomicUsize,
 }
 
 /// Cross-thread shutdown plumbing shared by the server's threads and its
@@ -293,6 +344,11 @@ pub(crate) struct ConnState {
 /// shards by their eventfds.
 pub(crate) struct ShutdownSignal {
     flag: AtomicBool,
+    /// Set (before `flag`) when the shutdown should drain: stop
+    /// accepting but let in-flight requests finish. Cleared again by
+    /// [`ShutdownSignal::trigger`] if a drain deadline forces a hard
+    /// stop.
+    graceful: AtomicBool,
     #[cfg(target_os = "linux")]
     wakes: Vec<Arc<net::sys::EventFd>>,
 }
@@ -301,6 +357,7 @@ impl ShutdownSignal {
     fn new() -> ShutdownSignal {
         ShutdownSignal {
             flag: AtomicBool::new(false),
+            graceful: AtomicBool::new(false),
             #[cfg(target_os = "linux")]
             wakes: Vec::new(),
         }
@@ -308,15 +365,30 @@ impl ShutdownSignal {
 
     #[cfg(target_os = "linux")]
     fn with_wakes(wakes: Vec<Arc<net::sys::EventFd>>) -> ShutdownSignal {
-        ShutdownSignal { flag: AtomicBool::new(false), wakes }
+        ShutdownSignal { flag: AtomicBool::new(false), graceful: AtomicBool::new(false), wakes }
     }
 
     pub(crate) fn is_triggered(&self) -> bool {
         self.flag.load(Ordering::SeqCst)
     }
 
+    pub(crate) fn is_graceful(&self) -> bool {
+        self.graceful.load(Ordering::SeqCst)
+    }
+
     fn trigger(&self, addr: SocketAddr) {
+        self.graceful.store(false, Ordering::SeqCst);
         self.flag.store(true, Ordering::SeqCst);
+        self.wake(addr);
+    }
+
+    fn trigger_graceful(&self, addr: SocketAddr) {
+        self.graceful.store(true, Ordering::SeqCst);
+        self.flag.store(true, Ordering::SeqCst);
+        self.wake(addr);
+    }
+
+    fn wake(&self, addr: SocketAddr) {
         #[cfg(target_os = "linux")]
         if !self.wakes.is_empty() {
             for wake in &self.wakes {
@@ -377,6 +449,24 @@ impl ServerHandle {
         self.shutdown.trigger(self.local_addr);
         let _ = self.accept_thread.join();
     }
+
+    /// Graceful drain: stops accepting, lets in-flight requests finish
+    /// (keep-alive connections are closed after their current response),
+    /// and joins the accept thread. If the drain has not completed within
+    /// `drain_timeout`, falls back to the hard shutdown path.
+    pub fn shutdown_graceful(self, drain_timeout: Duration) {
+        self.shutdown.trigger_graceful(self.local_addr);
+        let deadline = Instant::now() + drain_timeout;
+        while !self.accept_thread.is_finished() && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        if !self.accept_thread.is_finished() {
+            // Deadline blown: demote to a hard stop and wake the
+            // transport again so it observes the downgrade.
+            self.shutdown.trigger(self.local_addr);
+        }
+        let _ = self.accept_thread.join();
+    }
 }
 
 impl Server {
@@ -407,11 +497,13 @@ impl Server {
         let local_addr = listener.local_addr()?;
         let telemetry = !options.no_telemetry;
         let metrics = Arc::new(ServerMetrics::new());
-        let pool = if telemetry {
-            TaskPool::with_metrics(threads, "uops-serve-worker", Arc::clone(&metrics.pool))
-        } else {
-            TaskPool::new(threads, "uops-serve-worker")
-        };
+        let pool_metrics = telemetry.then(|| Arc::clone(&metrics.pool));
+        let pool = TaskPool::with_queue_limit(
+            threads,
+            "uops-serve-worker",
+            pool_metrics,
+            options.queue_depth,
+        );
         Ok(Server {
             transport: Transport::Pool { listener, pool },
             state: Arc::new(ConnState {
@@ -420,6 +512,10 @@ impl Server {
                 access_log: options.access_log,
                 telemetry,
                 keep_alive_timeout: options.keep_alive_timeout,
+                max_inflight: options.max_inflight,
+                request_deadline: options.request_deadline,
+                write_stall_timeout: options.write_stall_timeout,
+                inflight: AtomicUsize::new(0),
             }),
             local_addr,
             shutdown: Arc::new(ShutdownSignal::new()),
@@ -457,11 +553,22 @@ impl Server {
             access_log: options.access_log,
             telemetry,
             keep_alive_timeout: options.keep_alive_timeout,
+            max_inflight: options.max_inflight,
+            request_deadline: options.request_deadline,
+            write_stall_timeout: options.write_stall_timeout,
+            inflight: AtomicUsize::new(0),
         });
         let wakes = (0..shards)
             .map(|_| net::sys::EventFd::new().map(Arc::new))
             .collect::<std::io::Result<Vec<_>>>()?;
         let shutdown = Arc::new(ShutdownSignal::with_wakes(wakes.clone()));
+        // Divide the connection cap evenly; any remainder rounds up so
+        // the shards' caps sum to at least the requested total.
+        let conn_cap = if options.max_inflight == 0 {
+            0
+        } else {
+            options.max_inflight.div_ceil(shards).max(1)
+        };
         let mut shard_loops = Vec::with_capacity(shards);
         for (listener, wake) in listeners.into_iter().zip(wakes) {
             shard_loops.push(net::reactor::Shard::new(
@@ -469,6 +576,7 @@ impl Server {
                 wake,
                 Arc::clone(&state),
                 Arc::clone(&shutdown),
+                conn_cap,
             )?);
         }
         Ok(Server {
@@ -505,7 +613,7 @@ impl Server {
     pub fn run(self) {
         let Server { transport, state, shutdown, .. } = self;
         match transport {
-            Transport::Pool { listener, pool } => run_pool(listener, state, pool, &shutdown),
+            Transport::Pool { listener, pool } => run_pool(listener, state, pool, shutdown),
             #[cfg(target_os = "linux")]
             Transport::Reactor { shards } => run_reactor(shards),
         }
@@ -526,24 +634,72 @@ impl Server {
     }
 }
 
+/// One reserve file descriptor held open so `EMFILE` accept failures can
+/// be answered actively instead of with blind backoff: closing the
+/// reserve frees exactly one fd, the pending connection is accepted into
+/// it and immediately closed (the peer sees a prompt reset rather than a
+/// connect that hangs in the backlog), and the reserve is reopened for
+/// the next storm. `/dev/null` keeps the reserve off the network.
+pub(crate) struct AcceptRescue {
+    reserve: Option<std::fs::File>,
+}
+
+impl AcceptRescue {
+    pub(crate) fn new() -> AcceptRescue {
+        AcceptRescue { reserve: AcceptRescue::open_reserve() }
+    }
+
+    fn open_reserve() -> Option<std::fs::File> {
+        std::fs::File::open("/dev/null").ok()
+    }
+
+    /// Called after an `EMFILE`-class accept error: spend the reserve fd
+    /// to accept-and-close one pending connection. Returns `true` if a
+    /// connection was actively reset (counted as an `accept_rescue`);
+    /// `false` means no fd headroom could be found and the caller should
+    /// back off instead.
+    pub(crate) fn rescue(&mut self, listener: &TcpListener) -> bool {
+        self.reserve = None;
+        // Plain accept, not the fault shim: the scripted failure was
+        // already consumed by the accept that brought us here. The
+        // accepted stream drops immediately — that close IS the rescue.
+        let rescued = listener.accept().is_ok();
+        self.reserve = AcceptRescue::open_reserve();
+        rescued
+    }
+}
+
+/// Best-effort static 503 to a connection rejected at admission: one
+/// write of preformatted bytes, then drop (close). No allocation, no
+/// worker, no cache interaction.
+fn reject_overload(mut stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let _ = std::io::Write::write(&mut stream, OVERLOAD_RESPONSE);
+}
+
 /// The thread-per-connection accept loop. Transient accept failures
-/// (`EINTR`, spurious `EAGAIN`) retry immediately; resource-exhaustion
-/// failures (`EMFILE` under fd pressure, `ENFILE`) would otherwise return
-/// immediately and spin this loop at 100% CPU, so they back off briefly
-/// and let the overload drain instead of being amplified. Both classes
-/// count into the `accept_errors` telemetry counter.
+/// (`EINTR`, spurious `EAGAIN`) retry immediately. Resource-exhaustion
+/// failures (`EMFILE` under fd pressure, `ENFILE`) spend the
+/// [`AcceptRescue`] reserve fd to actively reset the pending connection —
+/// only falling back to a brief sleep when even that fails — so fd
+/// exhaustion degrades to fast rejects instead of a backlog of hung
+/// connects. Admission control runs before a worker is committed: past
+/// `max_inflight` live connections or a full worker queue, the connection
+/// gets the static 503 and is closed.
 fn run_pool(
     listener: TcpListener,
     state: Arc<ConnState>,
     pool: TaskPool,
-    shutdown: &ShutdownSignal,
+    shutdown: Arc<ShutdownSignal>,
 ) {
-    for stream in listener.incoming() {
+    let mut rescue = AcceptRescue::new();
+    loop {
+        let accepted = fault::accept(&listener);
         if shutdown.is_triggered() {
             break;
         }
-        let stream = match stream {
-            Ok(stream) => stream,
+        let stream = match accepted {
+            Ok((stream, _)) => stream,
             Err(e)
                 if matches!(
                     e.kind(),
@@ -555,16 +711,48 @@ fn run_pool(
                 }
                 continue;
             }
-            Err(_) => {
+            Err(e) => {
                 if state.telemetry {
                     state.metrics.accept_errors.inc();
                 }
-                std::thread::sleep(Duration::from_millis(10));
+                // EMFILE/ENFILE leave the connection in the backlog, so
+                // the rescue's accept is guaranteed not to block. Other
+                // errors (e.g. ECONNABORTED) may have nothing pending —
+                // back off briefly instead.
+                let fd_exhausted = matches!(e.raw_os_error(), Some(23 | 24));
+                if fd_exhausted && rescue.rescue(&listener) {
+                    if state.telemetry {
+                        state.metrics.accept_rescues.inc();
+                    }
+                } else {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
                 continue;
             }
         };
-        let state = Arc::clone(&state);
-        pool.execute(move || serve_connection(stream, &state));
+        if state.max_inflight != 0 && state.inflight.load(Ordering::Relaxed) >= state.max_inflight {
+            if state.telemetry {
+                state.metrics.overload_rejects.inc();
+            }
+            reject_overload(stream);
+            continue;
+        }
+        state.inflight.fetch_add(1, Ordering::Relaxed);
+        let task_state = Arc::clone(&state);
+        let task_shutdown = Arc::clone(&shutdown);
+        let accepted = pool.try_execute(move || {
+            serve_connection(stream, &task_state, &task_shutdown);
+            task_state.inflight.fetch_sub(1, Ordering::Relaxed);
+        });
+        if !accepted {
+            // Queue full (or shutdown raced): the dropped closure closed
+            // the stream; all we can still do is undo the reservation
+            // and count the reject.
+            state.inflight.fetch_sub(1, Ordering::Relaxed);
+            if state.telemetry {
+                state.metrics.overload_rejects.inc();
+            }
+        }
     }
     pool.shutdown();
 }
@@ -636,6 +824,10 @@ pub(crate) struct RequestOutcome {
 /// are byte-identical by construction.
 pub(crate) fn answer(state: &ConnState, request: &http::Request<'_>) -> RequestOutcome {
     metrics::stage_scratch::reset();
+    // Arm (or clear) the per-request deadline for this thread before any
+    // service work runs; the service checks it between pipeline stages
+    // and sheds only uncached work when it expires.
+    service::deadline::set(state.request_deadline.map(|budget| Instant::now() + budget));
     let route = Route::of(request.path());
     if state.telemetry {
         state.metrics.request_bytes.add(request.head_len as u64);
@@ -746,13 +938,43 @@ impl Drop for ConnGuard<'_> {
     }
 }
 
+/// Writes one framed response with slow-reader detection. The socket
+/// carries a send timeout of `write_stall_timeout`, so any
+/// `Pending` from [`http::write_resumable`] means the kernel accepted
+/// zero bytes for the whole window — the peer has stopped reading — and
+/// the connection is evicted rather than left pinning its buffers.
+fn write_or_evict(
+    writer: &mut TcpStream,
+    response_buf: &mut http::ResponseBuf,
+    head: &http::ResponseHead<'_>,
+    body: &[u8],
+    state: &ConnState,
+) -> std::io::Result<usize> {
+    let emit = response_buf.assemble(head, body.len());
+    let mut cursor = 0;
+    match http::write_resumable(
+        &mut fault::FaultStream(writer),
+        response_buf.head_bytes(),
+        &body[..emit],
+        &mut cursor,
+    )? {
+        http::WriteProgress::Complete => Ok(response_buf.head_bytes().len() + emit),
+        http::WriteProgress::Pending => {
+            if state.telemetry {
+                state.metrics.slow_reader_evictions.inc();
+            }
+            Err(std::io::Error::from(std::io::ErrorKind::TimedOut))
+        }
+    }
+}
+
 /// Serves one connection: read request (in place, into the connection's
 /// reusable buffer), answer via the fast lane, emit one vectored write,
 /// repeat while keep-alive holds. Steady state allocates nothing: the
 /// request buffer, response scratch, and cached bodies are all reused —
 /// and telemetry keeps it that way (atomic increments and histogram
 /// buckets only; see `tests/alloc_free.rs`).
-fn serve_connection(stream: TcpStream, state: &ConnState) {
+fn serve_connection(stream: TcpStream, state: &ConnState, shutdown: &ShutdownSignal) {
     let metrics = &*state.metrics;
     let telemetry = state.telemetry;
     if telemetry {
@@ -761,6 +983,7 @@ fn serve_connection(stream: TcpStream, state: &ConnState) {
     }
     let _guard = ConnGuard { metrics, enabled: telemetry };
     let _ = stream.set_read_timeout(Some(state.keep_alive_timeout));
+    let _ = stream.set_write_timeout(Some(state.write_stall_timeout));
     let _ = stream.set_nodelay(true);
     let Ok(mut writer) = stream.try_clone() else { return };
     let mut reader = stream;
@@ -770,14 +993,15 @@ fn serve_connection(stream: TcpStream, state: &ConnState) {
         // The parsed request borrows `request_buf`; everything needed
         // beyond this block is captured before the borrow is released.
         let (outcome, head_len, keep_alive, started) = {
-            let request = match request_buf.read_request(&mut reader) {
+            let request = match request_buf.read_request(&mut fault::FaultStream(&mut reader)) {
                 Ok(request) => request,
                 Err(http::RequestError::ConnectionClosed) => return,
                 Err(http::RequestError::Bad(status, message)) => {
                     record_parse_error(state, status);
                     let body = ServiceResponse::error(status, &message);
-                    let written = response_buf.write_response(
+                    let written = write_or_evict(
                         &mut writer,
+                        &mut response_buf,
                         &http::ResponseHead {
                             status,
                             content_type: body.content_type,
@@ -786,6 +1010,7 @@ fn serve_connection(stream: TcpStream, state: &ConnState) {
                             mode: http::BodyMode::Full,
                         },
                         &body.body,
+                        state,
                     );
                     if telemetry {
                         if let Ok(bytes) = written {
@@ -797,15 +1022,19 @@ fn serve_connection(stream: TcpStream, state: &ConnState) {
                 Err(http::RequestError::Io(_)) => return,
             };
             // The clock starts after the request is in hand: keep-alive
-            // idle time between requests is not request latency.
+            // idle time between requests is not request latency. A
+            // graceful drain closes the connection after this response.
             let started = Instant::now();
-            let keep_alive = request.keep_alive && served + 1 < MAX_REQUESTS_PER_CONNECTION;
+            let keep_alive = request.keep_alive
+                && served + 1 < MAX_REQUESTS_PER_CONNECTION
+                && !shutdown.is_triggered();
             (answer(state, &request), request.head_len, keep_alive, started)
         };
         request_buf.consume(head_len);
         let RequestOutcome { response, status, mode, not_modified, route } = outcome;
-        let written = response_buf.write_response(
+        let written = write_or_evict(
             &mut writer,
+            &mut response_buf,
             &http::ResponseHead {
                 status,
                 content_type: response.content_type,
@@ -814,6 +1043,7 @@ fn serve_connection(stream: TcpStream, state: &ConnState) {
                 mode,
             },
             &response.body,
+            state,
         );
         let wire_bytes = match &written {
             Ok(bytes) => Some(*bytes),

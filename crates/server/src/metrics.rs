@@ -127,6 +127,16 @@ pub struct ServerMetrics {
     /// immediately, plus `EMFILE`-class exhaustion that backed off) on
     /// either transport's accept path.
     pub accept_errors: Counter,
+    /// `EMFILE`-class accept failures answered by the emergency-fd
+    /// rescue: the reserve fd was closed, the pending connection accepted
+    /// and actively reset instead of left to time out in the backlog.
+    pub accept_rescues: Counter,
+    /// Connections rejected at admission (transport saturated): answered
+    /// with the preformatted static 503 and closed.
+    pub overload_rejects: Counter,
+    /// Connections evicted mid-response because the peer stopped reading
+    /// (write-side stall past the configured timeout).
+    pub slow_reader_evictions: Counter,
     /// Connections accepted.
     pub connections_opened: Counter,
     /// Connections fully served and closed.
@@ -170,6 +180,9 @@ impl ServerMetrics {
             header_overflows: Counter::new(),
             not_modified: Counter::new(),
             accept_errors: Counter::new(),
+            accept_rescues: Counter::new(),
+            overload_rejects: Counter::new(),
+            slow_reader_evictions: Counter::new(),
             connections_opened: Counter::new(),
             connections_closed: Counter::new(),
             connections_active: Gauge::new(),
@@ -264,6 +277,24 @@ pub fn render_metrics(service: &QueryService, metrics: &ServerMetrics) -> String
         &metrics.accept_errors,
     );
     registry.counter(
+        "uops_http_accept_rescues_total",
+        "EMFILE-class accept failures answered by the emergency-fd rescue.",
+        NO_LABELS,
+        &metrics.accept_rescues,
+    );
+    registry.counter(
+        "uops_http_overload_rejects_total",
+        "Connections rejected at admission with a static 503.",
+        NO_LABELS,
+        &metrics.overload_rejects,
+    );
+    registry.counter(
+        "uops_http_slow_reader_evictions_total",
+        "Connections evicted mid-response on a write-side stall.",
+        NO_LABELS,
+        &metrics.slow_reader_evictions,
+    );
+    registry.counter(
         "uops_http_connections_opened_total",
         "Connections accepted.",
         NO_LABELS,
@@ -319,6 +350,24 @@ pub fn render_metrics(service: &QueryService, metrics: &ServerMetrics) -> String
         "Results actually encoded (cache misses).",
         NO_LABELS,
         service.encodes_counter(),
+    );
+    registry.counter(
+        "uops_service_shed_total",
+        "Uncached requests shed by overload control, by reason.",
+        &[("reason", "deadline")],
+        service.shed_deadline_counter(),
+    );
+    registry.counter(
+        "uops_service_shed_total",
+        "Uncached requests shed by overload control, by reason.",
+        &[("reason", "capacity")],
+        service.shed_capacity_counter(),
+    );
+    registry.gauge_sample(
+        "uops_service_uncached_inflight",
+        "Uncached executions in flight (admission gauge).",
+        NO_LABELS,
+        service.uncached_inflight() as i64,
     );
     registry.gauge_sample(
         "uops_service_records",
@@ -564,6 +613,12 @@ mod tests {
         for needle in [
             "uops_http_requests_total 1",
             "uops_http_accept_errors_total 0",
+            "uops_http_accept_rescues_total 0",
+            "uops_http_overload_rejects_total 0",
+            "uops_http_slow_reader_evictions_total 0",
+            "uops_service_shed_total{reason=\"deadline\"} 0",
+            "uops_service_shed_total{reason=\"capacity\"} 0",
+            "uops_service_uncached_inflight 0",
             "uops_http_request_latency_nanoseconds_bucket{route=\"/v1/query\",le=\"+Inf\"} 1",
             "uops_service_latency_nanoseconds_count{tier=\"raw\"} 1",
             "uops_cache_hits_total{tier=\"fingerprint\"} 0",

@@ -25,6 +25,8 @@ pub(crate) mod reactor;
 pub(crate) mod sys;
 pub(crate) mod timer;
 
+pub use sys::{SignalPipe, SIGINT, SIGTERM};
+
 /// Raises the process `RLIMIT_NOFILE` soft limit toward `want` and
 /// returns the soft limit actually in effect afterwards.
 ///

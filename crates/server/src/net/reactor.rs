@@ -51,12 +51,21 @@ use crate::http::{self, WriteProgress};
 use crate::metrics::{self, Route};
 use crate::service::{ResponseTier, ServiceResponse};
 use crate::{
-    answer, record_parse_error, record_request, ConnState, RequestOutcome, ShutdownSignal,
-    MAX_REQUESTS_PER_CONNECTION,
+    answer, fault, record_parse_error, record_request, AcceptRescue, ConnState, RequestOutcome,
+    ShutdownSignal, MAX_REQUESTS_PER_CONNECTION, OVERLOAD_RESPONSE,
 };
 
 use super::sys::{Epoll, EpollEvent, EventFd, EPOLLET, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
 use super::timer::TimerWheel;
+
+/// Best-effort static 503 to a connection rejected at the shard's
+/// connection cap: one non-blocking write of preformatted bytes, then
+/// drop (close). No slab slot, no epoll registration, no allocation.
+fn reject_overload_nonblocking(mut stream: TcpStream) {
+    let _ = stream.set_nonblocking(true);
+    let _ = stream.set_nodelay(true);
+    let _ = io::Write::write(&mut stream, OVERLOAD_RESPONSE);
+}
 
 /// Token marking the shard's listener in epoll reports.
 const TOKEN_LISTENER: u64 = u64::MAX;
@@ -100,6 +109,12 @@ struct Conn {
     /// Wheel tick at which this connection counts as idle-expired;
     /// rewritten on every byte of progress (the lazy-wheel "touch").
     expiry_tick: u64,
+    /// Earliest tick at which the wheel will next visit this connection.
+    /// A deadline that moves *later* needs no new wheel entry (the visit
+    /// reschedules lazily); only a deadline moving *earlier* — entering a
+    /// write with a shorter stall allowance — schedules one, keeping the
+    /// steady state free of wheel-entry growth (and of its allocations).
+    scheduled_tick: u64,
     // -- telemetry capture for the in-flight response --
     started: Instant,
     route: Route,
@@ -137,10 +152,21 @@ pub(crate) struct Shard {
     entries: Vec<Entry>,
     free: Vec<u32>,
     wheel: TimerWheel,
-    /// Wheel tick length in milliseconds (`keep-alive / 8`, 10–500 ms).
+    /// Wheel tick length in milliseconds (`min(keep-alive, write-stall)
+    /// / 8`, 10–500 ms).
     tick_ms: u64,
-    /// Idle allowance in ticks (≥ the keep-alive timeout).
+    /// Idle allowance in ticks (≥ the keep-alive timeout); governs
+    /// connections waiting for a request.
     timeout_ticks: u64,
+    /// Write-stall allowance in ticks (≥ the write-stall timeout);
+    /// governs connections with a response in flight — a peer that
+    /// accepts no bytes for this long is evicted as a slow reader.
+    stall_ticks: u64,
+    /// This shard's share of `max_inflight` (0 = unlimited); beyond it,
+    /// accepted connections get the static 503 and are closed.
+    conn_cap: usize,
+    /// Reserve fd for actively resetting connections under `EMFILE`.
+    rescue: AcceptRescue,
     epoch: Instant,
 }
 
@@ -153,13 +179,16 @@ impl Shard {
         wake: Arc<EventFd>,
         state: Arc<ConnState>,
         shutdown: Arc<ShutdownSignal>,
+        conn_cap: usize,
     ) -> io::Result<Shard> {
         let epoll = Epoll::new()?;
         epoll.add(listener.as_raw_fd(), EPOLLIN, TOKEN_LISTENER)?;
         epoll.add(wake.raw_fd(), EPOLLIN, TOKEN_WAKE)?;
         let keep_ms = u64::try_from(state.keep_alive_timeout.as_millis()).unwrap_or(5_000).max(1);
-        let tick_ms = (keep_ms / 8).clamp(10, 500);
+        let stall_ms = u64::try_from(state.write_stall_timeout.as_millis()).unwrap_or(5_000).max(1);
+        let tick_ms = (keep_ms.min(stall_ms) / 8).clamp(10, 500);
         let timeout_ticks = keep_ms.div_ceil(tick_ms) + 1;
+        let stall_ticks = stall_ms.div_ceil(tick_ms) + 1;
         Ok(Shard {
             epoll,
             listener,
@@ -171,6 +200,9 @@ impl Shard {
             wheel: TimerWheel::new(),
             tick_ms,
             timeout_ticks,
+            stall_ticks,
+            conn_cap,
+            rescue: AcceptRescue::new(),
             epoch: Instant::now(),
         })
     }
@@ -180,12 +212,26 @@ impl Shard {
     /// every connection this shard owns).
     pub(crate) fn run(mut self) {
         let mut events = vec![EpollEvent { events: 0, data: 0 }; EVENTS_PER_WAIT];
+        let mut draining = false;
         loop {
             let timeout_ms = self.ms_to_next_tick();
             let n = self.epoll.wait(&mut events, timeout_ms).unwrap_or(0);
             if self.shutdown.is_triggered() {
-                self.close_all();
-                return;
+                if !self.shutdown.is_graceful() {
+                    self.close_all();
+                    return;
+                }
+                if !draining {
+                    // Graceful drain: stop accepting, drop idle
+                    // keep-alive connections, and finish the rest —
+                    // in-flight requests and partial reads complete (or
+                    // are evicted by the timer wheel if stalled).
+                    draining = true;
+                    self.begin_drain();
+                }
+                if self.live() == 0 {
+                    return;
+                }
             }
             let mut accept_ready = false;
             for event in &events[..n] {
@@ -198,11 +244,34 @@ impl Shard {
                     self.drive_token(token);
                 }
             }
-            if accept_ready {
+            if accept_ready && !draining {
                 self.accept_ready();
             }
             let now_tick = self.now_tick();
             self.expire_idle(now_tick);
+            if draining && self.live() == 0 {
+                return;
+            }
+        }
+    }
+
+    /// Live connections on this shard (slab occupancy).
+    fn live(&self) -> usize {
+        self.entries.len() - self.free.len()
+    }
+
+    /// Entering a graceful drain: idle keep-alive connections (Reading
+    /// phase, nothing buffered) are closed outright; everything else is
+    /// left to finish its in-flight work.
+    fn begin_drain(&mut self) {
+        for idx in 0..self.entries.len() {
+            let idle = match &self.entries[idx].conn {
+                Some(conn) => conn.phase == Phase::Reading && conn.request.filled() == 0,
+                None => false,
+            };
+            if idle {
+                self.release(idx);
+            }
         }
     }
 
@@ -219,26 +288,45 @@ impl Shard {
     }
 
     /// Accepts until the backlog runs dry. Transient `EINTR` retries
-    /// immediately; resource exhaustion (`EMFILE`-class) backs off
-    /// briefly — the level-triggered listener registration means epoll
-    /// re-reports the backlog next wait, nothing is lost. Both error
-    /// classes count into `accept_errors`.
+    /// immediately. `EMFILE`-class exhaustion spends the [`AcceptRescue`]
+    /// reserve fd to actively reset the pending connection (falling back
+    /// to a brief sleep only if that fails) — the level-triggered
+    /// listener registration means epoll re-reports any remaining
+    /// backlog on the next wait, nothing is lost. Past this shard's
+    /// connection cap, accepted connections get the static 503 and are
+    /// closed without ever entering the slab.
     fn accept_ready(&mut self) {
         loop {
-            match self.listener.accept() {
-                Ok((stream, _)) => self.register(stream),
+            match fault::accept(&self.listener) {
+                Ok((stream, _)) => {
+                    if self.conn_cap != 0 && self.live() >= self.conn_cap {
+                        if self.state.telemetry {
+                            self.state.metrics.overload_rejects.inc();
+                        }
+                        reject_overload_nonblocking(stream);
+                        continue;
+                    }
+                    self.register(stream);
+                }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => {
                     if self.state.telemetry {
                         self.state.metrics.accept_errors.inc();
                     }
                 }
-                Err(_) => {
+                Err(e) => {
                     if self.state.telemetry {
                         self.state.metrics.accept_errors.inc();
                     }
-                    std::thread::sleep(Duration::from_millis(10));
-                    return;
+                    let fd_exhausted = matches!(e.raw_os_error(), Some(23 | 24));
+                    if fd_exhausted && self.rescue.rescue(&self.listener) {
+                        if self.state.telemetry {
+                            self.state.metrics.accept_rescues.inc();
+                        }
+                    } else {
+                        std::thread::sleep(Duration::from_millis(10));
+                        return;
+                    }
                 }
             }
         }
@@ -286,6 +374,7 @@ impl Shard {
             keep_alive: true,
             served: 0,
             expiry_tick,
+            scheduled_tick: expiry_tick,
             started: Instant::now(),
             route: Route::Other,
             tier: ResponseTier::Untiered,
@@ -321,19 +410,27 @@ impl Shard {
     /// costs one `EAGAIN` syscall.
     fn drive(&mut self, idx: usize, now_tick: u64) -> Drive {
         let timeout_ticks = self.timeout_ticks;
-        let Shard { entries, state, .. } = self;
+        let stall_ticks = self.stall_ticks;
+        let Shard { entries, state, shutdown, wheel, .. } = self;
         let state: &ConnState = state;
+        let gen = entries[idx].generation;
         let Some(conn) = entries[idx].conn.as_mut() else { return Drive::Keep };
         loop {
             match conn.phase {
                 Phase::Reading => {
                     let filled_before = conn.request.filled();
-                    let parsed = match conn.request.read_request(&mut conn.stream) {
+                    let parsed = match conn
+                        .request
+                        .read_request(&mut fault::FaultStream(&mut conn.stream))
+                    {
                         Ok(request) => {
                             let started = Instant::now();
                             let outcome = answer(state, &request);
-                            let keep_alive =
-                                request.keep_alive && conn.served + 1 < MAX_REQUESTS_PER_CONNECTION;
+                            // A graceful drain closes the connection
+                            // after this response goes out.
+                            let keep_alive = request.keep_alive
+                                && conn.served + 1 < MAX_REQUESTS_PER_CONNECTION
+                                && !shutdown.is_triggered();
                             (outcome, request.head_len, keep_alive, started)
                         }
                         Err(http::RequestError::ConnectionClosed) => return Drive::Close,
@@ -364,6 +461,14 @@ impl Shard {
                             conn.body = Some(error.body);
                             conn.cursor = 0;
                             conn.phase = Phase::Draining;
+                            // Writes get the (possibly shorter) stall
+                            // allowance; schedule only if it lands
+                            // before the wheel's next visit.
+                            conn.expiry_tick = now_tick + stall_ticks;
+                            if conn.expiry_tick < conn.scheduled_tick {
+                                wheel.schedule(conn.expiry_tick, idx as u32, gen);
+                                conn.scheduled_tick = conn.expiry_tick;
+                            }
                             continue;
                         }
                     };
@@ -394,16 +499,29 @@ impl Shard {
                     // timings are captured now, not at write completion.
                     conn.stages = metrics::stage_scratch::get();
                     conn.phase = Phase::Responding;
+                    conn.expiry_tick = now_tick + stall_ticks;
+                    if conn.expiry_tick < conn.scheduled_tick {
+                        wheel.schedule(conn.expiry_tick, idx as u32, gen);
+                        conn.scheduled_tick = conn.expiry_tick;
+                    }
                 }
                 Phase::Responding | Phase::Draining => {
                     let body = conn.body.as_deref().unwrap_or(&[]);
                     let body = &body[..conn.body_emit];
                     let head = conn.response.head_bytes();
                     let cursor_before = conn.cursor;
-                    match http::write_resumable(&mut conn.stream, head, body, &mut conn.cursor) {
+                    match http::write_resumable(
+                        &mut fault::FaultStream(&mut conn.stream),
+                        head,
+                        body,
+                        &mut conn.cursor,
+                    ) {
                         Ok(WriteProgress::Pending) => {
+                            // Only actual progress extends the stall
+                            // allowance: a peer accepting zero bytes
+                            // runs out the clock and is evicted.
                             if conn.cursor > cursor_before {
-                                conn.expiry_tick = now_tick + timeout_ticks;
+                                conn.expiry_tick = now_tick + stall_ticks;
                             }
                             return Drive::Keep;
                         }
@@ -432,6 +550,10 @@ impl Shard {
                                 return Drive::Close;
                             }
                             conn.expiry_tick = now_tick + timeout_ticks;
+                            if conn.expiry_tick < conn.scheduled_tick {
+                                wheel.schedule(conn.expiry_tick, idx as u32, gen);
+                                conn.scheduled_tick = conn.expiry_tick;
+                            }
                             conn.phase = Phase::Reading;
                             // Loop: pipelined bytes may already be buffered.
                         }
@@ -466,19 +588,24 @@ impl Shard {
             if entry.generation != gen {
                 return None;
             }
-            let conn = entry.conn.as_ref()?;
+            let conn = entry.conn.as_mut()?;
             if conn.expiry_tick > now_tick {
+                conn.scheduled_tick = conn.expiry_tick;
                 return Some(conn.expiry_tick);
             }
             // Idle past the deadline (between requests, stalled mid-head,
             // or stalled mid-response): evict. The blocking transport's
-            // equivalent is its read timeout.
+            // equivalents are its read and send timeouts.
+            let stalled_write = matches!(conn.phase, Phase::Responding | Phase::Draining);
             entry.conn = None;
             entry.generation = entry.generation.wrapping_add(1);
             free.push(idx);
             if state.telemetry {
                 state.metrics.connections_closed.inc();
                 state.metrics.connections_active.dec();
+                if stalled_write {
+                    state.metrics.slow_reader_evictions.inc();
+                }
             }
             None
         });

@@ -19,6 +19,7 @@
 use std::fs::File;
 use std::io::{self, Read, Write};
 use std::os::fd::{AsRawFd, FromRawFd, OwnedFd, RawFd};
+use std::sync::atomic::{AtomicI32, Ordering};
 
 use core::ffi::c_void;
 
@@ -59,6 +60,14 @@ const SO_REUSEPORT: i32 = 15;
 
 // getrlimit/setrlimit resource.
 const RLIMIT_NOFILE: i32 = 7;
+
+// signal(2) numbers for the serve binary's graceful-shutdown path.
+/// `SIGINT` (interactive interrupt, Ctrl-C).
+pub const SIGINT: i32 = 2;
+/// `SIGTERM` (polite termination, e.g. from an orchestrator).
+pub const SIGTERM: i32 = 15;
+// pipe2 flag (same octal value as the CLOEXEC flags above).
+const O_CLOEXEC: i32 = 0o2000000;
 
 // sysconf name.
 const SC_PAGESIZE: i32 = 30;
@@ -116,6 +125,9 @@ extern "C" {
     fn getrlimit(resource: i32, rlim: *mut Rlimit) -> i32;
     fn setrlimit(resource: i32, rlim: *const Rlimit) -> i32;
     fn sysconf(name: i32) -> i64;
+    fn pipe2(fds: *mut i32, flags: i32) -> i32;
+    fn signal(signum: i32, handler: usize) -> usize;
+    fn write(fd: i32, buf: *const c_void, count: usize) -> isize;
 }
 
 /// The system page size (`sysconf(_SC_PAGESIZE)`), for converting
@@ -341,6 +353,74 @@ impl EventFd {
     pub(crate) fn drain(&self) {
         let mut buf = [0u8; 8];
         let _ = (&self.file).read(&mut buf);
+    }
+}
+
+/// Write end of the self-pipe, stashed for the signal handler (`-1`
+/// until [`SignalPipe::install`] runs). Intentionally never closed: the
+/// handler may fire at any point for the rest of the process.
+static SIGNAL_WRITE_FD: AtomicI32 = AtomicI32::new(-1);
+/// The most recently delivered signal number.
+static LAST_SIGNAL: AtomicI32 = AtomicI32::new(0);
+
+/// The signal handler: async-signal-safe by construction — two atomic
+/// operations and one `write(2)` of a single byte into the self-pipe.
+extern "C" fn on_signal(signum: i32) {
+    LAST_SIGNAL.store(signum, Ordering::SeqCst);
+    let fd = SIGNAL_WRITE_FD.load(Ordering::SeqCst);
+    if fd >= 0 {
+        let byte = 1u8;
+        // SAFETY: write(2) is on the async-signal-safe list; the fd is
+        // kept open for the life of the process.
+        unsafe { write(fd, std::ptr::addr_of!(byte).cast::<c_void>(), 1) };
+    }
+}
+
+/// `SIGTERM`/`SIGINT` notification via the classic self-pipe trick: the
+/// handler writes one byte into a pipe, and [`SignalPipe::wait`] blocks
+/// reading the other end — keeping all real work out of signal context.
+///
+/// Used by the `serve` binary for graceful drain; install once per
+/// process (a second install replaces the first pipe's write end).
+pub struct SignalPipe {
+    read: File,
+}
+
+impl SignalPipe {
+    /// Creates the pipe and installs the handler for `SIGTERM` and
+    /// `SIGINT`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `pipe2(2)` failure.
+    pub fn install() -> io::Result<SignalPipe> {
+        let mut fds = [-1i32; 2];
+        // SAFETY: pipe2 writes two fds into a live array of two i32s.
+        check(unsafe { pipe2(fds.as_mut_ptr(), O_CLOEXEC) })?;
+        SIGNAL_WRITE_FD.store(fds[1], Ordering::SeqCst);
+        // SAFETY: installing a handler that performs only
+        // async-signal-safe operations (see `on_signal`).
+        unsafe {
+            signal(SIGTERM, on_signal as *const () as usize);
+            signal(SIGINT, on_signal as *const () as usize);
+        }
+        // SAFETY: fds[0] is a fresh fd owned by nobody else; File's Drop
+        // closes it.
+        Ok(SignalPipe { read: unsafe { File::from_raw_fd(fds[0]) } })
+    }
+
+    /// Blocks until a signal arrives, then returns its number
+    /// (`SIGTERM`/`SIGINT`).
+    pub fn wait(&mut self) -> i32 {
+        let mut byte = [0u8; 1];
+        loop {
+            match self.read.read(&mut byte) {
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                // A read byte, EOF, or a hard error all mean "stop
+                // waiting"; the atomic carries the signal number.
+                _ => return LAST_SIGNAL.load(Ordering::SeqCst),
+            }
+        }
     }
 }
 

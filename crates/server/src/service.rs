@@ -15,7 +15,8 @@
 //! and encoding entirely** — observable through [`ServiceStats`]: a hit
 //! increments `cache.hits` and leaves `executions`/`encodes` untouched.
 
-use std::sync::Arc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
 
 use uops_db::{
     diff_uarches, fnv1a_64, BinaryEncoder, DbBackend, DbError, ExecStageMetrics, InstructionDb,
@@ -157,6 +158,56 @@ enum Store {
     Memory(Arc<InstructionDb>),
 }
 
+/// Why the service refused to run the uncached pipeline for a request.
+///
+/// Shedding is the *graceful* half of overload control: cache hits (both
+/// tiers) keep serving untouched, and only new compute-bound work is
+/// turned away with a preformatted 503 — see
+/// [`QueryService::shed_response`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Shed {
+    /// The request's deadline budget was already spent before (or between)
+    /// the execute/encode stages.
+    Deadline,
+    /// Admitting another uncached execution would exceed
+    /// [`QueryService::set_max_uncached_inflight`].
+    Capacity,
+}
+
+/// The per-request deadline budget, threaded transport → service through a
+/// thread-local (both transports answer a request start-to-finish on one
+/// thread, and this keeps the `produce` closures signature-stable — the
+/// same pattern as [`stage_scratch`]).
+pub(crate) mod deadline {
+    use std::cell::Cell;
+    use std::time::Instant;
+
+    thread_local! {
+        static DEADLINE: Cell<Option<Instant>> = const { Cell::new(None) };
+    }
+
+    /// Arms (or clears, with `None`) the calling thread's deadline. The
+    /// transport calls this as each request starts being answered.
+    pub(crate) fn set(deadline: Option<Instant>) {
+        DEADLINE.with(|d| d.set(deadline));
+    }
+
+    /// Whether the armed deadline has passed. Unarmed (`None`) never
+    /// expires.
+    pub(crate) fn exceeded() -> bool {
+        DEADLINE.with(|d| d.get().is_some_and(|at| Instant::now() >= at))
+    }
+}
+
+/// Dropping the guard releases one admitted uncached execution.
+struct UncachedGuard<'a>(&'a QueryService);
+
+impl Drop for UncachedGuard<'_> {
+    fn drop(&mut self) {
+        self.0.uncached_inflight.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
 /// Counter snapshot of a [`QueryService`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ServiceStats {
@@ -192,6 +243,15 @@ pub struct QueryService {
     /// for `/metrics` registration and summarized as percentile estimates
     /// in the stats JSON.
     exec_stages: ExecStageMetrics,
+    /// Uncached executions currently in flight (admission gauge).
+    uncached_inflight: AtomicUsize,
+    /// Admission ceiling for concurrent uncached executions; `0` means
+    /// unlimited (the default).
+    max_uncached_inflight: AtomicUsize,
+    /// Requests shed because their deadline budget ran out.
+    shed_deadline: Counter,
+    /// Requests shed because the uncached-execution ceiling was reached.
+    shed_capacity: Counter,
 }
 
 impl std::fmt::Debug for QueryService {
@@ -275,7 +335,45 @@ impl QueryService {
             executions: Counter::new(),
             encodes: Counter::new(),
             exec_stages: ExecStageMetrics::new(),
+            uncached_inflight: AtomicUsize::new(0),
+            max_uncached_inflight: AtomicUsize::new(0),
+            shed_deadline: Counter::new(),
+            shed_capacity: Counter::new(),
         }
+    }
+
+    /// Caps concurrent *uncached* (execute + encode) requests at `limit`;
+    /// `0` removes the cap. Excess requests are shed with a preformatted
+    /// 503 while both cache tiers keep serving — the degradation order
+    /// under overload is "new compute first, cached answers last".
+    pub fn set_max_uncached_inflight(&self, limit: usize) {
+        self.max_uncached_inflight.store(limit, Ordering::Relaxed);
+    }
+
+    /// The configured uncached-execution ceiling (`0` = unlimited).
+    #[must_use]
+    pub fn max_uncached_inflight(&self) -> usize {
+        self.max_uncached_inflight.load(Ordering::Relaxed)
+    }
+
+    /// Uncached executions in flight right now (the admission gauge).
+    #[must_use]
+    pub fn uncached_inflight(&self) -> usize {
+        self.uncached_inflight.load(Ordering::Relaxed)
+    }
+
+    /// Requests shed on a spent deadline budget (for telemetry
+    /// registration).
+    #[must_use]
+    pub fn shed_deadline_counter(&self) -> &Counter {
+        &self.shed_deadline
+    }
+
+    /// Requests shed at the uncached-execution ceiling (for telemetry
+    /// registration).
+    #[must_use]
+    pub fn shed_capacity_counter(&self) -> &Counter {
+        &self.shed_capacity
     }
 
     /// The per-stage (parse / execute / encode) latency histograms of the
@@ -403,13 +501,17 @@ impl QueryService {
             uops_db::plan::encode_component(other),
         );
         self.cached(&request, encoding, |service| {
+            let _admitted = service.admit_uncached()?;
+            if deadline::exceeded() {
+                return Err(Shed::Deadline);
+            }
             service.encodes.inc();
-            match &service.store {
+            Ok(match &service.store {
                 Store::Segment(segment) => {
                     encode_diff(&diff_uarches(&segment.db(), base, other), encoding)
                 }
                 Store::Memory(db) => encode_diff(&diff_uarches(db.as_ref(), base, other), encoding),
-            }
+            })
         })
     }
 
@@ -440,7 +542,9 @@ impl QueryService {
         let body = format!(
             "{{\n  \"records\": {},\n  \"cache\": {},\n  \"raw\": {},\n  \
              \"executions\": {},\n  \"encodes\": {},\n  \
-             \"stages\": {{\"parse\": {}, \"execute\": {}, \"encode\": {}}}\n}}\n",
+             \"stages\": {{\"parse\": {}, \"execute\": {}, \"encode\": {}}},\n  \
+             \"overload\": {{\"shed_deadline\": {}, \"shed_capacity\": {}, \
+             \"uncached_inflight\": {}, \"max_uncached_inflight\": {}}}\n}}\n",
             self.record_count(),
             tier(&stats.cache),
             tier(&stats.raw),
@@ -449,6 +553,10 @@ impl QueryService {
             stage(&self.exec_stages.parse_ns),
             stage(&self.exec_stages.execute_ns),
             stage(&self.exec_stages.encode_ns),
+            self.shed_deadline.get(),
+            self.shed_capacity.get(),
+            self.uncached_inflight(),
+            self.max_uncached_inflight(),
         );
         ServiceResponse {
             status: 200,
@@ -472,17 +580,65 @@ impl QueryService {
         }
     }
 
+    /// Admits one uncached execution against the configured ceiling, or
+    /// sheds. The returned guard releases the slot on drop (including on
+    /// panic and on a mid-pipeline deadline shed).
+    fn admit_uncached(&self) -> Result<UncachedGuard<'_>, Shed> {
+        let limit = self.max_uncached_inflight.load(Ordering::Relaxed);
+        let mut current = self.uncached_inflight.load(Ordering::Relaxed);
+        loop {
+            if limit != 0 && current >= limit {
+                return Err(Shed::Capacity);
+            }
+            match self.uncached_inflight.compare_exchange_weak(
+                current,
+                current + 1,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Ok(UncachedGuard(self)),
+                Err(live) => current = live,
+            }
+        }
+    }
+
+    /// The preformatted 503 for a shed request: a static body shared by
+    /// `Arc` clone (no allocation on the shed path), never tagged, never
+    /// cached (no `etag`, and [`QueryService::cached`] skips insertion).
+    /// Also the single place shed counters are bumped.
+    fn shed_response(&self, shed: Shed) -> ServiceResponse {
+        match shed {
+            Shed::Deadline => self.shed_deadline.inc(),
+            Shed::Capacity => self.shed_capacity.inc(),
+        }
+        static SHED_BODY: OnceLock<Arc<[u8]>> = OnceLock::new();
+        let body = SHED_BODY
+            .get_or_init(|| Arc::from(&b"{\"error\": \"server overloaded, retry shortly\"}\n"[..]));
+        ServiceResponse {
+            status: 503,
+            content_type: "application/json",
+            etag: None,
+            body: Arc::clone(body),
+            tier: ResponseTier::Untiered,
+        }
+    }
+
     fn cached(
         &self,
         request: &str,
         encoding: Encoding,
-        produce: impl FnOnce(&QueryService) -> Vec<u8>,
+        produce: impl FnOnce(&QueryService) -> Result<Vec<u8>, Shed>,
     ) -> ServiceResponse {
         let key = fnv1a_64(request.as_bytes());
         if let Some(hit) = self.cache.get(key, request) {
             return ServiceResponse::ok(hit, ResponseTier::Fingerprint);
         }
-        let body: Arc<[u8]> = Arc::from(produce(self).as_slice());
+        let body: Arc<[u8]> = match produce(self) {
+            Ok(bytes) => Arc::from(bytes.as_slice()),
+            // A shed response never enters either cache tier: the next
+            // request for this key retries the full pipeline.
+            Err(shed) => return self.shed_response(shed),
+        };
         // ETag = canonical-request fingerprint ⊕ store content hash: two
         // spellings of the same plan share one tag, and every tag changes
         // when the served data changes.
@@ -499,28 +655,44 @@ impl QueryService {
     /// reaches this). Both stages run under `Span` guards: the elapsed
     /// nanoseconds land in the stage histograms and, via the thread-local
     /// stage scratch, in the sampled access log of the request being served.
-    fn execute_encoded(&self, plan: &QueryPlan, encoding: Encoding) -> Vec<u8> {
+    ///
+    /// This is where graceful degradation bites: admission against the
+    /// uncached ceiling first, then the deadline budget checked on entry
+    /// and again between the execute and encode stages — a request that
+    /// ran out of budget mid-pipeline stops before paying for encoding.
+    fn execute_encoded(&self, plan: &QueryPlan, encoding: Encoding) -> Result<Vec<u8>, Shed> {
+        let _admitted = self.admit_uncached()?;
+        if deadline::exceeded() {
+            return Err(Shed::Deadline);
+        }
         self.executions.inc();
-        self.encodes.inc();
         match &self.store {
             Store::Segment(segment) => {
                 let db = segment.db();
                 let span = Span::start(&self.exec_stages.execute_ns);
                 let result = QueryExec::new().run(plan, &db);
                 stage_scratch::set_execute(span.finish());
+                if deadline::exceeded() {
+                    return Err(Shed::Deadline);
+                }
+                self.encodes.inc();
                 let span = Span::start(&self.exec_stages.encode_ns);
                 let bytes = encode_result(&result, encoding);
                 stage_scratch::set_encode(span.finish());
-                bytes
+                Ok(bytes)
             }
             Store::Memory(db) => {
                 let span = Span::start(&self.exec_stages.execute_ns);
                 let result = QueryExec::new().run(plan, db.as_ref());
                 stage_scratch::set_execute(span.finish());
+                if deadline::exceeded() {
+                    return Err(Shed::Deadline);
+                }
+                self.encodes.inc();
                 let span = Span::start(&self.exec_stages.encode_ns);
                 let bytes = encode_result(&result, encoding);
                 stage_scratch::set_encode(span.finish());
-                bytes
+                Ok(bytes)
             }
         }
     }
@@ -700,5 +872,64 @@ mod tests {
         assert!(text.contains("\"records\": 3"), "{text}");
         assert!(text.contains("\"hits\": 1"), "{text}");
         assert!(text.contains("\"executions\": 1"), "{text}");
+        assert!(text.contains("\"overload\": {\"shed_deadline\": 0"), "{text}");
+    }
+
+    #[test]
+    fn capacity_shedding_spares_cache_hits_and_is_never_cached() {
+        let service = service();
+        let warm_plan = Query::new().uarch("Skylake").into_plan();
+        let warm = service.query(&warm_plan, Encoding::Json);
+
+        // Saturate the admission gauge as a stand-in for a stuck in-flight
+        // execution, with a ceiling of 1.
+        service.set_max_uncached_inflight(1);
+        service.uncached_inflight.store(1, Ordering::Relaxed);
+        let cold_plan = Query::new().uarch("Haswell").into_plan();
+        let shed = service.query(&cold_plan, Encoding::Json);
+        assert_eq!(shed.status, 503);
+        assert_eq!(shed.tier, ResponseTier::Untiered);
+        assert!(shed.etag.is_none(), "shed responses are not revalidatable");
+        assert_eq!(service.shed_capacity_counter().get(), 1);
+        assert_eq!(service.stats().executions, 1, "the shed request never executed");
+
+        // Cache hits are untouched by the ceiling: graceful degradation.
+        let hit = service.query(&warm_plan, Encoding::Json);
+        assert_eq!(hit.status, 200);
+        assert_eq!(hit.tier, ResponseTier::Fingerprint);
+        assert_eq!(hit.body, warm.body);
+
+        // The shed was not cached: with capacity back, the query runs.
+        service.uncached_inflight.store(0, Ordering::Relaxed);
+        let ok = service.query(&cold_plan, Encoding::Json);
+        assert_eq!(ok.status, 200);
+        assert_eq!(ok.tier, ResponseTier::Uncached);
+        assert_eq!(service.uncached_inflight(), 0, "the admission guard released its slot");
+    }
+
+    #[test]
+    fn deadline_shedding_spares_cache_hits() {
+        let service = service();
+        let warm_plan = Query::new().uarch("Skylake").into_plan();
+        service.query(&warm_plan, Encoding::Json);
+
+        // An already-expired deadline sheds every uncached request …
+        deadline::set(Some(std::time::Instant::now()));
+        let cold_plan = Query::new().uarch("Haswell").into_plan();
+        let shed = service.query(&cold_plan, Encoding::Json);
+        assert_eq!(shed.status, 503);
+        assert_eq!(service.shed_deadline_counter().get(), 1);
+        assert_eq!(service.stats().executions, 1);
+
+        // … while cache hits never consult the deadline.
+        let hit = service.query(&warm_plan, Encoding::Json);
+        assert_eq!((hit.status, hit.tier), (200, ResponseTier::Fingerprint));
+
+        // Disarming the deadline restores the uncached pipeline, and the
+        // shed slot was released on the way out.
+        deadline::set(None);
+        let ok = service.query(&cold_plan, Encoding::Json);
+        assert_eq!(ok.status, 200);
+        assert_eq!(service.uncached_inflight(), 0);
     }
 }

@@ -25,7 +25,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use uops_db::{Segment, Snapshot, VariantRecord};
-use uops_serve::{QueryService, Server};
+use uops_serve::{QueryService, Server, ServerOptions};
 
 /// Counts every heap allocation (alloc, alloc_zeroed, realloc) made by
 /// any thread in the process.
@@ -114,20 +114,36 @@ fn read_response(stream: &mut TcpStream, expect_body: bool) -> Vec<u8> {
     out
 }
 
+/// Overload controls enabled but generously sized: admission checks,
+/// queue-limit checks, deadline arming, and uncached-capacity accounting
+/// all run on every request in the measured window — and must allocate
+/// nothing. (The limits are high enough that nothing actually sheds: the
+/// measured window is all cache hits, and a shed 503 for an unparsed
+/// query would allocate in query parsing, outside the proof's scope.)
+fn overload_options() -> ServerOptions {
+    ServerOptions {
+        max_inflight: 1024,
+        queue_depth: 1024,
+        request_deadline: Some(std::time::Duration::from_secs(30)),
+        ..ServerOptions::default()
+    }
+}
+
 #[test]
 fn steady_state_keep_alive_requests_allocate_nothing() {
     let segment = Arc::new(Segment::from_bytes(Segment::encode(&snapshot())).expect("segment"));
     let service = Arc::new(QueryService::from_segment(segment, 1 << 20));
+    service.set_max_uncached_inflight(1024);
 
-    let pool = Server::bind("127.0.0.1:0", Arc::clone(&service), 1).expect("bind pool");
+    let pool = Server::bind_with("127.0.0.1:0", Arc::clone(&service), 1, overload_options())
+        .expect("bind pool");
     run_battery(pool, "thread-per-connection");
 
     // The reactor transport must uphold the same guarantee: its slab,
     // wheel, and connection buffers are all reused in steady state.
     #[cfg(target_os = "linux")]
     {
-        use uops_serve::ServerOptions;
-        let reactor = Server::bind_reactor("127.0.0.1:0", service, 2, ServerOptions::default())
+        let reactor = Server::bind_reactor("127.0.0.1:0", service, 2, overload_options())
             .expect("bind reactor");
         run_battery(reactor, "reactor");
     }

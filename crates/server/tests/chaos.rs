@@ -1,0 +1,330 @@
+//! Chaos suite: drives both transports through deterministic, scripted
+//! syscall faults (`--features fault-injection`) — short writes
+//! mid-vectored-response, `ECONNRESET` while an error response drains,
+//! `EMFILE` storms on accept, and a peer that stops reading — and
+//! asserts the robustness layer's contracts: byte-parity of successful
+//! responses, clean eviction of failed connections, a server that keeps
+//! serving afterwards, and monotone `accept_errors` / `accept_rescues` /
+//! `slow_reader_evictions` counters.
+//!
+//! The fault script is process-global, so every test serializes on one
+//! mutex and runs its server with a single worker (pool) or shard
+//! (reactor) and a single live client connection at a time — fault
+//! consumption is then fully ordered, with no sleeps as synchronization.
+
+#![cfg(feature = "fault-injection")]
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, Mutex};
+
+use uops_db::{Segment, Snapshot, VariantRecord};
+use uops_serve::{fault, QueryService, Server, ServerHandle, ServerOptions};
+
+/// Serializes tests sharing the global fault script.
+static SCRIPT_LOCK: Mutex<()> = Mutex::new(());
+
+fn snapshot() -> Snapshot {
+    let mut s = Snapshot::new("chaos test");
+    for (m, uarch, mask, tp) in [
+        ("ADD", "Skylake", 0b0110_0011u16, 0.25),
+        ("ADC", "Skylake", 0b0100_0001, 0.5),
+        ("ADD", "Haswell", 0b0110_0011, 0.25),
+    ] {
+        s.records.push(VariantRecord {
+            mnemonic: m.into(),
+            variant: "R64, R64".into(),
+            extension: "BASE".into(),
+            uarch: uarch.into(),
+            uop_count: 1,
+            ports: vec![(mask, 1)],
+            tp_measured: tp,
+            ..Default::default()
+        });
+    }
+    s
+}
+
+fn service() -> Arc<QueryService> {
+    let segment = Arc::new(Segment::from_bytes(Segment::encode(&snapshot())).expect("segment"));
+    Arc::new(QueryService::from_segment(segment, 1 << 20))
+}
+
+fn spawn_pool() -> (ServerHandle, SocketAddr) {
+    let server = Server::bind_with("127.0.0.1:0", service(), 1, ServerOptions::default())
+        .expect("bind pool");
+    let addr = server.local_addr();
+    (server.spawn(), addr)
+}
+
+#[cfg(target_os = "linux")]
+fn spawn_reactor() -> (ServerHandle, SocketAddr) {
+    let server = Server::bind_reactor("127.0.0.1:0", service(), 1, ServerOptions::default())
+        .expect("bind reactor");
+    let addr = server.local_addr();
+    (server.spawn(), addr)
+}
+
+const GET: &[u8] = b"GET /v1/query?uarch=Skylake&port=0 HTTP/1.1\r\nHost: c\r\n\r\n";
+
+/// Sends `request` on a fresh connection and reads until the peer closes
+/// or the full `Content-Length` body has arrived; returns the raw bytes.
+fn exchange_once(addr: SocketAddr, request: &[u8]) -> Vec<u8> {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(request).expect("send");
+    let mut out = Vec::new();
+    read_one_response(&mut stream, &mut out);
+    out
+}
+
+/// Reads one full response (headers + advertised body); panics on EOF
+/// before completion.
+fn read_one_response(stream: &mut TcpStream, out: &mut Vec<u8>) {
+    let mut byte = [0u8; 1];
+    while !out.ends_with(b"\r\n\r\n") {
+        assert_eq!(stream.read(&mut byte).expect("read header"), 1, "EOF inside header");
+        out.push(byte[0]);
+    }
+    let text = String::from_utf8_lossy(out).to_string();
+    let body_len: usize = text
+        .lines()
+        .find_map(|l| l.strip_prefix("Content-Length: "))
+        .map_or(0, |v| v.trim().parse().expect("length"));
+    let at = out.len();
+    out.resize(at + body_len, 0);
+    stream.read_exact(&mut out[at..]).expect("read body");
+}
+
+/// Reads until EOF/reset, returning whatever arrived (an aborted
+/// connection's last gasp).
+fn read_until_closed(stream: &mut TcpStream) -> Vec<u8> {
+    let mut out = Vec::new();
+    let mut buf = [0u8; 1024];
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) | Err(_) => return out,
+            Ok(n) => out.extend_from_slice(&buf[..n]),
+        }
+    }
+}
+
+fn lock_script() -> std::sync::MutexGuard<'static, ()> {
+    let guard = SCRIPT_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    fault::reset();
+    guard
+}
+
+/// Short writes chop the vectored response into arbitrary fragments; the
+/// resumable-write cursor must reassemble it byte-for-byte.
+fn short_write_byte_parity(addr: SocketAddr) {
+    let baseline = exchange_once(addr, GET);
+    assert!(baseline.starts_with(b"HTTP/1.1 200"), "baseline must succeed");
+
+    // Fragment the next response: 3 bytes, then 1, then 7, then whole.
+    fault::inject_write(fault::WriteFault::Short(3));
+    fault::inject_write(fault::WriteFault::Short(1));
+    fault::inject_write(fault::WriteFault::Short(7));
+    let fragmented = exchange_once(addr, GET);
+    assert_eq!(fragmented, baseline, "short writes must not corrupt the response");
+}
+
+#[test]
+fn short_writes_keep_byte_parity_on_the_pool_transport() {
+    let _guard = lock_script();
+    let (handle, addr) = spawn_pool();
+    short_write_byte_parity(addr);
+    fault::reset();
+    handle.shutdown();
+}
+
+#[cfg(target_os = "linux")]
+#[test]
+fn short_writes_keep_byte_parity_on_the_reactor_transport() {
+    let _guard = lock_script();
+    let (handle, addr) = spawn_reactor();
+    short_write_byte_parity(addr);
+    fault::reset();
+    handle.shutdown();
+}
+
+/// A peer that resets the connection while a parse error's response is
+/// draining: the connection must be evicted cleanly and the server must
+/// keep serving.
+fn reset_during_draining(addr: SocketAddr) {
+    let mut bad = TcpStream::connect(addr).expect("connect");
+    // The next write (the 400 response for this malformed request) dies
+    // with ECONNRESET.
+    fault::inject_write(fault::WriteFault::Reset);
+    bad.write_all(b"BOGUS REQUEST\r\n\r\n").expect("send garbage");
+    let leftovers = read_until_closed(&mut bad);
+    assert!(
+        !leftovers.starts_with(b"HTTP/1.1 400"),
+        "the injected reset must have killed the error response"
+    );
+    drop(bad);
+
+    // The failed connection is gone; a fresh one serves normally.
+    let after = exchange_once(addr, GET);
+    assert!(after.starts_with(b"HTTP/1.1 200"), "server must survive the reset");
+}
+
+#[test]
+fn connection_reset_while_draining_is_clean_on_the_pool_transport() {
+    let _guard = lock_script();
+    let (handle, addr) = spawn_pool();
+    reset_during_draining(addr);
+    fault::reset();
+    handle.shutdown();
+}
+
+#[cfg(target_os = "linux")]
+#[test]
+fn connection_reset_while_draining_is_clean_on_the_reactor_transport() {
+    let _guard = lock_script();
+    let (handle, addr) = spawn_reactor();
+    reset_during_draining(addr);
+    fault::reset();
+    handle.shutdown();
+}
+
+/// Attempts to read one full response; returns `None` if the connection
+/// dies (EOF or reset) before a complete response arrives — the
+/// signature of a rescued-and-reset connection.
+fn try_read_response(stream: &mut TcpStream) -> Option<Vec<u8>> {
+    let mut out = Vec::new();
+    let mut byte = [0u8; 1];
+    while !out.ends_with(b"\r\n\r\n") {
+        match stream.read(&mut byte) {
+            Ok(1) => out.push(byte[0]),
+            Ok(_) | Err(_) => return None,
+        }
+    }
+    let text = String::from_utf8_lossy(&out).to_string();
+    let body_len: usize = match text.lines().find_map(|l| l.strip_prefix("Content-Length: ")) {
+        Some(v) => v.trim().parse().ok()?,
+        None => 0,
+    };
+    let at = out.len();
+    out.resize(at + body_len, 0);
+    stream.read_exact(&mut out[at..]).ok()?;
+    Some(out)
+}
+
+/// One `EMFILE` storm cycle: inject the accept failure and verify that
+/// exactly one connection lands in the rescue path — accepted on the
+/// reserve fd and actively reset, so its client sees EOF, never a
+/// response — while the cycle ends with a normally served request.
+///
+/// *Which* connection is the victim depends on where the accept loop is
+/// when the fault is scripted. If it is already parked inside a real
+/// blocking `accept` (the script was checked before parking), the first
+/// connection is served and the loop's *next* pass consumes the fault,
+/// blocking in the rescue accept until the second connection arrives. If
+/// the loop had not yet reached the script check (or, on the reactor,
+/// where the check always runs on epoll wake), the first connection is
+/// rescued directly. The cycle handles both orderings, so no sleeps are
+/// needed to pin the loop's position.
+fn emfile_cycle(addr: SocketAddr) {
+    fault::inject_accept_error(fault::EMFILE);
+    let mut first = TcpStream::connect(addr).expect("connect");
+    first.write_all(GET).expect("send");
+    let served_first = try_read_response(&mut first).is_some();
+    drop(first);
+    if served_first {
+        // The fault is still queued: the accept loop consumes it on its
+        // next pass and the rescue claims this second connection.
+        let mut victim = TcpStream::connect(addr).expect("victim connect");
+        victim.write_all(GET).ok();
+        assert!(
+            try_read_response(&mut victim).is_none(),
+            "the rescued connection must not have been served"
+        );
+    }
+
+    let after = exchange_once(addr, GET);
+    assert!(after.starts_with(b"HTTP/1.1 200"), "server must survive the storm cycle");
+}
+
+#[test]
+fn emfile_storms_are_rescued_on_the_pool_transport() {
+    let _guard = lock_script();
+    let server = Server::bind_with("127.0.0.1:0", service(), 1, ServerOptions::default())
+        .expect("bind pool");
+    let addr = server.local_addr();
+    let metrics = server.metrics();
+    let handle = server.spawn();
+    let (errors_before, rescues_before) =
+        (metrics.accept_errors.get(), metrics.accept_rescues.get());
+    for _ in 0..3 {
+        emfile_cycle(addr);
+    }
+    assert!(metrics.accept_errors.get() >= errors_before + 3, "accept_errors must be monotone");
+    assert!(metrics.accept_rescues.get() >= rescues_before + 3, "every cycle must be rescued");
+    fault::reset();
+    handle.shutdown();
+}
+
+#[cfg(target_os = "linux")]
+#[test]
+fn emfile_storms_are_rescued_on_the_reactor_transport() {
+    let _guard = lock_script();
+    let server = Server::bind_reactor("127.0.0.1:0", service(), 1, ServerOptions::default())
+        .expect("bind reactor");
+    let addr = server.local_addr();
+    let metrics = server.metrics();
+    let handle = server.spawn();
+    let (errors_before, rescues_before) =
+        (metrics.accept_errors.get(), metrics.accept_rescues.get());
+    for _ in 0..3 {
+        emfile_cycle(addr);
+    }
+    assert!(metrics.accept_errors.get() >= errors_before + 3, "accept_errors must be monotone");
+    assert!(metrics.accept_rescues.get() >= rescues_before + 3, "every cycle must be rescued");
+    fault::reset();
+    handle.shutdown();
+}
+
+/// A peer that stops reading entirely: on the blocking transport a
+/// scripted `WouldBlock` stands in for the send timeout expiring with
+/// zero bytes accepted, and the connection must be evicted immediately
+/// with the `slow_reader_evictions` counter advanced. (The reactor
+/// equivalent is timer-driven and lives in `tests/reactor.rs` — a
+/// scripted `WouldBlock` would park its edge-triggered state machine
+/// forever.)
+#[test]
+fn a_stalled_reader_is_evicted_on_the_pool_transport() {
+    let _guard = lock_script();
+    let server = Server::bind_with("127.0.0.1:0", service(), 1, ServerOptions::default())
+        .expect("bind pool");
+    let addr = server.local_addr();
+    let metrics = server.metrics();
+    let handle = server.spawn();
+
+    // Warm exchange on a keep-alive connection.
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(GET).expect("send");
+    let mut warm = Vec::new();
+    read_one_response(&mut stream, &mut warm);
+    assert!(warm.starts_with(b"HTTP/1.1 200"));
+
+    let evictions_before = metrics.slow_reader_evictions.get();
+    // The next response write observes a full send-timeout window with
+    // zero bytes accepted (scripted, so no actual waiting).
+    fault::inject_write(fault::WriteFault::WouldBlock);
+    stream.write_all(GET).expect("send to stalled server");
+    let leftovers = read_until_closed(&mut stream);
+    assert!(leftovers.is_empty(), "eviction must not leak a partial response");
+    drop(stream);
+
+    assert_eq!(
+        metrics.slow_reader_evictions.get(),
+        evictions_before + 1,
+        "the stalled connection must be counted as a slow-reader eviction"
+    );
+
+    // The server keeps serving.
+    let after = exchange_once(addr, GET);
+    assert!(after.starts_with(b"HTTP/1.1 200"));
+    fault::reset();
+    handle.shutdown();
+}

@@ -134,6 +134,87 @@ fn slow_loris_bytes_and_pipelining_parse_identically() {
     handle.shutdown();
 }
 
+/// A service whose query response is far larger than the kernel can
+/// buffer on a loopback socket pair (send buffer + receive window), so a
+/// peer that never reads leaves the reactor parked mid-response.
+fn big_service() -> Arc<QueryService> {
+    let mut s = Snapshot::new("reactor write-stall test");
+    for i in 0..60_000u32 {
+        s.records.push(VariantRecord {
+            mnemonic: format!("OP{i:05}"),
+            variant: format!("R64, R64, PAD_{i:064}"),
+            extension: "BASE".into(),
+            uarch: "Skylake".into(),
+            uop_count: 1,
+            ports: vec![(0b0110_0011, 1)],
+            tp_measured: 0.25,
+            ..Default::default()
+        });
+    }
+    let segment = Arc::new(Segment::from_bytes(Segment::encode(&s)).expect("segment"));
+    Arc::new(QueryService::from_segment(segment, 1 << 20))
+}
+
+#[test]
+fn a_peer_that_stops_reading_is_evicted_at_the_write_stall_timeout() {
+    let options = ServerOptions {
+        // Keep-alive eviction is pushed far out so the only sub-second
+        // eviction path is the write-stall one.
+        keep_alive_timeout: Duration::from_secs(30),
+        write_stall_timeout: Duration::from_millis(300),
+        ..Default::default()
+    };
+    let server = Server::bind_reactor("127.0.0.1:0", big_service(), 1, options).expect("bind");
+    let addr = server.local_addr();
+    let handle = server.spawn();
+
+    // Request the multi-megabyte response, then stop reading entirely:
+    // the kernel buffers fill, the reactor's write returns `Pending` with
+    // no further progress, and the stall timer must evict the connection.
+    let mut stalled = TcpStream::connect(addr).expect("connect");
+    stalled.write_all(b"GET /v1/query?uarch=Skylake HTTP/1.1\r\nHost: t\r\n\r\n").expect("send");
+    std::thread::sleep(Duration::from_millis(1500));
+
+    // Draining now yields whatever the kernel had buffered, then EOF (or
+    // a reset) — never the complete response.
+    let mut tail = Vec::new();
+    stalled.set_read_timeout(Some(Duration::from_secs(5))).expect("timeout");
+    let drained = match stalled.read_to_end(&mut tail) {
+        Ok(_) => tail.len(),
+        Err(_) => tail.len(), // reset mid-drain still proves eviction
+    };
+    let text = String::from_utf8_lossy(&tail[..tail.len().min(4096)]).to_string();
+    let advertised: usize = text
+        .lines()
+        .find_map(|l| l.strip_prefix("Content-Length: "))
+        .and_then(|v| v.trim().parse().ok())
+        .expect("response head was sent before the stall");
+    assert!(
+        advertised > 4 << 20,
+        "test premise: response ({advertised} B) must exceed kernel buffering"
+    );
+    assert!(
+        drained < advertised,
+        "the stalled connection must have been cut off mid-response \
+         ({drained} of {advertised} body bytes arrived)"
+    );
+
+    // The eviction is attributed to the slow-reader counter and the
+    // server keeps serving.
+    let mut fresh = TcpStream::connect(addr).expect("connect fresh");
+    fresh.write_all(b"GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n").expect("send");
+    let metrics = String::from_utf8_lossy(&read_response(&mut fresh)).to_string();
+    let evictions: u64 = metrics
+        .lines()
+        .find_map(|l| l.strip_prefix("uops_http_slow_reader_evictions_total "))
+        .and_then(|v| v.trim().parse().ok())
+        .expect("slow-reader counter");
+    assert_eq!(evictions, 1, "exactly one write-stall eviction:\n{metrics}");
+
+    drop((stalled, fresh));
+    handle.shutdown();
+}
+
 #[test]
 fn stalled_half_request_is_evicted_at_the_idle_timeout() {
     let service = service();

@@ -159,7 +159,14 @@
 //! edge-triggered epoll event loop per acceptor shard with
 //! `SO_REUSEPORT` kernel load-balancing and timer-wheel idle eviction,
 //! parking ~10k idle connections in bounded memory (see
-//! `crates/server/README.md` for shard guidance). Embedded:
+//! `crates/server/README.md` for shard guidance). Overload control is
+//! opt-in per mechanism: `--max-inflight` / `--queue-depth` reject
+//! excess connections with a preformatted `503` + `Retry-After` instead
+//! of queueing them invisibly, `--max-uncached` / `--deadline-ms` shed
+//! *uncached* work first while both cache tiers keep serving, and
+//! `SIGTERM`/`SIGINT` drain in-flight requests gracefully within
+//! `--drain-timeout` seconds before exiting 0 (the "Overload & limits"
+//! section of the server README covers the full contract). Embedded:
 //!
 //! ```rust
 //! use std::sync::Arc;
