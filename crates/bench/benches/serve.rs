@@ -28,6 +28,14 @@
 //!   re-measured through the crowd. Gates: reactor pipelined throughput
 //!   ≥ 1.0x the threaded transport; idle-connection memory (process RSS
 //!   delta / connections) bounded at 16 KiB per parked connection.
+//! * **batch**: `/v1/batch` amortization — 1000 cold plans in one framed
+//!   POST against the same 1000 as lockstep singles down one keep-alive
+//!   connection. Gate: amortized ns/plan in the batch ≤ 0.10x the
+//!   per-request cost of the singles.
+//! * **export** (Linux only): chunked-streaming memory ceiling — a
+//!   multi-tens-of-MB JSON export is drained through both transports
+//!   while the process RSS delta must stay ≤ 16 MiB (far below the body),
+//!   proving the export is emitted in bounded 64 KiB chunks.
 //!
 //! Besides the human-readable report, the run writes a machine-readable
 //! summary to `BENCH_serve.json` (override with the `BENCH_SERVE_JSON`
@@ -42,7 +50,9 @@ use std::time::Instant;
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 use uops_db::{Query, QueryPlan, Segment, Snapshot, SortKey, VariantRecord};
-use uops_serve::{respond, route, Encoding, QueryService, Route, Server, ServerOptions};
+use uops_serve::{
+    decode_batch_response, respond, route, Encoding, QueryService, Route, Server, ServerOptions,
+};
 
 /// The same synthetic shape as the `db_query` bench: 700 variants on three
 /// microarchitectures = 2100 records.
@@ -778,6 +788,217 @@ fn bench_serve(c: &mut Criterion) {
          = {overload_ratio:.2}x (with {total_sheds} sheds)"
     );
 
+    // ---- batch protocol: amortized multi-plan execution ----
+    //
+    // 1000 distinct (all-miss) plans, narrow enough that execution is
+    // cheap: the measured cost is the per-request protocol overhead —
+    // parse, round trip, head assembly — which is exactly what the batch
+    // endpoint amortizes into one request. Interleaved paired rounds,
+    // same noise discipline as the batteries above.
+    let batch_service = Arc::new(QueryService::from_segment(Arc::clone(&segment), 64 << 20));
+    let batch_server =
+        Server::bind("127.0.0.1:0", Arc::clone(&batch_service), 2).expect("bind batch");
+    let batch_addr = batch_server.local_addr();
+    let batch_handle = batch_server.spawn();
+
+    const BATCH_PLANS: usize = 1000;
+    let plan_text = |i: usize| format!("mnemonic=OP0007&offset={i}");
+    // Buffered read of one full response (head + `Content-Length` body):
+    // the batch response is tens of KB, and the singles side reads through
+    // a `BufReader`, so the batch client must not pay byte-at-a-time head
+    // syscalls inside its timed window either.
+    let read_full_response = |stream: &mut TcpStream, out: &mut Vec<u8>| {
+        out.clear();
+        let mut chunk = [0u8; 64 * 1024];
+        let mut need = usize::MAX;
+        loop {
+            let n = stream.read(&mut chunk).expect("read batch response");
+            assert!(n > 0, "unexpected EOF mid batch response");
+            out.extend_from_slice(&chunk[..n]);
+            if need == usize::MAX {
+                if let Some(at) = out.windows(4).position(|w| w == b"\r\n\r\n") {
+                    let head = String::from_utf8_lossy(&out[..at + 4]).to_string();
+                    let length: usize = head
+                        .lines()
+                        .find_map(|l| l.strip_prefix("Content-Length: "))
+                        .map(|v| v.trim().parse().expect("length"))
+                        .expect("batch responses are Content-Length framed");
+                    need = at + 4 + length;
+                }
+            }
+            if out.len() >= need {
+                assert_eq!(out.len(), need, "read past the batch response");
+                return;
+            }
+        }
+    };
+    let run_batch = |stream: &mut TcpStream, first_offset: usize| -> f64 {
+        let plans: Vec<String> = (0..BATCH_PLANS).map(|i| plan_text(first_offset + i)).collect();
+        let body = plans.join("\n");
+        let request = format!(
+            "POST /v1/batch HTTP/1.1\r\nHost: b\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        let mut response = Vec::new();
+        let t = Instant::now();
+        stream.write_all(request.as_bytes()).expect("send batch");
+        read_full_response(stream, &mut response);
+        let elapsed_ns = t.elapsed().as_secs_f64() * 1e9;
+        let head_end = response.windows(4).position(|w| w == b"\r\n\r\n").expect("batch head") + 4;
+        let frames = decode_batch_response(&response[head_end..]).expect("batch framing");
+        assert_eq!(frames.len(), BATCH_PLANS, "one frame per plan");
+        assert!(frames.iter().all(|(status, _)| *status == 200), "all plans answer 200");
+        elapsed_ns / BATCH_PLANS as f64
+    };
+    let mut batch_stream = TcpStream::connect(batch_addr).expect("connect batch");
+    batch_stream.set_nodelay(true).expect("nodelay");
+    // One warm batch settles connection scratch and frame buffers.
+    let _ = run_batch(&mut batch_stream, 900_000);
+    const BATCH_ROUNDS: usize = 5;
+    let mut single_round_ns = [0.0f64; BATCH_ROUNDS];
+    let mut batch_round_ns = [0.0f64; BATCH_ROUNDS];
+    for round in 0..BATCH_ROUNDS {
+        let targets: Vec<String> = (0..BATCH_PLANS)
+            .map(|i| format!("/v1/query?{}", plan_text(round * BATCH_PLANS + i)))
+            .collect();
+        single_round_ns[round] = 1e9 / http_requests_per_sec(&batch_addr, &targets, BATCH_PLANS);
+        batch_round_ns[round] = run_batch(&mut batch_stream, 1_000_000 + round * BATCH_PLANS);
+    }
+    drop(batch_stream);
+    batch_handle.shutdown();
+    let min = |rounds: &[f64]| rounds.iter().fold(f64::INFINITY, |a, &b| a.min(b));
+    let single_ns_per_plan = min(&single_round_ns);
+    let batch_ns_per_plan = min(&batch_round_ns);
+    let batch_amortization = batch_ns_per_plan / single_ns_per_plan.max(1.0);
+    // Best paired round: a scheduler hiccup that lands on one side of one
+    // round cannot fail a gate any clean round would pass.
+    let batch_gate = batch_round_ns
+        .iter()
+        .zip(&single_round_ns)
+        .map(|(&b, &s)| b / s.max(1.0))
+        .fold(batch_amortization, f64::min);
+    assert!(
+        batch_gate <= 0.10,
+        "a batch of {BATCH_PLANS} plans must amortize to <= 10% of the per-plan cost of \
+         sequential singles ({batch_ns_per_plan:.0} ns/plan batched vs \
+         {single_ns_per_plan:.0} ns/plan single = {batch_amortization:.3}x; best paired \
+         round {batch_gate:.3}x)"
+    );
+
+    // ---- export: chunked streaming keeps memory bounded ----
+    #[cfg(target_os = "linux")]
+    let export_json = {
+        use uops_serve::net::rss_bytes;
+
+        // A dataset whose JSON export dwarfs the RSS ceiling: ~100k fat
+        // rows come to a body in the tens of MB.
+        let mut export_snapshot = Snapshot::new("export bench");
+        for i in 0..100_000u32 {
+            export_snapshot.records.push(VariantRecord {
+                mnemonic: format!("XP{i:05}"),
+                variant: format!("R64, R64, PAD_{i:0200}"),
+                extension: "BASE".into(),
+                uarch: "Skylake".into(),
+                uop_count: 1,
+                ports: vec![(0b0110_0011, 1)],
+                tp_measured: 0.25,
+                ..Default::default()
+            });
+        }
+        let export_segment =
+            Arc::new(Segment::from_bytes(Segment::encode(&export_snapshot)).expect("segment"));
+        drop(export_snapshot);
+
+        // Drains one streamed export with a fixed 64 KiB buffer (so the
+        // in-process client cannot inflate the RSS it is measuring),
+        // returning (body+frame bytes, RSS delta, saw-chunked-header).
+        let drain = |addr: &std::net::SocketAddr| -> (u64, u64, bool) {
+            let rss_before = rss_bytes().expect("statm is readable on Linux");
+            let mut stream = TcpStream::connect(addr).expect("connect export");
+            stream
+                .write_all(
+                    b"GET /v1/query?uarch=Skylake HTTP/1.1\r\nHost: b\r\n\
+                      Connection: close\r\n\r\n",
+                )
+                .expect("send export");
+            let mut buf = vec![0u8; 64 * 1024];
+            let mut head = Vec::with_capacity(2048);
+            let mut total = 0u64;
+            loop {
+                match stream.read(&mut buf).expect("read export") {
+                    0 => break,
+                    n => {
+                        if head.len() < 2048 {
+                            head.extend_from_slice(&buf[..n.min(2048 - head.len())]);
+                        }
+                        total += n as u64;
+                    }
+                }
+            }
+            let rss_after = rss_bytes().expect("statm is readable on Linux");
+            let chunked = String::from_utf8_lossy(&head).contains("Transfer-Encoding: chunked");
+            (total, rss_after.saturating_sub(rss_before), chunked)
+        };
+
+        const EXPORT_RSS_CEILING: u64 = 16 << 20;
+        let pool_export = Server::bind(
+            "127.0.0.1:0",
+            Arc::new(QueryService::from_segment(Arc::clone(&export_segment), 1 << 20)),
+            1,
+        )
+        .expect("bind export pool");
+        let pool_export_addr = pool_export.local_addr();
+        let pool_export_handle = pool_export.spawn();
+        let (export_bytes, pool_export_delta, pool_chunked) = drain(&pool_export_addr);
+        pool_export_handle.shutdown();
+
+        let reactor_export = Server::bind_reactor(
+            "127.0.0.1:0",
+            Arc::new(QueryService::from_segment(Arc::clone(&export_segment), 1 << 20)),
+            1,
+            ServerOptions::default(),
+        )
+        .expect("bind export reactor");
+        let reactor_export_addr = reactor_export.local_addr();
+        let reactor_export_handle = reactor_export.spawn();
+        let (reactor_export_bytes, reactor_export_delta, reactor_chunked) =
+            drain(&reactor_export_addr);
+        reactor_export_handle.shutdown();
+
+        assert!(pool_chunked, "the pool transport must stream the export chunked");
+        assert!(reactor_chunked, "the reactor transport must stream the export chunked");
+        assert!(
+            export_bytes > 2 * EXPORT_RSS_CEILING,
+            "test premise: the export ({export_bytes} B) must dwarf the RSS ceiling"
+        );
+        assert!(
+            reactor_export_bytes > 2 * EXPORT_RSS_CEILING,
+            "test premise: the reactor export ({reactor_export_bytes} B) must dwarf the ceiling"
+        );
+        assert!(
+            pool_export_delta <= EXPORT_RSS_CEILING,
+            "streaming a {export_bytes}-byte export through the pool transport must stay \
+             under {EXPORT_RSS_CEILING} B of RSS growth, grew {pool_export_delta} B"
+        );
+        assert!(
+            reactor_export_delta <= EXPORT_RSS_CEILING,
+            "streaming a {reactor_export_bytes}-byte export through the reactor must stay \
+             under {EXPORT_RSS_CEILING} B of RSS growth, grew {reactor_export_delta} B"
+        );
+        println!(
+            "export:  {export_bytes} B chunked | RSS delta {pool_export_delta} B (pool), \
+             {reactor_export_delta} B (reactor), ceiling {EXPORT_RSS_CEILING} B"
+        );
+        format!(
+            ",\n  \"export\": {{\n    \"body_bytes\": {export_bytes},\n    \
+             \"rss_delta_pool_bytes\": {pool_export_delta},\n    \
+             \"rss_delta_reactor_bytes\": {reactor_export_delta},\n    \
+             \"rss_ceiling_bytes\": {EXPORT_RSS_CEILING}\n  }}"
+        )
+    };
+    #[cfg(not(target_os = "linux"))]
+    let export_json = String::new();
+
     println!(
         "\nservice: uncached {uncached_ns:.0} ns | wire hit {wire_hit_ns:.0} ns | plan hit \
          {cached_ns:.0} ns | raw hit {raw_hit_ns:.0} ns ({speedup:.1}x hit, {raw_vs_wire:.1}x \
@@ -790,7 +1011,9 @@ fn bench_serve(c: &mut Criterion) {
          histograms)\n\
          overload: cached tier {overload_loaded_rps:.0} req/s under flood vs \
          {overload_unloaded_rps:.0} req/s unloaded = {overload_ratio:.2}x while shedding \
-         {total_sheds} uncached requests"
+         {total_sheds} uncached requests\n\
+         batch:   {batch_ns_per_plan:.0} ns/plan batched vs {single_ns_per_plan:.0} ns/plan \
+         single ({batch_amortization:.3}x amortized over {BATCH_PLANS} plans)"
     );
 
     let json = format!(
@@ -815,7 +1038,11 @@ fn bench_serve(c: &mut Criterion) {
          \"requests_per_sec_cached_unloaded\": {overload_unloaded_rps:.0},\n    \
          \"requests_per_sec_cached_under_flood\": {overload_loaded_rps:.0},\n    \
          \"cached_tier_retention\": {overload_ratio:.2},\n    \
-         \"requests_shed\": {total_sheds}\n  }}{reactor_json}\n}}\n",
+         \"requests_shed\": {total_sheds}\n  }},\n  \
+         \"batch\": {{\n    \"plans\": {BATCH_PLANS},\n    \
+         \"single_ns_per_plan\": {single_ns_per_plan:.0},\n    \
+         \"batch_ns_per_plan\": {batch_ns_per_plan:.0},\n    \
+         \"amortized_ratio\": {batch_amortization:.3}\n  }}{reactor_json}{export_json}\n}}\n",
         1e9 / http_cached_rps,
     );
     let path = std::env::var("BENCH_SERVE_JSON").unwrap_or_else(|_| "BENCH_serve.json".to_string());

@@ -80,14 +80,11 @@ impl ResultEncoder for JsonEncoder {
         rows: &[RecordView<'_, B>],
     ) -> Vec<u8> {
         let mut out = String::with_capacity(64 + rows.len() * 160);
-        let _ = write!(out, "{{\n  \"total_matches\": {total_matches},\n  \"rows\": [");
+        JsonEncoder::begin_stream(total_matches, &mut out);
         for (i, row) in rows.iter().enumerate() {
-            out.push_str(if i == 0 { "\n" } else { ",\n" });
-            out.push_str("    ");
-            json::write_record(&mut out, &row.to_variant_record());
+            JsonEncoder::stream_row(i, row, &mut out);
         }
-        out.push_str(if rows.is_empty() { "]\n" } else { "\n  ]\n" });
-        out.push_str("}\n");
+        JsonEncoder::end_stream(rows.len(), &mut out);
         out.into_bytes()
     }
 
@@ -119,6 +116,29 @@ impl ResultEncoder for JsonEncoder {
         write_key_list(&mut out, "only_in_other", &report.only_in_other);
         out.push_str("\n}\n");
         out.into_bytes()
+    }
+}
+
+impl JsonEncoder {
+    /// Streaming prologue: everything before the first row. The three
+    /// stream pieces concatenate to exactly the bytes of
+    /// [`ResultEncoder::encode_rows`], so a chunked emission is
+    /// byte-identical to a buffered one after de-chunking.
+    pub fn begin_stream(total_matches: usize, out: &mut String) {
+        let _ = write!(out, "{{\n  \"total_matches\": {total_matches},\n  \"rows\": [");
+    }
+
+    /// Streaming row `index` (0-based; the index drives the separator).
+    pub fn stream_row<B: DbBackend>(index: usize, row: &RecordView<'_, B>, out: &mut String) {
+        out.push_str(if index == 0 { "\n" } else { ",\n" });
+        out.push_str("    ");
+        json::write_record(out, &row.to_variant_record());
+    }
+
+    /// Streaming epilogue after `row_count` rows.
+    pub fn end_stream(row_count: usize, out: &mut String) {
+        out.push_str(if row_count == 0 { "]\n" } else { "\n  ]\n" });
+        out.push_str("}\n");
     }
 }
 
@@ -194,10 +214,9 @@ impl ResultEncoder for BinaryEncoder {
         rows: &[RecordView<'_, B>],
     ) -> Vec<u8> {
         let mut out = Vec::with_capacity(16 + rows.len() * 96);
-        out.extend_from_slice(&RESULT_MAGIC);
-        put_u64_field(&mut out, 1, total_matches as u64);
+        BinaryEncoder::begin_stream(total_matches, &mut out);
         for row in rows {
-            put_msg_field(&mut out, 2, &encode_record(&row.to_variant_record()));
+            BinaryEncoder::stream_row(row, &mut out);
         }
         out
     }
@@ -262,6 +281,20 @@ fn encode_delta(delta: &VariantDelta) -> Vec<u8> {
 }
 
 impl BinaryEncoder {
+    /// Streaming prologue (magic + the pre-pagination match count). As
+    /// with [`JsonEncoder::begin_stream`], the stream pieces concatenate
+    /// to exactly the buffered [`ResultEncoder::encode_rows`] bytes; the
+    /// TLV dialect needs no epilogue.
+    pub fn begin_stream(total_matches: usize, out: &mut Vec<u8>) {
+        out.extend_from_slice(&RESULT_MAGIC);
+        put_u64_field(out, 1, total_matches as u64);
+    }
+
+    /// Streaming row: one field-2 record message.
+    pub fn stream_row<B: DbBackend>(row: &RecordView<'_, B>, out: &mut Vec<u8>) {
+        put_msg_field(out, 2, &encode_record(&row.to_variant_record()));
+    }
+
     /// Decodes a binary result stream back into the match count and the
     /// materialized rows.
     ///

@@ -16,6 +16,8 @@
 //! cache keys on the plan's fingerprint, and a transport hands parsed wire
 //! plans straight to the executor.
 
+use std::collections::HashMap;
+
 use crate::backend::{DbBackend, IdList, RecordView};
 use crate::db::InstructionDb;
 use crate::intern::Sym;
@@ -92,83 +94,232 @@ impl QueryExec {
     /// Runs `plan` against `db`.
     #[must_use]
     pub fn run<'db, B: DbBackend>(self, plan: &QueryPlan, db: &'db B) -> QueryResult<'db, B> {
-        // Resolve the string filters to symbols once. A filter string the
-        // backend has never seen means zero matches; a port beyond the
-        // 16-bit mask can likewise never match.
-        let mut unmatchable = plan.port.is_some_and(|p| p >= 16);
-        let resolve = |s: &Option<String>, unmatchable: &mut bool| -> Option<Sym> {
-            match s {
-                None => None,
-                Some(s) => match db.lookup_sym(s) {
-                    Some(sym) => Some(sym),
-                    None => {
-                        *unmatchable = true;
-                        None
-                    }
-                },
-            }
-        };
-        let mnemonic = resolve(&plan.mnemonic, &mut unmatchable);
-        let extension = resolve(&plan.extension, &mut unmatchable);
-        let uarch = resolve(&plan.uarch, &mut unmatchable);
-        if unmatchable {
-            return QueryResult { total_matches: 0, rows: Vec::new() };
-        }
-
-        // Plan: gather the posting list of every filter that has one. The
-        // (uarch, port) list subsumes the plain uarch list, so only one of
-        // the two participates.
-        let mut lists: Vec<IdList<'db>> = Vec::new();
-        if let Some(sym) = mnemonic {
-            lists.push(db.postings_by_mnemonic(sym));
-        }
-        match (uarch, plan.port) {
-            (Some(sym), Some(port)) => lists.push(db.postings_by_uarch_port(sym, port)),
-            (Some(sym), None) => lists.push(db.postings_by_uarch(sym)),
-            _ => {}
-        }
-        if let Some(sym) = extension {
-            lists.push(db.postings_by_extension(sym));
-        }
-        // Drive from the smallest list, gallop-intersect the rest.
-        lists.sort_by_key(IdList::len);
-
-        let prefix = plan.mnemonic_prefix.as_deref();
-        let mut matches: Vec<u32> = Vec::new();
-        match lists.split_first() {
-            None => {
-                for id in 0..db.len() as u32 {
-                    if matches_residual(plan, db, id, mnemonic, extension, uarch, prefix) {
-                        matches.push(id);
-                    }
-                }
-            }
-            Some((driver, rest)) => {
-                let mut cursors = vec![0usize; rest.len()];
-                'driver: for i in 0..driver.len() {
-                    let id = driver.get(i);
-                    for (list, cursor) in rest.iter().zip(cursors.iter_mut()) {
-                        if !gallop_to(list, cursor, id) {
-                            continue 'driver;
-                        }
-                    }
-                    if matches_residual(plan, db, id, mnemonic, extension, uarch, prefix) {
-                        matches.push(id);
-                    }
-                }
-            }
-        }
-
-        let total_matches = matches.len();
-        sort_ids(plan, db, &mut matches);
-        let rows = matches
-            .into_iter()
-            .skip(plan.offset)
-            .take(plan.limit.unwrap_or(usize::MAX))
-            .map(|id| db.view(id))
-            .collect();
-        QueryResult { total_matches, rows }
+        let (total_matches, ids) = self.run_ids(plan, db);
+        QueryResult { total_matches, rows: ids.into_iter().map(|id| db.view(id)).collect() }
     }
+
+    /// Runs `plan` against `db`, returning the pre-pagination match count
+    /// and the requested page as raw record ids (sort order applied).
+    ///
+    /// This is the streaming entry point: callers that emit rows
+    /// incrementally re-view each id on demand instead of materializing a
+    /// row vector up front.
+    #[must_use]
+    pub fn run_ids<B: DbBackend>(self, plan: &QueryPlan, db: &B) -> (usize, Vec<u32>) {
+        page_ids(plan, db, match_ids(plan, db, &mut Direct))
+    }
+}
+
+/// Executes many plans against one backend, memoizing the per-plan
+/// planner setup across the batch: filter-string symbol resolutions and
+/// gathered posting lists are cached, so N plans filtering on the same
+/// mnemonic/uarch/extension indexes pay the lookup once. Intersection,
+/// residual filtering, and sorting still run per plan (their inputs
+/// differ), but the index-probing prologue is shared.
+///
+/// The memo borrows nothing from the plans — filter strings are interned
+/// into the memo on first sight — so one `BatchExec` can outlive the
+/// plans it ran.
+#[derive(Debug)]
+pub struct BatchExec<'db, B: DbBackend> {
+    db: &'db B,
+    memo: Memo<'db>,
+}
+
+impl<'db, B: DbBackend> BatchExec<'db, B> {
+    /// Creates a batch executor over `db` with an empty memo.
+    #[must_use]
+    pub fn new(db: &'db B) -> BatchExec<'db, B> {
+        BatchExec { db, memo: Memo::default() }
+    }
+
+    /// Runs one plan of the batch, reusing any posting lists and symbol
+    /// resolutions earlier plans already gathered.
+    #[must_use]
+    pub fn run(&mut self, plan: &QueryPlan) -> QueryResult<'db, B> {
+        let (total_matches, ids) = self.run_ids(plan);
+        let db = self.db;
+        QueryResult { total_matches, rows: ids.into_iter().map(|id| db.view(id)).collect() }
+    }
+
+    /// [`BatchExec::run`] returning the page as raw record ids.
+    #[must_use]
+    pub fn run_ids(&mut self, plan: &QueryPlan) -> (usize, Vec<u32>) {
+        page_ids(plan, self.db, match_ids(plan, self.db, &mut self.memo))
+    }
+
+    /// How many planner lookups (symbol resolutions + posting-list
+    /// gathers) were answered from the memo instead of the backend.
+    #[must_use]
+    pub fn memo_hits(&self) -> u64 {
+        self.memo.hits
+    }
+}
+
+/// The planner's view of a backend's indexes: symbol resolution and
+/// posting-list gathering. [`Direct`] passes straight through (the
+/// single-plan path); [`Memo`] caches every answer (the batch path).
+trait Planner<'db> {
+    fn sym<B: DbBackend>(&mut self, db: &'db B, s: &str) -> Option<Sym>;
+    fn mnemonic_list<B: DbBackend>(&mut self, db: &'db B, sym: Sym) -> IdList<'db>;
+    fn uarch_list<B: DbBackend>(&mut self, db: &'db B, sym: Sym, port: Option<u8>) -> IdList<'db>;
+    fn extension_list<B: DbBackend>(&mut self, db: &'db B, sym: Sym) -> IdList<'db>;
+}
+
+struct Direct;
+
+impl<'db> Planner<'db> for Direct {
+    fn sym<B: DbBackend>(&mut self, db: &'db B, s: &str) -> Option<Sym> {
+        db.lookup_sym(s)
+    }
+    fn mnemonic_list<B: DbBackend>(&mut self, db: &'db B, sym: Sym) -> IdList<'db> {
+        db.postings_by_mnemonic(sym)
+    }
+    fn uarch_list<B: DbBackend>(&mut self, db: &'db B, sym: Sym, port: Option<u8>) -> IdList<'db> {
+        match port {
+            Some(port) => db.postings_by_uarch_port(sym, port),
+            None => db.postings_by_uarch(sym),
+        }
+    }
+    fn extension_list<B: DbBackend>(&mut self, db: &'db B, sym: Sym) -> IdList<'db> {
+        db.postings_by_extension(sym)
+    }
+}
+
+/// Memoized planner state shared across one batch. `IdList` is `Copy`
+/// (a borrowed slice either way), so cached lists cost two words each.
+#[derive(Debug, Default)]
+struct Memo<'db> {
+    syms: HashMap<String, Option<Sym>>,
+    mnemonic: HashMap<Sym, IdList<'db>>,
+    uarch: HashMap<(Sym, Option<u8>), IdList<'db>>,
+    extension: HashMap<Sym, IdList<'db>>,
+    hits: u64,
+}
+
+impl<'db> Planner<'db> for Memo<'db> {
+    fn sym<B: DbBackend>(&mut self, db: &'db B, s: &str) -> Option<Sym> {
+        if let Some(&sym) = self.syms.get(s) {
+            self.hits += 1;
+            return sym;
+        }
+        let sym = db.lookup_sym(s);
+        self.syms.insert(s.to_string(), sym);
+        sym
+    }
+    fn mnemonic_list<B: DbBackend>(&mut self, db: &'db B, sym: Sym) -> IdList<'db> {
+        if let Some(&list) = self.mnemonic.get(&sym) {
+            self.hits += 1;
+            return list;
+        }
+        *self.mnemonic.entry(sym).or_insert_with(|| db.postings_by_mnemonic(sym))
+    }
+    fn uarch_list<B: DbBackend>(&mut self, db: &'db B, sym: Sym, port: Option<u8>) -> IdList<'db> {
+        if let Some(&list) = self.uarch.get(&(sym, port)) {
+            self.hits += 1;
+            return list;
+        }
+        *self.uarch.entry((sym, port)).or_insert_with(|| match port {
+            Some(port) => db.postings_by_uarch_port(sym, port),
+            None => db.postings_by_uarch(sym),
+        })
+    }
+    fn extension_list<B: DbBackend>(&mut self, db: &'db B, sym: Sym) -> IdList<'db> {
+        if let Some(&list) = self.extension.get(&sym) {
+            self.hits += 1;
+            return list;
+        }
+        *self.extension.entry(sym).or_insert_with(|| db.postings_by_extension(sym))
+    }
+}
+
+/// The shared match core: resolves filters, gathers posting lists through
+/// `planner`, and intersects + residual-filters into the unsorted match
+/// set.
+fn match_ids<'db, B: DbBackend>(
+    plan: &QueryPlan,
+    db: &'db B,
+    planner: &mut impl Planner<'db>,
+) -> Vec<u32> {
+    // Resolve the string filters to symbols once. A filter string the
+    // backend has never seen means zero matches; a port beyond the
+    // 16-bit mask can likewise never match.
+    let mut unmatchable = plan.port.is_some_and(|p| p >= 16);
+    let mut resolve = |s: &Option<String>, unmatchable: &mut bool| -> Option<Sym> {
+        match s {
+            None => None,
+            Some(s) => match planner.sym(db, s) {
+                Some(sym) => Some(sym),
+                None => {
+                    *unmatchable = true;
+                    None
+                }
+            },
+        }
+    };
+    let mnemonic = resolve(&plan.mnemonic, &mut unmatchable);
+    let extension = resolve(&plan.extension, &mut unmatchable);
+    let uarch = resolve(&plan.uarch, &mut unmatchable);
+    if unmatchable {
+        return Vec::new();
+    }
+
+    // Plan: gather the posting list of every filter that has one. The
+    // (uarch, port) list subsumes the plain uarch list, so only one of
+    // the two participates.
+    let mut lists: Vec<IdList<'db>> = Vec::new();
+    if let Some(sym) = mnemonic {
+        lists.push(planner.mnemonic_list(db, sym));
+    }
+    if let Some(sym) = uarch {
+        lists.push(planner.uarch_list(db, sym, plan.port));
+    }
+    if let Some(sym) = extension {
+        lists.push(planner.extension_list(db, sym));
+    }
+    // Drive from the smallest list, gallop-intersect the rest.
+    lists.sort_by_key(IdList::len);
+
+    let prefix = plan.mnemonic_prefix.as_deref();
+    let mut matches: Vec<u32> = Vec::new();
+    match lists.split_first() {
+        None => {
+            for id in 0..db.len() as u32 {
+                if matches_residual(plan, db, id, mnemonic, extension, uarch, prefix) {
+                    matches.push(id);
+                }
+            }
+        }
+        Some((driver, rest)) => {
+            let mut cursors = vec![0usize; rest.len()];
+            'driver: for i in 0..driver.len() {
+                let id = driver.get(i);
+                for (list, cursor) in rest.iter().zip(cursors.iter_mut()) {
+                    if !gallop_to(list, cursor, id) {
+                        continue 'driver;
+                    }
+                }
+                if matches_residual(plan, db, id, mnemonic, extension, uarch, prefix) {
+                    matches.push(id);
+                }
+            }
+        }
+    }
+    matches
+}
+
+/// Sorts the match set and cuts the requested page, returning
+/// `(total_matches, page_ids)`.
+fn page_ids<B: DbBackend>(plan: &QueryPlan, db: &B, mut matches: Vec<u32>) -> (usize, Vec<u32>) {
+    let total_matches = matches.len();
+    sort_ids(plan, db, &mut matches);
+    if plan.offset > 0 {
+        matches.drain(..plan.offset.min(matches.len()));
+    }
+    if let Some(limit) = plan.limit {
+        matches.truncate(limit);
+    }
+    (total_matches, matches)
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -393,6 +544,60 @@ mod tests {
         let result = QueryExec::new().run(&plan, &db);
         assert_eq!(result.total_matches, 2);
         assert_eq!(result.rows[0].mnemonic(), "ADC");
+    }
+
+    #[test]
+    fn batch_exec_matches_singles_and_reuses_the_memo() {
+        use crate::snapshot::{Snapshot, VariantRecord};
+        let mut s = Snapshot::new("batch exec test");
+        for (m, uarch) in
+            [("ADD", "Skylake"), ("ADC", "Skylake"), ("ADD", "Haswell"), ("SHLD", "Haswell")]
+        {
+            s.records.push(VariantRecord {
+                mnemonic: m.into(),
+                variant: "R64, R64".into(),
+                extension: "BASE".into(),
+                uarch: uarch.into(),
+                uop_count: 1,
+                ports: vec![(0b0100_0001, 1)],
+                tp_measured: 0.5,
+                ..Default::default()
+            });
+        }
+        let db = InstructionDb::from_snapshot(&s);
+        let plans: Vec<QueryPlan> = [
+            "uarch=Skylake",
+            "uarch=Skylake&port=6",
+            "mnemonic=ADD",
+            "mnemonic=ADD&uarch=Skylake",
+            "uarch=Nehalem",
+            "extension=BASE&sort=uops&desc=1&limit=2",
+            "",
+        ]
+        .iter()
+        .map(|q| QueryPlan::parse(q).expect("plan"))
+        .collect();
+
+        let mut batch = BatchExec::new(&db);
+        for plan in &plans {
+            let batched = batch.run(plan);
+            let single = QueryExec::new().run(plan, &db);
+            assert_eq!(batched.total_matches, single.total_matches, "{}", plan.to_query_string());
+            let ids = |r: &QueryResult<'_>| -> Vec<String> {
+                r.rows.iter().map(|v| format!("{}/{}", v.mnemonic(), v.uarch())).collect()
+            };
+            assert_eq!(ids(&batched), ids(&single), "{}", plan.to_query_string());
+        }
+        // Skylake's uarch list, ADD's mnemonic list, and the BASE symbol
+        // all recur across the batch: the memo must have absorbed repeats.
+        assert!(batch.memo_hits() >= 3, "memo hits: {}", batch.memo_hits());
+
+        // `run_ids` pagination agrees with the materialized rows.
+        let plan = QueryPlan::parse("sort=uops&offset=1&limit=2").expect("plan");
+        let (total, ids) = BatchExec::new(&db).run_ids(&plan);
+        let full = QueryExec::new().run(&plan, &db);
+        assert_eq!(total, full.total_matches);
+        assert_eq!(ids.len(), full.rows.len());
     }
 
     #[test]

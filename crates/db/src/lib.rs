@@ -141,9 +141,9 @@ pub use db::{DbRecord, InstructionDb};
 pub use diff::{diff_uarches, Change, DiffReport, VariantDelta, CYCLE_TOLERANCE};
 pub use encode::{BinaryEncoder, JsonEncoder, ResultEncoder, XmlEncoder};
 pub use error::DbError;
-pub use exec::{ExecStageMetrics, QueryExec};
+pub use exec::{BatchExec, ExecStageMetrics, QueryExec};
 pub use intern::{Interner, Sym};
-pub use plan::{fnv1a_64, QueryPlan};
+pub use plan::{fnv1a_64, fnv1a_64_parts, QueryPlan};
 pub use query::{Query, QueryResult, SortKey};
 pub use segment::{Segment, SegmentDb};
 pub use snapshot::{

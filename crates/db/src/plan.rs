@@ -205,13 +205,22 @@ impl QueryPlan {
     #[must_use]
     pub fn to_query_string(&self) -> String {
         let mut out = String::new();
+        self.push_query_string(&mut out);
+        out
+    }
+
+    /// Appends the canonical query string to `out` — the allocation-free
+    /// counterpart of [`QueryPlan::to_query_string`] for callers that
+    /// build cache keys into a reusable buffer (the batch endpoint).
+    pub fn push_query_string(&self, out: &mut String) {
+        let mut first = true;
         let mut push = |key: &str, value: &dyn Fn(&mut String)| {
-            if !out.is_empty() {
+            if !std::mem::take(&mut first) {
                 out.push('&');
             }
             out.push_str(key);
             out.push('=');
-            value(&mut out);
+            value(out);
         };
         if let Some(v) = &self.mnemonic {
             push("mnemonic", &|out| encode_component_into(out, v));
@@ -266,7 +275,6 @@ impl QueryPlan {
                 let _ = write!(out, "{v}");
             });
         }
-        out
     }
 
     /// A stable 64-bit fingerprint of the canonical encoding — the response
@@ -299,11 +307,31 @@ impl QueryPlan {
         pairs: impl IntoIterator<Item = (String, String)>,
     ) -> Result<QueryPlan, DbError> {
         let mut plan = QueryPlan::default();
-        let mut seen: Vec<String> = Vec::new();
+        // Duplicate detection as a bitmask over the fixed key set — no
+        // allocation, no string comparisons against already-seen keys
+        // (this runs on the uncached hot path of every transport).
+        let mut seen: u16 = 0;
         for (key, value) in pairs {
-            if seen.contains(&key) {
+            let bit: u16 = match key.as_str() {
+                "mnemonic" => 1 << 0,
+                "prefix" => 1 << 1,
+                "extension" => 1 << 2,
+                "uarch" => 1 << 3,
+                "port" => 1 << 4,
+                "min_uops" => 1 << 5,
+                "max_uops" => 1 << 6,
+                "min_latency" => 1 << 7,
+                "max_latency" => 1 << 8,
+                "sort" => 1 << 9,
+                "desc" => 1 << 10,
+                "offset" => 1 << 11,
+                "limit" => 1 << 12,
+                other => return Err(plan_error(format!("unknown query parameter {other:?}"))),
+            };
+            if seen & bit != 0 {
                 return Err(plan_error(format!("duplicate query parameter {key:?}")));
             }
+            seen |= bit;
             match key.as_str() {
                 "mnemonic" => plan.mnemonic = Some(value),
                 "prefix" => plan.mnemonic_prefix = Some(value),
@@ -336,9 +364,8 @@ impl QueryPlan {
                 }
                 "offset" => plan.offset = parse_number(&key, &value)?,
                 "limit" => plan.limit = Some(parse_number(&key, &value)?),
-                other => return Err(plan_error(format!("unknown query parameter {other:?}"))),
+                _ => unreachable!("the bit match above rejected unknown keys"),
             }
-            seen.push(key);
         }
         Ok(plan)
     }
@@ -359,10 +386,11 @@ fn parse_number<T: std::str::FromStr>(key: &str, value: &str) -> Result<T, DbErr
 /// Returns [`DbError::Plan`] on malformed percent-escapes or pairs without
 /// an `=`.
 pub fn parse_query_pairs(query_string: &str) -> Result<Vec<(String, String)>, DbError> {
-    let mut pairs = Vec::new();
     if query_string.is_empty() {
-        return Ok(pairs);
+        return Ok(Vec::new());
     }
+    // Exact-size allocation: one `&`-separated pair per slot.
+    let mut pairs = Vec::with_capacity(query_string.bytes().filter(|&b| b == b'&').count() + 1);
     for pair in query_string.split('&') {
         let Some((key, value)) = pair.split_once('=') else {
             return Err(plan_error(format!("query parameter {pair:?} has no '='")));
@@ -404,6 +432,11 @@ pub fn encode_component(s: &str) -> String {
 /// bytes that are not valid UTF-8.
 pub fn decode_component(s: &str) -> Result<String, DbError> {
     let bytes = s.as_bytes();
+    // Fast path: nothing to decode — one memcpy instead of a per-byte
+    // push loop (the overwhelmingly common case for canonical spellings).
+    if !bytes.iter().any(|&b| b == b'%' || b == b'+') {
+        return Ok(s.to_string());
+    }
     let mut out = Vec::with_capacity(bytes.len());
     let mut i = 0;
     while i < bytes.len() {
@@ -438,6 +471,21 @@ pub fn fnv1a_64(bytes: &[u8]) -> u64 {
     for &byte in bytes {
         hash ^= u64::from(byte);
         hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// [`fnv1a_64`] over the logical concatenation of `parts`, byte-identical
+/// to hashing the joined slice — lets a caller key on a composite string
+/// (prefix + encoding + plan) without materializing it.
+#[must_use]
+pub fn fnv1a_64_parts(parts: &[&[u8]]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for part in parts {
+        for &byte in *part {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
     }
     hash
 }

@@ -4,8 +4,17 @@
 //! serve --segment uops.seg [--addr 127.0.0.1:8080] [--threads N] [--cache-mb 64]
 //!       [--mmap] [--no-telemetry] [--access-log[=EVERY_N]] [--reactor[=SHARDS]]
 //!       [--max-inflight N] [--queue-depth N] [--deadline-ms MS] [--max-uncached N]
-//!       [--drain-timeout SECS]
+//!       [--drain-timeout SECS] [--max-body BYTES] [--stream-threshold ROWS]
 //! ```
+//!
+//! `--max-body BYTES` caps `POST` request bodies (`/v1/batch`, `/v1/plan`
+//! registration); oversize declarations are refused with `413` before a
+//! body byte is read. The default is 1 MiB.
+//!
+//! `--stream-threshold ROWS` sets the result size above which query
+//! responses switch from a single `Content-Length` body to
+//! `Transfer-Encoding: chunked`, bounding server memory per export. The
+//! default is 4096 rows; `0` disables streaming entirely.
 //!
 //! The first stdout line is always `listening on http://ADDR (...)`, so
 //! scripts (and the integration tests) can bind port 0 and discover the
@@ -46,7 +55,8 @@ const SPEC: CliSpec<'static> = CliSpec {
     name: "serve",
     usage: "serve --segment PATH [--addr HOST:PORT] [--threads N] [--cache-mb MB] [--mmap] \
             [--no-telemetry] [--access-log[=EVERY_N]] [--reactor[=SHARDS]] [--max-inflight N] \
-            [--queue-depth N] [--deadline-ms MS] [--max-uncached N] [--drain-timeout SECS]",
+            [--queue-depth N] [--deadline-ms MS] [--max-uncached N] [--drain-timeout SECS] \
+            [--max-body BYTES] [--stream-threshold ROWS]",
     value_flags: &[
         "--segment",
         "--addr",
@@ -57,6 +67,8 @@ const SPEC: CliSpec<'static> = CliSpec {
         "--deadline-ms",
         "--max-uncached",
         "--drain-timeout",
+        "--max-body",
+        "--stream-threshold",
     ],
     bool_flags: &["--mmap", "--no-telemetry"],
     optional_value_flags: &["--access-log", "--reactor"],
@@ -167,16 +179,28 @@ fn main() {
         Ok(secs) => std::time::Duration::from_secs(secs.unwrap_or(5)),
         Err(message) => SPEC.exit_usage(&message),
     };
+    let max_body = match args.parsed_value::<usize>("--max-body") {
+        Ok(n) => n.unwrap_or(0), // 0 = the 1 MiB default
+        Err(message) => SPEC.exit_usage(&message),
+    };
+    let stream_threshold = match args.parsed_value::<usize>("--stream-threshold") {
+        Ok(rows) => rows,
+        Err(message) => SPEC.exit_usage(&message),
+    };
 
     let records = segment.db().len();
     let service = Arc::new(QueryService::from_segment(segment, cache_mb << 20));
     service.set_max_uncached_inflight(max_uncached);
+    if let Some(rows) = stream_threshold {
+        service.set_stream_threshold(rows);
+    }
     let options = ServerOptions {
         no_telemetry,
         access_log,
         max_inflight,
         queue_depth,
         request_deadline,
+        max_body,
         ..ServerOptions::default()
     };
     let server = match bind_transport(addr, service, threads, reactor_shards, options) {

@@ -76,10 +76,32 @@ struct Node {
     next: usize,
 }
 
+/// Identity hasher for maps keyed by an already-computed fnv1a-64 hash:
+/// re-hashing a hash through SipHash would cost more than the bucket
+/// probe it guards. fnv1a's multiplicative mixing leaves the low bits
+/// well distributed, which is all `HashMap` bucket selection needs.
+#[derive(Default, Clone, Copy)]
+pub(crate) struct PrehashedKey(u64);
+
+impl std::hash::Hasher for PrehashedKey {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, _: &[u8]) {
+        unreachable!("prehashed maps are keyed by u64, which hashes via write_u64");
+    }
+    fn write_u64(&mut self, n: u64) {
+        self.0 = n;
+    }
+}
+
+/// A `HashMap` keyed by a precomputed fnv1a-64 hash.
+pub(crate) type PrehashedMap<V> = HashMap<u64, V, std::hash::BuildHasherDefault<PrehashedKey>>;
+
 /// One shard: an open-addressed map from fingerprint to slab slot plus an
 /// intrusive LRU list threaded through the slab.
 struct Shard {
-    map: HashMap<u64, usize>,
+    map: PrehashedMap<usize>,
     slab: Vec<Node>,
     free: Vec<usize>,
     head: usize,
@@ -90,7 +112,7 @@ struct Shard {
 impl Shard {
     fn new() -> Shard {
         Shard {
-            map: HashMap::new(),
+            map: PrehashedMap::default(),
             slab: Vec::new(),
             free: Vec::new(),
             head: NIL,
@@ -218,6 +240,33 @@ impl ResponseCache {
     /// one — a fingerprint collision counts as a miss.
     #[must_use]
     pub fn get(&self, key: u64, request: &str) -> Option<CachedResponse> {
+        self.get_matching(key, |stored| stored.as_bytes() == request.as_bytes())
+    }
+
+    /// [`ResponseCache::get`] for a request key held in pieces: a hit
+    /// requires the stored request string to equal the concatenation of
+    /// `parts`, compared piecewise so the caller never materializes the
+    /// joined string. The batch path probes `["q/", enc, "?", plan-line]`
+    /// allocation-free with the same collision safety as [`get`].
+    ///
+    /// [`get`]: ResponseCache::get
+    #[must_use]
+    pub fn get_parts(&self, key: u64, parts: &[&[u8]]) -> Option<CachedResponse> {
+        self.get_matching(key, |stored| {
+            let stored = stored.as_bytes();
+            if stored.len() != parts.iter().map(|p| p.len()).sum::<usize>() {
+                return false;
+            }
+            let mut at = 0;
+            parts.iter().all(|part| {
+                let matches = &stored[at..at + part.len()] == *part;
+                at += part.len();
+                matches
+            })
+        })
+    }
+
+    fn get_matching(&self, key: u64, matches: impl Fn(&str) -> bool) -> Option<CachedResponse> {
         if self.capacity_bytes == 0 {
             self.misses.inc();
             return None;
@@ -227,7 +276,7 @@ impl ResponseCache {
             .map
             .get(&key)
             .copied()
-            .and_then(|slot| (shard.slab[slot].request == request).then_some(slot));
+            .and_then(|slot| matches(&shard.slab[slot].request).then_some(slot));
         match hit {
             Some(slot) => {
                 shard.detach(slot);
@@ -378,6 +427,23 @@ mod tests {
         // entry "1".
         assert!(cache.get(42, "query-two").is_none());
         assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn split_key_lookups_match_piecewise_and_stay_collision_safe() {
+        let cache = cache_with_room_for(4);
+        cache.insert(9, "q/json?uarch=Skylake", response("S"));
+        let hit = cache
+            .get_parts(9, &[b"q/", b"json", b"?", b"uarch=Skylake"])
+            .expect("piecewise-equal parts hit");
+        assert_eq!(&hit.body[..], b"S");
+        // Same total length, different bytes: a collision stays a miss.
+        assert!(cache.get_parts(9, &[b"q/", b"json", b"?", b"uarch=Icelake"]).is_none());
+        // Different total length misses before any byte compare.
+        assert!(cache.get_parts(9, &[b"q/json?uarch=Skylake", b"x"]).is_none());
+        // A piecewise hit promotes: it must keep the entry alive under
+        // whole-string gets too.
+        assert!(cache.get(9, "q/json?uarch=Skylake").is_some());
     }
 
     #[test]

@@ -1,11 +1,13 @@
 //! A minimal, std-only, allocation-free HTTP/1.1 request/response codec.
 //!
-//! Only what serving a read-only database needs: `GET`/`HEAD` requests, a
-//! bounded request head, persistent connections (`Connection: keep-alive`
-//! semantics with HTTP/1.1 defaults), `Content-Length`-delimited
-//! responses, and conditional requests (`If-None-Match` → `304`).
-//! Anything outside that — bodies on requests, transfer encodings,
-//! upgrades — is rejected with a 4xx rather than implemented.
+//! Only what serving a read-only database needs: `GET`/`HEAD` requests
+//! plus `POST` with a bounded `Content-Length` body (the batch and
+//! plan-registration endpoints), a bounded request head, persistent
+//! connections (`Connection: keep-alive` semantics with HTTP/1.1
+//! defaults), `Content-Length`-delimited and chunked responses, and
+//! conditional requests (`If-None-Match` → `304`). Anything outside
+//! that — transfer-encoded request bodies, upgrades — is rejected with
+//! a 4xx/5xx rather than implemented.
 //!
 //! The codec is built for a steady state that never touches the heap:
 //!
@@ -23,6 +25,8 @@
 //! sizes: the head must fit [`MAX_HEAD`] or the request is answered 431.
 
 use std::io::{self, IoSlice, Read, Write};
+use std::ops::Range;
+use std::sync::Arc;
 
 /// Longest accepted request line (method + target + version).
 const MAX_REQUEST_LINE: usize = 8 * 1024;
@@ -48,6 +52,10 @@ pub struct Request<'a> {
     pub keep_alive: bool,
     /// The raw `If-None-Match` header value, if present.
     pub if_none_match: Option<&'a str>,
+    /// Declared request-body length (`Content-Length`), 0 when absent.
+    /// The transport enforces its body cap *before* reading a byte of it
+    /// and answers oversize declarations with a 413.
+    pub content_length: usize,
     /// Bytes this head occupied in the buffer (consumed after the
     /// response is written — see [`RequestBuf::consume`]).
     pub head_len: usize,
@@ -143,9 +151,21 @@ impl RequestBuf {
     /// it and close), [`RequestError::Io`] for socket failures.
     pub fn read_request(&mut self, stream: &mut impl Read) -> Result<Request<'_>, RequestError> {
         if self.buf.is_empty() {
-            // Deferred from RequestBuf::lazy(): the connection is sending
-            // data, so it pays for its buffer now (exactly once).
+            // Deferred from RequestBuf::lazy(). Probe from the stack
+            // first: a non-blocking caller polls a just-accepted socket
+            // that usually has nothing yet, and materializing (and
+            // zeroing) MAX_HEAD per parked connection would make 10k
+            // idle connections pay ~300 MB of touched pages for
+            // buffers that never see a byte. Only a connection that
+            // actually delivers data pays for its buffer (exactly once).
+            let mut probe = [0u8; 1024];
+            let read = stream.read(&mut probe)?;
+            if read == 0 {
+                return Err(RequestError::ConnectionClosed);
+            }
             self.buf = vec![0u8; MAX_HEAD].into_boxed_slice();
+            self.buf[..read].copy_from_slice(&probe[..read]);
+            self.filled = read;
         }
         let head_len = loop {
             // Resume the terminator scan two bytes back: a terminator may
@@ -177,6 +197,44 @@ impl RequestBuf {
         self.buf.copy_within(head_len..self.filled, 0);
         self.filled -= head_len;
         self.scanned = 0;
+    }
+
+    /// Moves up to `len` request-body bytes that arrived with the head
+    /// (read-ahead past `head_len`) into `out`, consuming the head *and*
+    /// the moved bytes from the buffer. Returns how many body bytes were
+    /// moved; the caller reads the remaining `len - moved` bytes straight
+    /// off the socket into `out`.
+    ///
+    /// This invalidates the borrowed [`Request`] — the caller copies the
+    /// fields it needs (method, target) into per-connection scratch first.
+    pub fn take_body(&mut self, head_len: usize, len: usize, out: &mut Vec<u8>) -> usize {
+        debug_assert!(head_len <= self.filled);
+        let moved = (self.filled - head_len).min(len);
+        out.extend_from_slice(&self.buf[head_len..head_len + moved]);
+        self.consume(head_len + moved);
+        moved
+    }
+
+    /// Blocking-transport body read: [`RequestBuf::take_body`] then
+    /// `read_exact` for the remainder, so `out` ends up holding exactly
+    /// `len` body bytes and the buffer holds only pipelined follow-ups.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket read failures (including EOF mid-body).
+    pub fn read_body(
+        &mut self,
+        stream: &mut impl Read,
+        head_len: usize,
+        len: usize,
+        out: &mut Vec<u8>,
+    ) -> io::Result<()> {
+        out.clear();
+        out.reserve(len);
+        let moved = self.take_body(head_len, len, out);
+        let start = out.len();
+        out.resize(start + (len - moved), 0);
+        stream.read_exact(&mut out[start..])
     }
 }
 
@@ -218,6 +276,7 @@ fn parse_head(head: &[u8]) -> Result<Request<'_>, RequestError> {
     };
 
     let mut if_none_match = None;
+    let mut content_length: Option<usize> = None;
     let mut headers = 0usize;
     for line in lines {
         if line.is_empty() {
@@ -247,17 +306,28 @@ fn parse_head(head: &[u8]) -> Result<Request<'_>, RequestError> {
         } else if name.eq_ignore_ascii_case("if-none-match") {
             if_none_match = Some(value);
         } else if name.eq_ignore_ascii_case("content-length") {
-            // A read-only API takes no bodies; reject instead of
-            // desynchronizing the connection by ignoring them.
-            if value.parse::<u64>().map_or(true, |n| n > 0) {
-                return Err(bad(413, "request bodies are not accepted"));
+            // Conflicting lengths desynchronize the connection (request
+            // smuggling); reject rather than pick one.
+            if content_length.is_some() {
+                return Err(bad(400, "duplicate Content-Length"));
             }
+            let Ok(n) = value.parse::<usize>() else {
+                return Err(bad(400, format!("invalid Content-Length {value:?}")));
+            };
+            content_length = Some(n);
         } else if name.eq_ignore_ascii_case("transfer-encoding") {
             return Err(bad(501, "transfer-encoding is not supported"));
         }
     }
 
-    Ok(Request { method, target, keep_alive, if_none_match, head_len: head.len() })
+    Ok(Request {
+        method,
+        target,
+        keep_alive,
+        if_none_match,
+        content_length: content_length.unwrap_or(0),
+        head_len: head.len(),
+    })
 }
 
 /// The standard status line for the status codes this server emits.
@@ -418,6 +488,9 @@ pub struct ResponseHead<'a> {
     pub keep_alive: bool,
     /// Strong entity tag to emit as `ETag: "%016x"`, if any.
     pub etag: Option<u64>,
+    /// Methods to announce in an `Allow` header (405 responses name what
+    /// the route does accept).
+    pub allow: Option<&'static str>,
     /// Whether the body bytes follow the head ([`BodyMode::HeaderOnly`]
     /// for `HEAD`).
     pub mode: BodyMode,
@@ -485,6 +558,11 @@ impl ResponseBuf {
             // instead of letting them hammer a saturated server.
             self.head.extend_from_slice(b"Retry-After: 1\r\n");
         }
+        if let Some(allow) = head.allow {
+            self.head.extend_from_slice(b"Allow: ");
+            self.head.extend_from_slice(allow.as_bytes());
+            self.head.extend_from_slice(b"\r\n");
+        }
         if let Some(etag) = head.etag {
             self.head.extend_from_slice(b"ETag: \"");
             self.head.extend_from_slice(&etag_hex(etag));
@@ -502,11 +580,167 @@ impl ResponseBuf {
         }
     }
 
+    /// Builds a `Transfer-Encoding: chunked` response head in the scratch
+    /// (no `Content-Length` — the body's size is unknown when streaming
+    /// begins). Returns whether chunk frames should follow
+    /// (`false` for [`BodyMode::HeaderOnly`]: `HEAD` gets the streaming
+    /// headers with no body, per RFC 7231).
+    pub fn assemble_chunked(&mut self, head: &ResponseHead<'_>) -> bool {
+        self.head.clear();
+        self.head.extend_from_slice(status_line(head.status).as_bytes());
+        self.head.extend_from_slice(b"Content-Type: ");
+        self.head.extend_from_slice(head.content_type.as_bytes());
+        self.head.extend_from_slice(b"\r\nTransfer-Encoding: chunked\r\n");
+        self.head.extend_from_slice(if head.keep_alive {
+            b"Connection: keep-alive\r\n\r\n".as_slice()
+        } else {
+            b"Connection: close\r\n\r\n".as_slice()
+        });
+        head.mode == BodyMode::Full
+    }
+
     /// The head bytes built by the last [`ResponseBuf::assemble`].
     #[must_use]
     pub fn head_bytes(&self) -> &[u8] {
         &self.head
     }
+}
+
+/// Writes the chunked-transfer frame prefix for a `len`-byte chunk into
+/// `out` (`{len:x}\r\n`); `len == 0` writes the terminal chunk *and*
+/// trailer (`0\r\n\r\n`) — the end-of-stream marker. The caller appends
+/// the chunk's closing `\r\n` to its payload buffer, so one chunk goes
+/// out as a single two-slice vectored write: prefix + payload-with-CRLF.
+pub fn chunk_prefix(len: usize, out: &mut Vec<u8>) {
+    out.clear();
+    if len == 0 {
+        out.extend_from_slice(b"0\r\n\r\n");
+        return;
+    }
+    const HEX: &[u8; 16] = b"0123456789abcdef";
+    let mut tmp = [0u8; 16];
+    let mut at = tmp.len();
+    let mut v = len;
+    while v > 0 {
+        at -= 1;
+        tmp[at] = HEX[v & 0xF];
+        v >>= 4;
+    }
+    out.extend_from_slice(&tmp[at..]);
+    out.extend_from_slice(b"\r\n");
+}
+
+/// One plan's slot in a framed batch response: its frame header (a range
+/// into [`BatchBody::frames`]) followed by its body — an `Arc` clone of
+/// the cache entry, so assembling a batch never copies body bytes.
+#[derive(Debug, Clone)]
+pub struct BatchPart {
+    /// This part's frame-header bytes within [`BatchBody::frames`].
+    pub frame: Range<usize>,
+    /// The encoded response body (shared with the response cache).
+    pub body: Arc<[u8]>,
+}
+
+/// A framed multi-response body: every frame header lives in one reusable
+/// scratch (`frames`, in wire order — batch header first, then one frame
+/// per part) and bodies stay behind their `Arc`s. The wire stream is
+/// `frames[header] · (frames[part.frame] · part.body)*`, emitted by
+/// [`write_batch`] as a vectored write chain.
+#[derive(Debug, Default)]
+pub struct BatchBody {
+    /// Batch header + per-part frame headers, contiguous, in wire order.
+    pub frames: Vec<u8>,
+    /// The leading batch-header bytes of `frames` (magic + plan count).
+    pub header: Range<usize>,
+    /// Per-plan frames and bodies, in request order.
+    pub parts: Vec<BatchPart>,
+}
+
+impl BatchBody {
+    /// Total bytes this body puts on the wire (the `Content-Length`).
+    #[must_use]
+    pub fn wire_len(&self) -> usize {
+        self.header.len()
+            + self.parts.iter().map(|part| part.frame.len() + part.body.len()).sum::<usize>()
+    }
+
+    /// Clears for reuse, keeping allocated capacity (the per-connection
+    /// batch scratch's steady state).
+    pub fn clear(&mut self) {
+        self.frames.clear();
+        self.header = 0..0;
+        self.parts.clear();
+    }
+}
+
+/// Writes `head` then a [`BatchBody`]'s pieces from `*cursor` (a byte
+/// offset into the logical response stream), gathering up to 512 pieces
+/// per `writev(2)` from a fixed stack array — a batch of 1000 plans
+/// (2001 pieces) goes out in ~4 syscalls with zero heap traffic and zero
+/// body copies.
+///
+/// Resumption contract matches [`write_resumable`]: `EINTR` retries in
+/// place, `EAGAIN` parks the cursor mid-stream and returns
+/// [`WriteProgress::Pending`] for the reactor to resume on the next
+/// writable event.
+///
+/// # Errors
+///
+/// Propagates socket write failures; a zero-length write is reported as
+/// [`io::ErrorKind::WriteZero`].
+pub fn write_batch(
+    writer: &mut impl Write,
+    head: &[u8],
+    batch: &BatchBody,
+    cursor: &mut usize,
+) -> io::Result<WriteProgress> {
+    // Linux caps one writev at IOV_MAX = 1024 iovecs; 512 keeps the
+    // stack array at 8 KiB while still draining a 1000-plan batch in a
+    // handful of syscalls.
+    const MAX_SLICES: usize = 512;
+
+    /// Appends the unwritten suffix of `piece` (pieces wholly before the
+    /// cursor are skipped; empty pieces never occupy a slot).
+    fn gather<'a>(
+        slices: &mut [IoSlice<'a>],
+        count: &mut usize,
+        at: &mut usize,
+        cursor: usize,
+        piece: &'a [u8],
+    ) {
+        if *count < slices.len() && *at + piece.len() > cursor {
+            let skip = cursor.saturating_sub(*at);
+            slices[*count] = IoSlice::new(&piece[skip..]);
+            *count += 1;
+        }
+        *at += piece.len();
+    }
+
+    let total = head.len() + batch.wire_len();
+    while *cursor < total {
+        let mut slices = [IoSlice::new(&[][..]); MAX_SLICES];
+        let mut count = 0;
+        let mut at = 0;
+        gather(&mut slices, &mut count, &mut at, *cursor, head);
+        gather(&mut slices, &mut count, &mut at, *cursor, &batch.frames[batch.header.clone()]);
+        for part in &batch.parts {
+            if count == MAX_SLICES {
+                break;
+            }
+            gather(&mut slices, &mut count, &mut at, *cursor, &batch.frames[part.frame.clone()]);
+            gather(&mut slices, &mut count, &mut at, *cursor, &part.body);
+        }
+        match writer.write_vectored(&slices[..count]) {
+            Ok(0) => {
+                return Err(io::Error::new(io::ErrorKind::WriteZero, "socket accepted 0 bytes"));
+            }
+            Ok(n) => *cursor += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(WriteProgress::Pending),
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(WriteProgress::Complete)
 }
 
 #[cfg(test)]
@@ -608,8 +842,12 @@ mod tests {
         let many = format!("GET / HTTP/1.1\r\n{}\r\n", "X-H: 1\r\n".repeat(MAX_HEADERS + 1));
         assert!(matches!(parse(&many), Err(RequestError::Bad(431, _))));
         assert!(matches!(
-            parse("POST /v1/query HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello"),
-            Err(RequestError::Bad(413, _))
+            parse("POST /x HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 5\r\n\r\nhello"),
+            Err(RequestError::Bad(400, _))
+        ));
+        assert!(matches!(
+            parse("POST /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n"),
+            Err(RequestError::Bad(400, _))
         ));
         assert!(matches!(
             parse("GET / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
@@ -623,6 +861,38 @@ mod tests {
     fn zero_content_length_is_accepted() {
         let (_, target, ..) = parse("GET / HTTP/1.1\r\nContent-Length: 0\r\n\r\n").expect("parse");
         assert_eq!(target, "/");
+    }
+
+    #[test]
+    fn content_length_bodies_parse_and_read_with_pipelined_followups() {
+        // Body arrives partly with the head (read-ahead) and partly on the
+        // socket; a pipelined GET rides behind it.
+        let raw = b"POST /v1/batch HTTP/1.1\r\nContent-Length: 11\r\n\r\nplan1\nplan2GET /after HTTP/1.1\r\n\r\n";
+        let mut reader = raw.as_slice();
+        let mut buf = RequestBuf::new();
+        let request = buf.read_request(&mut reader).expect("parse");
+        assert_eq!(request.method, "POST");
+        assert_eq!(request.content_length, 11);
+        let head_len = request.head_len;
+        let mut body = Vec::new();
+        buf.read_body(&mut reader, head_len, 11, &mut body).expect("body");
+        assert_eq!(body, b"plan1\nplan2");
+        let next = buf.read_request(&mut reader).expect("pipelined request survives the body");
+        assert_eq!(next.target, "/after");
+        assert_eq!(next.content_length, 0);
+    }
+
+    #[test]
+    fn take_body_moves_only_buffered_bytes() {
+        let raw = b"POST /p HTTP/1.1\r\nContent-Length: 8\r\n\r\nab";
+        let mut buf = RequestBuf::new();
+        let request = buf.read_request(&mut raw.as_slice()).expect("parse");
+        let head_len = request.head_len;
+        let mut body = Vec::new();
+        let moved = buf.take_body(head_len, 8, &mut body);
+        assert_eq!(moved, 2, "only the read-ahead moved; the rest comes off the socket");
+        assert_eq!(body, b"ab");
+        assert_eq!(buf.filled(), 0);
     }
 
     #[test]
@@ -678,6 +948,7 @@ mod tests {
                     content_type: "application/json",
                     keep_alive: true,
                     etag: Some(0xff),
+                    allow: None,
                     mode: BodyMode::Full,
                 },
                 b"{}\n",
@@ -704,6 +975,7 @@ mod tests {
                     content_type: "application/json",
                     keep_alive: true,
                     etag: None,
+                    allow: None,
                     mode: BodyMode::HeaderOnly,
                 },
                 b"{}\n",
@@ -722,6 +994,7 @@ mod tests {
                     content_type: "application/json",
                     keep_alive: true,
                     etag: Some(1),
+                    allow: None,
                     mode: BodyMode::Full,
                 },
                 b"{}\n",
@@ -867,6 +1140,33 @@ mod tests {
         assert_eq!(buf.filled(), 0);
     }
 
+    /// A lazy buffer polled by a non-blocking transport must stay
+    /// unallocated until the socket actually delivers a byte — the
+    /// reactor drives every just-accepted connection through
+    /// `read_request` once, and 10k parked connections must not each
+    /// pay for (and fault in) a zeroed [`MAX_HEAD`] buffer.
+    #[test]
+    fn lazy_request_buf_survives_would_block_without_allocating() {
+        struct NothingYet;
+        impl Read for NothingYet {
+            fn read(&mut self, _: &mut [u8]) -> io::Result<usize> {
+                Err(io::ErrorKind::WouldBlock.into())
+            }
+        }
+        let mut buf = RequestBuf::lazy();
+        for _ in 0..3 {
+            match buf.read_request(&mut NothingYet) {
+                Err(RequestError::Io(e)) if e.kind() == io::ErrorKind::WouldBlock => {}
+                other => panic!("expected WouldBlock, got {other:?}"),
+            }
+            assert!(buf.buf.is_empty(), "an idle connection must not hold a head buffer");
+            assert_eq!(buf.filled(), 0);
+        }
+        let raw = b"GET /later HTTP/1.1\r\n\r\n";
+        let request = buf.read_request(&mut raw.as_slice()).expect("parse");
+        assert_eq!(request.target, "/later");
+    }
+
     #[test]
     fn assemble_then_head_bytes_matches_write_response() {
         let head = ResponseHead {
@@ -874,6 +1174,7 @@ mod tests {
             content_type: "application/json",
             keep_alive: true,
             etag: Some(0xab),
+            allow: None,
             mode: BodyMode::Full,
         };
         let mut direct = Vec::new();
@@ -905,6 +1206,7 @@ mod tests {
                 content_type: "application/json",
                 keep_alive: true,
                 etag: None,
+                allow: None,
                 mode: BodyMode::Full,
             },
             2,
@@ -921,10 +1223,172 @@ mod tests {
                 content_type: "application/json",
                 keep_alive: true,
                 etag: None,
+                allow: None,
                 mode: BodyMode::Full,
             },
             2,
         );
         assert!(!String::from_utf8_lossy(buf.head_bytes()).contains("Retry-After"));
+    }
+
+    #[test]
+    fn method_not_allowed_responses_carry_allow() {
+        let mut buf = ResponseBuf::new();
+        let emit = buf.assemble(
+            &ResponseHead {
+                status: 405,
+                content_type: "application/json",
+                keep_alive: true,
+                etag: None,
+                allow: Some("GET, HEAD"),
+                mode: BodyMode::Full,
+            },
+            2,
+        );
+        assert_eq!(emit, 2);
+        let head = String::from_utf8_lossy(buf.head_bytes()).to_string();
+        assert!(head.starts_with("HTTP/1.1 405 Method Not Allowed\r\n"), "{head}");
+        assert!(head.contains("Allow: GET, HEAD\r\n"), "{head}");
+    }
+
+    #[test]
+    fn chunked_head_announces_transfer_encoding_without_a_length() {
+        let mut buf = ResponseBuf::new();
+        let head = ResponseHead {
+            status: 200,
+            content_type: "application/json",
+            keep_alive: true,
+            etag: None,
+            allow: None,
+            mode: BodyMode::Full,
+        };
+        assert!(buf.assemble_chunked(&head));
+        let text = String::from_utf8_lossy(buf.head_bytes()).to_string();
+        assert!(text.contains("Transfer-Encoding: chunked\r\n"), "{text}");
+        assert!(!text.contains("Content-Length"), "{text}");
+        assert!(text.ends_with("Connection: keep-alive\r\n\r\n"), "{text}");
+        assert!(
+            !buf.assemble_chunked(&ResponseHead { mode: BodyMode::HeaderOnly, ..head }),
+            "HEAD gets the streaming headers but no chunks"
+        );
+    }
+
+    #[test]
+    fn chunk_prefixes_are_hex_framed_and_zero_terminates() {
+        let mut out = Vec::new();
+        chunk_prefix(3, &mut out);
+        assert_eq!(out, b"3\r\n");
+        chunk_prefix(0x2f0, &mut out);
+        assert_eq!(out, b"2f0\r\n");
+        chunk_prefix(0, &mut out);
+        assert_eq!(out, b"0\r\n\r\n", "terminal chunk includes the trailer");
+    }
+
+    /// A three-part batch whose middle body is empty (an error frame with
+    /// no payload exercises the empty-piece path).
+    fn sample_batch() -> BatchBody {
+        let mut batch = BatchBody::default();
+        batch.frames.extend_from_slice(b"UQM\x01\x03\x00\x00\x00");
+        batch.header = 0..batch.frames.len();
+        for (frame, body) in
+            [(b"[f1]".as_slice(), b"body-one".as_slice()), (b"[f2]", b""), (b"[f3]", b"three")]
+        {
+            let start = batch.frames.len();
+            batch.frames.extend_from_slice(frame);
+            batch.parts.push(BatchPart { frame: start..batch.frames.len(), body: Arc::from(body) });
+        }
+        batch
+    }
+
+    fn batch_wire(head: &[u8], batch: &BatchBody) -> Vec<u8> {
+        let mut expected = head.to_vec();
+        expected.extend_from_slice(&batch.frames[batch.header.clone()]);
+        for part in &batch.parts {
+            expected.extend_from_slice(&batch.frames[part.frame.clone()]);
+            expected.extend_from_slice(&part.body);
+        }
+        expected
+    }
+
+    #[test]
+    fn batch_write_chains_every_piece_in_order() {
+        let batch = sample_batch();
+        let head = b"HTTP/1.1 200 OK\r\n\r\n";
+        assert_eq!(batch.wire_len(), 8 + 4 + 8 + 4 + 4 + 5);
+        let mut out = Vec::new();
+        let mut cursor = 0;
+        let progress = write_batch(&mut out, head, &batch, &mut cursor).expect("write");
+        assert_eq!(progress, WriteProgress::Complete);
+        assert_eq!(out, batch_wire(head, &batch));
+    }
+
+    #[test]
+    fn batch_write_resumes_mid_piece_on_wouldblock() {
+        let batch = sample_batch();
+        let head = b"H|";
+        let expected = batch_wire(head, &batch);
+        // Drive the write 3 bytes per burst so WouldBlock lands inside
+        // frames, bodies, and across piece seams.
+        let mut writer = SaturatingWriter { out: Vec::new(), burst: 3, accepted: 0 };
+        let mut cursor = 0;
+        let mut rounds = 0;
+        loop {
+            match write_batch(&mut writer, head, &batch, &mut cursor).expect("write") {
+                WriteProgress::Complete => break,
+                WriteProgress::Pending => {
+                    writer.drain();
+                    rounds += 1;
+                }
+            }
+        }
+        assert_eq!(writer.out, expected);
+        assert!(rounds >= 5, "the batch must actually have been split up");
+    }
+
+    #[test]
+    fn batch_write_gathers_large_batches_across_several_writevs() {
+        /// Records how many slices each vectored write received.
+        struct GatherWriter {
+            out: Vec<u8>,
+            slice_counts: Vec<usize>,
+        }
+        impl Write for GatherWriter {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                self.out.extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn write_vectored(&mut self, bufs: &[IoSlice<'_>]) -> io::Result<usize> {
+                self.slice_counts.push(bufs.len());
+                Ok(bufs
+                    .iter()
+                    .map(|b| {
+                        self.out.extend_from_slice(b);
+                        b.len()
+                    })
+                    .sum())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut batch = BatchBody::default();
+        batch.frames.extend_from_slice(b"UQM\x01");
+        batch.header = 0..4;
+        for i in 0..600u32 {
+            let start = batch.frames.len();
+            batch.frames.extend_from_slice(&i.to_le_bytes());
+            batch.parts.push(BatchPart {
+                frame: start..batch.frames.len(),
+                body: Arc::from(format!("body-{i}").into_bytes().into_boxed_slice()),
+            });
+        }
+        let expected = batch_wire(b"", &batch);
+        let mut writer = GatherWriter { out: Vec::new(), slice_counts: Vec::new() };
+        let mut cursor = 0;
+        let progress = write_batch(&mut writer, b"", &batch, &mut cursor).expect("write");
+        assert_eq!(progress, WriteProgress::Complete);
+        assert_eq!(writer.out, expected);
+        assert!(writer.slice_counts.len() >= 3, "1201 pieces can't fit one 512-slice writev");
+        assert!(writer.slice_counts.iter().all(|&n| n <= 512));
     }
 }

@@ -89,10 +89,20 @@ use uops_telemetry::{saturating_ns, Span};
 pub use access_log::{AccessEntry, AccessLog};
 pub use cache::{CacheStats, CachedResponse, ResponseCache};
 pub use metrics::{render_metrics, Route, ServerMetrics};
-pub use service::{Encoding, QueryService, ResponseTier, ServiceResponse, ServiceStats};
+pub use service::{
+    decode_batch_response, encode_batch_request, Encoding, QueryService, ResponseTier,
+    ServiceResponse, ServiceStats,
+};
 
 /// How long an idle keep-alive connection may sit between requests.
 const KEEP_ALIVE_TIMEOUT: Duration = Duration::from_secs(5);
+/// Default cap on request bodies (`POST /v1/batch`, `POST /v1/plan`);
+/// larger declared bodies are refused with `413` before a byte is read.
+const DEFAULT_MAX_BODY: usize = 1 << 20;
+/// `Allow` value for the read-only routes.
+const ALLOW_READ: &str = "GET, HEAD";
+/// `Allow` value for the body-carrying routes (`/v1/batch`, `/v1/plan`).
+const ALLOW_POST: &str = "POST";
 /// How long a write may sit with zero bytes accepted by the peer before
 /// the connection is evicted as a slow reader.
 const WRITE_STALL_TIMEOUT: Duration = Duration::from_secs(5);
@@ -156,28 +166,10 @@ pub fn route(service: &QueryService, method: &str, path: &str, query: &str) -> S
         Ok(pairs) => pairs,
         Err(e) => return ServiceResponse::error(400, &e.to_string()),
     };
-    let mut encoding = None;
-    let mut rest: Vec<(String, String)> = Vec::with_capacity(pairs.len());
-    for (key, value) in pairs {
-        if key == "format" {
-            // As strict as QueryPlan's own duplicate-key rejection: two
-            // `format` values must not silently last-win.
-            if encoding.is_some() {
-                return ServiceResponse::error(400, "duplicate query parameter \"format\"");
-            }
-            match Encoding::from_wire_name(&value) {
-                Some(enc) => encoding = Some(enc),
-                None => {
-                    return ServiceResponse::error(
-                        400,
-                        &format!("unknown format {value:?} (expected json|binary|xml)"),
-                    );
-                }
-            }
-        } else {
-            rest.push((key, value));
-        }
-    }
+    let (rest, encoding) = match split_format(pairs) {
+        Ok(split) => split,
+        Err(response) => return response,
+    };
     let format_given = encoding.is_some();
     let encoding = encoding.unwrap_or(Encoding::Json);
 
@@ -263,6 +255,109 @@ pub fn route(service: &QueryService, method: &str, path: &str, query: &str) -> S
     }
 }
 
+/// Splits the `format` selector out of parsed query pairs, as strict
+/// about duplicates and unknown values as `QueryPlan`'s own parser.
+fn split_format(
+    pairs: Vec<(String, String)>,
+) -> Result<(Vec<(String, String)>, Option<Encoding>), ServiceResponse> {
+    let mut encoding = None;
+    let mut rest: Vec<(String, String)> = Vec::with_capacity(pairs.len());
+    for (key, value) in pairs {
+        if key == "format" {
+            // As strict as QueryPlan's own duplicate-key rejection: two
+            // `format` values must not silently last-win.
+            if encoding.is_some() {
+                return Err(ServiceResponse::error(400, "duplicate query parameter \"format\""));
+            }
+            match Encoding::from_wire_name(&value) {
+                Some(enc) => encoding = Some(enc),
+                None => {
+                    return Err(ServiceResponse::error(
+                        400,
+                        &format!("unknown format {value:?} (expected json|binary|xml)"),
+                    ));
+                }
+            }
+        } else {
+            rest.push((key, value));
+        }
+    }
+    Ok((rest, encoding))
+}
+
+/// Parses a `/v1/query` query string into `(plan, encoding)` with the
+/// same strictness (and the same parse-stage timing) as [`route`]'s
+/// `/v1/query` arm.
+fn parse_query_plan(
+    service: &QueryService,
+    query: &str,
+) -> Result<(QueryPlan, Encoding), ServiceResponse> {
+    let pairs = match uops_db::plan::parse_query_pairs(query) {
+        Ok(pairs) => pairs,
+        Err(e) => return Err(ServiceResponse::error(400, &e.to_string())),
+    };
+    let (rest, encoding) = split_format(pairs)?;
+    let span = Span::start(&service.exec_stage_metrics().parse_ns);
+    let parsed = QueryPlan::from_pairs(rest);
+    metrics::stage_scratch::set_parse(span.finish());
+    match parsed {
+        Ok(plan) => Ok((plan, encoding.unwrap_or(Encoding::Json))),
+        Err(e) => Err(ServiceResponse::error(400, &e.to_string())),
+    }
+}
+
+/// Parses a query string that may carry **only** a `format` selector
+/// (`/v1/batch`, `/v1/plan/{fingerprint}`).
+fn format_only(query: &str, endpoint: &str) -> Result<Encoding, ServiceResponse> {
+    let pairs = match uops_db::plan::parse_query_pairs(query) {
+        Ok(pairs) => pairs,
+        Err(e) => return Err(ServiceResponse::error(400, &e.to_string())),
+    };
+    let (rest, encoding) = split_format(pairs)?;
+    if let Some((key, _)) = rest.first() {
+        return Err(ServiceResponse::error(400, &format!("unknown {endpoint} parameter {key:?}")));
+    }
+    Ok(encoding.unwrap_or(Encoding::Json))
+}
+
+/// [`respond`] with large-result streaming on `/v1/query`: the raw fast
+/// lane is probed first (streams never enter it, so a hit is always a
+/// whole body), then `/v1/query` routes through
+/// [`QueryService::query_streaming`] — a result page past the streaming
+/// threshold comes back as a [`service::StreamBody`] for chunked
+/// emission instead of a materialized body. Every other path behaves
+/// exactly like [`respond`]. Caller guarantees `method` is `GET`/`HEAD`.
+fn respond_streaming(service: &QueryService, target: &str) -> service::QueryReply {
+    use service::QueryReply;
+    if let Some(hit) = service.raw_response(target) {
+        return QueryReply::Full(hit);
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((path, query)) => (path, query),
+        None => (target, ""),
+    };
+    if path == "/v1/query" {
+        match parse_query_plan(service, query) {
+            Ok((plan, encoding)) => match service.query_streaming(&plan, encoding) {
+                QueryReply::Full(response) => {
+                    if response.status == 200 {
+                        service.raw_store(target, &response);
+                    }
+                    QueryReply::Full(response)
+                }
+                stream => stream,
+            },
+            Err(response) => QueryReply::Full(response),
+        }
+    } else {
+        let response = route(service, "GET", path, query);
+        if response.status == 200 && path != "/v1/stats" {
+            service.raw_store(target, &response);
+        }
+        QueryReply::Full(response)
+    }
+}
+
 /// Telemetry and logging options for a [`Server`]
 /// ([`Server::bind_with`], [`Server::bind_reactor`]); [`Default`]
 /// matches [`Server::bind`]: telemetry on, no access log, 5 s keep-alive
@@ -303,6 +398,11 @@ pub struct ServerOptions {
     /// on the reactor the timer wheel enforces it with the same coarse
     /// ticks as `keep_alive_timeout`.
     pub write_stall_timeout: Duration,
+    /// Cap on request bodies in bytes (`0` = the 1 MiB default). A
+    /// request declaring a larger `Content-Length` is answered `413`
+    /// without reading a byte of the body, and the connection closes
+    /// (the unread body would desynchronize keep-alive framing).
+    pub max_body: usize,
 }
 
 impl Default for ServerOptions {
@@ -315,6 +415,7 @@ impl Default for ServerOptions {
             queue_depth: 0,
             request_deadline: None,
             write_stall_timeout: WRITE_STALL_TIMEOUT,
+            max_body: DEFAULT_MAX_BODY,
         }
     }
 }
@@ -331,6 +432,7 @@ pub(crate) struct ConnState {
     pub(crate) max_inflight: usize,
     pub(crate) request_deadline: Option<Duration>,
     pub(crate) write_stall_timeout: Duration,
+    pub(crate) max_body: usize,
     /// Connections currently owned by a pool worker (running or queued).
     /// Maintained independently of telemetry so admission control works
     /// with `--no-telemetry`. The reactor tracks occupancy per shard via
@@ -515,6 +617,7 @@ impl Server {
                 max_inflight: options.max_inflight,
                 request_deadline: options.request_deadline,
                 write_stall_timeout: options.write_stall_timeout,
+                max_body: if options.max_body == 0 { DEFAULT_MAX_BODY } else { options.max_body },
                 inflight: AtomicUsize::new(0),
             }),
             local_addr,
@@ -556,8 +659,10 @@ impl Server {
             max_inflight: options.max_inflight,
             request_deadline: options.request_deadline,
             write_stall_timeout: options.write_stall_timeout,
+            max_body: if options.max_body == 0 { DEFAULT_MAX_BODY } else { options.max_body },
             inflight: AtomicUsize::new(0),
         });
+        state.metrics.shard_count.store(shards, Ordering::Relaxed);
         let wakes = (0..shards)
             .map(|_| net::sys::EventFd::new().map(Arc::new))
             .collect::<std::io::Result<Vec<_>>>()?;
@@ -570,13 +675,14 @@ impl Server {
             options.max_inflight.div_ceil(shards).max(1)
         };
         let mut shard_loops = Vec::with_capacity(shards);
-        for (listener, wake) in listeners.into_iter().zip(wakes) {
+        for (index, (listener, wake)) in listeners.into_iter().zip(wakes).enumerate() {
             shard_loops.push(net::reactor::Shard::new(
                 listener,
                 wake,
                 Arc::clone(&state),
                 Arc::clone(&shutdown),
                 conn_cap,
+                index,
             )?);
         }
         Ok(Server {
@@ -805,6 +911,19 @@ fn metrics_response(state: &ConnState, method: &str, query: &str) -> ServiceResp
     }
 }
 
+/// How one answered request's body leaves the process.
+pub(crate) enum Payload {
+    /// `response.body`, `Content-Length`-framed (the overwhelmingly
+    /// common case).
+    Single,
+    /// The caller's [`http::BatchBody`] holds the assembled multi-response
+    /// frames; emitted via [`http::write_batch`].
+    Batch,
+    /// A large result emitted as `Transfer-Encoding: chunked` in
+    /// O(chunk) memory.
+    Stream(service::StreamBody),
+}
+
 /// Everything captured from answering one request that must outlive the
 /// request-buffer borrow: the service response plus the framing and
 /// telemetry facts derived from the request.
@@ -815,14 +934,30 @@ pub(crate) struct RequestOutcome {
     pub(crate) mode: http::BodyMode,
     pub(crate) not_modified: bool,
     pub(crate) route: Route,
+    /// `Allow` header for 405 responses (which methods *would* work).
+    pub(crate) allow: Option<&'static str>,
+    pub(crate) payload: Payload,
 }
 
 /// Answers one parsed request: stage-scratch reset, route
-/// classification, `/metrics` interception, the raw-fast-lane
-/// [`respond`], conditional-request (`If-None-Match`) resolution, and
-/// `HEAD` body suppression. Shared by both transports so their responses
-/// are byte-identical by construction.
-pub(crate) fn answer(state: &ConnState, request: &http::Request<'_>) -> RequestOutcome {
+/// classification, `/metrics` interception, method dispatch (`POST` for
+/// `/v1/batch` and `/v1/plan`, `GET`/`HEAD` elsewhere — wrong methods
+/// get `405` + `Allow`), the raw-fast-lane [`respond_streaming`],
+/// conditional-request (`If-None-Match`) resolution, and `HEAD` body
+/// suppression. Shared by both transports so their responses are
+/// byte-identical by construction.
+///
+/// `body` is the request body (empty unless the request declared a
+/// `Content-Length`); `batch`/`scratch` are the caller's reusable batch
+/// assembly buffers, filled when the outcome's payload is
+/// [`Payload::Batch`].
+pub(crate) fn answer(
+    state: &ConnState,
+    request: &http::Request<'_>,
+    body: &[u8],
+    batch: &mut http::BatchBody,
+    scratch: &mut service::BatchScratch,
+) -> RequestOutcome {
     metrics::stage_scratch::reset();
     // Arm (or clear) the per-request deadline for this thread before any
     // service work runs; the service checks it between pipeline stages
@@ -830,14 +965,104 @@ pub(crate) fn answer(state: &ConnState, request: &http::Request<'_>) -> RequestO
     service::deadline::set(state.request_deadline.map(|budget| Instant::now() + budget));
     let route = Route::of(request.path());
     if state.telemetry {
-        state.metrics.request_bytes.add(request.head_len as u64);
+        state.metrics.request_bytes.add((request.head_len + body.len()) as u64);
     }
-    let response = if route == Route::Metrics {
-        // Served here, before respond(): /metrics must always be freshly
-        // rendered, never from either cache tier.
-        metrics_response(state, request.method, request.query())
-    } else {
-        respond(&state.service, request.method, request.target)
+    let method = request.method;
+    let read_method = method == "GET" || method == "HEAD";
+    let mut allow = None;
+    let mut payload = Payload::Single;
+    let response = match route {
+        Route::Metrics => {
+            if read_method {
+                // Served here, before respond(): /metrics must always be
+                // freshly rendered, never from either cache tier.
+                metrics_response(state, method, request.query())
+            } else {
+                allow = Some(ALLOW_READ);
+                ServiceResponse::error(405, "only GET and HEAD are supported")
+            }
+        }
+        Route::Batch => {
+            if method == "POST" {
+                match format_only(request.query(), "batch") {
+                    Ok(encoding) => match state.service.batch(body, encoding, batch, scratch) {
+                        Ok(()) => {
+                            payload = Payload::Batch;
+                            ServiceResponse {
+                                status: 200,
+                                content_type: service::BATCH_CONTENT_TYPE,
+                                etag: None,
+                                body: service::empty_body(),
+                                tier: ResponseTier::Untiered,
+                            }
+                        }
+                        Err(response) => response,
+                    },
+                    Err(response) => response,
+                }
+            } else {
+                allow = Some(ALLOW_POST);
+                ServiceResponse::error(405, "batch requests are POST-only")
+            }
+        }
+        Route::Plan => {
+            let path = request.path();
+            if let Some(fingerprint) = path.strip_prefix("/v1/plan/") {
+                if read_method {
+                    // Plan-handle lookups share the raw fast lane: a hot
+                    // handle is one hash + one probe + one Arc bump.
+                    match state.service.raw_response(request.target) {
+                        Some(hit) => hit,
+                        None => match format_only(request.query(), "plan") {
+                            Ok(encoding) => {
+                                let response = state.service.planned_query(fingerprint, encoding);
+                                if response.status == 200 {
+                                    state.service.raw_store(request.target, &response);
+                                }
+                                response
+                            }
+                            Err(response) => response,
+                        },
+                    }
+                } else {
+                    allow = Some(ALLOW_READ);
+                    ServiceResponse::error(405, "plan lookups are GET/HEAD-only")
+                }
+            } else if method == "POST" {
+                if !request.query().is_empty() {
+                    ServiceResponse::error(400, "plan registration takes no parameters")
+                } else {
+                    match std::str::from_utf8(body) {
+                        Ok(text) => state.service.register_plan(text),
+                        Err(_) => ServiceResponse::error(400, "plan body is not UTF-8"),
+                    }
+                }
+            } else {
+                allow = Some(ALLOW_POST);
+                ServiceResponse::error(405, "plan registration is POST-only")
+            }
+        }
+        _ => {
+            if read_method {
+                match respond_streaming(&state.service, request.target) {
+                    service::QueryReply::Full(response) => response,
+                    service::QueryReply::Stream(stream) => {
+                        let content_type = stream.content_type();
+                        payload = Payload::Stream(stream);
+                        ServiceResponse {
+                            status: 200,
+                            content_type,
+                            etag: None,
+                            body: service::empty_body(),
+                            tier: ResponseTier::Uncached,
+                        }
+                    }
+                }
+            } else {
+                allow = Some(ALLOW_READ);
+                ServiceResponse::error(405, "only GET and HEAD are supported")
+            }
+        }
     };
     let not_modified = response.status == 200
         && match (response.etag, request.if_none_match) {
@@ -845,9 +1070,8 @@ pub(crate) fn answer(state: &ConnState, request: &http::Request<'_>) -> RequestO
             _ => false,
         };
     let status = if not_modified { 304 } else { response.status };
-    let mode =
-        if request.method == "HEAD" { http::BodyMode::HeaderOnly } else { http::BodyMode::Full };
-    RequestOutcome { response, status, mode, not_modified, route }
+    let mode = if method == "HEAD" { http::BodyMode::HeaderOnly } else { http::BodyMode::Full };
+    RequestOutcome { response, status, mode, not_modified, route, allow, payload }
 }
 
 /// Telemetry for a request rejected by the parser (the transport answers
@@ -959,12 +1183,84 @@ fn write_or_evict(
         &mut cursor,
     )? {
         http::WriteProgress::Complete => Ok(response_buf.head_bytes().len() + emit),
-        http::WriteProgress::Pending => {
-            if state.telemetry {
-                state.metrics.slow_reader_evictions.inc();
-            }
-            Err(std::io::Error::from(std::io::ErrorKind::TimedOut))
+        http::WriteProgress::Pending => Err(evict_slow_reader(state)),
+    }
+}
+
+/// Counts a slow-reader eviction and returns the error that closes the
+/// connection.
+fn evict_slow_reader(state: &ConnState) -> std::io::Error {
+    if state.telemetry {
+        state.metrics.slow_reader_evictions.inc();
+    }
+    std::io::Error::from(std::io::ErrorKind::TimedOut)
+}
+
+/// [`write_or_evict`] for a batch multi-response: head + response frames
+/// leave through [`http::write_batch`]'s vectored write chain (the
+/// per-plan bodies are `Arc`s out of the cache tiers — nothing is
+/// copied into a contiguous buffer first).
+fn write_batch_or_evict(
+    writer: &mut TcpStream,
+    response_buf: &mut http::ResponseBuf,
+    head: &http::ResponseHead<'_>,
+    batch: &http::BatchBody,
+    state: &ConnState,
+) -> std::io::Result<usize> {
+    response_buf.assemble(head, batch.wire_len());
+    let mut cursor = 0;
+    match http::write_batch(
+        &mut fault::FaultStream(writer),
+        response_buf.head_bytes(),
+        batch,
+        &mut cursor,
+    )? {
+        http::WriteProgress::Complete => Ok(response_buf.head_bytes().len() + batch.wire_len()),
+        http::WriteProgress::Pending => Err(evict_slow_reader(state)),
+    }
+}
+
+/// [`write_or_evict`] for a streamed large result: chunked head first,
+/// then `chunk`-sized pieces pulled from the [`service::StreamBody`] one
+/// at a time — peak memory is O([`service::STREAM_CHUNK_BYTES`])
+/// regardless of export size. `chunk`/`chunk_head` are the connection's
+/// reusable chunk buffers.
+fn write_stream_or_evict(
+    writer: &mut TcpStream,
+    response_buf: &mut http::ResponseBuf,
+    head: &http::ResponseHead<'_>,
+    stream: &mut service::StreamBody,
+    chunk: &mut Vec<u8>,
+    chunk_head: &mut Vec<u8>,
+    state: &ConnState,
+) -> std::io::Result<usize> {
+    let emit_body = response_buf.assemble_chunked(head);
+    let mut wire = response_buf.head_bytes().len();
+    let mut cursor = 0;
+    let mut faulted = fault::FaultStream(writer);
+    match http::write_resumable(&mut faulted, response_buf.head_bytes(), &[], &mut cursor)? {
+        http::WriteProgress::Complete => {}
+        http::WriteProgress::Pending => return Err(evict_slow_reader(state)),
+    }
+    if !emit_body {
+        // HEAD: the chunked header alone announces the stream.
+        return Ok(wire);
+    }
+    while stream.next_chunk(chunk) {
+        let payload = chunk.len();
+        chunk.extend_from_slice(b"\r\n");
+        http::chunk_prefix(payload, chunk_head);
+        let mut cursor = 0;
+        match http::write_resumable(&mut faulted, chunk_head, chunk, &mut cursor)? {
+            http::WriteProgress::Complete => wire += chunk_head.len() + chunk.len(),
+            http::WriteProgress::Pending => return Err(evict_slow_reader(state)),
         }
+    }
+    http::chunk_prefix(0, chunk_head);
+    let mut cursor = 0;
+    match http::write_resumable(&mut faulted, chunk_head, &[], &mut cursor)? {
+        http::WriteProgress::Complete => Ok(wire + chunk_head.len()),
+        http::WriteProgress::Pending => Err(evict_slow_reader(state)),
     }
 }
 
@@ -974,6 +1270,15 @@ fn write_or_evict(
 /// request buffer, response scratch, and cached bodies are all reused —
 /// and telemetry keeps it that way (atomic increments and histogram
 /// buckets only; see `tests/alloc_free.rs`).
+/// What one head-parse pass decided: the request is answered (no body,
+/// or refused before the body), or its body must be read first. Split
+/// this way because the parsed [`http::Request`] borrows the request
+/// buffer that the body read needs mutably.
+enum Step {
+    Answered { outcome: RequestOutcome, head_len: usize, keep_alive: bool, started: Instant },
+    NeedsBody { head_len: usize, len: usize, keep_alive: bool, has_inm: bool, started: Instant },
+}
+
 fn serve_connection(stream: TcpStream, state: &ConnState, shutdown: &ShutdownSignal) {
     let metrics = &*state.metrics;
     let telemetry = state.telemetry;
@@ -989,10 +1294,21 @@ fn serve_connection(stream: TcpStream, state: &ConnState, shutdown: &ShutdownSig
     let mut reader = stream;
     let mut request_buf = http::RequestBuf::new();
     let mut response_buf = http::ResponseBuf::new();
+    // Reusables for the body-carrying and non-Content-Length paths; all
+    // keep their capacity across requests, so the steady state (batch
+    // included) allocates nothing.
+    let mut body_buf: Vec<u8> = Vec::new();
+    let mut batch = http::BatchBody::default();
+    let mut batch_scratch = service::BatchScratch::default();
+    let mut chunk: Vec<u8> = Vec::new();
+    let mut chunk_head: Vec<u8> = Vec::new();
+    let mut method_scratch = String::new();
+    let mut target_scratch = String::new();
+    let mut inm_scratch = String::new();
     for served in 0..MAX_REQUESTS_PER_CONNECTION {
         // The parsed request borrows `request_buf`; everything needed
         // beyond this block is captured before the borrow is released.
-        let (outcome, head_len, keep_alive, started) = {
+        let step = {
             let request = match request_buf.read_request(&mut fault::FaultStream(&mut reader)) {
                 Ok(request) => request,
                 Err(http::RequestError::ConnectionClosed) => return,
@@ -1007,6 +1323,7 @@ fn serve_connection(stream: TcpStream, state: &ConnState, shutdown: &ShutdownSig
                             content_type: body.content_type,
                             keep_alive: false,
                             etag: None,
+                            allow: None,
                             mode: http::BodyMode::Full,
                         },
                         &body.body,
@@ -1021,30 +1338,130 @@ fn serve_connection(stream: TcpStream, state: &ConnState, shutdown: &ShutdownSig
                 }
                 Err(http::RequestError::Io(_)) => return,
             };
-            // The clock starts after the request is in hand: keep-alive
-            // idle time between requests is not request latency. A
-            // graceful drain closes the connection after this response.
+            // The clock starts after the request head is in hand:
+            // keep-alive idle time between requests is not request
+            // latency. A graceful drain closes the connection after this
+            // response.
             let started = Instant::now();
             let keep_alive = request.keep_alive
                 && served + 1 < MAX_REQUESTS_PER_CONNECTION
                 && !shutdown.is_triggered();
-            (answer(state, &request), request.head_len, keep_alive, started)
+            if request.content_length == 0 {
+                let outcome = answer(state, &request, &[], &mut batch, &mut batch_scratch);
+                Step::Answered { outcome, head_len: request.head_len, keep_alive, started }
+            } else if request.content_length > state.max_body {
+                // Refused without reading the body; the unread bytes
+                // would desynchronize keep-alive framing, so close.
+                let outcome = RequestOutcome {
+                    response: ServiceResponse::error(
+                        413,
+                        "request body exceeds the configured limit",
+                    ),
+                    status: 413,
+                    mode: http::BodyMode::Full,
+                    not_modified: false,
+                    route: Route::of(request.path()),
+                    allow: None,
+                    payload: Payload::Single,
+                };
+                Step::Answered { outcome, head_len: request.head_len, keep_alive: false, started }
+            } else {
+                // The body overlaps the head buffer; stash the request
+                // facts in the connection's scratch strings so the
+                // buffer can be consumed and refilled.
+                method_scratch.clear();
+                method_scratch.push_str(request.method);
+                target_scratch.clear();
+                target_scratch.push_str(request.target);
+                inm_scratch.clear();
+                let has_inm = match request.if_none_match {
+                    Some(header) => {
+                        inm_scratch.push_str(header);
+                        true
+                    }
+                    None => false,
+                };
+                Step::NeedsBody {
+                    head_len: request.head_len,
+                    len: request.content_length,
+                    keep_alive,
+                    has_inm,
+                    started,
+                }
+            }
         };
-        request_buf.consume(head_len);
-        let RequestOutcome { response, status, mode, not_modified, route } = outcome;
-        let written = write_or_evict(
-            &mut writer,
-            &mut response_buf,
-            &http::ResponseHead {
-                status,
-                content_type: response.content_type,
-                keep_alive,
-                etag: response.etag,
-                mode,
-            },
-            &response.body,
-            state,
-        );
+        let (outcome, keep_alive, started) = match step {
+            Step::Answered { outcome, head_len, keep_alive, started } => {
+                request_buf.consume(head_len);
+                (outcome, keep_alive, started)
+            }
+            Step::NeedsBody { head_len, len, keep_alive, has_inm, started } => {
+                if request_buf
+                    .read_body(&mut fault::FaultStream(&mut reader), head_len, len, &mut body_buf)
+                    .is_err()
+                {
+                    return;
+                }
+                let request = http::Request {
+                    method: &method_scratch,
+                    target: &target_scratch,
+                    keep_alive,
+                    if_none_match: has_inm.then_some(inm_scratch.as_str()),
+                    content_length: len,
+                    head_len,
+                };
+                let outcome = answer(state, &request, &body_buf, &mut batch, &mut batch_scratch);
+                (outcome, keep_alive, started)
+            }
+        };
+        let RequestOutcome { response, status, mode, not_modified, route, allow, payload } =
+            outcome;
+        let written = match payload {
+            Payload::Single => write_or_evict(
+                &mut writer,
+                &mut response_buf,
+                &http::ResponseHead {
+                    status,
+                    content_type: response.content_type,
+                    keep_alive,
+                    etag: response.etag,
+                    allow,
+                    mode,
+                },
+                &response.body,
+                state,
+            ),
+            Payload::Batch => write_batch_or_evict(
+                &mut writer,
+                &mut response_buf,
+                &http::ResponseHead {
+                    status,
+                    content_type: response.content_type,
+                    keep_alive,
+                    etag: None,
+                    allow: None,
+                    mode,
+                },
+                &batch,
+                state,
+            ),
+            Payload::Stream(mut stream) => write_stream_or_evict(
+                &mut writer,
+                &mut response_buf,
+                &http::ResponseHead {
+                    status,
+                    content_type: response.content_type,
+                    keep_alive,
+                    etag: None,
+                    allow: None,
+                    mode,
+                },
+                &mut stream,
+                &mut chunk,
+                &mut chunk_head,
+                state,
+            ),
+        };
         let wire_bytes = match &written {
             Ok(bytes) => Some(*bytes),
             Err(_) => None,

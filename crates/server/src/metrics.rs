@@ -41,12 +41,17 @@ pub enum Route {
     Stats,
     /// `/metrics` (the exposition endpoint itself)
     Metrics,
+    /// `POST /v1/batch` (multi-plan batch protocol)
+    Batch,
+    /// `POST /v1/plan` and `GET /v1/plan/{fingerprint}` (compiled-plan
+    /// handles)
+    Plan,
     /// Anything else (404s, probes).
     Other,
 }
 
 /// Number of [`Route`] variants (the length of per-route metric arrays).
-pub const ROUTES: usize = 6;
+pub const ROUTES: usize = 8;
 
 impl Route {
     /// Classifies a request path. Allocation-free (prefix compares only).
@@ -57,7 +62,10 @@ impl Route {
             "/v1/diff" => Route::Diff,
             "/v1/stats" => Route::Stats,
             "/metrics" => Route::Metrics,
+            "/v1/batch" => Route::Batch,
+            "/v1/plan" => Route::Plan,
             _ if path.starts_with("/v1/record/") => Route::Record,
+            _ if path.starts_with("/v1/plan/") => Route::Plan,
             _ => Route::Other,
         }
     }
@@ -71,6 +79,8 @@ impl Route {
             Route::Diff => "/v1/diff",
             Route::Stats => "/v1/stats",
             Route::Metrics => "/metrics",
+            Route::Batch => "/v1/batch",
+            Route::Plan => "/v1/plan",
             Route::Other => "other",
         }
     }
@@ -86,7 +96,50 @@ const ROUTE_LABELS: [&Labels; ROUTES] = [
     &[("route", "/v1/diff")],
     &[("route", "/v1/stats")],
     &[("route", "/metrics")],
+    &[("route", "/v1/batch")],
+    &[("route", "/v1/plan")],
     &[("route", "other")],
+];
+
+/// Most reactor shards the per-shard metric arrays can distinguish;
+/// shards beyond this share the last slot (never in practice — shard
+/// counts track cores).
+pub const MAX_SHARDS: usize = 32;
+
+/// Per-shard label sets for `uops_http_shard_*` exposition.
+const SHARD_LABELS: [&Labels; MAX_SHARDS] = [
+    &[("shard", "0")],
+    &[("shard", "1")],
+    &[("shard", "2")],
+    &[("shard", "3")],
+    &[("shard", "4")],
+    &[("shard", "5")],
+    &[("shard", "6")],
+    &[("shard", "7")],
+    &[("shard", "8")],
+    &[("shard", "9")],
+    &[("shard", "10")],
+    &[("shard", "11")],
+    &[("shard", "12")],
+    &[("shard", "13")],
+    &[("shard", "14")],
+    &[("shard", "15")],
+    &[("shard", "16")],
+    &[("shard", "17")],
+    &[("shard", "18")],
+    &[("shard", "19")],
+    &[("shard", "20")],
+    &[("shard", "21")],
+    &[("shard", "22")],
+    &[("shard", "23")],
+    &[("shard", "24")],
+    &[("shard", "25")],
+    &[("shard", "26")],
+    &[("shard", "27")],
+    &[("shard", "28")],
+    &[("shard", "29")],
+    &[("shard", "30")],
+    &[("shard", "31")],
 ];
 
 const CLASS_LABELS: [&Labels; 4] =
@@ -143,6 +196,16 @@ pub struct ServerMetrics {
     pub connections_closed: Counter,
     /// Connections currently being served.
     pub connections_active: Gauge,
+    /// Live connections per reactor shard (`uops_http_shard_connections`;
+    /// reactor transport only — the pool transport tracks the aggregate
+    /// gauge above).
+    pub shard_connections: [Gauge; MAX_SHARDS],
+    /// Connections accepted per reactor shard: reads on how evenly
+    /// `SO_REUSEPORT` spreads the accept load.
+    pub shard_accepted: [Counter; MAX_SHARDS],
+    /// Reactor shards live on this server (0 on the pool transport);
+    /// bounds the per-shard series rendered by [`render_metrics`].
+    pub shard_count: std::sync::atomic::AtomicUsize,
     /// Responses by status class (2xx/3xx/4xx/5xx).
     pub status_classes: [Counter; 4],
     /// Request latency per route (read-to-written, nanoseconds).
@@ -170,6 +233,7 @@ impl ServerMetrics {
     #[must_use]
     pub fn new() -> ServerMetrics {
         const COUNTER: Counter = Counter::new();
+        const GAUGE: Gauge = Gauge::new();
         const HISTOGRAM: Histogram = Histogram::new();
         ServerMetrics {
             requests: Counter::new(),
@@ -186,6 +250,9 @@ impl ServerMetrics {
             connections_opened: Counter::new(),
             connections_closed: Counter::new(),
             connections_active: Gauge::new(),
+            shard_connections: [GAUGE; MAX_SHARDS],
+            shard_accepted: [COUNTER; MAX_SHARDS],
+            shard_count: std::sync::atomic::AtomicUsize::new(0),
             status_classes: [COUNTER; 4],
             route_latency: [HISTOGRAM; ROUTES],
             tier_latency_raw: Histogram::new(),
@@ -207,6 +274,13 @@ impl ServerMetrics {
     #[must_use]
     pub fn route_latency(&self, route: Route) -> &Histogram {
         &self.route_latency[route.index()]
+    }
+
+    /// The per-shard metric slot for `shard` (clamped so out-of-range
+    /// shard indices share the last slot instead of panicking).
+    #[must_use]
+    pub fn shard_slot(shard: usize) -> usize {
+        shard.min(MAX_SHARDS - 1)
     }
 }
 
@@ -312,6 +386,23 @@ pub fn render_metrics(service: &QueryService, metrics: &ServerMetrics) -> String
         NO_LABELS,
         &metrics.connections_active,
     );
+    let shards = metrics.shard_count.load(std::sync::atomic::Ordering::Relaxed).min(MAX_SHARDS);
+    for shard in 0..shards {
+        registry.gauge(
+            "uops_http_shard_connections",
+            "Live connections per reactor shard.",
+            SHARD_LABELS[shard],
+            &metrics.shard_connections[shard],
+        );
+    }
+    for shard in 0..shards {
+        registry.counter(
+            "uops_http_shard_accepted_total",
+            "Connections accepted per reactor shard (SO_REUSEPORT spread).",
+            SHARD_LABELS[shard],
+            &metrics.shard_accepted[shard],
+        );
+    }
     for (labels, histogram) in ROUTE_LABELS.iter().zip(metrics.route_latency.iter()) {
         registry.histogram(
             "uops_http_request_latency_nanoseconds",
@@ -587,6 +678,26 @@ mod tests {
         assert_eq!(Route::of("/metrics"), Route::Metrics);
         assert_eq!(Route::of("/nope"), Route::Other);
         assert_eq!(Route::of("/v1/record/"), Route::Record);
+        assert_eq!(Route::of("/v1/batch"), Route::Batch);
+        assert_eq!(Route::of("/v1/plan"), Route::Plan);
+        assert_eq!(Route::of("/v1/plan/00ff00ff00ff00ff"), Route::Plan);
+        assert_eq!(Route::of("/v1/batches"), Route::Other);
+    }
+
+    #[test]
+    fn shard_metrics_render_only_live_shards() {
+        let service = service();
+        let metrics = ServerMetrics::new();
+        let text = render_metrics(&service, &metrics);
+        assert!(!text.contains("uops_http_shard_connections"), "no shards, no series");
+        metrics.shard_count.store(2, std::sync::atomic::Ordering::Relaxed);
+        metrics.shard_connections[0].inc();
+        metrics.shard_accepted[1].inc();
+        let text = render_metrics(&service, &metrics);
+        assert!(text.contains("uops_http_shard_connections{shard=\"0\"} 1"), "{text}");
+        assert!(text.contains("uops_http_shard_connections{shard=\"1\"} 0"), "{text}");
+        assert!(text.contains("uops_http_shard_accepted_total{shard=\"1\"} 1"), "{text}");
+        assert!(!text.contains("shard=\"2\""), "only live shards render");
     }
 
     #[test]

@@ -11,11 +11,24 @@
 //!   until a full head parses (in place, zero copies) or the socket runs
 //!   dry; a parsed request is answered through exactly the same
 //!   fast-lane/route/telemetry path as the thread-per-connection
-//!   transport ([`crate::answer`]).
+//!   transport ([`crate::answer`]). A raw fast-lane hit short-circuits:
+//!   the write is attempted inline, and in the common case the request
+//!   completes as one read plus one write with zero timer-wheel churn.
+//! * **ReadingBody** — a head with a `Content-Length` (batch and plan
+//!   registration `POST`s) parks here until the declared body is in the
+//!   connection's body scratch; the head's facts live in per-connection
+//!   scratch strings because the parsed request borrowed the buffer the
+//!   body bytes recycle. Oversize declarations are refused with `413`
+//!   before a single body byte is read.
 //! * **Responding** — the response head is assembled once
-//!   ([`crate::http::ResponseBuf::assemble`]) and head + body drain
-//!   through [`crate::http::write_resumable`], the partial-write cursor
-//!   riding in the connection across however many writable events the
+//!   ([`crate::http::ResponseBuf::assemble`]) and the payload drains in
+//!   its shape's write path ([`Sending`]): whole bodies through
+//!   [`crate::http::write_resumable`], framed batch responses through
+//!   [`crate::http::write_batch`], and chunked exports through
+//!   [`drive_stream`] — one chunk materialized at a time, resumable
+//!   mid-chunk on `EAGAIN`, so a full-database export holds O(chunk)
+//!   memory no matter how many rows it emits. The partial-write cursor
+//!   rides in the connection across however many writable events the
 //!   response needs. While a write is pending no new request is parsed —
 //!   natural per-connection back-pressure. On completion, buffered
 //!   pipelined requests are served immediately (the loop falls back to
@@ -48,11 +61,11 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::http::{self, WriteProgress};
-use crate::metrics::{self, Route};
-use crate::service::{ResponseTier, ServiceResponse};
+use crate::metrics::{self, Route, ServerMetrics};
+use crate::service::{self, ResponseTier, ServiceResponse};
 use crate::{
-    answer, fault, record_parse_error, record_request, AcceptRescue, ConnState, RequestOutcome,
-    ShutdownSignal, MAX_REQUESTS_PER_CONNECTION, OVERLOAD_RESPONSE,
+    answer, fault, record_parse_error, record_request, AcceptRescue, ConnState, Payload,
+    RequestOutcome, ShutdownSignal, MAX_REQUESTS_PER_CONNECTION, OVERLOAD_RESPONSE,
 };
 
 use super::sys::{Epoll, EpollEvent, EventFd, EPOLLET, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
@@ -79,10 +92,26 @@ const EVENTS_PER_WAIT: usize = 256;
 enum Phase {
     /// Waiting for (or mid-way through) a request head.
     Reading,
+    /// The head parsed with a `Content-Length`; the body is being read
+    /// into the connection's body scratch before the request is answered.
+    ReadingBody,
     /// A response is assembled; head + body are draining to the socket.
     Responding,
     /// A parse error's response is draining; close when it completes.
     Draining,
+}
+
+/// What shape of response is draining to the socket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Sending {
+    /// One head + one contiguous body ([`http::write_resumable`]).
+    Whole,
+    /// A framed multi-response ([`http::write_batch`]).
+    Batch,
+    /// A chunked export pulled on demand from the connection's stream
+    /// cursor; `head_done`/`terminal` carry the framing position across
+    /// writable events.
+    Stream { head_done: bool, terminal: bool },
 }
 
 /// One connection's state between events.
@@ -101,6 +130,41 @@ struct Conn {
     body_emit: usize,
     /// Partial-write cursor into head-then-body, carried across events.
     cursor: usize,
+    /// Request-body scratch ([`Phase::ReadingBody`]); holds exactly the
+    /// declared `Content-Length` once the read completes, and keeps its
+    /// capacity across requests.
+    body_buf: Vec<u8>,
+    /// Body bytes received so far (≤ `body_len`).
+    body_read: usize,
+    /// The declared `Content-Length` being read.
+    body_len: usize,
+    /// `head_len` of the request whose body is being read (the head was
+    /// already consumed; kept for request-bytes telemetry).
+    pending_head_len: usize,
+    /// Request facts copied out of the head before the buffer is recycled
+    /// for the body read (the parsed [`http::Request`] borrows the
+    /// buffer the body bytes land in).
+    method: String,
+    target: String,
+    inm: String,
+    has_inm: bool,
+    /// Reusable framed-batch response scratch.
+    batch: http::BatchBody,
+    /// Reusable batch service-path scratch (response slots, miss queue).
+    batch_scratch: service::BatchScratch,
+    /// The in-flight chunked export, if any (`None` for `HEAD`: the
+    /// chunked header goes out with no chunks).
+    export: Option<service::StreamBody>,
+    /// Chunk payload scratch (payload + trailing CRLF).
+    chunk: Vec<u8>,
+    /// Chunk frame-prefix scratch (`{len:x}\r\n`, or the terminal
+    /// `0\r\n\r\n`); empty means "needs refill".
+    chunk_head: Vec<u8>,
+    /// Which write path drains the in-flight response.
+    sending: Sending,
+    /// Wire bytes completed so far for a streamed response (whole-body
+    /// and batch responses compute theirs from lengths at completion).
+    wire: usize,
     phase: Phase,
     /// Whether the connection survives the in-flight response.
     keep_alive: bool,
@@ -139,6 +203,159 @@ enum Drive {
     Close,
 }
 
+/// What one head parse produced: a finished answer (no body, or refused
+/// before reading one), or a `Content-Length` body still to be read.
+enum Parsed {
+    Answered { outcome: RequestOutcome, head_len: usize, keep_alive: bool, started: Instant },
+    Body { head_len: usize, len: usize, keep_alive: bool, started: Instant },
+}
+
+/// Stages an answered request on the connection: assembles the response
+/// head for the outcome's payload shape, captures telemetry, and moves
+/// the connection to [`Phase::Responding`]. Timer-wheel bookkeeping
+/// stays with the caller.
+fn stage_outcome(conn: &mut Conn, outcome: RequestOutcome, keep_alive: bool, started: Instant) {
+    let RequestOutcome { response, status, mode, not_modified, route, allow, payload } = outcome;
+    match payload {
+        Payload::Single => {
+            conn.body_emit = conn.response.assemble(
+                &http::ResponseHead {
+                    status,
+                    content_type: response.content_type,
+                    keep_alive,
+                    etag: response.etag,
+                    allow,
+                    mode,
+                },
+                response.body.len(),
+            );
+            conn.body = Some(response.body);
+            conn.sending = Sending::Whole;
+        }
+        Payload::Batch => {
+            // The framed parts are already in `conn.batch` (the answer
+            // wrote them); only the head needs assembling.
+            conn.response.assemble(
+                &http::ResponseHead {
+                    status,
+                    content_type: response.content_type,
+                    keep_alive,
+                    etag: None,
+                    allow: None,
+                    mode,
+                },
+                conn.batch.wire_len(),
+            );
+            conn.body = None;
+            conn.body_emit = 0;
+            conn.sending = Sending::Batch;
+        }
+        Payload::Stream(stream) => {
+            let emit = conn.response.assemble_chunked(&http::ResponseHead {
+                status,
+                content_type: response.content_type,
+                keep_alive,
+                etag: None,
+                allow: None,
+                mode,
+            });
+            conn.body = None;
+            conn.body_emit = 0;
+            conn.export = emit.then_some(stream);
+            conn.chunk.clear();
+            conn.chunk_head.clear();
+            conn.sending = Sending::Stream { head_done: false, terminal: false };
+        }
+    }
+    conn.wire = 0;
+    conn.tier = response.tier;
+    conn.cursor = 0;
+    conn.keep_alive = keep_alive;
+    conn.served += 1;
+    conn.started = started;
+    conn.route = route;
+    conn.status = status;
+    conn.not_modified = not_modified;
+    // The stage scratch is thread-local and this thread interleaves
+    // requests from many connections, so the timings are captured now,
+    // not at write completion.
+    conn.stages = metrics::stage_scratch::get();
+    conn.phase = Phase::Responding;
+}
+
+/// One resumable write attempt of a whole-body response ([`Sending::Whole`]).
+fn write_whole(conn: &mut Conn) -> io::Result<WriteProgress> {
+    let Conn { stream, response, body, body_emit, cursor, .. } = conn;
+    let body = body.as_deref().unwrap_or(&[]);
+    http::write_resumable(
+        &mut fault::FaultStream(stream),
+        response.head_bytes(),
+        &body[..*body_emit],
+        cursor,
+    )
+}
+
+/// Drives a chunked export to the socket: the head first, then chunk
+/// frames pulled on demand from the export cursor. At most one chunk
+/// (frame prefix + payload-with-CRLF) is materialized at a time — the
+/// bounded-memory property. `EAGAIN` parks the framing position in
+/// [`Sending::Stream`]'s flags and the byte position in `conn.cursor`;
+/// the next writable event resumes mid-chunk.
+fn drive_stream(conn: &mut Conn) -> io::Result<WriteProgress> {
+    let Conn { stream, response, cursor, chunk, chunk_head, export, wire, sending, .. } = conn;
+    let Sending::Stream { head_done, terminal } = sending else {
+        unreachable!("drive_stream on a non-stream response");
+    };
+    let mut stream = fault::FaultStream(stream);
+    if !*head_done {
+        let head = response.head_bytes();
+        match http::write_resumable(&mut stream, head, &[], cursor)? {
+            WriteProgress::Pending => return Ok(WriteProgress::Pending),
+            WriteProgress::Complete => {
+                *head_done = true;
+                *wire += head.len();
+                *cursor = 0;
+            }
+        }
+        if export.is_none() {
+            // HEAD: the chunked header goes out with no chunks.
+            return Ok(WriteProgress::Complete);
+        }
+    }
+    loop {
+        if chunk_head.is_empty() {
+            // Refill: the next chunk frame, or the terminal frame once
+            // the export runs dry.
+            if *terminal {
+                return Ok(WriteProgress::Complete);
+            }
+            let Some(body) = export.as_mut() else { return Ok(WriteProgress::Complete) };
+            if body.next_chunk(chunk) && !chunk.is_empty() {
+                let payload = chunk.len();
+                chunk.extend_from_slice(b"\r\n");
+                http::chunk_prefix(payload, chunk_head);
+            } else {
+                chunk.clear();
+                http::chunk_prefix(0, chunk_head);
+                *terminal = true;
+            }
+            *cursor = 0;
+        }
+        match http::write_resumable(&mut stream, chunk_head, chunk, cursor)? {
+            WriteProgress::Pending => return Ok(WriteProgress::Pending),
+            WriteProgress::Complete => {
+                *wire += chunk_head.len() + chunk.len();
+                chunk_head.clear();
+                chunk.clear();
+                *cursor = 0;
+                if *terminal {
+                    return Ok(WriteProgress::Complete);
+                }
+            }
+        }
+    }
+}
+
 /// One reactor shard. [`Shard::run`] consumes the shard on its own
 /// thread; all shards of a server share the [`ConnState`] (service,
 /// metrics, access log) and the shutdown signal, and own disjoint
@@ -165,6 +382,10 @@ pub(crate) struct Shard {
     /// This shard's share of `max_inflight` (0 = unlimited); beyond it,
     /// accepted connections get the static 503 and are closed.
     conn_cap: usize,
+    /// This shard's slot in the per-shard metric arrays
+    /// ([`ServerMetrics::shard_slot`]: shards past the array clamp to the
+    /// last slot).
+    slot: usize,
     /// Reserve fd for actively resetting connections under `EMFILE`.
     rescue: AcceptRescue,
     epoch: Instant,
@@ -180,6 +401,7 @@ impl Shard {
         state: Arc<ConnState>,
         shutdown: Arc<ShutdownSignal>,
         conn_cap: usize,
+        index: usize,
     ) -> io::Result<Shard> {
         let epoll = Epoll::new()?;
         epoll.add(listener.as_raw_fd(), EPOLLIN, TOKEN_LISTENER)?;
@@ -202,6 +424,7 @@ impl Shard {
             timeout_ticks,
             stall_ticks,
             conn_cap,
+            slot: ServerMetrics::shard_slot(index),
             rescue: AcceptRescue::new(),
             epoch: Instant::now(),
         })
@@ -299,6 +522,9 @@ impl Shard {
         loop {
             match fault::accept(&self.listener) {
                 Ok((stream, _)) => {
+                    if self.state.telemetry {
+                        self.state.metrics.shard_accepted[self.slot].inc();
+                    }
                     if self.conn_cap != 0 && self.live() >= self.conn_cap {
                         if self.state.telemetry {
                             self.state.metrics.overload_rejects.inc();
@@ -361,6 +587,7 @@ impl Shard {
         if self.state.telemetry {
             self.state.metrics.connections_opened.inc();
             self.state.metrics.connections_active.inc();
+            self.state.metrics.shard_connections[self.slot].inc();
         }
         let expiry_tick = now_tick + self.timeout_ticks;
         self.entries[idx].conn = Some(Conn {
@@ -370,6 +597,21 @@ impl Shard {
             body: None,
             body_emit: 0,
             cursor: 0,
+            body_buf: Vec::new(),
+            body_read: 0,
+            body_len: 0,
+            pending_head_len: 0,
+            method: String::new(),
+            target: String::new(),
+            inm: String::new(),
+            has_inm: false,
+            batch: http::BatchBody::default(),
+            batch_scratch: service::BatchScratch::default(),
+            export: None,
+            chunk: Vec::new(),
+            chunk_head: Vec::new(),
+            sending: Sending::Whole,
+            wire: 0,
             phase: Phase::Reading,
             keep_alive: true,
             served: 0,
@@ -425,13 +667,71 @@ impl Shard {
                     {
                         Ok(request) => {
                             let started = Instant::now();
-                            let outcome = answer(state, &request);
                             // A graceful drain closes the connection
                             // after this response goes out.
                             let keep_alive = request.keep_alive
                                 && conn.served + 1 < MAX_REQUESTS_PER_CONNECTION
                                 && !shutdown.is_triggered();
-                            (outcome, request.head_len, keep_alive, started)
+                            if request.content_length == 0 {
+                                let outcome = answer(
+                                    state,
+                                    &request,
+                                    &[],
+                                    &mut conn.batch,
+                                    &mut conn.batch_scratch,
+                                );
+                                Parsed::Answered {
+                                    outcome,
+                                    head_len: request.head_len,
+                                    keep_alive,
+                                    started,
+                                }
+                            } else if request.content_length > state.max_body {
+                                // Refused without reading the body; the
+                                // unread bytes would desynchronize
+                                // keep-alive framing, so close after.
+                                let outcome = RequestOutcome {
+                                    response: ServiceResponse::error(
+                                        413,
+                                        "request body exceeds the configured limit",
+                                    ),
+                                    status: 413,
+                                    mode: http::BodyMode::Full,
+                                    not_modified: false,
+                                    route: Route::of(request.path()),
+                                    allow: None,
+                                    payload: Payload::Single,
+                                };
+                                Parsed::Answered {
+                                    outcome,
+                                    head_len: request.head_len,
+                                    keep_alive: false,
+                                    started,
+                                }
+                            } else {
+                                // A body follows. The parsed request
+                                // borrows the buffer the body bytes land
+                                // in, so its facts are copied into the
+                                // connection scratch first.
+                                conn.method.clear();
+                                conn.method.push_str(request.method);
+                                conn.target.clear();
+                                conn.target.push_str(request.target);
+                                conn.inm.clear();
+                                conn.has_inm = match request.if_none_match {
+                                    Some(header) => {
+                                        conn.inm.push_str(header);
+                                        true
+                                    }
+                                    None => false,
+                                };
+                                Parsed::Body {
+                                    head_len: request.head_len,
+                                    len: request.content_length,
+                                    keep_alive,
+                                    started,
+                                }
+                            }
                         }
                         Err(http::RequestError::ConnectionClosed) => return Drive::Close,
                         Err(http::RequestError::Io(e)) if e.kind() == io::ErrorKind::WouldBlock => {
@@ -454,12 +754,14 @@ impl Shard {
                                     content_type: error.content_type,
                                     keep_alive: false,
                                     etag: None,
+                                    allow: None,
                                     mode: http::BodyMode::Full,
                                 },
                                 error.body.len(),
                             );
                             conn.body = Some(error.body);
                             conn.cursor = 0;
+                            conn.sending = Sending::Whole;
                             conn.phase = Phase::Draining;
                             // Writes get the (possibly shorter) stall
                             // allowance; schedule only if it lands
@@ -472,33 +774,103 @@ impl Shard {
                             continue;
                         }
                     };
-                    let (outcome, head_len, keep_alive, started) = parsed;
-                    conn.request.consume(head_len);
-                    let RequestOutcome { response, status, mode, not_modified, route } = outcome;
-                    conn.body_emit = conn.response.assemble(
-                        &http::ResponseHead {
-                            status,
-                            content_type: response.content_type,
-                            keep_alive,
-                            etag: response.etag,
-                            mode,
-                        },
-                        response.body.len(),
+                    match parsed {
+                        Parsed::Answered { outcome, head_len, keep_alive, started } => {
+                            conn.request.consume(head_len);
+                            stage_outcome(conn, outcome, keep_alive, started);
+                            // Raw fast-lane short circuit: a verbatim
+                            // cache hit is one preassembled head + one
+                            // `Arc` body — try the write now, before any
+                            // timer-wheel bookkeeping. In the common case
+                            // it completes in one syscall and the
+                            // connection goes straight back to Reading:
+                            // one read, one write, zero wheel churn.
+                            if conn.tier == ResponseTier::Raw && conn.sending == Sending::Whole {
+                                match write_whole(conn) {
+                                    Ok(WriteProgress::Complete) => {
+                                        let wire =
+                                            conn.response.head_bytes().len() + conn.body_emit;
+                                        record_request(
+                                            state,
+                                            conn.route,
+                                            conn.status,
+                                            conn.tier,
+                                            conn.not_modified,
+                                            Some(wire),
+                                            conn.started,
+                                            conn.stages,
+                                        );
+                                        conn.body = None;
+                                        if !conn.keep_alive {
+                                            return Drive::Close;
+                                        }
+                                        // The idle deadline moves later;
+                                        // the wheel reschedules lazily.
+                                        conn.expiry_tick = now_tick + timeout_ticks;
+                                        conn.phase = Phase::Reading;
+                                        continue;
+                                    }
+                                    Ok(WriteProgress::Pending) => {}
+                                    Err(_) => return Drive::Close,
+                                }
+                            }
+                            conn.expiry_tick = now_tick + stall_ticks;
+                            if conn.expiry_tick < conn.scheduled_tick {
+                                wheel.schedule(conn.expiry_tick, idx as u32, gen);
+                                conn.scheduled_tick = conn.expiry_tick;
+                            }
+                        }
+                        Parsed::Body { head_len, len, keep_alive, started } => {
+                            conn.body_buf.clear();
+                            conn.body_buf.reserve(len);
+                            let moved = conn.request.take_body(head_len, len, &mut conn.body_buf);
+                            conn.body_buf.resize(len, 0);
+                            conn.body_read = moved;
+                            conn.body_len = len;
+                            conn.pending_head_len = head_len;
+                            conn.keep_alive = keep_alive;
+                            conn.started = started;
+                            conn.phase = Phase::ReadingBody;
+                            // The parsed head counts as read progress.
+                            conn.expiry_tick = now_tick + timeout_ticks;
+                        }
+                    }
+                }
+                Phase::ReadingBody => {
+                    while conn.body_read < conn.body_len {
+                        match io::Read::read(
+                            &mut fault::FaultStream(&mut conn.stream),
+                            &mut conn.body_buf[conn.body_read..conn.body_len],
+                        ) {
+                            Ok(0) => return Drive::Close,
+                            Ok(n) => {
+                                conn.body_read += n;
+                                // Body bytes are read progress.
+                                conn.expiry_tick = now_tick + timeout_ticks;
+                            }
+                            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Drive::Keep,
+                            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                            Err(_) => return Drive::Close,
+                        }
+                    }
+                    let keep_alive = conn.keep_alive;
+                    let started = conn.started;
+                    let request = http::Request {
+                        method: conn.method.as_str(),
+                        target: conn.target.as_str(),
+                        keep_alive,
+                        if_none_match: conn.has_inm.then_some(conn.inm.as_str()),
+                        content_length: conn.body_len,
+                        head_len: conn.pending_head_len,
+                    };
+                    let outcome = answer(
+                        state,
+                        &request,
+                        &conn.body_buf,
+                        &mut conn.batch,
+                        &mut conn.batch_scratch,
                     );
-                    conn.tier = response.tier;
-                    conn.body = Some(response.body);
-                    conn.cursor = 0;
-                    conn.keep_alive = keep_alive;
-                    conn.served += 1;
-                    conn.started = started;
-                    conn.route = route;
-                    conn.status = status;
-                    conn.not_modified = not_modified;
-                    // The stage scratch is thread-local and this thread
-                    // interleaves requests from many connections, so the
-                    // timings are captured now, not at write completion.
-                    conn.stages = metrics::stage_scratch::get();
-                    conn.phase = Phase::Responding;
+                    stage_outcome(conn, outcome, keep_alive, started);
                     conn.expiry_tick = now_tick + stall_ticks;
                     if conn.expiry_tick < conn.scheduled_tick {
                         wheel.schedule(conn.expiry_tick, idx as u32, gen);
@@ -506,27 +878,42 @@ impl Shard {
                     }
                 }
                 Phase::Responding | Phase::Draining => {
-                    let body = conn.body.as_deref().unwrap_or(&[]);
-                    let body = &body[..conn.body_emit];
-                    let head = conn.response.head_bytes();
-                    let cursor_before = conn.cursor;
-                    match http::write_resumable(
-                        &mut fault::FaultStream(&mut conn.stream),
-                        head,
-                        body,
-                        &mut conn.cursor,
-                    ) {
+                    let progress_before = (conn.cursor, conn.wire);
+                    let result = match conn.sending {
+                        Sending::Whole => write_whole(conn),
+                        Sending::Batch => {
+                            let Conn { stream, response, batch, cursor, .. } = conn;
+                            http::write_batch(
+                                &mut fault::FaultStream(stream),
+                                response.head_bytes(),
+                                batch,
+                                cursor,
+                            )
+                        }
+                        Sending::Stream { .. } => drive_stream(conn),
+                    };
+                    match result {
                         Ok(WriteProgress::Pending) => {
                             // Only actual progress extends the stall
                             // allowance: a peer accepting zero bytes
                             // runs out the clock and is evicted.
-                            if conn.cursor > cursor_before {
+                            if (conn.cursor, conn.wire) != progress_before {
                                 conn.expiry_tick = now_tick + stall_ticks;
                             }
                             return Drive::Keep;
                         }
                         Ok(WriteProgress::Complete) => {
-                            let wire = conn.response.head_bytes().len() + conn.body_emit;
+                            let wire = match conn.sending {
+                                Sending::Whole => conn.response.head_bytes().len() + conn.body_emit,
+                                Sending::Batch => {
+                                    conn.response.head_bytes().len() + conn.batch.wire_len()
+                                }
+                                Sending::Stream { .. } => conn.wire,
+                            };
+                            conn.body = None;
+                            conn.export = None;
+                            conn.sending = Sending::Whole;
+                            conn.wire = 0;
                             if conn.phase == Phase::Draining {
                                 // Parse errors were already counted when
                                 // detected; only the wire bytes remain.
@@ -545,7 +932,6 @@ impl Shard {
                                 conn.started,
                                 conn.stages,
                             );
-                            conn.body = None;
                             if !conn.keep_alive {
                                 return Drive::Close;
                             }
@@ -575,6 +961,7 @@ impl Shard {
             if self.state.telemetry {
                 self.state.metrics.connections_closed.inc();
                 self.state.metrics.connections_active.dec();
+                self.state.metrics.shard_connections[self.slot].dec();
             }
         }
     }
@@ -582,7 +969,8 @@ impl Shard {
     /// Advances the timer wheel, evicting connections idle past their
     /// expiry tick and lazily rescheduling the rest.
     fn expire_idle(&mut self, now_tick: u64) {
-        let Shard { entries, wheel, state, free, .. } = self;
+        let Shard { entries, wheel, state, free, slot, .. } = self;
+        let slot = *slot;
         wheel.advance(now_tick, |idx, gen| {
             let entry = entries.get_mut(idx as usize)?;
             if entry.generation != gen {
@@ -603,6 +991,7 @@ impl Shard {
             if state.telemetry {
                 state.metrics.connections_closed.inc();
                 state.metrics.connections_active.dec();
+                state.metrics.shard_connections[slot].dec();
                 if stalled_write {
                     state.metrics.slow_reader_evictions.inc();
                 }
@@ -613,11 +1002,12 @@ impl Shard {
 
     /// Drops every live connection (shutdown path).
     fn close_all(&mut self) {
-        let Shard { entries, state, .. } = self;
+        let Shard { entries, state, slot, .. } = self;
         for entry in entries.iter_mut() {
             if entry.conn.take().is_some() && state.telemetry {
                 state.metrics.connections_closed.inc();
                 state.metrics.connections_active.dec();
+                state.metrics.shard_connections[*slot].dec();
             }
         }
     }

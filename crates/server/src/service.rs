@@ -16,16 +16,30 @@
 //! increments `cache.hits` and leaves `executions`/`encodes` untouched.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, OnceLock, RwLock};
 
 use uops_db::{
-    diff_uarches, fnv1a_64, BinaryEncoder, DbBackend, DbError, ExecStageMetrics, InstructionDb,
-    JsonEncoder, QueryExec, QueryPlan, ResultEncoder, Segment, XmlEncoder,
+    diff_uarches, fnv1a_64, fnv1a_64_parts, BatchExec, BinaryEncoder, DbBackend, DbError,
+    ExecStageMetrics, InstructionDb, JsonEncoder, QueryExec, QueryPlan, QueryResult, ResultEncoder,
+    Segment, XmlEncoder,
 };
 use uops_telemetry::{Counter, Histogram, Span};
 
-use crate::cache::{CacheStats, CachedResponse, ResponseCache};
+use crate::cache::{CacheStats, CachedResponse, PrehashedMap, ResponseCache};
+use crate::http::{BatchBody, BatchPart};
 use crate::metrics::stage_scratch;
+
+/// Leading magic of a TLV-shaped batch *request* body (`POST /v1/batch`);
+/// bodies without it are parsed as newline-delimited plan strings.
+pub const BATCH_REQUEST_MAGIC: [u8; 4] = *b"UQB\x01";
+
+/// Leading magic of a framed batch *response* body, followed by a `u32`
+/// LE plan count and one `u16` LE status + `u32` LE length + body frame
+/// per plan, in request order.
+pub const BATCH_RESPONSE_MAGIC: [u8; 4] = *b"UQM\x01";
+
+/// `Content-Type` of a framed batch response.
+pub const BATCH_CONTENT_TYPE: &str = "application/x-uops-batch";
 
 /// Which [`ResultEncoder`] a request selects (the `format=` parameter).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -152,7 +166,10 @@ impl ServiceResponse {
 
 /// The read-only store behind a service: a zero-copy segment (production —
 /// replicas ship the image and open it in place) or an in-memory database
-/// (tests, embedding).
+/// (tests, embedding). Cloning clones the `Arc`, not the data — a
+/// [`StreamBody`] carries one so chunk emission can re-view records after
+/// the response has left the service.
+#[derive(Clone)]
 enum Store {
     Segment(Arc<Segment>),
     Memory(Arc<InstructionDb>),
@@ -252,6 +269,13 @@ pub struct QueryService {
     shed_deadline: Counter,
     /// Requests shed because the uncached-execution ceiling was reached.
     shed_capacity: Counter,
+    /// Compiled-plan handles: fingerprint → canonical plan string
+    /// (`POST /v1/plan` registers, `GET /v1/plan/{fingerprint}` resolves).
+    plans: RwLock<PrehashedMap<Box<str>>>,
+    /// Result-page row count above which a query switches to chunked
+    /// streaming instead of a cached whole-body response; `0` disables
+    /// streaming entirely.
+    stream_threshold: AtomicUsize,
 }
 
 impl std::fmt::Debug for QueryService {
@@ -266,6 +290,14 @@ impl std::fmt::Debug for QueryService {
 /// Default number of cache shards. More shards than serving threads keeps
 /// the probability of two in-flight requests contending on one mutex low.
 const CACHE_SHARDS: usize = 16;
+
+/// Default [`QueryService::set_stream_threshold`]: result pages up to
+/// this many rows materialize and cache as today; larger pages stream.
+const DEFAULT_STREAM_THRESHOLD: usize = 4096;
+
+/// Target payload bytes per streamed chunk — the fixed working-set size
+/// of a chunked export, independent of result size.
+pub const STREAM_CHUNK_BYTES: usize = 64 * 1024;
 
 impl QueryService {
     /// Serves a zero-copy segment with a response cache of
@@ -339,7 +371,23 @@ impl QueryService {
             max_uncached_inflight: AtomicUsize::new(0),
             shed_deadline: Counter::new(),
             shed_capacity: Counter::new(),
+            plans: RwLock::new(PrehashedMap::default()),
+            stream_threshold: AtomicUsize::new(DEFAULT_STREAM_THRESHOLD),
         }
+    }
+
+    /// Sets the streaming threshold: result pages with more rows than
+    /// `rows` answer as a chunked stream in O(chunk) memory instead of a
+    /// cached whole body. `0` disables streaming (every result
+    /// materializes, the pre-streaming behavior).
+    pub fn set_stream_threshold(&self, rows: usize) {
+        self.stream_threshold.store(rows, Ordering::Relaxed);
+    }
+
+    /// The configured streaming threshold (`0` = streaming disabled).
+    #[must_use]
+    pub fn stream_threshold(&self) -> usize {
+        self.stream_threshold.load(Ordering::Relaxed)
     }
 
     /// Caps concurrent *uncached* (execute + encode) requests at `limit`;
@@ -540,12 +588,13 @@ impl QueryService {
             )
         };
         let body = format!(
-            "{{\n  \"records\": {},\n  \"cache\": {},\n  \"raw\": {},\n  \
+            "{{\n  \"records\": {},\n  \"plans\": {},\n  \"cache\": {},\n  \"raw\": {},\n  \
              \"executions\": {},\n  \"encodes\": {},\n  \
              \"stages\": {{\"parse\": {}, \"execute\": {}, \"encode\": {}}},\n  \
              \"overload\": {{\"shed_deadline\": {}, \"shed_capacity\": {}, \
              \"uncached_inflight\": {}, \"max_uncached_inflight\": {}}}\n}}\n",
             self.record_count(),
+            self.plans.read().expect("plan registry lock").len(),
             tier(&stats.cache),
             tier(&stats.raw),
             stats.executions,
@@ -696,6 +745,590 @@ impl QueryService {
             }
         }
     }
+
+    /// Registers a compiled-plan handle (`POST /v1/plan`): parses `text`
+    /// as one wire plan string, stores fingerprint → canonical plan, and
+    /// answers with both. Idempotent — re-registering the same plan (or
+    /// any spelling canonicalizing to it) is a no-op returning the same
+    /// fingerprint.
+    pub fn register_plan(&self, text: &str) -> ServiceResponse {
+        let text = text.trim_end_matches(['\r', '\n']);
+        let plan = match QueryPlan::parse(text) {
+            Ok(plan) => plan,
+            Err(DbError::Plan { message }) => return ServiceResponse::error(400, &message),
+            Err(other) => return ServiceResponse::error(400, &other.to_string()),
+        };
+        let canonical = plan.to_query_string();
+        let fingerprint = plan.fingerprint();
+        self.plans
+            .write()
+            .expect("plan registry lock")
+            .entry(fingerprint)
+            .or_insert_with(|| canonical.clone().into_boxed_str());
+        let mut body = String::with_capacity(canonical.len() + 64);
+        body.push_str("{\"fingerprint\": \"");
+        body.push_str(std::str::from_utf8(&crate::http::etag_hex(fingerprint)).expect("hex"));
+        body.push_str("\", \"plan\": ");
+        uops_db::json::escape_into(&mut body, &canonical);
+        body.push_str("}\n");
+        ServiceResponse {
+            status: 200,
+            content_type: "application/json",
+            etag: None,
+            body: Arc::from(body.into_bytes().as_slice()),
+            tier: ResponseTier::Untiered,
+        }
+    }
+
+    /// Answers `GET /v1/plan/{fingerprint}`: resolves a registered handle
+    /// and serves its query without touching the wire plan codec. The
+    /// common case — fingerprint tier already warm — is a registry read,
+    /// a piecewise cache probe, and an `Arc` bump: the third and cheapest
+    /// entry point into the fingerprint tier (no percent-decoding, no
+    /// plan parse, no canonicalization).
+    pub fn planned_query(&self, fingerprint: &str, encoding: Encoding) -> ServiceResponse {
+        let Ok(fingerprint) = u64::from_str_radix(fingerprint, 16) else {
+            return ServiceResponse::error(400, "plan fingerprint is not hex");
+        };
+        let canonical = {
+            let plans = self.plans.read().expect("plan registry lock");
+            let Some(canonical) = plans.get(&fingerprint) else {
+                return ServiceResponse::error(404, "unknown plan fingerprint");
+            };
+            let parts: [&[u8]; 4] =
+                [b"q/", encoding.wire_name().as_bytes(), b"?", canonical.as_bytes()];
+            if let Some(hit) = self.cache.get_parts(fnv1a_64_parts(&parts), &parts) {
+                return ServiceResponse::ok(hit, ResponseTier::Fingerprint);
+            }
+            canonical.to_string()
+        };
+        let plan = QueryPlan::parse(&canonical).expect("registered plans are canonical");
+        self.query(&plan, encoding)
+    }
+
+    /// Answers a `POST /v1/batch` body: N plans in, one framed
+    /// multi-response out (see [`BATCH_RESPONSE_MAGIC`] for the frame
+    /// layout). Per-plan flow: a piecewise fingerprint-tier probe on the
+    /// verbatim line (allocation-free when the line is canonical — the
+    /// warm steady state), a reprobe under the canonical spelling, then
+    /// the misses share one [`BatchExec`] pass so repeated symbols and
+    /// posting lists resolve once per batch instead of once per plan.
+    /// Each miss's encoded body enters the fingerprint tier under the
+    /// same key a single request would use, so batches and singles warm
+    /// each other. Plan-level failures (parse errors, sheds) become
+    /// per-plan status frames; only an unparseable *body* fails the batch.
+    ///
+    /// `out` and `scratch` are per-connection reusables — on the all-hits
+    /// steady state this method allocates nothing.
+    ///
+    /// # Errors
+    ///
+    /// A whole-batch error response (400): non-UTF-8 text body, malformed
+    /// TLV framing, or an empty batch.
+    pub fn batch(
+        &self,
+        body: &[u8],
+        encoding: Encoding,
+        out: &mut BatchBody,
+        scratch: &mut BatchScratch,
+    ) -> Result<(), ServiceResponse> {
+        scratch.responses.clear();
+        scratch.misses.clear();
+        scratch.requests.clear();
+        if body.starts_with(&BATCH_REQUEST_MAGIC) {
+            let mut at = BATCH_REQUEST_MAGIC.len();
+            while at < body.len() {
+                let Some(len) = read_varint(body, &mut at) else {
+                    return Err(ServiceResponse::error(400, "malformed batch varint"));
+                };
+                let Some(end) = at.checked_add(len as usize).filter(|&end| end <= body.len())
+                else {
+                    return Err(ServiceResponse::error(400, "batch plan length out of bounds"));
+                };
+                match std::str::from_utf8(&body[at..end]) {
+                    Ok(line) => self.batch_plan(line, encoding, scratch),
+                    Err(_) => push_error(scratch, 400, "plan string is not UTF-8"),
+                }
+                at = end;
+            }
+        } else {
+            let Ok(text) = std::str::from_utf8(body) else {
+                return Err(ServiceResponse::error(400, "batch body is not UTF-8"));
+            };
+            for line in text.lines() {
+                self.batch_plan(line, encoding, scratch);
+            }
+        }
+        if scratch.responses.is_empty() {
+            return Err(ServiceResponse::error(400, "empty batch"));
+        }
+        if !scratch.misses.is_empty() {
+            match self.admit_uncached() {
+                Ok(_admitted) => match &self.store {
+                    Store::Segment(segment) => {
+                        self.run_batch_misses(&segment.db(), encoding, scratch);
+                    }
+                    Store::Memory(db) => self.run_batch_misses(db.as_ref(), encoding, scratch),
+                },
+                Err(shed) => {
+                    for i in 0..scratch.misses.len() {
+                        let response = self.shed_response(shed);
+                        let index = scratch.misses[i].index;
+                        scratch.responses[index] = (503, response.body);
+                    }
+                }
+            }
+        }
+        out.clear();
+        out.frames.extend_from_slice(&BATCH_RESPONSE_MAGIC);
+        out.frames.extend_from_slice(
+            &u32::try_from(scratch.responses.len()).unwrap_or(u32::MAX).to_le_bytes(),
+        );
+        out.header = 0..out.frames.len();
+        for (status, body) in scratch.responses.drain(..) {
+            let start = out.frames.len();
+            out.frames.extend_from_slice(&status.to_le_bytes());
+            out.frames
+                .extend_from_slice(&u32::try_from(body.len()).unwrap_or(u32::MAX).to_le_bytes());
+            out.parts.push(BatchPart { frame: start..out.frames.len(), body });
+        }
+        Ok(())
+    }
+
+    /// One batch plan's cache-probe phase: piecewise probe on the
+    /// verbatim line, then parse + canonical reprobe, else queue a miss.
+    fn batch_plan(&self, line: &str, encoding: Encoding, scratch: &mut BatchScratch) {
+        let parts: [&[u8]; 4] = [b"q/", encoding.wire_name().as_bytes(), b"?", line.as_bytes()];
+        if let Some(hit) = self.cache.get_parts(fnv1a_64_parts(&parts), &parts) {
+            scratch.responses.push((200, hit.body));
+            return;
+        }
+        let plan = match QueryPlan::parse(line) {
+            Ok(plan) => plan,
+            Err(DbError::Plan { message }) => return push_error(scratch, 400, &message),
+            Err(other) => return push_error(scratch, 400, &other.to_string()),
+        };
+        // Build the cache-key string (`q/<encoding>?<canonical>`) straight
+        // into the scratch arena — no per-plan String allocations.
+        let start = scratch.requests.len();
+        scratch.requests.push_str("q/");
+        scratch.requests.push_str(encoding.wire_name());
+        scratch.requests.push('?');
+        let query_at = scratch.requests.len();
+        plan.push_query_string(&mut scratch.requests);
+        let request = start..scratch.requests.len();
+        if scratch.requests[query_at..] != *line {
+            let key = &scratch.requests.as_bytes()[request.clone()];
+            let parts: [&[u8]; 1] = [key];
+            if let Some(hit) = self.cache.get_parts(fnv1a_64_parts(&parts), &parts) {
+                scratch.requests.truncate(start);
+                scratch.responses.push((200, hit.body));
+                return;
+            }
+        }
+        let index = scratch.responses.len();
+        scratch.responses.push((0, empty_body()));
+        scratch.misses.push(BatchMiss { index, plan, request });
+    }
+
+    /// Executes every queued batch miss through one shared [`BatchExec`]
+    /// (memoized symbol resolution and posting lists), encoding each into
+    /// its own fingerprint-tier entry. Runs under the caller's admission
+    /// guard; the deadline budget is rechecked per plan so a batch that
+    /// runs out mid-way sheds its tail instead of blowing the budget.
+    fn run_batch_misses<B: DbBackend>(
+        &self,
+        db: &B,
+        encoding: Encoding,
+        scratch: &mut BatchScratch,
+    ) {
+        let mut exec = BatchExec::new(db);
+        let (mut execute_ns, mut encode_ns) = (0u64, 0u64);
+        let mut ran = 0u64;
+        for miss in &scratch.misses {
+            if deadline::exceeded() {
+                let response = self.shed_response(Shed::Deadline);
+                scratch.responses[miss.index] = (503, response.body);
+                continue;
+            }
+            ran += 1;
+            let run_at = std::time::Instant::now();
+            let result = exec.run(&miss.plan);
+            let encode_at = std::time::Instant::now();
+            let bytes = encode_result(&result, encoding);
+            execute_ns += encode_at.duration_since(run_at).as_nanos() as u64;
+            encode_ns += encode_at.elapsed().as_nanos() as u64;
+            let request = &scratch.requests[miss.request.clone()];
+            let key = fnv1a_64(request.as_bytes());
+            let cached = CachedResponse {
+                content_type: encoding.content_type(),
+                etag: key ^ self.content_hash,
+                body: Arc::from(bytes.as_slice()),
+            };
+            self.cache.insert(key, request, cached.clone());
+            scratch.responses[miss.index] = (200, cached.body);
+        }
+        // Request-level stage timings cover the whole miss loop (this is
+        // one HTTP request); the histograms get the same totals — one
+        // sample per batch, not one per plan.
+        self.executions.add(ran);
+        self.encodes.add(ran);
+        self.exec_stages.execute_ns.record(execute_ns);
+        self.exec_stages.encode_ns.record(encode_ns);
+        stage_scratch::set_execute(execute_ns);
+        stage_scratch::set_encode(encode_ns);
+    }
+
+    /// [`QueryService::query_wire`] with large-result streaming: when the
+    /// executed page exceeds the streaming threshold (and the encoding
+    /// can stream — XML groups rows and cannot), the reply is a
+    /// [`StreamBody`] whose chunks the transport emits in O(chunk)
+    /// memory. Small results, cache hits, errors, and sheds answer as
+    /// whole-body responses exactly as before; streamed replies bypass
+    /// both cache tiers and carry no ETag (their bytes are never
+    /// materialized in one place to tag).
+    pub fn query_wire_streaming(&self, query_string: &str, encoding: Encoding) -> QueryReply {
+        let span = Span::start(&self.exec_stages.parse_ns);
+        let parsed = QueryPlan::parse(query_string);
+        stage_scratch::set_parse(span.finish());
+        let plan = match parsed {
+            Ok(plan) => plan,
+            Err(DbError::Plan { message }) => {
+                return QueryReply::Full(ServiceResponse::error(400, &message));
+            }
+            Err(other) => {
+                return QueryReply::Full(ServiceResponse::error(400, &other.to_string()));
+            }
+        };
+        self.query_streaming(&plan, encoding)
+    }
+
+    /// [`QueryService::query`] with large-result streaming (the
+    /// parsed-plan twin of [`QueryService::query_wire_streaming`] — the
+    /// transport's router calls this after its own format extraction).
+    pub fn query_streaming(&self, plan: &QueryPlan, encoding: Encoding) -> QueryReply {
+        let threshold = self.stream_threshold();
+        if threshold == 0 || matches!(encoding, Encoding::Xml) {
+            return QueryReply::Full(self.query(plan, encoding));
+        }
+        let request = format!("q/{}?{}", encoding.wire_name(), plan.to_query_string());
+        let key = fnv1a_64(request.as_bytes());
+        if let Some(hit) = self.cache.get(key, &request) {
+            return QueryReply::Full(ServiceResponse::ok(hit, ResponseTier::Fingerprint));
+        }
+        let sized = match &self.store {
+            Store::Segment(segment) => self.execute_sized(&segment.db(), plan, encoding, threshold),
+            Store::Memory(db) => self.execute_sized(db.as_ref(), plan, encoding, threshold),
+        };
+        match sized {
+            Err(shed) => QueryReply::Full(self.shed_response(shed)),
+            Ok(SizedResult::Encoded(bytes)) => {
+                let cached = CachedResponse {
+                    content_type: encoding.content_type(),
+                    etag: key ^ self.content_hash,
+                    body: Arc::from(bytes.as_slice()),
+                };
+                self.cache.insert(key, &request, cached.clone());
+                QueryReply::Full(ServiceResponse::ok(cached, ResponseTier::Uncached))
+            }
+            Ok(SizedResult::Ids { total, ids }) => {
+                self.encodes.inc();
+                QueryReply::Stream(StreamBody {
+                    store: self.store.clone(),
+                    encoding,
+                    total,
+                    ids,
+                    at: 0,
+                    begun: false,
+                    done: false,
+                    json: String::new(),
+                })
+            }
+        }
+    }
+
+    /// The execute stage of the streaming path: runs the plan to matching
+    /// ids first (cheap — no views, no encoded bytes), and only
+    /// materializes + encodes when the page is small enough to cache.
+    fn execute_sized<B: DbBackend>(
+        &self,
+        db: &B,
+        plan: &QueryPlan,
+        encoding: Encoding,
+        threshold: usize,
+    ) -> Result<SizedResult, Shed> {
+        let _admitted = self.admit_uncached()?;
+        if deadline::exceeded() {
+            return Err(Shed::Deadline);
+        }
+        self.executions.inc();
+        let span = Span::start(&self.exec_stages.execute_ns);
+        let (total, ids) = QueryExec::new().run_ids(plan, db);
+        stage_scratch::set_execute(span.finish());
+        if ids.len() > threshold {
+            return Ok(SizedResult::Ids { total, ids });
+        }
+        if deadline::exceeded() {
+            return Err(Shed::Deadline);
+        }
+        self.encodes.inc();
+        let span = Span::start(&self.exec_stages.encode_ns);
+        let result = QueryResult {
+            total_matches: total,
+            rows: ids.into_iter().map(|id| db.view(id)).collect(),
+        };
+        let bytes = encode_result(&result, encoding);
+        stage_scratch::set_encode(span.finish());
+        Ok(SizedResult::Encoded(bytes))
+    }
+}
+
+/// What [`QueryService::execute_sized`] produced: encoded bytes (small
+/// page) or bare matching ids (page large enough to stream).
+enum SizedResult {
+    Encoded(Vec<u8>),
+    Ids { total: usize, ids: Vec<u32> },
+}
+
+/// A query answer that is either a whole-body [`ServiceResponse`] or a
+/// [`StreamBody`] the transport drains chunk by chunk.
+pub enum QueryReply {
+    /// Materialized response — write it like any other.
+    Full(ServiceResponse),
+    /// Large result: emit as `Transfer-Encoding: chunked` in O(chunk)
+    /// memory.
+    Stream(StreamBody),
+}
+
+/// A lazily encoded large result: the matching record ids plus an `Arc`
+/// of the store. Each [`StreamBody::next_chunk`] call re-views a window
+/// of ids into a caller-provided chunk buffer, so memory stays
+/// O([`STREAM_CHUNK_BYTES`]) no matter how large the export is. The
+/// chunk sequence concatenates to exactly the bytes the whole-body
+/// encoder would have produced (the encoders' `begin_stream` /
+/// `stream_row` / `end_stream` pieces are what `encode_rows` itself is
+/// built from).
+pub struct StreamBody {
+    store: Store,
+    encoding: Encoding,
+    total: usize,
+    ids: Vec<u32>,
+    at: usize,
+    begun: bool,
+    done: bool,
+    /// JSON streaming scratch (the JSON encoder writes `String`).
+    json: String,
+}
+
+impl std::fmt::Debug for StreamBody {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamBody")
+            .field("encoding", &self.encoding.wire_name())
+            .field("rows", &self.ids.len())
+            .field("at", &self.at)
+            .finish()
+    }
+}
+
+impl StreamBody {
+    /// MIME type of the streamed payload.
+    #[must_use]
+    pub fn content_type(&self) -> &'static str {
+        self.encoding.content_type()
+    }
+
+    /// Rows this stream will emit (the page size, after limit/offset).
+    #[must_use]
+    pub fn row_count(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Fills `chunk` (cleared first) with the next ~[`STREAM_CHUNK_BYTES`]
+    /// of payload. Returns `false` — leaving `chunk` empty — once the
+    /// stream is exhausted; the transport then writes the terminal chunk.
+    pub fn next_chunk(&mut self, chunk: &mut Vec<u8>) -> bool {
+        chunk.clear();
+        if self.done {
+            return false;
+        }
+        let StreamBody { store, encoding, total, ids, at, begun, done, json } = self;
+        match store {
+            Store::Segment(segment) => {
+                fill_chunk(&segment.db(), *encoding, *total, ids, at, begun, done, json, chunk);
+            }
+            Store::Memory(db) => {
+                fill_chunk(db.as_ref(), *encoding, *total, ids, at, begun, done, json, chunk);
+            }
+        }
+        !chunk.is_empty()
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn fill_chunk<B: DbBackend>(
+    db: &B,
+    encoding: Encoding,
+    total: usize,
+    ids: &[u32],
+    at: &mut usize,
+    begun: &mut bool,
+    done: &mut bool,
+    json: &mut String,
+    chunk: &mut Vec<u8>,
+) {
+    match encoding {
+        Encoding::Json => {
+            json.clear();
+            if !*begun {
+                JsonEncoder::begin_stream(total, json);
+                *begun = true;
+            }
+            while *at < ids.len() && json.len() < STREAM_CHUNK_BYTES {
+                let row = db.view(ids[*at]);
+                JsonEncoder::stream_row(*at, &row, json);
+                *at += 1;
+            }
+            if *at == ids.len() {
+                JsonEncoder::end_stream(ids.len(), json);
+                *done = true;
+            }
+            chunk.extend_from_slice(json.as_bytes());
+        }
+        Encoding::Binary => {
+            if !*begun {
+                BinaryEncoder::begin_stream(total, chunk);
+                *begun = true;
+            }
+            while *at < ids.len() && chunk.len() < STREAM_CHUNK_BYTES {
+                let row = db.view(ids[*at]);
+                BinaryEncoder::stream_row(&row, chunk);
+                *at += 1;
+            }
+            if *at == ids.len() {
+                *done = true;
+            }
+        }
+        Encoding::Xml => unreachable!("XML results never stream"),
+    }
+}
+
+/// One queued batch miss: where its frame goes, the parsed plan, and the
+/// canonical request string it will be cached under.
+struct BatchMiss {
+    index: usize,
+    plan: QueryPlan,
+    /// This miss's cache-key string (`q/<encoding>?<canonical>`) as a
+    /// range into [`BatchScratch::requests`].
+    request: std::ops::Range<usize>,
+}
+
+/// Per-connection reusable state for [`QueryService::batch`]: response
+/// slots, the miss queue, and the request-key arena keep their capacity
+/// across batches, so a warm batch allocates nothing.
+#[derive(Default)]
+pub struct BatchScratch {
+    responses: Vec<(u16, Arc<[u8]>)>,
+    misses: Vec<BatchMiss>,
+    /// Arena of concatenated cache-key strings, one range per miss —
+    /// one reusable buffer instead of two `String`s per missed plan.
+    requests: String,
+}
+
+impl std::fmt::Debug for BatchScratch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BatchScratch").field("responses", &self.responses.len()).finish()
+    }
+}
+
+/// The shared empty placeholder body for queued miss slots (never written
+/// to the wire — every miss slot is overwritten before assembly). Also
+/// the transport's placeholder body for batch and streamed responses,
+/// whose payloads live outside [`ServiceResponse`].
+pub(crate) fn empty_body() -> Arc<[u8]> {
+    static EMPTY: OnceLock<Arc<[u8]>> = OnceLock::new();
+    Arc::clone(EMPTY.get_or_init(|| Arc::from(&[][..])))
+}
+
+fn push_error(scratch: &mut BatchScratch, status: u16, message: &str) {
+    let response = ServiceResponse::error(status, message);
+    scratch.responses.push((response.status, response.body));
+}
+
+/// Reads one LEB128 varint from `bytes` at `*at`, advancing past it.
+fn read_varint(bytes: &[u8], at: &mut usize) -> Option<u64> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let byte = *bytes.get(*at)?;
+        *at += 1;
+        value |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Some(value);
+        }
+        shift += 7;
+        if shift >= 64 {
+            return None;
+        }
+    }
+}
+
+/// Encodes plan strings into the TLV batch-request shape
+/// ([`BATCH_REQUEST_MAGIC`] + varint-length-prefixed plan strings) — the
+/// client half of the binary batch protocol, used by tests and the
+/// bench harness.
+#[must_use]
+pub fn encode_batch_request(plans: &[&str]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(
+        BATCH_REQUEST_MAGIC.len() + plans.iter().map(|p| p.len() + 2).sum::<usize>(),
+    );
+    out.extend_from_slice(&BATCH_REQUEST_MAGIC);
+    for plan in plans {
+        let mut n = plan.len() as u64;
+        loop {
+            let byte = (n & 0x7f) as u8;
+            n >>= 7;
+            if n == 0 {
+                out.push(byte);
+                break;
+            }
+            out.push(byte | 0x80);
+        }
+        out.extend_from_slice(plan.as_bytes());
+    }
+    out
+}
+
+/// Decodes a framed batch response into `(status, body)` pairs — the
+/// client half of the response framing.
+///
+/// # Errors
+///
+/// A description of the framing violation (bad magic, truncated frame,
+/// count mismatch).
+pub fn decode_batch_response(bytes: &[u8]) -> Result<Vec<(u16, Vec<u8>)>, String> {
+    if bytes.len() < 8 || bytes[..4] != BATCH_RESPONSE_MAGIC {
+        return Err("missing batch response magic".into());
+    }
+    let count = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes")) as usize;
+    let mut out = Vec::with_capacity(count);
+    let mut at = 8;
+    for _ in 0..count {
+        let Some(frame) = bytes.get(at..at + 6) else {
+            return Err("truncated batch frame".into());
+        };
+        let status = u16::from_le_bytes(frame[..2].try_into().expect("2 bytes"));
+        let len = u32::from_le_bytes(frame[2..6].try_into().expect("4 bytes")) as usize;
+        at += 6;
+        let Some(body) = bytes.get(at..at + len) else {
+            return Err("truncated batch body".into());
+        };
+        out.push((status, body.to_vec()));
+        at += len;
+    }
+    if at != bytes.len() {
+        return Err("trailing bytes after final batch frame".into());
+    }
+    Ok(out)
 }
 
 fn encode_result<B: DbBackend>(
@@ -931,5 +1564,200 @@ mod tests {
         let ok = service.query(&cold_plan, Encoding::Json);
         assert_eq!(ok.status, 200);
         assert_eq!(service.uncached_inflight(), 0);
+    }
+
+    /// Runs a batch body through the service and the wire writer, then
+    /// decodes the framed response back into `(status, body)` pairs —
+    /// the full protocol round trip.
+    fn batch_wire(
+        service: &QueryService,
+        body: &[u8],
+        encoding: Encoding,
+    ) -> Result<Vec<(u16, Vec<u8>)>, ServiceResponse> {
+        let mut out = BatchBody::default();
+        let mut scratch = BatchScratch::default();
+        service.batch(body, encoding, &mut out, &mut scratch)?;
+        let mut wire = Vec::new();
+        let mut cursor = 0;
+        let progress = crate::http::write_batch(&mut wire, b"", &out, &mut cursor).expect("write");
+        assert!(matches!(progress, crate::http::WriteProgress::Complete));
+        assert_eq!(wire.len(), out.wire_len(), "wire_len must match emitted bytes");
+        Ok(decode_batch_response(&wire).expect("decode"))
+    }
+
+    #[test]
+    fn batch_answers_match_singles_for_every_plan_and_encoding() {
+        for encoding in [Encoding::Json, Encoding::Binary, Encoding::Xml] {
+            let service = service();
+            let plans = ["uarch=Skylake", "mnemonic=ADD&sort=latency", "port=6", "uarch=Haswell"];
+            let body = plans.join("\n");
+            let parts = batch_wire(&service, body.as_bytes(), encoding).expect("batch");
+            assert_eq!(parts.len(), plans.len());
+            for (plan, (status, bytes)) in plans.iter().zip(&parts) {
+                let single = service.query_wire(plan, encoding);
+                assert_eq!(*status, single.status, "{plan}");
+                assert_eq!(bytes.as_slice(), &single.body[..], "{plan}");
+            }
+        }
+    }
+
+    #[test]
+    fn tlv_and_text_batches_produce_identical_frames() {
+        let service = service();
+        let plans = ["uarch=Skylake", "port=6", ""];
+        let tlv = batch_wire(&service, &encode_batch_request(&plans), Encoding::Json).expect("tlv");
+        // The match-all plan ("") only survives TLV framing (a text body
+        // drops trailing empty lines), so the text side spells it out
+        // canonically-equivalent via its own request.
+        assert_eq!(tlv.len(), 3);
+        let text =
+            batch_wire(&service, b"uarch=Skylake\nport=6", Encoding::Json).expect("text batch");
+        assert_eq!(&tlv[..2], &text[..], "shared plans frame identically across encodings");
+        assert_eq!(tlv[2].0, 200);
+        assert_eq!(tlv[2].1, &service.query_wire("", Encoding::Json).body[..]);
+    }
+
+    #[test]
+    fn a_bad_plan_mid_batch_gets_its_own_400_and_spares_the_rest() {
+        let service = service();
+        let parts = batch_wire(&service, b"uarch=Skylake\nuarhc=Oops\nport=6", Encoding::Json)
+            .expect("batch");
+        assert_eq!(parts.len(), 3);
+        assert_eq!((parts[0].0, parts[1].0, parts[2].0), (200, 400, 200));
+        let message = String::from_utf8(parts[1].1.clone()).expect("utf-8");
+        assert!(message.contains("unknown query parameter"), "{message}");
+        assert_eq!(parts[0].1, &service.query_wire("uarch=Skylake", Encoding::Json).body[..]);
+    }
+
+    #[test]
+    fn whole_batch_failures_are_400_and_batches_share_the_cache_with_singles() {
+        let service = service();
+        let empty = batch_wire(&service, b"", Encoding::Json).expect_err("empty batch");
+        assert_eq!(empty.status, 400);
+        let bad_tlv = batch_wire(&service, b"UQB\x01\xff", Encoding::Json).expect_err("bad tlv");
+        assert_eq!(bad_tlv.status, 400);
+
+        // A warmed single is a batch hit; batch misses warm later singles.
+        service.query_wire("uarch=Skylake", Encoding::Json);
+        let executions = service.stats().executions;
+        batch_wire(&service, b"uarch=Skylake\nuarch=Haswell", Encoding::Json).expect("batch");
+        assert_eq!(
+            service.stats().executions,
+            executions + 1,
+            "only the unwarmed plan executed in the batch"
+        );
+        service.query_wire("uarch=Haswell", Encoding::Json);
+        assert_eq!(
+            service.stats().executions,
+            executions + 1,
+            "the single after the batch was a cache hit"
+        );
+    }
+
+    #[test]
+    fn batch_sheds_misses_but_serves_hits_under_pressure() {
+        let service = service();
+        service.query_wire("uarch=Skylake", Encoding::Json);
+        service.set_max_uncached_inflight(1);
+        service.uncached_inflight.store(1, Ordering::Relaxed);
+        let parts = batch_wire(&service, b"uarch=Skylake\nuarch=Haswell", Encoding::Json)
+            .expect("batch frames survive a shed");
+        assert_eq!(parts[0].0, 200, "the cache hit kept serving");
+        assert_eq!(parts[1].0, 503, "the miss was shed per-plan");
+    }
+
+    #[test]
+    fn plan_handles_answer_identically_to_wire_queries() {
+        let service = service();
+        let registered = service.register_plan("sort=latency&uarch=Skylake\n");
+        assert_eq!(registered.status, 200);
+        let text = String::from_utf8(registered.body.to_vec()).expect("utf-8");
+        let fingerprint = text
+            .split("\"fingerprint\": \"")
+            .nth(1)
+            .and_then(|rest| rest.split('"').next())
+            .expect("fingerprint in response")
+            .to_string();
+
+        let by_handle = service.planned_query(&fingerprint, Encoding::Json);
+        let by_wire = service.query_wire("sort=latency&uarch=Skylake", Encoding::Json);
+        assert_eq!(by_handle.status, 200);
+        assert_eq!(by_handle.body, by_wire.body, "handle and wire answers are byte-identical");
+
+        // The second handle lookup is a fingerprint-tier hit.
+        let warm = service.planned_query(&fingerprint, Encoding::Json);
+        assert_eq!(warm.tier, ResponseTier::Fingerprint);
+
+        assert_eq!(service.planned_query("abcd", Encoding::Json).status, 404);
+        assert_eq!(service.planned_query("zz!!", Encoding::Json).status, 400);
+        assert_eq!(service.register_plan("uarhc=Oops").status, 400);
+
+        // Registration is idempotent and counted in /v1/stats.
+        service.register_plan("uarch=Skylake&sort=latency");
+        let stats = String::from_utf8(service.stats_response().body.to_vec()).expect("utf-8");
+        assert!(stats.contains("\"plans\": 1"), "{stats}");
+    }
+
+    #[test]
+    fn streamed_chunks_concatenate_to_the_whole_body_encoding() {
+        for encoding in [Encoding::Json, Encoding::Binary] {
+            let warm_service = service();
+            let whole = warm_service.query_wire("uarch=Skylake", encoding);
+            assert_eq!(whole.status, 200);
+
+            // A second, cold service: the whole-body query above left a
+            // cache entry that would short-circuit the streaming path.
+            let fresh = service();
+            fresh.set_stream_threshold(1);
+            let QueryReply::Stream(mut stream) =
+                fresh.query_wire_streaming("uarch=Skylake", encoding)
+            else {
+                panic!("two rows past a threshold of one must stream");
+            };
+            assert_eq!(stream.content_type(), encoding.content_type());
+            assert_eq!(stream.row_count(), 2);
+            let mut chunk = Vec::new();
+            let mut streamed = Vec::new();
+            while stream.next_chunk(&mut chunk) {
+                assert!(!chunk.is_empty(), "chunks are never empty before exhaustion");
+                streamed.extend_from_slice(&chunk);
+            }
+            assert_eq!(
+                streamed,
+                &whole.body[..],
+                "chunk concatenation is byte-identical to the whole-body encoder ({encoding:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn streaming_stays_whole_body_for_xml_hits_and_small_results() {
+        let service = service();
+        service.set_stream_threshold(1);
+        // XML groups rows and cannot stream.
+        assert!(matches!(
+            service.query_wire_streaming("uarch=Skylake", Encoding::Xml),
+            QueryReply::Full(_)
+        ));
+        // Below the threshold: whole body (and cached).
+        assert!(matches!(
+            service.query_wire_streaming("mnemonic=ADC", Encoding::Json),
+            QueryReply::Full(_)
+        ));
+        // A fingerprint-tier hit short-circuits the streaming decision.
+        let QueryReply::Full(warm) = service.query_wire_streaming("mnemonic=ADC", Encoding::Json)
+        else {
+            panic!("hit must answer whole-body");
+        };
+        assert_eq!(warm.tier, ResponseTier::Fingerprint);
+        // Streams bypass the cache: the large page never left an entry.
+        assert!(matches!(
+            service.query_wire_streaming("uarch=Skylake", Encoding::Json),
+            QueryReply::Stream(_)
+        ));
+        assert!(matches!(
+            service.query_wire_streaming("uarch=Skylake", Encoding::Json),
+            QueryReply::Stream(_)
+        ));
     }
 }

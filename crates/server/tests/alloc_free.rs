@@ -1,9 +1,10 @@
 //! The allocation-free-hot-path proof: a counting global allocator wraps
 //! the system allocator, a real server is booted over a real socket, the
 //! connection is warmed past its setup allocations, and then hundreds of
-//! keep-alive requests — raw fast-lane hits, `HEAD`s, and `If-None-Match`
-//! revalidations — are driven through the full transport + service + db
-//! stack while the allocation counter must not move **at all**.
+//! keep-alive requests — raw fast-lane hits, `HEAD`s, `If-None-Match`
+//! revalidations, and all-hit `/v1/batch` POSTs — are driven through the
+//! full transport + service + db stack while the allocation counter must
+//! not move **at all**.
 //!
 //! Both sides of the socket live in this process, so the counter sees the
 //! client too; the client therefore reuses preallocated request/response
@@ -192,6 +193,28 @@ fn run_battery(server: Server, transport: &str) {
         "matching If-None-Match revalidates"
     );
 
+    // Batch round: two hot plans per POST. After warmup the whole batch
+    // path — bounded body read, per-plan cache probes, frame assembly,
+    // vectored response write — runs out of per-connection buffers and
+    // cache Arcs, so it must be allocation-free too.
+    let batch_body: &[u8] = b"uarch=Skylake&port=5\nuarch=Skylake";
+    let mut batch_request = format!(
+        "POST /v1/batch HTTP/1.1\r\nHost: a\r\nContent-Length: {}\r\n\r\n",
+        batch_body.len()
+    )
+    .into_bytes();
+    batch_request.extend_from_slice(batch_body);
+    let mut batch_response = Vec::new();
+    for _ in 0..3 {
+        stream.write_all(&batch_request).expect("warm batch");
+        batch_response = read_response(&mut stream, true);
+    }
+    assert!(
+        String::from_utf8_lossy(&batch_response).starts_with("HTTP/1.1 200"),
+        "batch warmup must succeed: {}",
+        String::from_utf8_lossy(&batch_response)
+    );
+
     // Telemetry is on by default — prove it is live before the measured
     // window (the scrape itself allocates, which is why it sits outside).
     let metrics_get = b"GET /metrics HTTP/1.1\r\nHost: a\r\n\r\n".to_vec();
@@ -201,7 +224,7 @@ fn run_battery(server: Server, transport: &str) {
     let requests_before = exposition_value(&metrics_before, "uops_http_requests_total");
     assert!(requests_before > 0, "telemetry must be recording:\n{metrics_before}");
 
-    let mut scratch = vec![0u8; get_response.len().max(64)];
+    let mut scratch = vec![0u8; get_response.len().max(batch_response.len()).max(64)];
 
     // ---- the measured window ----
     const ROUNDS: usize = 100;
@@ -210,6 +233,7 @@ fn run_battery(server: Server, transport: &str) {
         exchange(&mut stream, &get, &get_response, &mut scratch);
         exchange(&mut stream, &head, &head_response, &mut scratch);
         exchange(&mut stream, &conditional, &conditional_response, &mut scratch);
+        exchange(&mut stream, &batch_request, &batch_response, &mut scratch);
     }
     let after = ALLOCATIONS.load(Ordering::SeqCst);
 
@@ -220,7 +244,7 @@ fn run_battery(server: Server, transport: &str) {
          {} allocations across {} requests",
         transport,
         after - before,
-        ROUNDS * 3,
+        ROUNDS * 4,
     );
 
     // Telemetry recorded throughout the zero-allocation window: the
@@ -231,7 +255,7 @@ fn run_battery(server: Server, transport: &str) {
     let requests_after = exposition_value(&metrics_after, "uops_http_requests_total");
     assert_eq!(
         requests_after - requests_before,
-        (ROUNDS as u64) * 3 + 1,
+        (ROUNDS as u64) * 4 + 1,
         "every measured request must be counted:\n{metrics_after}"
     );
 

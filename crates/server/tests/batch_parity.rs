@@ -1,0 +1,258 @@
+//! Batch-protocol correctness: for arbitrary databases, plan sets, and
+//! encodings, a `/v1/batch` request must frame exactly the bytes that N
+//! individual queries would return — regardless of the request encoding
+//! (newline text vs TLV), the cache temperature of each plan, or errors
+//! mid-batch. Chunked exports must likewise reassemble to the exact
+//! whole-body encoding.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use uops_db::{
+    BinaryEncoder, JsonEncoder, Query, QueryExec, QueryPlan, ResultEncoder, Segment, Snapshot,
+    SortKey, VariantRecord, XmlEncoder,
+};
+use uops_serve::service::BatchScratch;
+use uops_serve::{encode_batch_request, http, Encoding, QueryService};
+
+const MNEMONICS: [&str; 6] = ["ADD", "ADC", "SHLD", "VPADDD", "DIV", "MULPS"];
+const VARIANTS: [&str; 3] = ["R64, R64", "XMM, XMM", "R64, M64"];
+const EXTENSIONS: [&str; 3] = ["BASE", "AVX2", "AES"];
+const UARCHES: [&str; 3] = ["Nehalem", "Haswell", "Skylake"];
+
+/// Malformed plan spellings the parser rejects, mixed into batches to
+/// exercise the per-frame error path.
+const BAD_PLANS: [&str; 3] = ["bogus=1", "sort=size", "limit=banana"];
+
+fn arb_record() -> impl Strategy<Value = VariantRecord> {
+    ((0usize..6, 0usize..3, 0usize..3, 0usize..3), (1u32..5, 1u16..0x100, 0.0f64..8.0)).prop_map(
+        |((m, v, e, u), (uops, mask, tp))| VariantRecord {
+            mnemonic: MNEMONICS[m].to_string(),
+            variant: VARIANTS[v].to_string(),
+            extension: EXTENSIONS[e].to_string(),
+            uarch: UARCHES[u].to_string(),
+            uop_count: uops,
+            ports: vec![(mask, uops)],
+            tp_measured: tp,
+            ..Default::default()
+        },
+    )
+}
+
+fn arb_snapshot() -> impl Strategy<Value = Snapshot> {
+    prop::collection::vec(arb_record(), 1..24).prop_map(|records| {
+        let mut snapshot = Snapshot::new("batch parity proptest");
+        snapshot.records = records;
+        snapshot
+    })
+}
+
+/// A small pool of heterogeneous plans, including the match-all plan
+/// (empty query string — only expressible in the TLV request encoding)
+/// and malformed spellings that must 400 frame-locally.
+fn arb_plan_text() -> impl Strategy<Value = String> {
+    (0usize..10, 0usize..3, 0usize..6, 0u8..10).prop_map(|(shape, u, m, port)| {
+        let uarch = UARCHES[u];
+        let mnemonic = MNEMONICS[m];
+        match shape {
+            0 => Query::new().into_plan().to_query_string(),
+            1 => Query::new().uarch(uarch).into_plan().to_query_string(),
+            2 => Query::new().uarch(uarch).uses_port(port).into_plan().to_query_string(),
+            3 => Query::new()
+                .mnemonic(mnemonic)
+                .sort_by(SortKey::Latency)
+                .into_plan()
+                .to_query_string(),
+            4 => Query::new().mnemonic_prefix("V").min_uops(2).into_plan().to_query_string(),
+            5 => Query::new()
+                .uarch(uarch)
+                .sort_by_desc(SortKey::Throughput)
+                .limit(3)
+                .into_plan()
+                .to_query_string(),
+            6 => Query::new().extension("AVX2").offset(1).limit(2).into_plan().to_query_string(),
+            7 => Query::new().uarch("Ice Lake").into_plan().to_query_string(), // unmatchable
+            _ => BAD_PLANS[(shape + m) % BAD_PLANS.len()].to_string(),
+        }
+    })
+}
+
+/// Runs one batch through the service and returns its decoded frames,
+/// round-tripping through the real wire framing (`write_batch` →
+/// `decode_batch_response`) so the framing itself is under test too.
+fn batch_frames(
+    service: &QueryService,
+    body: &[u8],
+    encoding: Encoding,
+) -> Result<Vec<(u16, Vec<u8>)>, u16> {
+    let mut out = http::BatchBody::default();
+    let mut scratch = BatchScratch::default();
+    service.batch(body, encoding, &mut out, &mut scratch).map_err(|response| response.status)?;
+    let mut wire = Vec::new();
+    let mut cursor = 0;
+    let progress = http::write_batch(&mut wire, b"", &out, &mut cursor).expect("Vec write");
+    assert!(matches!(progress, http::WriteProgress::Complete), "Vec writes never block");
+    assert_eq!(wire.len(), out.wire_len(), "wire_len must predict the emitted bytes");
+    Ok(uops_serve::decode_batch_response(&wire).expect("self-produced framing decodes"))
+}
+
+fn encode_expected(segment: &Segment, plan: &QueryPlan, encoding: Encoding) -> Vec<u8> {
+    let db = segment.db();
+    let result = QueryExec::new().run(plan, &db);
+    match encoding {
+        Encoding::Json => JsonEncoder.encode_result(&result),
+        Encoding::Binary => BinaryEncoder.encode_result(&result),
+        Encoding::Xml => XmlEncoder.encode_result(&result),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The core parity property: every batch frame is byte-identical to
+    /// the single-query response for the same plan — across arbitrary
+    /// snapshots, plan sets (valid, unmatchable, and malformed), all
+    /// three response encodings, both request encodings, and any
+    /// hit/miss mix (`warm_mask` pre-caches a subset as singles).
+    #[test]
+    fn batch_frames_match_singles_byte_for_byte(
+        snapshot in arb_snapshot(),
+        plans in prop::collection::vec(arb_plan_text(), 1..8),
+        warm_mask in 0usize..256,
+    ) {
+        let segment = Arc::new(
+            Segment::from_bytes(Segment::encode(&snapshot)).expect("valid segment"),
+        );
+        let service = QueryService::from_segment(Arc::clone(&segment), 1 << 20);
+
+        for &encoding in &[Encoding::Json, Encoding::Binary, Encoding::Xml] {
+            // Pre-warm an arbitrary subset through the single-query path
+            // so the batch sees an interleaved hit/miss mix.
+            for (i, plan) in plans.iter().enumerate() {
+                if warm_mask & (1 << (i % 8)) != 0 {
+                    let _ = service.query_wire(plan, encoding);
+                }
+            }
+            let singles: Vec<_> =
+                plans.iter().map(|plan| service.query_wire(plan, encoding)).collect();
+
+            // TLV expresses every plan, including the empty (match-all)
+            // spelling that newline framing cannot carry.
+            let plan_refs: Vec<&str> = plans.iter().map(String::as_str).collect();
+            let tlv = encode_batch_request(&plan_refs);
+            let frames = batch_frames(&service, &tlv, encoding).expect("non-empty batch");
+            prop_assert_eq!(frames.len(), plans.len());
+            for ((status, body), single) in frames.iter().zip(&singles) {
+                prop_assert_eq!(*status, single.status);
+                prop_assert_eq!(
+                    &body[..], &single.body[..],
+                    "batch frame must equal the single-query bytes",
+                );
+            }
+
+            // When every plan survives newline framing, the text request
+            // encoding must produce the identical frames.
+            if plans.iter().all(|p| !p.is_empty()) {
+                let text = plans.join("\n");
+                let text_frames =
+                    batch_frames(&service, text.as_bytes(), encoding).expect("non-empty batch");
+                prop_assert_eq!(&text_frames, &frames, "text and TLV requests must agree");
+            }
+
+            // Batch results land in the shared cache: singles issued
+            // *after* the batch return the very same bytes.
+            for (plan, (status, body)) in plans.iter().zip(&frames) {
+                let after = service.query_wire(plan, encoding);
+                prop_assert_eq!(after.status, *status);
+                prop_assert_eq!(&after.body[..], &body[..]);
+            }
+        }
+
+        // Ground-truth spot check: every 200 frame matches uncached
+        // in-process execution (not just the service's own single path).
+        for plan in &plans {
+            if let Ok(parsed) = QueryPlan::parse(plan) {
+                let response = service.query_wire(plan, Encoding::Json);
+                prop_assert_eq!(response.status, 200);
+                prop_assert_eq!(
+                    &response.body[..],
+                    &encode_expected(&segment, &parsed, Encoding::Json)[..],
+                );
+            }
+        }
+    }
+
+    /// Streamed (chunked) exports must reassemble to exactly the bytes
+    /// the whole-body encoder would have produced, for any snapshot and
+    /// streamable encoding.
+    #[test]
+    fn streamed_exports_reassemble_to_whole_body_bytes(
+        snapshot in arb_snapshot(),
+        shape in 0usize..3,
+    ) {
+        let segment = Arc::new(
+            Segment::from_bytes(Segment::encode(&snapshot)).expect("valid segment"),
+        );
+        let plan = match shape {
+            0 => Query::new().into_plan(),
+            1 => Query::new().uarch("Skylake").into_plan(),
+            _ => Query::new().sort_by(SortKey::Latency).into_plan(),
+        };
+        for &encoding in &[Encoding::Json, Encoding::Binary] {
+            let expected = encode_expected(&segment, &plan, encoding);
+            // A cold service per encoding: cached hits never stream, and
+            // this property is about the streaming path.
+            let service = QueryService::from_segment(Arc::clone(&segment), 1 << 20);
+            service.set_stream_threshold(1);
+            match service.query_streaming(&plan, encoding) {
+                uops_serve::service::QueryReply::Full(response) => {
+                    // At or below the threshold the reply stays whole-body
+                    // and already-exact.
+                    prop_assert_eq!(response.status, 200);
+                    prop_assert_eq!(&response.body[..], &expected[..]);
+                }
+                uops_serve::service::QueryReply::Stream(mut stream) => {
+                    let mut reassembled = Vec::new();
+                    let mut chunk = Vec::new();
+                    while stream.next_chunk(&mut chunk) {
+                        prop_assert!(!chunk.is_empty(), "streams never emit empty chunks");
+                        reassembled.extend_from_slice(&chunk);
+                    }
+                    prop_assert_eq!(
+                        &reassembled[..], &expected[..],
+                        "chunk concatenation must equal the whole-body encoding",
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn empty_and_malformed_batches_fail_the_envelope() {
+    let mut snapshot = Snapshot::new("batch envelope errors");
+    snapshot.records.push(VariantRecord {
+        mnemonic: "ADD".into(),
+        variant: "R64, R64".into(),
+        extension: "BASE".into(),
+        uarch: "Skylake".into(),
+        uop_count: 1,
+        ports: vec![(0b0110_0011, 1)],
+        tp_measured: 0.25,
+        ..Default::default()
+    });
+    let segment = Arc::new(Segment::from_bytes(Segment::encode(&snapshot)).expect("valid segment"));
+    let service = QueryService::from_segment(segment, 1 << 20);
+    assert_eq!(batch_frames(&service, b"", Encoding::Json), Err(400), "empty batch");
+    assert_eq!(
+        batch_frames(&service, b"UQB\x01\xff", Encoding::Json),
+        Err(400),
+        "truncated TLV frame"
+    );
+    assert_eq!(
+        batch_frames(&service, &[0xfe, 0xed, 0xfa, 0xce], Encoding::Json),
+        Err(400),
+        "non-UTF-8 non-TLV body"
+    );
+}

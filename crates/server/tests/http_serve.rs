@@ -695,3 +695,301 @@ fn sigterm_drains_gracefully_and_exits_zero() {
         Err(_) => {} // refused outright: the listener is gone
     }
 }
+
+/// One `POST` exchange with a (possibly binary) body on a fresh
+/// connection; returns (status, header block, body bytes).
+fn http_post(addr: &str, target: &str, body: &[u8]) -> (u16, String, Vec<u8>) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write!(
+        stream,
+        "POST {target} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )
+    .expect("send head");
+    stream.write_all(body).expect("send body");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read");
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .unwrap_or_else(|| panic!("no header terminator in {:?}", String::from_utf8_lossy(&raw)));
+    let head = String::from_utf8_lossy(&raw[..head_end]).to_string();
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line: {head}"));
+    (status, head, raw[head_end + 4..].to_vec())
+}
+
+/// Decodes a `Transfer-Encoding: chunked` body back into the payload
+/// bytes, asserting the framing (hex sizes, per-chunk CRLFs, terminal
+/// zero chunk) along the way.
+fn decode_chunked(body: &[u8]) -> Vec<u8> {
+    let mut out = Vec::new();
+    let mut at = 0;
+    loop {
+        let line_end = at
+            + body[at..]
+                .windows(2)
+                .position(|w| w == b"\r\n")
+                .unwrap_or_else(|| panic!("no chunk-size line at offset {at}"));
+        let size = std::str::from_utf8(&body[at..line_end])
+            .ok()
+            .and_then(|hex| usize::from_str_radix(hex.trim(), 16).ok())
+            .unwrap_or_else(|| panic!("bad chunk size {:?}", &body[at..line_end]));
+        at = line_end + 2;
+        if size == 0 {
+            assert_eq!(&body[at..], b"\r\n", "terminal chunk ends the stream");
+            return out;
+        }
+        out.extend_from_slice(&body[at..at + size]);
+        assert_eq!(&body[at + size..at + size + 2], b"\r\n", "chunk payload ends with CRLF");
+        at += size + 2;
+    }
+}
+
+#[test]
+fn batch_endpoint_matches_singles_for_text_and_tlv() {
+    let (server, _segment) = boot_server(&["--cache-mb", "4"]);
+    let plans = ["uarch=Skylake", "mnemonic=ADC&sort=throughput", "uarch=Haswell&min_uops=2"];
+
+    // Ground truth: the single-query endpoint, one request per plan.
+    let singles: Vec<Vec<u8>> = plans
+        .iter()
+        .map(|plan| {
+            let (status, body) = http_get(&server.addr, &format!("/v1/query?{plan}"));
+            assert_eq!(status, 200, "{plan}");
+            body
+        })
+        .collect();
+
+    let text_body = plans.join("\n");
+    let (status, head, body) = http_post(&server.addr, "/v1/batch", text_body.as_bytes());
+    assert_eq!(status, 200);
+    assert_eq!(
+        header_value(&head, "Content-Type"),
+        Some("application/x-uops-batch"),
+        "batch responses use the framed media type"
+    );
+    let frames = uops_serve::decode_batch_response(&body).expect("response framing");
+    assert_eq!(frames.len(), plans.len());
+    for (((frame_status, frame), single), plan) in frames.iter().zip(&singles).zip(&plans) {
+        assert_eq!(*frame_status, 200, "{plan}");
+        assert_eq!(frame, single, "batch frame must be byte-identical to the single for {plan}");
+    }
+
+    // The TLV request encoding produces the identical response bytes.
+    let tlv = uops_serve::encode_batch_request(&plans);
+    let (status, _, tlv_body) = http_post(&server.addr, "/v1/batch", &tlv);
+    assert_eq!(status, 200);
+    assert_eq!(tlv_body, body, "TLV and newline batches must frame identical bytes");
+
+    // A bad plan mid-batch gets its own 400 frame; its neighbors answer.
+    let (status, _, body) =
+        http_post(&server.addr, "/v1/batch", b"uarch=Skylake\nbogus=1\nmnemonic=ADC");
+    assert_eq!(status, 200, "per-plan errors do not fail the envelope");
+    let frames = uops_serve::decode_batch_response(&body).expect("response framing");
+    let statuses: Vec<u16> = frames.iter().map(|(s, _)| *s).collect();
+    assert_eq!(statuses, [200, 400, 200]);
+    assert!(String::from_utf8_lossy(&frames[1].1).contains("unknown query parameter"));
+
+    // An empty batch is an envelope-level 400.
+    let (status, _, _) = http_post(&server.addr, "/v1/batch", b"");
+    assert_eq!(status, 400);
+}
+
+#[test]
+fn plan_handles_round_trip_over_http() {
+    let (server, _segment) = boot_server(&["--cache-mb", "4"]);
+
+    // Register a plan; the response carries the fingerprint handle and
+    // echoes the canonical spelling.
+    let (status, _, body) = http_post(&server.addr, "/v1/plan", b"port=5&uarch=Skylake");
+    assert_eq!(status, 200);
+    let text = String::from_utf8(body).expect("registration is JSON");
+    let fingerprint = text
+        .split("\"fingerprint\": \"")
+        .nth(1)
+        .and_then(|rest| rest.split('"').next())
+        .unwrap_or_else(|| panic!("no fingerprint in {text}"))
+        .to_string();
+    assert_eq!(fingerprint.len(), 16, "64-bit hex handle: {fingerprint}");
+    assert!(text.contains("\"plan\": "), "{text}");
+
+    // The handle answers byte-identically to the wire-plan spelling, in
+    // both encodings.
+    let (_, expected_json) = http_get(&server.addr, "/v1/query?uarch=Skylake&port=5");
+    let (status, body) = http_get(&server.addr, &format!("/v1/plan/{fingerprint}"));
+    assert_eq!(status, 200);
+    assert_eq!(body, expected_json, "handle lookup == wire query (JSON)");
+    let (_, expected_binary) =
+        http_get(&server.addr, "/v1/query?uarch=Skylake&port=5&format=binary");
+    let (status, body) = http_get(&server.addr, &format!("/v1/plan/{fingerprint}?format=binary"));
+    assert_eq!(status, 200);
+    assert_eq!(body, expected_binary, "handle lookup == wire query (binary)");
+
+    // Re-registration is idempotent: same fingerprint back.
+    let (status, _, body) = http_post(&server.addr, "/v1/plan", b"uarch=Skylake&port=5");
+    assert_eq!(status, 200);
+    assert!(
+        String::from_utf8_lossy(&body).contains(&fingerprint),
+        "canonicalized re-registration returns the same handle"
+    );
+
+    // Unknown handles 404; junk handles 400.
+    let (status, _) = http_get(&server.addr, "/v1/plan/0000000000000000");
+    assert_eq!(status, 404);
+    let (status, _) = http_get(&server.addr, "/v1/plan/not-hex");
+    assert_eq!(status, 400);
+}
+
+#[test]
+fn wrong_methods_get_405_with_an_allow_header() {
+    let (server, _segment) = boot_server(&[]);
+    let cases = [
+        ("DELETE", "/v1/query?uarch=Skylake", "GET, HEAD"),
+        ("POST", "/v1/query", "GET, HEAD"),
+        ("PUT", "/v1/record/ADD", "GET, HEAD"),
+        ("GET", "/v1/batch", "POST"),
+        ("PUT", "/v1/batch", "POST"),
+        ("DELETE", "/v1/plan", "POST"),
+        ("POST", "/v1/plan/0011223344556677", "GET, HEAD"),
+        ("POST", "/metrics", "GET, HEAD"),
+        ("PATCH", "/v1/stats", "GET, HEAD"),
+    ];
+    for (method, target, allow) in cases {
+        let (status, head, _) = http_raw(
+            &server.addr,
+            &format!("{method} {target} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"),
+        );
+        assert_eq!(status, 405, "{method} {target}");
+        assert_eq!(header_value(&head, "Allow"), Some(allow), "{method} {target}");
+    }
+    // Allowed methods never carry the header.
+    let (status, head, _) = http_raw(
+        &server.addr,
+        "GET /v1/query?uarch=Skylake HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n",
+    );
+    assert_eq!(status, 200);
+    assert_eq!(header_value(&head, "Allow"), None, "200s must not advertise Allow");
+}
+
+#[test]
+fn oversize_bodies_are_refused_with_413() {
+    let (server, _segment) = boot_server(&["--max-body", "64"]);
+    let oversize = vec![b'a'; 200];
+    let (status, _, body) = http_post(&server.addr, "/v1/batch", &oversize);
+    assert_eq!(status, 413, "declared length past --max-body is refused up front");
+    assert!(String::from_utf8_lossy(&body).contains("limit"));
+
+    // Within the limit the endpoint still works.
+    let (status, _, body) = http_post(&server.addr, "/v1/batch", b"uarch=Skylake");
+    assert_eq!(status, 200);
+    let frames = uops_serve::decode_batch_response(&body).expect("response framing");
+    assert_eq!(frames.len(), 1);
+    assert_eq!(frames[0].0, 200);
+}
+
+#[test]
+fn large_results_stream_chunked_with_byte_parity() {
+    let (server, segment) = boot_server(&["--stream-threshold", "1", "--cache-mb", "4"]);
+    let segment = Arc::new(segment);
+    let db = segment.db();
+    let plan = QueryPlan::parse("uarch=Skylake").expect("plan");
+
+    // A 3-row result clears the forced 1-row threshold, so the response
+    // arrives chunked — and its concatenated chunks are byte-identical to
+    // the whole-body encoding.
+    let expected_json = JsonEncoder.encode_result(&QueryExec::new().run(&plan, &db));
+    let (status, head, body) = http_raw(
+        &server.addr,
+        "GET /v1/query?uarch=Skylake HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n",
+    );
+    assert_eq!(status, 200);
+    assert_eq!(header_value(&head, "Transfer-Encoding"), Some("chunked"), "{head}");
+    assert_eq!(header_value(&head, "Content-Length"), None, "chunked carries no length");
+    assert_eq!(header_value(&head, "ETag"), None, "streams are not revalidatable");
+    assert_eq!(decode_chunked(&body), expected_json, "chunks reassemble the exact encoding");
+
+    let expected_binary = BinaryEncoder.encode_result(&QueryExec::new().run(&plan, &db));
+    let (status, head, body) = http_raw(
+        &server.addr,
+        "GET /v1/query?uarch=Skylake&format=binary HTTP/1.1\r\nHost: t\r\n\
+         Connection: close\r\n\r\n",
+    );
+    assert_eq!(status, 200);
+    assert_eq!(header_value(&head, "Transfer-Encoding"), Some("chunked"), "{head}");
+    assert_eq!(decode_chunked(&body), expected_binary, "binary chunks reassemble too");
+
+    // HEAD of a streamed target: the chunked head, zero chunks.
+    let (status, head, body) = http_raw(
+        &server.addr,
+        "HEAD /v1/query?uarch=Skylake HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n",
+    );
+    assert_eq!(status, 200);
+    assert_eq!(header_value(&head, "Transfer-Encoding"), Some("chunked"), "{head}");
+    assert!(body.is_empty(), "HEAD must not emit chunks");
+
+    // XML always stays whole-body (its encoder needs the full document).
+    let (status, head, _) = http_raw(
+        &server.addr,
+        "GET /v1/query?uarch=Skylake&format=xml HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n",
+    );
+    assert_eq!(status, 200);
+    assert!(header_value(&head, "Content-Length").is_some(), "XML stays whole-body: {head}");
+
+    // Sub-threshold results stay whole-body even with streaming armed.
+    let (status, head, _) = http_raw(
+        &server.addr,
+        "GET /v1/record/DIV HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n",
+    );
+    assert_eq!(status, 200);
+    assert!(header_value(&head, "Content-Length").is_some(), "1-row result: {head}");
+}
+
+#[cfg(target_os = "linux")]
+#[test]
+fn reactor_streams_batches_and_exposes_per_shard_metrics() {
+    let (server, segment) = boot_server(&["--reactor=2", "--stream-threshold", "1"]);
+    let segment = Arc::new(segment);
+
+    // Chunked streaming over the reactor transport, byte-identical to the
+    // in-process encoding.
+    let plan = QueryPlan::parse("uarch=Skylake").expect("plan");
+    let expected = JsonEncoder.encode_result(&QueryExec::new().run(&plan, &segment.db()));
+    let (status, head, body) = http_raw(
+        &server.addr,
+        "GET /v1/query?uarch=Skylake HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n",
+    );
+    assert_eq!(status, 200);
+    assert_eq!(header_value(&head, "Transfer-Encoding"), Some("chunked"), "{head}");
+    assert_eq!(decode_chunked(&body), expected, "reactor chunks reassemble the encoding");
+
+    // Batch POSTs (the reactor's body-read path) work end to end.
+    let (status, _, body) = http_post(&server.addr, "/v1/batch", b"uarch=Skylake\nmnemonic=ADC");
+    assert_eq!(status, 200);
+    let frames = uops_serve::decode_batch_response(&body).expect("response framing");
+    assert_eq!(frames.iter().map(|(s, _)| *s).collect::<Vec<_>>(), [200, 200]);
+
+    // Per-shard accounting: both shards expose series, and every
+    // connection so far was attributed to one of them. (Which shard the
+    // kernel hands each connection to is its business, so only the sum is
+    // asserted.)
+    let (status, metrics) = http_get(&server.addr, "/metrics");
+    assert_eq!(status, 200);
+    let text = String::from_utf8(metrics).expect("exposition is UTF-8");
+    for shard in ["0", "1"] {
+        assert!(
+            text.contains(&format!("uops_http_shard_connections{{shard=\"{shard}\"}}")),
+            "shard {shard} gauge missing:\n{text}"
+        );
+    }
+    let accepted: u64 = ["0", "1"]
+        .iter()
+        .map(|shard| {
+            exposition_value(&text, &format!("uops_http_shard_accepted_total{{shard=\"{shard}\"}}"))
+        })
+        .sum();
+    assert!(accepted >= 3, "3 prior connections must be attributed to shards, saw {accepted}");
+}

@@ -152,7 +152,12 @@ fn big_service() -> Arc<QueryService> {
         });
     }
     let segment = Arc::new(Segment::from_bytes(Segment::encode(&s)).expect("segment"));
-    Arc::new(QueryService::from_segment(segment, 1 << 20))
+    let service = Arc::new(QueryService::from_segment(segment, 1 << 20));
+    // Whole-body responses only: this test stalls the single
+    // `Content-Length` write path (the chunked-export stall has its own
+    // coverage), so streaming is disabled.
+    service.set_stream_threshold(0);
+    service
 }
 
 #[test]

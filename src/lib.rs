@@ -159,7 +159,18 @@
 //! edge-triggered epoll event loop per acceptor shard with
 //! `SO_REUSEPORT` kernel load-balancing and timer-wheel idle eviction,
 //! parking ~10k idle connections in bounded memory (see
-//! `crates/server/README.md` for shard guidance). Overload control is
+//! `crates/server/README.md` for shard guidance). Three protocol
+//! extensions amortize or bound per-request costs: `POST /v1/batch`
+//! carries N plans per request (newline-delimited or TLV body, one
+//! framed multi-response out — misses share one batch-executor pass and
+//! a 1000-plan batch is CI-gated at ≤ 10% of the per-plan cost of
+//! sequential singles), results past `--stream-threshold` rows leave as
+//! `Transfer-Encoding: chunked` in bounded ~64 KiB chunks (a
+//! tens-of-MB export grows server RSS ≤ 16 MiB on both transports),
+//! and `POST /v1/plan` registers a compiled plan behind a fingerprint
+//! handle that `GET /v1/plan/{fingerprint}` executes without re-parsing
+//! the wire codec (the "Protocol" section of the server README has the
+//! framing details). Overload control is
 //! opt-in per mechanism: `--max-inflight` / `--queue-depth` reject
 //! excess connections with a preformatted `503` + `Retry-After` instead
 //! of queueing them invisibly, `--max-uncached` / `--deadline-ms` shed
@@ -194,6 +205,19 @@
 //! let warm = service.query(&plan, Encoding::Json); // cache hit
 //! assert_eq!(cold.body, warm.body);
 //! assert_eq!(service.stats().executions, 1, "the hit skipped the executor");
+//!
+//! // Batch: N plans in one call — misses share one executor pass, and
+//! // every frame lands in the same cache singles probe. Over HTTP this
+//! // is `POST /v1/batch`; uops_info::serve::encode_batch_request /
+//! // decode_batch_response are the client-side codec.
+//! let mut frames = uops_info::serve::http::BatchBody::default();
+//! let mut scratch = uops_info::serve::service::BatchScratch::default();
+//! service
+//!     .batch(b"uarch=Skylake&port=6\nuarch=Skylake", Encoding::Json, &mut frames, &mut scratch)
+//!     .map_err(|response| format!("batch rejected: {}", response.status))?;
+//! assert_eq!(frames.parts.len(), 2, "one frame per plan, in request order");
+//! assert_eq!(&*frames.parts[0].body, &*warm.body, "frame 0 was the cache hit");
+//! assert_eq!(service.stats().executions, 2, "only the new plan executed");
 //!
 //! // HTTP on top: Server::bind("127.0.0.1:8080", service, 4)?.run()
 //! // then `curl 'http://127.0.0.1:8080/v1/query?uarch=Skylake&port=6'`.
