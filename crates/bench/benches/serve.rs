@@ -28,6 +28,12 @@
 //!   re-measured through the crowd. Gates: reactor pipelined throughput
 //!   ≥ 1.0x the threaded transport; idle-connection memory (process RSS
 //!   delta / connections) bounded at 16 KiB per parked connection.
+//! * **swap**: zero-downtime generation swaps — sustained pipelined
+//!   cache-hit load while a swapper thread alternates two live segments
+//!   under a monotone generation counter (each swap flushes both cache
+//!   tiers). Gates: the load spans ≥ 5 swaps with **zero** failed
+//!   requests, and throughput under swaps keeps ≥ 0.8x of the unloaded
+//!   rate.
 //! * **batch**: `/v1/batch` amortization — 1000 cold plans in one framed
 //!   POST against the same 1000 as lockstep singles down one keep-alive
 //!   connection. Gate: amortized ns/plan in the batch ≤ 0.10x the
@@ -219,6 +225,72 @@ fn http_pipelined_rps(addr: &std::net::SocketAddr, request: &[u8], batches: usiz
         "pipelined frames must match the learned response"
     );
     (batches * PIPELINE_BATCH) as f64 / elapsed
+}
+
+/// Pipelined keep-alive throughput that parses every response frame
+/// individually (status line + `Content-Length`) instead of byte-matching
+/// a learned frame, so it stays correct while the served bytes change
+/// under it mid-run — the body *and* the content-derived ETag legitimately
+/// differ across a generation swap. Returns (requests/s, non-200 count).
+fn http_pipelined_parsed_rps(
+    addr: &std::net::SocketAddr,
+    request: &[u8],
+    batches: usize,
+) -> (f64, u64) {
+    fn read_parsed(reader: &mut BufReader<TcpStream>) -> bool {
+        let mut ok = false;
+        let mut content_length = 0usize;
+        let mut line = String::new();
+        loop {
+            line.clear();
+            reader.read_line(&mut line).expect("read header");
+            let trimmed = line.trim_end();
+            if trimmed.is_empty() {
+                break;
+            }
+            if let Some(status) = trimmed.strip_prefix("HTTP/1.1 ") {
+                ok = status.starts_with("200");
+            }
+            if let Some(v) = trimmed.strip_prefix("Content-Length: ") {
+                content_length = v.parse().expect("length");
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        reader.read_exact(&mut body).expect("read body");
+        black_box(body);
+        ok
+    }
+    let connect = || {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).expect("nodelay");
+        let writer = stream.try_clone().expect("clone");
+        (writer, BufReader::new(stream))
+    };
+    let (mut writer, mut reader) = connect();
+    // Warm every cache tier (twice: the first exchange may promote).
+    let mut failures = 0u64;
+    for _ in 0..2 {
+        writer.write_all(request).expect("warm send");
+        read_parsed(&mut reader);
+    }
+    let batch_request = request.repeat(PIPELINE_BATCH);
+    let mut served_on_connection = 2usize;
+    let t = Instant::now();
+    for _ in 0..batches {
+        if served_on_connection + PIPELINE_BATCH > REQUESTS_PER_CONNECTION {
+            (writer, reader) = connect();
+            served_on_connection = 0;
+        }
+        writer.write_all(&batch_request).expect("send batch");
+        for _ in 0..PIPELINE_BATCH {
+            if !read_parsed(&mut reader) {
+                failures += 1;
+            }
+        }
+        served_on_connection += PIPELINE_BATCH;
+    }
+    let elapsed = t.elapsed().as_secs_f64();
+    ((batches * PIPELINE_BATCH) as f64 / elapsed, failures)
 }
 
 /// An in-bench emulation of the **PR 4 baseline transport**, serving the
@@ -788,6 +860,117 @@ fn bench_serve(c: &mut Criterion) {
          = {overload_ratio:.2}x (with {total_sheds} sheds)"
     );
 
+    // ---- swap: zero-downtime generation swaps under sustained load ----
+    //
+    // The live data plane's contract: swapping the served generation must
+    // never fail a request (in-flight requests finish on their pinned
+    // generation; new ones land on the next) and must not meaningfully
+    // dent cache-hit throughput, even though every swap flushes both
+    // cache tiers and forces one uncached re-execution + re-promotion of
+    // the hot target. Two segments alternate under a monotone generation
+    // counter while the frame-parsing pipelined client measures through
+    // the churn.
+    let swap_service = Arc::new(QueryService::from_segment(Arc::clone(&segment), 64 << 20));
+    let swap_server = Server::bind("127.0.0.1:0", Arc::clone(&swap_service), 2).expect("bind swap");
+    let swap_addr = swap_server.local_addr();
+    let swap_handle = swap_server.spawn();
+
+    // The alternate generation: the bench segment plus one extra record
+    // that matches the hot plan, so each swap visibly changes the served
+    // bytes (body and ETag) instead of republishing identical content.
+    let mut swap_extra = Snapshot::new("swap bench extra");
+    swap_extra.records.push(VariantRecord {
+        mnemonic: "SWAPMARK".into(),
+        variant: "R64, R64".into(),
+        extension: "BASE".into(),
+        uarch: "Skylake".into(),
+        uop_count: 2,
+        ports: vec![(0b0010_0000, 2)],
+        tp_measured: 0.5,
+        ..Default::default()
+    });
+    let swap_extra_segment =
+        Segment::from_bytes(Segment::encode(&swap_extra)).expect("swap extra segment");
+    let swap_alt_segment = Arc::new(Segment::merge_refs(&[&segment, &swap_extra_segment]));
+
+    const SWAP_ROUNDS: usize = 3;
+    let mut swap_unloaded_rounds = [0.0f64; SWAP_ROUNDS];
+    let mut swap_unloaded_failures = 0u64;
+    for round in &mut swap_unloaded_rounds {
+        let (rps, failed) = http_pipelined_parsed_rps(&swap_addr, &hot_request, 40);
+        *round = rps;
+        swap_unloaded_failures += failed;
+    }
+
+    let stop_swapper = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let swapper = {
+        let service = Arc::clone(&swap_service);
+        let base = Arc::clone(&segment);
+        let alt = Arc::clone(&swap_alt_segment);
+        let stop = Arc::clone(&stop_swapper);
+        std::thread::Builder::new()
+            .name("swap-bench-swapper".into())
+            .spawn(move || {
+                let mut id = service.generation();
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    id += 1;
+                    let next = if id % 2 == 0 { &alt } else { &base };
+                    assert!(
+                        service.swap_segment(Arc::clone(next), id),
+                        "monotone generation ids must always swap"
+                    );
+                    // ~100 swaps/s: each swap flushes both cache tiers,
+                    // so the cadence sets how much of the load re-runs
+                    // uncached. Aggressive for a data plane (real
+                    // publishes are seconds apart) yet long enough that
+                    // cache hits dominate between flushes.
+                    std::thread::sleep(std::time::Duration::from_millis(10));
+                }
+            })
+            .expect("spawn swapper")
+    };
+
+    // Keep measuring until the load has demonstrably spanned >= 5 swaps
+    // (the generation counter is the witness), with at least the same
+    // number of rounds as the unloaded side.
+    let swap_load_start_generation = swap_service.generation();
+    let mut swap_loaded_rounds: Vec<f64> = Vec::new();
+    let mut swap_failures = 0u64;
+    while swap_loaded_rounds.len() < SWAP_ROUNDS
+        || swap_service.generation() - swap_load_start_generation < 5
+    {
+        assert!(
+            swap_loaded_rounds.len() < 40,
+            "the swapper must advance generations while the load runs"
+        );
+        let (rps, failed) = http_pipelined_parsed_rps(&swap_addr, &hot_request, 40);
+        swap_loaded_rounds.push(rps);
+        swap_failures += failed;
+    }
+    let swaps_under_load = swap_service.generation() - swap_load_start_generation;
+    stop_swapper.store(true, std::sync::atomic::Ordering::Relaxed);
+    swapper.join().expect("swapper");
+    swap_handle.shutdown();
+
+    let swap_unloaded_rps = best(&swap_unloaded_rounds);
+    let swap_loaded_rps = best(&swap_loaded_rounds);
+    let swap_retention = swap_loaded_rps / swap_unloaded_rps.max(1.0);
+    let swap_gate =
+        swap_retention.max(best_paired_ratio(&swap_loaded_rounds, &swap_unloaded_rounds));
+    assert_eq!(swap_unloaded_failures, 0, "the unloaded swap rounds must not fail a request");
+    assert_eq!(
+        swap_failures, 0,
+        "generation swaps must never fail a request (zero-downtime contract)"
+    );
+    assert!(swaps_under_load >= 5, "the load must span >= 5 swaps, saw {swaps_under_load}");
+    assert!(
+        swap_gate >= 0.8,
+        "swapping generations must keep >= 0.8x of unloaded cache-hit throughput \
+         ({swap_loaded_rps:.0} req/s across {swaps_under_load} swaps vs \
+         {swap_unloaded_rps:.0} req/s unloaded = {swap_retention:.2}x; best paired round \
+         {swap_gate:.2}x)"
+    );
+
     // ---- batch protocol: amortized multi-plan execution ----
     //
     // 1000 distinct (all-miss) plans, narrow enough that execution is
@@ -1012,6 +1195,9 @@ fn bench_serve(c: &mut Criterion) {
          overload: cached tier {overload_loaded_rps:.0} req/s under flood vs \
          {overload_unloaded_rps:.0} req/s unloaded = {overload_ratio:.2}x while shedding \
          {total_sheds} uncached requests\n\
+         swap:    {swap_loaded_rps:.0} req/s across {swaps_under_load} generation swaps vs \
+         {swap_unloaded_rps:.0} req/s unloaded = {swap_retention:.2}x with {swap_failures} \
+         failed requests\n\
          batch:   {batch_ns_per_plan:.0} ns/plan batched vs {single_ns_per_plan:.0} ns/plan \
          single ({batch_amortization:.3}x amortized over {BATCH_PLANS} plans)"
     );
@@ -1039,6 +1225,11 @@ fn bench_serve(c: &mut Criterion) {
          \"requests_per_sec_cached_under_flood\": {overload_loaded_rps:.0},\n    \
          \"cached_tier_retention\": {overload_ratio:.2},\n    \
          \"requests_shed\": {total_sheds}\n  }},\n  \
+         \"swap\": {{\n    \"swaps_under_load\": {swaps_under_load},\n    \
+         \"requests_per_sec_unloaded\": {swap_unloaded_rps:.0},\n    \
+         \"requests_per_sec_under_swaps\": {swap_loaded_rps:.0},\n    \
+         \"throughput_retention\": {swap_retention:.2},\n    \
+         \"failed_requests\": {swap_failures}\n  }},\n  \
          \"batch\": {{\n    \"plans\": {BATCH_PLANS},\n    \
          \"single_ns_per_plan\": {single_ns_per_plan:.0},\n    \
          \"batch_ns_per_plan\": {batch_ns_per_plan:.0},\n    \

@@ -134,6 +134,7 @@ pub mod plan;
 pub mod query;
 pub mod segment;
 pub mod snapshot;
+pub mod store;
 pub mod xml;
 
 pub use backend::{DbBackend, IdList, RecordView, Views};
@@ -150,3 +151,4 @@ pub use snapshot::{
     notation_to_ports, ports_to_notation, LatencyEdge, Snapshot, UarchMeta, VariantRecord,
     SCHEMA_VERSION,
 };
+pub use store::{Generation, GenerationStore, RealStoreIo, RecoveredStore, StoreIo, SwapCell};

@@ -223,6 +223,15 @@ impl Segment {
         Segment::from_bytes(bytes).expect("merge emits valid segments")
     }
 
+    /// [`Segment::merge`] over borrowed segments — same semantics, for
+    /// callers holding `Arc<Segment>` handles they cannot move out of.
+    #[must_use]
+    pub fn merge_refs(parts: &[&Segment]) -> Segment {
+        let dbs: Vec<SegmentDb<'_>> = parts.iter().map(|s| s.db()).collect();
+        let bytes = merge::merge_images(&dbs);
+        Segment::from_bytes(bytes).expect("merge emits valid segments")
+    }
+
     /// The zero-copy reader for this image. Cheap: the validated parse is
     /// cached at construction, so this neither re-validates nor touches
     /// the record columns.

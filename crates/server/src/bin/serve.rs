@@ -5,7 +5,19 @@
 //!       [--mmap] [--no-telemetry] [--access-log[=EVERY_N]] [--reactor[=SHARDS]]
 //!       [--max-inflight N] [--queue-depth N] [--deadline-ms MS] [--max-uncached N]
 //!       [--drain-timeout SECS] [--max-body BYTES] [--stream-threshold ROWS]
+//!       [--data-dir DIR]
 //! ```
+//!
+//! `--data-dir DIR` turns on the live data plane: `DIR` holds a durable
+//! generation store (`MANIFEST` + `gen-N.seg` images). If `DIR` already
+//! holds a manifest, boot recovers the newest valid generation from it
+//! (quarantining corrupt images) and serves *that* instead of
+//! `--segment`; a fresh `DIR` is bootstrapped with the `--segment`
+//! contents as generation 1. With a data dir configured,
+//! `POST /v1/ingest` accepts segment images or TLV snapshots, merges
+//! them with the live generation, durably publishes, and swaps with zero
+//! downtime. Without the flag, ingest answers `403` and the store is
+//! immutable.
 //!
 //! `--max-body BYTES` caps `POST` request bodies (`/v1/batch`, `/v1/plan`
 //! registration); oversize declarations are refused with `413` before a
@@ -46,7 +58,7 @@
 use std::io::Write as _;
 use std::sync::Arc;
 
-use uops_db::{DbBackend as _, Segment};
+use uops_db::{DbBackend as _, GenerationStore, Segment};
 use uops_pool::Parallelism;
 use uops_serve::args::CliSpec;
 use uops_serve::{AccessLog, QueryService, Server, ServerOptions};
@@ -56,7 +68,7 @@ const SPEC: CliSpec<'static> = CliSpec {
     usage: "serve --segment PATH [--addr HOST:PORT] [--threads N] [--cache-mb MB] [--mmap] \
             [--no-telemetry] [--access-log[=EVERY_N]] [--reactor[=SHARDS]] [--max-inflight N] \
             [--queue-depth N] [--deadline-ms MS] [--max-uncached N] [--drain-timeout SECS] \
-            [--max-body BYTES] [--stream-threshold ROWS]",
+            [--max-body BYTES] [--stream-threshold ROWS] [--data-dir DIR]",
     value_flags: &[
         "--segment",
         "--addr",
@@ -69,6 +81,7 @@ const SPEC: CliSpec<'static> = CliSpec {
         "--drain-timeout",
         "--max-body",
         "--stream-threshold",
+        "--data-dir",
     ],
     bool_flags: &["--mmap", "--no-telemetry"],
     optional_value_flags: &["--access-log", "--reactor"],
@@ -188,12 +201,64 @@ fn main() {
         Err(message) => SPEC.exit_usage(&message),
     };
 
-    let records = segment.db().len();
-    let service = Arc::new(QueryService::from_segment(segment, cache_mb << 20));
+    let mut records = segment.db().len();
+    let service = Arc::new(QueryService::from_segment(Arc::clone(&segment), cache_mb << 20));
     service.set_max_uncached_inflight(max_uncached);
     if let Some(rows) = stream_threshold {
         service.set_stream_threshold(rows);
     }
+
+    // Scripted filesystem faults for chaos testing (fault-injection
+    // builds only): UOPS_FAULT_FS=op:action,... arms the publish path
+    // before the store touches disk.
+    #[cfg(feature = "fault-injection")]
+    if let Ok(spec) = std::env::var("UOPS_FAULT_FS") {
+        uops_serve::fault::inject_fs_from_env(&spec);
+    }
+
+    let ingest_store = match args.value("--data-dir") {
+        None => None,
+        Some(dir) => {
+            let store = match GenerationStore::open(dir) {
+                Ok(Some(recovered)) => {
+                    service.note_quarantined(recovered.quarantined);
+                    if recovered.quarantined > 0 {
+                        eprintln!(
+                            "serve: quarantined {} invalid segment image(s) in {dir}",
+                            recovered.quarantined
+                        );
+                    }
+                    recovered.store
+                }
+                Ok(None) => {
+                    match GenerationStore::bootstrap(
+                        dir,
+                        Arc::clone(&segment),
+                        uops_serve::fault::store_io(),
+                    ) {
+                        Ok(store) => store,
+                        Err(e) => {
+                            eprintln!("serve: cannot bootstrap data dir {dir}: {e}");
+                            std::process::exit(1);
+                        }
+                    }
+                }
+                Err(e) => {
+                    eprintln!("serve: cannot open data dir {dir}: {e}");
+                    std::process::exit(1);
+                }
+            };
+            let generation = store.current();
+            // Serve the recovered (or freshly bootstrapped) generation,
+            // not the raw --segment bytes: after a crash the data dir is
+            // the durable truth.
+            service.swap_segment(Arc::clone(&generation.segment), generation.id);
+            records = generation.segment.len();
+            Some(Arc::new(store))
+        }
+    };
+    let boot_generation = service.generation();
+
     let options = ServerOptions {
         no_telemetry,
         access_log,
@@ -201,6 +266,7 @@ fn main() {
         queue_depth,
         request_deadline,
         max_body,
+        ingest_store,
         ..ServerOptions::default()
     };
     let server = match bind_transport(addr, service, threads, reactor_shards, options) {
@@ -225,6 +291,9 @@ fn main() {
     );
     if server.telemetry_enabled() {
         let _ = writeln!(stdout, "metrics at http://{}/metrics", server.local_addr());
+    }
+    if let Some(dir) = args.value("--data-dir") {
+        let _ = writeln!(stdout, "data plane at {dir} (generation {boot_generation})");
     }
     let _ = stdout.flush();
     run_until_signalled(server, drain_timeout);

@@ -22,6 +22,7 @@
 //!   shard's LRU tail until that shard fits.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use uops_telemetry::Counter;
@@ -45,6 +46,11 @@ pub struct CachedResponse {
     pub etag: u64,
     /// The encoded bytes, shared — a hit clones the `Arc`, not the bytes.
     pub body: Arc<[u8]>,
+    /// The store generation whose bytes these are. Doubles as the epoch
+    /// stamp: entries from any generation other than the cache's current
+    /// epoch are misses on get and dropped on insert, so a request that
+    /// raced a swap can never plant or resurrect stale bytes.
+    pub generation: u64,
 }
 
 /// Counter snapshot of a [`ResponseCache`].
@@ -169,6 +175,10 @@ pub struct ResponseCache {
     shards: Vec<Mutex<Shard>>,
     shard_budget: usize,
     capacity_bytes: usize,
+    /// The store generation this cache currently serves; bumped (with a
+    /// full flush) by [`ResponseCache::advance_epoch`] when the live
+    /// store swaps.
+    epoch: AtomicU64,
     // Live telemetry counters (wait-free, allocation-free); borrowable into
     // a `uops_telemetry::Registry` via the `*_counter()` accessors, so the
     // `/metrics` exposition reads the same atomics `stats()` snapshots.
@@ -199,6 +209,7 @@ impl ResponseCache {
             shard_budget: capacity_bytes / shards,
             capacity_bytes,
             shards: (0..shards).map(|_| Mutex::new(Shard::new())).collect(),
+            epoch: AtomicU64::new(0),
             hits: Counter::new(),
             misses: Counter::new(),
             evictions: Counter::new(),
@@ -271,12 +282,12 @@ impl ResponseCache {
             self.misses.inc();
             return None;
         }
+        let epoch = self.epoch.load(Ordering::Relaxed);
         let mut shard = self.shard_for(key).lock().expect("cache shard mutex");
-        let hit = shard
-            .map
-            .get(&key)
-            .copied()
-            .and_then(|slot| matches(&shard.slab[slot].request).then_some(slot));
+        let hit = shard.map.get(&key).copied().and_then(|slot| {
+            (shard.slab[slot].response.generation == epoch && matches(&shard.slab[slot].request))
+                .then_some(slot)
+        });
         match hit {
             Some(slot) => {
                 shard.detach(slot);
@@ -296,9 +307,14 @@ impl ResponseCache {
 
     /// Inserts (or replaces) the response for `(key, request)` and evicts
     /// least-recently-used entries until the shard fits its budget again.
-    /// Responses larger than a whole shard budget are not cached.
+    /// Responses larger than a whole shard budget are not cached, and
+    /// responses whose generation stamp is not the cache's current epoch
+    /// are dropped: the producing request pinned a store generation at
+    /// entry, so a response computed against a pre-swap store can never
+    /// be served once the swap's flush has run — even if the insert
+    /// itself lands after the flush.
     pub fn insert(&self, key: u64, request: &str, response: CachedResponse) {
-        if self.capacity_bytes == 0 {
+        if self.capacity_bytes == 0 || response.generation != self.epoch.load(Ordering::Relaxed) {
             return;
         }
         let cost = Shard::entry_cost(request, &response.body);
@@ -338,6 +354,26 @@ impl ResponseCache {
         }
     }
 
+    /// Moves the cache to a new store generation: sets the epoch and
+    /// flushes every shard. Returns how many entries were dropped. Cold
+    /// path — called once per generation swap.
+    pub fn advance_epoch(&self, epoch: u64) -> usize {
+        self.epoch.store(epoch, Ordering::Relaxed);
+        let mut flushed = 0;
+        for shard in &self.shards {
+            let mut shard = shard.lock().expect("cache shard mutex");
+            flushed += shard.map.len();
+            *shard = Shard::new();
+        }
+        flushed
+    }
+
+    /// The store generation this cache currently accepts and serves.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Relaxed)
+    }
+
     /// A snapshot of the hit/miss/eviction counters and occupancy.
     #[must_use]
     pub fn stats(&self) -> CacheStats {
@@ -365,7 +401,12 @@ mod tests {
     use super::*;
 
     fn response(payload: &str) -> CachedResponse {
-        CachedResponse { content_type: "text/plain", etag: 7, body: Arc::from(payload.as_bytes()) }
+        CachedResponse {
+            content_type: "text/plain",
+            etag: 7,
+            body: Arc::from(payload.as_bytes()),
+            generation: 0,
+        }
     }
 
     fn cache_with_room_for(entries: usize) -> ResponseCache {
@@ -477,12 +518,33 @@ mod tests {
                     content_type: "text/plain",
                     etag: 7,
                     body: Arc::from(body.as_bytes()),
+                    generation: 0,
                 },
             );
         }
         let stats = cache.stats();
         assert!(stats.entries <= 8);
         assert!(stats.bytes <= stats.capacity_bytes);
+    }
+
+    #[test]
+    fn epoch_advance_flushes_and_rejects_stale_inserts() {
+        let cache = cache_with_room_for(4);
+        cache.insert(1, "a", response("A"));
+        assert!(cache.get(1, "a").is_some());
+
+        assert_eq!(cache.advance_epoch(7), 1, "one live entry flushed");
+        assert!(cache.get(1, "a").is_none(), "flushed on swap");
+
+        // An insert stamped with the old generation (an in-flight request
+        // that pinned the pre-swap store) is dropped, not served.
+        cache.insert(1, "a", response("stale"));
+        assert!(cache.get(1, "a").is_none());
+
+        // Current-generation inserts flow normally.
+        cache.insert(2, "b", CachedResponse { generation: 7, ..response("B") });
+        assert_eq!(&cache.get(2, "b").expect("current epoch hit").body[..], b"B");
+        assert_eq!(cache.epoch(), 7);
     }
 
     #[test]

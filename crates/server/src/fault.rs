@@ -67,12 +67,23 @@ impl<S: Write> Write for FaultStream<'_, S> {
     }
 }
 
+/// The [`StoreIo`](uops_db::store::StoreIo) implementation the server
+/// routes [`GenerationStore`](uops_db::GenerationStore) publishes through.
+/// With `fault-injection` off this is the real-syscall implementation —
+/// zero interposition; with the feature on, each filesystem mutation
+/// first consults the scripted FIFO of [`FsFault`]s for its operation.
+#[cfg(not(feature = "fault-injection"))]
+#[inline]
+pub fn store_io() -> &'static dyn uops_db::store::StoreIo {
+    &uops_db::store::RealStoreIo
+}
+
 #[cfg(feature = "fault-injection")]
 pub(crate) use enabled::accept;
 #[cfg(feature = "fault-injection")]
 pub use enabled::{
-    inject_accept_error, inject_read, inject_write, reset, ReadFault, WriteFault, ECONNRESET,
-    EMFILE,
+    inject_accept_error, inject_fs, inject_fs_from_env, inject_read, inject_write, reset, store_io,
+    FsFault, FsOp, ReadFault, WriteFault, ECONNRESET, EIO, EMFILE, ENOSPC,
 };
 
 #[cfg(feature = "fault-injection")]
@@ -84,6 +95,51 @@ mod enabled {
     pub const EMFILE: i32 = 24;
     /// `errno` for "connection reset by peer" — the mid-response fault.
     pub const ECONNRESET: i32 = 104;
+    /// `errno` for an I/O error — the failing-disk fault.
+    pub const EIO: i32 = 5;
+    /// `errno` for "no space left on device" — the full-disk fault.
+    pub const ENOSPC: i32 = 28;
+
+    /// A filesystem mutation the store-publish path performs; each has
+    /// its own scripted fault FIFO.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum FsOp {
+        /// Creating + writing a temp file.
+        Write,
+        /// `fsync` on a file.
+        Fsync,
+        /// `rename` into place.
+        Rename,
+        /// `fsync` on the directory.
+        DirSync,
+    }
+
+    const FS_OPS: usize = 4;
+
+    impl FsOp {
+        fn index(self) -> usize {
+            match self {
+                FsOp::Write => 0,
+                FsOp::Fsync => 1,
+                FsOp::Rename => 2,
+                FsOp::DirSync => 3,
+            }
+        }
+    }
+
+    /// One scripted fault for a filesystem operation.
+    #[derive(Debug, Clone, Copy)]
+    pub enum FsFault {
+        /// Consume this script slot but perform the operation normally —
+        /// the counter that lets a script target the Nth call.
+        Pass,
+        /// Fail with this raw `errno` (e.g. [`ENOSPC`], [`EIO`]) without
+        /// touching the filesystem.
+        Errno(i32),
+        /// Sleep this many milliseconds *before* performing the operation
+        /// — the window a kill-9 test aims SIGKILL into.
+        Stall(u64),
+    }
 
     /// One scripted fault for a read call.
     #[derive(Debug, Clone, Copy)]
@@ -114,10 +170,15 @@ mod enabled {
         accept_errors: Vec<i32>,
         reads: Vec<ReadFault>,
         writes: Vec<WriteFault>,
+        fs: [Vec<FsFault>; FS_OPS],
     }
 
-    static SCRIPT: Mutex<Script> =
-        Mutex::new(Script { accept_errors: Vec::new(), reads: Vec::new(), writes: Vec::new() });
+    static SCRIPT: Mutex<Script> = Mutex::new(Script {
+        accept_errors: Vec::new(),
+        reads: Vec::new(),
+        writes: Vec::new(),
+        fs: [Vec::new(), Vec::new(), Vec::new(), Vec::new()],
+    });
 
     /// Scripts the next `accept` to fail with this raw `errno`
     /// (e.g. [`EMFILE`]).
@@ -135,12 +196,71 @@ mod enabled {
         SCRIPT.lock().expect("fault script").writes.push(fault);
     }
 
+    /// Scripts a fault for the next filesystem call of `op` performed by
+    /// the [`store_io`] shim (FIFO per operation).
+    pub fn inject_fs(op: FsOp, fault: FsFault) {
+        SCRIPT.lock().expect("fault script").fs[op.index()].push(fault);
+    }
+
+    /// Parses a comma-separated fault spec into the filesystem script —
+    /// the `UOPS_FAULT_FS` environment-variable format the `serve` binary
+    /// consumes at boot so an external harness (the kill-9 recovery test)
+    /// can script publish-path faults inside a child process.
+    ///
+    /// Each token is `op:action` where `op` is `write`, `fsync`,
+    /// `rename`, or `dirsync`, and `action` is `pass`, `eio`, `enospc`,
+    /// a raw errno number, `stall` (60 s), or `stall=MILLIS`. Unparseable
+    /// tokens are ignored.
+    ///
+    /// Example: `rename:pass,rename:stall=60000` stalls the *second*
+    /// rename of a publish (the manifest rename) after letting the
+    /// segment rename through.
+    pub fn inject_fs_from_env(spec: &str) {
+        for token in spec.split(',') {
+            let token = token.trim();
+            if token.is_empty() {
+                continue;
+            }
+            let Some((op, action)) = token.split_once(':') else { continue };
+            let op = match op {
+                "write" => FsOp::Write,
+                "fsync" => FsOp::Fsync,
+                "rename" => FsOp::Rename,
+                "dirsync" => FsOp::DirSync,
+                _ => continue,
+            };
+            let fault = match action {
+                "pass" => FsFault::Pass,
+                "eio" => FsFault::Errno(EIO),
+                "enospc" => FsFault::Errno(ENOSPC),
+                "stall" => FsFault::Stall(60_000),
+                _ => {
+                    if let Some(ms) = action.strip_prefix("stall=") {
+                        match ms.parse() {
+                            Ok(ms) => FsFault::Stall(ms),
+                            Err(_) => continue,
+                        }
+                    } else {
+                        match action.parse() {
+                            Ok(errno) => FsFault::Errno(errno),
+                            Err(_) => continue,
+                        }
+                    }
+                }
+            };
+            inject_fs(op, fault);
+        }
+    }
+
     /// Clears every pending scripted fault (test teardown).
     pub fn reset() {
         let mut script = SCRIPT.lock().expect("fault script");
         script.accept_errors.clear();
         script.reads.clear();
         script.writes.clear();
+        for queue in &mut script.fs {
+            queue.clear();
+        }
     }
 
     pub(crate) fn accept(listener: &TcpListener) -> io::Result<(TcpStream, SocketAddr)> {
@@ -228,5 +348,63 @@ mod enabled {
         fn flush(&mut self) -> io::Result<()> {
             self.0.flush()
         }
+    }
+
+    fn next_fs(op: FsOp) -> Option<FsFault> {
+        let mut script = SCRIPT.lock().expect("fault script");
+        let queue = &mut script.fs[op.index()];
+        if queue.is_empty() {
+            None
+        } else {
+            Some(queue.remove(0))
+        }
+    }
+
+    /// Runs one scripted fault (if any) ahead of a real filesystem call.
+    /// `Pass` and an empty queue fall through; `Stall` sleeps first (the
+    /// kill-9 window) then falls through; `Errno` short-circuits.
+    fn fs_gate(op: FsOp) -> io::Result<()> {
+        match next_fs(op) {
+            None | Some(FsFault::Pass) => Ok(()),
+            Some(FsFault::Errno(errno)) => Err(io::Error::from_raw_os_error(errno)),
+            Some(FsFault::Stall(ms)) => {
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+                Ok(())
+            }
+        }
+    }
+
+    /// [`StoreIo`](uops_db::store::StoreIo) that consults the fault
+    /// script before each real filesystem mutation.
+    struct FaultFs;
+
+    static FAULT_FS: FaultFs = FaultFs;
+
+    impl uops_db::store::StoreIo for FaultFs {
+        fn write_file(&self, path: &std::path::Path, bytes: &[u8]) -> io::Result<()> {
+            fs_gate(FsOp::Write)?;
+            uops_db::store::RealStoreIo.write_file(path, bytes)
+        }
+
+        fn fsync_file(&self, path: &std::path::Path) -> io::Result<()> {
+            fs_gate(FsOp::Fsync)?;
+            uops_db::store::RealStoreIo.fsync_file(path)
+        }
+
+        fn rename(&self, from: &std::path::Path, to: &std::path::Path) -> io::Result<()> {
+            fs_gate(FsOp::Rename)?;
+            uops_db::store::RealStoreIo.rename(from, to)
+        }
+
+        fn fsync_dir(&self, dir: &std::path::Path) -> io::Result<()> {
+            fs_gate(FsOp::DirSync)?;
+            uops_db::store::RealStoreIo.fsync_dir(dir)
+        }
+    }
+
+    /// The script-consulting [`StoreIo`](uops_db::store::StoreIo) —
+    /// fault-injection builds route every store publish through here.
+    pub fn store_io() -> &'static dyn uops_db::store::StoreIo {
+        &FAULT_FS
     }
 }

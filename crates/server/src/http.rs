@@ -337,6 +337,7 @@ pub fn status_line(status: u16) -> &'static str {
         200 => "HTTP/1.1 200 OK\r\n",
         304 => "HTTP/1.1 304 Not Modified\r\n",
         400 => "HTTP/1.1 400 Bad Request\r\n",
+        403 => "HTTP/1.1 403 Forbidden\r\n",
         404 => "HTTP/1.1 404 Not Found\r\n",
         405 => "HTTP/1.1 405 Method Not Allowed\r\n",
         413 => "HTTP/1.1 413 Payload Too Large\r\n",

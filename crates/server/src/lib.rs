@@ -82,7 +82,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use uops_db::plan::decode_component;
-use uops_db::QueryPlan;
+use uops_db::{GenerationStore, QueryPlan, Segment};
 use uops_pool::TaskPool;
 use uops_telemetry::{saturating_ns, Span};
 
@@ -403,6 +403,10 @@ pub struct ServerOptions {
     /// without reading a byte of the body, and the connection closes
     /// (the unread body would desynchronize keep-alive framing).
     pub max_body: usize,
+    /// Durable generation store backing `POST /v1/ingest`. `None` (the
+    /// default) disables ingestion: the route answers `403` and the
+    /// served store is immutable for the process lifetime.
+    pub ingest_store: Option<Arc<GenerationStore>>,
 }
 
 impl Default for ServerOptions {
@@ -416,6 +420,7 @@ impl Default for ServerOptions {
             request_deadline: None,
             write_stall_timeout: WRITE_STALL_TIMEOUT,
             max_body: DEFAULT_MAX_BODY,
+            ingest_store: None,
         }
     }
 }
@@ -433,6 +438,7 @@ pub(crate) struct ConnState {
     pub(crate) request_deadline: Option<Duration>,
     pub(crate) write_stall_timeout: Duration,
     pub(crate) max_body: usize,
+    pub(crate) ingest_store: Option<Arc<GenerationStore>>,
     /// Connections currently owned by a pool worker (running or queued).
     /// Maintained independently of telemetry so admission control works
     /// with `--no-telemetry`. The reactor tracks occupancy per shard via
@@ -618,6 +624,7 @@ impl Server {
                 request_deadline: options.request_deadline,
                 write_stall_timeout: options.write_stall_timeout,
                 max_body: if options.max_body == 0 { DEFAULT_MAX_BODY } else { options.max_body },
+                ingest_store: options.ingest_store,
                 inflight: AtomicUsize::new(0),
             }),
             local_addr,
@@ -660,9 +667,48 @@ impl Server {
             request_deadline: options.request_deadline,
             write_stall_timeout: options.write_stall_timeout,
             max_body: if options.max_body == 0 { DEFAULT_MAX_BODY } else { options.max_body },
+            ingest_store: options.ingest_store,
             inflight: AtomicUsize::new(0),
         });
         state.metrics.shard_count.store(shards, Ordering::Relaxed);
+        // Surface per-shard connection balance in /v1/stats: the gauges
+        // already exist for /metrics; this renders the raw vectors plus a
+        // skew summary so rebalance drift is visible without Prometheus.
+        {
+            let metrics = Arc::clone(&state.metrics);
+            state.service.set_stats_extension(move |body| {
+                use std::fmt::Write as _;
+                let shards =
+                    metrics.shard_count.load(Ordering::Relaxed).min(metrics::MAX_SHARDS).max(1);
+                let mut min = i64::MAX;
+                let mut max = 0_i64;
+                let mut total = 0_i64;
+                let _ = write!(body, ",\n  \"shards\": {{\"count\": {shards}, \"connections\": [");
+                for shard in 0..shards {
+                    let live = metrics.shard_connections[shard].get();
+                    if shard > 0 {
+                        body.push_str(", ");
+                    }
+                    let _ = write!(body, "{live}");
+                    min = min.min(live);
+                    max = max.max(live);
+                    total += live;
+                }
+                body.push_str("], \"accepted\": [");
+                for shard in 0..shards {
+                    if shard > 0 {
+                        body.push_str(", ");
+                    }
+                    let _ = write!(body, "{}", metrics.shard_accepted[shard].get());
+                }
+                let _ = write!(
+                    body,
+                    "], \"skew\": {{\"min\": {min}, \"max\": {max}, \"mean\": {}, \"spread\": {}}}}}",
+                    total / shards as i64,
+                    max - min,
+                );
+            });
+        }
         let wakes = (0..shards)
             .map(|_| net::sys::EventFd::new().map(Arc::new))
             .collect::<std::io::Result<Vec<_>>>()?;
@@ -908,6 +954,73 @@ fn metrics_response(state: &ConnState, method: &str, query: &str) -> ServiceResp
         etag: None,
         body: Arc::from(text.into_bytes().as_slice()),
         tier: ResponseTier::Untiered,
+        generation: 0,
+    }
+}
+
+/// Answers `POST /v1/ingest`: the live data plane's write path. The body
+/// is either a raw [`Segment`] image (`UOPSSEG\x01` magic) or a TLV
+/// snapshot (`UDB\x01` magic); it is validated **fully** before anything
+/// is published — a malformed byte anywhere rejects the request with no
+/// effect on the served store. On success the incoming records are
+/// last-writer-wins merged with the live generation, durably published
+/// through the store's manifest protocol (temp + fsync + rename +
+/// dir-fsync), and atomically swapped live, flushing both cache tiers.
+/// Without a configured [`GenerationStore`] (`serve` without
+/// `--data-dir`) the route answers `403`.
+fn ingest_response(state: &ConnState, query: &str, body: &[u8]) -> ServiceResponse {
+    if !query.is_empty() {
+        return ServiceResponse::error(400, "ingest takes no parameters");
+    }
+    let Some(store) = state.ingest_store.as_deref() else {
+        return ServiceResponse::error(403, "ingestion is disabled (serve without --data-dir)");
+    };
+    let incoming = if body.starts_with(&uops_db::segment::layout::MAGIC) {
+        match Segment::from_bytes(body.to_vec()) {
+            Ok(segment) => segment,
+            Err(err) => {
+                return ServiceResponse::error(400, &format!("segment image rejected: {err}"));
+            }
+        }
+    } else if body.starts_with(&uops_db::codec::MAGIC) {
+        match uops_db::codec::decode(body) {
+            Ok(snapshot) => match Segment::from_bytes(Segment::encode(&snapshot)) {
+                Ok(segment) => segment,
+                Err(err) => {
+                    return ServiceResponse::error(400, &format!("snapshot rejected: {err}"));
+                }
+            },
+            Err(err) => return ServiceResponse::error(400, &format!("snapshot rejected: {err}")),
+        }
+    } else {
+        return ServiceResponse::error(
+            400,
+            "ingest body is neither a segment image nor a TLV snapshot",
+        );
+    };
+    let records = incoming.len();
+    match store.publish_merged(&incoming, fault::store_io()) {
+        Ok(generation) => {
+            let swapped =
+                state.service.swap_segment(Arc::clone(&generation.segment), generation.id);
+            let body = format!(
+                "{{\"generation\": {}, \"ingested_records\": {}, \"live_records\": {}, \
+                 \"swapped\": {}}}\n",
+                generation.id,
+                records,
+                generation.segment.len(),
+                swapped,
+            );
+            ServiceResponse {
+                status: 200,
+                content_type: "application/json",
+                etag: None,
+                body: Arc::from(body.into_bytes().as_slice()),
+                tier: ResponseTier::Untiered,
+                generation: generation.id,
+            }
+        }
+        Err(err) => ServiceResponse::error(503, &format!("publish failed: {err}")),
     }
 }
 
@@ -994,6 +1107,7 @@ pub(crate) fn answer(
                                 etag: None,
                                 body: service::empty_body(),
                                 tier: ResponseTier::Untiered,
+                                generation: 0,
                             }
                         }
                         Err(response) => response,
@@ -1042,6 +1156,14 @@ pub(crate) fn answer(
                 ServiceResponse::error(405, "plan registration is POST-only")
             }
         }
+        Route::Ingest => {
+            if method == "POST" {
+                ingest_response(state, request.query(), body)
+            } else {
+                allow = Some(ALLOW_POST);
+                ServiceResponse::error(405, "ingest is POST-only")
+            }
+        }
         _ => {
             if read_method {
                 match respond_streaming(&state.service, request.target) {
@@ -1055,6 +1177,7 @@ pub(crate) fn answer(
                             etag: None,
                             body: service::empty_body(),
                             tier: ResponseTier::Uncached,
+                            generation: 0,
                         }
                     }
                 }

@@ -46,12 +46,14 @@ pub enum Route {
     /// `POST /v1/plan` and `GET /v1/plan/{fingerprint}` (compiled-plan
     /// handles)
     Plan,
+    /// `POST /v1/ingest` (live data-plane snapshot/shard ingestion)
+    Ingest,
     /// Anything else (404s, probes).
     Other,
 }
 
 /// Number of [`Route`] variants (the length of per-route metric arrays).
-pub const ROUTES: usize = 8;
+pub const ROUTES: usize = 9;
 
 impl Route {
     /// Classifies a request path. Allocation-free (prefix compares only).
@@ -64,6 +66,7 @@ impl Route {
             "/metrics" => Route::Metrics,
             "/v1/batch" => Route::Batch,
             "/v1/plan" => Route::Plan,
+            "/v1/ingest" => Route::Ingest,
             _ if path.starts_with("/v1/record/") => Route::Record,
             _ if path.starts_with("/v1/plan/") => Route::Plan,
             _ => Route::Other,
@@ -81,6 +84,7 @@ impl Route {
             Route::Metrics => "/metrics",
             Route::Batch => "/v1/batch",
             Route::Plan => "/v1/plan",
+            Route::Ingest => "/v1/ingest",
             Route::Other => "other",
         }
     }
@@ -98,6 +102,7 @@ const ROUTE_LABELS: [&Labels; ROUTES] = [
     &[("route", "/metrics")],
     &[("route", "/v1/batch")],
     &[("route", "/v1/plan")],
+    &[("route", "/v1/ingest")],
     &[("route", "other")],
 ];
 
@@ -466,6 +471,30 @@ pub fn render_metrics(service: &QueryService, metrics: &ServerMetrics) -> String
         NO_LABELS,
         service.record_count() as i64,
     );
+    registry.gauge_sample(
+        "uops_store_generation",
+        "Live data-plane generation currently served.",
+        NO_LABELS,
+        service.generation() as i64,
+    );
+    registry.counter(
+        "uops_store_swaps_total",
+        "Generation swaps published to the live store.",
+        NO_LABELS,
+        service.swaps_counter(),
+    );
+    registry.counter(
+        "uops_store_cache_flushes_total",
+        "Cache tiers flushed at generation-swap boundaries.",
+        NO_LABELS,
+        service.cache_flushes_counter(),
+    );
+    registry.counter(
+        "uops_store_quarantined_total",
+        "Segment images quarantined by boot recovery.",
+        NO_LABELS,
+        service.quarantined_counter(),
+    );
 
     let fingerprint = service.fingerprint_cache();
     let raw = service.raw_lane_cache();
@@ -681,6 +710,7 @@ mod tests {
         assert_eq!(Route::of("/v1/batch"), Route::Batch);
         assert_eq!(Route::of("/v1/plan"), Route::Plan);
         assert_eq!(Route::of("/v1/plan/00ff00ff00ff00ff"), Route::Plan);
+        assert_eq!(Route::of("/v1/ingest"), Route::Ingest);
         assert_eq!(Route::of("/v1/batches"), Route::Other);
     }
 

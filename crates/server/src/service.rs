@@ -16,8 +16,9 @@
 //! increments `cache.hits` and leaves `executions`/`encodes` untouched.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, OnceLock, RwLock};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
+use uops_db::store::SwapCell;
 use uops_db::{
     diff_uarches, fnv1a_64, fnv1a_64_parts, BatchExec, BinaryEncoder, DbBackend, DbError,
     ExecStageMetrics, InstructionDb, JsonEncoder, QueryExec, QueryPlan, QueryResult, ResultEncoder,
@@ -134,6 +135,11 @@ pub struct ServiceResponse {
     pub body: Arc<[u8]>,
     /// Which serving tier produced this response.
     pub tier: ResponseTier,
+    /// The store generation the body was produced against (`0` for
+    /// errors and other untiered payloads). The raw fast lane stamps its
+    /// entries with this, so a response from a pre-swap generation can
+    /// never enter the lane after the swap's flush.
+    pub generation: u64,
 }
 
 impl ServiceResponse {
@@ -142,6 +148,7 @@ impl ServiceResponse {
             status: 200,
             content_type: cached.content_type,
             etag: Some(cached.etag),
+            generation: cached.generation,
             body: cached.body,
             tier,
         }
@@ -160,6 +167,7 @@ impl ServiceResponse {
             etag: None,
             body: Arc::from(body.into_bytes().as_slice()),
             tier: ResponseTier::Untiered,
+            generation: 0,
         }
     }
 }
@@ -173,6 +181,20 @@ impl ServiceResponse {
 enum Store {
     Segment(Arc<Segment>),
     Memory(Arc<InstructionDb>),
+}
+
+/// One live generation of the served data: the store, the content hash
+/// that seeds every ETag, and the generation id (0 until the first swap).
+/// Held behind a [`SwapCell`] so each request pins exactly one coherent
+/// generation at entry — body, ETag, and cache stamp all come from it —
+/// while a [`QueryService::swap_segment`] replaces the cell for new
+/// requests without blocking anyone.
+struct LiveStore {
+    store: Store,
+    /// FNV-1a over the store's canonical image; ⊕ the plan fingerprint it
+    /// forms the strong ETag of every cacheable response.
+    content_hash: u64,
+    id: u64,
 }
 
 /// Why the service refused to run the uncached pipeline for a request.
@@ -243,15 +265,26 @@ pub struct ServiceStats {
 
 /// The transport-agnostic query service. See the module docs.
 pub struct QueryService {
-    store: Store,
+    /// The generation-swapped live store. Reading it is allocation-free
+    /// (epoch load + slot guard + `Arc` bump); swapping it is
+    /// [`QueryService::swap_segment`].
+    live: SwapCell<LiveStore>,
+    /// Serializes swappers so the monotonic-generation check and the cell
+    /// swap are one atomic step.
+    swap_lock: Mutex<()>,
     cache: ResponseCache,
     /// The raw fast lane: verbatim request targets → encoded responses.
     /// Entries share their body `Arc` with the fingerprint tier, so the
     /// double-counted byte budget buys index entries, not body copies.
     raw_cache: ResponseCache,
-    /// FNV-1a over the store's canonical image; ⊕ the plan fingerprint it
-    /// forms the strong ETag of every cacheable response.
-    content_hash: u64,
+    /// Generation swaps performed over this service's lifetime.
+    swaps: Counter,
+    /// Cache-tier flushes performed by swaps (two per swap: fingerprint
+    /// tier + raw lane).
+    cache_flushes: Counter,
+    /// Segment images quarantined by store recovery, surfaced here so the
+    /// serving process exposes them (`uops_store_quarantined_total`).
+    quarantined: Counter,
     executions: Counter,
     encodes: Counter,
     /// Per-stage latency histograms (parse / execute / encode), recorded
@@ -276,6 +309,10 @@ pub struct QueryService {
     /// streaming instead of a cached whole-body response; `0` disables
     /// streaming entirely.
     stream_threshold: AtomicUsize,
+    /// Transport-installed hook appending extra top-level fields to the
+    /// `/v1/stats` JSON (e.g. the reactor's per-shard connection skew).
+    /// The service itself stays transport-agnostic; cold path only.
+    stats_ext: RwLock<Option<Box<dyn Fn(&mut String) + Send + Sync>>>,
 }
 
 impl std::fmt::Debug for QueryService {
@@ -353,17 +390,20 @@ impl QueryService {
     ) -> QueryService {
         // The content hash pins ETags to the exact data being served:
         // segments hash their canonical image, in-memory stores hash
-        // their canonical snapshot encoding. Computed once at
-        // construction (segments are immutable per process).
+        // their canonical snapshot encoding. Computed once per generation
+        // (at construction here, and in `swap_segment` on every swap).
         let content_hash = match &store {
             Store::Segment(segment) => fnv1a_64(segment.as_bytes()),
             Store::Memory(db) => fnv1a_64(&uops_db::codec::encode(&db.export_snapshot())),
         };
         QueryService {
-            store,
+            live: SwapCell::new(Arc::new(LiveStore { store, content_hash, id: 0 })),
+            swap_lock: Mutex::new(()),
             cache: ResponseCache::new(cache_capacity_bytes, CACHE_SHARDS),
             raw_cache: ResponseCache::new(raw_cache_capacity_bytes, CACHE_SHARDS),
-            content_hash,
+            swaps: Counter::new(),
+            cache_flushes: Counter::new(),
+            quarantined: Counter::new(),
             executions: Counter::new(),
             encodes: Counter::new(),
             exec_stages: ExecStageMetrics::new(),
@@ -373,7 +413,74 @@ impl QueryService {
             shed_capacity: Counter::new(),
             plans: RwLock::new(PrehashedMap::default()),
             stream_threshold: AtomicUsize::new(DEFAULT_STREAM_THRESHOLD),
+            stats_ext: RwLock::new(None),
         }
+    }
+
+    /// Atomically replaces the served store with `segment` as generation
+    /// `generation`, flushing both cache tiers so no pre-swap bytes are
+    /// served afterwards. In-flight requests finish on the generation they
+    /// pinned at entry; their late cache inserts are rejected by the
+    /// generation stamp. Returns `false` (and does nothing) unless
+    /// `generation` is strictly newer than the live one — a stale swap
+    /// completing out of order must not roll the service back.
+    pub fn swap_segment(&self, segment: Arc<Segment>, generation: u64) -> bool {
+        let _swapper = self.swap_lock.lock().expect("swap lock");
+        if generation <= self.live.load().id {
+            return false;
+        }
+        let content_hash = fnv1a_64(segment.as_bytes());
+        self.live.swap(Arc::new(LiveStore {
+            store: Store::Segment(segment),
+            content_hash,
+            id: generation,
+        }));
+        self.cache.advance_epoch(generation);
+        self.raw_cache.advance_epoch(generation);
+        self.swaps.inc();
+        self.cache_flushes.add(2);
+        true
+    }
+
+    /// The live generation id (`0` until the first swap).
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.live.load().id
+    }
+
+    /// The live swap counter (for telemetry registration).
+    #[must_use]
+    pub fn swaps_counter(&self) -> &Counter {
+        &self.swaps
+    }
+
+    /// The live cache-flush counter — two per swap (for telemetry
+    /// registration).
+    #[must_use]
+    pub fn cache_flushes_counter(&self) -> &Counter {
+        &self.cache_flushes
+    }
+
+    /// The live quarantine counter (for telemetry registration).
+    #[must_use]
+    pub fn quarantined_counter(&self) -> &Counter {
+        &self.quarantined
+    }
+
+    /// Records `n` quarantined segment images (the serve binary feeds the
+    /// store-recovery count in at boot).
+    pub fn note_quarantined(&self, n: u64) {
+        self.quarantined.add(n);
+    }
+
+    /// Installs a hook that appends extra top-level fields to the
+    /// `/v1/stats` JSON. The hook receives the body with the final
+    /// closing brace stripped and must append `,\n  "key": value` pairs
+    /// only; the service re-closes the object. Used by the reactor
+    /// transport to surface per-shard connection skew without teaching
+    /// the service about transports.
+    pub fn set_stats_extension(&self, ext: impl Fn(&mut String) + Send + Sync + 'static) {
+        *self.stats_ext.write().expect("stats ext lock") = Some(Box::new(ext));
     }
 
     /// Sets the streaming threshold: result pages with more rows than
@@ -455,11 +562,12 @@ impl QueryService {
         &self.encodes
     }
 
-    /// The FNV-1a hash of the store's canonical content — the second half
-    /// of every response ETag. Changes iff the served data changes.
+    /// The FNV-1a hash of the live store's canonical content — the second
+    /// half of every response ETag. Changes iff the served data changes
+    /// (including on every generation swap).
     #[must_use]
     pub fn content_hash(&self) -> u64 {
-        self.content_hash
+        self.live.load().content_hash
     }
 
     /// Looks up the raw fast lane: the response cached under the verbatim
@@ -490,14 +598,15 @@ impl QueryService {
                 content_type: response.content_type,
                 etag,
                 body: Arc::clone(&response.body),
+                generation: response.generation,
             },
         );
     }
 
-    /// Number of records in the underlying store.
+    /// Number of records in the live store.
     #[must_use]
     pub fn record_count(&self) -> usize {
-        match &self.store {
+        match &self.live.load().store {
             Store::Segment(segment) => segment.db().len(),
             Store::Memory(db) => db.len(),
         }
@@ -518,8 +627,11 @@ impl QueryService {
     /// then (on a miss) plan execution + encoding, with the encoded bytes
     /// inserted for the next identical request.
     pub fn query(&self, plan: &QueryPlan, encoding: Encoding) -> ServiceResponse {
+        let live = self.live.load();
         let request = format!("q/{}?{}", encoding.wire_name(), plan.to_query_string());
-        self.cached(&request, encoding, |service| service.execute_encoded(plan, encoding))
+        self.cached(&live, &request, encoding, |service| {
+            service.execute_encoded(&live, plan, encoding)
+        })
     }
 
     /// Answers a record request (`/v1/record/{mnemonic}`): all records for
@@ -536,25 +648,29 @@ impl QueryService {
             plan = plan.uarch(uarch);
         }
         let plan = plan.into_plan();
+        let live = self.live.load();
         let request = format!("r/{}?{}", encoding.wire_name(), plan.to_query_string());
-        self.cached(&request, encoding, |service| service.execute_encoded(&plan, encoding))
+        self.cached(&live, &request, encoding, |service| {
+            service.execute_encoded(&live, &plan, encoding)
+        })
     }
 
     /// Answers a cross-µarch diff request.
     pub fn diff(&self, base: &str, other: &str, encoding: Encoding) -> ServiceResponse {
+        let live = self.live.load();
         let request = format!(
             "d/{}?base={}&other={}",
             encoding.wire_name(),
             uops_db::plan::encode_component(base),
             uops_db::plan::encode_component(other),
         );
-        self.cached(&request, encoding, |service| {
+        self.cached(&live, &request, encoding, |service| {
             let _admitted = service.admit_uncached()?;
             if deadline::exceeded() {
                 return Err(Shed::Deadline);
             }
             service.encodes.inc();
-            Ok(match &service.store {
+            Ok(match &live.store {
                 Store::Segment(segment) => {
                     encode_diff(&diff_uarches(&segment.db(), base, other), encoding)
                 }
@@ -587,13 +703,17 @@ impl QueryService {
                 h.max(),
             )
         };
-        let body = format!(
-            "{{\n  \"records\": {},\n  \"plans\": {},\n  \"cache\": {},\n  \"raw\": {},\n  \
+        let mut body = format!(
+            "{{\n  \"records\": {},\n  \"generation\": {},\n  \"plans\": {},\n  \"cache\": {},\n  \
+             \"raw\": {},\n  \
              \"executions\": {},\n  \"encodes\": {},\n  \
              \"stages\": {{\"parse\": {}, \"execute\": {}, \"encode\": {}}},\n  \
              \"overload\": {{\"shed_deadline\": {}, \"shed_capacity\": {}, \
-             \"uncached_inflight\": {}, \"max_uncached_inflight\": {}}}\n}}\n",
+             \"uncached_inflight\": {}, \"max_uncached_inflight\": {}}},\n  \
+             \"store\": {{\"generation\": {}, \"swaps\": {}, \"cache_flushes\": {}, \
+             \"quarantined\": {}}}",
             self.record_count(),
+            self.generation(),
             self.plans.read().expect("plan registry lock").len(),
             tier(&stats.cache),
             tier(&stats.raw),
@@ -606,13 +726,22 @@ impl QueryService {
             self.shed_capacity.get(),
             self.uncached_inflight(),
             self.max_uncached_inflight(),
+            self.generation(),
+            self.swaps.get(),
+            self.cache_flushes.get(),
+            self.quarantined.get(),
         );
+        if let Some(ext) = self.stats_ext.read().expect("stats ext lock").as_ref() {
+            ext(&mut body);
+        }
+        body.push_str("\n}\n");
         ServiceResponse {
             status: 200,
             content_type: "application/json",
             etag: None,
             body: Arc::from(body.into_bytes().as_slice()),
             tier: ResponseTier::Untiered,
+            generation: 0,
         }
     }
 
@@ -669,11 +798,13 @@ impl QueryService {
             etag: None,
             body: Arc::clone(body),
             tier: ResponseTier::Untiered,
+            generation: 0,
         }
     }
 
     fn cached(
         &self,
+        live: &LiveStore,
         request: &str,
         encoding: Encoding,
         produce: impl FnOnce(&QueryService) -> Result<Vec<u8>, Shed>,
@@ -690,11 +821,15 @@ impl QueryService {
         };
         // ETag = canonical-request fingerprint ⊕ store content hash: two
         // spellings of the same plan share one tag, and every tag changes
-        // when the served data changes.
+        // when the served data changes. Hash and generation stamp come
+        // from the pinned generation the bytes were produced against, so
+        // body and tag are always one coherent generation even when a
+        // swap lands mid-request.
         let cached = CachedResponse {
             content_type: encoding.content_type(),
-            etag: key ^ self.content_hash,
+            etag: key ^ live.content_hash,
             body,
+            generation: live.id,
         };
         self.cache.insert(key, request, cached.clone());
         ServiceResponse::ok(cached, ResponseTier::Uncached)
@@ -709,13 +844,18 @@ impl QueryService {
     /// uncached ceiling first, then the deadline budget checked on entry
     /// and again between the execute and encode stages — a request that
     /// ran out of budget mid-pipeline stops before paying for encoding.
-    fn execute_encoded(&self, plan: &QueryPlan, encoding: Encoding) -> Result<Vec<u8>, Shed> {
+    fn execute_encoded(
+        &self,
+        live: &LiveStore,
+        plan: &QueryPlan,
+        encoding: Encoding,
+    ) -> Result<Vec<u8>, Shed> {
         let _admitted = self.admit_uncached()?;
         if deadline::exceeded() {
             return Err(Shed::Deadline);
         }
         self.executions.inc();
-        match &self.store {
+        match &live.store {
             Store::Segment(segment) => {
                 let db = segment.db();
                 let span = Span::start(&self.exec_stages.execute_ns);
@@ -777,6 +917,7 @@ impl QueryService {
             etag: None,
             body: Arc::from(body.into_bytes().as_slice()),
             tier: ResponseTier::Untiered,
+            generation: 0,
         }
     }
 
@@ -863,12 +1004,15 @@ impl QueryService {
             return Err(ServiceResponse::error(400, "empty batch"));
         }
         if !scratch.misses.is_empty() {
+            let live = self.live.load();
             match self.admit_uncached() {
-                Ok(_admitted) => match &self.store {
+                Ok(_admitted) => match &live.store {
                     Store::Segment(segment) => {
-                        self.run_batch_misses(&segment.db(), encoding, scratch);
+                        self.run_batch_misses(&segment.db(), &live, encoding, scratch);
                     }
-                    Store::Memory(db) => self.run_batch_misses(db.as_ref(), encoding, scratch),
+                    Store::Memory(db) => {
+                        self.run_batch_misses(db.as_ref(), &live, encoding, scratch);
+                    }
                 },
                 Err(shed) => {
                     for i in 0..scratch.misses.len() {
@@ -939,6 +1083,7 @@ impl QueryService {
     fn run_batch_misses<B: DbBackend>(
         &self,
         db: &B,
+        live: &LiveStore,
         encoding: Encoding,
         scratch: &mut BatchScratch,
     ) {
@@ -962,8 +1107,9 @@ impl QueryService {
             let key = fnv1a_64(request.as_bytes());
             let cached = CachedResponse {
                 content_type: encoding.content_type(),
-                etag: key ^ self.content_hash,
+                etag: key ^ live.content_hash,
                 body: Arc::from(bytes.as_slice()),
+                generation: live.id,
             };
             self.cache.insert(key, request, cached.clone());
             scratch.responses[miss.index] = (200, cached.body);
@@ -1011,12 +1157,13 @@ impl QueryService {
         if threshold == 0 || matches!(encoding, Encoding::Xml) {
             return QueryReply::Full(self.query(plan, encoding));
         }
+        let live = self.live.load();
         let request = format!("q/{}?{}", encoding.wire_name(), plan.to_query_string());
         let key = fnv1a_64(request.as_bytes());
         if let Some(hit) = self.cache.get(key, &request) {
             return QueryReply::Full(ServiceResponse::ok(hit, ResponseTier::Fingerprint));
         }
-        let sized = match &self.store {
+        let sized = match &live.store {
             Store::Segment(segment) => self.execute_sized(&segment.db(), plan, encoding, threshold),
             Store::Memory(db) => self.execute_sized(db.as_ref(), plan, encoding, threshold),
         };
@@ -1025,8 +1172,9 @@ impl QueryService {
             Ok(SizedResult::Encoded(bytes)) => {
                 let cached = CachedResponse {
                     content_type: encoding.content_type(),
-                    etag: key ^ self.content_hash,
+                    etag: key ^ live.content_hash,
                     body: Arc::from(bytes.as_slice()),
+                    generation: live.id,
                 };
                 self.cache.insert(key, &request, cached.clone());
                 QueryReply::Full(ServiceResponse::ok(cached, ResponseTier::Uncached))
@@ -1034,7 +1182,7 @@ impl QueryService {
             Ok(SizedResult::Ids { total, ids }) => {
                 self.encodes.inc();
                 QueryReply::Stream(StreamBody {
-                    store: self.store.clone(),
+                    store: live.store.clone(),
                     encoding,
                     total,
                     ids,

@@ -16,9 +16,11 @@
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::{Arc, Mutex};
 
-use uops_db::{Segment, Snapshot, VariantRecord};
+use uops_db::{GenerationStore, Segment, Snapshot, VariantRecord};
 use uops_serve::{fault, QueryService, Server, ServerHandle, ServerOptions};
 
 /// Serializes tests sharing the global fault script.
@@ -327,4 +329,141 @@ fn a_stalled_reader_is_evicted_on_the_pool_transport() {
     assert!(after.starts_with(b"HTTP/1.1 200"));
     fault::reset();
     handle.shutdown();
+}
+
+// ---- live data plane: filesystem faults at the swap boundary ----
+
+static DIRS: AtomicU32 = AtomicU32::new(0);
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let n = DIRS.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("uops_chaos_{tag}_{}_{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Boots a pool server whose service is backed by a freshly bootstrapped
+/// [`GenerationStore`] (generation 1) with ingest enabled.
+fn spawn_pool_with_store(dir: &PathBuf) -> (ServerHandle, SocketAddr, Arc<GenerationStore>) {
+    let store = Arc::new(
+        GenerationStore::bootstrap(
+            dir,
+            Arc::new(Segment::from_bytes(Segment::encode(&snapshot())).expect("segment")),
+            fault::store_io(),
+        )
+        .expect("bootstrap store"),
+    );
+    let service = service();
+    let generation = store.current();
+    assert!(service.swap_segment(Arc::clone(&generation.segment), generation.id));
+    let options =
+        ServerOptions { ingest_store: Some(Arc::clone(&store)), ..ServerOptions::default() };
+    let server = Server::bind_with("127.0.0.1:0", service, 1, options).expect("bind pool");
+    let addr = server.local_addr();
+    (server.spawn(), addr, store)
+}
+
+/// A snapshot disjoint from [`snapshot`] so a successful ingest visibly
+/// grows the served store.
+fn extra_snapshot() -> Snapshot {
+    let mut s = Snapshot::new("chaos ingest");
+    s.records.push(VariantRecord {
+        mnemonic: "XOR".into(),
+        variant: "R64, R64".into(),
+        extension: "BASE".into(),
+        uarch: "Skylake".into(),
+        uop_count: 1,
+        ports: vec![(0b0110_0011, 1)],
+        tp_measured: 0.25,
+        ..Default::default()
+    });
+    s
+}
+
+/// POSTs `body` to `/v1/ingest` on a fresh connection.
+fn post_ingest(addr: SocketAddr, body: &[u8]) -> Vec<u8> {
+    let head =
+        format!("POST /v1/ingest HTTP/1.1\r\nHost: c\r\nContent-Length: {}\r\n\r\n", body.len());
+    let mut request = head.into_bytes();
+    request.extend_from_slice(body);
+    exchange_once(addr, &request)
+}
+
+/// An errno-scripted fault on each of the four publish mutations in turn:
+/// every failed ingest must answer 503, leave the served bytes and the
+/// live generation untouched, and leave the store retryable — the final
+/// un-faulted ingest succeeds and swaps.
+#[test]
+fn fs_faults_at_every_publish_step_never_tear_the_served_generation() {
+    let _guard = lock_script();
+    let dir = scratch_dir("fs_steps");
+    let (handle, addr, store) = spawn_pool_with_store(&dir);
+    let baseline = exchange_once(addr, GET);
+    assert!(baseline.starts_with(b"HTTP/1.1 200"), "baseline must succeed");
+    let update = uops_db::codec::encode(&extra_snapshot());
+
+    for (op, errno) in [
+        (fault::FsOp::Write, fault::ENOSPC),
+        (fault::FsOp::Fsync, fault::EIO),
+        (fault::FsOp::Rename, fault::EIO),
+        (fault::FsOp::DirSync, fault::EIO),
+    ] {
+        fault::inject_fs(op, fault::FsFault::Errno(errno));
+        let rejected = post_ingest(addr, &update);
+        assert!(
+            rejected.starts_with(b"HTTP/1.1 503"),
+            "faulted publish ({op:?}) must answer 503: {}",
+            String::from_utf8_lossy(&rejected)
+        );
+        assert_eq!(store.current().id, 1, "a failed publish must not advance the generation");
+        let after = exchange_once(addr, GET);
+        assert_eq!(after, baseline, "a failed publish ({op:?}) must not change served bytes");
+        fault::reset();
+    }
+
+    // No fault scripted: the same update now publishes and swaps.
+    let accepted = post_ingest(addr, &update);
+    assert!(
+        accepted.starts_with(b"HTTP/1.1 200"),
+        "retry after fault must succeed: {}",
+        String::from_utf8_lossy(&accepted)
+    );
+    assert_eq!(store.current().id, 2);
+    let stats = exchange_once(addr, b"GET /v1/stats HTTP/1.1\r\nHost: c\r\n\r\n");
+    let stats = String::from_utf8_lossy(&stats).to_string();
+    assert!(stats.contains("\"generation\": 2"), "{stats}");
+    assert!(stats.contains("\"records\": 4"), "ingest must merge the new record: {stats}");
+    fault::reset();
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A fault between the image rename and the manifest rename leaves an
+/// orphan image on disk; the server keeps serving the old generation and
+/// the next boot quarantines the orphan.
+#[test]
+fn fs_fault_between_image_and_manifest_quarantines_on_reboot() {
+    let _guard = lock_script();
+    let dir = scratch_dir("fs_orphan");
+    let (handle, addr, store) = spawn_pool_with_store(&dir);
+    let update = uops_db::codec::encode(&extra_snapshot());
+
+    // Publish order: image W,F,R,D then manifest W,F,R,D. Failing the
+    // second *write* (the manifest temp) strands gen-2.seg as an orphan.
+    fault::inject_fs(fault::FsOp::Write, fault::FsFault::Pass);
+    fault::inject_fs(fault::FsOp::Write, fault::FsFault::Errno(fault::EIO));
+    let rejected = post_ingest(addr, &update);
+    assert!(rejected.starts_with(b"HTTP/1.1 503"), "{}", String::from_utf8_lossy(&rejected));
+    assert_eq!(store.current().id, 1, "the torn publish must not swap");
+    assert!(dir.join("gen-2.seg").exists(), "the orphan image must be on disk");
+    fault::reset();
+    handle.shutdown();
+
+    // Reboot against the same directory: generation 1 recovers, the
+    // orphan is renamed aside and counted.
+    let recovered = GenerationStore::open(&dir).expect("open").expect("manifest exists");
+    assert_eq!(recovered.store.current().id, 1);
+    assert_eq!(recovered.quarantined, 1, "the orphan must be quarantined");
+    assert!(!dir.join("gen-2.seg").exists());
+    let _ = std::fs::remove_dir_all(&dir);
 }

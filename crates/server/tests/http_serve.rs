@@ -993,3 +993,87 @@ fn reactor_streams_batches_and_exposes_per_shard_metrics() {
         .sum();
     assert!(accepted >= 3, "3 prior connections must be attributed to shards, saw {accepted}");
 }
+
+/// The live data plane end-to-end against the real binary: boot with
+/// `--data-dir`, ingest a segment image over `POST /v1/ingest`, and see
+/// the merged generation swap in with the new record queryable and both
+/// the stats generation and the record count advanced. Without
+/// `--data-dir`, ingest answers 403.
+#[test]
+fn ingest_publishes_a_new_generation_and_swaps_it_live() {
+    let data_dir =
+        std::env::temp_dir().join(format!("uops_http_serve_ingest_{}.d", std::process::id()));
+    let _ = std::fs::remove_dir_all(&data_dir);
+    let dir_arg = data_dir.to_str().expect("utf-8 temp dir").to_string();
+    let (server, _segment) = boot_server(&["--data-dir", &dir_arg]);
+
+    assert_eq!(stats_field(&server.addr, "", "generation"), 1, "fresh dir bootstraps gen 1");
+    let records_before = stats_field(&server.addr, "", "records");
+    let (_, before_body) = http_get(&server.addr, "/v1/record/XABC");
+
+    // Ingest one new record as a raw segment image.
+    let mut extra = Snapshot::new("ingest update");
+    extra.records.push(VariantRecord {
+        mnemonic: "XABC".into(),
+        variant: "R64, R64".into(),
+        extension: "BASE".into(),
+        uarch: "Skylake".into(),
+        uop_count: 2,
+        ports: vec![(0b0000_0011, 2)],
+        tp_measured: 1.0,
+        ..Default::default()
+    });
+    let image = Segment::encode(&extra);
+    let (status, _, body) = http_post(&server.addr, "/v1/ingest", &image);
+    let body = String::from_utf8_lossy(&body).to_string();
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"generation\": 2"), "{body}");
+    assert!(body.contains("\"swapped\": true"), "{body}");
+
+    assert_eq!(stats_field(&server.addr, "", "generation"), 2);
+    assert_eq!(stats_field(&server.addr, "", "records"), records_before + 1);
+    // Two swaps so far: boot (onto generation 1) and the ingest.
+    assert_eq!(stats_field(&server.addr, "", "swaps"), 2);
+    let (status, record) = http_get(&server.addr, "/v1/record/XABC");
+    assert_eq!(status, 200, "the ingested record must be queryable");
+    assert_ne!(record, before_body, "the ingested record must change the response");
+    assert!(String::from_utf8_lossy(&record).contains("XABC"));
+
+    // Garbage neither magic claims is rejected with no store effect.
+    let (status, _, body) = http_post(&server.addr, "/v1/ingest", b"not a segment");
+    assert_eq!(status, 400, "{}", String::from_utf8_lossy(&body));
+    assert_eq!(stats_field(&server.addr, "", "generation"), 2);
+
+    drop(server);
+    let _ = std::fs::remove_dir_all(&data_dir);
+}
+
+/// `http_get` variant that tolerates non-200 statuses without panicking
+/// in the helpers above.
+fn http_get_status_body(addr: &str, target: &str) -> (u16, String, Vec<u8>) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write!(stream, "GET {target} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n").expect("send");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read");
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .unwrap_or_else(|| panic!("no header terminator in {:?}", String::from_utf8_lossy(&raw)));
+    let head = String::from_utf8_lossy(&raw[..head_end]).to_string();
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line: {head}"));
+    (status, head, raw[head_end + 4..].to_vec())
+}
+
+/// Ingest without `--data-dir` is refused: the store is immutable.
+#[test]
+fn ingest_without_a_data_dir_answers_403() {
+    let (server, _segment) = boot_server(&[]);
+    let (status, _, body) = http_post(&server.addr, "/v1/ingest", b"anything");
+    assert_eq!(status, 403, "{}", String::from_utf8_lossy(&body));
+    let (status, _, _) = http_get_status_body(&server.addr, "/v1/ingest");
+    assert_eq!(status, 405, "ingest is POST-only");
+}

@@ -1,0 +1,227 @@
+//! Crash-safety integration test driving the **real `serve` binary**
+//! through a SIGKILL mid-publish: boot with `--data-dir`, ingest under
+//! concurrent read load, stall the publish at a scripted filesystem
+//! fault point (`UOPS_FAULT_FS`), kill(9) the process mid-stall, and
+//! reboot against the same directory. The recovered generation's
+//! responses must be byte-identical (headers included — the ETag is
+//! content-derived) to the last durable generation's, and the orphan
+//! image stranded by the kill must be quarantined and counted.
+
+#![cfg(all(feature = "fault-injection", unix))]
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use uops_db::{Segment, Snapshot, VariantRecord};
+
+fn sample_snapshot() -> Snapshot {
+    let mut s = Snapshot::new("kill9 test");
+    let mut add = |m: &str, uarch: &str, uops: u32, mask: u16, tp: f64| {
+        s.records.push(VariantRecord {
+            mnemonic: m.into(),
+            variant: "R64, R64".into(),
+            extension: "BASE".into(),
+            uarch: uarch.into(),
+            uop_count: uops,
+            ports: vec![(mask, uops)],
+            tp_measured: tp,
+            ..Default::default()
+        });
+    };
+    add("ADD", "Skylake", 1, 0b0110_0011, 0.25);
+    add("ADC", "Skylake", 1, 0b0100_0001, 0.5);
+    add("DIV", "Skylake", 10, 0b0000_0001, 6.0);
+    s
+}
+
+fn update_snapshot() -> Snapshot {
+    let mut s = Snapshot::new("kill9 update");
+    s.records.push(VariantRecord {
+        mnemonic: "XOR".into(),
+        variant: "R64, R64".into(),
+        extension: "BASE".into(),
+        uarch: "Skylake".into(),
+        uop_count: 1,
+        ports: vec![(0b0110_0011, 1)],
+        tp_measured: 0.25,
+        ..Default::default()
+    });
+    s
+}
+
+struct ServeGuard {
+    child: Child,
+    addr: String,
+    /// stdout lines printed at boot (listening / metrics / data plane).
+    announce: Vec<String>,
+}
+
+impl Drop for ServeGuard {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Boots `serve --segment ... --data-dir ...`, optionally with a
+/// `UOPS_FAULT_FS` script, and reads the boot announcement lines.
+fn boot(segment_path: &PathBuf, data_dir: &PathBuf, fault_fs: Option<&str>) -> ServeGuard {
+    let mut command = Command::new(env!("CARGO_BIN_EXE_serve"));
+    command
+        .arg("--segment")
+        .arg(segment_path)
+        .arg("--data-dir")
+        .arg(data_dir)
+        .args(["--addr", "127.0.0.1:0", "--threads", "2"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null());
+    match fault_fs {
+        Some(spec) => command.env("UOPS_FAULT_FS", spec),
+        None => command.env_remove("UOPS_FAULT_FS"),
+    };
+    let mut child = command.spawn().expect("spawn serve");
+    let stdout = child.stdout.take().expect("stdout piped");
+    let mut reader = BufReader::new(stdout);
+    let mut announce = Vec::new();
+    // Three boot lines: listening, metrics, data plane.
+    for _ in 0..3 {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read announce line");
+        announce.push(line.trim().to_string());
+    }
+    let addr = announce[0]
+        .split("http://")
+        .nth(1)
+        .and_then(|rest| rest.split_whitespace().next())
+        .unwrap_or_else(|| panic!("no address in {:?}", announce[0]))
+        .to_string();
+    ServeGuard { child, addr, announce }
+}
+
+/// One full exchange on a fresh connection, returning the **raw response
+/// bytes** (status line, headers, body) so byte-identity covers the ETag.
+fn raw_exchange(addr: &str, request: &[u8]) -> Vec<u8> {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(request).expect("send");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read");
+    raw
+}
+
+fn raw_get(addr: &str, target: &str) -> Vec<u8> {
+    raw_exchange(
+        addr,
+        format!("GET {target} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n").as_bytes(),
+    )
+}
+
+const EXPORTS: [&str; 3] = ["/v1/query?uarch=Skylake", "/v1/query?format=binary", "/v1/record/ADD"];
+
+#[test]
+fn sigkill_mid_publish_recovers_the_previous_generation_byte_identically() {
+    static BOOTS: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+    let boot_n = BOOTS.fetch_add(1, Ordering::Relaxed);
+    let tag = format!("uops_kill9_{}_{boot_n}", std::process::id());
+    let segment_path = std::env::temp_dir().join(format!("{tag}.seg"));
+    let data_dir = std::env::temp_dir().join(format!("{tag}.d"));
+    let _ = std::fs::remove_dir_all(&data_dir);
+    Segment::write(&sample_snapshot(), &segment_path).expect("write segment");
+
+    // Boot with the publish stalled at the *manifest rename* of the first
+    // ingest: bootstrap consumes renames 1-2 (image + manifest of
+    // generation 1), the ingest's image rename is 3 (pass, stranding
+    // gen-2.seg as a durable orphan), and its manifest rename is 4 —
+    // stalled for 60 s, which the SIGKILL lands inside.
+    let spec = "rename:pass,rename:pass,rename:pass,rename:stall=60000";
+    let server = boot(&segment_path, &data_dir, Some(spec));
+    assert!(
+        server.announce[2].contains("generation 1"),
+        "fresh data dir must bootstrap generation 1: {:?}",
+        server.announce
+    );
+
+    // Baselines of the durable generation, raw bytes including headers.
+    let baselines: Vec<Vec<u8>> =
+        EXPORTS.iter().map(|target| raw_get(&server.addr, target)).collect();
+    for (target, raw) in EXPORTS.iter().zip(&baselines) {
+        assert!(raw.starts_with(b"HTTP/1.1 200"), "baseline {target} must succeed");
+    }
+
+    // Concurrent read load for the whole stall window.
+    let stop = Arc::new(AtomicBool::new(false));
+    let failures = Arc::new(AtomicU64::new(0));
+    let load = {
+        let addr = server.addr.clone();
+        let stop = Arc::clone(&stop);
+        let failures = Arc::clone(&failures);
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                let raw = raw_get(&addr, EXPORTS[0]);
+                if !raw.starts_with(b"HTTP/1.1 200") {
+                    failures.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        })
+    };
+
+    // Fire the ingest. The publish stalls inside the scripted rename, so
+    // the response never arrives — send it and leave the socket open.
+    let body = uops_db::codec::encode(&update_snapshot());
+    let mut ingest = TcpStream::connect(&server.addr).expect("connect ingest");
+    let head =
+        format!("POST /v1/ingest HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n", body.len());
+    ingest.write_all(head.as_bytes()).expect("send ingest head");
+    ingest.write_all(&body).expect("send ingest body");
+    std::thread::sleep(Duration::from_millis(600));
+
+    // Mid-stall, reads still serve the old generation (the swap happens
+    // only after a durable publish; readers never block on it).
+    let mid_stall = raw_get(&server.addr, EXPORTS[0]);
+    assert_eq!(mid_stall, baselines[0], "reads mid-publish must serve the old generation");
+    stop.store(true, Ordering::Relaxed);
+    load.join().expect("load thread");
+    assert_eq!(failures.load(Ordering::Relaxed), 0, "no request may fail during the stall");
+
+    // SIGKILL mid-publish: no drain, no cleanup.
+    let mut server = server;
+    server.child.kill().expect("SIGKILL");
+    let _ = server.child.wait();
+    drop(ingest);
+
+    // The kill stranded the next generation's image, but the manifest
+    // still names generation 1 as the durable truth.
+    assert!(data_dir.join("gen-2.seg").exists(), "the orphan image must survive the kill");
+    let manifest = std::fs::read_to_string(data_dir.join("MANIFEST")).expect("manifest");
+    assert!(manifest.contains("gen-1.seg"), "{manifest}");
+    assert!(!manifest.contains("gen-2.seg"), "the torn generation must not be in the manifest");
+
+    // Reboot against the same directory, no faults: generation 1 is
+    // recovered, the orphan quarantined and counted, and every export is
+    // byte-identical to the pre-crash baseline.
+    let reboot = boot(&segment_path, &data_dir, None);
+    assert!(
+        reboot.announce[2].contains("generation 1"),
+        "reboot must recover generation 1: {:?}",
+        reboot.announce
+    );
+    for (target, baseline) in EXPORTS.iter().zip(&baselines) {
+        let recovered = raw_get(&reboot.addr, target);
+        assert_eq!(
+            recovered, *baseline,
+            "recovered export {target} must be byte-identical to the durable generation"
+        );
+    }
+    assert!(!data_dir.join("gen-2.seg").exists(), "the orphan must be renamed aside");
+    let stats = String::from_utf8(raw_get(&reboot.addr, "/v1/stats")).expect("stats utf-8");
+    assert!(stats.contains("\"generation\": 1"), "{stats}");
+    assert!(stats.contains("\"quarantined\": 1"), "{stats}");
+
+    drop(reboot);
+    let _ = std::fs::remove_file(&segment_path);
+    let _ = std::fs::remove_dir_all(&data_dir);
+}

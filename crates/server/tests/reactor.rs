@@ -267,3 +267,70 @@ fn stalled_half_request_is_evicted_at_the_idle_timeout() {
     drop((fresh, healthy, stalled));
     handle.shutdown();
 }
+
+/// The reactor surfaces per-shard connection balance in `/v1/stats`: a
+/// `shards` object with the live-connection and accepted vectors plus a
+/// min/max/mean/spread skew summary, so rebalance drift is observable
+/// without scraping `/metrics`.
+#[test]
+fn stats_reports_per_shard_connection_skew() {
+    const SHARDS: usize = 2;
+    let server = Server::bind_reactor("127.0.0.1:0", service(), SHARDS, ServerOptions::default())
+        .expect("bind reactor");
+    let addr = server.local_addr();
+    let handle = server.spawn();
+
+    // Park a few keep-alive connections so the gauges have something to
+    // show, then read stats over one of them.
+    let mut parked: Vec<TcpStream> = (0..3)
+        .map(|_| {
+            let mut stream = TcpStream::connect(addr).expect("connect");
+            stream
+                .write_all(b"GET /v1/query?uarch=Skylake HTTP/1.1\r\nHost: t\r\n\r\n")
+                .expect("send");
+            let response = read_response(&mut stream);
+            assert!(response.starts_with(b"HTTP/1.1 200"));
+            stream
+        })
+        .collect();
+    let stats = {
+        let stream = parked.last_mut().expect("parked");
+        stream.write_all(b"GET /v1/stats HTTP/1.1\r\nHost: t\r\n\r\n").expect("send");
+        String::from_utf8_lossy(&read_response(stream)).to_string()
+    };
+
+    assert!(stats.contains(&format!("\"shards\": {{\"count\": {SHARDS}, ")), "{stats}");
+    for field in ["\"connections\": [", "\"accepted\": [", "\"skew\": {\"min\": "] {
+        assert!(stats.contains(field), "missing {field} in {stats}");
+    }
+    // Three live connections across two shards: the summed vector and the
+    // skew bounds must agree with that.
+    let section = stats.split("\"shards\": ").nth(1).expect("shards section");
+    let connections: Vec<i64> = section
+        .split("\"connections\": [")
+        .nth(1)
+        .and_then(|rest| rest.split(']').next())
+        .expect("connections vector")
+        .split(", ")
+        .map(|n| n.parse().expect("gauge value"))
+        .collect();
+    assert_eq!(connections.len(), SHARDS);
+    assert_eq!(connections.iter().sum::<i64>(), 3, "{stats}");
+    let min: i64 = section
+        .split("\"min\": ")
+        .nth(1)
+        .and_then(|rest| rest.split(|c: char| !c.is_ascii_digit() && c != '-').next())
+        .and_then(|n| n.parse().ok())
+        .expect("skew min");
+    let max: i64 = section
+        .split("\"max\": ")
+        .nth(1)
+        .and_then(|rest| rest.split(|c: char| !c.is_ascii_digit() && c != '-').next())
+        .and_then(|n| n.parse().ok())
+        .expect("skew max");
+    assert_eq!(min, *connections.iter().min().expect("min"));
+    assert_eq!(max, *connections.iter().max().expect("max"));
+
+    drop(parked);
+    handle.shutdown();
+}
